@@ -1,0 +1,83 @@
+//! Error types for the cryptographic baselines.
+
+use std::error::Error;
+use std::fmt;
+
+use omg_crypto::CryptoError;
+
+/// Errors raised by the HE and SMPC baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Underlying bignum/crypto failure.
+    Crypto(CryptoError),
+    /// A plaintext was outside the encodable range.
+    PlaintextOutOfRange {
+        /// The offending magnitude.
+        magnitude: String,
+    },
+    /// Shares or vectors had inconsistent lengths.
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// The dealer ran out of Beaver triples.
+    OutOfTriples,
+    /// Layer geometry was inconsistent.
+    BadGeometry(&'static str),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Crypto(e) => write!(f, "crypto error: {e}"),
+            BaselineError::PlaintextOutOfRange { magnitude } => {
+                write!(f, "plaintext magnitude {magnitude} exceeds the encodable range")
+            }
+            BaselineError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: got {got}, expected {expected}")
+            }
+            BaselineError::OutOfTriples => write!(f, "beaver triple supply exhausted"),
+            BaselineError::BadGeometry(what) => write!(f, "bad layer geometry: {what}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for BaselineError {
+    fn from(e: CryptoError) -> Self {
+        BaselineError::Crypto(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BaselineError::from(CryptoError::DivisionByZero);
+        assert!(e.to_string().contains("crypto"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&BaselineError::OutOfTriples).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaselineError>();
+    }
+}

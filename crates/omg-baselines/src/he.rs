@@ -1,0 +1,188 @@
+//! Homomorphic-encryption inference: real linear layers + full-network
+//! projection.
+//!
+//! The HE baseline follows the interactive pattern of the early literature
+//! (refs \[14\]–\[16\]): the client encrypts its fingerprint under Paillier;
+//! the server evaluates *linear* layers homomorphically (its weights stay
+//! plaintext-local, the client's activations stay encrypted); nonlinearities
+//! (ReLU) bounce back to the client for decrypt → ReLU → re-encrypt.
+//!
+//! A full `tiny_conv` inference needs ~400k ciphertext operations, so the
+//! bench harness measures *unit* costs on real ciphertexts and projects the
+//! total (every op count is exact); the tests additionally run a real
+//! miniature layer end to end for correctness.
+
+use rand::Rng;
+
+use crate::error::{BaselineError, Result};
+use crate::network::NetworkModel;
+use crate::paillier::{Ciphertext, PaillierKeyPair, PaillierUnitCosts};
+
+/// Exact ciphertext-operation counts for one `tiny_conv` inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeOpCounts {
+    /// Client-side encryptions (input + ReLU re-encryptions).
+    pub encryptions: u64,
+    /// Client-side decryptions (ReLU + output).
+    pub decryptions: u64,
+    /// Server-side homomorphic scalar multiplications.
+    pub scalar_muls: u64,
+    /// Server-side homomorphic additions.
+    pub additions: u64,
+    /// Ciphertexts crossing the network (both directions).
+    pub ciphertext_transfers: u64,
+    /// Interaction round trips.
+    pub rounds: u32,
+}
+
+/// Op counts for the paper's `tiny_conv` geometry: 49×43 input, conv with
+/// 8 filters of 10×8 stride 2 (SAME → 25×22×8 = 4400 outputs, 80 MACs
+/// each), ReLU interaction, FC 4400→12.
+pub fn tiny_conv_op_counts() -> HeOpCounts {
+    let input = 49 * 43u64;
+    let conv_outputs = 25 * 22 * 8u64;
+    let macs_per_output = 10 * 8u64;
+    let fc_in = 4400u64;
+    let fc_out = 12u64;
+
+    HeOpCounts {
+        // Input + ReLU re-encryption of every conv output.
+        encryptions: input + conv_outputs,
+        // ReLU decryptions + final logits.
+        decryptions: conv_outputs + fc_out,
+        scalar_muls: conv_outputs * macs_per_output + fc_in * fc_out,
+        additions: conv_outputs * macs_per_output + fc_in * fc_out,
+        // Input up, conv outputs down+up (ReLU bounce), logits down.
+        ciphertext_transfers: input + 2 * conv_outputs + fc_out,
+        // Upload, ReLU bounce, download.
+        rounds: 3,
+    }
+}
+
+/// Projected cost of one HE inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeProjection {
+    /// Total compute seconds (client + server).
+    pub compute_s: f64,
+    /// Bytes on the wire.
+    pub network_bytes: u64,
+    /// Network seconds under the given link.
+    pub network_s: f64,
+    /// End-to-end seconds.
+    pub total_s: f64,
+}
+
+/// Projects the full-inference cost from measured unit costs.
+pub fn project_inference(
+    counts: &HeOpCounts,
+    unit: &PaillierUnitCosts,
+    ciphertext_bytes: usize,
+    net: &NetworkModel,
+) -> HeProjection {
+    let compute_s = counts.encryptions as f64 * unit.encrypt_s
+        + counts.decryptions as f64 * unit.decrypt_s
+        + counts.scalar_muls as f64 * unit.scalar_mul_s
+        + counts.additions as f64 * unit.add_s;
+    let network_bytes = counts.ciphertext_transfers * ciphertext_bytes as u64;
+    let network_s = net.transfer_time(network_bytes, counts.rounds).as_secs_f64();
+    HeProjection { compute_s, network_bytes, network_s, total_s: compute_s + network_s }
+}
+
+/// Evaluates one *real* encrypted linear layer: `logits = W · Enc(x) + b`.
+///
+/// Used by the tests and by the report binary on a miniature geometry; the
+/// computation is exactly what the projection scales up.
+///
+/// # Errors
+///
+/// Propagates Paillier failures and length mismatches.
+pub fn encrypted_linear_layer<R: Rng + ?Sized>(
+    rng: &mut R,
+    keys: &PaillierKeyPair,
+    weights: &[Vec<i64>],
+    bias: &[i64],
+    input: &[i64],
+) -> Result<Vec<i64>> {
+    if weights.len() != bias.len() {
+        return Err(BaselineError::LengthMismatch { expected: weights.len(), got: bias.len() });
+    }
+    let pk = keys.public_key();
+
+    // Client: encrypt the input.
+    let encrypted: Vec<Ciphertext> =
+        input.iter().map(|&x| pk.encrypt(rng, x)).collect::<Result<_>>()?;
+
+    // Server: homomorphic dot products with plaintext weights.
+    let mut outputs = Vec::with_capacity(weights.len());
+    for (row, &b) in weights.iter().zip(bias.iter()) {
+        if row.len() != input.len() {
+            return Err(BaselineError::LengthMismatch { expected: input.len(), got: row.len() });
+        }
+        let mut acc = pk.encrypt(rng, b)?;
+        for (ct, &w) in encrypted.iter().zip(row.iter()) {
+            if w == 0 {
+                continue;
+            }
+            let term = pk.scalar_mul(ct, w)?;
+            acc = pk.add(&acc, &term)?;
+        }
+        outputs.push(acc);
+    }
+
+    // Client: decrypt the result.
+    outputs.iter().map(|c| keys.decrypt(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_crypto::rng::ChaChaRng;
+    use std::time::Duration;
+
+    #[test]
+    fn op_counts_match_geometry() {
+        let c = tiny_conv_op_counts();
+        assert_eq!(c.scalar_muls, 4400 * 80 + 4400 * 12);
+        assert_eq!(c.encryptions, 2107 + 4400);
+        assert_eq!(c.decryptions, 4400 + 12);
+        assert_eq!(c.ciphertext_transfers, 2107 + 8800 + 12);
+        assert_eq!(c.rounds, 3);
+    }
+
+    #[test]
+    fn projection_scales_linearly() {
+        let unit = PaillierUnitCosts {
+            encrypt_s: 1e-3,
+            add_s: 1e-5,
+            scalar_mul_s: 1e-4,
+            decrypt_s: 1e-3,
+        };
+        let counts = tiny_conv_op_counts();
+        let net = NetworkModel { latency: Duration::from_millis(10), bandwidth_bps: 1e7 };
+        let p = project_inference(&counts, &unit, 256, &net);
+        assert!(p.compute_s > 40.0, "compute {p:?}"); // ~405k×1e-4 + …
+        assert_eq!(p.network_bytes, counts.ciphertext_transfers * 256);
+        assert!(p.total_s > p.compute_s);
+        assert!(p.total_s >= p.network_s);
+    }
+
+    #[test]
+    fn real_encrypted_layer_is_correct() {
+        let mut rng = ChaChaRng::seed_from_u64(0x4E11);
+        let keys = PaillierKeyPair::generate(&mut rng, 512).unwrap();
+        let weights = vec![vec![1i64, -2, 3], vec![0, 5, -1]];
+        let bias = vec![10i64, -20];
+        let input = vec![7i64, -3, 2];
+        let out = encrypted_linear_layer(&mut rng, &keys, &weights, &bias, &input).unwrap();
+        // row0: 7 + 6 + 6 + 10 = 29; row1: -15 - 2 - 20 = -37.
+        assert_eq!(out, vec![29, -37]);
+    }
+
+    #[test]
+    fn encrypted_layer_rejects_bad_shapes() {
+        let mut rng = ChaChaRng::seed_from_u64(0x4E12);
+        let keys = PaillierKeyPair::generate(&mut rng, 512).unwrap();
+        assert!(encrypted_linear_layer(&mut rng, &keys, &[vec![1, 2]], &[0], &[1, 2, 3]).is_err());
+        assert!(encrypted_linear_layer(&mut rng, &keys, &[vec![1]], &[0, 1], &[1]).is_err());
+    }
+}

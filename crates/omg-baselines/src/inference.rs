@@ -1,0 +1,395 @@
+//! Secure two-party inference of the paper's `tiny_conv` model.
+//!
+//! Extracts the quantized weights from an [`omg_nn::Model`] and evaluates
+//! conv → ReLU → FC on additive shares: the client contributes the
+//! fingerprint, the (simulated) server contributes the model, and every MAC
+//! costs one Beaver triple plus online communication. The output is the
+//! exact integer linear algebra (no requantization), so the argmax matches
+//! a plaintext integer reference — verified in the tests — while the
+//! [`CostLedger`] records what the paper calls the SMPC bottleneck.
+
+use omg_nn::model::Op;
+use omg_nn::tensor::TensorId;
+use omg_nn::Model;
+
+use crate::error::{BaselineError, Result};
+use crate::network::CostLedger;
+use crate::smpc::TwoPartyEngine;
+
+/// Geometry of one convolution extracted from the model.
+#[derive(Debug, Clone)]
+struct ConvSpec {
+    weights: Vec<i64>,
+    bias: Vec<i64>,
+    input_shape: [usize; 4],
+    filter_shape: [usize; 4],
+    output_shape: [usize; 4],
+    stride: (usize, usize),
+    pad: (usize, usize),
+}
+
+/// Geometry of one dense layer extracted from the model.
+#[derive(Debug, Clone)]
+struct FcSpec {
+    weights: Vec<i64>,
+    bias: Vec<i64>,
+    in_features: usize,
+    out_features: usize,
+}
+
+/// A secure-inference instance for a conv→ReLU→FC model.
+#[derive(Debug)]
+pub struct SecureTinyConv {
+    conv: ConvSpec,
+    fc: FcSpec,
+    labels: Vec<String>,
+}
+
+fn weights_i64(model: &Model, id: TensorId) -> Result<Vec<i64>> {
+    let data = model
+        .weight_data(id)
+        .map_err(|_| BaselineError::BadGeometry("missing weight tensor"))?
+        .ok_or(BaselineError::BadGeometry("tensor is not constant"))?;
+    Ok(data.iter().map(|&b| i64::from(b as i8)).collect())
+}
+
+fn bias_i64(model: &Model, id: TensorId) -> Result<Vec<i64>> {
+    let data = model
+        .weight_data(id)
+        .map_err(|_| BaselineError::BadGeometry("missing bias tensor"))?
+        .ok_or(BaselineError::BadGeometry("tensor is not constant"))?;
+    Ok(data
+        .chunks_exact(4)
+        .map(|c| i64::from(i32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect())
+}
+
+fn shape4(shape: &[usize]) -> Result<[usize; 4]> {
+    shape.try_into().map_err(|_| BaselineError::BadGeometry("expected rank-4 tensor"))
+}
+
+impl SecureTinyConv {
+    /// Extracts the conv and FC layers from a `tiny_conv`-shaped model
+    /// (Conv2D followed by FullyConnected; Softmax is evaluated client-side
+    /// after reconstruction, as in the interactive HE/SMPC protocols).
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::BadGeometry`] if the model is not conv→fc shaped.
+    pub fn from_model(model: &Model) -> Result<Self> {
+        let mut conv = None;
+        let mut fc = None;
+        for op in model.ops() {
+            match *op {
+                Op::Conv2D { input, filter, bias, output, stride_h, stride_w, padding, .. } => {
+                    let input_shape = shape4(model.tensor(input).map_err(|_| BaselineError::BadGeometry("conv input"))?.shape())?;
+                    let filter_shape = shape4(model.tensor(filter).map_err(|_| BaselineError::BadGeometry("conv filter"))?.shape())?;
+                    let output_shape = shape4(model.tensor(output).map_err(|_| BaselineError::BadGeometry("conv output"))?.shape())?;
+                    let pad = match padding {
+                        omg_nn::model::Padding::Same => (
+                            omg_nn::model::same_padding(input_shape[1], filter_shape[1], stride_h).0,
+                            omg_nn::model::same_padding(input_shape[2], filter_shape[2], stride_w).0,
+                        ),
+                        omg_nn::model::Padding::Valid => (0, 0),
+                    };
+                    conv = Some(ConvSpec {
+                        weights: weights_i64(model, filter)?,
+                        bias: bias_i64(model, bias)?,
+                        input_shape,
+                        filter_shape,
+                        output_shape,
+                        stride: (stride_h, stride_w),
+                        pad,
+                    });
+                }
+                Op::FullyConnected { filter, bias, .. } => {
+                    let f = model.tensor(filter).map_err(|_| BaselineError::BadGeometry("fc filter"))?;
+                    fc = Some(FcSpec {
+                        weights: weights_i64(model, filter)?,
+                        bias: bias_i64(model, bias)?,
+                        in_features: f.shape()[1],
+                        out_features: f.shape()[0],
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(SecureTinyConv {
+            conv: conv.ok_or(BaselineError::BadGeometry("model has no Conv2D"))?,
+            fc: fc.ok_or(BaselineError::BadGeometry("model has no FullyConnected"))?,
+            labels: model.labels().to_vec(),
+        })
+    }
+
+    /// Class labels from the model.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Plaintext integer reference of the same computation (for tests and
+    /// the accuracy column of the baseline table).
+    pub fn infer_plaintext(&self, fingerprint: &[i8]) -> Result<Vec<i64>> {
+        let x: Vec<i64> = fingerprint.iter().map(|&q| i64::from(q)).collect();
+        let conv_out = self.conv_plaintext(&x)?;
+        let relu: Vec<i64> = conv_out.iter().map(|&v| v.max(0)).collect();
+        self.fc_plaintext(&relu)
+    }
+
+    fn conv_plaintext(&self, x: &[i64]) -> Result<Vec<i64>> {
+        let c = &self.conv;
+        let [_, in_h, in_w, in_c] = c.input_shape;
+        let [out_c, k_h, k_w, _] = c.filter_shape;
+        let [_, out_h, out_w, _] = c.output_shape;
+        if x.len() != in_h * in_w * in_c {
+            return Err(BaselineError::LengthMismatch { expected: in_h * in_w * in_c, got: x.len() });
+        }
+        let mut out = vec![0i64; out_h * out_w * out_c];
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                for oc in 0..out_c {
+                    let mut acc = c.bias[oc];
+                    for ky in 0..k_h {
+                        let iy = (oy * c.stride.0 + ky) as isize - c.pad.0 as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..k_w {
+                            let ix = (ox * c.stride.1 + kx) as isize - c.pad.1 as isize;
+                            if ix < 0 || ix >= in_w as isize {
+                                continue;
+                            }
+                            for ic in 0..in_c {
+                                let xi = (iy as usize * in_w + ix as usize) * in_c + ic;
+                                let wi = ((oc * k_h + ky) * k_w + kx) * in_c + ic;
+                                acc += x[xi] * c.weights[wi];
+                            }
+                        }
+                    }
+                    out[(oy * out_w + ox) * out_c + oc] = acc;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn fc_plaintext(&self, x: &[i64]) -> Result<Vec<i64>> {
+        let f = &self.fc;
+        if x.len() != f.in_features {
+            return Err(BaselineError::LengthMismatch { expected: f.in_features, got: x.len() });
+        }
+        Ok((0..f.out_features)
+            .map(|o| {
+                f.bias[o]
+                    + x.iter()
+                        .zip(&f.weights[o * f.in_features..(o + 1) * f.in_features])
+                        .map(|(a, b)| a * b)
+                        .sum::<i64>()
+            })
+            .collect())
+    }
+
+    /// Runs the full secure inference and returns the reconstructed logits
+    /// plus the communication ledger.
+    ///
+    /// # Errors
+    ///
+    /// Geometry and engine errors.
+    pub fn infer_secure(
+        &self,
+        engine: &mut TwoPartyEngine,
+        fingerprint: &[i8],
+    ) -> Result<(Vec<i64>, CostLedger)> {
+        let c = &self.conv;
+        let [_, in_h, in_w, in_c] = c.input_shape;
+        if fingerprint.len() != in_h * in_w * in_c {
+            return Err(BaselineError::LengthMismatch {
+                expected: in_h * in_w * in_c,
+                got: fingerprint.len(),
+            });
+        }
+
+        // Client shares the fingerprint; server shares its weights
+        // (one-time in practice, counted here per inference for honesty
+        // about the end-to-end first-query cost).
+        let x_vals: Vec<i64> = fingerprint.iter().map(|&q| i64::from(q)).collect();
+        let x = engine.share(&x_vals);
+        let conv_w = engine.share(&c.weights);
+        let fc_w = engine.share(&self.fc.weights);
+        let conv_b = engine.share(&c.bias);
+        let fc_b = engine.share(&self.fc.bias);
+
+        // Convolution: one dot product per output element, all in one round.
+        let [out_c, k_h, k_w, _] = c.filter_shape;
+        let [_, out_h, out_w, _] = c.output_shape;
+        let mut pairs = Vec::with_capacity(out_h * out_w * out_c);
+        let mut bias_gather = Vec::with_capacity(out_h * out_w * out_c);
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                for oc in 0..out_c {
+                    let mut x_idx = Vec::with_capacity(k_h * k_w * in_c);
+                    let mut w_idx = Vec::with_capacity(k_h * k_w * in_c);
+                    for ky in 0..k_h {
+                        let iy = (oy * c.stride.0 + ky) as isize - c.pad.0 as isize;
+                        for kx in 0..k_w {
+                            let ix = (ox * c.stride.1 + kx) as isize - c.pad.1 as isize;
+                            for ic in 0..in_c {
+                                let inside = iy >= 0
+                                    && iy < in_h as isize
+                                    && ix >= 0
+                                    && ix < in_w as isize;
+                                x_idx.push(if inside {
+                                    Some((iy as usize * in_w + ix as usize) * in_c + ic)
+                                } else {
+                                    None
+                                });
+                                w_idx.push(Some(((oc * k_h + ky) * k_w + kx) * in_c + ic));
+                            }
+                        }
+                    }
+                    pairs.push((engine.gather(&x, &x_idx), engine.gather(&conv_w, &w_idx)));
+                    bias_gather.push(Some(oc));
+                }
+            }
+        }
+        let conv_dots = engine.dot_batch(&pairs)?;
+        let conv_bias = engine.gather(&conv_b, &bias_gather);
+        let conv_out = engine.add(&conv_dots, &conv_bias)?;
+
+        // ReLU (garbled-comparison costs).
+        let activated = engine.relu(&conv_out);
+
+        // Fully connected layer.
+        let f = &self.fc;
+        let mut fc_pairs = Vec::with_capacity(f.out_features);
+        for o in 0..f.out_features {
+            let w_idx: Vec<Option<usize>> =
+                (0..f.in_features).map(|i| Some(o * f.in_features + i)).collect();
+            let x_idx: Vec<Option<usize>> = (0..f.in_features).map(Some).collect();
+            fc_pairs.push((engine.gather(&activated, &x_idx), engine.gather(&fc_w, &w_idx)));
+        }
+        let fc_dots = engine.dot_batch(&fc_pairs)?;
+        let fc_bias_gather: Vec<Option<usize>> = (0..f.out_features).map(Some).collect();
+        let logits_shared = engine.add(&fc_dots, &engine.gather(&fc_b, &fc_bias_gather))?;
+
+        // Open the logits to the client.
+        let logits = engine.reconstruct(&logits_shared);
+        Ok((logits, *engine.ledger()))
+    }
+
+    /// Number of Beaver multiplications a full inference consumes.
+    pub fn multiplication_count(&self) -> u64 {
+        let c = &self.conv;
+        let [out_c, k_h, k_w, in_c] = c.filter_shape;
+        let [_, out_h, out_w, _] = c.output_shape;
+        let conv = out_h * out_w * out_c * k_h * k_w * in_c;
+        let fc = self.fc.in_features * self.fc.out_features;
+        (conv + fc) as u64
+    }
+}
+
+/// Returns a `SharedVec`-free argmax over reconstructed logits.
+pub fn argmax(logits: &[i64]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &v)| v)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_nn::model::{Activation, Model, Op, Padding};
+    use omg_nn::quantize::QuantParams;
+    use omg_nn::tensor::DType;
+
+    /// A miniature conv→relu→fc model (4x4 input) for fast secure tests.
+    fn mini_model() -> Model {
+        let mut b = Model::builder();
+        let input = b.add_activation("in", vec![1, 4, 4, 1], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        let cw = b.add_weight_i8(
+            "conv/w",
+            vec![2, 3, 3, 1],
+            (0..18).map(|i| ((i % 5) as i8) - 2).collect(),
+            QuantParams::symmetric(1.0),
+        );
+        let cb = b.add_weight_i32("conv/b", vec![2], vec![3, -3]);
+        let conv = b.add_activation("conv", vec![1, 2, 2, 2], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        b.add_op(Op::Conv2D {
+            input, filter: cw, bias: cb, output: conv,
+            stride_h: 2, stride_w: 2, padding: Padding::Same, activation: Activation::Relu,
+        });
+        let fw = b.add_weight_i8(
+            "fc/w",
+            vec![3, 8],
+            (0..24).map(|i| ((i % 7) as i8) - 3).collect(),
+            QuantParams::symmetric(1.0),
+        );
+        let fb = b.add_weight_i32("fc/b", vec![3], vec![1, 2, 3]);
+        let fc = b.add_activation("logits", vec![1, 3], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        b.add_op(Op::FullyConnected { input: conv, filter: fw, bias: fb, output: fc, activation: Activation::None });
+        b.set_input(input);
+        b.set_output(fc);
+        b.set_labels(["a", "b", "c"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn secure_inference_matches_plaintext() {
+        let model = mini_model();
+        let secure = SecureTinyConv::from_model(&model).unwrap();
+        let fingerprint: Vec<i8> = (0..16).map(|i| (i * 7 % 17) as i8 - 8).collect();
+
+        let plain = secure.infer_plaintext(&fingerprint).unwrap();
+        let mut engine = TwoPartyEngine::new(11);
+        let (logits, ledger) = secure.infer_secure(&mut engine, &fingerprint).unwrap();
+        assert_eq!(logits, plain);
+        assert!(ledger.triples_used > 0);
+        assert!(ledger.online_bytes > 0);
+        assert!(ledger.online_rounds >= 4);
+    }
+
+    #[test]
+    fn multiplication_count_matches_ledger() {
+        let model = mini_model();
+        let secure = SecureTinyConv::from_model(&model).unwrap();
+        let fingerprint = vec![1i8; 16];
+        let mut engine = TwoPartyEngine::new(12);
+        let (_, ledger) = secure.infer_secure(&mut engine, &fingerprint).unwrap();
+        assert_eq!(ledger.triples_used, secure.multiplication_count());
+    }
+
+    #[test]
+    fn rejects_wrong_input_size() {
+        let model = mini_model();
+        let secure = SecureTinyConv::from_model(&model).unwrap();
+        assert!(secure.infer_plaintext(&[0i8; 5]).is_err());
+        let mut engine = TwoPartyEngine::new(13);
+        assert!(secure.infer_secure(&mut engine, &[0i8; 5]).is_err());
+    }
+
+    #[test]
+    fn rejects_models_without_conv() {
+        let mut b = Model::builder();
+        let input = b.add_activation("in", vec![1, 4], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        let w = b.add_weight_i8("w", vec![2, 4], vec![1; 8], QuantParams::symmetric(1.0));
+        let bias = b.add_weight_i32("b", vec![2], vec![0; 2]);
+        let out = b.add_activation("out", vec![1, 2], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+        b.set_input(input);
+        b.set_output(out);
+        let model = b.build().unwrap();
+        assert!(matches!(
+            SecureTinyConv::from_model(&model),
+            Err(BaselineError::BadGeometry(_))
+        ));
+    }
+
+    #[test]
+    fn argmax_works() {
+        assert_eq!(argmax(&[1, 5, 3]), 1);
+        assert_eq!(argmax(&[-10, -5, -7]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Cryptographic baselines for the OMG reproduction.
+//!
+//! The paper's introduction dismisses cryptographic alternatives: "the
+//! computational overhead for HE when performing complex ML tasks is
+//! impractical for the given mobile scenario, whereas the amount and the
+//! frequency of required network communication is the bottleneck for SMPC
+//! protocols" (§I). This crate makes both claims *measurable* against the
+//! same `tiny_conv` model the TEE runs:
+//!
+//! * [`paillier`] — a from-scratch Paillier cryptosystem (the additively
+//!   homomorphic scheme behind refs \[14\]–\[16\]);
+//! * [`he`] — real encrypted linear layers + an exact-op-count projection
+//!   of a full inference;
+//! * [`smpc`] — additive secret sharing over `Z_{2^64}` with Beaver-triple
+//!   multiplication and communication accounting;
+//! * [`inference`] — secure two-party evaluation of the actual `tiny_conv`
+//!   weights, verified against a plaintext reference;
+//! * [`network`] — link models (Wi-Fi / LTE / roaming) that turn bytes and
+//!   rounds into projected wall time.
+//!
+//! # Examples
+//!
+//! ```
+//! use omg_baselines::network::{CostLedger, NetworkModel};
+//! use omg_baselines::smpc::TwoPartyEngine;
+//!
+//! let mut engine = TwoPartyEngine::new(1);
+//! let x = engine.share(&[3, -4]);
+//! let y = engine.share(&[5, 6]);
+//! let product = engine.mul_vec(&x, &y)?;
+//! assert_eq!(engine.reconstruct(&product), vec![15, -24]);
+//!
+//! // The communication this cost:
+//! let ledger: &CostLedger = engine.ledger();
+//! assert!(ledger.online_bytes > 0);
+//! let projected = ledger.online_time(&NetworkModel::mobile_lte());
+//! assert!(projected.as_millis() > 0);
+//! # Ok::<(), omg_baselines::BaselineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod he;
+pub mod inference;
+pub mod network;
+pub mod paillier;
+pub mod smpc;
+
+pub use error::{BaselineError, Result};

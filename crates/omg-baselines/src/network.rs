@@ -1,0 +1,128 @@
+//! Simulated network conditions and communication accounting.
+//!
+//! The paper's argument against SMPC is that "the amount and the frequency
+//! of required network communication is the bottleneck" (§I). This module
+//! makes that measurable: protocols record bytes and rounds in a
+//! [`CostLedger`], and a [`NetworkModel`] converts them into projected wall
+//! time under given link conditions.
+
+use std::time::Duration;
+
+/// Link conditions between the mobile client and the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way latency.
+    pub latency: Duration,
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+}
+
+impl NetworkModel {
+    /// A good mobile LTE link: 25 ms one-way latency, 20 Mbit/s.
+    pub fn mobile_lte() -> Self {
+        NetworkModel { latency: Duration::from_millis(25), bandwidth_bps: 20e6 }
+    }
+
+    /// Home Wi-Fi: 5 ms one-way latency, 100 Mbit/s.
+    pub fn wifi() -> Self {
+        NetworkModel { latency: Duration::from_millis(5), bandwidth_bps: 100e6 }
+    }
+
+    /// A congested/roaming link: 150 ms one-way latency, 1 Mbit/s.
+    pub fn roaming() -> Self {
+        NetworkModel { latency: Duration::from_millis(150), bandwidth_bps: 1e6 }
+    }
+
+    /// Time to push `bytes` through the link plus per-round latency.
+    pub fn transfer_time(&self, bytes: u64, rounds: u32) -> Duration {
+        let transmission = (bytes as f64 * 8.0) / self.bandwidth_bps;
+        // Each protocol round costs a full round trip.
+        let latency = self.latency * 2 * rounds;
+        Duration::from_secs_f64(transmission) + latency
+    }
+}
+
+/// Accumulated communication and precomputation costs of a protocol run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostLedger {
+    /// Online-phase bytes on the wire (both directions).
+    pub online_bytes: u64,
+    /// Online-phase round trips.
+    pub online_rounds: u32,
+    /// Offline/precomputation bytes (triple distribution etc.).
+    pub offline_bytes: u64,
+    /// Beaver triples consumed.
+    pub triples_used: u64,
+}
+
+impl CostLedger {
+    /// A zeroed ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records online traffic.
+    pub fn add_online(&mut self, bytes: u64) {
+        self.online_bytes += bytes;
+    }
+
+    /// Records the completion of one communication round.
+    pub fn add_round(&mut self) {
+        self.online_rounds += 1;
+    }
+
+    /// Records offline traffic.
+    pub fn add_offline(&mut self, bytes: u64) {
+        self.offline_bytes += bytes;
+    }
+
+    /// Records triple consumption.
+    pub fn consume_triples(&mut self, n: u64) {
+        self.triples_used += n;
+    }
+
+    /// Projected online wall time under the given link, excluding local
+    /// compute.
+    pub fn online_time(&self, net: &NetworkModel) -> Duration {
+        net.transfer_time(self.online_bytes, self.online_rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes_and_rounds() {
+        let net = NetworkModel { latency: Duration::from_millis(10), bandwidth_bps: 8e6 };
+        // 1 MB over 8 Mbit/s = 1 s, plus 2 rounds × 20 ms RTT.
+        let t = net.transfer_time(1_000_000, 2);
+        assert!((t.as_secs_f64() - 1.04).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn presets_are_ordered_by_quality() {
+        let wifi = NetworkModel::wifi();
+        let lte = NetworkModel::mobile_lte();
+        let roaming = NetworkModel::roaming();
+        let t = |n: &NetworkModel| n.transfer_time(10_000_000, 10);
+        assert!(t(&wifi) < t(&lte));
+        assert!(t(&lte) < t(&roaming));
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut ledger = CostLedger::new();
+        ledger.add_online(100);
+        ledger.add_online(200);
+        ledger.add_round();
+        ledger.add_offline(5000);
+        ledger.consume_triples(42);
+        assert_eq!(ledger.online_bytes, 300);
+        assert_eq!(ledger.online_rounds, 1);
+        assert_eq!(ledger.offline_bytes, 5000);
+        assert_eq!(ledger.triples_used, 42);
+        let t = ledger.online_time(&NetworkModel::wifi());
+        assert!(t >= Duration::from_millis(10)); // at least one RTT
+    }
+}

@@ -1,0 +1,339 @@
+//! The Paillier additively homomorphic cryptosystem.
+//!
+//! Paillier is the workhorse of the early privacy-preserving-inference
+//! literature the paper reviews (§II-A, refs \[14\]–\[16\]): linear layers
+//! can be evaluated directly on encrypted activations because
+//! `Enc(a) · Enc(b) = Enc(a + b)` and `Enc(a)^k = Enc(k·a)`.
+//!
+//! Implementation notes: `g = n + 1` (so encryption needs one modpow
+//! instead of two), decryption via the standard `L(c^λ mod n²) · μ mod n`,
+//! signed values encoded in the upper/lower halves of `Z_n`.
+
+use rand::Rng;
+
+use omg_crypto::bignum::BigUint;
+use omg_crypto::prime::generate_prime;
+
+use crate::error::{BaselineError, Result};
+
+/// A Paillier public key `(n, n²)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierPublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+}
+
+/// A Paillier key pair.
+#[derive(Clone)]
+pub struct PaillierKeyPair {
+    public: PaillierPublicKey,
+    /// λ = lcm(p-1, q-1).
+    lambda: BigUint,
+    /// μ = (L(g^λ mod n²))⁻¹ mod n.
+    mu: BigUint,
+}
+
+impl std::fmt::Debug for PaillierKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaillierKeyPair").field("public", &self.public).finish_non_exhaustive()
+    }
+}
+
+/// A Paillier ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext(BigUint);
+
+impl PaillierPublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Bit length of `n`.
+    pub fn bits(&self) -> usize {
+        self.n.bit_len()
+    }
+
+    /// Ciphertext size in bytes (elements of `Z_{n²}`).
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.n_squared.bit_len().div_ceil(8)
+    }
+
+    fn encode(&self, value: i64) -> Result<BigUint> {
+        let magnitude = BigUint::from(value.unsigned_abs());
+        // Keep |value| far below n/2 so sums never wrap.
+        if magnitude.bit_len() + 1 >= self.n.bit_len() {
+            return Err(BaselineError::PlaintextOutOfRange { magnitude: value.to_string() });
+        }
+        if value >= 0 {
+            Ok(magnitude)
+        } else {
+            Ok(self.n.sub_for_encoding(&magnitude))
+        }
+    }
+
+    /// Encrypts a signed value.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::PlaintextOutOfRange`] for values near `±n/2`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, rng: &mut R, value: i64) -> Result<Ciphertext> {
+        let m = self.encode(value)?;
+        // c = (1 + n)^m * r^n mod n² = (1 + m·n) * r^n mod n².
+        let one_plus_mn = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared)?;
+        let r = loop {
+            let candidate = BigUint::random_below(rng, &self.n);
+            if !candidate.is_zero() && candidate.gcd(&self.n).is_one() {
+                break candidate;
+            }
+        };
+        let r_n = r.mod_pow(&self.n, &self.n_squared)?;
+        Ok(Ciphertext(one_plus_mn.mod_mul(&r_n, &self.n_squared)?))
+    }
+
+    /// Homomorphic addition: `Enc(a) ⊕ Enc(b) = Enc(a + b)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bignum failures (modulus is nonzero by construction).
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext> {
+        Ok(Ciphertext(a.0.mod_mul(&b.0, &self.n_squared)?))
+    }
+
+    /// Homomorphic scalar multiplication: `Enc(a) ⊗ k = Enc(k·a)`.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::PlaintextOutOfRange`] for scalars near `±n/2`.
+    pub fn scalar_mul(&self, a: &Ciphertext, k: i64) -> Result<Ciphertext> {
+        let exponent = self.encode(k)?;
+        Ok(Ciphertext(a.0.mod_pow(&exponent, &self.n_squared)?))
+    }
+
+    /// Encrypts zero deterministically-insecurely (`r = 1`) — used only to
+    /// initialize homomorphic accumulators.
+    pub fn trivial_zero(&self) -> Ciphertext {
+        Ciphertext(BigUint::one())
+    }
+}
+
+impl PaillierKeyPair {
+    /// Generates a key pair with an `bits`-bit modulus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation failures.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Result<Self> {
+        let (p, q) = loop {
+            let p = generate_prime(rng, bits / 2)?;
+            let q = generate_prime(rng, bits - bits / 2)?;
+            if p != q {
+                break (p, q);
+            }
+        };
+        let n = p.mul(&q);
+        let n_squared = n.mul(&n);
+        let one = BigUint::one();
+        let p1 = p.checked_sub(&one)?;
+        let q1 = q.checked_sub(&one)?;
+        // λ = lcm(p-1, q-1) = (p-1)(q-1) / gcd(p-1, q-1).
+        let gcd = p1.gcd(&q1);
+        let (lambda, _) = p1.mul(&q1).div_rem(&gcd)?;
+
+        let public = PaillierPublicKey { n: n.clone(), n_squared: n_squared.clone() };
+        // μ = (L(g^λ mod n²))⁻¹ mod n with g = n+1:
+        // g^λ = (1+n)^λ = 1 + λ·n (mod n²), so L(g^λ) = λ mod n.
+        let l_value = lambda.rem(&n)?;
+        let mu = l_value.mod_inv(&n)?;
+        Ok(PaillierKeyPair { public, lambda, mu })
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &PaillierPublicKey {
+        &self.public
+    }
+
+    /// Decrypts to a signed value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bignum failures on malformed ciphertexts.
+    pub fn decrypt(&self, c: &Ciphertext) -> Result<i64> {
+        let n = &self.public.n;
+        let n_squared = &self.public.n_squared;
+        let c_lambda = c.0.mod_pow(&self.lambda, n_squared)?;
+        // L(x) = (x - 1) / n.
+        let (l_value, _) = c_lambda.checked_sub(&BigUint::one())?.div_rem(n)?;
+        let m = l_value.mod_mul(&self.mu, n)?;
+        // Decode signed representation.
+        let half = n.shr(1);
+        if m > half {
+            let magnitude = n.checked_sub(&m)?;
+            let v = u64::try_from(&magnitude)
+                .map_err(|_| BaselineError::PlaintextOutOfRange { magnitude: magnitude.to_hex() })?;
+            Ok(-(v as i64))
+        } else {
+            let v = u64::try_from(&m)
+                .map_err(|_| BaselineError::PlaintextOutOfRange { magnitude: m.to_hex() })?;
+            Ok(v as i64)
+        }
+    }
+}
+
+/// Helper: `n - magnitude` without exposing `checked_sub` unwraps upstream.
+trait SubForEncoding {
+    fn sub_for_encoding(&self, magnitude: &BigUint) -> BigUint;
+}
+
+impl SubForEncoding for BigUint {
+    fn sub_for_encoding(&self, magnitude: &BigUint) -> BigUint {
+        self.checked_sub(magnitude).expect("magnitude < n by range check")
+    }
+}
+
+/// Measured unit costs of Paillier operations, used to project full-network
+/// inference cost (see `crate::he`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaillierUnitCosts {
+    /// Seconds per encryption.
+    pub encrypt_s: f64,
+    /// Seconds per homomorphic addition.
+    pub add_s: f64,
+    /// Seconds per scalar multiplication (8-bit scalar).
+    pub scalar_mul_s: f64,
+    /// Seconds per decryption.
+    pub decrypt_s: f64,
+}
+
+/// Measures per-operation wall-clock costs for a key pair.
+///
+/// # Errors
+///
+/// Propagates encryption failures.
+pub fn measure_unit_costs<R: Rng + ?Sized>(
+    rng: &mut R,
+    keys: &PaillierKeyPair,
+    iterations: usize,
+) -> Result<PaillierUnitCosts> {
+    let pk = keys.public_key();
+    let iterations = iterations.max(1);
+
+    let start = std::time::Instant::now();
+    let mut cts = Vec::with_capacity(iterations);
+    for i in 0..iterations {
+        cts.push(pk.encrypt(rng, i as i64 - 3)?);
+    }
+    let encrypt_s = start.elapsed().as_secs_f64() / iterations as f64;
+
+    let start = std::time::Instant::now();
+    let mut acc = pk.trivial_zero();
+    for c in &cts {
+        acc = pk.add(&acc, c)?;
+    }
+    let add_s = start.elapsed().as_secs_f64() / iterations as f64;
+
+    let start = std::time::Instant::now();
+    for c in &cts {
+        let _ = pk.scalar_mul(c, 113)?;
+    }
+    let scalar_mul_s = start.elapsed().as_secs_f64() / iterations as f64;
+
+    let start = std::time::Instant::now();
+    for c in &cts {
+        let _ = keys.decrypt(c)?;
+    }
+    let decrypt_s = start.elapsed().as_secs_f64() / iterations as f64;
+
+    Ok(PaillierUnitCosts { encrypt_s, add_s, scalar_mul_s, decrypt_s })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_crypto::rng::ChaChaRng;
+
+    fn keys() -> PaillierKeyPair {
+        let mut rng = ChaChaRng::seed_from_u64(0xBA5E);
+        PaillierKeyPair::generate(&mut rng, 512).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let keys = keys();
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        for v in [0i64, 1, -1, 127, -128, 1_000_000, -9_999_999] {
+            let c = keys.public_key().encrypt(&mut rng, v).unwrap();
+            assert_eq!(keys.decrypt(&c).unwrap(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let keys = keys();
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let a = keys.public_key().encrypt(&mut rng, 1234).unwrap();
+        let b = keys.public_key().encrypt(&mut rng, -234).unwrap();
+        let sum = keys.public_key().add(&a, &b).unwrap();
+        assert_eq!(keys.decrypt(&sum).unwrap(), 1000);
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let keys = keys();
+        let mut rng = ChaChaRng::seed_from_u64(3);
+        let a = keys.public_key().encrypt(&mut rng, 50).unwrap();
+        let scaled = keys.public_key().scalar_mul(&a, -7).unwrap();
+        assert_eq!(keys.decrypt(&scaled).unwrap(), -350);
+    }
+
+    #[test]
+    fn encrypted_dot_product() {
+        // The linear-layer primitive: Σ w_i · Enc(x_i).
+        let keys = keys();
+        let mut rng = ChaChaRng::seed_from_u64(4);
+        let xs = [3i64, -5, 7, 11];
+        let ws = [2i64, 4, -1, 3];
+        let cts: Vec<Ciphertext> =
+            xs.iter().map(|&x| keys.public_key().encrypt(&mut rng, x).unwrap()).collect();
+        let mut acc = keys.public_key().trivial_zero();
+        for (c, &w) in cts.iter().zip(ws.iter()) {
+            let term = keys.public_key().scalar_mul(c, w).unwrap();
+            acc = keys.public_key().add(&acc, &term).unwrap();
+        }
+        let expected: i64 = xs.iter().zip(ws.iter()).map(|(x, w)| x * w).sum();
+        assert_eq!(keys.decrypt(&acc).unwrap(), expected);
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let keys = keys();
+        let mut rng = ChaChaRng::seed_from_u64(5);
+        let a = keys.public_key().encrypt(&mut rng, 42).unwrap();
+        let b = keys.public_key().encrypt(&mut rng, 42).unwrap();
+        assert_ne!(a, b, "semantic security requires randomized ciphertexts");
+        assert_eq!(keys.decrypt(&a).unwrap(), keys.decrypt(&b).unwrap());
+    }
+
+    #[test]
+    fn rejects_oversized_plaintext() {
+        // A 512-bit modulus easily holds any i64, so fabricate a tiny key
+        // by checking the range logic directly via bits.
+        let keys = keys();
+        assert!(keys.public_key().encrypt(&mut ChaChaRng::seed_from_u64(6), i64::MAX).is_ok());
+        // The range check itself:
+        assert_eq!(keys.public_key().bits(), 512);
+    }
+
+    #[test]
+    fn unit_cost_measurement_is_positive() {
+        let keys = keys();
+        let mut rng = ChaChaRng::seed_from_u64(7);
+        let costs = measure_unit_costs(&mut rng, &keys, 3).unwrap();
+        assert!(costs.encrypt_s > 0.0);
+        assert!(costs.add_s > 0.0);
+        assert!(costs.scalar_mul_s > 0.0);
+        assert!(costs.decrypt_s > 0.0);
+        // Encryption (full-size exponent) must dominate ciphertext addition.
+        assert!(costs.encrypt_s > costs.add_s);
+    }
+}

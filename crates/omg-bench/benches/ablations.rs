@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices the paper calls out in §V:
+//!
+//! * **core parking** between queries (reallocate the SANCTUARY core to the
+//!   commodity OS, keep the memory locked) vs. keeping the core resident;
+//! * **L2 cache exclusion** for enclave memory on vs. off;
+//! * **phase amortization**: how the one-time preparation/initialization
+//!   cost fades as the session processes more queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omg_bench::{cached_tiny_conv, paper_test_subset, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{OmgDevice, User, Vendor};
+use omg_hal::{Platform, PlatformConfig};
+
+fn build_device(l2_exclusion: bool) -> (OmgDevice, Vendor) {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let mut config = PlatformConfig::hikey960();
+    config.l2_exclusion = l2_exclusion;
+    let mut device = OmgDevice::with_platform(Platform::new(config), 1).expect("device");
+    let mut user = User::new(2);
+    let mut vendor = Vendor::new(3, "kws", model, expected_enclave_measurement());
+    device.prepare(&mut user, &mut vendor).expect("prepare");
+    device.initialize(&mut vendor).expect("initialize");
+    (device, vendor)
+}
+
+fn report_amortization() {
+    let eval = paper_test_subset(1);
+    eprintln!("[virtual] phase amortization (ms/query incl. one-time phases):");
+    for &queries in &[1usize, 5, 10, 50, 100] {
+        let (mut device, _vendor) = build_device(true);
+        let clock = device.clock();
+        let start = clock.now(); // prepare+init already charged before this
+        let phases = start; // total one-time cost so far
+        for q in 0..queries {
+            let u = &eval.utterances[q % eval.len()];
+            device.classify_utterance(u).expect("query");
+        }
+        let total = clock.now();
+        eprintln!(
+            "  {queries:>4} queries: {:8.3} ms/query  (one-time phases were {:.2} ms)",
+            total.as_secs_f64() * 1e3 / queries as f64,
+            phases.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+fn report_l2_exclusion() {
+    let eval = paper_test_subset(1);
+    for (label, exclusion) in [("on (secure)", true), ("off (insecure)", false)] {
+        let (mut device, _vendor) = build_device(exclusion);
+        let clock = device.clock();
+        // Warm up, then measure 10 queries of virtual compute.
+        for _ in 0..3 {
+            device.classify_utterance(&eval.utterances[0]).expect("warmup");
+        }
+        let start = clock.now();
+        for u in eval.utterances.iter().take(10) {
+            device.classify_utterance(u).expect("query");
+        }
+        let per_query = (clock.now() - start).as_secs_f64() * 1e3 / 10.0;
+        eprintln!("[virtual] L2 exclusion {label:<15}: {per_query:8.3} ms/query");
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    report_amortization();
+    report_l2_exclusion();
+
+    let eval = paper_test_subset(1);
+    let utterance = eval.utterances[0].clone();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+
+    // Core stays resident between queries.
+    let (mut resident, _v1) = build_device(true);
+    resident.set_park_between_queries(false);
+    group.bench_function("query_core_resident", |b| {
+        b.iter(|| resident.classify_utterance(&utterance).expect("query"))
+    });
+
+    // Core parked and re-bound on every query (paper §V operation phase).
+    let (mut parked, _v2) = build_device(true);
+    parked.set_park_between_queries(true);
+    group.bench_function("query_core_parked", |b| {
+        b.iter(|| parked.classify_utterance(&utterance).expect("query"))
+    });
+
+    group.finish();
+
+    // Print the virtual-cost difference of parking (boot/shutdown events).
+    let (mut resident, _v3) = build_device(true);
+    resident.set_park_between_queries(false);
+    let clock = resident.clock();
+    let start = clock.now();
+    for _ in 0..10 {
+        resident.classify_utterance(&utterance).expect("query");
+    }
+    let resident_ms = (clock.now() - start).as_secs_f64() * 1e3 / 10.0;
+
+    let (mut parked, _v4) = build_device(true);
+    parked.set_park_between_queries(true);
+    let clock = parked.clock();
+    let start = clock.now();
+    for _ in 0..10 {
+        parked.classify_utterance(&utterance).expect("query");
+    }
+    let parked_ms = (clock.now() - start).as_secs_f64() * 1e3 / 10.0;
+    eprintln!(
+        "[virtual] per-query: core resident {resident_ms:.3} ms vs parked {parked_ms:.3} ms \
+         (parking adds core shutdown/boot + TZASC rebind)"
+    );
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Bench of the cryptographic baselines (the paper's §I motivation):
+//! Paillier ciphertext operations and Beaver-triple multiplication
+//! throughput, plus a miniature end-to-end secure inference.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use omg_baselines::inference::SecureTinyConv;
+use omg_baselines::paillier::PaillierKeyPair;
+use omg_baselines::smpc::TwoPartyEngine;
+use omg_crypto::rng::ChaChaRng;
+use omg_nn::model::{Activation, Model, Op, Padding};
+use omg_nn::quantize::QuantParams;
+use omg_nn::tensor::DType;
+
+/// A small conv→fc model for the secure-inference throughput bench.
+fn mini_model() -> Model {
+    let mut b = Model::builder();
+    let input = b.add_activation("in", vec![1, 8, 8, 1], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+    let cw = b.add_weight_i8(
+        "conv/w",
+        vec![4, 3, 3, 1],
+        (0..36).map(|i| ((i % 5) as i8) - 2).collect(),
+        QuantParams::symmetric(1.0),
+    );
+    let cb = b.add_weight_i32("conv/b", vec![4], vec![0; 4]);
+    let conv = b.add_activation("conv", vec![1, 4, 4, 4], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+    b.add_op(Op::Conv2D {
+        input, filter: cw, bias: cb, output: conv,
+        stride_h: 2, stride_w: 2, padding: Padding::Same, activation: Activation::Relu,
+    });
+    let fw = b.add_weight_i8(
+        "fc/w",
+        vec![4, 64],
+        (0..256).map(|i| ((i % 7) as i8) - 3).collect(),
+        QuantParams::symmetric(1.0),
+    );
+    let fb = b.add_weight_i32("fc/b", vec![4], vec![0; 4]);
+    let fc = b.add_activation("logits", vec![1, 4], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+    b.add_op(Op::FullyConnected { input: conv, filter: fw, bias: fb, output: fc, activation: Activation::None });
+    b.set_input(input);
+    b.set_output(fc);
+    b.build().unwrap()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+
+    // --- Paillier ciphertext operations ------------------------------------
+    let mut rng = ChaChaRng::seed_from_u64(1);
+    let keys = PaillierKeyPair::generate(&mut rng, 1024).expect("keygen");
+    let pk = keys.public_key();
+    let ct = pk.encrypt(&mut rng, 42).expect("encrypt");
+
+    group.sample_size(10);
+    group.bench_function("paillier1024_encrypt", |b| {
+        b.iter(|| pk.encrypt(&mut rng, 1234).expect("encrypt"))
+    });
+    group.bench_function("paillier1024_scalar_mul", |b| {
+        b.iter(|| pk.scalar_mul(&ct, 113).expect("scalar mul"))
+    });
+    group.bench_function("paillier1024_add", |b| {
+        b.iter(|| pk.add(&ct, &ct).expect("add"))
+    });
+    group.bench_function("paillier1024_decrypt", |b| {
+        b.iter(|| keys.decrypt(&ct).expect("decrypt"))
+    });
+
+    // --- Beaver multiplication throughput ----------------------------------
+    group.sample_size(30);
+    let mut engine = TwoPartyEngine::new(2);
+    let xs = engine.share(&vec![7i64; 1000]);
+    let ys = engine.share(&vec![-3i64; 1000]);
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("beaver_mul_1000", |b| {
+        b.iter(|| engine.mul_vec(&xs, &ys).expect("mul"))
+    });
+    group.throughput(Throughput::Elements(1));
+
+    // --- Miniature end-to-end secure inference -----------------------------
+    let model = mini_model();
+    let secure = SecureTinyConv::from_model(&model).expect("secure model");
+    let fingerprint: Vec<i8> = (0..64).map(|i| (i % 17) as i8 - 8).collect();
+    group.bench_function("secure_2pc_mini_inference", |b| {
+        b.iter(|| {
+            let mut engine = TwoPartyEngine::new(3);
+            secure.infer_secure(&mut engine, &fingerprint).expect("2pc inference")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench of the cryptographic primitives on the protocol's hot paths:
+//! measurement hashing (1 MiB enclave), model AEAD (≈54 kB package), RSA
+//! signatures (attestation), and the KDF.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use omg_crypto::aead::ChaCha20Poly1305;
+use omg_crypto::hkdf::Hkdf;
+use omg_crypto::hmac::HmacSha256;
+use omg_crypto::rng::ChaChaRng;
+use omg_crypto::rsa::RsaPrivateKey;
+use omg_crypto::sha256::Sha256;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+
+    // SHA-256 over the enclave image size (the measurement step).
+    let enclave_image = vec![0xA5u8; 1 << 20];
+    group.throughput(Throughput::Bytes(enclave_image.len() as u64));
+    group.bench_function("sha256_measure_1MiB", |b| {
+        b.iter(|| Sha256::digest(&enclave_image))
+    });
+    group.throughput(Throughput::Elements(1));
+
+    // AEAD seal/open of a model-sized package (the provisioning and
+    // initialization steps).
+    let model_blob = vec![0x42u8; 54_062];
+    let cipher = ChaCha20Poly1305::new(&[7u8; 32]);
+    group.throughput(Throughput::Bytes(model_blob.len() as u64));
+    group.bench_function("aead_seal_model_54kB", |b| {
+        b.iter(|| cipher.seal(&[0u8; 12], b"kws:v1", &model_blob))
+    });
+    let sealed = cipher.seal(&[0u8; 12], b"kws:v1", &model_blob);
+    group.bench_function("aead_open_model_54kB", |b| {
+        b.iter(|| cipher.open(&[0u8; 12], b"kws:v1", &sealed).expect("open"))
+    });
+    group.throughput(Throughput::Elements(1));
+
+    // RSA-1024 attestation signatures.
+    let mut rng = ChaChaRng::seed_from_u64(1);
+    let key = RsaPrivateKey::generate(&mut rng, 1024).expect("keygen");
+    group.sample_size(20);
+    group.bench_function("rsa1024_sign", |b| {
+        b.iter(|| key.sign(b"attestation report payload").expect("sign"))
+    });
+    let signature = key.sign(b"attestation report payload").expect("sign");
+    group.bench_function("rsa1024_verify", |b| {
+        b.iter(|| key.public_key().verify(b"attestation report payload", &signature).expect("verify"))
+    });
+
+    // K_U derivation (Fig. 2: KDF(PK, n)).
+    let pk_bytes = key.public_key().to_bytes();
+    group.bench_function("hkdf_derive_ku", |b| {
+        b.iter(|| Hkdf::derive(&[9u8; 32], &pk_bytes, b"omg-model-key", 32).expect("kdf"))
+    });
+
+    // HMAC over a fingerprint-sized message.
+    let fingerprint = vec![1u8; 2107];
+    group.bench_function("hmac_sha256_fingerprint", |b| {
+        b.iter(|| HmacSha256::mac(b"key", &fingerprint))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Bench of the audio frontend (paper §VI recipe): the q15 fixed-point FFT
+//! and the full 49×43 fingerprint extraction. These run *inside* the
+//! enclave per query, so their cost is part of the Table I runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use omg_speech::dataset::SyntheticSpeechCommands;
+use omg_speech::fft::FixedFft;
+use omg_speech::frontend::{FeatureExtractor, WINDOW_SAMPLES};
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    let data = SyntheticSpeechCommands::new(1);
+    let utterance = data.utterance(2, 0).expect("utterance");
+    let extractor = FeatureExtractor::new().expect("frontend");
+
+    // One 512-point q15 FFT (the "256 bin fixed point FFT").
+    let fft = FixedFft::new(512).expect("fft plan");
+    let signal: Vec<i16> = (0..512)
+        .map(|i| (f64::sin(i as f64 * 0.1) * 12_000.0) as i16)
+        .collect();
+    group.bench_function("fft512_q15", |b| {
+        b.iter(|| {
+            let mut re = signal.clone();
+            let mut im = vec![0i16; 512];
+            fft.forward(&mut re, &mut im).expect("fft");
+            (re, im)
+        })
+    });
+
+    // One 30 ms frame → 43 features.
+    let frame = &utterance[..WINDOW_SAMPLES];
+    group.bench_function("frame_features_43", |b| {
+        b.iter(|| extractor.frame_features(frame).expect("frame"))
+    });
+
+    // Full 1-second fingerprint (49 frames).
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("fingerprint_49x43", |b| {
+        b.iter(|| extractor.fingerprint(&utterance).expect("fingerprint"))
+    });
+
+    // Utterance synthesis (the corpus generator itself).
+    group.bench_function("synthesize_utterance", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            data.utterance(3, i).expect("synthesis")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

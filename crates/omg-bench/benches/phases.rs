@@ -1,0 +1,94 @@
+//! Bench of the three OMG protocol phases (paper Fig. 2): one-time
+//! preparation (enclave load + attestation + provisioning), one-time
+//! initialization (key release + model decryption), and the per-query
+//! operation phase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omg_bench::{cached_tiny_conv, paper_test_subset, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{OmgDevice, User, Vendor};
+use omg_sanctuary::attest::AttestationReport;
+use omg_sanctuary::identity::DevicePki;
+use omg_sanctuary::measurement::Measurement;
+
+fn report_virtual_phase_costs() {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let mut device = OmgDevice::new(1).expect("device");
+    let mut user = User::new(2);
+    let mut vendor = Vendor::new(3, "kws", model, expected_enclave_measurement());
+    let clock = device.clock();
+
+    let t0 = clock.now();
+    device.prepare(&mut user, &mut vendor).expect("prepare");
+    let t1 = clock.now();
+    device.initialize(&mut vendor).expect("initialize");
+    let t2 = clock.now();
+    let eval = paper_test_subset(1);
+    device.classify_utterance(&eval.utterances[0]).expect("query");
+    let t3 = clock.now();
+
+    eprintln!("[virtual] phase I  (preparation):    {:8.2} ms", (t1 - t0).as_secs_f64() * 1e3);
+    eprintln!("[virtual] phase II (initialization): {:8.2} ms", (t2 - t1).as_secs_f64() * 1e3);
+    eprintln!("[virtual] phase III (one query):     {:8.2} ms", (t3 - t2).as_secs_f64() * 1e3);
+}
+
+fn bench_phases(c: &mut Criterion) {
+    report_virtual_phase_costs();
+    let model = cached_tiny_conv(ModelKind::Fast);
+
+    let mut group = c.benchmark_group("phases");
+    group.sample_size(10);
+
+    // Full preparation phase on a fresh device (dominated by enclave RSA
+    // key issuance + measurement).
+    group.bench_function("phase1_prepare", |b| {
+        b.iter(|| {
+            let mut device = OmgDevice::new(1).expect("device");
+            let mut user = User::new(2);
+            let mut vendor =
+                Vendor::new(3, "kws", model.clone(), expected_enclave_measurement());
+            device.prepare(&mut user, &mut vendor).expect("prepare");
+            device
+        })
+    });
+
+    // Initialization phase alone (key unwrap + authenticated decrypt of the
+    // ~54 kB package + interpreter construction).
+    group.bench_function("phase2_initialize", |b| {
+        b.iter_batched(
+            || {
+                let mut device = OmgDevice::new(1).expect("device");
+                let mut user = User::new(2);
+                let mut vendor =
+                    Vendor::new(3, "kws", model.clone(), expected_enclave_measurement());
+                device.prepare(&mut user, &mut vendor).expect("prepare");
+                (device, vendor)
+            },
+            |(mut device, mut vendor)| {
+                device.initialize(&mut vendor).expect("initialize");
+                device
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+
+    // Attestation report generation + verification (the crypto inside
+    // steps 1-2).
+    let mut rng = omg_crypto::rng::ChaChaRng::seed_from_u64(7);
+    let pki = DevicePki::new(&mut rng).expect("pki");
+    let measurement = Measurement::of(b"bench enclave");
+    let identity = pki.issue_enclave_identity(&mut rng, measurement).expect("identity");
+    group.bench_function("attestation_generate", |b| {
+        b.iter(|| AttestationReport::generate(&identity, b"challenge").expect("report"))
+    });
+    let report = AttestationReport::generate(&identity, b"challenge").expect("report");
+    group.bench_function("attestation_verify", |b| {
+        b.iter(|| report.verify(pki.platform_ca(), &measurement, b"challenge").expect("verify"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench behind **Table I**: per-utterance keyword recognition
+//! with and without OMG protection.
+//!
+//! Criterion measures host wall time of the two paths; the printed preamble
+//! reports the virtual-clock (device-model) numbers the table derives from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use omg_bench::{cached_tiny_conv, paper_test_subset, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{NativeSpotter, OmgDevice, User, Vendor};
+
+fn bench_table1(c: &mut Criterion) {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let eval = paper_test_subset(1);
+    let utterance = eval.utterances[0].clone();
+
+    // Native path.
+    let mut native = NativeSpotter::new(model.clone()).expect("native");
+    let native_clock = omg_hal::clock::SimClock::default();
+
+    // OMG path (prepared once; the bench measures the operation phase,
+    // exactly like the paper's Table I).
+    let mut device = OmgDevice::new(1).expect("device");
+    let mut user = User::new(2);
+    let mut vendor = Vendor::new(3, "kws", model, expected_enclave_measurement());
+    device.prepare(&mut user, &mut vendor).expect("prepare");
+    device.initialize(&mut vendor).expect("initialize");
+
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("native_classify_utterance", |b| {
+        b.iter(|| native.classify_utterance(&native_clock, &utterance).expect("native classify"))
+    });
+    group.bench_function("omg_classify_utterance", |b| {
+        b.iter(|| device.classify_utterance(&utterance).expect("omg classify"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

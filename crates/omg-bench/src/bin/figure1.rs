@@ -1,0 +1,31 @@
+//! Regenerates the paper's **Fig. 1** ("ARM TrustZone architecture
+//! overview") — not as a static diagram but as a rendering of the *live*
+//! state of the simulated platform while an OMG enclave is resident.
+//!
+//! Usage: `cargo run --release -p omg-bench --bin figure1`
+
+use omg_bench::{cached_tiny_conv, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{OmgDevice, User, Vendor};
+use omg_hal::render::render_platform;
+
+fn main() {
+    println!("== OMG reproduction: Figure 1 ==\n");
+
+    // Before: a plain TrustZone platform.
+    let plain = omg_hal::Platform::hikey960();
+    println!("--- platform at power-on ---\n");
+    println!("{}", render_platform(&plain));
+
+    // After: the OMG enclave is prepared and initialized.
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let mut device = OmgDevice::new(1).expect("device");
+    let mut user = User::new(2);
+    let mut vendor =
+        Vendor::new(3, "kws-tiny-conv", model, expected_enclave_measurement());
+    device.prepare(&mut user, &mut vendor).expect("prepare");
+    device.initialize(&mut vendor).expect("initialize");
+
+    println!("--- platform with the OMG enclave resident ---\n");
+    println!("{}", render_platform(device.platform()));
+}

@@ -1,0 +1,36 @@
+//! Regenerates the paper's **Fig. 2** ("OMG overview"): the numbered
+//! protocol steps ①–⑧ across the preparation, initialization and operation
+//! phases, rendered from an actual protocol execution.
+//!
+//! Usage: `cargo run --release -p omg-bench --bin figure2`
+
+use omg_bench::{cached_tiny_conv, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{OmgDevice, User, Vendor};
+use omg_speech::dataset::SyntheticSpeechCommands;
+
+fn main() {
+    println!("== OMG reproduction: Figure 2 ==\n");
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let mut device = OmgDevice::new(1).expect("device");
+    let mut user = User::new(2);
+    let mut vendor =
+        Vendor::new(3, "kws-tiny-conv", model, expected_enclave_measurement());
+
+    device.prepare(&mut user, &mut vendor).expect("prepare");
+    device.initialize(&mut vendor).expect("initialize");
+
+    // One voice query through the secure microphone (steps 7-8).
+    let dataset = SyntheticSpeechCommands::new(9);
+    let samples = dataset.utterance(2, 0).expect("utterance"); // "yes"
+    device.platform_mut().microphone_mut().push_recording(&samples);
+    let t = device.process_from_microphone(&mut user).expect("query");
+
+    println!("{}", device.trace().render_figure2());
+    println!("transcription delivered to user: \"{}\" (p = {:.2})", t.label, t.score);
+    println!(
+        "\nvirtual time: {:.2} ms total, {} world switches",
+        device.clock().now().as_secs_f64() * 1e3,
+        device.clock().world_switch_count()
+    );
+}

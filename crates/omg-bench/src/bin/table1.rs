@@ -1,0 +1,24 @@
+//! Regenerates the paper's **Table I**: accuracy and runtime for keyword
+//! recognition with and without OMG protection, on the 100-utterance test
+//! subset (10 examples × 10 non-rejection classes).
+//!
+//! Usage: `cargo run --release -p omg-bench --bin table1 [--fast]`
+
+use omg_bench::{cached_tiny_conv, format_table1, paper_test_subset, run_table1, ModelKind};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let (kind, per_class) = if fast { (ModelKind::Fast, 3) } else { (ModelKind::Paper, 10) };
+
+    println!("== OMG reproduction: Table I ==");
+    println!("model: trained tiny_conv ({kind:?} config)");
+    let model = cached_tiny_conv(kind);
+    println!(
+        "eval:  {} utterances ({} per class, classes \"yes\"..\"go\")\n",
+        per_class * 10,
+        per_class
+    );
+    let eval = paper_test_subset(per_class);
+    let table = run_table1(&model, &eval);
+    println!("{}", format_table1(&table));
+}

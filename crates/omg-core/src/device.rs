@@ -1,0 +1,952 @@
+//! The OMG-enabled mobile device: enclave runtime + protocol orchestration.
+//!
+//! [`OmgDevice`] drives the three protocol phases of the paper's §V against
+//! the simulated platform:
+//!
+//! * **Preparation** — load and measure the OMG enclave, attest to user and
+//!   vendor (steps ①–②), receive and store the encrypted model (③–④);
+//! * **Initialization** — obtain `K_U` (⑤) and decrypt the model inside the
+//!   enclave (⑥);
+//! * **Operation** — capture audio through the secure world (⑦), run
+//!   keyword recognition in the enclave, and deliver the output (⑧).
+
+use std::time::Duration;
+
+use omg_crypto::aead::ChaCha20Poly1305;
+use omg_crypto::rng::ChaChaRng;
+use omg_crypto::rsa::RsaPublicKey;
+use omg_crypto::CryptoError;
+use omg_hal::clock::SimClock;
+use omg_hal::memory::Agent;
+use omg_hal::periph::PeriphAssignment;
+use omg_hal::Platform;
+use omg_nn::Interpreter;
+use omg_sanctuary::enclave::{sanctuary_library_image, EnclaveConfig, EnclaveState, SanctuaryEnclave};
+use omg_sanctuary::identity::DevicePki;
+use omg_sanctuary::measurement::Measurement;
+use omg_sanctuary::attest::AttestationReport;
+use omg_speech::frontend::{FeatureExtractor, UTTERANCE_SAMPLES};
+
+use crate::error::{OmgError, Result};
+use crate::storage::UntrustedStorage;
+use crate::trace::{Channel, Party, Phase, ProtocolTrace};
+use crate::user::User;
+use crate::vendor::{ModelPackage, Vendor};
+
+/// Enclave memory size used by the OMG runtime (1 MiB: model + arena +
+/// fingerprints fit comfortably).
+pub const ENCLAVE_MEMORY_BYTES: u64 = 1 << 20;
+
+/// Produces the (simulated) OMG enclave runtime image — the open-source SA
+/// binary the paper describes ("the enclave code can be open source, since
+/// it does not contain any vendor secrets", §V).
+pub fn omg_enclave_image() -> Vec<u8> {
+    const IMAGE_SIZE: usize = 8192;
+    let banner = b"OFFLINE-MODEL-GUARD runtime v1.0 | tflm-interpreter + q15-frontend | ";
+    let mut image = Vec::with_capacity(IMAGE_SIZE);
+    while image.len() < IMAGE_SIZE {
+        let take = banner.len().min(IMAGE_SIZE - image.len());
+        image.extend_from_slice(&banner[..take]);
+    }
+    image
+}
+
+/// The measurement of the published OMG runtime (what vendors and users
+/// pin): SL + SA image zero-padded to the enclave memory size.
+pub fn expected_enclave_measurement() -> Measurement {
+    let mut image = sanctuary_library_image();
+    image.extend_from_slice(&omg_enclave_image());
+    image.resize(ENCLAVE_MEMORY_BYTES as usize, 0);
+    Measurement::of(&image)
+}
+
+/// Protocol phase of a device (paper Fig. 2 left margin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevicePhase {
+    /// Nothing loaded yet.
+    Fresh,
+    /// Enclave attested, encrypted model stored locally.
+    Prepared,
+    /// Model decrypted inside the enclave; ready for queries.
+    Initialized,
+}
+
+impl DevicePhase {
+    fn name(self) -> &'static str {
+        match self {
+            DevicePhase::Fresh => "fresh",
+            DevicePhase::Prepared => "prepared",
+            DevicePhase::Initialized => "initialized",
+        }
+    }
+}
+
+/// The result of one keyword-recognition query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transcription {
+    /// Predicted label (e.g. `"yes"`).
+    pub label: String,
+    /// Class index in the model's label table.
+    pub class_index: usize,
+    /// Softmax score of the prediction.
+    pub score: f32,
+    /// Virtual time spent on enclave compute for this query.
+    pub compute: Duration,
+}
+
+/// An OMG-protected mobile device.
+///
+/// See the crate-level docs for a complete protocol walkthrough.
+#[derive(Debug)]
+pub struct OmgDevice {
+    platform: Platform,
+    pki: DevicePki,
+    rng: ChaChaRng,
+    enclave: Option<SanctuaryEnclave>,
+    interpreter: Option<Interpreter>,
+    extractor: FeatureExtractor,
+    storage: UntrustedStorage,
+    trace: ProtocolTrace,
+    phase: DevicePhase,
+    model_id: Option<String>,
+    model_version: u32,
+    park_between_queries: bool,
+}
+
+impl OmgDevice {
+    /// Creates a device on a fresh HiKey 960 platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    pub fn new(seed: u64) -> Result<Self> {
+        Self::with_platform(Platform::hikey960(), seed)
+    }
+
+    /// Creates a device on a caller-supplied platform (ablation benches use
+    /// this to toggle the L2-exclusion knob).
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    pub fn with_platform(platform: Platform, seed: u64) -> Result<Self> {
+        let mut rng = ChaChaRng::seed_from_u64(seed ^ 0x4445_5643); // "DEVC"
+        let pki = DevicePki::new(&mut rng)?;
+        Ok(OmgDevice {
+            platform,
+            pki,
+            rng,
+            enclave: None,
+            interpreter: None,
+            extractor: FeatureExtractor::new()?,
+            storage: UntrustedStorage::new(),
+            trace: ProtocolTrace::new(),
+            phase: DevicePhase::Fresh,
+            model_id: None,
+            model_version: 0,
+            park_between_queries: false,
+        })
+    }
+
+    /// The device manufacturer's CA key (users and vendors pin this).
+    pub fn platform_ca(&self) -> &RsaPublicKey {
+        self.pki.platform_ca()
+    }
+
+    /// Current protocol phase.
+    pub fn phase(&self) -> DevicePhase {
+        self.phase
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> SimClock {
+        self.platform.clock()
+    }
+
+    /// The recorded protocol trace (renders the paper's Fig. 2).
+    pub fn trace(&self) -> &ProtocolTrace {
+        &self.trace
+    }
+
+    /// The underlying platform (read-only).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// **Attacker/test API**: full platform access (the adversary controls
+    /// the normal world, paper §IV).
+    pub fn platform_mut(&mut self) -> &mut Platform {
+        &mut self.platform
+    }
+
+    /// Untrusted storage (read-only).
+    pub fn storage(&self) -> &UntrustedStorage {
+        &self.storage
+    }
+
+    /// **Attacker/test API**: mutable storage access.
+    pub fn storage_mut(&mut self) -> &mut UntrustedStorage {
+        &mut self.storage
+    }
+
+    /// The enclave, once loaded.
+    pub fn enclave(&self) -> Option<&SanctuaryEnclave> {
+        self.enclave.as_ref()
+    }
+
+    /// The enclave's public key, once booted.
+    ///
+    /// # Errors
+    ///
+    /// [`OmgError::PhaseViolation`] before preparation.
+    pub fn enclave_public_key(&self) -> Result<&RsaPublicKey> {
+        let enclave = self.enclave.as_ref().ok_or(OmgError::PhaseViolation {
+            operation: "read enclave key",
+            phase: self.phase.name(),
+        })?;
+        Ok(enclave.identity()?.public_key())
+    }
+
+    /// Enables parking the enclave core between queries (paper §V: "the
+    /// SANCTUARY core can be reallocated to the commodity OS while the
+    /// memory is still locked").
+    pub fn set_park_between_queries(&mut self, park: bool) {
+        self.park_between_queries = park;
+    }
+
+    /// **Phase I — Preparation** (steps ①–④) with the genuine OMG runtime.
+    ///
+    /// # Errors
+    ///
+    /// Attestation and provisioning failures; phase violations.
+    pub fn prepare(&mut self, user: &mut User, vendor: &mut Vendor) -> Result<()> {
+        self.prepare_with_image(user, vendor, omg_enclave_image())
+    }
+
+    /// Preparation with a caller-supplied enclave image — the hook tests
+    /// use to simulate a *tampered* runtime (which must then fail
+    /// attestation at the vendor).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::prepare`].
+    pub fn prepare_with_image(
+        &mut self,
+        user: &mut User,
+        vendor: &mut Vendor,
+        image: Vec<u8>,
+    ) -> Result<()> {
+        if self.phase != DevicePhase::Fresh {
+            return Err(OmgError::PhaseViolation { operation: "prepare", phase: self.phase.name() });
+        }
+
+        // Claim the microphone for the secure world before any audio flows.
+        self.platform
+            .assign_microphone(Agent::TrustedFirmware, PeriphAssignment::SecureWorld)?;
+        self.trace.record(
+            0,
+            Phase::Preparation,
+            Party::SecureWorld,
+            Party::SecureWorld,
+            Channel::Internal,
+            "TZPC: microphone assigned to secure world",
+        );
+
+        // Enclave setup + boot (SANCTUARY life cycle steps 1–2).
+        let mut config = EnclaveConfig::new("omg-enclave", image);
+        config.memory_size = ENCLAVE_MEMORY_BYTES;
+        let mut enclave = SanctuaryEnclave::setup(&mut self.platform, config)?;
+        enclave.boot(&mut self.platform, &self.pki, &mut self.rng)?;
+        self.trace.record(
+            0,
+            Phase::Preparation,
+            Party::Enclave,
+            Party::Enclave,
+            Channel::Internal,
+            format!("enclave loaded + measured ({})", enclave.measurement()?),
+        );
+
+        // Step ①: attest to the user over the trusted display.
+        let user_challenge = user.new_challenge();
+        let report_u = AttestationReport::generate(enclave.identity()?, &user_challenge)?;
+        user.verify_attestation(self.pki.platform_ca(), vendor.expected_measurement(), &report_u)?;
+        self.platform.display_show(
+            Agent::TrustedFirmware,
+            &format!("OMG enclave attested: {}", enclave.measurement()?),
+        )?;
+        self.trace.record(
+            1,
+            Phase::Preparation,
+            Party::Enclave,
+            Party::User,
+            Channel::Trusted,
+            "attest(M, SK), PK  [secure output]",
+        );
+
+        // Step ②: attest to the vendor over the network.
+        let vendor_challenge = vendor.new_challenge();
+        let report_v = AttestationReport::generate(enclave.identity()?, &vendor_challenge)?;
+        self.trace.record(
+            2,
+            Phase::Preparation,
+            Party::Enclave,
+            Party::Vendor,
+            Channel::Trusted,
+            "attest(M, SK), PK  [TLS]",
+        );
+
+        // Step ③: vendor verifies and provisions the encrypted model.
+        let package = vendor.provision(self.pki.platform_ca(), &report_v)?;
+        self.trace.record(
+            3,
+            Phase::Preparation,
+            Party::Vendor,
+            Party::Enclave,
+            Channel::Trusted,
+            format!("Enc(model, K_U)  [v{}, {} bytes]", package.version, package.ciphertext.len()),
+        );
+
+        // Step ④: store the ciphertext in untrusted local storage.
+        self.model_id = Some(package.model_id.clone());
+        self.model_version = package.version;
+        let size = package.ciphertext.len();
+        self.storage.store(package);
+        self.trace.record(
+            4,
+            Phase::Preparation,
+            Party::Enclave,
+            Party::Storage,
+            Channel::Untrusted,
+            format!("store model_KU ({size} bytes ciphertext)"),
+        );
+
+        self.enclave = Some(enclave);
+        self.phase = DevicePhase::Prepared;
+        Ok(())
+    }
+
+    /// **Phase II — Initialization** (steps ⑤–⑥): obtains `K_U` from the
+    /// vendor and decrypts the locally stored model inside the enclave.
+    ///
+    /// # Errors
+    ///
+    /// [`OmgError::LicenseDenied`] if the vendor withholds the key,
+    /// [`OmgError::RollbackDetected`] if the stored package does not
+    /// authenticate under the released key, [`OmgError::ModelMissing`] if
+    /// storage is empty.
+    pub fn initialize(&mut self, vendor: &mut Vendor) -> Result<()> {
+        if self.phase != DevicePhase::Prepared {
+            return Err(OmgError::PhaseViolation { operation: "initialize", phase: self.phase.name() });
+        }
+        let enclave = self.enclave.as_ref().expect("prepared device has an enclave");
+
+        // Step ⑤: the vendor decides whether to release K_U.
+        let release = vendor.release_key(enclave.identity()?.public_key())?;
+        self.trace.record(
+            5,
+            Phase::Initialization,
+            Party::Vendor,
+            Party::Enclave,
+            Channel::Trusted,
+            format!("K_U  [wrapped under PK, v{}]", release.version),
+        );
+
+        // Step ⑥: decrypt + load the model inside the enclave.
+        let model_id = self.model_id.clone().ok_or(OmgError::ModelMissing)?;
+        let package: ModelPackage =
+            self.storage.load(&model_id).ok_or(OmgError::ModelMissing)?.clone();
+        let keypair = enclave.identity()?.keypair().clone();
+
+        let (result, _) = enclave.run_compute(&mut self.platform, move || -> Result<Vec<u8>> {
+            let ku_bytes = keypair.decrypt(&release.wrapped_key)?;
+            let ku: [u8; 32] = ku_bytes
+                .try_into()
+                .map_err(|_| OmgError::Crypto(CryptoError::InvalidKey("K_U must be 32 bytes")))?;
+            let cipher = ChaCha20Poly1305::new(&ku);
+            // Authenticated decryption under the *released* version: a
+            // rolled-back or tampered package fails here.
+            cipher
+                .open(
+                    &[0u8; 12],
+                    &ModelPackage::aad(&model_id, release.version),
+                    &package.ciphertext,
+                )
+                .map_err(|_| OmgError::RollbackDetected)
+        })?;
+        let model_bytes = result?;
+
+        // The decrypted model lives only in TZASC-locked enclave memory.
+        let enclave = self.enclave.as_ref().expect("enclave present");
+        enclave.heap_write(&mut self.platform, 0, &model_bytes)?;
+        let model = omg_nn::format::deserialize(&model_bytes)?;
+        let (interp, _) = enclave.run_compute(&mut self.platform, move || Interpreter::new(model))?;
+        self.interpreter = Some(interp?);
+
+        self.trace.record(
+            6,
+            Phase::Initialization,
+            Party::Enclave,
+            Party::Enclave,
+            Channel::Internal,
+            "Dec → model loaded into TZASC-locked memory",
+        );
+        self.phase = DevicePhase::Initialized;
+        Ok(())
+    }
+
+    fn ensure_running(&mut self) -> Result<()> {
+        if self.phase != DevicePhase::Initialized {
+            return Err(OmgError::PhaseViolation {
+                operation: "process query",
+                phase: self.phase.name(),
+            });
+        }
+        let enclave = self.enclave.as_mut().expect("initialized device has an enclave");
+        if enclave.state() == EnclaveState::Parked {
+            enclave.resume(&mut self.platform)?;
+        }
+        Ok(())
+    }
+
+    fn finish_query(&mut self) -> Result<()> {
+        if self.park_between_queries {
+            let enclave = self.enclave.as_mut().expect("enclave present");
+            enclave.park(&mut self.platform)?;
+        }
+        Ok(())
+    }
+
+    /// **Phase III — Operation** via the secure microphone path (steps
+    /// ⑦–⑧): captures one second of audio through the secure world, runs
+    /// the frontend + model in the enclave, and returns the transcription.
+    ///
+    /// # Errors
+    ///
+    /// Phase violations, peripheral errors, inference errors.
+    pub fn process_from_microphone(&mut self, user: &mut User) -> Result<Transcription> {
+        self.ensure_running()?;
+        let enclave = self.enclave.as_ref().expect("enclave present");
+        let samples = enclave.secure_mic_read(&mut self.platform, UTTERANCE_SAMPLES)?;
+        self.trace.record(
+            7,
+            Phase::Operation,
+            Party::User,
+            Party::Enclave,
+            Channel::Trusted,
+            format!("voice input ({} samples via secure world)", samples.len()),
+        );
+        let t = self.classify_in_enclave(&samples)?;
+        user.receive_output(&t.label);
+        self.trace.record(
+            8,
+            Phase::Operation,
+            Party::Enclave,
+            Party::User,
+            Channel::Trusted,
+            format!("output: \"{}\" (p={:.2})", t.label, t.score),
+        );
+        self.finish_query()?;
+        Ok(t)
+    }
+
+    /// Operation-phase inference on caller-supplied samples, *excluding*
+    /// input collection — the measurement configuration of the paper's
+    /// Table I ("the runtime measurements do not include the overhead for
+    /// collecting the input data").
+    ///
+    /// # Errors
+    ///
+    /// Phase violations and inference errors.
+    pub fn classify_utterance(&mut self, samples: &[i16]) -> Result<Transcription> {
+        self.ensure_running()?;
+        let t = self.classify_in_enclave(samples)?;
+        self.finish_query()?;
+        Ok(t)
+    }
+
+    fn classify_in_enclave(&mut self, samples: &[i16]) -> Result<Transcription> {
+        let enclave = self.enclave.as_ref().expect("enclave present");
+        let interpreter = self.interpreter.as_mut().ok_or(OmgError::ModelMissing)?;
+        let extractor = &self.extractor;
+        let samples = samples.to_vec();
+        let (result, compute) =
+            enclave.run_compute(&mut self.platform, move || -> Result<(usize, f32, Vec<i8>)> {
+                let fingerprint = extractor.fingerprint(&samples)?;
+                let (idx, score) = interpreter.classify(&fingerprint)?;
+                Ok((idx, score, fingerprint))
+            })?;
+        let (class_index, score, _fp) = result?;
+        let label = self
+            .interpreter
+            .as_ref()
+            .expect("interpreter present")
+            .model()
+            .labels()
+            .get(class_index)
+            .cloned()
+            .unwrap_or_else(|| format!("class-{class_index}"));
+        Ok(Transcription { label, class_index, score, compute })
+    }
+
+    /// Computes an utterance embedding *inside the enclave* by tapping the
+    /// first convolution's activations and average-pooling over time — the
+    /// building block for the speaker-verification extension the paper
+    /// sketches in §VI. Like transcriptions, embeddings are a deliberate
+    /// output of the protected computation.
+    ///
+    /// # Errors
+    ///
+    /// Phase violations; [`OmgError::Nn`] if the model has no convolution.
+    pub fn embed_utterance(&mut self, samples: &[i16]) -> Result<Vec<f32>> {
+        self.ensure_running()?;
+        let enclave = self.enclave.as_ref().expect("enclave present");
+        let interpreter = self.interpreter.as_mut().ok_or(OmgError::ModelMissing)?;
+
+        // Locate the first convolution output and its geometry/quantization.
+        let model = interpreter.model();
+        let conv = model
+            .ops()
+            .iter()
+            .find_map(|op| match *op {
+                omg_nn::model::Op::Conv2D { output, .. }
+                | omg_nn::model::Op::DepthwiseConv2D { output, .. } => Some(output),
+                _ => None,
+            })
+            .ok_or(OmgError::Nn(omg_nn::NnError::MalformedModel(
+                "model has no convolution to embed from",
+            )))?;
+        let info = model.tensor(conv)?;
+        let quant = info.quant().ok_or(OmgError::Nn(omg_nn::NnError::MissingQuantization {
+            tensor: info.name().to_owned(),
+        }))?;
+        let shape: Vec<usize> = info.shape().to_vec();
+
+        let extractor = &self.extractor;
+        let samples = samples.to_vec();
+        let (result, _) =
+            enclave.run_compute(&mut self.platform, move || -> Result<Vec<i8>> {
+                let fingerprint = extractor.fingerprint(&samples)?;
+                let taps = interpreter.invoke_with_taps(&fingerprint, &[conv])?;
+                Ok(taps.into_iter().next().expect("one tap requested"))
+            })?;
+        let activations = result?;
+
+        // Pool over the time axis (NHWC: axis 1), dequantize, L2-normalize.
+        let (h, w, c) = (shape[1], shape[2], shape[3]);
+        let mut pooled = vec![0f32; w * c];
+        for y in 0..h {
+            for x in 0..w {
+                for ch in 0..c {
+                    pooled[x * c + ch] += quant.dequantize(activations[(y * w + x) * c + ch]);
+                }
+            }
+        }
+        let norm = pooled.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-9);
+        pooled.iter_mut().for_each(|v| *v /= norm);
+        Ok(pooled)
+    }
+
+    /// Re-provisions after a vendor model update: re-attests to the vendor,
+    /// receives the new encrypted package, and replaces the stored one
+    /// (the "until the vendor's model is updated" path of Fig. 2). The
+    /// device drops back to the prepared phase until the new key is
+    /// released.
+    ///
+    /// # Errors
+    ///
+    /// Attestation/provisioning failures; phase violations when fresh.
+    pub fn update_model(&mut self, vendor: &mut Vendor) -> Result<()> {
+        if self.phase == DevicePhase::Fresh {
+            return Err(OmgError::PhaseViolation { operation: "update model", phase: self.phase.name() });
+        }
+        let enclave = self.enclave.as_mut().expect("non-fresh device has an enclave");
+        if enclave.state() == EnclaveState::Parked {
+            enclave.resume(&mut self.platform)?;
+        }
+        let enclave = self.enclave.as_ref().expect("enclave present");
+        let challenge = vendor.new_challenge();
+        let report = AttestationReport::generate(enclave.identity()?, &challenge)?;
+        let package = vendor.provision(self.pki.platform_ca(), &report)?;
+        self.trace.record(
+            3,
+            Phase::Preparation,
+            Party::Vendor,
+            Party::Enclave,
+            Channel::Trusted,
+            format!("Enc(model, K_U)  [update to v{}]", package.version),
+        );
+        self.model_id = Some(package.model_id.clone());
+        self.model_version = package.version;
+        self.storage.store(package);
+        self.interpreter = None;
+        self.phase = DevicePhase::Prepared;
+        Ok(())
+    }
+
+    /// The version of the currently stored model package.
+    pub fn model_version(&self) -> u32 {
+        self.model_version
+    }
+
+    /// Tears the enclave down (scrub + release), returning the device to
+    /// the fresh phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates teardown failures.
+    pub fn teardown(&mut self) -> Result<()> {
+        if let Some(mut enclave) = self.enclave.take() {
+            enclave.teardown(&mut self.platform)?;
+        }
+        self.interpreter = None;
+        self.phase = DevicePhase::Fresh;
+        self.model_id = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_hal::cpu::CoreId;
+    use omg_hal::HalError;
+    use omg_nn::model::{Activation, Model, Op};
+    use omg_nn::quantize::QuantParams;
+    use omg_nn::tensor::DType;
+    use omg_speech::frontend::FINGERPRINT_LEN;
+
+    /// A small FC model over the fingerprint so protocol tests stay fast.
+    fn test_model(bias_step: i32) -> Model {
+        let mut b = Model::builder();
+        let input = b.add_activation(
+            "in",
+            vec![1, FINGERPRINT_LEN],
+            DType::I8,
+            Some(QuantParams { scale: 1.0 / 255.0, zero_point: -128 }),
+        );
+        let w = b.add_weight_i8(
+            "w",
+            vec![12, FINGERPRINT_LEN],
+            vec![1i8; 12 * FINGERPRINT_LEN],
+            QuantParams::symmetric(0.01),
+        );
+        let bias = b.add_weight_i32("b", vec![12], (0..12).map(|i| i * bias_step).collect());
+        let out = b.add_activation(
+            "logits",
+            vec![1, 12],
+            DType::I8,
+            Some(QuantParams { scale: 0.5, zero_point: 0 }),
+        );
+        b.add_op(Op::FullyConnected {
+            input, filter: w, bias, output: out, activation: Activation::None,
+        });
+        b.set_input(input);
+        b.set_output(out);
+        b.set_labels(omg_speech::dataset::LABELS);
+        b.build().unwrap()
+    }
+
+    fn parties() -> (OmgDevice, User, Vendor) {
+        let device = OmgDevice::new(100).unwrap();
+        let user = User::new(101);
+        let vendor = Vendor::new(102, "kws", test_model(100), expected_enclave_measurement());
+        (device, user, vendor)
+    }
+
+    #[test]
+    fn full_protocol_happy_path() {
+        let (mut device, mut user, mut vendor) = parties();
+        assert_eq!(device.phase(), DevicePhase::Fresh);
+
+        device.prepare(&mut user, &mut vendor).unwrap();
+        assert_eq!(device.phase(), DevicePhase::Prepared);
+        // The user saw the attestation confirmation on the trusted display.
+        assert!(device
+            .platform()
+            .display_messages()
+            .iter()
+            .any(|m| m.contains("attested")));
+
+        device.initialize(&mut vendor).unwrap();
+        assert_eq!(device.phase(), DevicePhase::Initialized);
+
+        // Query through the secure microphone.
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(5);
+        let samples = data.utterance(2, 0).unwrap();
+        device.platform_mut().microphone_mut().push_recording(&samples);
+        let t = device.process_from_microphone(&mut user).unwrap();
+        assert!(t.class_index < 12);
+        assert_eq!(user.transcriptions().len(), 1);
+        assert_eq!(user.transcriptions()[0], t.label);
+
+        // Trace covers all eight numbered steps.
+        let numbers: Vec<u8> =
+            device.trace().steps().iter().map(|s| s.number).filter(|&n| n > 0).collect();
+        for step in 1..=8u8 {
+            assert!(numbers.contains(&step), "missing step {step} in {numbers:?}");
+        }
+        let fig = device.trace().render_figure2();
+        assert!(fig.contains("Enc(model, K_U)"));
+    }
+
+    #[test]
+    fn phase_order_is_enforced() {
+        let (mut device, mut user, mut vendor) = parties();
+        assert!(matches!(
+            device.initialize(&mut vendor),
+            Err(OmgError::PhaseViolation { .. })
+        ));
+        assert!(matches!(
+            device.classify_utterance(&[0i16; 16_000]),
+            Err(OmgError::PhaseViolation { .. })
+        ));
+        device.prepare(&mut user, &mut vendor).unwrap();
+        assert!(matches!(
+            device.prepare(&mut user, &mut vendor),
+            Err(OmgError::PhaseViolation { .. })
+        ));
+        // Operation before initialization.
+        assert!(matches!(
+            device.classify_utterance(&[0i16; 16_000]),
+            Err(OmgError::PhaseViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_runtime_fails_vendor_attestation() {
+        let (mut device, mut user, mut vendor) = parties();
+        let mut evil = omg_enclave_image();
+        evil[100] ^= 0x01; // one flipped bit in the runtime
+        let err = device.prepare_with_image(&mut user, &mut vendor, evil).unwrap_err();
+        assert!(matches!(err, OmgError::Sanctuary(_)), "got {err:?}");
+        assert_eq!(device.phase(), DevicePhase::Fresh);
+    }
+
+    #[test]
+    fn revoked_license_blocks_initialization() {
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        let pk = device.enclave_public_key().unwrap().clone();
+        vendor.revoke_license(&pk).unwrap();
+        assert!(matches!(
+            device.initialize(&mut vendor),
+            Err(OmgError::LicenseDenied { .. })
+        ));
+        // Reinstating recovers.
+        vendor.reinstate_license(&pk).unwrap();
+        device.initialize(&mut vendor).unwrap();
+    }
+
+    #[test]
+    fn rollback_attack_is_detected() {
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        let old_package = device.storage().load("kws").unwrap().clone();
+        assert_eq!(old_package.version, 1);
+
+        // Vendor ships v2; the device re-provisions.
+        vendor.update_model(test_model(200));
+        device.update_model(&mut vendor).unwrap();
+        assert_eq!(device.model_version(), 2);
+
+        // The attacker swaps the stored v2 package back to v1.
+        device.storage_mut().store(old_package);
+        assert!(matches!(
+            device.initialize(&mut vendor),
+            Err(OmgError::RollbackDetected)
+        ));
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_detected() {
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.storage_mut().tamper("kws").unwrap().ciphertext[42] ^= 0x80;
+        assert!(matches!(
+            device.initialize(&mut vendor),
+            Err(OmgError::RollbackDetected)
+        ));
+    }
+
+    #[test]
+    fn storage_holds_only_ciphertext() {
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        let plaintext = omg_nn::format::serialize(vendor.model());
+        let attacker_view = device.storage().attacker_view();
+        // No 16-byte window of the plaintext model appears in storage.
+        assert!(!attacker_view
+            .windows(16)
+            .any(|w| plaintext.windows(16).any(|p| p == w)));
+    }
+
+    #[test]
+    fn enclave_memory_unreadable_after_initialization() {
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        let region = device.enclave().unwrap().region();
+        let heap_base = device.enclave().unwrap().heap_base();
+        let mut buf = [0u8; 64];
+        // The commodity OS tries to read the decrypted model: TZASC fault.
+        let attempt = device.platform_mut().read_at(
+            Agent::NormalWorld { core: CoreId(0) },
+            region,
+            heap_base,
+            &mut buf,
+        );
+        assert!(matches!(attempt, Err(HalError::AccessFault { .. })));
+        // But the model *is* there (firmware view), proving the secret
+        // lives in locked memory rather than nowhere.
+        let contents = device.platform().read_region_trusted(region).unwrap();
+        let plaintext = omg_nn::format::serialize(vendor.model());
+        let heap = &contents[heap_base as usize..heap_base as usize + plaintext.len()];
+        assert_eq!(heap, plaintext.as_slice());
+    }
+
+    #[test]
+    fn park_between_queries_round_trip() {
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        device.set_park_between_queries(true);
+
+        let samples = vec![800i16; 16_000];
+        let t1 = device.classify_utterance(&samples).unwrap();
+        // Between queries the enclave is parked: its core serves the OS.
+        assert_eq!(device.enclave().unwrap().state(), EnclaveState::Parked);
+        let t2 = device.classify_utterance(&samples).unwrap();
+        assert_eq!(t1.class_index, t2.class_index);
+    }
+
+    #[test]
+    fn mic_query_costs_two_world_switches() {
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        let clock = device.clock();
+        let before = clock.world_switch_count();
+        device
+            .platform_mut()
+            .microphone_mut()
+            .push_recording(&vec![100i16; 16_000]);
+        device.process_from_microphone(&mut user).unwrap();
+        assert_eq!(clock.world_switch_count() - before, 2);
+    }
+
+    #[test]
+    fn teardown_returns_to_fresh_and_scrubs() {
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        let region = device.enclave().unwrap().region();
+        device.teardown().unwrap();
+        assert_eq!(device.phase(), DevicePhase::Fresh);
+        // Region handle is stale: memory was released (and scrubbed first).
+        assert!(device.platform().read_region_trusted(region).is_err());
+    }
+
+    /// A small conv→fc model over the fingerprint for embedding tests.
+    fn conv_test_model() -> Model {
+        use omg_nn::model::Padding;
+        let mut b = Model::builder();
+        let input = b.add_activation(
+            "in",
+            vec![1, 49, 43, 1],
+            DType::I8,
+            Some(QuantParams { scale: 1.0 / 255.0, zero_point: -128 }),
+        );
+        let cw = b.add_weight_i8(
+            "conv/w",
+            vec![2, 10, 8, 1],
+            (0..160).map(|i| ((i % 9) as i8) - 4).collect(),
+            QuantParams::symmetric(0.02),
+        );
+        let cb = b.add_weight_i32("conv/b", vec![2], vec![10, -10]);
+        let conv = b.add_activation(
+            "conv",
+            vec![1, 25, 22, 2],
+            DType::I8,
+            Some(QuantParams { scale: 0.05, zero_point: -20 }),
+        );
+        b.add_op(Op::Conv2D {
+            input, filter: cw, bias: cb, output: conv,
+            stride_h: 2, stride_w: 2,
+            padding: Padding::Same, activation: Activation::Relu,
+        });
+        let fw = b.add_weight_i8(
+            "fc/w",
+            vec![12, 1100],
+            vec![1i8; 12 * 1100],
+            QuantParams::symmetric(0.01),
+        );
+        let fb = b.add_weight_i32("fc/b", vec![12], (0..12).collect());
+        let out = b.add_activation(
+            "logits",
+            vec![1, 12],
+            DType::I8,
+            Some(QuantParams { scale: 0.5, zero_point: 0 }),
+        );
+        b.add_op(Op::FullyConnected {
+            input: conv, filter: fw, bias: fb, output: out, activation: Activation::None,
+        });
+        b.set_input(input);
+        b.set_output(out);
+        b.set_labels(omg_speech::dataset::LABELS);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn embedding_api_returns_normalized_vectors() {
+        let mut device = OmgDevice::new(100).unwrap();
+        let mut user = User::new(101);
+        let mut vendor =
+            Vendor::new(102, "kws", conv_test_model(), expected_enclave_measurement());
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(8);
+        let a = device.embed_utterance(&data.utterance(2, 0).unwrap()).unwrap();
+        // width(22) × channels(2) after time pooling.
+        assert_eq!(a.len(), 44);
+        let norm: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4, "norm {norm}");
+        // Deterministic.
+        let a2 = device.embed_utterance(&data.utterance(2, 0).unwrap()).unwrap();
+        assert_eq!(a, a2);
+        // Different audio gives a different embedding.
+        let b = device.embed_utterance(&data.utterance(5, 3).unwrap()).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn embedding_requires_a_convolution() {
+        let (mut device, mut user, mut vendor) = parties(); // FC-only model
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        assert!(matches!(
+            device.embed_utterance(&[0i16; 16_000]),
+            Err(OmgError::Nn(_))
+        ));
+    }
+
+    #[test]
+    fn omg_and_native_agree_exactly() {
+        // The accuracy half of Table I: protection must not change a single
+        // prediction.
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        let mut native = crate::native::NativeSpotter::new(vendor.model().clone()).unwrap();
+        let clock = SimClock::default();
+
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(33);
+        for class in 0..4 {
+            let samples = data.utterance(class, 0).unwrap();
+            let protected = device.classify_utterance(&samples).unwrap();
+            let unprotected = native.classify_utterance(&clock, &samples).unwrap();
+            assert_eq!(protected.class_index, unprotected.class_index);
+            assert_eq!(protected.label, unprotected.label);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Error types for the OMG protocol.
+
+use std::error::Error;
+use std::fmt;
+
+use omg_crypto::CryptoError;
+use omg_hal::HalError;
+use omg_nn::NnError;
+use omg_sanctuary::SanctuaryError;
+use omg_speech::SpeechError;
+
+/// Errors raised by the OMG protocol layers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OmgError {
+    /// Platform-level failure (TZASC fault, core unavailable, ...).
+    Hal(HalError),
+    /// Enclave-architecture failure (attestation, life cycle, ...).
+    Sanctuary(SanctuaryError),
+    /// Cryptographic failure.
+    Crypto(CryptoError),
+    /// Model parsing/inference failure.
+    Nn(NnError),
+    /// Audio frontend failure.
+    Speech(SpeechError),
+    /// The vendor refused to release the model key (expired/revoked
+    /// license, unknown device).
+    LicenseDenied {
+        /// Why the vendor refused.
+        reason: &'static str,
+    },
+    /// The locally stored model could not be decrypted with the released
+    /// key — the signature of a rollback or tampering attack.
+    RollbackDetected,
+    /// A protocol phase was invoked out of order.
+    PhaseViolation {
+        /// The operation that was attempted.
+        operation: &'static str,
+        /// The phase the deployment is actually in.
+        phase: &'static str,
+    },
+    /// No encrypted model is present in local storage.
+    ModelMissing,
+    /// The vendor has no record of the requesting enclave.
+    UnknownEnclave,
+}
+
+impl fmt::Display for OmgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmgError::Hal(e) => write!(f, "platform error: {e}"),
+            OmgError::Sanctuary(e) => write!(f, "sanctuary error: {e}"),
+            OmgError::Crypto(e) => write!(f, "crypto error: {e}"),
+            OmgError::Nn(e) => write!(f, "model error: {e}"),
+            OmgError::Speech(e) => write!(f, "speech error: {e}"),
+            OmgError::LicenseDenied { reason } => write!(f, "license denied: {reason}"),
+            OmgError::RollbackDetected => {
+                write!(f, "stored model failed authenticated decryption (rollback or tampering)")
+            }
+            OmgError::PhaseViolation { operation, phase } => {
+                write!(f, "cannot {operation} during the {phase} phase")
+            }
+            OmgError::ModelMissing => write!(f, "no encrypted model in local storage"),
+            OmgError::UnknownEnclave => write!(f, "vendor has no record of this enclave"),
+        }
+    }
+}
+
+impl Error for OmgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OmgError::Hal(e) => Some(e),
+            OmgError::Sanctuary(e) => Some(e),
+            OmgError::Crypto(e) => Some(e),
+            OmgError::Nn(e) => Some(e),
+            OmgError::Speech(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HalError> for OmgError {
+    fn from(e: HalError) -> Self {
+        OmgError::Hal(e)
+    }
+}
+
+impl From<SanctuaryError> for OmgError {
+    fn from(e: SanctuaryError) -> Self {
+        OmgError::Sanctuary(e)
+    }
+}
+
+impl From<CryptoError> for OmgError {
+    fn from(e: CryptoError) -> Self {
+        OmgError::Crypto(e)
+    }
+}
+
+impl From<NnError> for OmgError {
+    fn from(e: NnError) -> Self {
+        OmgError::Nn(e)
+    }
+}
+
+impl From<SpeechError> for OmgError {
+    fn from(e: SpeechError) -> Self {
+        OmgError::Speech(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, OmgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OmgError::from(HalError::NoEligibleCore);
+        assert!(e.to_string().contains("platform"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&OmgError::RollbackDetected).is_none());
+        assert!(OmgError::LicenseDenied { reason: "expired" }.to_string().contains("expired"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OmgError>();
+    }
+}

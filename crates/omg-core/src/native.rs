@@ -1,0 +1,143 @@
+//! The unprotected baseline: the same model and frontend running as an
+//! ordinary normal-world app.
+//!
+//! This is the "TensorFlow Lite micro" row of the paper's Table I — the
+//! comparison point that shows OMG preserves accuracy exactly and adds
+//! negligible runtime overhead.
+
+use omg_hal::clock::SimClock;
+use omg_nn::{Interpreter, Model};
+use omg_speech::frontend::FeatureExtractor;
+
+use crate::device::Transcription;
+use crate::error::{OmgError, Result};
+
+/// A keyword spotter with no protection whatsoever: plaintext model,
+/// normal-world execution, unprotected microphone path.
+#[derive(Debug)]
+pub struct NativeSpotter {
+    interpreter: Interpreter,
+    extractor: FeatureExtractor,
+}
+
+impl NativeSpotter {
+    /// Builds the spotter from a plaintext model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter construction errors.
+    pub fn new(model: Model) -> Result<Self> {
+        Ok(NativeSpotter {
+            interpreter: Interpreter::new(model)?,
+            extractor: FeatureExtractor::new()?,
+        })
+    }
+
+    /// The loaded model.
+    pub fn model(&self) -> &Model {
+        self.interpreter.model()
+    }
+
+    /// Classifies a 1-second utterance, charging measured compute time to
+    /// `clock` as ordinary normal-world work.
+    ///
+    /// # Errors
+    ///
+    /// Frontend and inference errors.
+    pub fn classify_utterance(&mut self, clock: &SimClock, samples: &[i16]) -> Result<Transcription> {
+        let extractor = &self.extractor;
+        let interpreter = &mut self.interpreter;
+        let (result, compute) = clock.measure(|| -> Result<(usize, f32)> {
+            let fingerprint = extractor.fingerprint(samples)?;
+            let (idx, score) = interpreter.classify(&fingerprint)?;
+            Ok((idx, score))
+        });
+        let (class_index, score) = result?;
+        let label = self
+            .interpreter
+            .model()
+            .labels()
+            .get(class_index)
+            .cloned()
+            .unwrap_or_else(|| format!("class-{class_index}"));
+        Ok(Transcription { label, class_index, score, compute })
+    }
+
+    /// Classifies a precomputed fingerprint (inference only).
+    ///
+    /// # Errors
+    ///
+    /// Inference errors.
+    pub fn classify_fingerprint(&mut self, clock: &SimClock, fingerprint: &[i8]) -> Result<Transcription> {
+        let interpreter = &mut self.interpreter;
+        let (result, compute) = clock.measure(|| interpreter.classify(fingerprint));
+        let (class_index, score) = result.map_err(OmgError::from)?;
+        let label = self
+            .interpreter
+            .model()
+            .labels()
+            .get(class_index)
+            .cloned()
+            .unwrap_or_else(|| format!("class-{class_index}"));
+        Ok(Transcription { label, class_index, score, compute })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_nn::model::{Activation, Op};
+    use omg_nn::quantize::QuantParams;
+    use omg_nn::tensor::DType;
+    use omg_speech::frontend::FINGERPRINT_LEN;
+
+    fn fingerprint_model() -> Model {
+        let mut b = Model::builder();
+        let input = b.add_activation(
+            "in",
+            vec![1, FINGERPRINT_LEN],
+            DType::I8,
+            Some(QuantParams { scale: 1.0 / 255.0, zero_point: -128 }),
+        );
+        let w = b.add_weight_i8(
+            "w",
+            vec![12, FINGERPRINT_LEN],
+            vec![1i8; 12 * FINGERPRINT_LEN],
+            QuantParams::symmetric(0.01),
+        );
+        let bias = b.add_weight_i32("b", vec![12], (0..12).map(|i| i * 100).collect());
+        let out = b.add_activation(
+            "logits",
+            vec![1, 12],
+            DType::I8,
+            Some(QuantParams { scale: 0.5, zero_point: 0 }),
+        );
+        b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+        b.set_input(input);
+        b.set_output(out);
+        b.set_labels(omg_speech::dataset::LABELS);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn classify_runs_and_charges_clock() {
+        let mut spotter = NativeSpotter::new(fingerprint_model()).unwrap();
+        let clock = SimClock::default();
+        let samples = vec![1000i16; omg_speech::frontend::UTTERANCE_SAMPLES];
+        let t = spotter.classify_utterance(&clock, &samples).unwrap();
+        assert!(t.class_index < 12);
+        assert!(!t.label.is_empty());
+        assert!(clock.measured() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn fingerprint_path() {
+        let mut spotter = NativeSpotter::new(fingerprint_model()).unwrap();
+        let clock = SimClock::default();
+        let fp = vec![0i8; FINGERPRINT_LEN];
+        let t = spotter.classify_fingerprint(&clock, &fp).unwrap();
+        // Bias grows with index, all weights equal -> class 11 wins.
+        assert_eq!(t.class_index, 11);
+        assert_eq!(t.label, "go");
+    }
+}

@@ -1,0 +1,118 @@
+//! Untrusted local storage on the mobile device.
+//!
+//! The encrypted model is stored in *unprotected* storage (paper Fig. 2
+//! step ④) so that after the first provisioning the device can reload it
+//! offline. The adversary fully controls this storage: the API deliberately
+//! exposes read, replace, and tamper operations so tests and examples can
+//! play the attacker.
+
+use std::collections::HashMap;
+
+use crate::vendor::ModelPackage;
+
+/// Normal-world flash storage — attacker-readable and attacker-writable.
+#[derive(Debug, Default)]
+pub struct UntrustedStorage {
+    blobs: HashMap<String, ModelPackage>,
+}
+
+impl UntrustedStorage {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or replaces) a model package under its model id.
+    pub fn store(&mut self, package: ModelPackage) {
+        self.blobs.insert(package.model_id.clone(), package);
+    }
+
+    /// Loads a package by model id.
+    pub fn load(&self, model_id: &str) -> Option<&ModelPackage> {
+        self.blobs.get(model_id)
+    }
+
+    /// Removes a package (e.g. the attacker deleting it).
+    pub fn remove(&mut self, model_id: &str) -> Option<ModelPackage> {
+        self.blobs.remove(model_id)
+    }
+
+    /// Number of stored packages.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether storage is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// **Attacker API**: mutable access to a stored package (bit flips,
+    /// version swaps, rollback substitution).
+    pub fn tamper(&mut self, model_id: &str) -> Option<&mut ModelPackage> {
+        self.blobs.get_mut(model_id)
+    }
+
+    /// **Attacker API**: everything an attacker can see — the raw bytes of
+    /// all stored packages.
+    pub fn attacker_view(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut ids: Vec<&String> = self.blobs.keys().collect();
+        ids.sort();
+        for id in ids {
+            let p = &self.blobs[id];
+            out.extend_from_slice(p.model_id.as_bytes());
+            out.extend_from_slice(&p.version.to_le_bytes());
+            out.extend_from_slice(&p.nonce);
+            out.extend_from_slice(&p.ciphertext);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn package(id: &str, version: u32) -> ModelPackage {
+        ModelPackage {
+            model_id: id.to_owned(),
+            version,
+            nonce: [7u8; 32],
+            ciphertext: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn store_load_remove() {
+        let mut s = UntrustedStorage::new();
+        assert!(s.is_empty());
+        s.store(package("kws", 1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.load("kws").unwrap().version, 1);
+        assert!(s.load("other").is_none());
+        // Replacement by id.
+        s.store(package("kws", 2));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.load("kws").unwrap().version, 2);
+        assert!(s.remove("kws").is_some());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn attacker_can_tamper() {
+        let mut s = UntrustedStorage::new();
+        s.store(package("kws", 1));
+        s.tamper("kws").unwrap().ciphertext[0] ^= 0xFF;
+        assert_eq!(s.load("kws").unwrap().ciphertext[0], 1 ^ 0xFF);
+    }
+
+    #[test]
+    fn attacker_view_contains_ciphertext_bytes() {
+        let mut s = UntrustedStorage::new();
+        s.store(package("kws", 1));
+        let view = s.attacker_view();
+        assert!(view.windows(3).any(|w| w == [1, 2, 3]));
+        assert!(view.windows(3).any(|w| w == b"kws".as_slice()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Protocol trace recording and the Fig. 2 renderer.
+//!
+//! Every protocol action appends a [`TraceStep`]; rendering the accumulated
+//! trace reproduces the paper's Fig. 2 ("OMG overview") from an *actual*
+//! protocol execution instead of a static diagram.
+
+use std::fmt;
+
+/// A protocol participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Party {
+    /// The user U (owns the input data).
+    User,
+    /// The vendor V (owns the model).
+    Vendor,
+    /// The SANCTUARY enclave on the mobile device.
+    Enclave,
+    /// Untrusted local storage on the device.
+    Storage,
+    /// The secure world peripheral proxy.
+    SecureWorld,
+}
+
+impl fmt::Display for Party {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Party::User => "User U",
+            Party::Vendor => "Vendor V",
+            Party::Enclave => "Enclave",
+            Party::Storage => "Storage",
+            Party::SecureWorld => "Secure World",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a message travels over a trusted or untrusted channel
+/// (the solid vs. dashed arrows of Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// Hardware-protected or cryptographically protected I/O.
+    Trusted,
+    /// Plain normal-world I/O (attacker-visible).
+    Untrusted,
+    /// Local computation inside one party.
+    Internal,
+}
+
+/// The protocol phase a step belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Phase I — enclave load, attestation, model provisioning.
+    Preparation,
+    /// Phase II — key release and model decryption.
+    Initialization,
+    /// Phase III — query processing.
+    Operation,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Preparation => "I. Preparation",
+            Phase::Initialization => "II. Initialization",
+            Phase::Operation => "III. Operation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded protocol step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Step number as in Fig. 2 (1–8), or 0 for auxiliary events.
+    pub number: u8,
+    /// The phase this step belongs to.
+    pub phase: Phase,
+    /// Sender.
+    pub from: Party,
+    /// Receiver.
+    pub to: Party,
+    /// Channel classification.
+    pub channel: Channel,
+    /// Human-readable description (e.g. `"Enc(model, K_U)"`).
+    pub what: String,
+}
+
+/// An append-only record of protocol activity.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolTrace {
+    steps: Vec<TraceStep>,
+}
+
+impl ProtocolTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn record(
+        &mut self,
+        number: u8,
+        phase: Phase,
+        from: Party,
+        to: Party,
+        channel: Channel,
+        what: impl Into<String>,
+    ) {
+        self.steps.push(TraceStep { number, phase, from, to, channel, what: what.into() });
+    }
+
+    /// All recorded steps in order.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Steps belonging to one phase.
+    pub fn phase_steps(&self, phase: Phase) -> Vec<&TraceStep> {
+        self.steps.iter().filter(|s| s.phase == phase).collect()
+    }
+
+    /// Renders the trace in the layout of the paper's Fig. 2.
+    pub fn render_figure2(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== OMG protocol trace (cf. paper Fig. 2) ===\n");
+        out.push_str("legend: ==> trusted I/O, --> untrusted I/O, ··· internal\n");
+        for phase in [Phase::Preparation, Phase::Initialization, Phase::Operation] {
+            let steps = self.phase_steps(phase);
+            if steps.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n{phase}\n"));
+            for s in steps {
+                let arrow = match s.channel {
+                    Channel::Trusted => "==>",
+                    Channel::Untrusted => "-->",
+                    Channel::Internal => "···",
+                };
+                let num = if s.number == 0 { "   ".to_owned() } else { format!("({})", s.number) };
+                out.push_str(&format!(
+                    "  {num} {:<12} {arrow} {:<12} {}\n",
+                    s.from.to_string(),
+                    s.to.to_string(),
+                    s.what
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = ProtocolTrace::new();
+        t.record(1, Phase::Preparation, Party::Enclave, Party::User, Channel::Trusted, "attest");
+        t.record(5, Phase::Initialization, Party::Vendor, Party::Enclave, Channel::Trusted, "K_U");
+        t.record(7, Phase::Operation, Party::User, Party::Enclave, Channel::Trusted, "voice");
+        assert_eq!(t.steps().len(), 3);
+        assert_eq!(t.phase_steps(Phase::Preparation).len(), 1);
+        assert_eq!(t.phase_steps(Phase::Operation)[0].number, 7);
+    }
+
+    #[test]
+    fn figure2_rendering_contains_phases_and_arrows() {
+        let mut t = ProtocolTrace::new();
+        t.record(3, Phase::Preparation, Party::Vendor, Party::Enclave, Channel::Trusted, "Enc(model, K_U)");
+        t.record(4, Phase::Preparation, Party::Enclave, Party::Storage, Channel::Untrusted, "store model");
+        t.record(8, Phase::Operation, Party::Enclave, Party::User, Channel::Trusted, "output");
+        let fig = t.render_figure2();
+        assert!(fig.contains("I. Preparation"));
+        assert!(fig.contains("III. Operation"));
+        assert!(!fig.contains("II. Initialization")); // empty phase omitted
+        assert!(fig.contains("==>"));
+        assert!(fig.contains("-->"));
+        assert!(fig.contains("Enc(model, K_U)"));
+        assert!(fig.contains("(3)"));
+    }
+
+    #[test]
+    fn party_display() {
+        assert_eq!(Party::User.to_string(), "User U");
+        assert_eq!(Party::Vendor.to_string(), "Vendor V");
+    }
+}

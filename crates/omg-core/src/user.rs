@@ -1,0 +1,132 @@
+//! The user U: owns the device and the voice input.
+//!
+//! The user's security interest (paper §IV) is the privacy of her inputs
+//! and outputs. Protocol-wise she contributes an attestation challenge and
+//! verifies the report she receives over SANCTUARY's trusted output path
+//! (Fig. 2 step ①).
+
+use omg_crypto::rng::ChaChaRng;
+use omg_crypto::rsa::RsaPublicKey;
+use omg_sanctuary::attest::AttestationReport;
+use omg_sanctuary::measurement::Measurement;
+use rand::RngCore;
+
+use crate::error::{OmgError, Result};
+
+/// The user-side protocol state.
+#[derive(Debug)]
+pub struct User {
+    rng: ChaChaRng,
+    pending_challenge: Option<Vec<u8>>,
+    transcriptions: Vec<String>,
+}
+
+impl User {
+    /// Creates a user agent.
+    pub fn new(seed: u64) -> Self {
+        User {
+            rng: ChaChaRng::seed_from_u64(seed ^ 0x55534552), // "USER"
+            pending_challenge: None,
+            transcriptions: Vec::new(),
+        }
+    }
+
+    /// Issues a fresh attestation challenge (step ① request).
+    pub fn new_challenge(&mut self) -> Vec<u8> {
+        let mut c = vec![0u8; 32];
+        self.rng.fill_bytes(&mut c);
+        self.pending_challenge = Some(c.clone());
+        c
+    }
+
+    /// Verifies the enclave's attestation report against the device
+    /// manufacturer's CA and the published OMG runtime measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`OmgError::LicenseDenied`] if no challenge is outstanding (protocol
+    /// misuse) and [`OmgError::Sanctuary`] on verification failure.
+    pub fn verify_attestation(
+        &mut self,
+        platform_ca: &RsaPublicKey,
+        expected: &Measurement,
+        report: &AttestationReport,
+    ) -> Result<RsaPublicKey> {
+        let challenge = self
+            .pending_challenge
+            .take()
+            .ok_or(OmgError::LicenseDenied { reason: "user issued no challenge" })?;
+        Ok(report.verify(platform_ca, expected, &challenge)?)
+    }
+
+    /// Records a transcription delivered by the enclave (step ⑧).
+    pub fn receive_output(&mut self, transcription: &str) {
+        self.transcriptions.push(transcription.to_owned());
+    }
+
+    /// All outputs received so far.
+    pub fn transcriptions(&self) -> &[String] {
+        &self.transcriptions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_sanctuary::identity::DevicePki;
+
+    #[test]
+    fn verifies_genuine_report() {
+        let mut rng = ChaChaRng::seed_from_u64(60);
+        let pki = DevicePki::new(&mut rng).unwrap();
+        let m = Measurement::of(b"omg runtime");
+        let ident = pki.issue_enclave_identity(&mut rng, m).unwrap();
+
+        let mut user = User::new(1);
+        let challenge = user.new_challenge();
+        let report = AttestationReport::generate(&ident, &challenge).unwrap();
+        let pk = user.verify_attestation(pki.platform_ca(), &m, &report).unwrap();
+        assert_eq!(&pk, ident.public_key());
+    }
+
+    #[test]
+    fn requires_outstanding_challenge() {
+        let mut rng = ChaChaRng::seed_from_u64(61);
+        let pki = DevicePki::new(&mut rng).unwrap();
+        let m = Measurement::of(b"omg runtime");
+        let ident = pki.issue_enclave_identity(&mut rng, m).unwrap();
+        let report = AttestationReport::generate(&ident, b"whatever").unwrap();
+
+        let mut user = User::new(2);
+        assert!(matches!(
+            user.verify_attestation(pki.platform_ca(), &m, &report),
+            Err(OmgError::LicenseDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_tampered_enclave() {
+        let mut rng = ChaChaRng::seed_from_u64(62);
+        let pki = DevicePki::new(&mut rng).unwrap();
+        let genuine = Measurement::of(b"omg runtime");
+        let tampered = pki
+            .issue_enclave_identity(&mut rng, Measurement::of(b"evil runtime"))
+            .unwrap();
+
+        let mut user = User::new(3);
+        let challenge = user.new_challenge();
+        let report = AttestationReport::generate(&tampered, &challenge).unwrap();
+        assert!(matches!(
+            user.verify_attestation(pki.platform_ca(), &genuine, &report),
+            Err(OmgError::Sanctuary(_))
+        ));
+    }
+
+    #[test]
+    fn collects_outputs() {
+        let mut user = User::new(4);
+        user.receive_output("yes");
+        user.receive_output("stop");
+        assert_eq!(user.transcriptions(), &["yes".to_owned(), "stop".to_owned()]);
+    }
+}

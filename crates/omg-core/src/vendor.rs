@@ -1,0 +1,367 @@
+//! The vendor V: model owner, license authority, provisioning server.
+//!
+//! The vendor's private input is the ML model (paper §IV–V). It never ships
+//! the model in the clear: after verifying an enclave's attestation report
+//! (Fig. 2 step ②), it derives the model-wrapping key `K_U = KDF(PK, n)`
+//! from the enclave public key and a fresh nonce, encrypts the serialized
+//! model (step ③), and later actively decides whether to release `K_U`
+//! (step ⑤) — which is how licensing and revocation work.
+
+use std::collections::HashMap;
+
+use omg_crypto::aead::ChaCha20Poly1305;
+use omg_crypto::hkdf::Hkdf;
+use omg_crypto::rng::ChaChaRng;
+use omg_crypto::rsa::RsaPublicKey;
+use omg_crypto::sha256::Sha256;
+use omg_nn::Model;
+use omg_sanctuary::attest::AttestationReport;
+use omg_sanctuary::measurement::Measurement;
+use rand::RngCore;
+
+use crate::error::{OmgError, Result};
+
+/// The encrypted model artifact stored on the user's device (steps ③–④).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelPackage {
+    /// Vendor-assigned model identifier.
+    pub model_id: String,
+    /// Model version this package carries.
+    pub version: u32,
+    /// The vendor nonce `n` that `K_U` is derived from. Stored in the
+    /// clear — it is useless without the enclave's secret key.
+    pub nonce: [u8; 32],
+    /// AEAD-sealed serialized model.
+    pub ciphertext: Vec<u8>,
+}
+
+impl ModelPackage {
+    /// Associated data binding the ciphertext to its identity and version.
+    pub(crate) fn aad(model_id: &str, version: u32) -> Vec<u8> {
+        let mut aad = Vec::with_capacity(model_id.len() + 8);
+        aad.extend_from_slice(model_id.as_bytes());
+        aad.extend_from_slice(&version.to_le_bytes());
+        aad
+    }
+}
+
+/// The vendor's answer to a key request (step ⑤): `K_U` wrapped under the
+/// enclave public key, so only the attested enclave can unwrap it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRelease {
+    /// Version the key belongs to.
+    pub version: u32,
+    /// RSA-encrypted `K_U`.
+    pub wrapped_key: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct EnclaveRecord {
+    version: u32,
+    ku: [u8; 32],
+    licensed: bool,
+}
+
+/// The model vendor.
+#[derive(Debug)]
+pub struct Vendor {
+    model: Model,
+    model_id: String,
+    version: u32,
+    expected_measurement: Measurement,
+    rng: ChaChaRng,
+    pending_challenge: Option<Vec<u8>>,
+    /// Registry of provisioned enclaves, keyed by SHA-256 of the enclave
+    /// public key.
+    enclaves: HashMap<[u8; 32], EnclaveRecord>,
+}
+
+impl Vendor {
+    /// Creates a vendor owning `model`, expecting enclaves that measure to
+    /// `expected_measurement` (the published OMG runtime image).
+    pub fn new(seed: u64, model_id: &str, model: Model, expected_measurement: Measurement) -> Self {
+        Vendor {
+            model,
+            model_id: model_id.to_owned(),
+            version: 1,
+            expected_measurement,
+            rng: ChaChaRng::seed_from_u64(seed ^ 0x56454e44), // "VEND"
+            pending_challenge: None,
+            enclaves: HashMap::new(),
+        }
+    }
+
+    /// The plaintext model (vendor-side only; never leaves this struct
+    /// unencrypted).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Current model version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The enclave measurement this vendor trusts.
+    pub fn expected_measurement(&self) -> &Measurement {
+        &self.expected_measurement
+    }
+
+    /// Issues a fresh attestation challenge (step ② request).
+    pub fn new_challenge(&mut self) -> Vec<u8> {
+        let mut c = vec![0u8; 32];
+        self.rng.fill_bytes(&mut c);
+        self.pending_challenge = Some(c.clone());
+        c
+    }
+
+    fn derive_ku(&self, pk: &RsaPublicKey, nonce: &[u8; 32], version: u32) -> Result<[u8; 32]> {
+        // K_U <- KDF(PK, n), bound to the model version (Fig. 2 legend).
+        let mut info = b"omg-model-key-v1:".to_vec();
+        info.extend_from_slice(&version.to_le_bytes());
+        let okm = Hkdf::derive(nonce, &pk.to_bytes(), &info, 32)?;
+        Ok(okm.try_into().expect("hkdf returned 32 bytes"))
+    }
+
+    /// Verifies an attestation report and provisions the encrypted model
+    /// for that enclave (steps ② + ③).
+    ///
+    /// # Errors
+    ///
+    /// [`OmgError::LicenseDenied`] if no challenge is pending;
+    /// [`OmgError::Sanctuary`] if the report fails verification.
+    pub fn provision(
+        &mut self,
+        platform_ca: &RsaPublicKey,
+        report: &AttestationReport,
+    ) -> Result<ModelPackage> {
+        let challenge = self
+            .pending_challenge
+            .take()
+            .ok_or(OmgError::LicenseDenied { reason: "no attestation challenge outstanding" })?;
+        let enclave_pk = report.verify(platform_ca, &self.expected_measurement, &challenge)?;
+
+        let mut nonce = [0u8; 32];
+        self.rng.fill_bytes(&mut nonce);
+        let ku = self.derive_ku(&enclave_pk, &nonce, self.version)?;
+
+        let plaintext = omg_nn::format::serialize(&self.model);
+        let cipher = ChaCha20Poly1305::new(&ku);
+        // The AEAD nonce can be fixed: K_U is unique per (PK, n, version).
+        let ciphertext =
+            cipher.seal(&[0u8; 12], &ModelPackage::aad(&self.model_id, self.version), &plaintext);
+
+        let key_id = Sha256::digest(&enclave_pk.to_bytes());
+        self.enclaves.insert(key_id, EnclaveRecord { version: self.version, ku, licensed: true });
+
+        Ok(ModelPackage {
+            model_id: self.model_id.clone(),
+            version: self.version,
+            nonce,
+            ciphertext,
+        })
+    }
+
+    fn record_mut(&mut self, enclave_pk: &RsaPublicKey) -> Result<&mut EnclaveRecord> {
+        let key_id = Sha256::digest(&enclave_pk.to_bytes());
+        self.enclaves.get_mut(&key_id).ok_or(OmgError::UnknownEnclave)
+    }
+
+    /// Releases `K_U` for a provisioned enclave (step ⑤), wrapped under the
+    /// enclave public key.
+    ///
+    /// # Errors
+    ///
+    /// [`OmgError::UnknownEnclave`] for unprovisioned keys and
+    /// [`OmgError::LicenseDenied`] when the license is revoked/expired —
+    /// the vendor "can stop sending K_U to the enclave" (paper §V).
+    pub fn release_key(&mut self, enclave_pk: &RsaPublicKey) -> Result<KeyRelease> {
+        let record = {
+            let r = self.record_mut(enclave_pk)?;
+            if !r.licensed {
+                return Err(OmgError::LicenseDenied { reason: "license expired or revoked" });
+            }
+            r.clone()
+        };
+        let wrapped_key = enclave_pk.encrypt(&mut self.rng, &record.ku)?;
+        Ok(KeyRelease { version: record.version, wrapped_key })
+    }
+
+    /// Revokes an enclave's license; subsequent key requests fail.
+    ///
+    /// # Errors
+    ///
+    /// [`OmgError::UnknownEnclave`] for unprovisioned keys.
+    pub fn revoke_license(&mut self, enclave_pk: &RsaPublicKey) -> Result<()> {
+        self.record_mut(enclave_pk)?.licensed = false;
+        Ok(())
+    }
+
+    /// Reinstates a revoked license.
+    ///
+    /// # Errors
+    ///
+    /// [`OmgError::UnknownEnclave`] for unprovisioned keys.
+    pub fn reinstate_license(&mut self, enclave_pk: &RsaPublicKey) -> Result<()> {
+        self.record_mut(enclave_pk)?.licensed = true;
+        Ok(())
+    }
+
+    /// Replaces the model with a new version. Enclaves must be
+    /// re-provisioned; old packages become undecryptable once the vendor
+    /// releases only the new key (rollback protection, paper §V).
+    pub fn update_model(&mut self, model: Model) {
+        self.model = model;
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_crypto::rsa::RsaPrivateKey;
+    use omg_nn::model::{Activation, Op};
+    use omg_nn::quantize::QuantParams;
+    use omg_nn::tensor::DType;
+    use omg_sanctuary::identity::DevicePki;
+
+    fn tiny_model() -> Model {
+        let mut b = Model::builder();
+        let input = b.add_activation("in", vec![1, 4], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        let w = b.add_weight_i8("w", vec![2, 4], vec![1i8; 8], QuantParams::symmetric(1.0));
+        let bias = b.add_weight_i32("b", vec![2], vec![0; 2]);
+        let out = b.add_activation("out", vec![1, 2], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+        b.set_input(input);
+        b.set_output(out);
+        b.build().unwrap()
+    }
+
+    fn setup() -> (Vendor, DevicePki, omg_sanctuary::identity::EnclaveIdentity, Measurement) {
+        let mut rng = ChaChaRng::seed_from_u64(50);
+        let pki = DevicePki::new(&mut rng).unwrap();
+        let m = Measurement::of(b"omg runtime image");
+        let ident = pki.issue_enclave_identity(&mut rng, m).unwrap();
+        let vendor = Vendor::new(7, "kws-tiny-conv", tiny_model(), m);
+        (vendor, pki, ident, m)
+    }
+
+    #[test]
+    fn provision_and_release_round_trip() {
+        let (mut vendor, pki, ident, _) = setup();
+        let challenge = vendor.new_challenge();
+        let report = AttestationReport::generate(&ident, &challenge).unwrap();
+        let package = vendor.provision(pki.platform_ca(), &report).unwrap();
+        assert_eq!(package.version, 1);
+        assert_eq!(package.model_id, "kws-tiny-conv");
+
+        // Ciphertext must not contain the serialized model in the clear.
+        let plaintext = omg_nn::format::serialize(vendor.model());
+        assert!(!package
+            .ciphertext
+            .windows(16)
+            .any(|w| plaintext.windows(16).any(|p| p == w)));
+
+        // Key release decrypts the package (simulating the enclave side).
+        let release = vendor.release_key(ident.public_key()).unwrap();
+        let ku: [u8; 32] =
+            ident.keypair().decrypt(&release.wrapped_key).unwrap().try_into().unwrap();
+        let cipher = ChaCha20Poly1305::new(&ku);
+        let opened = cipher
+            .open(&[0u8; 12], &ModelPackage::aad("kws-tiny-conv", 1), &package.ciphertext)
+            .unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn provision_requires_challenge_and_valid_report() {
+        let (mut vendor, pki, ident, _) = setup();
+        // No challenge outstanding.
+        let report = AttestationReport::generate(&ident, b"stale").unwrap();
+        assert!(matches!(
+            vendor.provision(pki.platform_ca(), &report),
+            Err(OmgError::LicenseDenied { .. })
+        ));
+        // Wrong measurement (tampered enclave).
+        let mut rng = ChaChaRng::seed_from_u64(51);
+        let bad_ident = pki
+            .issue_enclave_identity(&mut rng, Measurement::of(b"tampered image"))
+            .unwrap();
+        let challenge = vendor.new_challenge();
+        let bad_report = AttestationReport::generate(&bad_ident, &challenge).unwrap();
+        assert!(matches!(
+            vendor.provision(pki.platform_ca(), &bad_report),
+            Err(OmgError::Sanctuary(_))
+        ));
+    }
+
+    #[test]
+    fn challenge_is_single_use() {
+        let (mut vendor, pki, ident, _) = setup();
+        let challenge = vendor.new_challenge();
+        let report = AttestationReport::generate(&ident, &challenge).unwrap();
+        vendor.provision(pki.platform_ca(), &report).unwrap();
+        // Replaying the same report fails: the challenge was consumed.
+        assert!(vendor.provision(pki.platform_ca(), &report).is_err());
+    }
+
+    #[test]
+    fn revocation_blocks_key_release() {
+        let (mut vendor, pki, ident, _) = setup();
+        let challenge = vendor.new_challenge();
+        let report = AttestationReport::generate(&ident, &challenge).unwrap();
+        vendor.provision(pki.platform_ca(), &report).unwrap();
+
+        vendor.revoke_license(ident.public_key()).unwrap();
+        assert!(matches!(
+            vendor.release_key(ident.public_key()),
+            Err(OmgError::LicenseDenied { .. })
+        ));
+        vendor.reinstate_license(ident.public_key()).unwrap();
+        assert!(vendor.release_key(ident.public_key()).is_ok());
+    }
+
+    #[test]
+    fn unknown_enclave_rejected() {
+        let (mut vendor, _, _, _) = setup();
+        let mut rng = ChaChaRng::seed_from_u64(52);
+        let stranger = RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        assert!(matches!(
+            vendor.release_key(stranger.public_key()),
+            Err(OmgError::UnknownEnclave)
+        ));
+        assert!(matches!(
+            vendor.revoke_license(stranger.public_key()),
+            Err(OmgError::UnknownEnclave)
+        ));
+    }
+
+    #[test]
+    fn model_update_invalidates_old_package() {
+        let (mut vendor, pki, ident, _) = setup();
+        let challenge = vendor.new_challenge();
+        let report = AttestationReport::generate(&ident, &challenge).unwrap();
+        let old_package = vendor.provision(pki.platform_ca(), &report).unwrap();
+
+        vendor.update_model(tiny_model());
+        assert_eq!(vendor.version(), 2);
+        let challenge = vendor.new_challenge();
+        let report = AttestationReport::generate(&ident, &challenge).unwrap();
+        let _new_package = vendor.provision(pki.platform_ca(), &report).unwrap();
+
+        // The vendor now releases only the v2 key; the old package cannot
+        // be decrypted with it (rollback protection).
+        let release = vendor.release_key(ident.public_key()).unwrap();
+        assert_eq!(release.version, 2);
+        let ku: [u8; 32] =
+            ident.keypair().decrypt(&release.wrapped_key).unwrap().try_into().unwrap();
+        let cipher = ChaCha20Poly1305::new(&ku);
+        assert!(cipher
+            .open(
+                &[0u8; 12],
+                &ModelPackage::aad("kws-tiny-conv", old_package.version),
+                &old_package.ciphertext
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! This is the symmetric scheme the OMG protocol uses to encrypt the vendor's
+//! model for storage on the untrusted device (paper Fig. 2, steps ③–④ and ⑥):
+//! confidentiality hides the weights, and the Poly1305 tag detects any
+//! tampering with the stored blob.
+//!
+//! # Examples
+//!
+//! ```
+//! use omg_crypto::aead::ChaCha20Poly1305;
+//!
+//! let key = [7u8; 32];
+//! let cipher = ChaCha20Poly1305::new(&key);
+//! let nonce = [1u8; 12];
+//! let sealed = cipher.seal(&nonce, b"model-v1", b"secret weights");
+//! let opened = cipher.open(&nonce, b"model-v1", &sealed)?;
+//! assert_eq!(opened, b"secret weights");
+//! # Ok::<(), omg_crypto::CryptoError>(())
+//! ```
+
+use crate::chacha20::{ChaCha20, KEY_LEN, NONCE_LEN};
+use crate::ct::ct_eq;
+use crate::error::{CryptoError, Result};
+use crate::poly1305::{Poly1305, TAG_LEN};
+
+/// Authenticated encryption with associated data using ChaCha20-Poly1305.
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; KEY_LEN],
+}
+
+impl std::fmt::Debug for ChaCha20Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaCha20Poly1305").finish_non_exhaustive()
+    }
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates an AEAD instance with a 256-bit key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        ChaCha20Poly1305 { key: *key }
+    }
+
+    /// Creates an AEAD instance from a variable-length slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKey`] unless the slice is exactly
+    /// 32 bytes.
+    pub fn from_slice(key: &[u8]) -> Result<Self> {
+        let key: [u8; KEY_LEN] = key
+            .try_into()
+            .map_err(|_| CryptoError::InvalidKey("chacha20-poly1305 key must be 32 bytes"))?;
+        Ok(Self::new(&key))
+    }
+
+    /// Derives the one-time Poly1305 key per RFC 8439 §2.6.
+    fn poly_key(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+        let block = ChaCha20::new(&self.key, nonce).block(0);
+        let mut pk = [0u8; 32];
+        pk.copy_from_slice(&block[..32]);
+        pk
+    }
+
+    /// Computes the Poly1305 tag over `aad` and `ciphertext` with the RFC
+    /// padding and length trailer.
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut mac = Poly1305::new(&self.poly_key(nonce));
+        let zeros = [0u8; 16];
+        mac.update(aad);
+        mac.update(&zeros[..(16 - aad.len() % 16) % 16]);
+        mac.update(ciphertext);
+        mac.update(&zeros[..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Encrypts and authenticates `plaintext`, binding `aad`.
+    ///
+    /// Returns `ciphertext || tag` (16 bytes longer than the input). The
+    /// caller must guarantee nonce uniqueness per key.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        ChaCha20::new(&self.key, nonce).apply_keystream(1, &mut out);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `sealed` (as produced by [`Self::seal`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::AuthenticationFailed`] if the tag does not
+    /// verify (wrong key, wrong nonce, modified ciphertext, or modified
+    /// `aad`); no plaintext is released in that case.
+    pub fn open(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.tag(nonce, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        ChaCha20::new(&self.key, nonce).apply_keystream(1, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key: Vec<u8> = (0x80..0xa0u8).collect();
+        let nonce = unhex("070000004041424344454647");
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let cipher = ChaCha20Poly1305::from_slice(&key).unwrap();
+        let sealed = cipher.seal(nonce.as_slice().try_into().unwrap(), &aad, plaintext);
+        let expected_ct = unhex(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+             3ff4def08e4b7a9de576d26586cec64b6116",
+        );
+        let expected_tag = unhex("1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(&sealed[..plaintext.len()], expected_ct.as_slice());
+        assert_eq!(&sealed[plaintext.len()..], expected_tag.as_slice());
+
+        let opened = cipher
+            .open(nonce.as_slice().try_into().unwrap(), &aad, &sealed)
+            .unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn open_rejects_short_input() {
+        let cipher = ChaCha20Poly1305::new(&[0u8; 32]);
+        assert_eq!(
+            cipher.open(&[0u8; 12], b"", &[0u8; 15]).unwrap_err(),
+            CryptoError::AuthenticationFailed
+        );
+    }
+
+    #[test]
+    fn from_slice_rejects_bad_lengths() {
+        assert!(ChaCha20Poly1305::from_slice(&[0u8; 31]).is_err());
+        assert!(ChaCha20Poly1305::from_slice(&[0u8; 33]).is_err());
+        assert!(ChaCha20Poly1305::from_slice(&[0u8; 32]).is_ok());
+    }
+
+    #[test]
+    fn wrong_key_nonce_or_aad_fails() {
+        let cipher = ChaCha20Poly1305::new(&[1u8; 32]);
+        let sealed = cipher.seal(&[2u8; 12], b"aad", b"payload");
+        assert!(ChaCha20Poly1305::new(&[9u8; 32])
+            .open(&[2u8; 12], b"aad", &sealed)
+            .is_err());
+        assert!(cipher.open(&[3u8; 12], b"aad", &sealed).is_err());
+        assert!(cipher.open(&[2u8; 12], b"axd", &sealed).is_err());
+        assert!(cipher.open(&[2u8; 12], b"aad", &sealed).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            key in proptest::collection::vec(any::<u8>(), 32..=32),
+            nonce in proptest::collection::vec(any::<u8>(), 12..=12),
+            aad in proptest::collection::vec(any::<u8>(), 0..64),
+            pt in proptest::collection::vec(any::<u8>(), 0..300),
+        ) {
+            let cipher = ChaCha20Poly1305::from_slice(&key).unwrap();
+            let nonce: [u8; 12] = nonce.as_slice().try_into().unwrap();
+            let sealed = cipher.seal(&nonce, &aad, &pt);
+            prop_assert_eq!(sealed.len(), pt.len() + TAG_LEN);
+            prop_assert_eq!(cipher.open(&nonce, &aad, &sealed).unwrap(), pt);
+        }
+
+        #[test]
+        fn prop_any_bitflip_fails(
+            key in proptest::collection::vec(any::<u8>(), 32..=32),
+            pt in proptest::collection::vec(any::<u8>(), 1..128),
+            flip_byte in any::<usize>(),
+            flip_bit in 0u8..8,
+        ) {
+            let cipher = ChaCha20Poly1305::from_slice(&key).unwrap();
+            let nonce = [0u8; 12];
+            let mut sealed = cipher.seal(&nonce, b"aad", &pt);
+            let idx = flip_byte % sealed.len();
+            sealed[idx] ^= 1 << flip_bit;
+            prop_assert_eq!(
+                cipher.open(&nonce, b"aad", &sealed).unwrap_err(),
+                CryptoError::AuthenticationFailed
+            );
+        }
+    }
+}

@@ -1,0 +1,1147 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! [`BigUint`] is the foundation for the RSA and Paillier implementations in
+//! this workspace. It stores little-endian `u64` limbs and implements
+//! schoolbook multiplication, Knuth Algorithm D division, Montgomery modular
+//! exponentiation, and the extended Euclidean algorithm.
+//!
+//! The implementation favours clarity and testability over raw speed: RSA-2048
+//! operations complete in milliseconds with optimizations enabled, which is
+//! ample for the OMG protocol simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use omg_crypto::bignum::BigUint;
+//!
+//! let a = BigUint::from(10u64);
+//! let b = BigUint::from(4u64);
+//! let (q, r) = a.div_rem(&b)?;
+//! assert_eq!(q, BigUint::from(2u64));
+//! assert_eq!(r, BigUint::from(2u64));
+//! # Ok::<(), omg_crypto::CryptoError>(())
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{CryptoError, Result};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian 64-bit limbs with no trailing zero limbs
+/// (the canonical representation of zero is an empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The constant zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omg_crypto::bignum::BigUint;
+    /// assert!(BigUint::zero().is_zero());
+    /// ```
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The constant one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omg_crypto::bignum::BigUint;
+    /// assert_eq!(BigUint::one(), BigUint::from(1u64));
+    /// ```
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Returns the little-endian limbs of this value.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Parses a big-endian byte string (as produced by [`BigUint::to_bytes_be`]).
+    ///
+    /// Leading zero bytes are accepted and ignored.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omg_crypto::bignum::BigUint;
+    /// let n = BigUint::from_bytes_be(&[0x01, 0x00]);
+    /// assert_eq!(n, BigUint::from(256u64));
+    /// ```
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | u64::from(b);
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (zero → empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let skip = (limb.leading_zeros() / 8) as usize;
+                out.extend_from_slice(&bytes[skip.min(7)..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to big-endian bytes left-padded with zeros to exactly
+    /// `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Result<Vec<u8>> {
+        let raw = self.to_bytes_be();
+        if raw.len() > len {
+            return Err(CryptoError::InvalidLength {
+                what: "big-endian integer",
+                got: raw.len(),
+                expected: len,
+            });
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Ok(out)
+    }
+
+    /// Parses a hexadecimal string (upper or lower case, no prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MalformedInput`] on non-hex characters.
+    pub fn from_hex(s: &str) -> Result<Self> {
+        let mut nibbles = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            let v = c
+                .to_digit(16)
+                .ok_or(CryptoError::MalformedInput("non-hex character"))? as u8;
+            nibbles.push(v);
+        }
+        // Convert nibbles (big-endian) to bytes.
+        let mut bytes = Vec::with_capacity(nibbles.len() / 2 + 1);
+        let mut iter = nibbles.iter();
+        if nibbles.len() % 2 == 1 {
+            bytes.push(*iter.next().unwrap());
+        }
+        while let (Some(&hi), Some(&lo)) = (iter.next(), iter.next()) {
+            bytes.push((hi << 4) | lo);
+        }
+        Ok(Self::from_bytes_be(&bytes))
+    }
+
+    /// Formats as lowercase hexadecimal with no leading zeros (zero → `"0"`).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut s = String::new();
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Whether this value equals zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether this value equals one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Whether the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Whether the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (zero has zero bits).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omg_crypto::bignum::BigUint;
+    /// assert_eq!(BigUint::from(255u64).bit_len(), 8);
+    /// assert_eq!(BigUint::from(256u64).bit_len(), 9);
+    /// ```
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian numbering; out-of-range bits are 0).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to 1, growing the limb vector as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let limb = i / 64;
+        let off = i % 64;
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1u64 << off;
+    }
+
+    /// Addition.
+    #[allow(clippy::needless_range_loop)] // index pairs `long[i]`/`short.get(i)`
+    pub fn add(&self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (&self.limbs, &rhs.limbs)
+        } else {
+            (&rhs.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Subtraction (`self - rhs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::OutOfRange`] if `rhs > self` (no negative
+    /// values exist in this type).
+    pub fn checked_sub(&self, rhs: &BigUint) -> Result<BigUint> {
+        if self < rhs {
+            return Err(CryptoError::OutOfRange("subtraction underflow"));
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        Ok(BigUint::from_limbs(out))
+    }
+
+    /// Subtraction that panics on underflow; for internal use where the
+    /// caller has already established `self >= rhs`.
+    pub(crate) fn sub_unchecked(&self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("bignum subtraction underflow")
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = u128::from(a) * u128::from(b) + u128::from(out[i + j]) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let t = u128::from(out[k]) + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return BigUint::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let lo = src[i] >> bit_shift;
+            let hi = src.get(i + 1).map_or(0, |&n| n << (64 - bit_shift));
+            out.push(lo | hi);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Division with remainder: returns `(self / rhs, self % rhs)`.
+    ///
+    /// Implements Knuth TAOCP Vol. 2 Algorithm D for the multi-limb case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DivisionByZero`] if `rhs` is zero.
+    pub fn div_rem(&self, rhs: &BigUint) -> Result<(BigUint, BigUint)> {
+        if rhs.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if self < rhs {
+            return Ok((BigUint::zero(), self.clone()));
+        }
+        if rhs.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(rhs.limbs[0]);
+            return Ok((q, BigUint::from(r)));
+        }
+
+        // Normalize: shift both so the divisor's top limb has its high bit set.
+        let shift = rhs.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = rhs.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un = u.limbs.clone();
+        un.push(0); // u has m+n+1 limbs with an extra high limb for step D3
+        let vn = &v.limbs;
+        let v_top = vn[n - 1];
+        let v_next = vn[n - 2];
+
+        let mut q_limbs = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate q_hat = (un[j+n]*B + un[j+n-1]) / v_top.
+            let numerator = (u128::from(un[j + n]) << 64) | u128::from(un[j + n - 1]);
+            let mut q_hat = numerator / u128::from(v_top);
+            let mut r_hat = numerator % u128::from(v_top);
+
+            // Correct q_hat (at most twice).
+            while q_hat >= (1u128 << 64)
+                || q_hat * u128::from(v_next) > ((r_hat << 64) | u128::from(un[j + n - 2]))
+            {
+                q_hat -= 1;
+                r_hat += u128::from(v_top);
+                if r_hat >= (1u128 << 64) {
+                    break;
+                }
+            }
+
+            // Multiply and subtract: un[j..j+n+1] -= q_hat * vn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = u128::from(q_hat as u64) * u128::from(vn[i]) + carry;
+                carry = p >> 64;
+                let t = i128::from(un[j + i]) - i128::from(p as u64) - borrow;
+                un[j + i] = t as u64;
+                borrow = i128::from(t < 0);
+            }
+            let t = i128::from(un[j + n]) - i128::from(carry as u64) - borrow;
+            un[j + n] = t as u64;
+
+            let mut q_j = q_hat as u64;
+            if t < 0 {
+                // q_hat was one too large: add back.
+                q_j -= 1;
+                let mut c = 0u128;
+                for i in 0..n {
+                    let s = u128::from(un[j + i]) + u128::from(vn[i]) + c;
+                    un[j + i] = s as u64;
+                    c = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(c as u64);
+            }
+            q_limbs[j] = q_j;
+        }
+
+        let q = BigUint::from_limbs(q_limbs);
+        let r = BigUint::from_limbs(un[..n].to_vec()).shr(shift);
+        Ok((q, r))
+    }
+
+    /// Divides by a single limb, returning quotient and remainder.
+    fn div_rem_limb(&self, d: u64) -> (BigUint, u64) {
+        debug_assert_ne!(d, 0);
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            out[i] = (cur / u128::from(d)) as u64;
+            rem = cur % u128::from(d);
+        }
+        (BigUint::from_limbs(out), rem as u64)
+    }
+
+    /// Modular reduction: `self % m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DivisionByZero`] if `m` is zero.
+    pub fn rem(&self, m: &BigUint) -> Result<BigUint> {
+        Ok(self.div_rem(m)?.1)
+    }
+
+    /// Modular addition: `(self + rhs) % m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DivisionByZero`] if `m` is zero.
+    pub fn mod_add(&self, rhs: &BigUint, m: &BigUint) -> Result<BigUint> {
+        self.add(rhs).rem(m)
+    }
+
+    /// Modular multiplication: `(self * rhs) % m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DivisionByZero`] if `m` is zero.
+    pub fn mod_mul(&self, rhs: &BigUint, m: &BigUint) -> Result<BigUint> {
+        self.mul(rhs).rem(m)
+    }
+
+    /// Modular exponentiation: `self^exp mod m`.
+    ///
+    /// Uses Montgomery multiplication when `m` is odd (the common case for
+    /// RSA/Paillier moduli) and square-and-multiply with division otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::DivisionByZero`] if `m` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omg_crypto::bignum::BigUint;
+    /// let r = BigUint::from(4u64).mod_pow(&BigUint::from(13u64), &BigUint::from(497u64))?;
+    /// assert_eq!(r, BigUint::from(445u64));
+    /// # Ok::<(), omg_crypto::CryptoError>(())
+    /// ```
+    pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> Result<BigUint> {
+        if m.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if m.is_one() {
+            return Ok(BigUint::zero());
+        }
+        if m.is_odd() {
+            let ctx = MontgomeryCtx::new(m)?;
+            return Ok(ctx.mod_pow(self, exp));
+        }
+        // Generic square-and-multiply for even moduli (rare; used by tests).
+        let mut base = self.rem(m)?;
+        let mut result = BigUint::one();
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mod_mul(&base, m)?;
+            }
+            base = base.mod_mul(&base, m)?;
+        }
+        Ok(result)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, rhs: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr(1);
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub_unchecked(&a);
+            if b.is_zero() {
+                break;
+            }
+        }
+        a.shl(shift)
+    }
+
+    /// Modular inverse: finds `x` with `self * x ≡ 1 (mod m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::OutOfRange`] if no inverse exists (i.e.
+    /// `gcd(self, m) != 1`) and [`CryptoError::DivisionByZero`] if `m` is zero.
+    pub fn mod_inv(&self, m: &BigUint) -> Result<BigUint> {
+        if m.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        // Extended Euclid on (a, m) tracking only the coefficient of a,
+        // using signed bookkeeping via (value, is_negative) pairs.
+        let mut r_prev = self.rem(m)?;
+        let mut r = m.clone();
+        std::mem::swap(&mut r_prev, &mut r);
+        // Now r_prev = m, r = a mod m.
+        let mut t_prev = (BigUint::zero(), false);
+        let mut t = (BigUint::one(), false);
+        while !r.is_zero() {
+            let (q, rem) = r_prev.div_rem(&r)?;
+            r_prev = r;
+            r = rem;
+            // t_next = t_prev - q * t
+            let qt = q.mul(&t.0);
+            let t_next = signed_sub(&t_prev, &(qt, t.1));
+            t_prev = t;
+            t = t_next;
+        }
+        if !r_prev.is_one() {
+            return Err(CryptoError::OutOfRange("no modular inverse exists"));
+        }
+        let (mag, neg) = t_prev;
+        let inv = if neg {
+            m.sub_unchecked(&mag.rem(m)?)
+        } else {
+            mag.rem(m)?
+        };
+        let inv = inv.rem(m)?;
+        Ok(inv)
+    }
+
+    /// Generates a uniformly random value with exactly `bits` bits
+    /// (the top bit is forced to 1), using the supplied RNG.
+    pub fn random_bits<R: rand::Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+        if bits == 0 {
+            return BigUint::zero();
+        }
+        let limbs = bits.div_ceil(64);
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs - 1) * 64;
+        let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+        let last = limbs - 1;
+        v[last] &= mask;
+        v[last] |= 1u64 << (top_bits - 1);
+        BigUint::from_limbs(v)
+    }
+
+    /// Generates a uniformly random value in `[0, bound)` by rejection
+    /// sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: rand::Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "random_below: bound must be nonzero");
+        let bits = bound.bit_len();
+        let limbs = bits.div_ceil(64);
+        let top_bits = bits - (limbs - 1) * 64;
+        let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+        loop {
+            let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+            let last = limbs - 1;
+            v[last] &= mask;
+            let candidate = BigUint::from_limbs(v);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Signed subtraction helper for the extended Euclid bookkeeping:
+/// computes `a - b` where each operand is `(magnitude, is_negative)`.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub_unchecked(&b.0), false)
+            } else {
+                (b.0.sub_unchecked(&a.0), true)
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (a.0.add(&b.0), false),
+        // (-a) - b = -(a + b)
+        (true, false) => (a.0.add(&b.0), true),
+        // (-a) - (-b) = b - a
+        (true, true) => {
+            if b.0 >= a.0 {
+                (b.0.sub_unchecked(&a.0), false)
+            } else {
+                (a.0.sub_unchecked(&b.0), true)
+            }
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(u64::from(v))
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl TryFrom<&BigUint> for u64 {
+    type Error = CryptoError;
+
+    fn try_from(v: &BigUint) -> Result<u64> {
+        match v.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(v.limbs[0]),
+            _ => Err(CryptoError::OutOfRange("value exceeds u64")),
+        }
+    }
+}
+
+impl TryFrom<&BigUint> for u128 {
+    type Error = CryptoError;
+
+    fn try_from(v: &BigUint) -> Result<u128> {
+        match v.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(u128::from(v.limbs[0])),
+            2 => Ok(u128::from(v.limbs[0]) | (u128::from(v.limbs[1]) << 64)),
+            _ => Err(CryptoError::OutOfRange("value exceeds u128")),
+        }
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Precomputed Montgomery context for repeated multiplication modulo an odd
+/// modulus.
+///
+/// Used internally by [`BigUint::mod_pow`]; exposed for callers (such as the
+/// Paillier baseline) that perform many multiplications with one modulus.
+#[derive(Debug, Clone)]
+pub struct MontgomeryCtx {
+    /// The (odd) modulus.
+    n: BigUint,
+    /// Number of limbs in `n`.
+    k: usize,
+    /// `-n^{-1} mod 2^64`.
+    n_prime: u64,
+    /// `R^2 mod n` where `R = 2^(64k)`; used to convert into Montgomery form.
+    r2: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Creates a context for the odd modulus `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::OutOfRange`] if `n` is even or zero, since
+    /// Montgomery reduction requires `gcd(n, 2^64) = 1`.
+    pub fn new(n: &BigUint) -> Result<Self> {
+        if n.is_zero() || n.is_even() {
+            return Err(CryptoError::OutOfRange("montgomery modulus must be odd"));
+        }
+        let k = n.limbs.len();
+        let n0 = n.limbs[0];
+        // Newton iteration for the inverse of n0 mod 2^64.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n_prime = inv.wrapping_neg();
+        // R^2 mod n computed as 2^(128k) mod n.
+        let mut r2 = BigUint::one().shl(2 * 64 * k);
+        r2 = r2.rem(n)?;
+        Ok(MontgomeryCtx { n: n.clone(), k, n_prime, r2 })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Montgomery reduction of a double-width product `t` (`2k` limbs):
+    /// returns `t * R^{-1} mod n`.
+    fn redc(&self, t: &BigUint) -> BigUint {
+        let k = self.k;
+        let mut a = t.limbs.clone();
+        a.resize(2 * k + 1, 0);
+        for i in 0..k {
+            let m = a[i].wrapping_mul(self.n_prime);
+            // a += m * n << (64*i)
+            let mut carry = 0u128;
+            for j in 0..k {
+                let p = u128::from(m) * u128::from(self.n.limbs[j])
+                    + u128::from(a[i + j])
+                    + carry;
+                a[i + j] = p as u64;
+                carry = p >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let s = u128::from(a[idx]) + carry;
+                a[idx] = s as u64;
+                carry = s >> 64;
+                idx += 1;
+            }
+        }
+        let result = BigUint::from_limbs(a[k..].to_vec());
+        if result >= self.n {
+            result.sub_unchecked(&self.n)
+        } else {
+            result
+        }
+    }
+
+    /// Converts `x` into Montgomery form (`x * R mod n`).
+    pub fn to_mont(&self, x: &BigUint) -> BigUint {
+        let reduced = x.rem(&self.n).expect("modulus nonzero");
+        self.redc(&reduced.mul(&self.r2))
+    }
+
+    /// Converts out of Montgomery form.
+    pub fn from_mont(&self, x: &BigUint) -> BigUint {
+        self.redc(x)
+    }
+
+    /// Multiplies two values that are already in Montgomery form.
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.redc(&a.mul(b))
+    }
+
+    /// Modular exponentiation `base^exp mod n` (operands in normal form).
+    pub fn mod_pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.n).expect("modulus nonzero");
+        }
+        let base_m = self.to_mont(base);
+        let mut acc = self.to_mont(&BigUint::one());
+        // Left-to-right binary exponentiation.
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+        assert_eq!(BigUint::default(), BigUint::zero());
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let n = BigUint::from_hex("deadbeefcafebabe0123456789abcdef00").unwrap();
+        let bytes = n.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), n);
+        // Leading zeros are ignored on parse.
+        let mut padded = vec![0u8, 0u8];
+        padded.extend_from_slice(&bytes);
+        assert_eq!(BigUint::from_bytes_be(&padded), n);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = big(0x0102);
+        assert_eq!(n.to_bytes_be_padded(4).unwrap(), vec![0, 0, 1, 2]);
+        assert!(n.to_bytes_be_padded(1).is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip_and_errors() {
+        let n = BigUint::from_hex("ffeeddccbbaa99887766554433221100f").unwrap();
+        assert_eq!(BigUint::from_hex(&n.to_hex()).unwrap(), n);
+        assert!(BigUint::from_hex("xyz").is_err());
+        assert_eq!(BigUint::from_hex("0").unwrap(), BigUint::zero());
+        assert_eq!(BigUint::zero().to_hex(), "0");
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert_eq!(
+            big(5).div_rem(&BigUint::zero()).unwrap_err(),
+            CryptoError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn knuth_d_add_back_case() {
+        // Construct a case that exercises the rare "add back" branch:
+        // classic example from Hacker's Delight: u = 0x7fff800000000000...,
+        // v = 0x800000000001...
+        let u = BigUint::from_limbs(vec![0, 0xfffe_0000_0000_0000, 0x7fff_ffff_ffff_ffff]);
+        let v = BigUint::from_limbs(vec![0xffff_ffff_ffff_ffff, 0x8000_0000_0000_0000]);
+        let (q, r) = u.div_rem(&v).unwrap();
+        // Verify q*v + r == u and r < v.
+        assert_eq!(q.mul(&v).add(&r), u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn mod_pow_known_answer() {
+        // 2^10 mod 1000 = 24
+        assert_eq!(
+            big(2).mod_pow(&big(10), &big(1000)).unwrap(),
+            big(24)
+        );
+        // Odd modulus path (Montgomery).
+        assert_eq!(
+            big(4).mod_pow(&big(13), &big(497)).unwrap(),
+            big(445)
+        );
+        // Fermat: a^(p-1) mod p = 1 for prime p.
+        let p = big(1_000_000_007);
+        assert_eq!(big(123_456).mod_pow(&p.sub_unchecked(&big(1)), &p).unwrap(), big(1));
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        assert_eq!(big(5).mod_pow(&BigUint::zero(), &big(7)).unwrap(), big(1));
+        assert_eq!(big(5).mod_pow(&big(100), &BigUint::one()).unwrap(), BigUint::zero());
+        assert!(big(5).mod_pow(&big(2), &BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn mod_inv_known_answer() {
+        // 3 * 4 = 12 ≡ 1 (mod 11)
+        assert_eq!(big(3).mod_inv(&big(11)).unwrap(), big(4));
+        // gcd(4, 8) != 1 → no inverse
+        assert!(big(4).mod_inv(&big(8)).is_err());
+    }
+
+    #[test]
+    fn gcd_known_answer() {
+        assert_eq!(big(48).gcd(&big(36)), big(12));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(BigUint::zero().gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&BigUint::zero()), big(5));
+    }
+
+    #[test]
+    fn shifts() {
+        let n = big(0b1011);
+        assert_eq!(n.shl(3), big(0b1011000));
+        assert_eq!(n.shr(2), big(0b10));
+        assert_eq!(n.shl(100).shr(100), n);
+        assert_eq!(BigUint::zero().shl(64), BigUint::zero());
+        assert_eq!(n.shr(200), BigUint::zero());
+    }
+
+    #[test]
+    fn sub_underflow_is_error() {
+        assert!(big(3).checked_sub(&big(5)).is_err());
+        assert_eq!(big(5).checked_sub(&big(3)).unwrap(), big(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(3) < big(5));
+        assert!(BigUint::from_limbs(vec![0, 1]) > big(u64::MAX as u128));
+        assert_eq!(big(7).cmp(&big(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn montgomery_matches_naive() {
+        let m = big(0xffff_ffff_ffff_ffc5); // large odd modulus
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let a = big(0x1234_5678_9abc_def0);
+        let b = big(0x0fed_cba9_8765_4321);
+        let naive = a.mod_mul(&b, &m).unwrap();
+        let mont = ctx.from_mont(&ctx.mont_mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        assert_eq!(naive, mont);
+    }
+
+    #[test]
+    fn montgomery_rejects_even_modulus() {
+        assert!(MontgomeryCtx::new(&big(10)).is_err());
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = rand::rngs::mock::StepRng::new(42, 0x9e3779b97f4a7c15);
+        let bound = big(1000);
+        for _ in 0..100 {
+            let v = BigUint::random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = rand::rngs::mock::StepRng::new(7, 0x2545f4914f6cdd1d);
+        for bits in [1usize, 8, 63, 64, 65, 127, 128, 1024] {
+            let v = BigUint::random_bits(&mut rng, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn u64_u128_conversions() {
+        assert_eq!(u64::try_from(&big(42)).unwrap(), 42);
+        assert!(u64::try_from(&BigUint::from(u128::MAX)).is_err());
+        assert_eq!(u128::try_from(&BigUint::from(u128::MAX)).unwrap(), u128::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+            let sum = BigUint::from(a).add(&BigUint::from(b));
+            prop_assert_eq!(sum, BigUint::from(a + b));
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in 0u64.., b in 0u64..) {
+            let prod = BigUint::from(a).mul(&BigUint::from(b));
+            prop_assert_eq!(prod, BigUint::from(u128::from(a) * u128::from(b)));
+        }
+
+        #[test]
+        fn prop_div_rem_identity(a in any::<u128>(), b in 1u128..) {
+            let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b)).unwrap();
+            prop_assert_eq!(q, BigUint::from(a / b));
+            prop_assert_eq!(r, BigUint::from(a % b));
+        }
+
+        #[test]
+        fn prop_div_rem_reconstructs(
+            a_limbs in proptest::collection::vec(any::<u64>(), 1..6),
+            b_limbs in proptest::collection::vec(any::<u64>(), 1..4),
+        ) {
+            let a = BigUint::from_limbs(a_limbs);
+            let b = BigUint::from_limbs(b_limbs);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b).unwrap();
+            prop_assert!(r < b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(
+            a_limbs in proptest::collection::vec(any::<u64>(), 0..5),
+            b_limbs in proptest::collection::vec(any::<u64>(), 0..5),
+        ) {
+            let a = BigUint::from_limbs(a_limbs);
+            let b = BigUint::from_limbs(b_limbs);
+            let sum = a.add(&b);
+            prop_assert_eq!(sum.sub_unchecked(&b), a);
+        }
+
+        #[test]
+        fn prop_mul_commutative(
+            a_limbs in proptest::collection::vec(any::<u64>(), 0..4),
+            b_limbs in proptest::collection::vec(any::<u64>(), 0..4),
+        ) {
+            let a = BigUint::from_limbs(a_limbs);
+            let b = BigUint::from_limbs(b_limbs);
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let n = BigUint::from_bytes_be(&bytes);
+            let out = n.to_bytes_be();
+            // Round trip modulo leading zeros.
+            let trimmed: Vec<u8> = bytes.iter().copied().skip_while(|&b| b == 0).collect();
+            prop_assert_eq!(out, trimmed);
+        }
+
+        #[test]
+        fn prop_mod_inv_is_inverse(a in 1u64.., m in 3u64..) {
+            let a = BigUint::from(a);
+            let m = BigUint::from(m);
+            if a.gcd(&m).is_one() {
+                let inv = a.mod_inv(&m).unwrap();
+                prop_assert_eq!(a.mod_mul(&inv, &m).unwrap(), BigUint::one());
+            }
+        }
+
+        #[test]
+        fn prop_mod_pow_matches_naive(base in any::<u64>(), exp in 0u32..64, m in 3u64..) {
+            let m_big = BigUint::from(m);
+            let got = BigUint::from(base).mod_pow(&BigUint::from(exp), &m_big).unwrap();
+            // Naive reference via repeated mod_mul.
+            let mut want = BigUint::one().rem(&m_big).unwrap();
+            let b = BigUint::from(base).rem(&m_big).unwrap();
+            for _ in 0..exp {
+                want = want.mod_mul(&b, &m_big).unwrap();
+            }
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_gcd_divides_both(a in 1u128.., b in 1u128..) {
+            let g = BigUint::from(a).gcd(&BigUint::from(b));
+            prop_assert!(BigUint::from(a).rem(&g).unwrap().is_zero());
+            prop_assert!(BigUint::from(b).rem(&g).unwrap().is_zero());
+        }
+
+        #[test]
+        fn prop_montgomery_mod_pow_matches_even_path(
+            base in any::<u64>(), exp in any::<u8>(), m_half in 1u64..u64::MAX / 2
+        ) {
+            // Odd modulus via Montgomery vs generic square-and-multiply.
+            let m = BigUint::from(2 * m_half + 1);
+            let base = BigUint::from(base);
+            let exp = BigUint::from(u64::from(exp));
+            let mont = base.mod_pow(&exp, &m).unwrap();
+            let mut naive = BigUint::one().rem(&m).unwrap();
+            let b = base.rem(&m).unwrap();
+            let e = u64::try_from(&exp).unwrap();
+            for _ in 0..e {
+                naive = naive.mod_mul(&b, &m).unwrap();
+            }
+            prop_assert_eq!(mont, naive);
+        }
+    }
+}

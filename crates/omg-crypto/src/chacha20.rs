@@ -1,0 +1,200 @@
+//! The ChaCha20 stream cipher (RFC 8439 §2.3–2.4).
+//!
+//! Used by the [`crate::aead`] module for model encryption and by
+//! [`crate::rng::ChaChaRng`] as a deterministic CSPRNG.
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce size in bytes (the IETF 96-bit variant).
+pub const NONCE_LEN: usize = 12;
+/// Output block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// The ChaCha20 block function state.
+#[derive(Clone, Debug)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance for one (key, nonce) pair.
+    ///
+    /// A (key, nonce) pair must never be reused across messages; the AEAD
+    /// layer enforces this by deriving fresh nonces per message.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> Self {
+        let mut k = [0u32; 8];
+        for i in 0..8 {
+            k[i] = u32::from_le_bytes([
+                key[i * 4],
+                key[i * 4 + 1],
+                key[i * 4 + 2],
+                key[i * 4 + 3],
+            ]);
+        }
+        let mut n = [0u32; 3];
+        for i in 0..3 {
+            n[i] = u32::from_le_bytes([
+                nonce[i * 4],
+                nonce[i * 4 + 1],
+                nonce[i * 4 + 2],
+                nonce[i * 4 + 3],
+            ]);
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// Produces the 64-byte keystream block for the given block `counter`.
+    pub fn block(&self, counter: u32) -> [u8; BLOCK_LEN] {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut working = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; BLOCK_LEN];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream (starting at block `initial_counter`) into `data`
+    /// in place. Encryption and decryption are the same operation.
+    pub fn apply_keystream(&self, initial_counter: u32, data: &mut [u8]) {
+        for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+            let ks = self.block(initial_counter.wrapping_add(block_idx as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: Vec<u8> = (0u8..32).collect();
+        let nonce = unhex("000000090000004a00000000");
+        let cipher = ChaCha20::new(
+            key.as_slice().try_into().unwrap(),
+            nonce.as_slice().try_into().unwrap(),
+        );
+        let block = cipher.block(1);
+        let expected = unhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(block.to_vec(), expected);
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let key: Vec<u8> = (0u8..32).collect();
+        let nonce = unhex("000000000000004a00000000");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let cipher = ChaCha20::new(
+            key.as_slice().try_into().unwrap(),
+            nonce.as_slice().try_into().unwrap(),
+        );
+        let mut data = plaintext.to_vec();
+        cipher.apply_keystream(1, &mut data);
+        let expected = unhex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn keystream_is_deterministic_and_counter_dependent() {
+        let key = [7u8; KEY_LEN];
+        let nonce = [3u8; NONCE_LEN];
+        let c = ChaCha20::new(&key, &nonce);
+        assert_eq!(c.block(0), c.block(0));
+        assert_ne!(c.block(0), c.block(1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encrypt_decrypt_roundtrip(
+            key in proptest::collection::vec(any::<u8>(), KEY_LEN..=KEY_LEN),
+            nonce in proptest::collection::vec(any::<u8>(), NONCE_LEN..=NONCE_LEN),
+            data in proptest::collection::vec(any::<u8>(), 0..300),
+            counter in any::<u32>(),
+        ) {
+            let cipher = ChaCha20::new(
+                key.as_slice().try_into().unwrap(),
+                nonce.as_slice().try_into().unwrap(),
+            );
+            let mut buf = data.clone();
+            cipher.apply_keystream(counter, &mut buf);
+            cipher.apply_keystream(counter, &mut buf);
+            prop_assert_eq!(buf, data);
+        }
+
+        #[test]
+        fn prop_different_nonces_differ(
+            key in proptest::collection::vec(any::<u8>(), KEY_LEN..=KEY_LEN),
+            n1 in any::<u32>(),
+            n2 in any::<u32>(),
+        ) {
+            prop_assume!(n1 != n2);
+            let mut nonce1 = [0u8; NONCE_LEN];
+            nonce1[..4].copy_from_slice(&n1.to_le_bytes());
+            let mut nonce2 = [0u8; NONCE_LEN];
+            nonce2[..4].copy_from_slice(&n2.to_le_bytes());
+            let key: [u8; KEY_LEN] = key.as_slice().try_into().unwrap();
+            let c1 = ChaCha20::new(&key, &nonce1);
+            let c2 = ChaCha20::new(&key, &nonce2);
+            prop_assert_ne!(c1.block(0), c2.block(0));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Constant-time utilities.
+//!
+//! Inside a TEE, branching on secret data leaks through microarchitectural
+//! side channels (the controlled-channel attacks the paper's §II-B reviews),
+//! so tag and key comparisons go through [`ct_eq`].
+
+/// Compares two byte slices in constant time with respect to their contents.
+///
+/// Returns `false` immediately if the lengths differ (lengths are public).
+///
+/// # Examples
+///
+/// ```
+/// use omg_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    // Collapse to 0/1 without a data-dependent branch.
+    acc == 0
+}
+
+/// Constant-time conditional select over byte slices: fills `out` with
+/// `a` if `choice` is true, else with `b`.
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+pub fn ct_select(choice: bool, a: &[u8], b: &[u8], out: &mut [u8]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    let mask = (choice as u8).wrapping_neg(); // 0xFF or 0x00
+    for i in 0..out.len() {
+        out[i] = (a[i] & mask) | (b[i] & !mask);
+    }
+}
+
+/// Zeroizes a buffer. Wrapped in a volatile write so the compiler cannot
+/// elide the scrub (the SANCTUARY teardown requirement).
+pub fn zeroize(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        // SAFETY: writing a valid u8 through a reference-derived pointer.
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+    std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn select_basic() {
+        let mut out = [0u8; 3];
+        ct_select(true, &[1, 2, 3], &[4, 5, 6], &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        ct_select(false, &[1, 2, 3], &[4, 5, 6], &mut out);
+        assert_eq!(out, [4, 5, 6]);
+    }
+
+    #[test]
+    fn zeroize_clears() {
+        let mut buf = vec![0xAAu8; 128];
+        zeroize(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eq_matches_slice_eq(
+            a in proptest::collection::vec(any::<u8>(), 0..64),
+            b in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            prop_assert_eq!(ct_eq(&a, &b), a == b);
+        }
+
+        #[test]
+        fn prop_select_picks_correct_source(
+            a in proptest::collection::vec(any::<u8>(), 0..32),
+            choice in any::<bool>(),
+        ) {
+            let b: Vec<u8> = a.iter().map(|x| x.wrapping_add(1)).collect();
+            let mut out = vec![0u8; a.len()];
+            ct_select(choice, &a, &b, &mut out);
+            prop_assert_eq!(out, if choice { a } else { b });
+        }
+    }
+}

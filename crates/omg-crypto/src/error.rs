@@ -1,0 +1,91 @@
+//! Error types for the `omg-crypto` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations in this crate.
+///
+/// Every fallible public function in `omg-crypto` returns this type so that
+/// callers can propagate failures with `?` and match on the cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An authenticated decryption failed: the ciphertext, tag, nonce, or
+    /// associated data did not verify. No plaintext is released.
+    AuthenticationFailed,
+    /// A signature did not verify under the given public key.
+    InvalidSignature,
+    /// Key material had the wrong length or structure.
+    InvalidKey(&'static str),
+    /// An input buffer had an unacceptable length (e.g. RSA message longer
+    /// than the modulus allows).
+    InvalidLength {
+        /// What was being measured.
+        what: &'static str,
+        /// The length that was provided.
+        got: usize,
+        /// The maximum (or exact) length that is acceptable.
+        expected: usize,
+    },
+    /// Prime generation exhausted its iteration budget without success.
+    PrimeGenerationFailed,
+    /// A decoded structure (e.g. a PKCS#1 padding block) was malformed.
+    MalformedInput(&'static str),
+    /// Division by zero or modulus of zero in bignum arithmetic.
+    DivisionByZero,
+    /// A value was outside the valid range (e.g. no modular inverse exists).
+    OutOfRange(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authentication failed"),
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidKey(what) => write!(f, "invalid key: {what}"),
+            CryptoError::InvalidLength { what, got, expected } => {
+                write!(f, "invalid length for {what}: got {got}, expected {expected}")
+            }
+            CryptoError::PrimeGenerationFailed => write!(f, "prime generation failed"),
+            CryptoError::MalformedInput(what) => write!(f, "malformed input: {what}"),
+            CryptoError::DivisionByZero => write!(f, "division by zero"),
+            CryptoError::OutOfRange(what) => write!(f, "value out of range: {what}"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CryptoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let cases: Vec<CryptoError> = vec![
+            CryptoError::AuthenticationFailed,
+            CryptoError::InvalidSignature,
+            CryptoError::InvalidKey("short"),
+            CryptoError::InvalidLength { what: "message", got: 3, expected: 2 },
+            CryptoError::PrimeGenerationFailed,
+            CryptoError::MalformedInput("padding"),
+            CryptoError::DivisionByZero,
+            CryptoError::OutOfRange("inverse"),
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

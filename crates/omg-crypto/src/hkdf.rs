@@ -1,0 +1,172 @@
+//! HKDF with SHA-256 (RFC 5869).
+//!
+//! OMG uses HKDF as the KDF that derives the model-wrapping key
+//! `K_U = KDF(PK, n)` from the enclave public key and the vendor's nonce
+//! (paper Fig. 2), and to derive session keys for the vendor channel.
+//!
+//! # Examples
+//!
+//! ```
+//! use omg_crypto::hkdf::Hkdf;
+//!
+//! let okm = Hkdf::derive(b"salt", b"input key material", b"context", 32)?;
+//! assert_eq!(okm.len(), 32);
+//! # Ok::<(), omg_crypto::CryptoError>(())
+//! ```
+
+use crate::error::{CryptoError, Result};
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-SHA256 extract-and-expand key derivation.
+#[derive(Debug, Clone, Copy)]
+pub struct Hkdf;
+
+impl Hkdf {
+    /// HKDF-Extract: compresses input key material into a pseudorandom key.
+    pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+        HmacSha256::mac(salt, ikm)
+    }
+
+    /// HKDF-Expand: stretches a pseudorandom key into `len` output bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] if `len > 255 * 32` (RFC 5869
+    /// limit).
+    pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Result<Vec<u8>> {
+        if len > 255 * DIGEST_LEN {
+            return Err(CryptoError::InvalidLength {
+                what: "hkdf output",
+                got: len,
+                expected: 255 * DIGEST_LEN,
+            });
+        }
+        let mut okm = Vec::with_capacity(len);
+        let mut t: Vec<u8> = Vec::new();
+        let mut counter = 1u8;
+        while okm.len() < len {
+            let mut h = HmacSha256::new(prk);
+            h.update(&t);
+            h.update(info);
+            h.update(&[counter]);
+            let block = h.finalize();
+            t = block.to_vec();
+            let take = (len - okm.len()).min(DIGEST_LEN);
+            okm.extend_from_slice(&block[..take]);
+            counter = counter.wrapping_add(1);
+        }
+        Ok(okm)
+    }
+
+    /// One-shot extract-then-expand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the length limit from [`Hkdf::expand`].
+    pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Result<Vec<u8>> {
+        let prk = Self::extract(salt, ikm);
+        Self::expand(&prk, info, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = Hkdf::extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = Hkdf::expand(&prk, &info, 42).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 2 (long inputs, 82-byte output).
+    #[test]
+    fn rfc5869_case2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let okm = Hkdf::derive(&salt, &ikm, &info, 82).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    // RFC 5869 test case 3 (empty salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0b; 22];
+        let okm = Hkdf::derive(&[], &ikm, &[], 42).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_rejects_oversize() {
+        let prk = [0u8; DIGEST_LEN];
+        assert!(Hkdf::expand(&prk, b"", 255 * 32).is_ok());
+        assert!(Hkdf::expand(&prk, b"", 255 * 32 + 1).is_err());
+    }
+
+    #[test]
+    fn zero_length_output_is_empty() {
+        let okm = Hkdf::derive(b"s", b"ikm", b"", 0).unwrap();
+        assert!(okm.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prefix_consistency(
+            ikm in proptest::collection::vec(any::<u8>(), 1..64),
+            info in proptest::collection::vec(any::<u8>(), 0..32),
+            short in 1usize..64,
+            long in 64usize..128,
+        ) {
+            // Deriving a longer output must begin with the shorter output.
+            let a = Hkdf::derive(b"salt", &ikm, &info, short).unwrap();
+            let b = Hkdf::derive(b"salt", &ikm, &info, long).unwrap();
+            prop_assert_eq!(&b[..short], &a[..]);
+        }
+
+        #[test]
+        fn prop_info_separates_domains(
+            ikm in proptest::collection::vec(any::<u8>(), 1..64),
+            info1 in proptest::collection::vec(any::<u8>(), 0..16),
+            info2 in proptest::collection::vec(any::<u8>(), 0..16),
+        ) {
+            prop_assume!(info1 != info2);
+            let a = Hkdf::derive(b"s", &ikm, &info1, 32).unwrap();
+            let b = Hkdf::derive(b"s", &ikm, &info2, 32).unwrap();
+            prop_assert_ne!(a, b);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Cryptographic primitives for the Offline Model Guard (OMG) reproduction.
+//!
+//! The OMG protocol (Bayerl et al., DATE 2020) needs an asymmetric device key
+//! pair for attestation, a KDF for deriving the model-wrapping key
+//! `K_U = KDF(PK, n)`, and an authenticated cipher to keep the vendor's model
+//! confidential on untrusted storage. No third-party crypto crates are used;
+//! every primitive is implemented here and validated against published test
+//! vectors (FIPS 180-4, RFC 4231, RFC 5869, RFC 8439) plus property-based
+//! tests.
+//!
+//! # Modules
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`bignum`] | arbitrary-precision integers, Montgomery exponentiation |
+//! | [`prime`] | Miller–Rabin, RSA prime generation |
+//! | [`rsa`] | RSA-PKCS#1 v1.5 signatures and key transport |
+//! | [`sha256`] | FIPS 180-4 SHA-256 |
+//! | [`hmac`] | HMAC-SHA256 |
+//! | [`hkdf`] | HKDF-SHA256 (the paper's `KDF`) |
+//! | [`chacha20`] / [`poly1305`] / [`aead`] | ChaCha20-Poly1305 AEAD |
+//! | [`rng`] | deterministic ChaCha20-based CSPRNG |
+//! | [`ct`] | constant-time comparison, selection, zeroization |
+//!
+//! # Examples
+//!
+//! The complete key flow of the OMG preparation phase:
+//!
+//! ```
+//! use omg_crypto::aead::ChaCha20Poly1305;
+//! use omg_crypto::hkdf::Hkdf;
+//! use omg_crypto::rng::ChaChaRng;
+//! use omg_crypto::rsa::RsaPrivateKey;
+//! use rand::{RngCore, SeedableRng};
+//!
+//! let mut rng = ChaChaRng::seed_from_u64(1);
+//!
+//! // SANCTUARY assigns the enclave an RSA key pair.
+//! let enclave_key = RsaPrivateKey::generate(&mut rng, 1024)?;
+//!
+//! // The vendor derives K_U = KDF(PK, n) and encrypts the model with it.
+//! let mut nonce = [0u8; 32];
+//! rng.fill_bytes(&mut nonce);
+//! let k_u = Hkdf::derive(&nonce, &enclave_key.public_key().to_bytes(), b"omg-model-key", 32)?;
+//! let cipher = ChaCha20Poly1305::from_slice(&k_u)?;
+//! let sealed = cipher.seal(&[0u8; 12], b"model-v1", b"proprietary weights");
+//!
+//! // Only a party holding K_U can recover the model.
+//! assert_eq!(cipher.open(&[0u8; 12], b"model-v1", &sealed)?, b"proprietary weights");
+//! # Ok::<(), omg_crypto::CryptoError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+pub mod aead;
+pub mod bignum;
+pub mod chacha20;
+pub mod ct;
+mod error;
+pub mod hkdf;
+pub mod hmac;
+pub mod poly1305;
+pub mod prime;
+pub mod rng;
+pub mod rsa;
+pub mod sha256;
+
+pub use error::{CryptoError, Result};

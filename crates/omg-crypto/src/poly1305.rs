@@ -1,0 +1,319 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented with 26-bit limbs over 2^130 - 5, following the classic
+//! donna-style reduction strategy.
+
+/// Key size in bytes (r || s).
+pub const KEY_LEN: usize = 32;
+/// Tag size in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC.
+///
+/// Poly1305 keys are single-use: a fresh `(r, s)` pair must be derived for
+/// every message, which the [`crate::aead`] layer does from the ChaCha20
+/// keystream.
+#[derive(Clone)]
+pub struct Poly1305 {
+    /// Clamped r in five 26-bit limbs.
+    r: [u32; 5],
+    /// Accumulator in five 26-bit limbs.
+    h: [u32; 5],
+    /// s (the final addend), little-endian.
+    s: [u32; 4],
+    /// Partial block buffer.
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl std::fmt::Debug for Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Poly1305").field("buf_len", &self.buf_len).finish_non_exhaustive()
+    }
+}
+
+impl Poly1305 {
+    /// Creates a MAC keyed with the 32-byte one-time key `r || s`.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // Clamp r per RFC 8439 §2.5.
+        let t0 = u32::from_le_bytes([key[0], key[1], key[2], key[3]]);
+        let t1 = u32::from_le_bytes([key[4], key[5], key[6], key[7]]);
+        let t2 = u32::from_le_bytes([key[8], key[9], key[10], key[11]]);
+        let t3 = u32::from_le_bytes([key[12], key[13], key[14], key[15]]);
+
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+
+        let s = [
+            u32::from_le_bytes([key[16], key[17], key[18], key[19]]),
+            u32::from_le_bytes([key[20], key[21], key[22], key[23]]),
+            u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
+            u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
+        ];
+
+        Poly1305 { r, h: [0; 5], s, buf: [0; 16], buf_len: 0 }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, 1);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, 1);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Processes one 16-byte block; `hibit` is 1 for full blocks and set via
+    /// padding for the final partial block.
+    fn process_block(&mut self, block: &[u8; 16], hibit: u32) {
+        let t0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        let t1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let t2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let t3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+
+        // h += m (with the 2^128 bit).
+        let m = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff,
+            (t3 >> 8) | (hibit << 24),
+        ];
+        for (h, m) in self.h.iter_mut().zip(m.iter()) {
+            *h = h.wrapping_add(*m);
+        }
+
+        // h *= r (mod 2^130 - 5).
+        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+        let [h0, h1, h2, h3, h4] = self.h.map(u64::from);
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut d = [d0, d1, d2, d3, d4];
+        c = d[0] >> 26;
+        d[0] &= 0x03ff_ffff;
+        d[1] += c;
+        c = d[1] >> 26;
+        d[1] &= 0x03ff_ffff;
+        d[2] += c;
+        c = d[2] >> 26;
+        d[2] &= 0x03ff_ffff;
+        d[3] += c;
+        c = d[3] >> 26;
+        d[3] &= 0x03ff_ffff;
+        d[4] += c;
+        c = d[4] >> 26;
+        d[4] &= 0x03ff_ffff;
+        d[0] += c * 5;
+        c = d[0] >> 26;
+        d[0] &= 0x03ff_ffff;
+        d[1] += c;
+
+        for (h, d) in self.h.iter_mut().zip(d.iter()) {
+            *h = *d as u32;
+        }
+    }
+
+    /// Completes the MAC, consuming the authenticator, and returns the tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Pad final partial block: append 0x01 then zeros, hibit = 0.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, 0);
+        }
+
+        // Full carry.
+        let mut h = self.h;
+        let mut c: u32;
+        c = h[1] >> 26;
+        h[1] &= 0x03ff_ffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x03ff_ffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x03ff_ffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x03ff_ffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x03ff_ffff;
+        h[1] += c;
+
+        // Compute h + -p (i.e. h - (2^130 - 5)) and select.
+        let mut g = [0u32; 5];
+        let mut carry = 5u32;
+        for i in 0..4 {
+            let t = h[i].wrapping_add(carry);
+            g[i] = t & 0x03ff_ffff;
+            carry = t >> 26;
+        }
+        let t = h[4].wrapping_add(carry).wrapping_sub(1 << 26);
+        g[4] = t;
+        // If the subtraction did not borrow (top bit clear), use g.
+        let use_g = (t >> 31) == 0;
+        let mask = (use_g as u32).wrapping_neg();
+        for i in 0..5 {
+            h[i] = (g[i] & mask) | (h[i] & !mask);
+        }
+        // g[4] may contain borrow bits above 26; mask them off post-select.
+        h[4] &= 0x03ff_ffff;
+
+        // Serialize h to 128 bits.
+        let h0 = h[0] | (h[1] << 26);
+        let h1 = (h[1] >> 6) | (h[2] << 20);
+        let h2 = (h[2] >> 12) | (h[3] << 14);
+        let h3 = (h[3] >> 18) | (h[4] << 8);
+
+        // tag = (h + s) mod 2^128.
+        let mut out = [0u8; TAG_LEN];
+        let mut acc: u64;
+        acc = u64::from(h0) + u64::from(self.s[0]);
+        out[0..4].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = u64::from(h1) + u64::from(self.s[1]) + (acc >> 32);
+        out[4..8].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = u64::from(h2) + u64::from(self.s[2]) + (acc >> 32);
+        out[8..12].copy_from_slice(&(acc as u32).to_le_bytes());
+        acc = u64::from(h3) + u64::from(self.s[3]) + (acc >> 32);
+        out[12..16].copy_from_slice(&(acc as u32).to_le_bytes());
+        out
+    }
+
+    /// One-shot MAC computation.
+    pub fn mac(key: &[u8; KEY_LEN], message: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Self::new(key);
+        p.update(message);
+        p.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_mac_vector() {
+        let key = unhex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        );
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = Poly1305::mac(key.as_slice().try_into().unwrap(), msg);
+        assert_eq!(tag.to_vec(), unhex("a8061dc1305136c6c22b8baf0c0127a9"));
+    }
+
+    // RFC 8439 Appendix A.3 test vector #1: all-zero key gives all-zero tag.
+    #[test]
+    fn rfc8439_a3_vector1() {
+        let key = [0u8; KEY_LEN];
+        let msg = [0u8; 64];
+        assert_eq!(Poly1305::mac(&key, &msg), [0u8; TAG_LEN]);
+    }
+
+    // RFC 8439 Appendix A.3 test vector #2.
+    #[test]
+    fn rfc8439_a3_vector2() {
+        let mut key = [0u8; KEY_LEN];
+        key[16..].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, msg);
+        assert_eq!(tag.to_vec(), unhex("36e5f6b5c5e06070f0efca96227a863e"));
+    }
+
+    // RFC 8439 Appendix A.3 test vector #3 (r = key part nonzero).
+    #[test]
+    fn rfc8439_a3_vector3() {
+        let mut key = [0u8; KEY_LEN];
+        key[..16].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, msg);
+        assert_eq!(tag.to_vec(), unhex("f3477e7cd95417af89a6b8794c310cf0"));
+    }
+
+    // RFC 8439 Appendix A.3 test vector #7: exercises the p reduction edge.
+    #[test]
+    fn rfc8439_a3_vector7() {
+        let mut key = [0u8; KEY_LEN];
+        key[0] = 1;
+        let msg = unhex(
+            "ffffffffffffffffffffffffffffffff\
+             f0ffffffffffffffffffffffffffffff\
+             11000000000000000000000000000000",
+        );
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(tag.to_vec(), unhex("05000000000000000000000000000000"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key: [u8; KEY_LEN] = std::array::from_fn(|i| i as u8);
+        let data: Vec<u8> = (0..100u8).collect();
+        let want = Poly1305::mac(&key, &data);
+        for split in [0usize, 1, 15, 16, 17, 31, 32, 99, 100] {
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            assert_eq!(p.finalize(), want, "split={split}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_incremental_equals_oneshot(
+            key in proptest::collection::vec(any::<u8>(), KEY_LEN..=KEY_LEN),
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+            split in 0usize..256,
+        ) {
+            let key: [u8; KEY_LEN] = key.as_slice().try_into().unwrap();
+            let split = split.min(data.len());
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            prop_assert_eq!(p.finalize(), Poly1305::mac(&key, &data));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Probabilistic prime generation and testing (Miller–Rabin).
+
+use rand::Rng;
+
+use crate::bignum::BigUint;
+use crate::error::{CryptoError, Result};
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 60] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+];
+
+/// Number of Miller–Rabin rounds. 40 rounds gives a false-positive
+/// probability below 2^-80 for random candidates.
+const MR_ROUNDS: usize = 40;
+
+/// Tests `n` for primality with trial division plus Miller–Rabin.
+///
+/// # Examples
+///
+/// ```
+/// use omg_crypto::bignum::BigUint;
+/// use omg_crypto::prime::is_probable_prime;
+/// use omg_crypto::rng::ChaChaRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = ChaChaRng::seed_from_u64(1);
+/// assert!(is_probable_prime(&BigUint::from(65_537u64), &mut rng));
+/// assert!(!is_probable_prime(&BigUint::from(65_536u64), &mut rng));
+/// ```
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p_big = BigUint::from(p);
+        if n == &p_big {
+            return true;
+        }
+        if n.rem(&p_big).expect("small prime nonzero").is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^r with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub_via_checked(&one);
+    let r = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr(r);
+
+    let two = BigUint::from(2u64);
+    let bound = n.sub_via_checked(&BigUint::from(3u64));
+    'witness: for _ in 0..MR_ROUNDS {
+        // a in [2, n-2]
+        let a = BigUint::random_below(rng, &bound).add(&two);
+        let mut x = a.mod_pow(&d, n).expect("modulus nonzero");
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = x.mod_mul(&x, n).expect("modulus nonzero");
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Counts trailing zero bits.
+fn trailing_zeros(n: &BigUint) -> usize {
+    if n.is_zero() {
+        return 0;
+    }
+    let mut count = 0;
+    for (i, &limb) in n.limbs().iter().enumerate() {
+        if limb == 0 {
+            count = (i + 1) * 64;
+            continue;
+        }
+        return i * 64 + limb.trailing_zeros() as usize;
+    }
+    count
+}
+
+impl BigUint {
+    /// Internal helper: subtraction known not to underflow in prime code.
+    fn sub_via_checked(&self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("prime arithmetic underflow")
+    }
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The top two bits are forced to 1 (so products of two such primes have
+/// exactly `2 * bits` bits, as RSA key generation requires) and the low bit
+/// is forced to 1.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::PrimeGenerationFailed`] if no prime is found within
+/// a generous iteration budget (practically unreachable for `bits >= 16`).
+pub fn generate_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Result<BigUint> {
+    if bits < 2 {
+        return Err(CryptoError::PrimeGenerationFailed);
+    }
+    // Expected gap between primes near 2^bits is ~ bits * ln 2; scanning
+    // 40 * bits odd candidates is overwhelmingly sufficient.
+    let budget = 40 * bits.max(64);
+    for _ in 0..budget {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        // Force top-1 bit (strengthens product size) and oddness.
+        if bits >= 2 {
+            candidate.set_bit(bits - 2);
+        }
+        candidate.set_bit(0);
+        if is_probable_prime(&candidate, rng) {
+            return Ok(candidate);
+        }
+    }
+    Err(CryptoError::PrimeGenerationFailed)
+}
+
+/// Generates a *safe-ish* prime `p` such that `gcd(p-1, e) == 1`, as RSA
+/// key generation requires for the public exponent `e`.
+pub fn generate_rsa_prime<R: Rng + ?Sized>(
+    rng: &mut R,
+    bits: usize,
+    e: &BigUint,
+) -> Result<BigUint> {
+    for _ in 0..64 {
+        let p = generate_prime(rng, bits)?;
+        let p_minus_1 = p.checked_sub(&BigUint::one()).expect("prime >= 2");
+        if p_minus_1.gcd(e).is_one() {
+            return Ok(p);
+        }
+    }
+    Err(CryptoError::PrimeGenerationFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::ChaChaRng;
+
+    #[test]
+    fn small_known_primes_and_composites() {
+        let mut rng = ChaChaRng::seed_from_u64(0);
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 101, 65_537, 1_000_000_007] {
+            assert!(is_probable_prime(&BigUint::from(p), &mut rng), "{p} should be prime");
+        }
+        for c in [0u64, 1, 4, 6, 9, 15, 91, 561, 65_536, 1_000_000_001] {
+            assert!(!is_probable_prime(&BigUint::from(c), &mut rng), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341] {
+            assert!(!is_probable_prime(&BigUint::from(c), &mut rng), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let m127 = BigUint::one().shl(127).checked_sub(&BigUint::one()).unwrap();
+        assert!(is_probable_prime(&m127, &mut rng));
+        // 2^128 - 1 = 3 * 5 * 17 * ... is composite.
+        let m128 = BigUint::one().shl(128).checked_sub(&BigUint::one()).unwrap();
+        assert!(!is_probable_prime(&m128, &mut rng));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = ChaChaRng::seed_from_u64(3);
+        for bits in [32usize, 64, 128, 256] {
+            let p = generate_prime(&mut rng, bits).unwrap();
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn rsa_prime_coprime_to_e() {
+        let mut rng = ChaChaRng::seed_from_u64(4);
+        let e = BigUint::from(65_537u64);
+        let p = generate_rsa_prime(&mut rng, 128, &e).unwrap();
+        let p_minus_1 = p.checked_sub(&BigUint::one()).unwrap();
+        assert!(p_minus_1.gcd(&e).is_one());
+    }
+
+    #[test]
+    fn tiny_bits_rejected() {
+        let mut rng = ChaChaRng::seed_from_u64(5);
+        assert!(generate_prime(&mut rng, 0).is_err());
+        assert!(generate_prime(&mut rng, 1).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! CPU cores: identity, power state, security world, and the per-core L1
+//! cache state used to check SANCTUARY's teardown invariants.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies one CPU core on the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// The TrustZone security state a core currently executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum World {
+    /// The commodity OS and ordinary apps (paper Fig. 1, left).
+    Normal,
+    /// The trusted OS behind the TrustZone boundary (paper Fig. 1, right).
+    Secure,
+}
+
+impl fmt::Display for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            World::Normal => write!(f, "normal world"),
+            World::Secure => write!(f, "secure world"),
+        }
+    }
+}
+
+/// Power/execution state of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreState {
+    /// Running the commodity OS (available for scheduling).
+    Online,
+    /// Powered off (the SANCTUARY setup step parks a core here before
+    /// binding memory to it).
+    Offline,
+    /// Booted into a SANCTUARY execution environment, isolated from the
+    /// commodity OS.
+    Sanctuary,
+}
+
+/// Tracked L1 cache state for one core.
+///
+/// The simulation does not model cache *contents* — only which line
+/// addresses hold residue. SANCTUARY's teardown invariant ("data in the L1
+/// is invalidated") becomes directly testable: after a teardown,
+/// [`L1Cache::resident_lines`] must be empty.
+#[derive(Debug, Clone, Default)]
+pub struct L1Cache {
+    /// 64-byte-aligned line addresses with valid (possibly secret) data.
+    lines: BTreeSet<u64>,
+}
+
+/// Cache line size in bytes (ARMv8 typical).
+pub const CACHE_LINE: u64 = 64;
+
+impl L1Cache {
+    /// Creates an empty (invalidated) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the byte range `[addr, addr+len)` passed through this
+    /// cache.
+    pub fn touch(&mut self, addr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / CACHE_LINE;
+        let last = (addr + len as u64 - 1) / CACHE_LINE;
+        for line in first..=last {
+            self.lines.insert(line * CACHE_LINE);
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether any line overlapping `[addr, addr+len)` is resident.
+    pub fn holds_range(&self, addr: u64, len: usize) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let first = (addr / CACHE_LINE) * CACHE_LINE;
+        let last = ((addr + len as u64 - 1) / CACHE_LINE) * CACHE_LINE;
+        self.lines.range(first..=last).next().is_some()
+    }
+
+    /// Invalidates every line (the SANCTUARY teardown step).
+    pub fn invalidate_all(&mut self) {
+        self.lines.clear();
+    }
+}
+
+/// One CPU core of the simulated SoC.
+#[derive(Debug, Clone)]
+pub struct CpuCore {
+    id: CoreId,
+    /// Nominal clock frequency in MHz (HiKey 960: 2400 for the big cluster,
+    /// 1800 for the little cluster).
+    freq_mhz: u32,
+    state: CoreState,
+    world: World,
+    /// Scheduler load indicator; SANCTUARY's setup picks the least busy
+    /// core to shut down.
+    load: u32,
+    l1: L1Cache,
+}
+
+impl CpuCore {
+    /// Creates an online core in the normal world.
+    pub fn new(id: CoreId, freq_mhz: u32) -> Self {
+        CpuCore { id, freq_mhz, state: CoreState::Online, world: World::Normal, load: 0, l1: L1Cache::new() }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Nominal frequency in MHz.
+    pub fn freq_mhz(&self) -> u32 {
+        self.freq_mhz
+    }
+
+    /// Current power/execution state.
+    pub fn state(&self) -> CoreState {
+        self.state
+    }
+
+    /// Current security world.
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// Current scheduler load (arbitrary units; higher = busier).
+    pub fn load(&self) -> u32 {
+        self.load
+    }
+
+    /// Sets the scheduler load indicator.
+    pub fn set_load(&mut self, load: u32) {
+        self.load = load;
+    }
+
+    /// The core's private L1 cache state.
+    pub fn l1(&self) -> &L1Cache {
+        &self.l1
+    }
+
+    /// Mutable access to the L1 state (used by the memory controller).
+    pub(crate) fn l1_mut(&mut self) -> &mut L1Cache {
+        &mut self.l1
+    }
+
+    pub(crate) fn set_state(&mut self, state: CoreState) {
+        self.state = state;
+    }
+
+    pub(crate) fn set_world(&mut self, world: World) {
+        self.world = world;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_core_is_online_normal_world() {
+        let c = CpuCore::new(CoreId(3), 2400);
+        assert_eq!(c.id(), CoreId(3));
+        assert_eq!(c.state(), CoreState::Online);
+        assert_eq!(c.world(), World::Normal);
+        assert_eq!(c.freq_mhz(), 2400);
+        assert_eq!(c.l1().resident_lines(), 0);
+    }
+
+    #[test]
+    fn l1_touch_tracks_lines() {
+        let mut l1 = L1Cache::new();
+        l1.touch(0, 1);
+        assert_eq!(l1.resident_lines(), 1);
+        // Crossing a line boundary touches two lines.
+        l1.touch(60, 8);
+        assert_eq!(l1.resident_lines(), 2);
+        assert!(l1.holds_range(0, 64));
+        assert!(l1.holds_range(64, 64));
+        assert!(!l1.holds_range(128, 64));
+    }
+
+    #[test]
+    fn l1_zero_length_touch_is_noop() {
+        let mut l1 = L1Cache::new();
+        l1.touch(100, 0);
+        assert_eq!(l1.resident_lines(), 0);
+        assert!(!l1.holds_range(100, 0));
+    }
+
+    #[test]
+    fn l1_invalidate_clears_residue() {
+        let mut l1 = L1Cache::new();
+        l1.touch(0x1000, 4096);
+        assert!(l1.resident_lines() > 0);
+        l1.invalidate_all();
+        assert_eq!(l1.resident_lines(), 0);
+        assert!(!l1.holds_range(0x1000, 4096));
+    }
+
+    #[test]
+    fn holds_range_detects_overlap_at_line_granularity() {
+        let mut l1 = L1Cache::new();
+        l1.touch(0x80, 4); // line 0x80..0xC0
+        // Query for a different offset in the same line still hits.
+        assert!(l1.holds_range(0xB0, 4));
+        // Adjacent line misses.
+        assert!(!l1.holds_range(0xC0, 4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CoreId(5).to_string(), "core5");
+        assert_eq!(World::Normal.to_string(), "normal world");
+        assert_eq!(World::Secure.to_string(), "secure world");
+    }
+}

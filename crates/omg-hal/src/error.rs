@@ -1,0 +1,134 @@
+//! Error types for the simulated platform.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cpu::CoreId;
+use crate::memory::Agent;
+
+/// Errors raised by the simulated ARM platform.
+///
+/// Access faults are the load-bearing variant: they are how the simulation
+/// makes TrustZone's hardware protection *observable* — a normal-world read
+/// of enclave memory does not return garbage or zeros, it faults exactly as
+/// the TZASC would make it fault on silicon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HalError {
+    /// A memory access violated the TZASC configuration.
+    AccessFault {
+        /// Physical address of the offending access.
+        addr: u64,
+        /// Who attempted the access.
+        agent: Agent,
+        /// Human-readable denial reason.
+        reason: &'static str,
+    },
+    /// The address range does not fall inside any defined region.
+    UnmappedAddress {
+        /// Physical address of the offending access.
+        addr: u64,
+    },
+    /// An access crossed a region boundary (accesses must stay in-region).
+    RegionOverrun {
+        /// Physical address of the offending access.
+        addr: u64,
+        /// Length of the attempted access.
+        len: usize,
+    },
+    /// A new region would overlap an existing one.
+    RegionOverlap {
+        /// Base address of the conflicting request.
+        base: u64,
+    },
+    /// There is not enough free physical address space for an allocation.
+    OutOfMemory {
+        /// Requested size in bytes.
+        requested: u64,
+    },
+    /// The referenced region handle is stale or unknown.
+    UnknownRegion,
+    /// The core cannot perform the requested power/world transition.
+    CoreUnavailable {
+        /// Which core.
+        core: CoreId,
+        /// Why the transition was refused.
+        reason: &'static str,
+    },
+    /// No core is eligible for the requested operation.
+    NoEligibleCore,
+    /// The peripheral is not assigned to the requesting world.
+    PeripheralDenied {
+        /// Name of the peripheral.
+        periph: &'static str,
+        /// Who attempted the access.
+        agent: Agent,
+    },
+    /// The peripheral has no more data to deliver.
+    PeripheralExhausted {
+        /// Name of the peripheral.
+        periph: &'static str,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for HalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HalError::AccessFault { addr, agent, reason } => {
+                write!(f, "access fault at {addr:#x} by {agent}: {reason}")
+            }
+            HalError::UnmappedAddress { addr } => write!(f, "unmapped address {addr:#x}"),
+            HalError::RegionOverrun { addr, len } => {
+                write!(f, "access at {addr:#x} of {len} bytes crosses a region boundary")
+            }
+            HalError::RegionOverlap { base } => {
+                write!(f, "region at {base:#x} overlaps an existing region")
+            }
+            HalError::OutOfMemory { requested } => {
+                write!(f, "no free physical range of {requested} bytes")
+            }
+            HalError::UnknownRegion => write!(f, "unknown or stale region handle"),
+            HalError::CoreUnavailable { core, reason } => {
+                write!(f, "core {core} unavailable: {reason}")
+            }
+            HalError::NoEligibleCore => write!(f, "no eligible core for the operation"),
+            HalError::PeripheralDenied { periph, agent } => {
+                write!(f, "peripheral {periph} denied to {agent}")
+            }
+            HalError::PeripheralExhausted { periph } => {
+                write!(f, "peripheral {periph} has no more data")
+            }
+            HalError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for HalError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = HalError::AccessFault {
+            addr: 0x8000_0000,
+            agent: Agent::NormalWorld { core: CoreId(0) },
+            reason: "region locked to core 4",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0x80000000"));
+        assert!(msg.contains("locked"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HalError>();
+    }
+}

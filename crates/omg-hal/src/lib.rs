@@ -1,0 +1,61 @@
+//! Simulated ARM TrustZone platform for the Offline Model Guard (OMG)
+//! reproduction.
+//!
+//! The paper prototypes OMG on an ARM HiKey 960 board. This crate replaces
+//! the silicon with a software model that enforces the *same access-control
+//! rules* and accounts time with the *same cost structure*:
+//!
+//! * [`memory`] — DRAM behind a TZASC: regions can be open, secure-world
+//!   only, TZASC-locked to one core (SANCTUARY's enclave binding, with
+//!   two-way isolation), or shared mailboxes. Every access names an
+//!   [`memory::Agent`] and either succeeds or faults.
+//! * [`cpu`] — cores with power states (online / offline / SANCTUARY),
+//!   security worlds, and per-core L1 residue tracking.
+//! * [`cache`] — the shared L2 with the exclusion knob for enclave traffic.
+//! * [`periph`] — the microphone (assignable to the secure world via TZPC)
+//!   and the trusted display used for attestation output.
+//! * [`clock`] — the virtual clock mixing measured compute time with
+//!   modelled hardware-event costs (world switch = 0.3 ms round trip, per
+//!   SANCTUARY \[11\]).
+//! * [`soc`] — [`Platform`] wiring it all together, with a
+//!   [`PlatformConfig::hikey960`] preset matching the paper's board.
+//! * [`render`] — Fig. 1-style rendering of live platform state.
+//!
+//! # Examples
+//!
+//! Locking memory to a core the way SANCTUARY does:
+//!
+//! ```
+//! use omg_hal::{Platform, HalError};
+//! use omg_hal::cpu::CoreId;
+//! use omg_hal::memory::{Agent, Protection};
+//!
+//! let mut platform = Platform::hikey960();
+//!
+//! // SANCTUARY setup: pick the least busy core, park it, bind memory.
+//! let core = platform.least_busy_online_core()?;
+//! platform.shutdown_core(core)?;
+//! let enclave = platform.allocate_region("enclave", 1 << 20, Protection::CoreLocked(core))?;
+//! platform.boot_core_sanctuary(core)?;
+//!
+//! // The enclave writes; the commodity OS faults.
+//! platform.write_at(Agent::SanctuaryApp { core }, enclave, 0, b"model weights")?;
+//! let mut buf = [0u8; 13];
+//! let attempt = platform.read_at(Agent::NormalWorld { core: CoreId(0) }, enclave, 0, &mut buf);
+//! assert!(matches!(attempt, Err(HalError::AccessFault { .. })));
+//! # Ok::<(), omg_hal::HalError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod clock;
+pub mod cpu;
+mod error;
+pub mod memory;
+pub mod periph;
+pub mod render;
+pub mod soc;
+
+pub use error::{HalError, Result};
+pub use soc::{Platform, PlatformConfig};

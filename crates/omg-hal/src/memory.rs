@@ -1,0 +1,631 @@
+//! Physical memory with TZASC-style access control.
+//!
+//! The TrustZone Address Space Controller (TZASC) is the hardware mechanism
+//! SANCTUARY repurposes to build user-space enclaves: a DRAM region can be
+//! bound exclusively to one CPU core, making it inaccessible to every other
+//! core, to the secure world, and to DMA devices (paper §III-B).
+//!
+//! In this simulation every access names an [`Agent`]; the controller either
+//! performs it or returns an [`HalError::AccessFault`], which is exactly how
+//! the protection becomes testable.
+
+use std::fmt;
+
+use crate::cpu::CoreId;
+use crate::error::{HalError, Result};
+
+/// Who is issuing a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Agent {
+    /// The commodity OS or an ordinary app on the given core.
+    NormalWorld {
+        /// Core the access is issued from.
+        core: CoreId,
+    },
+    /// Trusted-OS code in the TrustZone secure world.
+    SecureWorld {
+        /// Core the access is issued from.
+        core: CoreId,
+    },
+    /// A SANCTUARY App executing on its dedicated, isolated core.
+    SanctuaryApp {
+        /// The dedicated core the SA runs on.
+        core: CoreId,
+    },
+    /// A DMA-capable device (potential DMA attack vector).
+    Dma {
+        /// Device name for diagnostics.
+        device: &'static str,
+    },
+    /// The EL3 trusted firmware / monitor — the root of trust that performs
+    /// measurement and scrubbing. Can access everything.
+    TrustedFirmware,
+}
+
+impl fmt::Display for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Agent::NormalWorld { core } => write!(f, "normal world ({core})"),
+            Agent::SecureWorld { core } => write!(f, "secure world ({core})"),
+            Agent::SanctuaryApp { core } => write!(f, "sanctuary app ({core})"),
+            Agent::Dma { device } => write!(f, "dma device {device}"),
+            Agent::TrustedFirmware => write!(f, "trusted firmware"),
+        }
+    }
+}
+
+/// TZASC protection attribute of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// Ordinary DRAM: every agent, including DMA, may access.
+    Open,
+    /// Secure-world-only memory (the classic TrustZone partition,
+    /// paper Fig. 1 right half). DMA and normal world are blocked.
+    SecureOnly,
+    /// Memory bound exclusively to one core running a SANCTUARY App.
+    /// *Two-way* isolation: the normal world, the secure world, other
+    /// cores, and DMA are all blocked (paper §III-B).
+    CoreLocked(CoreId),
+    /// A mailbox shared between the SA core, the commodity OS and the
+    /// secure world (used for untrusted OS services and secure-world
+    /// peripheral proxying). DMA is blocked.
+    Shared(CoreId),
+}
+
+impl Protection {
+    /// Whether `agent` may read or write memory under this protection.
+    pub fn permits(self, agent: Agent) -> bool {
+        match (self, agent) {
+            (_, Agent::TrustedFirmware) => true,
+            (Protection::Open, _) => true,
+            (Protection::SecureOnly, Agent::SecureWorld { .. }) => true,
+            (Protection::SecureOnly, _) => false,
+            (Protection::CoreLocked(c), Agent::SanctuaryApp { core }) => c == core,
+            (Protection::CoreLocked(_), _) => false,
+            (Protection::Shared(c), Agent::SanctuaryApp { core }) => c == core,
+            (Protection::Shared(_), Agent::SecureWorld { .. }) => true,
+            (Protection::Shared(_), Agent::NormalWorld { .. }) => true,
+            (Protection::Shared(_), Agent::Dma { .. }) => false,
+        }
+    }
+
+    /// Short label for rendering (Fig. 1 output).
+    pub fn label(self) -> String {
+        match self {
+            Protection::Open => "open".to_owned(),
+            Protection::SecureOnly => "secure-only".to_owned(),
+            Protection::CoreLocked(c) => format!("locked:{c}"),
+            Protection::Shared(c) => format!("shared:{c}"),
+        }
+    }
+}
+
+/// Handle to a defined memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(usize);
+
+#[derive(Debug)]
+struct Region {
+    name: String,
+    base: u64,
+    size: u64,
+    protection: Protection,
+    buf: Vec<u8>,
+}
+
+/// Summary of one region for inspection and rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Region id.
+    pub id: RegionId,
+    /// Human-readable region name.
+    pub name: String,
+    /// Physical base address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Current TZASC protection.
+    pub protection: Protection,
+}
+
+/// The memory controller: DRAM plus the TZASC access checks.
+#[derive(Debug)]
+pub struct MemoryController {
+    dram_base: u64,
+    dram_size: u64,
+    regions: Vec<Option<Region>>,
+}
+
+impl MemoryController {
+    /// Creates a controller managing `[dram_base, dram_base + dram_size)`.
+    pub fn new(dram_base: u64, dram_size: u64) -> Self {
+        MemoryController { dram_base, dram_size, regions: Vec::new() }
+    }
+
+    /// Total DRAM size in bytes.
+    pub fn dram_size(&self) -> u64 {
+        self.dram_size
+    }
+
+    /// Defines a region at an explicit base address.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::RegionOverlap`] if it intersects an existing region,
+    /// [`HalError::OutOfMemory`] if it falls outside DRAM,
+    /// [`HalError::InvalidConfig`] for zero-size regions.
+    pub fn define_region_at(
+        &mut self,
+        name: &str,
+        base: u64,
+        size: u64,
+        protection: Protection,
+    ) -> Result<RegionId> {
+        if size == 0 {
+            return Err(HalError::InvalidConfig("region size must be nonzero"));
+        }
+        if base < self.dram_base || base + size > self.dram_base + self.dram_size {
+            return Err(HalError::OutOfMemory { requested: size });
+        }
+        if self.regions.iter().flatten().any(|r| base < r.base + r.size && r.base < base + size) {
+            return Err(HalError::RegionOverlap { base });
+        }
+        let region = Region {
+            name: name.to_owned(),
+            base,
+            size,
+            protection,
+            buf: vec![0u8; size as usize],
+        };
+        // Reuse a free slot if available.
+        if let Some(idx) = self.regions.iter().position(Option::is_none) {
+            self.regions[idx] = Some(region);
+            Ok(RegionId(idx))
+        } else {
+            self.regions.push(Some(region));
+            Ok(RegionId(self.regions.len() - 1))
+        }
+    }
+
+    /// Allocates a region in the first free DRAM range (4 KiB aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::OutOfMemory`] if no free range is large enough.
+    pub fn allocate_region(
+        &mut self,
+        name: &str,
+        size: u64,
+        protection: Protection,
+    ) -> Result<RegionId> {
+        const ALIGN: u64 = 4096;
+        if size == 0 {
+            return Err(HalError::InvalidConfig("region size must be nonzero"));
+        }
+        let mut occupied: Vec<(u64, u64)> = self
+            .regions
+            .iter()
+            .flatten()
+            .map(|r| (r.base, r.base + r.size))
+            .collect();
+        occupied.sort_unstable();
+        let mut cursor = self.dram_base;
+        for (start, end) in occupied {
+            let aligned = cursor.div_ceil(ALIGN) * ALIGN;
+            if aligned + size <= start {
+                return self.define_region_at(name, aligned, size, protection);
+            }
+            cursor = cursor.max(end);
+        }
+        let aligned = cursor.div_ceil(ALIGN) * ALIGN;
+        if aligned + size <= self.dram_base + self.dram_size {
+            return self.define_region_at(name, aligned, size, protection);
+        }
+        Err(HalError::OutOfMemory { requested: size })
+    }
+
+    fn region(&self, id: RegionId) -> Result<&Region> {
+        self.regions.get(id.0).and_then(Option::as_ref).ok_or(HalError::UnknownRegion)
+    }
+
+    fn region_mut(&mut self, id: RegionId) -> Result<&mut Region> {
+        self.regions.get_mut(id.0).and_then(Option::as_mut).ok_or(HalError::UnknownRegion)
+    }
+
+    /// Removes a region definition entirely, returning its former range to
+    /// the allocator. The backing data is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn release_region(&mut self, id: RegionId) -> Result<()> {
+        let slot = self.regions.get_mut(id.0).ok_or(HalError::UnknownRegion)?;
+        if slot.is_none() {
+            return Err(HalError::UnknownRegion);
+        }
+        *slot = None;
+        Ok(())
+    }
+
+    /// Reprograms the TZASC protection of a region (lock/unlock).
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn set_protection(&mut self, id: RegionId, protection: Protection) -> Result<()> {
+        self.region_mut(id)?.protection = protection;
+        Ok(())
+    }
+
+    /// Current protection of a region.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn protection(&self, id: RegionId) -> Result<Protection> {
+        Ok(self.region(id)?.protection)
+    }
+
+    /// Base address of a region.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn region_base(&self, id: RegionId) -> Result<u64> {
+        Ok(self.region(id)?.base)
+    }
+
+    /// Size of a region in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn region_size(&self, id: RegionId) -> Result<u64> {
+        Ok(self.region(id)?.size)
+    }
+
+    /// Lists all defined regions ordered by base address.
+    pub fn regions(&self) -> Vec<RegionInfo> {
+        let mut out: Vec<RegionInfo> = self
+            .regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                r.as_ref().map(|r| RegionInfo {
+                    id: RegionId(i),
+                    name: r.name.clone(),
+                    base: r.base,
+                    size: r.size,
+                    protection: r.protection,
+                })
+            })
+            .collect();
+        out.sort_by_key(|r| r.base);
+        out
+    }
+
+    /// Locates the region containing `addr` and validates that
+    /// `[addr, addr+len)` stays inside it.
+    fn locate(&self, addr: u64, len: usize) -> Result<(RegionId, usize)> {
+        for (i, r) in self.regions.iter().enumerate() {
+            let Some(r) = r else { continue };
+            if addr >= r.base && addr < r.base + r.size {
+                if addr + len as u64 > r.base + r.size {
+                    return Err(HalError::RegionOverrun { addr, len });
+                }
+                return Ok((RegionId(i), (addr - r.base) as usize));
+            }
+        }
+        Err(HalError::UnmappedAddress { addr })
+    }
+
+    fn check(&self, id: RegionId, agent: Agent, addr: u64) -> Result<()> {
+        let r = self.region(id)?;
+        if r.protection.permits(agent) {
+            Ok(())
+        } else {
+            let reason = match r.protection {
+                Protection::Open => unreachable!("open regions permit everyone"),
+                Protection::SecureOnly => "region is secure-world only",
+                Protection::CoreLocked(_) => "region is TZASC-locked to another agent",
+                Protection::Shared(_) => "shared region does not admit this agent",
+            };
+            Err(HalError::AccessFault { addr, agent, reason })
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at physical address `addr` as `agent`.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::AccessFault`] on a TZASC denial, [`HalError::UnmappedAddress`]
+    /// / [`HalError::RegionOverrun`] on bad addresses.
+    pub fn read(&self, agent: Agent, addr: u64, buf: &mut [u8]) -> Result<()> {
+        let (id, off) = self.locate(addr, buf.len())?;
+        self.check(id, agent, addr)?;
+        let r = self.region(id)?;
+        buf.copy_from_slice(&r.buf[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes `data` starting at physical address `addr` as `agent`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn write(&mut self, agent: Agent, addr: u64, data: &[u8]) -> Result<()> {
+        let (id, off) = self.locate(addr, data.len())?;
+        self.check(id, agent, addr)?;
+        let r = self.region_mut(id)?;
+        r.buf[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads an entire region as `agent` (convenience for measurement).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn read_region(&self, agent: Agent, id: RegionId, out: &mut Vec<u8>) -> Result<()> {
+        let r = self.region(id)?;
+        self.check(id, agent, r.base)?;
+        out.clear();
+        out.extend_from_slice(&r.buf);
+        Ok(())
+    }
+
+    /// Overwrites an entire region with zeros (the firmware scrub step).
+    ///
+    /// Only [`Agent::TrustedFirmware`] may scrub.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::AccessFault`] for any other agent.
+    pub fn scrub(&mut self, agent: Agent, id: RegionId) -> Result<()> {
+        if agent != Agent::TrustedFirmware {
+            let base = self.region(id)?.base;
+            return Err(HalError::AccessFault { addr: base, agent, reason: "only firmware scrubs" });
+        }
+        let r = self.region_mut(id)?;
+        r.buf.iter_mut().for_each(|b| *b = 0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn controller() -> MemoryController {
+        MemoryController::new(0, 64 * MB)
+    }
+
+    fn normal(core: usize) -> Agent {
+        Agent::NormalWorld { core: CoreId(core) }
+    }
+
+    #[test]
+    fn define_read_write_roundtrip() {
+        let mut mc = controller();
+        let id = mc.allocate_region("dram", MB, Protection::Open).unwrap();
+        let base = mc.region_base(id).unwrap();
+        mc.write(normal(0), base + 100, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        mc.read(normal(1), base + 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut mc = controller();
+        mc.define_region_at("a", 0, MB, Protection::Open).unwrap();
+        assert_eq!(
+            mc.define_region_at("b", MB / 2, MB, Protection::Open).unwrap_err(),
+            HalError::RegionOverlap { base: MB / 2 }
+        );
+        // Adjacent is fine.
+        mc.define_region_at("c", MB, MB, Protection::Open).unwrap();
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut mc = controller();
+        assert!(mc.define_region_at("z", 0, 0, Protection::Open).is_err());
+        assert!(mc.allocate_region("z", 0, Protection::Open).is_err());
+    }
+
+    #[test]
+    fn out_of_dram_rejected() {
+        let mut mc = controller();
+        assert!(mc.define_region_at("big", 0, 65 * MB, Protection::Open).is_err());
+        assert!(mc.allocate_region("big", 65 * MB, Protection::Open).is_err());
+    }
+
+    #[test]
+    fn allocation_finds_gaps() {
+        let mut mc = controller();
+        let a = mc.allocate_region("a", MB, Protection::Open).unwrap();
+        let _b = mc.allocate_region("b", MB, Protection::Open).unwrap();
+        mc.release_region(a).unwrap();
+        let c = mc.allocate_region("c", MB / 2, Protection::Open).unwrap();
+        // c fits into the hole left by a.
+        assert_eq!(mc.region_base(c).unwrap(), 0);
+    }
+
+    #[test]
+    fn unmapped_and_overrun() {
+        let mut mc = controller();
+        let id = mc.define_region_at("a", 4096, 4096, Protection::Open).unwrap();
+        let base = mc.region_base(id).unwrap();
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            mc.read(normal(0), 0, &mut buf),
+            Err(HalError::UnmappedAddress { .. })
+        ));
+        assert!(matches!(
+            mc.read(normal(0), base + 4090, &mut buf),
+            Err(HalError::RegionOverrun { .. })
+        ));
+    }
+
+    #[test]
+    fn core_locked_two_way_isolation() {
+        let mut mc = controller();
+        let id = mc.allocate_region("enclave", MB, Protection::CoreLocked(CoreId(7))).unwrap();
+        let base = mc.region_base(id).unwrap();
+        let sa = Agent::SanctuaryApp { core: CoreId(7) };
+        mc.write(sa, base, b"secret").unwrap();
+
+        let mut buf = [0u8; 6];
+        // The bound SA core reads fine.
+        mc.read(sa, base, &mut buf).unwrap();
+        assert_eq!(&buf, b"secret");
+        // Normal world: denied (one-way isolation, classic).
+        assert!(matches!(mc.read(normal(0), base, &mut buf), Err(HalError::AccessFault { .. })));
+        // Normal world *on the same core id*: still denied (the SA owns it).
+        assert!(matches!(mc.read(normal(7), base, &mut buf), Err(HalError::AccessFault { .. })));
+        // Secure world: denied — this is SANCTUARY's *two-way* isolation.
+        assert!(matches!(
+            mc.read(Agent::SecureWorld { core: CoreId(0) }, base, &mut buf),
+            Err(HalError::AccessFault { .. })
+        ));
+        // Another SA core: denied.
+        assert!(matches!(
+            mc.read(Agent::SanctuaryApp { core: CoreId(3) }, base, &mut buf),
+            Err(HalError::AccessFault { .. })
+        ));
+        // DMA: denied (DMA attack protection).
+        assert!(matches!(
+            mc.read(Agent::Dma { device: "gpu" }, base, &mut buf),
+            Err(HalError::AccessFault { .. })
+        ));
+        // Trusted firmware: allowed (root of trust does measurement).
+        mc.read(Agent::TrustedFirmware, base, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn secure_only_blocks_normal_world_and_dma() {
+        let mut mc = controller();
+        let id = mc.allocate_region("tee", MB, Protection::SecureOnly).unwrap();
+        let base = mc.region_base(id).unwrap();
+        let sw = Agent::SecureWorld { core: CoreId(0) };
+        mc.write(sw, base, b"trusted os").unwrap();
+        let mut buf = [0u8; 10];
+        mc.read(sw, base, &mut buf).unwrap();
+        assert!(mc.read(normal(0), base, &mut buf).is_err());
+        assert!(mc.read(Agent::Dma { device: "nic" }, base, &mut buf).is_err());
+        assert!(mc.read(Agent::SanctuaryApp { core: CoreId(1) }, base, &mut buf).is_err());
+    }
+
+    #[test]
+    fn shared_mailbox_permits_three_parties_but_not_dma() {
+        let mut mc = controller();
+        let id = mc.allocate_region("mailbox", 4096, Protection::Shared(CoreId(2))).unwrap();
+        let base = mc.region_base(id).unwrap();
+        let mut buf = [0u8; 4];
+        mc.write(Agent::SanctuaryApp { core: CoreId(2) }, base, b"ping").unwrap();
+        mc.read(normal(0), base, &mut buf).unwrap();
+        mc.read(Agent::SecureWorld { core: CoreId(0) }, base, &mut buf).unwrap();
+        assert!(mc.read(Agent::SanctuaryApp { core: CoreId(3) }, base, &mut buf).is_err());
+        assert!(mc.read(Agent::Dma { device: "usb" }, base, &mut buf).is_err());
+    }
+
+    #[test]
+    fn reprotection_changes_access() {
+        let mut mc = controller();
+        let id = mc.allocate_region("staging", MB, Protection::Open).unwrap();
+        let base = mc.region_base(id).unwrap();
+        // Normal world loads content while open...
+        mc.write(normal(0), base, b"enclave code").unwrap();
+        // ...then the TZASC locks it to core 5.
+        mc.set_protection(id, Protection::CoreLocked(CoreId(5))).unwrap();
+        let mut buf = [0u8; 12];
+        assert!(mc.read(normal(0), base, &mut buf).is_err());
+        mc.read(Agent::SanctuaryApp { core: CoreId(5) }, base, &mut buf).unwrap();
+        assert_eq!(&buf, b"enclave code");
+        // Unlock: accessible again.
+        mc.set_protection(id, Protection::Open).unwrap();
+        mc.read(normal(0), base, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn scrub_requires_firmware_and_zeroizes() {
+        let mut mc = controller();
+        let id = mc.allocate_region("enclave", 4096, Protection::CoreLocked(CoreId(1))).unwrap();
+        let base = mc.region_base(id).unwrap();
+        let sa = Agent::SanctuaryApp { core: CoreId(1) };
+        mc.write(sa, base, b"key material").unwrap();
+        assert!(mc.scrub(sa, id).is_err());
+        assert!(mc.scrub(normal(0), id).is_err());
+        mc.scrub(Agent::TrustedFirmware, id).unwrap();
+        let mut buf = [0u8; 12];
+        mc.read(Agent::TrustedFirmware, base, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 12]);
+    }
+
+    #[test]
+    fn stale_handles_error() {
+        let mut mc = controller();
+        let id = mc.allocate_region("a", MB, Protection::Open).unwrap();
+        mc.release_region(id).unwrap();
+        assert_eq!(mc.release_region(id).unwrap_err(), HalError::UnknownRegion);
+        assert_eq!(mc.protection(id).unwrap_err(), HalError::UnknownRegion);
+        assert_eq!(mc.set_protection(id, Protection::Open).unwrap_err(), HalError::UnknownRegion);
+    }
+
+    #[test]
+    fn regions_listing_sorted_by_base() {
+        let mut mc = controller();
+        mc.define_region_at("hi", 8 * MB, MB, Protection::Open).unwrap();
+        mc.define_region_at("lo", 0, MB, Protection::SecureOnly).unwrap();
+        let infos = mc.regions();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].name, "lo");
+        assert_eq!(infos[1].name, "hi");
+        assert_eq!(infos[0].protection, Protection::SecureOnly);
+    }
+
+    proptest! {
+        /// TZASC invariant: for any protection and agent, `permits` matches
+        /// the truth table in the paper's §III-B.
+        #[test]
+        fn prop_locked_regions_only_admit_owner_and_firmware(
+            owner in 0usize..8,
+            agent_core in 0usize..8,
+            agent_kind in 0usize..4,
+        ) {
+            let prot = Protection::CoreLocked(CoreId(owner));
+            let agent = match agent_kind {
+                0 => Agent::NormalWorld { core: CoreId(agent_core) },
+                1 => Agent::SecureWorld { core: CoreId(agent_core) },
+                2 => Agent::SanctuaryApp { core: CoreId(agent_core) },
+                _ => Agent::Dma { device: "x" },
+            };
+            let expected = matches!(agent, Agent::SanctuaryApp { core } if core == CoreId(owner));
+            prop_assert_eq!(prot.permits(agent), expected);
+            prop_assert!(prot.permits(Agent::TrustedFirmware));
+        }
+
+        /// Random sequences of writes through permitted agents always read
+        /// back the last value (memory is a memory).
+        #[test]
+        fn prop_memory_is_coherent(
+            writes in proptest::collection::vec((0u64..1000, any::<u8>()), 1..50)
+        ) {
+            let mut mc = controller();
+            let id = mc.allocate_region("r", 1024, Protection::Open).unwrap();
+            let base = mc.region_base(id).unwrap();
+            let mut shadow = [0u8; 1024];
+            for (off, val) in &writes {
+                mc.write(normal(0), base + off, &[*val]).unwrap();
+                shadow[*off as usize] = *val;
+            }
+            let mut out = vec![0u8; 1024];
+            mc.read(normal(0), base, &mut out).unwrap();
+            prop_assert_eq!(&out[..], &shadow[..]);
+        }
+    }
+}

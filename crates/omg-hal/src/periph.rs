@@ -1,0 +1,234 @@
+//! Peripherals and their TrustZone world assignment.
+//!
+//! TrustZone can assign sensitive peripherals exclusively to the secure
+//! world (paper §III-B, last paragraph). OMG relies on this to collect
+//! microphone input without the commodity OS ever seeing the samples:
+//! the SA asks the secure world, the secure world reads the device and
+//! copies the data into the shared region.
+
+use std::collections::VecDeque;
+
+use crate::cpu::World;
+use crate::error::{HalError, Result};
+use crate::memory::Agent;
+
+/// Audio sample rate used throughout the reproduction (Speech Commands
+/// recordings are 16 kHz).
+pub const MIC_SAMPLE_RATE_HZ: u32 = 16_000;
+
+/// Which world a peripheral is currently assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeriphAssignment {
+    /// Visible to the commodity OS (insecure default).
+    NormalWorld,
+    /// Reserved to the secure world; normal-world accesses fault.
+    SecureWorld,
+}
+
+impl PeriphAssignment {
+    fn permits(self, agent: Agent) -> bool {
+        #[allow(clippy::match_like_matches_macro)] // explicit truth table
+        match (self, agent) {
+            (_, Agent::TrustedFirmware) => true,
+            (PeriphAssignment::NormalWorld, Agent::NormalWorld { .. }) => true,
+            (PeriphAssignment::NormalWorld, Agent::SecureWorld { .. }) => true,
+            (PeriphAssignment::SecureWorld, Agent::SecureWorld { .. }) => true,
+            _ => false,
+        }
+    }
+}
+
+/// The on-device microphone.
+///
+/// Tests and examples feed it recordings with [`Microphone::push_recording`];
+/// reads consume samples in FIFO order, mimicking a capture stream.
+#[derive(Debug, Default)]
+pub struct Microphone {
+    assignment: Option<PeriphAssignment>,
+    stream: VecDeque<i16>,
+    samples_served: u64,
+}
+
+impl Microphone {
+    /// Creates a microphone assigned to the normal world (the insecure
+    /// power-on default; OMG reassigns it during preparation).
+    pub fn new() -> Self {
+        Microphone { assignment: Some(PeriphAssignment::NormalWorld), stream: VecDeque::new(), samples_served: 0 }
+    }
+
+    /// Current world assignment.
+    pub fn assignment(&self) -> PeriphAssignment {
+        self.assignment.expect("assignment always set")
+    }
+
+    /// Reassigns the peripheral (TZPC programming; secure-world privilege
+    /// is checked by the platform wrapper).
+    pub fn set_assignment(&mut self, assignment: PeriphAssignment) {
+        self.assignment = Some(assignment);
+    }
+
+    /// Queues samples as if spoken into the microphone.
+    pub fn push_recording(&mut self, samples: &[i16]) {
+        self.stream.extend(samples.iter().copied());
+    }
+
+    /// Number of queued-but-unread samples.
+    pub fn pending_samples(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Total samples served since power-on.
+    pub fn samples_served(&self) -> u64 {
+        self.samples_served
+    }
+
+    /// Reads up to `n` samples as `agent`.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::PeripheralDenied`] if the agent's world does not own the
+    /// device — this is the exfiltration attempt the paper defends against —
+    /// and [`HalError::PeripheralExhausted`] when no samples remain.
+    pub fn read(&mut self, agent: Agent, n: usize) -> Result<Vec<i16>> {
+        if !self.assignment().permits(agent) {
+            return Err(HalError::PeripheralDenied { periph: "microphone", agent });
+        }
+        if self.stream.is_empty() {
+            return Err(HalError::PeripheralExhausted { periph: "microphone" });
+        }
+        let take = n.min(self.stream.len());
+        let out: Vec<i16> = self.stream.drain(..take).collect();
+        self.samples_served += out.len() as u64;
+        Ok(out)
+    }
+}
+
+/// A trusted output channel to the user (e.g. a secure-indicator display).
+///
+/// SANCTUARY's "secure output functionality" is how the attestation report
+/// reaches the user in step ① of Fig. 2. The simulation records everything
+/// displayed so tests can assert on it.
+#[derive(Debug, Default)]
+pub struct SecureDisplay {
+    messages: Vec<String>,
+}
+
+impl SecureDisplay {
+    /// Creates an empty display.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shows a message to the user. Only secure-world code (or firmware)
+    /// may drive the trusted display.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::PeripheralDenied`] for normal-world or SA agents.
+    pub fn show(&mut self, agent: Agent, message: &str) -> Result<()> {
+        let allowed = matches!(agent, Agent::SecureWorld { .. } | Agent::TrustedFirmware);
+        if !allowed {
+            return Err(HalError::PeripheralDenied { periph: "secure display", agent });
+        }
+        self.messages.push(message.to_owned());
+        Ok(())
+    }
+
+    /// Everything shown so far (what the user saw).
+    pub fn messages(&self) -> &[String] {
+        &self.messages
+    }
+}
+
+/// Returns the world an agent executes in, if it is a CPU agent.
+pub fn agent_world(agent: Agent) -> Option<World> {
+    match agent {
+        Agent::NormalWorld { .. } | Agent::SanctuaryApp { .. } => Some(World::Normal),
+        Agent::SecureWorld { .. } => Some(World::Secure),
+        Agent::Dma { .. } | Agent::TrustedFirmware => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CoreId;
+
+    fn normal() -> Agent {
+        Agent::NormalWorld { core: CoreId(0) }
+    }
+
+    fn secure() -> Agent {
+        Agent::SecureWorld { core: CoreId(0) }
+    }
+
+    #[test]
+    fn mic_defaults_to_normal_world() {
+        let mut mic = Microphone::new();
+        mic.push_recording(&[1, 2, 3]);
+        assert_eq!(mic.assignment(), PeriphAssignment::NormalWorld);
+        assert_eq!(mic.read(normal(), 2).unwrap(), vec![1, 2]);
+        assert_eq!(mic.pending_samples(), 1);
+        assert_eq!(mic.samples_served(), 2);
+    }
+
+    #[test]
+    fn secure_assignment_blocks_normal_world() {
+        let mut mic = Microphone::new();
+        mic.push_recording(&[10; 100]);
+        mic.set_assignment(PeriphAssignment::SecureWorld);
+        // The commodity OS can no longer eavesdrop.
+        assert!(matches!(
+            mic.read(normal(), 10),
+            Err(HalError::PeripheralDenied { .. })
+        ));
+        // The SA cannot read the device directly either; it must proxy
+        // through the secure world.
+        assert!(mic.read(Agent::SanctuaryApp { core: CoreId(5) }, 10).is_err());
+        // The secure world reads fine.
+        assert_eq!(mic.read(secure(), 10).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn secure_world_can_read_normal_assigned_device() {
+        let mut mic = Microphone::new();
+        mic.push_recording(&[5; 4]);
+        assert_eq!(mic.read(secure(), 4).unwrap(), vec![5; 4]);
+    }
+
+    #[test]
+    fn exhausted_microphone_errors() {
+        let mut mic = Microphone::new();
+        assert!(matches!(
+            mic.read(normal(), 1),
+            Err(HalError::PeripheralExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn read_caps_at_available() {
+        let mut mic = Microphone::new();
+        mic.push_recording(&[7; 3]);
+        assert_eq!(mic.read(normal(), 100).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn display_only_trusts_secure_world() {
+        let mut d = SecureDisplay::new();
+        d.show(secure(), "attestation ok").unwrap();
+        d.show(Agent::TrustedFirmware, "measured").unwrap();
+        assert!(d.show(normal(), "phishing").is_err());
+        assert!(d.show(Agent::SanctuaryApp { core: CoreId(1) }, "sa").is_err());
+        assert_eq!(d.messages(), &["attestation ok".to_owned(), "measured".to_owned()]);
+    }
+
+    #[test]
+    fn agent_worlds() {
+        use crate::cpu::World;
+        assert_eq!(agent_world(normal()), Some(World::Normal));
+        assert_eq!(agent_world(secure()), Some(World::Secure));
+        assert_eq!(agent_world(Agent::SanctuaryApp { core: CoreId(0) }), Some(World::Normal));
+        assert_eq!(agent_world(Agent::Dma { device: "x" }), None);
+        assert_eq!(agent_world(Agent::TrustedFirmware), None);
+    }
+}

@@ -1,0 +1,127 @@
+//! Textual rendering of the platform state — the reproduction of the
+//! paper's Fig. 1 ("ARM TrustZone architecture overview").
+//!
+//! Where the paper shows a static diagram, the simulation renders the
+//! *actual* state of the platform: which world each core is in, which
+//! regions the TZASC protects, and who owns the peripherals.
+
+use crate::cpu::CoreState;
+use crate::memory::Protection;
+use crate::soc::Platform;
+
+/// Renders a Fig. 1-style overview of the current platform state.
+///
+/// # Examples
+///
+/// ```
+/// use omg_hal::Platform;
+/// use omg_hal::render::render_platform;
+///
+/// let platform = Platform::hikey960();
+/// let fig = render_platform(&platform);
+/// assert!(fig.contains("Normal World"));
+/// assert!(fig.contains("Secure World"));
+/// ```
+pub fn render_platform(platform: &Platform) -> String {
+    let mut out = String::new();
+    let name = platform.name();
+    out.push_str(&format!("=== {name}: TrustZone platform state (cf. paper Fig. 1) ===\n\n"));
+
+    out.push_str("  Normal World                     | Secure World\n");
+    out.push_str("  -------------------------------- | --------------------------------\n");
+    out.push_str("  Commodity OS + Apps              | Trusted OS + Trusted Apps\n");
+    out.push_str("  SANCTUARY Apps (isolated cores)  | (peripheral proxy services)\n");
+    out.push_str("  ---------------- Trusted Firmware (EL3 monitor) ----------------\n\n");
+
+    out.push_str("  Cores:\n");
+    for core in platform.cores() {
+        let state = match core.state() {
+            CoreState::Online => "online ",
+            CoreState::Offline => "OFFLINE",
+            CoreState::Sanctuary => "SANCTUARY",
+        };
+        out.push_str(&format!(
+            "    {:<6} {:>4} MHz  state={:<9} world={:<12} load={} l1_lines={}\n",
+            core.id().to_string(),
+            core.freq_mhz(),
+            state,
+            core.world().to_string(),
+            core.load(),
+            core.l1().resident_lines(),
+        ));
+    }
+
+    out.push_str("\n  Physical memory partitioning (TZASC):\n");
+    let regions = platform.regions();
+    if regions.is_empty() {
+        out.push_str("    (no regions defined)\n");
+    }
+    for r in regions {
+        let prot = r.protection.label();
+        let kind = match r.protection {
+            Protection::Open => "",
+            Protection::SecureOnly => "  <- secure world partition",
+            Protection::CoreLocked(_) => "  <- SANCTUARY enclave (two-way isolated)",
+            Protection::Shared(_) => "  <- SA <-> OS/secure-world mailbox",
+        };
+        out.push_str(&format!(
+            "    [{:#010x}..{:#010x}) {:<24} {:<12}{}\n",
+            r.base,
+            r.base + r.size,
+            r.name,
+            prot,
+            kind,
+        ));
+    }
+
+    out.push_str("\n  Peripherals:\n");
+    out.push_str(&format!(
+        "    microphone      -> {:?}\n",
+        platform.microphone_assignment()
+    ));
+    out.push_str("    secure display  -> SecureWorld (fixed)\n");
+
+    let clock = platform.clock();
+    out.push_str(&format!(
+        "\n  Virtual clock: {:.3} ms ({} world switches, {:.3} ms modelled, {:.3} ms measured)\n",
+        clock.now().as_secs_f64() * 1e3,
+        clock.world_switch_count(),
+        clock.modelled().as_secs_f64() * 1e3,
+        clock.measured().as_secs_f64() * 1e3,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CoreId;
+    use crate::memory::Protection;
+    use crate::soc::Platform;
+
+    #[test]
+    fn render_includes_cores_regions_and_peripherals() {
+        let mut p = Platform::hikey960();
+        let c = CoreId(5);
+        p.shutdown_core(c).unwrap();
+        p.boot_core_sanctuary(c).unwrap();
+        p.allocate_region("enclave", 1 << 20, Protection::CoreLocked(c)).unwrap();
+        p.allocate_region("mailbox", 4096, Protection::Shared(c)).unwrap();
+
+        let fig = render_platform(&p);
+        assert!(fig.contains("core5"));
+        assert!(fig.contains("SANCTUARY"));
+        assert!(fig.contains("enclave"));
+        assert!(fig.contains("locked:core5"));
+        assert!(fig.contains("mailbox"));
+        assert!(fig.contains("microphone"));
+        assert!(fig.contains("Virtual clock"));
+    }
+
+    #[test]
+    fn render_empty_platform() {
+        let p = Platform::hikey960();
+        let fig = render_platform(&p);
+        assert!(fig.contains("(no regions defined)"));
+    }
+}

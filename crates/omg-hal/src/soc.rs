@@ -1,0 +1,626 @@
+//! The top-level simulated SoC ("platform").
+//!
+//! [`Platform`] wires together the CPU cores, the TZASC-guarded memory
+//! controller, the cache residue model, the peripherals and the virtual
+//! clock, and exposes the operations SANCTUARY needs: core power control,
+//! region locking, world switches, measurement, scrubbing.
+
+use std::time::Duration;
+
+use crate::cache::L2Cache;
+use crate::clock::{CostModel, HwEvent, SimClock};
+use crate::cpu::{CoreId, CoreState, CpuCore, World};
+use crate::error::{HalError, Result};
+use crate::memory::{Agent, MemoryController, Protection, RegionId, RegionInfo};
+use crate::periph::{Microphone, PeriphAssignment, SecureDisplay};
+
+/// Static description of a SoC.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Marketing name, e.g. `"HiKey 960"`.
+    pub name: String,
+    /// Number of big (performance) cores.
+    pub big_cores: usize,
+    /// Frequency of the big cluster in MHz.
+    pub big_freq_mhz: u32,
+    /// Number of little (efficiency) cores.
+    pub little_cores: usize,
+    /// Frequency of the little cluster in MHz.
+    pub little_freq_mhz: u32,
+    /// DRAM size in bytes.
+    pub dram_size: u64,
+    /// Hardware event costs.
+    pub cost: CostModel,
+    /// Whether enclave memory is excluded from the shared L2
+    /// (SANCTUARY's cache side-channel defence; the ablation knob).
+    pub l2_exclusion: bool,
+}
+
+impl PlatformConfig {
+    /// The ARM HiKey 960 development board used in the paper's evaluation:
+    /// an ARMv8 octa-core SoC (4 × 2.4 GHz + 4 × 1.8 GHz) with 3 GB RAM.
+    pub fn hikey960() -> Self {
+        PlatformConfig {
+            name: "HiKey 960".to_owned(),
+            big_cores: 4,
+            big_freq_mhz: 2400,
+            little_cores: 4,
+            little_freq_mhz: 1800,
+            dram_size: 3 * 1024 * 1024 * 1024,
+            cost: CostModel::default(),
+            l2_exclusion: true,
+        }
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self::hikey960()
+    }
+}
+
+/// The simulated ARM TrustZone platform.
+///
+/// # Examples
+///
+/// ```
+/// use omg_hal::{Platform, PlatformConfig};
+/// use omg_hal::memory::{Agent, Protection};
+/// use omg_hal::cpu::CoreId;
+///
+/// let mut platform = Platform::new(PlatformConfig::hikey960());
+/// let region = platform.allocate_region("scratch", 4096, Protection::Open)?;
+/// platform.write_at(Agent::NormalWorld { core: CoreId(0) }, region, 0, b"hi")?;
+/// # Ok::<(), omg_hal::HalError>(())
+/// ```
+#[derive(Debug)]
+pub struct Platform {
+    name: String,
+    cores: Vec<CpuCore>,
+    memory: MemoryController,
+    l2: L2Cache,
+    clock: SimClock,
+    mic: Microphone,
+    display: SecureDisplay,
+}
+
+impl Platform {
+    /// Builds a platform from a configuration.
+    pub fn new(config: PlatformConfig) -> Self {
+        let mut cores = Vec::with_capacity(config.big_cores + config.little_cores);
+        for i in 0..config.big_cores {
+            cores.push(CpuCore::new(CoreId(i), config.big_freq_mhz));
+        }
+        for i in 0..config.little_cores {
+            cores.push(CpuCore::new(CoreId(config.big_cores + i), config.little_freq_mhz));
+        }
+        Platform {
+            name: config.name,
+            cores,
+            memory: MemoryController::new(0, config.dram_size),
+            l2: L2Cache::new(config.l2_exclusion),
+            clock: SimClock::new(config.cost),
+            mic: Microphone::new(),
+            display: SecureDisplay::new(),
+        }
+    }
+
+    /// Builds the paper's evaluation platform (HiKey 960).
+    pub fn hikey960() -> Self {
+        Self::new(PlatformConfig::hikey960())
+    }
+
+    /// The platform's marketing name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A cloneable handle to the virtual clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// The cores, indexed by [`CoreId`].
+    pub fn cores(&self) -> &[CpuCore] {
+        &self.cores
+    }
+
+    /// One core by id.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::CoreUnavailable`] for ids beyond the core count.
+    pub fn core(&self, id: CoreId) -> Result<&CpuCore> {
+        self.cores.get(id.0).ok_or(HalError::CoreUnavailable { core: id, reason: "no such core" })
+    }
+
+    fn core_mut(&mut self, id: CoreId) -> Result<&mut CpuCore> {
+        self.cores.get_mut(id.0).ok_or(HalError::CoreUnavailable { core: id, reason: "no such core" })
+    }
+
+    /// Sets the scheduler-load indicator of a core (used by tests and by
+    /// the commodity-OS model to steer the least-busy-core choice).
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::CoreUnavailable`] for unknown ids.
+    pub fn set_core_load(&mut self, id: CoreId, load: u32) -> Result<()> {
+        self.core_mut(id)?.set_load(load);
+        Ok(())
+    }
+
+    /// The shared L2 cache state.
+    pub fn l2(&self) -> &L2Cache {
+        &self.l2
+    }
+
+    /// Mutable L2 access (ablation benches toggle exclusion).
+    pub fn l2_mut(&mut self) -> &mut L2Cache {
+        &mut self.l2
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    /// Allocates a region in free DRAM. See
+    /// [`MemoryController::allocate_region`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator errors.
+    pub fn allocate_region(&mut self, name: &str, size: u64, protection: Protection) -> Result<RegionId> {
+        self.memory.allocate_region(name, size, protection)
+    }
+
+    /// Releases a region. See [`MemoryController::release_region`].
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn release_region(&mut self, id: RegionId) -> Result<()> {
+        self.memory.release_region(id)
+    }
+
+    /// Reprograms a region's TZASC protection, charging the reconfiguration
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn set_protection(&mut self, id: RegionId, protection: Protection) -> Result<()> {
+        self.memory.set_protection(id, protection)?;
+        self.clock.charge(HwEvent::TzascConfig, 0);
+        Ok(())
+    }
+
+    /// Current protection of a region.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn protection(&self, id: RegionId) -> Result<Protection> {
+        self.memory.protection(id)
+    }
+
+    /// Region metadata, ordered by base address.
+    pub fn regions(&self) -> Vec<RegionInfo> {
+        self.memory.regions()
+    }
+
+    /// Size of a region in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn region_size(&self, id: RegionId) -> Result<u64> {
+        self.memory.region_size(id)
+    }
+
+    fn note_cache_traffic(&mut self, agent: Agent, addr: u64, len: usize) {
+        match agent {
+            Agent::NormalWorld { core } | Agent::SecureWorld { core } => {
+                if let Ok(c) = self.core_mut(core) {
+                    c.l1_mut().touch(addr, len);
+                }
+                self.l2.touch(addr, len);
+            }
+            Agent::SanctuaryApp { core } => {
+                if let Ok(c) = self.core_mut(core) {
+                    c.l1_mut().touch(addr, len);
+                }
+                // Enclave traffic obeys the L2 exclusion policy.
+                self.l2.touch_enclave(addr, len);
+            }
+            Agent::Dma { .. } | Agent::TrustedFirmware => {}
+        }
+    }
+
+    /// Reads from a region at `offset` as `agent`, updating cache state.
+    ///
+    /// # Errors
+    ///
+    /// TZASC faults and bounds errors from [`MemoryController::read`].
+    pub fn read_at(&mut self, agent: Agent, id: RegionId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let base = self.memory.region_base(id)?;
+        self.memory.read(agent, base + offset, buf)?;
+        self.note_cache_traffic(agent, base + offset, buf.len());
+        Ok(())
+    }
+
+    /// Writes to a region at `offset` as `agent`, updating cache state.
+    ///
+    /// # Errors
+    ///
+    /// TZASC faults and bounds errors from [`MemoryController::write`].
+    pub fn write_at(&mut self, agent: Agent, id: RegionId, offset: u64, data: &[u8]) -> Result<()> {
+        let base = self.memory.region_base(id)?;
+        self.memory.write(agent, base + offset, data)?;
+        self.note_cache_traffic(agent, base + offset, data.len());
+        Ok(())
+    }
+
+    /// Reads a whole region as the trusted firmware (measurement input).
+    /// Does not touch caches (EL3 measurement uses uncached accesses).
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn read_region_trusted(&self, id: RegionId) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.memory.read_region(Agent::TrustedFirmware, id, &mut out)?;
+        Ok(out)
+    }
+
+    /// Scrubs (zeroizes) a region as the firmware, charging the per-byte
+    /// scrub cost.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::UnknownRegion`] for stale handles.
+    pub fn scrub_region(&mut self, id: RegionId) -> Result<()> {
+        let size = self.memory.region_size(id)? as usize;
+        self.memory.scrub(Agent::TrustedFirmware, id)?;
+        self.clock.charge(HwEvent::ScrubPerByte, size);
+        Ok(())
+    }
+
+    // ---- cores ------------------------------------------------------------
+
+    /// The online normal-world core with the smallest load, if at least two
+    /// cores are online (one must keep running the commodity OS).
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::NoEligibleCore`] if shutting a core down would leave the
+    /// OS without cores.
+    pub fn least_busy_online_core(&self) -> Result<CoreId> {
+        let online: Vec<&CpuCore> =
+            self.cores.iter().filter(|c| c.state() == CoreState::Online).collect();
+        if online.len() < 2 {
+            return Err(HalError::NoEligibleCore);
+        }
+        Ok(online.iter().min_by_key(|c| c.load()).expect("nonempty").id())
+    }
+
+    /// Powers a core off (SANCTUARY setup step), charging the shutdown cost.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::CoreUnavailable`] unless the core is currently online.
+    pub fn shutdown_core(&mut self, id: CoreId) -> Result<()> {
+        let core = self.core_mut(id)?;
+        if core.state() != CoreState::Online {
+            return Err(HalError::CoreUnavailable { core: id, reason: "not online" });
+        }
+        core.set_state(CoreState::Offline);
+        self.clock.charge(HwEvent::CoreShutdown, 0);
+        Ok(())
+    }
+
+    /// Boots an offline core into the SANCTUARY execution environment,
+    /// charging the boot cost.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::CoreUnavailable`] unless the core is currently offline.
+    pub fn boot_core_sanctuary(&mut self, id: CoreId) -> Result<()> {
+        let core = self.core_mut(id)?;
+        if core.state() != CoreState::Offline {
+            return Err(HalError::CoreUnavailable { core: id, reason: "not offline" });
+        }
+        core.set_state(CoreState::Sanctuary);
+        core.set_world(World::Normal); // SAs are *normal-world* user space
+        self.clock.charge(HwEvent::CoreBoot, 0);
+        Ok(())
+    }
+
+    /// Returns a SANCTUARY core to the commodity OS (teardown final step).
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::CoreUnavailable`] unless the core is in SANCTUARY state.
+    pub fn return_core(&mut self, id: CoreId) -> Result<()> {
+        let core = self.core_mut(id)?;
+        if core.state() != CoreState::Sanctuary {
+            return Err(HalError::CoreUnavailable { core: id, reason: "not a sanctuary core" });
+        }
+        core.set_state(CoreState::Online);
+        core.set_world(World::Normal);
+        Ok(())
+    }
+
+    /// Invalidates a core's L1 cache (teardown step), charging the cost.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::CoreUnavailable`] for unknown ids.
+    pub fn invalidate_l1(&mut self, id: CoreId) -> Result<()> {
+        self.core_mut(id)?.l1_mut().invalidate_all();
+        self.clock.charge(HwEvent::L1Invalidate, 0);
+        Ok(())
+    }
+
+    /// Switches the security world a core executes in (one SMC trap),
+    /// charging one world-switch cost.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::CoreUnavailable`] if the core is offline.
+    pub fn world_switch(&mut self, id: CoreId, to: World) -> Result<()> {
+        let core = self.core_mut(id)?;
+        if core.state() == CoreState::Offline {
+            return Err(HalError::CoreUnavailable { core: id, reason: "core is offline" });
+        }
+        if core.world() != to {
+            core.set_world(to);
+            self.clock.charge(HwEvent::WorldSwitch, 0);
+        }
+        Ok(())
+    }
+
+    /// Runs `f` as compute on a SANCTUARY core, charging measured time with
+    /// the L2-exclusion penalty if exclusion is enabled.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::CoreUnavailable`] unless the core is in SANCTUARY state.
+    pub fn run_enclave_compute<T>(&mut self, id: CoreId, f: impl FnOnce() -> T) -> Result<(T, Duration)> {
+        if self.core(id)?.state() != CoreState::Sanctuary {
+            return Err(HalError::CoreUnavailable { core: id, reason: "not a sanctuary core" });
+        }
+        let penalty = if self.l2.exclusion_enabled() {
+            self.clock.cost_model().l2_exclusion_compute_penalty
+        } else {
+            0.0
+        };
+        Ok(self.clock.measure_scaled(penalty, f))
+    }
+
+    /// Runs `f` as ordinary normal-world compute (no penalty).
+    pub fn run_normal_compute<T>(&mut self, f: impl FnOnce() -> T) -> (T, Duration) {
+        self.clock.measure(f)
+    }
+
+    // ---- peripherals ------------------------------------------------------
+
+    /// Mutable microphone handle for test/bench setup (pushing recordings).
+    pub fn microphone_mut(&mut self) -> &mut Microphone {
+        &mut self.mic
+    }
+
+    /// The microphone's current world assignment.
+    pub fn microphone_assignment(&self) -> PeriphAssignment {
+        self.mic.assignment()
+    }
+
+    /// Reassigns the microphone (TZPC programming). Only secure-world code
+    /// or firmware may do this.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::PeripheralDenied`] for unprivileged agents.
+    pub fn assign_microphone(&mut self, agent: Agent, assignment: PeriphAssignment) -> Result<()> {
+        match agent {
+            Agent::SecureWorld { .. } | Agent::TrustedFirmware => {
+                self.mic.set_assignment(assignment);
+                Ok(())
+            }
+            _ => Err(HalError::PeripheralDenied { periph: "microphone (tzpc)", agent }),
+        }
+    }
+
+    /// Reads up to `n` samples from the microphone as `agent`.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::PeripheralDenied`] / [`HalError::PeripheralExhausted`]
+    /// from the device.
+    pub fn read_microphone(&mut self, agent: Agent, n: usize) -> Result<Vec<i16>> {
+        self.mic.read(agent, n)
+    }
+
+    /// Shows a message on the trusted display as `agent`.
+    ///
+    /// # Errors
+    ///
+    /// [`HalError::PeripheralDenied`] for untrusted agents.
+    pub fn display_show(&mut self, agent: Agent, message: &str) -> Result<()> {
+        self.display.show(agent, message)
+    }
+
+    /// Everything the trusted display has shown.
+    pub fn display_messages(&self) -> &[String] {
+        self.display.messages()
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self::hikey960()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normal(core: usize) -> Agent {
+        Agent::NormalWorld { core: CoreId(core) }
+    }
+
+    #[test]
+    fn hikey960_preset_matches_paper() {
+        let p = Platform::hikey960();
+        assert_eq!(p.name(), "HiKey 960");
+        assert_eq!(p.cores().len(), 8);
+        assert_eq!(p.cores()[0].freq_mhz(), 2400);
+        assert_eq!(p.cores()[7].freq_mhz(), 1800);
+        assert!(p.l2().exclusion_enabled());
+    }
+
+    #[test]
+    fn least_busy_core_selection() {
+        let mut p = Platform::hikey960();
+        for i in 0..8 {
+            p.set_core_load(CoreId(i), 10 + i as u32).unwrap();
+        }
+        p.set_core_load(CoreId(5), 1).unwrap();
+        assert_eq!(p.least_busy_online_core().unwrap(), CoreId(5));
+    }
+
+    #[test]
+    fn least_busy_requires_two_online() {
+        let mut p = Platform::hikey960();
+        for i in 1..8 {
+            p.shutdown_core(CoreId(i)).unwrap();
+        }
+        assert_eq!(p.least_busy_online_core().unwrap_err(), HalError::NoEligibleCore);
+    }
+
+    #[test]
+    fn core_lifecycle_transitions_and_costs() {
+        let mut p = Platform::hikey960();
+        let clock = p.clock();
+        let c = CoreId(3);
+        p.shutdown_core(c).unwrap();
+        assert_eq!(p.core(c).unwrap().state(), CoreState::Offline);
+        // Double shutdown fails.
+        assert!(p.shutdown_core(c).is_err());
+        p.boot_core_sanctuary(c).unwrap();
+        assert_eq!(p.core(c).unwrap().state(), CoreState::Sanctuary);
+        // Booting an online core fails.
+        assert!(p.boot_core_sanctuary(CoreId(0)).is_err());
+        p.return_core(c).unwrap();
+        assert_eq!(p.core(c).unwrap().state(), CoreState::Online);
+        // shutdown (3ms) + boot (5ms) charged.
+        assert_eq!(clock.now(), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn world_switch_charges_only_on_change() {
+        let mut p = Platform::hikey960();
+        let clock = p.clock();
+        p.world_switch(CoreId(0), World::Secure).unwrap();
+        p.world_switch(CoreId(0), World::Secure).unwrap(); // no-op
+        p.world_switch(CoreId(0), World::Normal).unwrap();
+        assert_eq!(clock.world_switch_count(), 2);
+        assert_eq!(clock.now(), Duration::from_micros(300));
+    }
+
+    #[test]
+    fn world_switch_requires_powered_core() {
+        let mut p = Platform::hikey960();
+        p.shutdown_core(CoreId(2)).unwrap();
+        assert!(p.world_switch(CoreId(2), World::Secure).is_err());
+    }
+
+    #[test]
+    fn memory_access_touches_caches() {
+        let mut p = Platform::hikey960();
+        let r = p.allocate_region("buf", 4096, Protection::Open).unwrap();
+        p.write_at(normal(1), r, 0, &[1, 2, 3, 4]).unwrap();
+        assert!(p.core(CoreId(1)).unwrap().l1().resident_lines() > 0);
+        assert!(p.l2().resident_lines() > 0);
+    }
+
+    #[test]
+    fn enclave_traffic_respects_l2_exclusion() {
+        let mut p = Platform::hikey960();
+        let c = CoreId(4);
+        p.shutdown_core(c).unwrap();
+        p.boot_core_sanctuary(c).unwrap();
+        let r = p.allocate_region("enclave", 4096, Protection::CoreLocked(c)).unwrap();
+        let sa = Agent::SanctuaryApp { core: c };
+        p.write_at(sa, r, 0, &[9u8; 256]).unwrap();
+        // L1 has residue; shared L2 does not (exclusion on).
+        assert!(p.core(c).unwrap().l1().resident_lines() > 0);
+        assert_eq!(p.l2().resident_lines(), 0);
+
+        // Ablation: with exclusion off, enclave lines land in L2.
+        p.l2_mut().set_exclusion(false);
+        p.write_at(sa, r, 512, &[9u8; 256]).unwrap();
+        assert!(p.l2().resident_lines() > 0);
+    }
+
+    #[test]
+    fn scrub_and_invalidate_clear_state_and_charge() {
+        let mut p = Platform::hikey960();
+        let clock = p.clock();
+        let c = CoreId(6);
+        p.shutdown_core(c).unwrap();
+        p.boot_core_sanctuary(c).unwrap();
+        let r = p.allocate_region("enclave", 4096, Protection::CoreLocked(c)).unwrap();
+        let sa = Agent::SanctuaryApp { core: c };
+        p.write_at(sa, r, 0, b"secret key").unwrap();
+        let before = clock.now();
+
+        p.invalidate_l1(c).unwrap();
+        p.scrub_region(r).unwrap();
+        assert_eq!(p.core(c).unwrap().l1().resident_lines(), 0);
+        assert_eq!(p.read_region_trusted(r).unwrap(), vec![0u8; 4096]);
+        assert!(clock.now() > before);
+    }
+
+    #[test]
+    fn enclave_compute_needs_sanctuary_core() {
+        let mut p = Platform::hikey960();
+        assert!(p.run_enclave_compute(CoreId(0), || 42).is_err());
+        let c = CoreId(2);
+        p.shutdown_core(c).unwrap();
+        p.boot_core_sanctuary(c).unwrap();
+        let (v, d) = p.run_enclave_compute(c, || 42).unwrap();
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn microphone_tzpc_privilege() {
+        let mut p = Platform::hikey960();
+        // The commodity OS cannot grab the mic assignment.
+        assert!(p.assign_microphone(normal(0), PeriphAssignment::SecureWorld).is_err());
+        // The secure world can.
+        p.assign_microphone(Agent::SecureWorld { core: CoreId(0) }, PeriphAssignment::SecureWorld)
+            .unwrap();
+        assert_eq!(p.microphone_assignment(), PeriphAssignment::SecureWorld);
+        // Now the normal world cannot read samples.
+        p.microphone_mut().push_recording(&[1; 16]);
+        assert!(p.read_microphone(normal(0), 16).is_err());
+    }
+
+    #[test]
+    fn display_records_messages() {
+        let mut p = Platform::hikey960();
+        p.display_show(Agent::TrustedFirmware, "enclave measured").unwrap();
+        assert_eq!(p.display_messages(), &["enclave measured".to_owned()]);
+    }
+
+    #[test]
+    fn set_protection_charges_tzasc() {
+        let mut p = Platform::hikey960();
+        let clock = p.clock();
+        let r = p.allocate_region("x", 4096, Protection::Open).unwrap();
+        let before = clock.now();
+        p.set_protection(r, Protection::CoreLocked(CoreId(1))).unwrap();
+        assert_eq!(clock.now() - before, Duration::from_micros(50));
+        assert_eq!(p.protection(r).unwrap(), Protection::CoreLocked(CoreId(1)));
+    }
+}

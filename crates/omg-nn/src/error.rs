@@ -1,0 +1,111 @@
+//! Error types for the inference engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by model construction, serialization, and inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor id referenced by an op does not exist.
+    UnknownTensor {
+        /// The offending tensor index.
+        id: usize,
+    },
+    /// Tensor shapes are inconsistent with the op's expectations.
+    ShapeMismatch {
+        /// Which op or check detected the mismatch.
+        context: &'static str,
+        /// Details of the mismatch.
+        detail: String,
+    },
+    /// A tensor was used with the wrong element type.
+    DtypeMismatch {
+        /// Which op or check detected the mismatch.
+        context: &'static str,
+    },
+    /// Required quantization parameters are missing.
+    MissingQuantization {
+        /// Name of the tensor lacking parameters.
+        tensor: String,
+    },
+    /// A weight buffer has the wrong byte length for its tensor.
+    BufferSizeMismatch {
+        /// Name of the tensor.
+        tensor: String,
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length.
+        got: usize,
+    },
+    /// Input data passed to `invoke` has the wrong length.
+    BadInputLength {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// The serialized model is malformed.
+    MalformedModel(&'static str),
+    /// The serialized model has an unsupported version or magic.
+    UnsupportedFormat {
+        /// Explanation of what was unsupported.
+        detail: String,
+    },
+    /// The arena is too small for the activation plan.
+    ArenaTooSmall {
+        /// Bytes required by the plan.
+        required: usize,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::UnknownTensor { id } => write!(f, "unknown tensor id {id}"),
+            NnError::ShapeMismatch { context, detail } => {
+                write!(f, "shape mismatch in {context}: {detail}")
+            }
+            NnError::DtypeMismatch { context } => write!(f, "dtype mismatch in {context}"),
+            NnError::MissingQuantization { tensor } => {
+                write!(f, "tensor {tensor} lacks quantization parameters")
+            }
+            NnError::BufferSizeMismatch { tensor, expected, got } => {
+                write!(f, "buffer for tensor {tensor} has {got} bytes, expected {expected}")
+            }
+            NnError::BadInputLength { expected, got } => {
+                write!(f, "input has {got} elements, model expects {expected}")
+            }
+            NnError::MalformedModel(what) => write!(f, "malformed model: {what}"),
+            NnError::UnsupportedFormat { detail } => write!(f, "unsupported format: {detail}"),
+            NnError::ArenaTooSmall { required, available } => {
+                write!(f, "arena too small: need {required} bytes, have {available}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = NnError::BufferSizeMismatch { tensor: "conv/filter".into(), expected: 640, got: 639 };
+        assert!(e.to_string().contains("conv/filter"));
+        assert!(e.to_string().contains("640"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,493 @@
+//! The compact binary model format ("OMGM").
+//!
+//! Plays the role of the `.tflite` flatbuffer in the paper's pipeline: the
+//! trainer exports this blob, the vendor encrypts it (Fig. 2 step ③), and
+//! the enclave deserializes it after decryption (step ⑥). The format is
+//! little-endian throughout with explicit length prefixes and strict bounds
+//! checking on parse.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{NnError, Result};
+use crate::model::{Activation, Model, Op, Padding};
+use crate::quantize::QuantParams;
+use crate::tensor::{DType, TensorId, TensorInfo};
+
+/// Magic bytes at the start of every serialized model.
+pub const MAGIC: &[u8; 4] = b"OMGM";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Serializes a model to bytes.
+///
+/// # Examples
+///
+/// ```
+/// # use omg_nn::model::{Activation, Model, Op};
+/// # use omg_nn::quantize::QuantParams;
+/// # use omg_nn::tensor::DType;
+/// use omg_nn::format::{serialize, deserialize};
+///
+/// # let mut b = Model::builder();
+/// # let input = b.add_activation("in", vec![1, 4], DType::I8,
+/// #     Some(QuantParams { scale: 0.5, zero_point: 0 }));
+/// # let w = b.add_weight_i8("w", vec![2, 4], vec![1i8; 8], QuantParams::symmetric(0.25));
+/// # let bias = b.add_weight_i32("b", vec![2], vec![0i32; 2]);
+/// # let out = b.add_activation("out", vec![1, 2], DType::I8,
+/// #     Some(QuantParams { scale: 1.0, zero_point: 0 }));
+/// # b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+/// # b.set_input(input);
+/// # b.set_output(out);
+/// # let model = b.build()?;
+/// let bytes = serialize(&model);
+/// let restored = deserialize(&bytes)?;
+/// assert_eq!(restored, model);
+/// # Ok::<(), omg_nn::NnError>(())
+/// ```
+pub fn serialize(model: &Model) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(model.weight_bytes() + 1024);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+
+    put_str32(&mut buf, &model.description);
+
+    buf.put_u16_le(model.labels.len() as u16);
+    for label in &model.labels {
+        put_str16(&mut buf, label);
+    }
+
+    buf.put_u32_le(model.tensors.len() as u32);
+    for t in &model.tensors {
+        put_str16(&mut buf, t.name());
+        buf.put_u8(t.dtype().tag());
+        match t.quant() {
+            Some(q) => {
+                buf.put_u8(1);
+                buf.put_f32_le(q.scale);
+                buf.put_i32_le(q.zero_point);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u32_le(t.buffer().map_or(u32::MAX, |b| b as u32));
+        buf.put_u8(t.shape().len() as u8);
+        for &d in t.shape() {
+            buf.put_u32_le(d as u32);
+        }
+    }
+
+    buf.put_u32_le(model.buffers.len() as u32);
+    for b in &model.buffers {
+        buf.put_u32_le(b.len() as u32);
+        buf.put_slice(b);
+    }
+
+    buf.put_u32_le(model.ops.len() as u32);
+    for op in &model.ops {
+        put_op(&mut buf, op);
+    }
+
+    buf.put_u32_le(model.input.index() as u32);
+    buf.put_u32_le(model.output.index() as u32);
+    buf.to_vec()
+}
+
+fn put_str16(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_str32(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_op(buf: &mut BytesMut, op: &Op) {
+    match *op {
+        Op::Conv2D { input, filter, bias, output, stride_h, stride_w, padding, activation } => {
+            buf.put_u8(0);
+            for id in [input, filter, bias, output] {
+                buf.put_u32_le(id.index() as u32);
+            }
+            buf.put_u16_le(stride_h as u16);
+            buf.put_u16_le(stride_w as u16);
+            buf.put_u8(padding.tag());
+            buf.put_u8(activation.tag());
+        }
+        Op::DepthwiseConv2D {
+            input, filter, bias, output, stride_h, stride_w, padding, activation, depth_multiplier,
+        } => {
+            buf.put_u8(1);
+            for id in [input, filter, bias, output] {
+                buf.put_u32_le(id.index() as u32);
+            }
+            buf.put_u16_le(stride_h as u16);
+            buf.put_u16_le(stride_w as u16);
+            buf.put_u8(padding.tag());
+            buf.put_u8(activation.tag());
+            buf.put_u16_le(depth_multiplier as u16);
+        }
+        Op::FullyConnected { input, filter, bias, output, activation } => {
+            buf.put_u8(2);
+            for id in [input, filter, bias, output] {
+                buf.put_u32_le(id.index() as u32);
+            }
+            buf.put_u8(activation.tag());
+        }
+        Op::AveragePool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding } => {
+            buf.put_u8(3);
+            buf.put_u32_le(input.index() as u32);
+            buf.put_u32_le(output.index() as u32);
+            buf.put_u16_le(filter_h as u16);
+            buf.put_u16_le(filter_w as u16);
+            buf.put_u16_le(stride_h as u16);
+            buf.put_u16_le(stride_w as u16);
+            buf.put_u8(padding.tag());
+        }
+        Op::MaxPool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding } => {
+            buf.put_u8(4);
+            buf.put_u32_le(input.index() as u32);
+            buf.put_u32_le(output.index() as u32);
+            buf.put_u16_le(filter_h as u16);
+            buf.put_u16_le(filter_w as u16);
+            buf.put_u16_le(stride_h as u16);
+            buf.put_u16_le(stride_w as u16);
+            buf.put_u8(padding.tag());
+        }
+        Op::Softmax { input, output } => {
+            buf.put_u8(5);
+            buf.put_u32_le(input.index() as u32);
+            buf.put_u32_le(output.index() as u32);
+        }
+        Op::Reshape { input, output } => {
+            buf.put_u8(6);
+            buf.put_u32_le(input.index() as u32);
+            buf.put_u32_le(output.index() as u32);
+        }
+    }
+}
+
+/// Bounds-checked reader over the serialized form.
+struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    fn need(&self, n: usize) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(NnError::MalformedModel("unexpected end of model data"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn i32(&mut self) -> Result<i32> {
+        self.need(4)?;
+        Ok(self.buf.get_i32_le())
+    }
+
+    fn f32(&mut self) -> Result<f32> {
+        self.need(4)?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>> {
+        self.need(n)?;
+        let mut out = vec![0u8; n];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    fn str16(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw).map_err(|_| NnError::MalformedModel("invalid utf-8 string"))
+    }
+
+    fn str32(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw).map_err(|_| NnError::MalformedModel("invalid utf-8 string"))
+    }
+
+    fn tensor_id(&mut self, tensor_count: usize) -> Result<TensorId> {
+        let idx = self.u32()? as usize;
+        if idx >= tensor_count {
+            return Err(NnError::MalformedModel("tensor id out of range"));
+        }
+        Ok(TensorId(idx))
+    }
+}
+
+/// Deserializes a model, validating structure and shapes.
+///
+/// # Errors
+///
+/// [`NnError::UnsupportedFormat`] on magic/version mismatch,
+/// [`NnError::MalformedModel`] on truncation or inconsistent ids, plus any
+/// model validation error.
+pub fn deserialize(data: &[u8]) -> Result<Model> {
+    let mut r = Reader { buf: Bytes::copy_from_slice(data) };
+
+    let magic = r.bytes(4)?;
+    if magic != MAGIC {
+        return Err(NnError::UnsupportedFormat { detail: "bad magic".into() });
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(NnError::UnsupportedFormat { detail: format!("version {version} unsupported") });
+    }
+
+    let description = r.str32()?;
+    let label_count = r.u16()? as usize;
+    let mut labels = Vec::with_capacity(label_count);
+    for _ in 0..label_count {
+        labels.push(r.str16()?);
+    }
+
+    let tensor_count = r.u32()? as usize;
+    if tensor_count > 1_000_000 {
+        return Err(NnError::MalformedModel("absurd tensor count"));
+    }
+    let mut tensors = Vec::with_capacity(tensor_count);
+    for _ in 0..tensor_count {
+        let name = r.str16()?;
+        let dtype = DType::from_tag(r.u8()?)
+            .ok_or(NnError::MalformedModel("unknown dtype tag"))?;
+        let quant = match r.u8()? {
+            0 => None,
+            1 => Some(QuantParams { scale: r.f32()?, zero_point: r.i32()? }),
+            _ => return Err(NnError::MalformedModel("bad quant flag")),
+        };
+        let buffer_raw = r.u32()?;
+        let buffer = if buffer_raw == u32::MAX { None } else { Some(buffer_raw as usize) };
+        let rank = r.u8()? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(r.u32()? as usize);
+        }
+        tensors.push(TensorInfo::new(name, shape, dtype, quant, buffer));
+    }
+
+    let buffer_count = r.u32()? as usize;
+    let mut buffers = Vec::with_capacity(buffer_count);
+    for _ in 0..buffer_count {
+        let len = r.u32()? as usize;
+        buffers.push(r.bytes(len)?);
+    }
+
+    let op_count = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(op_count);
+    for _ in 0..op_count {
+        let opcode = r.u8()?;
+        let op = match opcode {
+            0 | 1 => {
+                let input = r.tensor_id(tensor_count)?;
+                let filter = r.tensor_id(tensor_count)?;
+                let bias = r.tensor_id(tensor_count)?;
+                let output = r.tensor_id(tensor_count)?;
+                let stride_h = r.u16()? as usize;
+                let stride_w = r.u16()? as usize;
+                let padding = Padding::from_tag(r.u8()?)
+                    .ok_or(NnError::MalformedModel("bad padding tag"))?;
+                let activation = Activation::from_tag(r.u8()?)
+                    .ok_or(NnError::MalformedModel("bad activation tag"))?;
+                if opcode == 0 {
+                    Op::Conv2D { input, filter, bias, output, stride_h, stride_w, padding, activation }
+                } else {
+                    let depth_multiplier = r.u16()? as usize;
+                    Op::DepthwiseConv2D {
+                        input, filter, bias, output, stride_h, stride_w, padding, activation,
+                        depth_multiplier,
+                    }
+                }
+            }
+            2 => {
+                let input = r.tensor_id(tensor_count)?;
+                let filter = r.tensor_id(tensor_count)?;
+                let bias = r.tensor_id(tensor_count)?;
+                let output = r.tensor_id(tensor_count)?;
+                let activation = Activation::from_tag(r.u8()?)
+                    .ok_or(NnError::MalformedModel("bad activation tag"))?;
+                Op::FullyConnected { input, filter, bias, output, activation }
+            }
+            3 | 4 => {
+                let input = r.tensor_id(tensor_count)?;
+                let output = r.tensor_id(tensor_count)?;
+                let filter_h = r.u16()? as usize;
+                let filter_w = r.u16()? as usize;
+                let stride_h = r.u16()? as usize;
+                let stride_w = r.u16()? as usize;
+                let padding = Padding::from_tag(r.u8()?)
+                    .ok_or(NnError::MalformedModel("bad padding tag"))?;
+                if opcode == 3 {
+                    Op::AveragePool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding }
+                } else {
+                    Op::MaxPool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding }
+                }
+            }
+            5 => Op::Softmax {
+                input: r.tensor_id(tensor_count)?,
+                output: r.tensor_id(tensor_count)?,
+            },
+            6 => Op::Reshape {
+                input: r.tensor_id(tensor_count)?,
+                output: r.tensor_id(tensor_count)?,
+            },
+            _ => return Err(NnError::MalformedModel("unknown opcode")),
+        };
+        ops.push(op);
+    }
+
+    let input = r.tensor_id(tensor_count)?;
+    let output = r.tensor_id(tensor_count)?;
+
+    // Rebuild through the builder-equivalent constructor and validate.
+    let model = Model { tensors, buffers, ops, input, output, labels, description };
+    // Re-run full validation so a tampered blob cannot produce a model
+    // violating kernel preconditions.
+    let rebuilt = {
+        model.clone() // validate consumes nothing; call the internal check
+    };
+    validate_model(&rebuilt)?;
+    Ok(model)
+}
+
+fn validate_model(model: &Model) -> Result<()> {
+    // Re-serialize round-trip validation is wasteful; instead rebuild via
+    // the builder path: Model::validate is private, so reconstruct checks
+    // by serializing through the builder API.
+    // (Model validation logic lives in model.rs; reuse via a shim.)
+    crate::model::validate_for_format(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Activation, Model, Op};
+    use crate::tensor::DType;
+
+    fn sample_model() -> Model {
+        let mut b = Model::builder();
+        let input = b.add_activation(
+            "in",
+            vec![1, 4, 4, 1],
+            DType::I8,
+            Some(QuantParams { scale: 0.5, zero_point: -1 }),
+        );
+        let cf = b.add_weight_i8("conv/w", vec![2, 3, 3, 1], vec![1; 18], QuantParams::symmetric(0.1));
+        let cb = b.add_weight_i32("conv/b", vec![2], vec![5, -5]);
+        let conv = b.add_activation(
+            "conv",
+            vec![1, 4, 4, 2],
+            DType::I8,
+            Some(QuantParams { scale: 0.25, zero_point: 3 }),
+        );
+        b.add_op(Op::Conv2D {
+            input, filter: cf, bias: cb, output: conv,
+            stride_h: 1, stride_w: 1,
+            padding: Padding::Same, activation: Activation::Relu,
+        });
+        let fw = b.add_weight_i8("fc/w", vec![3, 32], vec![2; 96], QuantParams::symmetric(0.05));
+        let fb = b.add_weight_i32("fc/b", vec![3], vec![0, 1, 2]);
+        let fc = b.add_activation(
+            "logits",
+            vec![1, 3],
+            DType::I8,
+            Some(QuantParams { scale: 1.0, zero_point: 0 }),
+        );
+        b.add_op(Op::FullyConnected {
+            input: conv, filter: fw, bias: fb, output: fc, activation: Activation::None,
+        });
+        let probs = b.add_activation(
+            "probs",
+            vec![1, 3],
+            DType::I8,
+            Some(QuantParams { scale: 1.0 / 256.0, zero_point: -128 }),
+        );
+        b.add_op(Op::Softmax { input: fc, output: probs });
+        b.set_input(input);
+        b.set_output(probs);
+        b.set_labels(["a", "b", "c"]);
+        b.set_description("format test model");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let model = sample_model();
+        let bytes = serialize(&model);
+        let restored = deserialize(&bytes).unwrap();
+        assert_eq!(restored, model);
+    }
+
+    #[test]
+    fn roundtrip_preserves_inference_behaviour() {
+        use crate::interpreter::Interpreter;
+        let model = sample_model();
+        let bytes = serialize(&model);
+        let restored = deserialize(&bytes).unwrap();
+        let input: Vec<i8> = (0..16).map(|i| (i * 3 - 20) as i8).collect();
+        let mut a = Interpreter::new(model).unwrap();
+        let mut b = Interpreter::new(restored).unwrap();
+        a.invoke(&input).unwrap();
+        b.invoke(&input).unwrap();
+        assert_eq!(a.output_quantized().unwrap(), b.output_quantized().unwrap());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = serialize(&sample_model());
+        bytes[0] = b'X';
+        assert!(matches!(deserialize(&bytes), Err(NnError::UnsupportedFormat { .. })));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = serialize(&sample_model());
+        bytes[4] = 99;
+        assert!(matches!(deserialize(&bytes), Err(NnError::UnsupportedFormat { .. })));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = serialize(&sample_model());
+        // Every strict prefix must fail cleanly, never panic.
+        for len in 0..bytes.len() {
+            assert!(deserialize(&bytes[..len]).is_err(), "prefix of {len} bytes parsed");
+        }
+    }
+
+    #[test]
+    fn out_of_range_tensor_id_rejected() {
+        let model = sample_model();
+        let mut bytes = serialize(&model);
+        // The last 8 bytes are input/output ids; corrupt output id.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn size_matches_weights_plus_overhead() {
+        let model = sample_model();
+        let bytes = serialize(&model);
+        assert!(bytes.len() >= model.weight_bytes());
+        // Overhead stays modest (well under 1 KiB for this model).
+        assert!(bytes.len() < model.weight_bytes() + 1024);
+    }
+}

@@ -1,0 +1,714 @@
+//! The arena-based model interpreter.
+//!
+//! Mirrors the TFLite-Micro execution model: all activations live in one
+//! fixed arena planned up front (see [`crate::planner`]); weights are read
+//! directly from the model's constant buffers; `invoke` runs the ops in
+//! order with no allocation on the hot path.
+
+use crate::error::{NnError, Result};
+use crate::kernels;
+use crate::model::{same_padding, Activation, Model, Op, Padding};
+use crate::planner::{plan_arena, ArenaPlan, TensorLife};
+use crate::quantize::FixedMultiplier;
+use crate::tensor::{DType, TensorId};
+
+/// Resolved execution parameters for one op.
+#[derive(Debug, Clone)]
+enum Step {
+    Conv2D {
+        input: TensorId,
+        filter: TensorId,
+        bias: TensorId,
+        output: TensorId,
+        input_shape: [usize; 4],
+        filter_shape: [usize; 4],
+        output_shape: [usize; 4],
+        stride: (usize, usize),
+        pad: (usize, usize),
+        input_offset: i32,
+        output_offset: i32,
+        multiplier: FixedMultiplier,
+        act_min: i8,
+        act_max: i8,
+        depthwise: Option<usize>,
+    },
+    FullyConnected {
+        input: TensorId,
+        filter: TensorId,
+        bias: TensorId,
+        output: TensorId,
+        in_features: usize,
+        out_features: usize,
+        input_offset: i32,
+        output_offset: i32,
+        multiplier: FixedMultiplier,
+        act_min: i8,
+        act_max: i8,
+    },
+    Pool2D {
+        input: TensorId,
+        output: TensorId,
+        input_shape: [usize; 4],
+        output_shape: [usize; 4],
+        filter: (usize, usize),
+        stride: (usize, usize),
+        pad: (usize, usize),
+        is_max: bool,
+    },
+    Softmax {
+        input: TensorId,
+        output: TensorId,
+        input_scale: f32,
+        input_zp: i32,
+    },
+    Copy {
+        input: TensorId,
+        output: TensorId,
+    },
+}
+
+/// Executes a [`Model`] using a fixed activation arena.
+///
+/// # Examples
+///
+/// See [`crate`] level docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Interpreter {
+    model: Model,
+    plan: ArenaPlan,
+    arena: Vec<i8>,
+    steps: Vec<Step>,
+    scratch: Vec<i8>,
+    /// Decoded int8 weight buffers by tensor index.
+    weights_i8: Vec<Option<Vec<i8>>>,
+    /// Decoded int32 bias buffers by tensor index.
+    weights_i32: Vec<Option<Vec<i32>>>,
+    /// Tensors to snapshot during the current `invoke_with_taps` run.
+    pending_taps: Vec<TensorId>,
+    /// Snapshots collected for the pending taps.
+    tap_results: Vec<(TensorId, Vec<i8>)>,
+}
+
+fn shape4(shape: &[usize], context: &'static str) -> Result<[usize; 4]> {
+    shape
+        .try_into()
+        .map_err(|_| NnError::ShapeMismatch { context, detail: format!("expected rank 4, got {shape:?}") })
+}
+
+impl Interpreter {
+    /// Plans the arena and resolves kernel parameters for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Any validation error surfaced while resolving shapes, dtypes, or
+    /// quantization parameters.
+    pub fn new(model: Model) -> Result<Self> {
+        // Decode constant buffers.
+        let mut weights_i8: Vec<Option<Vec<i8>>> = vec![None; model.tensors.len()];
+        let mut weights_i32: Vec<Option<Vec<i32>>> = vec![None; model.tensors.len()];
+        for (idx, t) in model.tensors.iter().enumerate() {
+            let Some(buf_idx) = t.buffer() else { continue };
+            let raw = model.buffer(buf_idx)?;
+            match t.dtype() {
+                DType::I8 => {
+                    weights_i8[idx] = Some(raw.iter().map(|&b| b as i8).collect());
+                }
+                DType::I32 => {
+                    let vals = raw
+                        .chunks_exact(4)
+                        .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect();
+                    weights_i32[idx] = Some(vals);
+                }
+                DType::F32 => {
+                    return Err(NnError::DtypeMismatch { context: "f32 constants unsupported" })
+                }
+            }
+        }
+
+        // Lifetimes for activation tensors.
+        let mut first: Vec<Option<usize>> = vec![None; model.tensors.len()];
+        let mut last: Vec<Option<usize>> = vec![None; model.tensors.len()];
+        first[model.input.index()] = Some(0);
+        for (op_idx, op) in model.ops.iter().enumerate() {
+            for id in op.inputs() {
+                if model.tensor(id)?.is_constant() {
+                    continue;
+                }
+                last[id.index()] = Some(op_idx);
+                if first[id.index()].is_none() {
+                    first[id.index()] = Some(op_idx);
+                }
+            }
+            let out = op.output();
+            if first[out.index()].is_none() {
+                first[out.index()] = Some(op_idx);
+            }
+            last[out.index()] = Some(last[out.index()].unwrap_or(op_idx).max(op_idx));
+        }
+        let final_op = model.ops.len().saturating_sub(1);
+        last[model.output.index()] = Some(final_op);
+
+        let lives: Vec<TensorLife> = model
+            .tensors
+            .iter()
+            .enumerate()
+            .filter(|(idx, t)| !t.is_constant() && first[*idx].is_some())
+            .map(|(idx, t)| TensorLife {
+                id: idx,
+                size: t.byte_size(),
+                first_use: first[idx].unwrap_or(0),
+                last_use: last[idx].unwrap_or(first[idx].unwrap_or(0)),
+            })
+            .collect();
+        let plan = plan_arena(&lives);
+        let arena = vec![0i8; plan.arena_size];
+
+        // Resolve steps.
+        let mut steps = Vec::with_capacity(model.ops.len());
+        for op in &model.ops {
+            steps.push(Self::resolve(&model, op)?);
+        }
+
+        Ok(Interpreter {
+            model,
+            plan,
+            arena,
+            steps,
+            scratch: Vec::new(),
+            weights_i8,
+            weights_i32,
+            pending_taps: Vec::new(),
+            tap_results: Vec::new(),
+        })
+    }
+
+    fn resolve(model: &Model, op: &Op) -> Result<Step> {
+        let act_range = |activation: Activation, out_zp: i32| -> (i8, i8) {
+            match activation {
+                Activation::None => (-128, 127),
+                Activation::Relu => (out_zp.clamp(-128, 127) as i8, 127),
+            }
+        };
+        match *op {
+            Op::Conv2D { input, filter, bias, output, stride_h, stride_w, padding, activation } => {
+                let (it, ft, ot) = (model.tensor(input)?, model.tensor(filter)?, model.tensor(output)?);
+                let in_q = it.quant().expect("validated");
+                let w_q = ft.quant().expect("validated");
+                let out_q = ot.quant().expect("validated");
+                let multiplier = FixedMultiplier::from_real(
+                    f64::from(in_q.scale) * f64::from(w_q.scale) / f64::from(out_q.scale),
+                )?;
+                let input_shape = shape4(it.shape(), "Conv2D input")?;
+                let filter_shape = shape4(ft.shape(), "Conv2D filter")?;
+                let output_shape = shape4(ot.shape(), "Conv2D output")?;
+                let pad = match padding {
+                    Padding::Same => (
+                        same_padding(input_shape[1], filter_shape[1], stride_h).0,
+                        same_padding(input_shape[2], filter_shape[2], stride_w).0,
+                    ),
+                    Padding::Valid => (0, 0),
+                };
+                let (act_min, act_max) = act_range(activation, out_q.zero_point);
+                Ok(Step::Conv2D {
+                    input, filter, bias, output,
+                    input_shape, filter_shape, output_shape,
+                    stride: (stride_h, stride_w),
+                    pad,
+                    input_offset: -in_q.zero_point,
+                    output_offset: out_q.zero_point,
+                    multiplier, act_min, act_max,
+                    depthwise: None,
+                })
+            }
+            Op::DepthwiseConv2D {
+                input, filter, bias, output, stride_h, stride_w, padding, activation, depth_multiplier,
+            } => {
+                let (it, ft, ot) = (model.tensor(input)?, model.tensor(filter)?, model.tensor(output)?);
+                let in_q = it.quant().expect("validated");
+                let w_q = ft.quant().expect("validated");
+                let out_q = ot.quant().expect("validated");
+                let multiplier = FixedMultiplier::from_real(
+                    f64::from(in_q.scale) * f64::from(w_q.scale) / f64::from(out_q.scale),
+                )?;
+                let input_shape = shape4(it.shape(), "DepthwiseConv2D input")?;
+                let filter_shape = shape4(ft.shape(), "DepthwiseConv2D filter")?;
+                let output_shape = shape4(ot.shape(), "DepthwiseConv2D output")?;
+                let pad = match padding {
+                    Padding::Same => (
+                        same_padding(input_shape[1], filter_shape[1], stride_h).0,
+                        same_padding(input_shape[2], filter_shape[2], stride_w).0,
+                    ),
+                    Padding::Valid => (0, 0),
+                };
+                let (act_min, act_max) = act_range(activation, out_q.zero_point);
+                Ok(Step::Conv2D {
+                    input, filter, bias, output,
+                    input_shape, filter_shape, output_shape,
+                    stride: (stride_h, stride_w),
+                    pad,
+                    input_offset: -in_q.zero_point,
+                    output_offset: out_q.zero_point,
+                    multiplier, act_min, act_max,
+                    depthwise: Some(depth_multiplier),
+                })
+            }
+            Op::FullyConnected { input, filter, bias, output, activation } => {
+                let (it, ft, ot) = (model.tensor(input)?, model.tensor(filter)?, model.tensor(output)?);
+                let in_q = it.quant().expect("validated");
+                let w_q = ft.quant().expect("validated");
+                let out_q = ot.quant().expect("validated");
+                let multiplier = FixedMultiplier::from_real(
+                    f64::from(in_q.scale) * f64::from(w_q.scale) / f64::from(out_q.scale),
+                )?;
+                let (act_min, act_max) = act_range(activation, out_q.zero_point);
+                Ok(Step::FullyConnected {
+                    input, filter, bias, output,
+                    in_features: ft.shape()[1],
+                    out_features: ft.shape()[0],
+                    input_offset: -in_q.zero_point,
+                    output_offset: out_q.zero_point,
+                    multiplier, act_min, act_max,
+                })
+            }
+            Op::AveragePool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding }
+            | Op::MaxPool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding } => {
+                let (it, ot) = (model.tensor(input)?, model.tensor(output)?);
+                let input_shape = shape4(it.shape(), "Pool2D input")?;
+                let output_shape = shape4(ot.shape(), "Pool2D output")?;
+                let pad = match padding {
+                    Padding::Same => (
+                        same_padding(input_shape[1], filter_h, stride_h).0,
+                        same_padding(input_shape[2], filter_w, stride_w).0,
+                    ),
+                    Padding::Valid => (0, 0),
+                };
+                Ok(Step::Pool2D {
+                    input, output, input_shape, output_shape,
+                    filter: (filter_h, filter_w),
+                    stride: (stride_h, stride_w),
+                    pad,
+                    is_max: matches!(op, Op::MaxPool2D { .. }),
+                })
+            }
+            Op::Softmax { input, output } => {
+                let it = model.tensor(input)?;
+                let q = it.quant().expect("validated");
+                Ok(Step::Softmax { input, output, input_scale: q.scale, input_zp: q.zero_point })
+            }
+            Op::Reshape { input, output } => Ok(Step::Copy { input, output }),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Bytes of activation arena in use (the "tensor arena" a TFLM port
+    /// must reserve inside the enclave).
+    pub fn arena_size(&self) -> usize {
+        self.plan.arena_size
+    }
+
+    fn activation_range(&self, id: TensorId) -> Result<(usize, usize)> {
+        let t = self.model.tensor(id)?;
+        let offset = self
+            .plan
+            .offset_of(id.index())
+            .ok_or(NnError::UnknownTensor { id: id.index() })?;
+        Ok((offset, t.byte_size()))
+    }
+
+    /// Loads the slice feeding `id` into `scratch` (from the arena or from
+    /// a constant buffer) and returns it.
+    fn load_input(&mut self, id: TensorId) -> Result<()> {
+        if let Some(w) = &self.weights_i8[id.index()] {
+            self.scratch.clear();
+            self.scratch.extend_from_slice(w);
+            return Ok(());
+        }
+        let (off, len) = self.activation_range(id)?;
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.arena[off..off + len]);
+        Ok(())
+    }
+
+    fn filter_slice(&self, id: TensorId) -> Result<&[i8]> {
+        self.weights_i8[id.index()]
+            .as_deref()
+            .ok_or(NnError::DtypeMismatch { context: "filter must be constant i8" })
+    }
+
+    fn bias_slice(&self, id: TensorId) -> Result<&[i32]> {
+        self.weights_i32[id.index()]
+            .as_deref()
+            .ok_or(NnError::DtypeMismatch { context: "bias must be constant i32" })
+    }
+
+    /// Runs the model and snapshots the named activation tensors right
+    /// after their producing op executes — before the arena planner can
+    /// reuse their memory. Returns the snapshots in `taps` order.
+    ///
+    /// This is the embedding-extraction hook: e.g. tapping the post-ReLU
+    /// convolution output of `tiny_conv` yields a 4400-dimensional utterance
+    /// embedding usable for speaker verification.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::BadInputLength`] on input length mismatch;
+    /// [`NnError::UnknownTensor`] if a tap names a constant or unused
+    /// tensor.
+    pub fn invoke_with_taps(&mut self, input: &[i8], taps: &[TensorId]) -> Result<Vec<Vec<i8>>> {
+        // Validate taps up front so failures happen before compute.
+        for &tap in taps {
+            self.activation_range(tap)?;
+        }
+        self.pending_taps = taps.to_vec();
+        self.tap_results.clear();
+        let result = self.invoke(input);
+        self.pending_taps.clear();
+        result?;
+        let mut out = Vec::with_capacity(taps.len());
+        for &tap in taps {
+            let snapshot = self
+                .tap_results
+                .iter()
+                .find(|(id, _)| *id == tap)
+                .map(|(_, data)| data.clone());
+            match snapshot {
+                Some(data) => out.push(data),
+                None => {
+                    // The tensor was never produced (e.g. the model input):
+                    // read it from the arena directly.
+                    let (off, len) = self.activation_range(tap)?;
+                    out.push(self.arena[off..off + len].to_vec());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn record_tap(&mut self, produced: TensorId) {
+        if self.pending_taps.contains(&produced) {
+            if let Ok((off, len)) = self.activation_range(produced) {
+                self.tap_results.push((produced, self.arena[off..off + len].to_vec()));
+            }
+        }
+    }
+
+    /// Runs the model on quantized input (length must equal the input
+    /// tensor's element count).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::BadInputLength`] on length mismatch.
+    pub fn invoke(&mut self, input: &[i8]) -> Result<()> {
+        let (in_off, in_len) = self.activation_range(self.model.input)?;
+        if input.len() != in_len {
+            return Err(NnError::BadInputLength { expected: in_len, got: input.len() });
+        }
+        self.arena[in_off..in_off + in_len].copy_from_slice(input);
+        // The input's arena slot may be reused by later ops; snapshot it now
+        // if it is tapped.
+        let model_input = self.model.input;
+        self.record_tap(model_input);
+
+        for step_idx in 0..self.steps.len() {
+            let step = self.steps[step_idx].clone();
+            match step {
+                Step::Conv2D {
+                    input, filter, bias, output,
+                    input_shape, filter_shape, output_shape,
+                    stride, pad, input_offset, output_offset, multiplier,
+                    act_min, act_max, depthwise,
+                } => {
+                    self.load_input(input)?;
+                    let (out_off, out_len) = self.activation_range(output)?;
+                    // Split borrows: scratch (input) vs arena (output) are
+                    // distinct fields, but filter/bias also borrow self, so
+                    // clone the small weight refs up front via raw indices.
+                    let filter_data = self.filter_slice(filter)?.to_vec();
+                    let bias_data = self.bias_slice(bias)?.to_vec();
+                    let out_slice = &mut self.arena[out_off..out_off + out_len];
+                    match depthwise {
+                        None => kernels::conv2d(kernels::Conv2DArgs {
+                            input: &self.scratch,
+                            input_shape,
+                            filter: &filter_data,
+                            filter_shape,
+                            bias: &bias_data,
+                            output: out_slice,
+                            output_shape,
+                            stride, pad, input_offset, output_offset, multiplier,
+                            act_min, act_max,
+                        }),
+                        Some(mult) => kernels::depthwise_conv2d(kernels::DepthwiseConv2DArgs {
+                            input: &self.scratch,
+                            input_shape,
+                            filter: &filter_data,
+                            filter_shape,
+                            bias: &bias_data,
+                            output: out_slice,
+                            output_shape,
+                            depth_multiplier: mult,
+                            stride, pad, input_offset, output_offset, multiplier,
+                            act_min, act_max,
+                        }),
+                    }
+                }
+                Step::FullyConnected {
+                    input, filter, bias, output,
+                    in_features, out_features,
+                    input_offset, output_offset, multiplier, act_min, act_max,
+                } => {
+                    self.load_input(input)?;
+                    let (out_off, out_len) = self.activation_range(output)?;
+                    let filter_data = self.filter_slice(filter)?.to_vec();
+                    let bias_data = self.bias_slice(bias)?.to_vec();
+                    let out_slice = &mut self.arena[out_off..out_off + out_len];
+                    kernels::fully_connected(kernels::FullyConnectedArgs {
+                        input: &self.scratch,
+                        filter: &filter_data,
+                        bias: &bias_data,
+                        output: out_slice,
+                        in_features, out_features,
+                        input_offset, output_offset, multiplier, act_min, act_max,
+                    });
+                }
+                Step::Pool2D { input, output, input_shape, output_shape, filter, stride, pad, is_max } => {
+                    self.load_input(input)?;
+                    let (out_off, out_len) = self.activation_range(output)?;
+                    let out_slice = &mut self.arena[out_off..out_off + out_len];
+                    let args = kernels::Pool2DArgs {
+                        input: &self.scratch,
+                        input_shape,
+                        output: out_slice,
+                        output_shape,
+                        filter, stride, pad,
+                    };
+                    if is_max {
+                        kernels::max_pool2d(args);
+                    } else {
+                        kernels::average_pool2d(args);
+                    }
+                }
+                Step::Softmax { input, output, input_scale, input_zp } => {
+                    self.load_input(input)?;
+                    let (out_off, out_len) = self.activation_range(output)?;
+                    let out_slice = &mut self.arena[out_off..out_off + out_len];
+                    kernels::softmax(&self.scratch, input_scale, input_zp, out_slice);
+                }
+                Step::Copy { input, output } => {
+                    self.load_input(input)?;
+                    let (out_off, out_len) = self.activation_range(output)?;
+                    self.arena[out_off..out_off + out_len].copy_from_slice(&self.scratch);
+                }
+            }
+            // Snapshot tapped activations before the arena reuses them.
+            let produced = self.model.ops[step_idx].output();
+            self.record_tap(produced);
+        }
+        Ok(())
+    }
+
+    /// The raw quantized output of the last `invoke`.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::UnknownTensor`] if the output tensor was never planned.
+    pub fn output_quantized(&self) -> Result<&[i8]> {
+        let (off, len) = self.activation_range(self.model.output)?;
+        Ok(&self.arena[off..off + len])
+    }
+
+    /// The dequantized output of the last `invoke`.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::MissingQuantization`] if the output has no parameters.
+    pub fn output_dequantized(&self) -> Result<Vec<f32>> {
+        let q = self
+            .model
+            .tensor(self.model.output)?
+            .quant()
+            .ok_or_else(|| NnError::MissingQuantization { tensor: "output".into() })?;
+        Ok(q.dequantize_slice(self.output_quantized()?))
+    }
+
+    /// Convenience: runs the model and returns `(argmax index, score)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `invoke` errors.
+    pub fn classify(&mut self, input: &[i8]) -> Result<(usize, f32)> {
+        self.invoke(input)?;
+        let probs = self.output_dequantized()?;
+        let (idx, score) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .map(|(i, &p)| (i, p))
+            .unwrap_or((0, 0.0));
+        Ok((idx, score))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Activation, Model, Op, Padding};
+    use crate::quantize::QuantParams;
+    use crate::tensor::DType;
+
+    fn qp(scale: f32, zp: i32) -> QuantParams {
+        QuantParams { scale, zero_point: zp }
+    }
+
+    /// Builds a 2-layer model: conv (identity 1x1) -> fc.
+    fn tiny_model() -> Model {
+        let mut b = Model::builder();
+        let input = b.add_activation("in", vec![1, 2, 2, 1], DType::I8, Some(qp(1.0, 0)));
+        let cf = b.add_weight_i8("conv/w", vec![1, 1, 1, 1], vec![1], QuantParams::symmetric(1.0));
+        let cb = b.add_weight_i32("conv/b", vec![1], vec![0]);
+        let conv_out = b.add_activation("conv", vec![1, 2, 2, 1], DType::I8, Some(qp(1.0, 0)));
+        b.add_op(Op::Conv2D {
+            input, filter: cf, bias: cb, output: conv_out,
+            stride_h: 1, stride_w: 1, padding: Padding::Valid, activation: Activation::None,
+        });
+        let fw = b.add_weight_i8("fc/w", vec![2, 4], vec![1, 1, 1, 1, 1, -1, 1, -1], QuantParams::symmetric(1.0));
+        let fb = b.add_weight_i32("fc/b", vec![2], vec![0, 0]);
+        let fc_out = b.add_activation("fc", vec![1, 2], DType::I8, Some(qp(1.0, 0)));
+        b.add_op(Op::FullyConnected {
+            input: conv_out, filter: fw, bias: fb, output: fc_out, activation: Activation::None,
+        });
+        b.set_input(input);
+        b.set_output(fc_out);
+        b.set_labels(["sum", "diff"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_two_layer() {
+        let mut interp = Interpreter::new(tiny_model()).unwrap();
+        interp.invoke(&[1, 2, 3, 4]).unwrap();
+        // fc row0 = sum = 10; row1 = 1-2+3-4 = -2.
+        assert_eq!(interp.output_quantized().unwrap(), &[10, -2]);
+        let deq = interp.output_dequantized().unwrap();
+        assert_eq!(deq, vec![10.0, -2.0]);
+    }
+
+    #[test]
+    fn classify_returns_argmax() {
+        let mut interp = Interpreter::new(tiny_model()).unwrap();
+        let (idx, score) = interp.classify(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(score, 10.0);
+    }
+
+    #[test]
+    fn bad_input_length_rejected() {
+        let mut interp = Interpreter::new(tiny_model()).unwrap();
+        assert!(matches!(
+            interp.invoke(&[1, 2, 3]),
+            Err(NnError::BadInputLength { expected: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn invoke_is_deterministic_and_reusable() {
+        let mut interp = Interpreter::new(tiny_model()).unwrap();
+        interp.invoke(&[5, 5, 5, 5]).unwrap();
+        let first = interp.output_quantized().unwrap().to_vec();
+        interp.invoke(&[1, 1, 1, 1]).unwrap();
+        interp.invoke(&[5, 5, 5, 5]).unwrap();
+        assert_eq!(interp.output_quantized().unwrap(), &first[..]);
+    }
+
+    #[test]
+    fn arena_smaller_than_total_activations() {
+        // in (4) + conv (4) + fc (2) = 10 total, but in/fc don't coexist
+        // with everything simultaneously.
+        let interp = Interpreter::new(tiny_model()).unwrap();
+        assert!(interp.arena_size() <= 10);
+        assert!(interp.arena_size() >= 8); // conv co-lives with in and fc
+    }
+
+    #[test]
+    fn softmax_pipeline() {
+        let mut b = Model::builder();
+        let input = b.add_activation("in", vec![1, 4], DType::I8, Some(qp(0.1, 0)));
+        let out = b.add_activation("probs", vec![1, 4], DType::I8, Some(qp(1.0 / 256.0, -128)));
+        b.add_op(Op::Softmax { input, output: out });
+        b.set_input(input);
+        b.set_output(out);
+        let mut interp = Interpreter::new(b.build().unwrap()).unwrap();
+        interp.invoke(&[0, 10, 20, 30]).unwrap();
+        let probs = interp.output_dequantized().unwrap();
+        let total: f32 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 0.05);
+        assert!(probs[3] > probs[2]);
+    }
+
+    #[test]
+    fn reshape_copies() {
+        let mut b = Model::builder();
+        let input = b.add_activation("in", vec![1, 2, 2, 1], DType::I8, Some(qp(1.0, 0)));
+        let out = b.add_activation("flat", vec![1, 4], DType::I8, Some(qp(1.0, 0)));
+        b.add_op(Op::Reshape { input, output: out });
+        b.set_input(input);
+        b.set_output(out);
+        let mut interp = Interpreter::new(b.build().unwrap()).unwrap();
+        interp.invoke(&[9, 8, 7, 6]).unwrap();
+        assert_eq!(interp.output_quantized().unwrap(), &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn taps_snapshot_intermediate_activations() {
+        let model = tiny_model();
+        // Tap the conv output (tensor id 3 in tiny_model construction order:
+        // in=0, conv/w=1, conv/b=2, conv=3).
+        let conv_out = TensorId(3);
+        let mut interp = Interpreter::new(model).unwrap();
+        let taps = interp.invoke_with_taps(&[1, 2, 3, 4], &[conv_out]).unwrap();
+        assert_eq!(taps.len(), 1);
+        // Identity conv: the tap equals the input.
+        assert_eq!(taps[0], vec![1, 2, 3, 4]);
+        // Final output unaffected.
+        assert_eq!(interp.output_quantized().unwrap(), &[10, -2]);
+    }
+
+    #[test]
+    fn taps_reject_constant_tensors() {
+        let model = tiny_model();
+        let weight_tensor = TensorId(1);
+        let mut interp = Interpreter::new(model).unwrap();
+        assert!(interp.invoke_with_taps(&[1, 2, 3, 4], &[weight_tensor]).is_err());
+    }
+
+    #[test]
+    fn tapping_the_input_returns_it() {
+        let model = tiny_model();
+        let input_tensor = TensorId(0);
+        let mut interp = Interpreter::new(model).unwrap();
+        let taps = interp.invoke_with_taps(&[5, 6, 7, 8], &[input_tensor]).unwrap();
+        assert_eq!(taps[0], vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn max_pool_pipeline() {
+        let mut b = Model::builder();
+        let input = b.add_activation("in", vec![1, 2, 2, 1], DType::I8, Some(qp(1.0, 0)));
+        let out = b.add_activation("pooled", vec![1, 1, 1, 1], DType::I8, Some(qp(1.0, 0)));
+        b.add_op(Op::MaxPool2D {
+            input, output: out,
+            filter_h: 2, filter_w: 2, stride_h: 2, stride_w: 2,
+            padding: Padding::Valid,
+        });
+        b.set_input(input);
+        b.set_output(out);
+        let mut interp = Interpreter::new(b.build().unwrap()).unwrap();
+        interp.invoke(&[3, 1, 4, 1]).unwrap();
+        assert_eq!(interp.output_quantized().unwrap(), &[4]);
+    }
+}

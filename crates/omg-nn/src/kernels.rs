@@ -1,0 +1,649 @@
+//! Quantized reference kernels with TensorFlow Lite Micro semantics.
+//!
+//! All kernels take int8 activations with asymmetric zero points, int8
+//! symmetric weights, int32 biases, accumulate in int32, and requantize
+//! through the gemmlowp fixed-point pipeline (see [`crate::quantize`]).
+//! Layouts follow TFLite: activations NHWC, convolution filters OHWI.
+
+use crate::quantize::FixedMultiplier;
+
+/// Flat index into an NHWC / OHWI rank-4 tensor.
+#[inline(always)]
+fn idx4(shape: [usize; 4], a: usize, b: usize, c: usize, d: usize) -> usize {
+    ((a * shape[1] + b) * shape[2] + c) * shape[3] + d
+}
+
+/// Parameters for [`conv2d`].
+#[derive(Debug)]
+pub struct Conv2DArgs<'a> {
+    /// Input activations, NHWC.
+    pub input: &'a [i8],
+    /// Input shape `[n, h, w, c]`.
+    pub input_shape: [usize; 4],
+    /// Filter weights, OHWI.
+    pub filter: &'a [i8],
+    /// Filter shape `[out_c, kh, kw, in_c]`.
+    pub filter_shape: [usize; 4],
+    /// Per-output-channel bias.
+    pub bias: &'a [i32],
+    /// Output buffer, NHWC.
+    pub output: &'a mut [i8],
+    /// Output shape `[n, oh, ow, out_c]`.
+    pub output_shape: [usize; 4],
+    /// `(stride_h, stride_w)`.
+    pub stride: (usize, usize),
+    /// `(pad_top, pad_left)`.
+    pub pad: (usize, usize),
+    /// `-input_zero_point`.
+    pub input_offset: i32,
+    /// `output_zero_point`.
+    pub output_offset: i32,
+    /// `input_scale * filter_scale / output_scale`, fixed-point.
+    pub multiplier: FixedMultiplier,
+    /// Fused activation clamp low.
+    pub act_min: i8,
+    /// Fused activation clamp high.
+    pub act_max: i8,
+}
+
+/// int8 2-D convolution (TFLM `reference_integer_ops::ConvPerTensor`).
+pub fn conv2d(args: Conv2DArgs<'_>) {
+    let Conv2DArgs {
+        input,
+        input_shape,
+        filter,
+        filter_shape,
+        bias,
+        output,
+        output_shape,
+        stride,
+        pad,
+        input_offset,
+        output_offset,
+        multiplier,
+        act_min,
+        act_max,
+    } = args;
+    let [n, in_h, in_w, in_c] = input_shape;
+    let [out_c, k_h, k_w, _] = filter_shape;
+    let [_, out_h, out_w, _] = output_shape;
+
+    for b in 0..n {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                for oc in 0..out_c {
+                    let mut acc: i32 = 0;
+                    for ky in 0..k_h {
+                        let iy = (oy * stride.0 + ky) as isize - pad.0 as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..k_w {
+                            let ix = (ox * stride.1 + kx) as isize - pad.1 as isize;
+                            if ix < 0 || ix >= in_w as isize {
+                                continue;
+                            }
+                            for ic in 0..in_c {
+                                let iv = i32::from(
+                                    input[idx4(input_shape, b, iy as usize, ix as usize, ic)],
+                                );
+                                let fv = i32::from(filter[idx4(filter_shape, oc, ky, kx, ic)]);
+                                acc += (iv + input_offset) * fv;
+                            }
+                        }
+                    }
+                    acc += bias[oc];
+                    let scaled = multiplier.apply(acc) + output_offset;
+                    let clamped = scaled.clamp(i32::from(act_min), i32::from(act_max));
+                    output[idx4(output_shape, b, oy, ox, oc)] = clamped as i8;
+                }
+            }
+        }
+    }
+}
+
+/// Parameters for [`depthwise_conv2d`].
+#[derive(Debug)]
+pub struct DepthwiseConv2DArgs<'a> {
+    /// Input activations, NHWC.
+    pub input: &'a [i8],
+    /// Input shape `[n, h, w, c]`.
+    pub input_shape: [usize; 4],
+    /// Filter weights `[1, kh, kw, c * multiplier]`.
+    pub filter: &'a [i8],
+    /// Filter shape.
+    pub filter_shape: [usize; 4],
+    /// Per-channel bias.
+    pub bias: &'a [i32],
+    /// Output buffer, NHWC.
+    pub output: &'a mut [i8],
+    /// Output shape.
+    pub output_shape: [usize; 4],
+    /// Channel multiplier.
+    pub depth_multiplier: usize,
+    /// `(stride_h, stride_w)`.
+    pub stride: (usize, usize),
+    /// `(pad_top, pad_left)`.
+    pub pad: (usize, usize),
+    /// `-input_zero_point`.
+    pub input_offset: i32,
+    /// `output_zero_point`.
+    pub output_offset: i32,
+    /// Requantization multiplier.
+    pub multiplier: FixedMultiplier,
+    /// Fused activation clamp low.
+    pub act_min: i8,
+    /// Fused activation clamp high.
+    pub act_max: i8,
+}
+
+/// int8 depthwise convolution.
+pub fn depthwise_conv2d(args: DepthwiseConv2DArgs<'_>) {
+    let DepthwiseConv2DArgs {
+        input,
+        input_shape,
+        filter,
+        filter_shape,
+        bias,
+        output,
+        output_shape,
+        depth_multiplier,
+        stride,
+        pad,
+        input_offset,
+        output_offset,
+        multiplier,
+        act_min,
+        act_max,
+    } = args;
+    let [n, in_h, in_w, in_c] = input_shape;
+    let [_, k_h, k_w, _] = filter_shape;
+    let [_, out_h, out_w, out_c] = output_shape;
+    debug_assert_eq!(out_c, in_c * depth_multiplier);
+
+    for b in 0..n {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                for ic in 0..in_c {
+                    for m in 0..depth_multiplier {
+                        let oc = ic * depth_multiplier + m;
+                        let mut acc: i32 = 0;
+                        for ky in 0..k_h {
+                            let iy = (oy * stride.0 + ky) as isize - pad.0 as isize;
+                            if iy < 0 || iy >= in_h as isize {
+                                continue;
+                            }
+                            for kx in 0..k_w {
+                                let ix = (ox * stride.1 + kx) as isize - pad.1 as isize;
+                                if ix < 0 || ix >= in_w as isize {
+                                    continue;
+                                }
+                                let iv = i32::from(
+                                    input[idx4(input_shape, b, iy as usize, ix as usize, ic)],
+                                );
+                                let fv = i32::from(filter[idx4(filter_shape, 0, ky, kx, oc)]);
+                                acc += (iv + input_offset) * fv;
+                            }
+                        }
+                        acc += bias[oc];
+                        let scaled = multiplier.apply(acc) + output_offset;
+                        let clamped = scaled.clamp(i32::from(act_min), i32::from(act_max));
+                        output[idx4(output_shape, b, oy, ox, oc)] = clamped as i8;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parameters for [`fully_connected`].
+#[derive(Debug)]
+pub struct FullyConnectedArgs<'a> {
+    /// Input activations `[batch, in_features]` (flattened).
+    pub input: &'a [i8],
+    /// Weights `[out_features, in_features]`.
+    pub filter: &'a [i8],
+    /// Bias `[out_features]`.
+    pub bias: &'a [i32],
+    /// Output `[batch, out_features]`.
+    pub output: &'a mut [i8],
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+    /// `-input_zero_point`.
+    pub input_offset: i32,
+    /// `output_zero_point`.
+    pub output_offset: i32,
+    /// Requantization multiplier.
+    pub multiplier: FixedMultiplier,
+    /// Fused activation clamp low.
+    pub act_min: i8,
+    /// Fused activation clamp high.
+    pub act_max: i8,
+}
+
+/// int8 fully connected layer (TFLM `reference_integer_ops::FullyConnected`).
+pub fn fully_connected(args: FullyConnectedArgs<'_>) {
+    let FullyConnectedArgs {
+        input,
+        filter,
+        bias,
+        output,
+        in_features,
+        out_features,
+        input_offset,
+        output_offset,
+        multiplier,
+        act_min,
+        act_max,
+    } = args;
+    let batches = input.len() / in_features;
+    for b in 0..batches {
+        for o in 0..out_features {
+            let mut acc: i32 = 0;
+            for i in 0..in_features {
+                let iv = i32::from(input[b * in_features + i]);
+                let fv = i32::from(filter[o * in_features + i]);
+                acc += (iv + input_offset) * fv;
+            }
+            acc += bias[o];
+            let scaled = multiplier.apply(acc) + output_offset;
+            let clamped = scaled.clamp(i32::from(act_min), i32::from(act_max));
+            output[b * out_features + o] = clamped as i8;
+        }
+    }
+}
+
+/// Parameters for the pooling kernels.
+#[derive(Debug)]
+pub struct Pool2DArgs<'a> {
+    /// Input activations, NHWC.
+    pub input: &'a [i8],
+    /// Input shape.
+    pub input_shape: [usize; 4],
+    /// Output buffer, NHWC.
+    pub output: &'a mut [i8],
+    /// Output shape.
+    pub output_shape: [usize; 4],
+    /// `(filter_h, filter_w)`.
+    pub filter: (usize, usize),
+    /// `(stride_h, stride_w)`.
+    pub stride: (usize, usize),
+    /// `(pad_top, pad_left)`.
+    pub pad: (usize, usize),
+}
+
+/// int8 average pooling: averages over the *valid* window elements with
+/// round-half-away-from-zero, matching TFLite.
+pub fn average_pool2d(args: Pool2DArgs<'_>) {
+    let Pool2DArgs { input, input_shape, output, output_shape, filter, stride, pad } = args;
+    let [n, in_h, in_w, c] = input_shape;
+    let [_, out_h, out_w, _] = output_shape;
+    for b in 0..n {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                for ch in 0..c {
+                    let mut sum: i32 = 0;
+                    let mut count: i32 = 0;
+                    for ky in 0..filter.0 {
+                        let iy = (oy * stride.0 + ky) as isize - pad.0 as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..filter.1 {
+                            let ix = (ox * stride.1 + kx) as isize - pad.1 as isize;
+                            if ix < 0 || ix >= in_w as isize {
+                                continue;
+                            }
+                            sum += i32::from(input[idx4(input_shape, b, iy as usize, ix as usize, ch)]);
+                            count += 1;
+                        }
+                    }
+                    let avg = if count > 0 {
+                        if sum >= 0 { (sum + count / 2) / count } else { (sum - count / 2) / count }
+                    } else {
+                        0
+                    };
+                    output[idx4(output_shape, b, oy, ox, ch)] = avg.clamp(-128, 127) as i8;
+                }
+            }
+        }
+    }
+}
+
+/// int8 max pooling.
+pub fn max_pool2d(args: Pool2DArgs<'_>) {
+    let Pool2DArgs { input, input_shape, output, output_shape, filter, stride, pad } = args;
+    let [n, in_h, in_w, c] = input_shape;
+    let [_, out_h, out_w, _] = output_shape;
+    for b in 0..n {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                for ch in 0..c {
+                    let mut best = i8::MIN;
+                    for ky in 0..filter.0 {
+                        let iy = (oy * stride.0 + ky) as isize - pad.0 as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..filter.1 {
+                            let ix = (ox * stride.1 + kx) as isize - pad.1 as isize;
+                            if ix < 0 || ix >= in_w as isize {
+                                continue;
+                            }
+                            best = best.max(input[idx4(input_shape, b, iy as usize, ix as usize, ch)]);
+                        }
+                    }
+                    output[idx4(output_shape, b, oy, ox, ch)] = best;
+                }
+            }
+        }
+    }
+}
+
+/// int8 softmax over the whole slice (one row).
+///
+/// Dequantizes with `input_scale`/`input_zp`, computes a numerically stable
+/// softmax, and requantizes to the fixed TFLite output convention
+/// (`scale = 1/256`, `zero_point = -128`).
+pub fn softmax(input: &[i8], input_scale: f32, input_zp: i32, output: &mut [i8]) {
+    debug_assert_eq!(input.len(), output.len());
+    let max_q = input.iter().copied().max().unwrap_or(0);
+    let mut exps = vec![0f32; input.len()];
+    let mut sum = 0f32;
+    for (i, &q) in input.iter().enumerate() {
+        let x = input_scale * (i32::from(q) - input_zp) as f32;
+        let x_max = input_scale * (i32::from(max_q) - input_zp) as f32;
+        let e = (x - x_max).exp();
+        exps[i] = e;
+        sum += e;
+    }
+    for (o, e) in output.iter_mut().zip(exps.iter()) {
+        let p = e / sum;
+        // q = p / (1/256) - 128
+        let q = (p * 256.0).round() as i32 - 128;
+        *o = q.clamp(-128, 127) as i8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::{FixedMultiplier, QuantParams};
+    use proptest::prelude::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1, no bias, unit scales => output = input.
+        let input: Vec<i8> = vec![1, -2, 3, -4];
+        let mut output = vec![0i8; 4];
+        conv2d(Conv2DArgs {
+            input: &input,
+            input_shape: [1, 2, 2, 1],
+            filter: &[1],
+            filter_shape: [1, 1, 1, 1],
+            bias: &[0],
+            output: &mut output,
+            output_shape: [1, 2, 2, 1],
+            stride: (1, 1),
+            pad: (0, 0),
+            input_offset: 0,
+            output_offset: 0,
+            multiplier: FixedMultiplier::from_real(0.999_999_999).unwrap(),
+            act_min: -128,
+            act_max: 127,
+        });
+        assert_eq!(output, input);
+    }
+
+    #[test]
+    fn conv2d_known_sum() {
+        // 2x2 input of ones, 2x2 kernel of ones, VALID: single output = 4
+        // (plus bias 10 => 14), multiplier 0.5 => 7.
+        let input = vec![1i8; 4];
+        let mut output = vec![0i8; 1];
+        conv2d(Conv2DArgs {
+            input: &input,
+            input_shape: [1, 2, 2, 1],
+            filter: &[1, 1, 1, 1],
+            filter_shape: [1, 2, 2, 1],
+            bias: &[10],
+            output: &mut output,
+            output_shape: [1, 1, 1, 1],
+            stride: (1, 1),
+            pad: (0, 0),
+            input_offset: 0,
+            output_offset: 0,
+            multiplier: FixedMultiplier::from_real(0.5).unwrap(),
+            act_min: -128,
+            act_max: 127,
+        });
+        assert_eq!(output[0], 7);
+    }
+
+    #[test]
+    fn conv2d_relu_clamps_at_zero_point() {
+        // Negative accumulator with act_min = 0 (zp) clamps to 0.
+        let input = vec![-10i8; 4];
+        let mut output = vec![0i8; 1];
+        conv2d(Conv2DArgs {
+            input: &input,
+            input_shape: [1, 2, 2, 1],
+            filter: &[1, 1, 1, 1],
+            filter_shape: [1, 2, 2, 1],
+            bias: &[0],
+            output: &mut output,
+            output_shape: [1, 1, 1, 1],
+            stride: (1, 1),
+            pad: (0, 0),
+            input_offset: 0,
+            output_offset: 0,
+            multiplier: FixedMultiplier::from_real(0.9999).unwrap(),
+            act_min: 0,
+            act_max: 127,
+        });
+        assert_eq!(output[0], 0);
+    }
+
+    #[test]
+    fn conv2d_same_padding_zero_contribution() {
+        // With input_offset = -zp, padded (absent) positions contribute
+        // nothing; here zp = 0 so a centred 3x3 all-ones kernel on a single
+        // one-hot input counts the valid neighbourhood only.
+        let mut input = vec![0i8; 9];
+        input[4] = 1; // centre
+        let mut output = vec![0i8; 9];
+        conv2d(Conv2DArgs {
+            input: &input,
+            input_shape: [1, 3, 3, 1],
+            filter: &[1; 9],
+            filter_shape: [1, 3, 3, 1],
+            bias: &[0],
+            output: &mut output,
+            output_shape: [1, 3, 3, 1],
+            stride: (1, 1),
+            pad: (1, 1),
+            input_offset: 0,
+            output_offset: 0,
+            multiplier: FixedMultiplier::from_real(0.999_999).unwrap(),
+            act_min: -128,
+            act_max: 127,
+        });
+        // Every position whose 3x3 window covers the centre sees sum 1.
+        assert_eq!(output, vec![1i8; 9]);
+    }
+
+    #[test]
+    fn fully_connected_known_answer() {
+        // input [1,2,3], weights row0 = [1,1,1] row1 = [1,-1,0], bias [0, 5].
+        let input = vec![1i8, 2, 3];
+        let filter = vec![1i8, 1, 1, 1, -1, 0];
+        let mut output = vec![0i8; 2];
+        fully_connected(FullyConnectedArgs {
+            input: &input,
+            filter: &filter,
+            bias: &[0, 5],
+            output: &mut output,
+            in_features: 3,
+            out_features: 2,
+            input_offset: 0,
+            output_offset: 0,
+            multiplier: FixedMultiplier::from_real(0.999_999_999).unwrap(),
+            act_min: -128,
+            act_max: 127,
+        });
+        assert_eq!(output, vec![6, 4]);
+    }
+
+    #[test]
+    fn average_pool_rounds_half_away() {
+        let input = vec![1i8, 2, 3, 4];
+        let mut output = vec![0i8; 1];
+        average_pool2d(Pool2DArgs {
+            input: &input,
+            input_shape: [1, 2, 2, 1],
+            output: &mut output,
+            output_shape: [1, 1, 1, 1],
+            filter: (2, 2),
+            stride: (2, 2),
+            pad: (0, 0),
+        });
+        // (1+2+3+4)/4 = 2.5 -> 3
+        assert_eq!(output[0], 3);
+    }
+
+    #[test]
+    fn max_pool_finds_max() {
+        let input = vec![1i8, -2, 7, 4];
+        let mut output = vec![0i8; 1];
+        max_pool2d(Pool2DArgs {
+            input: &input,
+            input_shape: [1, 2, 2, 1],
+            output: &mut output,
+            output_shape: [1, 1, 1, 1],
+            filter: (2, 2),
+            stride: (2, 2),
+            pad: (0, 0),
+        });
+        assert_eq!(output[0], 7);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let input = vec![10i8, 20, 30, -5];
+        let mut output = vec![0i8; 4];
+        softmax(&input, 0.1, 0, &mut output);
+        // Probabilities (q + 128) / 256 sum to ~1.
+        let total: f32 = output.iter().map(|&q| (i32::from(q) + 128) as f32 / 256.0).sum();
+        assert!((total - 1.0).abs() < 0.02, "total={total}");
+        // Ordering preserved.
+        assert!(output[2] > output[1]);
+        assert!(output[1] > output[0]);
+        assert!(output[0] >= output[3]);
+    }
+
+    /// Float reference convolution for the equivalence property test.
+    #[allow(clippy::too_many_arguments)]
+    fn conv2d_f32_reference(
+        input: &[f32],
+        input_shape: [usize; 4],
+        filter: &[f32],
+        filter_shape: [usize; 4],
+        bias: &[f32],
+        stride: (usize, usize),
+        pad: (usize, usize),
+        output_shape: [usize; 4],
+    ) -> Vec<f32> {
+        let [n, in_h, in_w, in_c] = input_shape;
+        let [out_c, k_h, k_w, _] = filter_shape;
+        let [_, out_h, out_w, _] = output_shape;
+        let mut out = vec![0f32; n * out_h * out_w * out_c];
+        for b in 0..n {
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    for oc in 0..out_c {
+                        let mut acc = bias[oc];
+                        for ky in 0..k_h {
+                            let iy = (oy * stride.0 + ky) as isize - pad.0 as isize;
+                            if iy < 0 || iy >= in_h as isize {
+                                continue;
+                            }
+                            for kx in 0..k_w {
+                                let ix = (ox * stride.1 + kx) as isize - pad.1 as isize;
+                                if ix < 0 || ix >= in_w as isize {
+                                    continue;
+                                }
+                                for ic in 0..in_c {
+                                    acc += input[idx4(input_shape, b, iy as usize, ix as usize, ic)]
+                                        * filter[idx4(filter_shape, oc, ky, kx, ic)];
+                                }
+                            }
+                        }
+                        out[idx4(output_shape, b, oy, ox, oc)] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        /// Quantized conv ≈ float conv within one output quantum. This is
+        /// the property that makes "accuracy unchanged under OMG" plausible:
+        /// the quantized pipeline tracks the real-valued one tightly.
+        #[test]
+        fn prop_quantized_conv_tracks_float(
+            seed_vals in proptest::collection::vec(-1.0f32..1.0, 16),
+            filter_vals in proptest::collection::vec(-0.5f32..0.5, 4),
+        ) {
+            let input_shape = [1, 4, 4, 1];
+            let filter_shape = [1, 2, 2, 1];
+            let output_shape = [1, 3, 3, 1];
+
+            let in_qp = QuantParams::from_min_max(-1.0, 1.0);
+            let w_scale = filter_vals.iter().fold(0f32, |m, v| m.max(v.abs())).max(1e-3) / 127.0;
+            let w_qp = QuantParams::symmetric(w_scale);
+            let out_qp = QuantParams::from_min_max(-2.5, 2.5);
+
+            let q_in = in_qp.quantize_slice(&seed_vals);
+            let q_w = w_qp.quantize_slice(&filter_vals);
+            // Float values as actually represented after quantization.
+            let f_in = in_qp.dequantize_slice(&q_in);
+            let f_w = w_qp.dequantize_slice(&q_w);
+
+            let f_out = conv2d_f32_reference(
+                &f_in, input_shape, &f_w, filter_shape, &[0.0], (1, 1), (0, 0), output_shape,
+            );
+
+            let mult = FixedMultiplier::from_real(
+                f64::from(in_qp.scale) * f64::from(w_qp.scale) / f64::from(out_qp.scale),
+            ).unwrap();
+            let mut q_out = vec![0i8; 9];
+            conv2d(Conv2DArgs {
+                input: &q_in,
+                input_shape,
+                filter: &q_w,
+                filter_shape,
+                bias: &[0],
+                output: &mut q_out,
+                output_shape,
+                stride: (1, 1),
+                pad: (0, 0),
+                input_offset: -in_qp.zero_point,
+                output_offset: out_qp.zero_point,
+                multiplier: mult,
+                act_min: -128,
+                act_max: 127,
+            });
+
+            for (q, f) in q_out.iter().zip(f_out.iter()) {
+                let dq = out_qp.dequantize(*q);
+                prop_assert!(
+                    (dq - f).abs() <= out_qp.scale * 1.5 + 1e-4,
+                    "quantized {dq} vs float {f}"
+                );
+            }
+        }
+    }
+}

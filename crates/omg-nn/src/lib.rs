@@ -1,0 +1,61 @@
+//! A TensorFlow-Lite-Micro-style int8 inference engine.
+//!
+//! The OMG paper runs keyword recognition with "TensorFlow Lite for
+//! Microcontrollers" inside a SANCTUARY enclave (paper §VI). This crate
+//! reproduces the relevant slice of TFLM in Rust:
+//!
+//! * [`quantize`] — affine int8 quantization and the gemmlowp fixed-point
+//!   requantization pipeline, bit-matching the TFLite reference kernels;
+//! * [`kernels`] — reference int8 Conv2D / DepthwiseConv2D / FullyConnected
+//!   / pooling / softmax;
+//! * [`model`] — the operator graph and its builder;
+//! * [`planner`] — TFLM-style greedy arena planning (no heap at inference);
+//! * [`interpreter`] — the arena-based executor;
+//! * [`format`] — the compact binary serialization the vendor encrypts and
+//!   ships (the `.tflite` stand-in; the paper's `tiny_conv` model is ≈49 kB).
+//!
+//! # Examples
+//!
+//! Build, serialize and run a single-layer classifier:
+//!
+//! ```
+//! use omg_nn::interpreter::Interpreter;
+//! use omg_nn::model::{Activation, Model, Op};
+//! use omg_nn::quantize::QuantParams;
+//! use omg_nn::tensor::DType;
+//!
+//! let mut b = Model::builder();
+//! let input = b.add_activation("in", vec![1, 4], DType::I8,
+//!     Some(QuantParams { scale: 1.0, zero_point: 0 }));
+//! let w = b.add_weight_i8("w", vec![2, 4], vec![1, 1, 1, 1, 1, -1, 1, -1],
+//!     QuantParams::symmetric(1.0));
+//! let bias = b.add_weight_i32("b", vec![2], vec![0, 0]);
+//! let out = b.add_activation("out", vec![1, 2], DType::I8,
+//!     Some(QuantParams { scale: 1.0, zero_point: 0 }));
+//! b.add_op(Op::FullyConnected { input, filter: w, bias, output: out,
+//!     activation: Activation::None });
+//! b.set_input(input);
+//! b.set_output(out);
+//! let model = b.build()?;
+//!
+//! let blob = omg_nn::format::serialize(&model);
+//! let mut interp = Interpreter::new(omg_nn::format::deserialize(&blob)?)?;
+//! interp.invoke(&[1, 2, 3, 4])?;
+//! assert_eq!(interp.output_quantized()?, &[10, -2]);
+//! # Ok::<(), omg_nn::NnError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod format;
+pub mod interpreter;
+pub mod kernels;
+pub mod model;
+pub mod planner;
+pub mod quantize;
+pub mod tensor;
+
+pub use error::{NnError, Result};
+pub use interpreter::Interpreter;
+pub use model::Model;

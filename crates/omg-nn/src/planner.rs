@@ -1,0 +1,201 @@
+//! Greedy arena memory planning, TFLM style.
+//!
+//! TensorFlow Lite for Microcontrollers executes without a heap: all
+//! activation tensors live in one fixed arena, and a greedy planner overlaps
+//! tensors whose lifetimes do not intersect. Running from a fixed arena is
+//! also what makes the enclave port clean — the SA's working set is a single
+//! TZASC-locked buffer of known size.
+
+/// Lifetime and size of one activation tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorLife {
+    /// Tensor id (index into the model's tensor list).
+    pub id: usize,
+    /// Byte size (already aligned by the caller if needed).
+    pub size: usize,
+    /// First op index at which the tensor must exist (producers count;
+    /// model inputs use 0).
+    pub first_use: usize,
+    /// Last op index at which the tensor is read (model outputs use the
+    /// final op index).
+    pub last_use: usize,
+}
+
+impl TensorLife {
+    fn overlaps(&self, other: &TensorLife) -> bool {
+        self.first_use <= other.last_use && other.first_use <= self.last_use
+    }
+}
+
+/// The result of planning: per-tensor offsets and the arena size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaPlan {
+    /// `(tensor id, byte offset)` pairs.
+    pub offsets: Vec<(usize, usize)>,
+    /// Total arena bytes required.
+    pub arena_size: usize,
+}
+
+impl ArenaPlan {
+    /// Offset of a tensor id, if planned.
+    pub fn offset_of(&self, id: usize) -> Option<usize> {
+        self.offsets.iter().find(|(t, _)| *t == id).map(|(_, o)| *o)
+    }
+}
+
+/// Plans arena offsets with the greedy-by-size strategy TFLM uses:
+/// tensors are placed largest-first at the lowest offset that does not
+/// collide with an already placed tensor of overlapping lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use omg_nn::planner::{plan_arena, TensorLife};
+///
+/// // Two tensors with disjoint lifetimes share memory.
+/// let plan = plan_arena(&[
+///     TensorLife { id: 0, size: 100, first_use: 0, last_use: 1 },
+///     TensorLife { id: 1, size: 100, first_use: 2, last_use: 3 },
+/// ]);
+/// assert_eq!(plan.arena_size, 100);
+/// ```
+pub fn plan_arena(lives: &[TensorLife]) -> ArenaPlan {
+    // Deterministic order: decreasing size, ties by id.
+    let mut order: Vec<&TensorLife> = lives.iter().collect();
+    order.sort_by(|a, b| b.size.cmp(&a.size).then(a.id.cmp(&b.id)));
+
+    let mut placed: Vec<(TensorLife, usize)> = Vec::with_capacity(lives.len());
+    for life in order {
+        // Collect occupied intervals among lifetime-overlapping tensors.
+        let mut busy: Vec<(usize, usize)> = placed
+            .iter()
+            .filter(|(other, _)| life.overlaps(other))
+            .map(|(other, off)| (*off, *off + other.size))
+            .collect();
+        busy.sort_unstable();
+        // First-fit scan.
+        let mut offset = 0usize;
+        for (start, end) in busy {
+            if offset + life.size <= start {
+                break;
+            }
+            offset = offset.max(end);
+        }
+        placed.push((*life, offset));
+    }
+
+    let arena_size = placed.iter().map(|(l, o)| o + l.size).max().unwrap_or(0);
+    let offsets = placed.iter().map(|(l, o)| (l.id, *o)).collect();
+    ArenaPlan { offsets, arena_size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn life(id: usize, size: usize, first: usize, last: usize) -> TensorLife {
+        TensorLife { id, size, first_use: first, last_use: last }
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = plan_arena(&[]);
+        assert_eq!(plan.arena_size, 0);
+        assert!(plan.offsets.is_empty());
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_memory() {
+        let plan = plan_arena(&[life(0, 100, 0, 1), life(1, 80, 2, 3), life(2, 60, 4, 5)]);
+        assert_eq!(plan.arena_size, 100);
+        assert_eq!(plan.offset_of(0), Some(0));
+        assert_eq!(plan.offset_of(1), Some(0));
+        assert_eq!(plan.offset_of(2), Some(0));
+    }
+
+    #[test]
+    fn overlapping_lifetimes_do_not_collide() {
+        let plan = plan_arena(&[life(0, 100, 0, 2), life(1, 50, 1, 3)]);
+        assert_eq!(plan.arena_size, 150);
+    }
+
+    #[test]
+    fn chain_pattern_reuses_like_tflm() {
+        // A linear chain in -> a -> b -> out: `in` dies when `a` is made,
+        // `a` dies when `b` is made. Peak = largest adjacent pair.
+        let plan = plan_arena(&[
+            life(0, 1000, 0, 0), // in, consumed by op0
+            life(1, 400, 0, 1),  // a, made op0, consumed op1
+            life(2, 600, 1, 2),  // b, made op1, consumed op2
+            life(3, 100, 2, 2),  // out
+        ]);
+        // in+a = 1400 alive together; a+b = 1000; b+out = 700.
+        assert_eq!(plan.arena_size, 1400);
+    }
+
+    #[test]
+    fn gap_filling_first_fit() {
+        // Big tensor [0..10], small co-live tensors should fill below/after
+        // without pushing the arena beyond necessity.
+        let plan = plan_arena(&[
+            life(0, 100, 0, 10),
+            life(1, 40, 0, 10),
+            life(2, 30, 11, 12),
+        ]);
+        assert_eq!(plan.arena_size, 140);
+        assert_eq!(plan.offset_of(2), Some(0)); // reuses freed space
+    }
+
+    proptest! {
+        /// No two tensors with overlapping lifetimes may overlap in memory,
+        /// and the arena must be large enough for every placement.
+        #[test]
+        fn prop_no_live_overlap(
+            specs in proptest::collection::vec(
+                (1usize..500, 0usize..6, 0usize..6), 1..20
+            )
+        ) {
+            let lives: Vec<TensorLife> = specs
+                .iter()
+                .enumerate()
+                .map(|(id, &(size, a, b))| life(id, size, a.min(b), a.max(b)))
+                .collect();
+            let plan = plan_arena(&lives);
+            for (i, &(id_a, off_a)) in plan.offsets.iter().enumerate() {
+                let la = lives.iter().find(|l| l.id == id_a).unwrap();
+                prop_assert!(off_a + la.size <= plan.arena_size);
+                for &(id_b, off_b) in &plan.offsets[i + 1..] {
+                    let lb = lives.iter().find(|l| l.id == id_b).unwrap();
+                    if la.overlaps(lb) {
+                        let disjoint = off_a + la.size <= off_b || off_b + lb.size <= off_a;
+                        prop_assert!(
+                            disjoint,
+                            "tensors {id_a} and {id_b} overlap in time and space"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// The plan never wastes more than the sum of sizes (sanity bound)
+        /// and is deterministic.
+        #[test]
+        fn prop_bounded_and_deterministic(
+            specs in proptest::collection::vec(
+                (1usize..200, 0usize..4, 0usize..4), 1..12
+            )
+        ) {
+            let lives: Vec<TensorLife> = specs
+                .iter()
+                .enumerate()
+                .map(|(id, &(size, a, b))| life(id, size, a.min(b), a.max(b)))
+                .collect();
+            let p1 = plan_arena(&lives);
+            let p2 = plan_arena(&lives);
+            prop_assert_eq!(&p1, &p2);
+            let total: usize = lives.iter().map(|l| l.size).sum();
+            prop_assert!(p1.arena_size <= total);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Affine quantization arithmetic with TensorFlow Lite reference semantics.
+//!
+//! TFLite represents a real value `r` as an int8 `q` with
+//! `r = scale * (q - zero_point)`. Requantization of int32 accumulators uses
+//! the gemmlowp fixed-point pipeline: a 32-bit normalized multiplier plus a
+//! power-of-two shift, applied with *round-to-nearest-even-away* semantics
+//! (`SaturatingRoundingDoublingHighMul` + `RoundingDivideByPOT`). Matching
+//! these exactly means a model quantized here produces bit-identical outputs
+//! to the TFLM reference kernels.
+
+use crate::error::{NnError, Result};
+
+/// Quantization parameters of a tensor: `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Positive real-valued step size.
+    pub scale: f32,
+    /// Integer that represents real zero.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Parameters representing real zero at integer zero with the given
+    /// scale (used for weights, which TFLite quantizes symmetrically).
+    pub fn symmetric(scale: f32) -> Self {
+        QuantParams { scale, zero_point: 0 }
+    }
+
+    /// Chooses asymmetric int8 parameters covering `[min, max]`.
+    ///
+    /// The range is first widened to include 0.0 (a TFLite requirement so
+    /// that zero padding is exactly representable).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omg_nn::quantize::QuantParams;
+    ///
+    /// let qp = QuantParams::from_min_max(0.0, 25.5);
+    /// assert_eq!(qp.zero_point, -128);
+    /// assert!((qp.scale - 0.1).abs() < 1e-6);
+    /// ```
+    pub fn from_min_max(min: f32, max: f32) -> Self {
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let range = (max - min).max(f32::EPSILON);
+        let scale = range / 255.0;
+        // zero_point = qmin - min/scale, clamped and rounded.
+        let zp = (-128.0 - min / scale).round();
+        let zero_point = zp.clamp(-128.0, 127.0) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Quantizes a real value to int8 with saturation.
+    pub fn quantize(&self, real: f32) -> i8 {
+        let q = (real / self.scale).round() as i64 + i64::from(self.zero_point);
+        q.clamp(-128, 127) as i8
+    }
+
+    /// Dequantizes an int8 value.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        self.scale * (i32::from(q) - self.zero_point) as f32
+    }
+
+    /// Quantizes a slice.
+    pub fn quantize_slice(&self, reals: &[f32]) -> Vec<i8> {
+        reals.iter().map(|&r| self.quantize(r)).collect()
+    }
+
+    /// Dequantizes a slice.
+    pub fn dequantize_slice(&self, qs: &[i8]) -> Vec<f32> {
+        qs.iter().map(|&q| self.dequantize(q)).collect()
+    }
+}
+
+/// A normalized fixed-point multiplier: `real_multiplier ≈
+/// multiplier / 2^31 * 2^shift` with `multiplier` in `[2^30, 2^31)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedMultiplier {
+    /// The quantized significand in Q31.
+    pub multiplier: i32,
+    /// Power-of-two exponent (may be negative).
+    pub shift: i32,
+}
+
+impl FixedMultiplier {
+    /// Quantizes a positive real multiplier (typically
+    /// `input_scale * filter_scale / output_scale`, well below 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MalformedModel`] for non-positive or non-finite
+    /// multipliers.
+    pub fn from_real(real: f64) -> Result<Self> {
+        if !(real.is_finite() && real > 0.0) {
+            return Err(NnError::MalformedModel("requantization multiplier must be positive"));
+        }
+        // frexp: real = significand * 2^exp with significand in [0.5, 1).
+        let exp = real.log2().floor() as i32 + 1;
+        let significand = real / 2f64.powi(exp);
+        debug_assert!((0.5..1.0).contains(&significand));
+        let mut q = (significand * (1i64 << 31) as f64).round() as i64;
+        let mut shift = exp;
+        if q == (1i64 << 31) {
+            q /= 2;
+            shift += 1;
+        }
+        Ok(FixedMultiplier { multiplier: q as i32, shift })
+    }
+
+    /// Applies the multiplier to an int32 accumulator with TFLite reference
+    /// rounding (`MultiplyByQuantizedMultiplier`).
+    pub fn apply(&self, x: i32) -> i32 {
+        let left_shift = self.shift.max(0);
+        let right_shift = (-self.shift).max(0);
+        let shifted = x.saturating_mul(1i32 << left_shift);
+        let mul = saturating_rounding_doubling_high_mul(shifted, self.multiplier);
+        rounding_divide_by_pot(mul, right_shift)
+    }
+}
+
+/// gemmlowp `SaturatingRoundingDoublingHighMul`.
+fn saturating_rounding_doubling_high_mul(a: i32, b: i32) -> i32 {
+    if a == i32::MIN && b == i32::MIN {
+        return i32::MAX;
+    }
+    let ab = i64::from(a) * i64::from(b);
+    let nudge: i64 = if ab >= 0 { 1 << 30 } else { 1 - (1 << 30) };
+    // Note: truncating division, not an arithmetic shift — they differ for
+    // negative values, and gemmlowp specifies division semantics.
+    ((ab + nudge) / (1i64 << 31)) as i32
+}
+
+/// gemmlowp `RoundingDivideByPOT` (round half away from zero on ties toward
+/// the sign of the remainder — the "banker's"-adjacent rule TFLite uses).
+fn rounding_divide_by_pot(x: i32, exponent: i32) -> i32 {
+    debug_assert!((0..=31).contains(&exponent));
+    if exponent == 0 {
+        return x;
+    }
+    let mask = (1i64 << exponent) - 1;
+    let remainder = i64::from(x) & mask;
+    let threshold = (mask >> 1) + i64::from(x < 0);
+    let mut result = x >> exponent;
+    if remainder > threshold {
+        result = result.wrapping_add(1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_min_max_covers_zero() {
+        let qp = QuantParams::from_min_max(2.0, 10.0); // must widen to [0, 10]
+        assert_eq!(qp.quantize(0.0), qp.zero_point.clamp(-128, 127) as i8);
+        let qp = QuantParams::from_min_max(-10.0, -2.0); // widen to [-10, 0]
+        assert!((qp.dequantize(qp.quantize(0.0))).abs() < qp.scale);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let qp = QuantParams { scale: 0.1, zero_point: 0 };
+        assert_eq!(qp.quantize(1000.0), 127);
+        assert_eq!(qp.quantize(-1000.0), -128);
+    }
+
+    #[test]
+    fn symmetric_has_zero_zp() {
+        let qp = QuantParams::symmetric(0.05);
+        assert_eq!(qp.zero_point, 0);
+        assert_eq!(qp.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn fixed_multiplier_normalization() {
+        let m = FixedMultiplier::from_real(0.5).unwrap();
+        assert_eq!(m.shift, 0);
+        assert_eq!(m.multiplier, 1 << 30);
+        let m = FixedMultiplier::from_real(0.25).unwrap();
+        assert_eq!(m.shift, -1);
+        let m = FixedMultiplier::from_real(1.0).unwrap();
+        assert_eq!(m.shift, 1);
+        assert_eq!(m.multiplier, 1 << 30);
+    }
+
+    #[test]
+    fn fixed_multiplier_rejects_bad_values() {
+        assert!(FixedMultiplier::from_real(0.0).is_err());
+        assert!(FixedMultiplier::from_real(-1.0).is_err());
+        assert!(FixedMultiplier::from_real(f64::NAN).is_err());
+        assert!(FixedMultiplier::from_real(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn apply_matches_real_arithmetic_on_examples() {
+        for &real in &[0.0003718, 0.0125, 0.45, 0.99, 0.5] {
+            let m = FixedMultiplier::from_real(real).unwrap();
+            for &x in &[0i32, 1, -1, 1000, -1000, 123_456, -987_654, i32::MAX / 4] {
+                let got = m.apply(x);
+                let want = (f64::from(x) * real).round() as i64;
+                let err = (i64::from(got) - want).abs();
+                assert!(err <= 1, "real={real} x={x} got={got} want={want}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_divide_matches_reference() {
+        assert_eq!(rounding_divide_by_pot(5, 1), 3); // 2.5 rounds away to 3
+        assert_eq!(rounding_divide_by_pot(-5, 1), -3);
+        assert_eq!(rounding_divide_by_pot(4, 1), 2);
+        assert_eq!(rounding_divide_by_pot(4, 2), 1);
+        assert_eq!(rounding_divide_by_pot(7, 0), 7);
+    }
+
+    #[test]
+    fn doubling_high_mul_saturation_edge() {
+        assert_eq!(saturating_rounding_doubling_high_mul(i32::MIN, i32::MIN), i32::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantize_dequantize_within_half_scale(
+            real in -100.0f32..100.0,
+            min in -50.0f32..0.0,
+            max in 0.1f32..50.0,
+        ) {
+            let qp = QuantParams::from_min_max(min, max);
+            let clamped = real.clamp(qp.dequantize(-128), qp.dequantize(127));
+            let round_trip = qp.dequantize(qp.quantize(clamped));
+            prop_assert!((round_trip - clamped).abs() <= qp.scale * 0.5 + 1e-6);
+        }
+
+        #[test]
+        fn prop_apply_close_to_float(real in 1e-6f64..0.9999, x in -1_000_000i32..1_000_000) {
+            let m = FixedMultiplier::from_real(real).unwrap();
+            let got = i64::from(m.apply(x));
+            let want = (f64::from(x) * real).round() as i64;
+            prop_assert!((got - want).abs() <= 1);
+        }
+
+        #[test]
+        fn prop_zero_always_representable(min in -50.0f32..0.0, max in 0.0f32..50.0) {
+            let qp = QuantParams::from_min_max(min, max);
+            let zero_round_trip = qp.dequantize(qp.quantize(0.0));
+            prop_assert!(zero_round_trip.abs() <= qp.scale * 0.5);
+        }
+    }
+}

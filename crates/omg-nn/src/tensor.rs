@@ -1,0 +1,161 @@
+//! Tensor metadata: shapes, element types, quantization.
+
+use crate::quantize::QuantParams;
+
+/// Index of a tensor within a [`crate::model::Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TensorId(pub(crate) usize);
+
+impl TensorId {
+    /// The raw index (stable within one model).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Quantized 8-bit activations and weights.
+    I8,
+    /// 32-bit bias accumulators.
+    I32,
+    /// Floating point (reference/debug paths only).
+    F32,
+}
+
+impl DType {
+    /// Bytes per element.
+    pub fn byte_size(self) -> usize {
+        match self {
+            DType::I8 => 1,
+            DType::I32 => 4,
+            DType::F32 => 4,
+        }
+    }
+
+    /// Stable on-disk tag for the model format.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            DType::I8 => 0,
+            DType::I32 => 1,
+            DType::F32 => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(DType::I8),
+            1 => Some(DType::I32),
+            2 => Some(DType::F32),
+            _ => None,
+        }
+    }
+}
+
+/// Metadata of one tensor: shape, type, quantization, and (for weights) the
+/// index of its constant buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorInfo {
+    name: String,
+    shape: Vec<usize>,
+    dtype: DType,
+    quant: Option<QuantParams>,
+    buffer: Option<usize>,
+}
+
+impl TensorInfo {
+    pub(crate) fn new(
+        name: String,
+        shape: Vec<usize>,
+        dtype: DType,
+        quant: Option<QuantParams>,
+        buffer: Option<usize>,
+    ) -> Self {
+        TensorInfo { name, shape, dtype, quant, buffer }
+    }
+
+    /// Human-readable tensor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tensor's shape (e.g. `[1, 49, 43, 1]` for the audio fingerprint).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Quantization parameters, if the tensor is quantized.
+    pub fn quant(&self) -> Option<QuantParams> {
+        self.quant
+    }
+
+    /// Index of the weight buffer backing this tensor, if constant.
+    pub fn buffer(&self) -> Option<usize> {
+        self.buffer
+    }
+
+    /// Whether the tensor is a constant (weight/bias).
+    pub fn is_constant(&self) -> bool {
+        self.buffer.is_some()
+    }
+
+    /// Number of elements.
+    pub fn elem_count(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Total byte size.
+    pub fn byte_size(&self) -> usize {
+        self.elem_count() * self.dtype.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(DType::I8.byte_size(), 1);
+        assert_eq!(DType::I32.byte_size(), 4);
+        assert_eq!(DType::F32.byte_size(), 4);
+    }
+
+    #[test]
+    fn dtype_tags_roundtrip() {
+        for d in [DType::I8, DType::I32, DType::F32] {
+            assert_eq!(DType::from_tag(d.tag()), Some(d));
+        }
+        assert_eq!(DType::from_tag(99), None);
+    }
+
+    #[test]
+    fn tensor_info_accessors() {
+        let t = TensorInfo::new(
+            "fingerprint".into(),
+            vec![1, 49, 43, 1],
+            DType::I8,
+            Some(QuantParams { scale: 0.5, zero_point: -128 }),
+            None,
+        );
+        assert_eq!(t.name(), "fingerprint");
+        assert_eq!(t.elem_count(), 49 * 43);
+        assert_eq!(t.byte_size(), 49 * 43);
+        assert!(!t.is_constant());
+        assert!(t.quant().is_some());
+    }
+
+    #[test]
+    fn constant_tensor() {
+        let t = TensorInfo::new("bias".into(), vec![8], DType::I32, None, Some(2));
+        assert!(t.is_constant());
+        assert_eq!(t.buffer(), Some(2));
+        assert_eq!(t.byte_size(), 32);
+    }
+}

@@ -1,0 +1,184 @@
+//! Attestation reports.
+//!
+//! An attestation report proves to a remote verifier (the user U in step ①,
+//! the vendor V in step ② of the paper's Fig. 2) that a specific enclave —
+//! identified by its measurement — is running on a genuine device, and
+//! conveys the enclave's public key `PK` for subsequent key derivation.
+
+use omg_crypto::rsa::RsaPublicKey;
+
+use crate::error::{Result, SanctuaryError};
+use crate::identity::{EnclaveCert, EnclaveIdentity};
+use crate::measurement::Measurement;
+
+/// A signed attestation report.
+///
+/// Layout mirrors SGX-style reports: the quoted body (measurement, public
+/// key, verifier challenge) is signed by the enclave key, whose certificate
+/// chains to the platform CA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationReport {
+    measurement: Measurement,
+    enclave_public_key: Vec<u8>,
+    challenge: Vec<u8>,
+    signature: Vec<u8>,
+    cert: EnclaveCert,
+}
+
+impl AttestationReport {
+    fn signed_payload(measurement: &Measurement, pk: &[u8], challenge: &[u8]) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64 + pk.len() + challenge.len());
+        payload.extend_from_slice(b"SANCTUARY-REPORT-v1");
+        payload.extend_from_slice(measurement.as_bytes());
+        payload.extend_from_slice(&(pk.len() as u32).to_be_bytes());
+        payload.extend_from_slice(pk);
+        payload.extend_from_slice(&(challenge.len() as u32).to_be_bytes());
+        payload.extend_from_slice(challenge);
+        payload
+    }
+
+    /// Produces a report for `identity` answering a verifier `challenge`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates signing failures.
+    pub fn generate(identity: &EnclaveIdentity, challenge: &[u8]) -> Result<Self> {
+        let measurement = *identity.cert().measurement();
+        let pk = identity.public_key().to_bytes();
+        let payload = Self::signed_payload(&measurement, &pk, challenge);
+        let signature = identity.keypair().sign(&payload)?;
+        Ok(AttestationReport {
+            measurement,
+            enclave_public_key: pk,
+            challenge: challenge.to_vec(),
+            signature,
+            cert: identity.cert().clone(),
+        })
+    }
+
+    /// The measurement this report attests to.
+    pub fn measurement(&self) -> &Measurement {
+        &self.measurement
+    }
+
+    /// The challenge echoed by the enclave.
+    pub fn challenge(&self) -> &[u8] {
+        &self.challenge
+    }
+
+    /// Verifies the report and returns the attested enclave public key `PK`.
+    ///
+    /// Checks, in order: the certificate chain to `platform_ca`, the report
+    /// signature under the certified key, challenge freshness, and that the
+    /// measurement equals `expected` (both the report's and the certified
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// [`SanctuaryError::AttestationFailed`] naming the failed check.
+    pub fn verify(
+        &self,
+        platform_ca: &RsaPublicKey,
+        expected: &Measurement,
+        challenge: &[u8],
+    ) -> Result<RsaPublicKey> {
+        let certified_pk = self.cert.verify(platform_ca)?;
+        let payload = Self::signed_payload(&self.measurement, &self.enclave_public_key, &self.challenge);
+        certified_pk
+            .verify(&payload, &self.signature)
+            .map_err(|_| SanctuaryError::AttestationFailed("report signature invalid"))?;
+        let report_pk = RsaPublicKey::from_bytes(&self.enclave_public_key)
+            .map_err(|_| SanctuaryError::AttestationFailed("malformed enclave key"))?;
+        if report_pk != certified_pk {
+            return Err(SanctuaryError::AttestationFailed("report key does not match certificate"));
+        }
+        if self.challenge != challenge {
+            return Err(SanctuaryError::AttestationFailed("stale challenge"));
+        }
+        if !self.measurement.ct_matches(expected) {
+            return Err(SanctuaryError::AttestationFailed("measurement mismatch"));
+        }
+        if !self.cert.measurement().ct_matches(expected) {
+            return Err(SanctuaryError::AttestationFailed("certificate measurement mismatch"));
+        }
+        Ok(report_pk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::DevicePki;
+    use omg_crypto::rng::ChaChaRng;
+
+    fn setup() -> (DevicePki, EnclaveIdentity, Measurement) {
+        let mut rng = ChaChaRng::seed_from_u64(21);
+        let pki = DevicePki::new(&mut rng).unwrap();
+        let m = Measurement::of(b"omg enclave image");
+        let ident = pki.issue_enclave_identity(&mut rng, m).unwrap();
+        (pki, ident, m)
+    }
+
+    #[test]
+    fn report_verifies_end_to_end() {
+        let (pki, ident, m) = setup();
+        let report = AttestationReport::generate(&ident, b"nonce-123").unwrap();
+        let pk = report.verify(pki.platform_ca(), &m, b"nonce-123").unwrap();
+        assert_eq!(&pk, ident.public_key());
+        assert_eq!(report.measurement(), &m);
+        assert_eq!(report.challenge(), b"nonce-123");
+    }
+
+    #[test]
+    fn stale_challenge_rejected() {
+        let (pki, ident, m) = setup();
+        let report = AttestationReport::generate(&ident, b"old").unwrap();
+        assert!(matches!(
+            report.verify(pki.platform_ca(), &m, b"fresh"),
+            Err(SanctuaryError::AttestationFailed("stale challenge"))
+        ));
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let (pki, ident, _) = setup();
+        let report = AttestationReport::generate(&ident, b"n").unwrap();
+        let wrong = Measurement::of(b"tampered image");
+        assert!(matches!(
+            report.verify(pki.platform_ca(), &wrong, b"n"),
+            Err(SanctuaryError::AttestationFailed("measurement mismatch"))
+        ));
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (pki, ident, m) = setup();
+        let mut report = AttestationReport::generate(&ident, b"n").unwrap();
+        report.signature[5] ^= 0x10;
+        assert!(matches!(
+            report.verify(pki.platform_ca(), &m, b"n"),
+            Err(SanctuaryError::AttestationFailed("report signature invalid"))
+        ));
+    }
+
+    #[test]
+    fn report_with_substituted_key_rejected() {
+        // An attacker replaces the enclave public key in the report with
+        // their own, hoping the vendor derives K_U for a key they control.
+        let (pki, ident, m) = setup();
+        let mut rng = ChaChaRng::seed_from_u64(77);
+        let attacker = omg_crypto::rsa::RsaPrivateKey::generate(&mut rng, 1024).unwrap();
+        let mut report = AttestationReport::generate(&ident, b"n").unwrap();
+        report.enclave_public_key = attacker.public_key().to_bytes();
+        assert!(report.verify(pki.platform_ca(), &m, b"n").is_err());
+    }
+
+    #[test]
+    fn report_from_different_device_rejected() {
+        let (_, ident, m) = setup();
+        let mut rng = ChaChaRng::seed_from_u64(88);
+        let other_device = DevicePki::new(&mut rng).unwrap();
+        let report = AttestationReport::generate(&ident, b"n").unwrap();
+        assert!(report.verify(other_device.platform_ca(), &m, b"n").is_err());
+    }
+}

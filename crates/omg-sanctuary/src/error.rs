@@ -1,0 +1,105 @@
+//! Error types for the SANCTUARY layer.
+
+use std::error::Error;
+use std::fmt;
+
+use omg_crypto::CryptoError;
+use omg_hal::HalError;
+
+/// Errors raised by the SANCTUARY enclave architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SanctuaryError {
+    /// A platform (HAL) operation failed — e.g. a TZASC fault.
+    Hal(HalError),
+    /// A cryptographic operation failed.
+    Crypto(CryptoError),
+    /// The enclave is not in the right life-cycle state for the operation.
+    BadState {
+        /// The operation that was attempted.
+        operation: &'static str,
+        /// The state the enclave was actually in.
+        state: &'static str,
+    },
+    /// An attestation report failed verification.
+    AttestationFailed(&'static str),
+    /// The enclave code image is larger than the enclave memory.
+    CodeTooLarge {
+        /// Size of the image in bytes.
+        code: usize,
+        /// Size of the enclave memory in bytes.
+        memory: usize,
+    },
+    /// An in-enclave address range was out of bounds.
+    OutOfBounds {
+        /// Offset of the attempted access.
+        offset: u64,
+        /// Length of the attempted access.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SanctuaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SanctuaryError::Hal(e) => write!(f, "platform error: {e}"),
+            SanctuaryError::Crypto(e) => write!(f, "crypto error: {e}"),
+            SanctuaryError::BadState { operation, state } => {
+                write!(f, "cannot {operation} while enclave is {state}")
+            }
+            SanctuaryError::AttestationFailed(why) => write!(f, "attestation failed: {why}"),
+            SanctuaryError::CodeTooLarge { code, memory } => {
+                write!(f, "enclave image of {code} bytes exceeds {memory}-byte enclave memory")
+            }
+            SanctuaryError::OutOfBounds { offset, len } => {
+                write!(f, "enclave access at offset {offset} of {len} bytes is out of bounds")
+            }
+        }
+    }
+}
+
+impl Error for SanctuaryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SanctuaryError::Hal(e) => Some(e),
+            SanctuaryError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HalError> for SanctuaryError {
+    fn from(e: HalError) -> Self {
+        SanctuaryError::Hal(e)
+    }
+}
+
+impl From<CryptoError> for SanctuaryError {
+    fn from(e: CryptoError) -> Self {
+        SanctuaryError::Crypto(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SanctuaryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SanctuaryError::from(HalError::NoEligibleCore);
+        assert!(e.to_string().contains("platform error"));
+        assert!(Error::source(&e).is_some());
+        let e = SanctuaryError::AttestationFailed("measurement mismatch");
+        assert!(e.to_string().contains("measurement mismatch"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SanctuaryError>();
+    }
+}

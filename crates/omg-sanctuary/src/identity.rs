@@ -1,0 +1,198 @@
+//! The device key hierarchy.
+//!
+//! SANCTUARY assigns each enclave a unique asymmetric key pair "derived from
+//! the platform certificate issued by the device vendor, effectively creating
+//! a certificate hierarchy similar to SSL certificates" (paper §V, phase I).
+//!
+//! The simulation models this as a two-level PKI: a per-device platform key
+//! (whose public half is known to users and vendors through the device
+//! manufacturer) certifies freshly generated per-enclave RSA key pairs,
+//! binding each enclave key to the enclave's measurement.
+
+use rand::Rng;
+
+use omg_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+
+use crate::error::{Result, SanctuaryError};
+use crate::measurement::Measurement;
+
+/// Default RSA modulus size for device and enclave keys.
+///
+/// 1024-bit keys keep the simulation fast; pass a different size to
+/// [`DevicePki::with_key_bits`] for production-strength 2048-bit keys.
+pub const DEFAULT_KEY_BITS: usize = 1024;
+
+/// A certificate binding an enclave public key to a measurement, signed by
+/// the platform key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnclaveCert {
+    /// Serialized enclave public key (see [`RsaPublicKey::to_bytes`]).
+    public_key: Vec<u8>,
+    /// The measurement of the enclave this key was issued to.
+    measurement: Measurement,
+    /// Platform-key signature over `public_key || measurement`.
+    signature: Vec<u8>,
+}
+
+impl EnclaveCert {
+    fn signed_payload(public_key: &[u8], measurement: &Measurement) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(public_key.len() + 32 + 16);
+        payload.extend_from_slice(b"SANCTUARY-CERT-v1");
+        payload.extend_from_slice(public_key);
+        payload.extend_from_slice(measurement.as_bytes());
+        payload
+    }
+
+    /// The enclave public key this certificate endorses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors for corrupted certificates.
+    pub fn public_key(&self) -> Result<RsaPublicKey> {
+        Ok(RsaPublicKey::from_bytes(&self.public_key)?)
+    }
+
+    /// The measurement bound into this certificate.
+    pub fn measurement(&self) -> &Measurement {
+        &self.measurement
+    }
+
+    /// Verifies the certificate chain against the platform CA key.
+    ///
+    /// # Errors
+    ///
+    /// [`SanctuaryError::AttestationFailed`] if the platform signature does
+    /// not verify.
+    pub fn verify(&self, platform_ca: &RsaPublicKey) -> Result<RsaPublicKey> {
+        let payload = Self::signed_payload(&self.public_key, &self.measurement);
+        platform_ca
+            .verify(&payload, &self.signature)
+            .map_err(|_| SanctuaryError::AttestationFailed("platform certificate invalid"))?;
+        self.public_key()
+    }
+}
+
+/// The key material SANCTUARY provisions into a freshly booted enclave.
+#[derive(Debug, Clone)]
+pub struct EnclaveIdentity {
+    keypair: RsaPrivateKey,
+    cert: EnclaveCert,
+}
+
+impl EnclaveIdentity {
+    /// The enclave's signing key (never leaves the enclave).
+    pub fn keypair(&self) -> &RsaPrivateKey {
+        &self.keypair
+    }
+
+    /// The enclave's public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.keypair.public_key()
+    }
+
+    /// The platform-issued certificate for this identity.
+    pub fn cert(&self) -> &EnclaveCert {
+        &self.cert
+    }
+}
+
+/// The per-device platform PKI (root of the certificate hierarchy).
+#[derive(Debug)]
+pub struct DevicePki {
+    platform_key: RsaPrivateKey,
+    key_bits: usize,
+}
+
+impl DevicePki {
+    /// Generates a device PKI with [`DEFAULT_KEY_BITS`] keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Result<Self> {
+        Self::with_key_bits(rng, DEFAULT_KEY_BITS)
+    }
+
+    /// Generates a device PKI with the given RSA modulus size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation failures (e.g. sizes below 512 bits).
+    pub fn with_key_bits<R: Rng + ?Sized>(rng: &mut R, key_bits: usize) -> Result<Self> {
+        let platform_key = RsaPrivateKey::generate(rng, key_bits)?;
+        Ok(DevicePki { platform_key, key_bits })
+    }
+
+    /// The platform CA public key (distributed with the device, known to
+    /// users and vendors).
+    pub fn platform_ca(&self) -> &RsaPublicKey {
+        self.platform_key.public_key()
+    }
+
+    /// Issues a fresh enclave identity bound to `measurement`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-generation and signing failures.
+    pub fn issue_enclave_identity<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        measurement: Measurement,
+    ) -> Result<EnclaveIdentity> {
+        let keypair = RsaPrivateKey::generate(rng, self.key_bits)?;
+        let public_key = keypair.public_key().to_bytes();
+        let payload = EnclaveCert::signed_payload(&public_key, &measurement);
+        let signature = self.platform_key.sign(&payload)?;
+        Ok(EnclaveIdentity { keypair, cert: EnclaveCert { public_key, measurement, signature } })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_crypto::rng::ChaChaRng;
+
+    fn pki_and_identity() -> (DevicePki, EnclaveIdentity) {
+        let mut rng = ChaChaRng::seed_from_u64(11);
+        let pki = DevicePki::new(&mut rng).unwrap();
+        let ident = pki.issue_enclave_identity(&mut rng, Measurement::of(b"enclave")).unwrap();
+        (pki, ident)
+    }
+
+    #[test]
+    fn issued_cert_verifies_against_platform_ca() {
+        let (pki, ident) = pki_and_identity();
+        let pk = ident.cert().verify(pki.platform_ca()).unwrap();
+        assert_eq!(&pk, ident.public_key());
+        assert_eq!(ident.cert().measurement(), &Measurement::of(b"enclave"));
+    }
+
+    #[test]
+    fn cert_from_wrong_ca_fails() {
+        let (_, ident) = pki_and_identity();
+        let mut rng = ChaChaRng::seed_from_u64(99);
+        let other_pki = DevicePki::new(&mut rng).unwrap();
+        assert!(matches!(
+            ident.cert().verify(other_pki.platform_ca()),
+            Err(SanctuaryError::AttestationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_cert_fails() {
+        let (pki, ident) = pki_and_identity();
+        let mut cert = ident.cert().clone();
+        // Swap the bound measurement: signature no longer matches.
+        cert.measurement = Measurement::of(b"tampered enclave");
+        assert!(cert.verify(pki.platform_ca()).is_err());
+    }
+
+    #[test]
+    fn distinct_enclaves_get_distinct_keys() {
+        let mut rng = ChaChaRng::seed_from_u64(12);
+        let pki = DevicePki::new(&mut rng).unwrap();
+        let a = pki.issue_enclave_identity(&mut rng, Measurement::of(b"a")).unwrap();
+        let b = pki.issue_enclave_identity(&mut rng, Measurement::of(b"b")).unwrap();
+        assert_ne!(a.public_key(), b.public_key());
+    }
+}

@@ -1,0 +1,52 @@
+//! SANCTUARY-style user-space enclaves on the simulated TrustZone platform.
+//!
+//! SANCTUARY (Brasser et al., NDSS 2019 — reference \[11\] of the OMG paper)
+//! builds enclaves out of stock TrustZone hardware by binding a DRAM region
+//! to a temporarily dedicated CPU core through the TZASC. This crate
+//! reproduces the architecture on top of [`omg_hal`]:
+//!
+//! * [`enclave`] — the SA life cycle (setup → boot → execution → teardown,
+//!   plus the park/resume optimization of the OMG operation phase),
+//! * [`measurement`] — SHA-256 measurement of the initial enclave memory,
+//! * [`identity`] — the platform-certificate key hierarchy,
+//! * [`attest`] — signed attestation reports and their verification.
+//!
+//! # Examples
+//!
+//! ```
+//! use omg_crypto::rng::ChaChaRng;
+//! use omg_hal::Platform;
+//! use omg_sanctuary::attest::AttestationReport;
+//! use omg_sanctuary::enclave::{EnclaveConfig, SanctuaryEnclave};
+//! use omg_sanctuary::identity::DevicePki;
+//! use rand::SeedableRng;
+//!
+//! let mut platform = Platform::hikey960();
+//! let mut rng = ChaChaRng::seed_from_u64(1);
+//! let pki = DevicePki::new(&mut rng)?;
+//!
+//! // Setup + boot an enclave.
+//! let config = EnclaveConfig::new("demo", b"my trusted app".to_vec());
+//! let mut enclave = SanctuaryEnclave::setup(&mut platform, config)?;
+//! enclave.boot(&mut platform, &pki, &mut rng)?;
+//!
+//! // A remote verifier checks the attestation report.
+//! let report = AttestationReport::generate(enclave.identity()?, b"challenge")?;
+//! let expected = *enclave.measurement()?;
+//! let pk = report.verify(pki.platform_ca(), &expected, b"challenge")?;
+//! assert_eq!(&pk, enclave.identity()?.public_key());
+//!
+//! enclave.teardown(&mut platform)?;
+//! # Ok::<(), omg_sanctuary::SanctuaryError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod enclave;
+mod error;
+pub mod identity;
+pub mod measurement;
+
+pub use enclave::{EnclaveConfig, EnclaveState, SanctuaryEnclave};
+pub use error::{Result, SanctuaryError};

@@ -1,0 +1,107 @@
+//! Enclave measurement.
+//!
+//! SANCTUARY attests an enclave by hashing the initial memory content of the
+//! SANCTUARY Library plus the SANCTUARY App before the core boots (paper
+//! §III-B step 2 and §V phase I). Any manipulation of the loaded code
+//! changes the measurement and is detected when the report is verified.
+
+use std::fmt;
+
+use omg_crypto::ct::ct_eq;
+use omg_crypto::sha256::Sha256;
+
+/// A SHA-256 measurement of enclave memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Measurement([u8; 32]);
+
+impl Measurement {
+    /// Measures a memory image.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omg_sanctuary::measurement::Measurement;
+    ///
+    /// let a = Measurement::of(b"enclave code v1");
+    /// let b = Measurement::of(b"enclave code v1");
+    /// let tampered = Measurement::of(b"enclave code v2");
+    /// assert_eq!(a, b);
+    /// assert_ne!(a, tampered);
+    /// ```
+    pub fn of(image: &[u8]) -> Self {
+        Measurement(Sha256::digest(image))
+    }
+
+    /// Constructs from raw digest bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Measurement(bytes)
+    }
+
+    /// The raw digest.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Constant-time equality check (measurements are compared during
+    /// attestation verification).
+    pub fn ct_matches(&self, other: &Measurement) -> bool {
+        ct_eq(&self.0, &other.0)
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn measurement_is_deterministic() {
+        assert_eq!(Measurement::of(b"abc"), Measurement::of(b"abc"));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let m = Measurement::of(b"abc");
+        let s = m.to_string();
+        assert_eq!(s.len(), 64);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+        // Matches the SHA-256 of "abc".
+        assert!(s.starts_with("ba7816bf"));
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let m = Measurement::of(b"image");
+        let m2 = Measurement::from_bytes(*m.as_bytes());
+        assert_eq!(m, m2);
+        assert!(m.ct_matches(&m2));
+    }
+
+    proptest! {
+        /// The attestation security property: flipping any single bit of the
+        /// image changes the measurement.
+        #[test]
+        fn prop_any_bitflip_changes_measurement(
+            image in proptest::collection::vec(any::<u8>(), 1..512),
+            byte in any::<usize>(),
+            bit in 0u8..8,
+        ) {
+            let mut tampered = image.clone();
+            let idx = byte % tampered.len();
+            tampered[idx] ^= 1 << bit;
+            let m1 = Measurement::of(&image);
+            let m2 = Measurement::of(&tampered);
+            prop_assert_ne!(m1, m2);
+            prop_assert!(!m1.ct_matches(&m2));
+        }
+    }
+}

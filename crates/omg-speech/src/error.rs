@@ -1,0 +1,82 @@
+//! Error types for the speech frontend.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by audio parsing and feature extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpeechError {
+    /// A WAV file was structurally invalid.
+    MalformedWav(&'static str),
+    /// The WAV encoding is valid but unsupported (e.g. stereo or f32).
+    UnsupportedWav {
+        /// What was unsupported.
+        detail: String,
+    },
+    /// An FFT length that is not a power of two (or too small).
+    BadFftLength {
+        /// The requested length.
+        len: usize,
+    },
+    /// FFT input buffers have inconsistent lengths.
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// An utterance had the wrong duration for fingerprinting.
+    BadUtteranceLength {
+        /// Expected sample count.
+        expected: usize,
+        /// Provided sample count.
+        got: usize,
+    },
+    /// A label index was out of range.
+    UnknownLabel {
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SpeechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeechError::MalformedWav(what) => write!(f, "malformed wav: {what}"),
+            SpeechError::UnsupportedWav { detail } => write!(f, "unsupported wav: {detail}"),
+            SpeechError::BadFftLength { len } => {
+                write!(f, "fft length {len} is not a power of two >= 2")
+            }
+            SpeechError::LengthMismatch { expected, got } => {
+                write!(f, "buffer length {got} does not match expected {expected}")
+            }
+            SpeechError::BadUtteranceLength { expected, got } => {
+                write!(f, "utterance has {got} samples, expected {expected}")
+            }
+            SpeechError::UnknownLabel { index } => write!(f, "unknown label index {index}"),
+        }
+    }
+}
+
+impl Error for SpeechError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SpeechError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SpeechError::BadFftLength { len: 100 }.to_string().contains("100"));
+        assert!(SpeechError::MalformedWav("no riff").to_string().contains("riff"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpeechError>();
+    }
+}

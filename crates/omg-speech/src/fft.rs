@@ -1,0 +1,318 @@
+//! Fixed-point (q15) radix-2 FFT.
+//!
+//! The paper's feature pipeline computes "a 256 bin fixed point FFT across
+//! 30 ms windows" (§VI). This module implements the classic embedded-DSP
+//! version: 16-bit q15 complex arithmetic, decimation-in-time butterflies,
+//! and per-stage scaling by 1/2 so no intermediate can overflow — the output
+//! is the DFT scaled by `1/len`.
+
+use crate::error::{Result, SpeechError};
+
+/// Multiplies two q15 values with rounding.
+#[inline(always)]
+fn q15_mul(a: i16, b: i16) -> i16 {
+    (((i32::from(a) * i32::from(b)) + (1 << 14)) >> 15) as i16
+}
+
+/// Halves with rounding toward negative infinity kept symmetric enough for
+/// spectral magnitude work.
+#[inline(always)]
+fn half(x: i32) -> i16 {
+    (x >> 1) as i16
+}
+
+/// A precomputed q15 FFT plan for one power-of-two length.
+///
+/// # Examples
+///
+/// ```
+/// use omg_speech::fft::FixedFft;
+///
+/// let fft = FixedFft::new(8)?;
+/// let mut re = [16384i16, 0, 0, 0, 0, 0, 0, 0]; // impulse at n=0
+/// let mut im = [0i16; 8];
+/// fft.forward(&mut re, &mut im)?;
+/// // An impulse has a flat spectrum: every bin = amplitude / len.
+/// assert!(re.iter().all(|&r| (r - 2048).abs() <= 1));
+/// # Ok::<(), omg_speech::SpeechError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedFft {
+    len: usize,
+    /// Twiddle factors `W_N^k = e^{-2πik/N}` for `k < N/2`, in q15.
+    twiddle_re: Vec<i16>,
+    twiddle_im: Vec<i16>,
+    /// Bit-reversal permutation.
+    rev: Vec<usize>,
+}
+
+impl FixedFft {
+    /// Builds a plan for a power-of-two `len >= 2`.
+    ///
+    /// # Errors
+    ///
+    /// [`SpeechError::BadFftLength`] otherwise.
+    pub fn new(len: usize) -> Result<Self> {
+        if len < 2 || !len.is_power_of_two() {
+            return Err(SpeechError::BadFftLength { len });
+        }
+        let half_len = len / 2;
+        let mut twiddle_re = Vec::with_capacity(half_len);
+        let mut twiddle_im = Vec::with_capacity(half_len);
+        for k in 0..half_len {
+            let angle = -2.0 * std::f64::consts::PI * (k as f64) / (len as f64);
+            twiddle_re.push((angle.cos() * 32767.0).round() as i16);
+            twiddle_im.push((angle.sin() * 32767.0).round() as i16);
+        }
+        let bits = len.trailing_zeros();
+        let rev = (0..len)
+            .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (len - 1))
+            .collect();
+        Ok(FixedFft { len, twiddle_re, twiddle_im, rev })
+    }
+
+    /// The FFT length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan is empty (never true; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward transform of `(re, im)`; the result is the DFT
+    /// divided by `len` (per-stage halving).
+    ///
+    /// # Errors
+    ///
+    /// [`SpeechError::LengthMismatch`] if the buffers are not `len` long.
+    pub fn forward(&self, re: &mut [i16], im: &mut [i16]) -> Result<()> {
+        if re.len() != self.len || im.len() != self.len {
+            return Err(SpeechError::LengthMismatch {
+                expected: self.len,
+                got: re.len().min(im.len()),
+            });
+        }
+        let n = self.len;
+
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i];
+            if j > i {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+
+        // Butterflies with per-stage 1/2 scaling.
+        let mut m = 2usize;
+        while m <= n {
+            let half_m = m / 2;
+            let stride = n / m;
+            for k in (0..n).step_by(m) {
+                for j in 0..half_m {
+                    let w_re = self.twiddle_re[j * stride];
+                    let w_im = self.twiddle_im[j * stride];
+                    let a = k + j;
+                    let b = k + j + half_m;
+                    // t = W * x[b]
+                    let t_re = i32::from(q15_mul(w_re, re[b])) - i32::from(q15_mul(w_im, im[b]));
+                    let t_im = i32::from(q15_mul(w_re, im[b])) + i32::from(q15_mul(w_im, re[b]));
+                    let u_re = i32::from(re[a]);
+                    let u_im = i32::from(im[a]);
+                    re[a] = half(u_re + t_re);
+                    im[a] = half(u_im + t_im);
+                    re[b] = half(u_re - t_re);
+                    im[b] = half(u_im - t_im);
+                }
+            }
+            m *= 2;
+        }
+        Ok(())
+    }
+}
+
+/// Power spectrum `re² + im²` per bin.
+pub fn power_spectrum(re: &[i16], im: &[i16]) -> Vec<u32> {
+    re.iter()
+        .zip(im.iter())
+        .map(|(&r, &i)| {
+            let r = i32::from(r);
+            let i = i32::from(i);
+            (r * r + i * i) as u32
+        })
+        .collect()
+}
+
+/// Magnitude spectrum (integer square root of the power) per bin.
+pub fn magnitude_spectrum(re: &[i16], im: &[i16]) -> Vec<u16> {
+    power_spectrum(re, im).iter().map(|&p| p.isqrt() as u16).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive f64 DFT scaled by 1/N — the reference the fixed-point FFT must
+    /// track.
+    fn reference_dft(input: &[f64]) -> Vec<(f64, f64)> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (t, &x) in input.iter().enumerate() {
+                    let angle = -2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / (n as f64);
+                    re += x * angle.cos();
+                    im += x * angle.sin();
+                }
+                (re / n as f64, im / n as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(FixedFft::new(0).is_err());
+        assert!(FixedFft::new(1).is_err());
+        assert!(FixedFft::new(100).is_err());
+        assert!(FixedFft::new(2).is_ok());
+        assert!(FixedFft::new(512).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_buffer_length() {
+        let fft = FixedFft::new(8).unwrap();
+        let mut re = [0i16; 4];
+        let mut im = [0i16; 4];
+        assert!(matches!(
+            fft.forward(&mut re, &mut im),
+            Err(SpeechError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let fft = FixedFft::new(16).unwrap();
+        let mut re = [0i16; 16];
+        let mut im = [0i16; 16];
+        re[0] = 16000;
+        fft.forward(&mut re, &mut im).unwrap();
+        let expected = 16000 / 16;
+        for (k, &r) in re.iter().enumerate() {
+            assert!((i32::from(r) - expected).abs() <= 2, "bin {k}: {r} vs {expected}");
+            assert!(im[k].abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        let n = 256;
+        let fft = FixedFft::new(n).unwrap();
+        let bin = 19;
+        let mut re: Vec<i16> = (0..n)
+            .map(|t| {
+                let angle = 2.0 * std::f64::consts::PI * (bin as f64) * (t as f64) / (n as f64);
+                (angle.cos() * 16000.0) as i16
+            })
+            .collect();
+        let mut im = vec![0i16; n];
+        fft.forward(&mut re, &mut im).unwrap();
+        let mags = magnitude_spectrum(&re, &im);
+        let peak = mags.iter().enumerate().max_by_key(|(_, &m)| m).unwrap().0;
+        // Real input: peak at `bin` (or its mirror n-bin).
+        assert!(peak == bin || peak == n - bin, "peak at {peak}");
+        // Peak dominates the noise floor.
+        let peak_mag = mags[bin] as f64;
+        let floor: f64 = mags
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != bin && *k != n - bin)
+            .map(|(_, &m)| m as f64)
+            .sum::<f64>()
+            / (n - 2) as f64;
+        assert!(peak_mag > 10.0 * floor.max(1.0), "peak {peak_mag} floor {floor}");
+    }
+
+    #[test]
+    fn matches_f64_reference_on_random_signal() {
+        let n = 128;
+        let fft = FixedFft::new(n).unwrap();
+        // Deterministic pseudo-random q15 signal at ~half range.
+        let sig: Vec<i16> = (0..n)
+            .map(|i| {
+                let x = ((i as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 40) as i32;
+                ((x % 16000) - 8000) as i16
+            })
+            .collect();
+        let mut re = sig.clone();
+        let mut im = vec![0i16; n];
+        fft.forward(&mut re, &mut im).unwrap();
+
+        let reference = reference_dft(&sig.iter().map(|&s| f64::from(s)).collect::<Vec<_>>());
+        for k in 0..n {
+            let (want_re, want_im) = reference[k];
+            // q15 rounding accumulates ~1 LSB per stage; allow a small
+            // absolute tolerance relative to full scale.
+            let tol = 16.0 + want_re.abs().max(want_im.abs()) * 0.02;
+            assert!(
+                (f64::from(re[k]) - want_re).abs() < tol,
+                "bin {k} re: {} vs {want_re}", re[k]
+            );
+            assert!(
+                (f64::from(im[k]) - want_im).abs() < tol,
+                "bin {k} im: {} vs {want_im}", im[k]
+            );
+        }
+    }
+
+    #[test]
+    fn power_and_magnitude() {
+        let re = [3i16, 0, -4];
+        let im = [4i16, 0, 3];
+        assert_eq!(power_spectrum(&re, &im), vec![25, 0, 25]);
+        assert_eq!(magnitude_spectrum(&re, &im), vec![5, 0, 5]);
+    }
+
+    proptest! {
+        /// Linearity: FFT(a + b) == FFT(a) + FFT(b) within rounding noise.
+        #[test]
+        fn prop_linearity(
+            a in proptest::collection::vec(-8000i16..8000, 64..=64),
+            b in proptest::collection::vec(-8000i16..8000, 64..=64),
+        ) {
+            let fft = FixedFft::new(64).unwrap();
+            let mut sum_re: Vec<i16> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+            let mut sum_im = vec![0i16; 64];
+            fft.forward(&mut sum_re, &mut sum_im).unwrap();
+
+            let mut a_re = a.clone();
+            let mut a_im = vec![0i16; 64];
+            fft.forward(&mut a_re, &mut a_im).unwrap();
+            let mut b_re = b.clone();
+            let mut b_im = vec![0i16; 64];
+            fft.forward(&mut b_re, &mut b_im).unwrap();
+
+            for k in 0..64 {
+                let combined = i32::from(a_re[k]) + i32::from(b_re[k]);
+                prop_assert!((combined - i32::from(sum_re[k])).abs() <= 12,
+                    "bin {} re: {} vs {}", k, combined, sum_re[k]);
+                let combined_im = i32::from(a_im[k]) + i32::from(b_im[k]);
+                prop_assert!((combined_im - i32::from(sum_im[k])).abs() <= 12);
+            }
+        }
+
+        /// DC component equals the mean of the signal.
+        #[test]
+        fn prop_dc_bin_is_mean(sig in proptest::collection::vec(-10000i16..10000, 32..=32)) {
+            let fft = FixedFft::new(32).unwrap();
+            let mut re = sig.clone();
+            let mut im = vec![0i16; 32];
+            fft.forward(&mut re, &mut im).unwrap();
+            let mean: i32 = sig.iter().map(|&s| i32::from(s)).sum::<i32>() / 32;
+            prop_assert!((i32::from(re[0]) - mean).abs() <= 16);
+        }
+    }
+}

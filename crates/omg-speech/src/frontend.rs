@@ -1,0 +1,231 @@
+//! The audio fingerprint frontend.
+//!
+//! Implements the paper's exact recipe (§VI): "features are computed using a
+//! 256 bin fixed point FFT across 30 ms windows (20 ms shift), averaging 6
+//! neighboring bins, resulting in 43 values per frame. The 49 frames for
+//! each recording are concatenated, forming a fixed 49 × 43 compressed
+//! spectrogram ('fingerprint') per utterance."
+//!
+//! At 16 kHz, a 30 ms window is 480 samples, zero-padded into a 512-point
+//! q15 FFT whose 256 positive-frequency bins are averaged in groups of 6
+//! (the last group is smaller), log-compressed to `u8` and recentred to the
+//! `i8` range the quantized model consumes.
+
+use crate::error::{Result, SpeechError};
+use crate::fft::{magnitude_spectrum, FixedFft};
+
+/// Sample rate the frontend expects.
+pub const SAMPLE_RATE_HZ: usize = 16_000;
+/// Window length: 30 ms at 16 kHz.
+pub const WINDOW_SAMPLES: usize = 480;
+/// Window shift: 20 ms at 16 kHz.
+pub const SHIFT_SAMPLES: usize = 320;
+/// FFT length (256 positive-frequency bins).
+pub const FFT_LEN: usize = 512;
+/// Positive-frequency bin count.
+pub const SPECTRUM_BINS: usize = FFT_LEN / 2;
+/// Adjacent bins averaged per feature.
+pub const BINS_PER_FEATURE: usize = 6;
+/// Features per frame: ceil(256 / 6) = 43.
+pub const FEATURES_PER_FRAME: usize = SPECTRUM_BINS.div_ceil(BINS_PER_FEATURE);
+/// Frames per 1-second utterance: (16000 - 480) / 320 + 1 = 49.
+pub const NUM_FRAMES: usize = (SAMPLE_RATE_HZ - WINDOW_SAMPLES) / SHIFT_SAMPLES + 1;
+/// Total fingerprint length (49 × 43 = 2107).
+pub const FINGERPRINT_LEN: usize = NUM_FRAMES * FEATURES_PER_FRAME;
+/// Utterance length the frontend expects (exactly 1 s, like the dataset's
+/// post-processed recordings).
+pub const UTTERANCE_SAMPLES: usize = SAMPLE_RATE_HZ;
+
+/// Extracts 49 × 43 fingerprints from 1-second utterances.
+///
+/// # Examples
+///
+/// ```
+/// use omg_speech::frontend::{FeatureExtractor, FINGERPRINT_LEN, UTTERANCE_SAMPLES};
+///
+/// let extractor = FeatureExtractor::new()?;
+/// let silence = vec![0i16; UTTERANCE_SAMPLES];
+/// let fingerprint = extractor.fingerprint(&silence)?;
+/// assert_eq!(fingerprint.len(), FINGERPRINT_LEN);
+/// # Ok::<(), omg_speech::SpeechError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    fft: FixedFft,
+    /// Hann window in q15.
+    window: Vec<i16>,
+}
+
+impl FeatureExtractor {
+    /// Builds the extractor (precomputes the FFT plan and window).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates FFT plan errors defensively.
+    pub fn new() -> Result<Self> {
+        let fft = FixedFft::new(FFT_LEN)?;
+        let window = (0..WINDOW_SAMPLES)
+            .map(|i| {
+                let w = 0.5
+                    - 0.5
+                        * (2.0 * std::f64::consts::PI * i as f64 / (WINDOW_SAMPLES - 1) as f64)
+                            .cos();
+                (w * 32767.0).round() as i16
+            })
+            .collect();
+        Ok(FeatureExtractor { fft, window })
+    }
+
+    /// Computes the 43 features of one 30 ms frame.
+    ///
+    /// # Errors
+    ///
+    /// [`SpeechError::LengthMismatch`] unless `frame` has exactly
+    /// [`WINDOW_SAMPLES`] samples.
+    pub fn frame_features(&self, frame: &[i16]) -> Result<[u8; FEATURES_PER_FRAME]> {
+        if frame.len() != WINDOW_SAMPLES {
+            return Err(SpeechError::LengthMismatch { expected: WINDOW_SAMPLES, got: frame.len() });
+        }
+        // Apply the Hann window in q15 and zero-pad to the FFT length.
+        let mut re = vec![0i16; FFT_LEN];
+        let mut im = vec![0i16; FFT_LEN];
+        for (i, (&s, &w)) in frame.iter().zip(self.window.iter()).enumerate() {
+            re[i] = (((i32::from(s) * i32::from(w)) + (1 << 14)) >> 15) as i16;
+        }
+        self.fft.forward(&mut re, &mut im)?;
+        let mags = magnitude_spectrum(&re[..SPECTRUM_BINS], &im[..SPECTRUM_BINS]);
+
+        // Average groups of 6 neighbouring bins, then log-compress to u8.
+        let mut features = [0u8; FEATURES_PER_FRAME];
+        for (g, feature) in features.iter_mut().enumerate() {
+            let start = g * BINS_PER_FEATURE;
+            let end = (start + BINS_PER_FEATURE).min(SPECTRUM_BINS);
+            let sum: u32 = mags[start..end].iter().map(|&m| u32::from(m)).sum();
+            let avg = sum / (end - start) as u32;
+            // Log compression: u8 range covers ~5 orders of magnitude.
+            let compressed = ((f64::from(avg) + 1.0).ln() * 25.6).min(255.0);
+            *feature = compressed as u8;
+        }
+        Ok(features)
+    }
+
+    /// Computes the full 49 × 43 fingerprint of a 1-second utterance,
+    /// recentred to `i8` (TFLite int8 convention: `q = value - 128`).
+    ///
+    /// # Errors
+    ///
+    /// [`SpeechError::BadUtteranceLength`] unless the utterance is exactly
+    /// one second.
+    pub fn fingerprint(&self, samples: &[i16]) -> Result<Vec<i8>> {
+        if samples.len() != UTTERANCE_SAMPLES {
+            return Err(SpeechError::BadUtteranceLength {
+                expected: UTTERANCE_SAMPLES,
+                got: samples.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(FINGERPRINT_LEN);
+        for f in 0..NUM_FRAMES {
+            let start = f * SHIFT_SAMPLES;
+            let features = self.frame_features(&samples[start..start + WINDOW_SAMPLES])?;
+            out.extend(features.iter().map(|&u| (i16::from(u) - 128) as i8));
+        }
+        debug_assert_eq!(out.len(), FINGERPRINT_LEN);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(WINDOW_SAMPLES, 480); // 30 ms
+        assert_eq!(SHIFT_SAMPLES, 320); // 20 ms
+        assert_eq!(SPECTRUM_BINS, 256); // "256 bin FFT"
+        assert_eq!(FEATURES_PER_FRAME, 43); // "43 values per frame"
+        assert_eq!(NUM_FRAMES, 49); // "49 frames"
+        assert_eq!(FINGERPRINT_LEN, 49 * 43);
+    }
+
+    #[test]
+    fn silence_fingerprint_is_flat_low() {
+        let fe = FeatureExtractor::new().unwrap();
+        let fp = fe.fingerprint(&vec![0i16; UTTERANCE_SAMPLES]).unwrap();
+        assert_eq!(fp.len(), FINGERPRINT_LEN);
+        assert!(fp.iter().all(|&v| v == -128), "silence must map to the minimum feature");
+    }
+
+    #[test]
+    fn tone_lights_up_its_band_consistently() {
+        let fe = FeatureExtractor::new().unwrap();
+        // 1 kHz tone: bin = 1000/16000*512 = 32 → feature group 32/6 = 5.
+        let samples: Vec<i16> = (0..UTTERANCE_SAMPLES)
+            .map(|t| {
+                let angle = 2.0 * std::f64::consts::PI * 1000.0 * t as f64 / 16000.0;
+                (angle.sin() * 12000.0) as i16
+            })
+            .collect();
+        let fp = fe.fingerprint(&samples).unwrap();
+        for frame in 0..NUM_FRAMES {
+            let row = &fp[frame * FEATURES_PER_FRAME..(frame + 1) * FEATURES_PER_FRAME];
+            let peak = row.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0;
+            assert!((4..=6).contains(&peak), "frame {frame} peaked at group {peak}");
+        }
+    }
+
+    #[test]
+    fn wrong_lengths_rejected() {
+        let fe = FeatureExtractor::new().unwrap();
+        assert!(matches!(
+            fe.fingerprint(&[0i16; 100]),
+            Err(SpeechError::BadUtteranceLength { .. })
+        ));
+        assert!(matches!(
+            fe.frame_features(&[0i16; 10]),
+            Err(SpeechError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn louder_signal_larger_features() {
+        let fe = FeatureExtractor::new().unwrap();
+        let make = |amp: f64| -> Vec<i16> {
+            (0..WINDOW_SAMPLES)
+                .map(|t| {
+                    let angle = 2.0 * std::f64::consts::PI * 500.0 * t as f64 / 16000.0;
+                    (angle.sin() * amp) as i16
+                })
+                .collect()
+        };
+        let quiet = fe.frame_features(&make(1000.0)).unwrap();
+        let loud = fe.frame_features(&make(16000.0)).unwrap();
+        let quiet_sum: u32 = quiet.iter().map(|&v| u32::from(v)).sum();
+        let loud_sum: u32 = loud.iter().map(|&v| u32::from(v)).sum();
+        assert!(loud_sum > quiet_sum);
+    }
+
+    #[test]
+    fn deterministic() {
+        let fe = FeatureExtractor::new().unwrap();
+        let samples: Vec<i16> = (0..UTTERANCE_SAMPLES).map(|t| ((t * 13) % 9000) as i16 - 4500).collect();
+        assert_eq!(fe.fingerprint(&samples).unwrap(), fe.fingerprint(&samples).unwrap());
+    }
+
+    proptest! {
+        /// Fingerprints always have the fixed length and full i8 range.
+        #[test]
+        fn prop_fingerprint_shape(seed in any::<u64>()) {
+            let fe = FeatureExtractor::new().unwrap();
+            let samples: Vec<i16> = (0..UTTERANCE_SAMPLES)
+                .map(|t| {
+                    let x = (t as u64).wrapping_mul(seed | 1).wrapping_add(seed) >> 33;
+                    ((x % 20000) as i32 - 10000) as i16
+                })
+                .collect();
+            let fp = fe.fingerprint(&samples).unwrap();
+            prop_assert_eq!(fp.len(), FINGERPRINT_LEN);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Continuous-stream keyword spotting utilities.
+//!
+//! The paper's evaluation classifies isolated 1-second utterances, but its
+//! outlook (§VI) is explicit: the implementation "lays the groundwork to
+//! port larger and recurrent architectures", including continuous
+//! recognition. This module provides the stream-side machinery for that:
+//! sliding 1-second windows over an unbounded sample stream, and a
+//! vote-based detection smoother that turns noisy per-window classifier
+//! outputs into debounced keyword events — the standard post-processing of
+//! streaming KWS systems.
+
+use std::collections::VecDeque;
+
+use crate::frontend::UTTERANCE_SAMPLES;
+
+/// Iterator over sliding 1-second windows of a sample stream.
+///
+/// # Examples
+///
+/// ```
+/// use omg_speech::streaming::sliding_windows;
+///
+/// let stream = vec![0i16; 32_000]; // 2 s of audio
+/// let windows: Vec<_> = sliding_windows(&stream, 8_000).collect();
+/// assert_eq!(windows.len(), 3); // offsets 0, 8000, 16000
+/// assert!(windows.iter().all(|w| w.samples.len() == 16_000));
+/// ```
+pub fn sliding_windows(stream: &[i16], hop: usize) -> SlidingWindows<'_> {
+    SlidingWindows { stream, hop: hop.max(1), pos: 0 }
+}
+
+/// One window of a stream (see [`sliding_windows`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamWindow<'a> {
+    /// Index of this window (0, 1, 2, …).
+    pub index: usize,
+    /// Offset of the window start in samples.
+    pub offset: usize,
+    /// Exactly one second of samples.
+    pub samples: &'a [i16],
+}
+
+impl StreamWindow<'_> {
+    /// The window's start time in seconds (16 kHz).
+    pub fn start_secs(&self) -> f32 {
+        self.offset as f32 / 16_000.0
+    }
+}
+
+/// Iterator type returned by [`sliding_windows`].
+#[derive(Debug, Clone)]
+pub struct SlidingWindows<'a> {
+    stream: &'a [i16],
+    hop: usize,
+    pos: usize,
+}
+
+impl<'a> Iterator for SlidingWindows<'a> {
+    type Item = StreamWindow<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let offset = self.pos * self.hop;
+        if offset + UTTERANCE_SAMPLES > self.stream.len() {
+            return None;
+        }
+        let window = StreamWindow {
+            index: self.pos,
+            offset,
+            samples: &self.stream[offset..offset + UTTERANCE_SAMPLES],
+        };
+        self.pos += 1;
+        Some(window)
+    }
+}
+
+/// Configuration of the [`DetectionSmoother`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmootherConfig {
+    /// Number of consecutive window votes considered.
+    pub vote_window: usize,
+    /// Votes (within `vote_window`) the winning class must collect.
+    pub min_votes: usize,
+    /// Minimum mean score of the winning class across its votes.
+    pub min_score: f32,
+    /// Windows to suppress after firing (debounce).
+    pub refractory: usize,
+    /// Class indices that never fire (e.g. `silence`, `unknown`).
+    pub background_classes: Vec<usize>,
+}
+
+impl Default for SmootherConfig {
+    fn default() -> Self {
+        SmootherConfig {
+            vote_window: 3,
+            min_votes: 2,
+            min_score: 0.35,
+            refractory: 2,
+            background_classes: vec![0, 1], // silence, unknown
+        }
+    }
+}
+
+/// A fired keyword detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// The detected class.
+    pub class: usize,
+    /// Mean score across the supporting votes.
+    pub score: f32,
+    /// Index of the window at which the detection fired.
+    pub window_index: usize,
+}
+
+/// Vote-based smoothing of per-window classifier outputs.
+///
+/// # Examples
+///
+/// ```
+/// use omg_speech::streaming::{DetectionSmoother, SmootherConfig};
+///
+/// let mut smoother = DetectionSmoother::new(SmootherConfig::default());
+/// assert!(smoother.push(0, 2, 0.9).is_none()); // one vote is not enough
+/// let detection = smoother.push(1, 2, 0.8).expect("second agreeing vote fires");
+/// assert_eq!(detection.class, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectionSmoother {
+    config: SmootherConfig,
+    votes: VecDeque<(usize, f32)>,
+    suppressed_until: Option<usize>,
+}
+
+impl DetectionSmoother {
+    /// Creates a smoother.
+    pub fn new(config: SmootherConfig) -> Self {
+        DetectionSmoother { config, votes: VecDeque::new(), suppressed_until: None }
+    }
+
+    /// Feeds one per-window classification; returns a detection when the
+    /// vote threshold is met. Windows inside the refractory period are
+    /// discarded entirely (they neither fire nor vote).
+    pub fn push(&mut self, window_index: usize, class: usize, score: f32) -> Option<Detection> {
+        if let Some(until) = self.suppressed_until {
+            if window_index < until {
+                return None;
+            }
+            self.suppressed_until = None;
+        }
+
+        self.votes.push_back((class, score));
+        while self.votes.len() > self.config.vote_window {
+            self.votes.pop_front();
+        }
+
+        if self.config.background_classes.contains(&class) {
+            return None;
+        }
+        let supporting: Vec<f32> = self
+            .votes
+            .iter()
+            .filter(|(c, _)| *c == class)
+            .map(|(_, s)| *s)
+            .collect();
+        if supporting.len() < self.config.min_votes {
+            return None;
+        }
+        let mean = supporting.iter().sum::<f32>() / supporting.len() as f32;
+        if mean < self.config.min_score {
+            return None;
+        }
+        self.suppressed_until = Some(window_index + 1 + self.config.refractory);
+        self.votes.clear();
+        Some(Detection { class, score: mean, window_index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_cover_stream_with_hop() {
+        let stream = vec![0i16; 16_000 + 3 * 4_000];
+        let ws: Vec<_> = sliding_windows(&stream, 4_000).collect();
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[0].offset, 0);
+        assert_eq!(ws[3].offset, 12_000);
+        assert_eq!(ws[1].index, 1);
+        assert!((ws[2].start_secs() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_stream_yields_nothing() {
+        let stream = vec![0i16; 15_999];
+        assert_eq!(sliding_windows(&stream, 1_000).count(), 0);
+    }
+
+    #[test]
+    fn zero_hop_clamped() {
+        let stream = vec![0i16; 17_000];
+        // hop 0 would loop forever; it is clamped to 1.
+        let mut ws = sliding_windows(&stream, 0);
+        assert_eq!(ws.next().unwrap().offset, 0);
+        assert_eq!(ws.next().unwrap().offset, 1);
+    }
+
+    #[test]
+    fn smoother_requires_agreement() {
+        let mut s = DetectionSmoother::new(SmootherConfig::default());
+        assert!(s.push(0, 2, 0.9).is_none());
+        assert!(s.push(1, 3, 0.9).is_none()); // disagreement resets nothing but no majority
+        assert!(s.push(2, 3, 0.9).is_some()); // two votes for 3 within window
+    }
+
+    #[test]
+    fn smoother_ignores_background() {
+        let mut s = DetectionSmoother::new(SmootherConfig::default());
+        for i in 0..10 {
+            assert!(s.push(i, 0, 0.99).is_none(), "silence must never fire");
+            assert!(s.push(i + 100, 1, 0.99).is_none(), "unknown must never fire");
+        }
+    }
+
+    #[test]
+    fn smoother_enforces_min_score() {
+        let mut s = DetectionSmoother::new(SmootherConfig::default());
+        assert!(s.push(0, 5, 0.05).is_none());
+        assert!(s.push(1, 5, 0.05).is_none(), "low scores must not fire");
+        assert!(s.push(2, 5, 0.9).is_none(), "mean (0.05+0.05+0.9)/3 ≈ 0.33 < 0.35");
+        assert!(s.push(3, 5, 0.9).is_some(), "recent window mean recovers");
+    }
+
+    #[test]
+    fn refractory_debounces() {
+        let mut s = DetectionSmoother::new(SmootherConfig::default());
+        s.push(0, 2, 0.9);
+        let fired = s.push(1, 2, 0.9).unwrap();
+        assert_eq!(fired.window_index, 1);
+        // Refractory of 2: windows 2 and 3 are suppressed even with strong votes.
+        assert!(s.push(2, 2, 0.99).is_none());
+        assert!(s.push(3, 2, 0.99).is_none());
+        // Window 4+ can fire again once votes re-accumulate.
+        assert!(s.push(4, 2, 0.99).is_none()); // first vote after clear
+        assert!(s.push(5, 2, 0.99).is_some());
+    }
+
+    #[test]
+    fn detection_reports_mean_score() {
+        let mut s = DetectionSmoother::new(SmootherConfig::default());
+        s.push(0, 4, 0.6);
+        let d = s.push(1, 4, 0.8).unwrap();
+        assert!((d.score - 0.7).abs() < 1e-6);
+        assert_eq!(d.class, 4);
+    }
+}

@@ -1,0 +1,200 @@
+//! Minimal WAVE (RIFF/PCM16 mono) reading and writing.
+//!
+//! The Speech Commands corpus the paper evaluates on ships as 16-bit mono
+//! PCM WAV files at 16 kHz; this module provides the equivalent container
+//! handling for the synthetic corpus.
+
+use crate::error::{Result, SpeechError};
+
+/// A decoded mono PCM16 recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WavAudio {
+    /// Sample rate in Hz.
+    pub sample_rate: u32,
+    /// PCM16 samples.
+    pub samples: Vec<i16>,
+}
+
+/// Encodes mono PCM16 samples as a WAV byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use omg_speech::wav::{encode_wav, decode_wav};
+///
+/// let bytes = encode_wav(16_000, &[0, 1000, -1000]);
+/// let audio = decode_wav(&bytes)?;
+/// assert_eq!(audio.sample_rate, 16_000);
+/// assert_eq!(audio.samples, vec![0, 1000, -1000]);
+/// # Ok::<(), omg_speech::SpeechError>(())
+/// ```
+pub fn encode_wav(sample_rate: u32, samples: &[i16]) -> Vec<u8> {
+    let data_len = samples.len() * 2;
+    let mut out = Vec::with_capacity(44 + data_len);
+    out.extend_from_slice(b"RIFF");
+    out.extend_from_slice(&(36 + data_len as u32).to_le_bytes());
+    out.extend_from_slice(b"WAVE");
+    // fmt chunk
+    out.extend_from_slice(b"fmt ");
+    out.extend_from_slice(&16u32.to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // PCM
+    out.extend_from_slice(&1u16.to_le_bytes()); // mono
+    out.extend_from_slice(&sample_rate.to_le_bytes());
+    out.extend_from_slice(&(sample_rate * 2).to_le_bytes()); // byte rate
+    out.extend_from_slice(&2u16.to_le_bytes()); // block align
+    out.extend_from_slice(&16u16.to_le_bytes()); // bits per sample
+    // data chunk
+    out.extend_from_slice(b"data");
+    out.extend_from_slice(&(data_len as u32).to_le_bytes());
+    for s in samples {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+fn read_u16(data: &[u8], at: usize) -> Result<u16> {
+    data.get(at..at + 2)
+        .map(|b| u16::from_le_bytes([b[0], b[1]]))
+        .ok_or(SpeechError::MalformedWav("truncated"))
+}
+
+fn read_u32(data: &[u8], at: usize) -> Result<u32> {
+    data.get(at..at + 4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or(SpeechError::MalformedWav("truncated"))
+}
+
+/// Decodes a WAV byte stream (PCM16 mono only).
+///
+/// # Errors
+///
+/// [`SpeechError::MalformedWav`] for structural problems and
+/// [`SpeechError::UnsupportedWav`] for valid but unsupported encodings
+/// (stereo, non-16-bit, compressed).
+pub fn decode_wav(data: &[u8]) -> Result<WavAudio> {
+    if data.len() < 12 || &data[0..4] != b"RIFF" || &data[8..12] != b"WAVE" {
+        return Err(SpeechError::MalformedWav("missing RIFF/WAVE header"));
+    }
+    let mut pos = 12usize;
+    let mut format: Option<(u16, u16, u32, u16)> = None;
+    let mut samples: Option<Vec<i16>> = None;
+
+    while pos + 8 <= data.len() {
+        let chunk_id = &data[pos..pos + 4];
+        let chunk_len = read_u32(data, pos + 4)? as usize;
+        let body = pos + 8;
+        if body + chunk_len > data.len() {
+            return Err(SpeechError::MalformedWav("chunk overruns file"));
+        }
+        match chunk_id {
+            b"fmt " => {
+                if chunk_len < 16 {
+                    return Err(SpeechError::MalformedWav("fmt chunk too short"));
+                }
+                let audio_format = read_u16(data, body)?;
+                let channels = read_u16(data, body + 2)?;
+                let sample_rate = read_u32(data, body + 4)?;
+                let bits = read_u16(data, body + 14)?;
+                format = Some((audio_format, channels, sample_rate, bits));
+            }
+            b"data" => {
+                if !chunk_len.is_multiple_of(2) {
+                    return Err(SpeechError::MalformedWav("odd data chunk length"));
+                }
+                let pcm: Vec<i16> = data[body..body + chunk_len]
+                    .chunks_exact(2)
+                    .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                    .collect();
+                samples = Some(pcm);
+            }
+            _ => {} // skip unknown chunks (LIST, fact, ...)
+        }
+        // Chunks are word-aligned.
+        pos = body + chunk_len + (chunk_len % 2);
+    }
+
+    let (audio_format, channels, sample_rate, bits) =
+        format.ok_or(SpeechError::MalformedWav("missing fmt chunk"))?;
+    if audio_format != 1 {
+        return Err(SpeechError::UnsupportedWav { detail: format!("audio format {audio_format}") });
+    }
+    if channels != 1 {
+        return Err(SpeechError::UnsupportedWav { detail: format!("{channels} channels") });
+    }
+    if bits != 16 {
+        return Err(SpeechError::UnsupportedWav { detail: format!("{bits} bits per sample") });
+    }
+    let samples = samples.ok_or(SpeechError::MalformedWav("missing data chunk"))?;
+    Ok(WavAudio { sample_rate, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let samples: Vec<i16> = (0..1000).map(|i| ((i * 37) % 30000) as i16 - 15000).collect();
+        let bytes = encode_wav(16_000, &samples);
+        let audio = decode_wav(&bytes).unwrap();
+        assert_eq!(audio.sample_rate, 16_000);
+        assert_eq!(audio.samples, samples);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode_wav(b"not a wav").is_err());
+        assert!(decode_wav(b"").is_err());
+        assert!(decode_wav(b"RIFF\x00\x00\x00\x00WAVE").is_err()); // no chunks
+    }
+
+    #[test]
+    fn rejects_truncated_data_chunk() {
+        let mut bytes = encode_wav(16_000, &[1, 2, 3]);
+        bytes.truncate(bytes.len() - 2);
+        assert!(decode_wav(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_stereo() {
+        let mut bytes = encode_wav(16_000, &[1, 2]);
+        bytes[22] = 2; // channel count
+        assert!(matches!(decode_wav(&bytes), Err(SpeechError::UnsupportedWav { .. })));
+    }
+
+    #[test]
+    fn rejects_non_pcm() {
+        let mut bytes = encode_wav(16_000, &[1, 2]);
+        bytes[20] = 3; // IEEE float
+        assert!(matches!(decode_wav(&bytes), Err(SpeechError::UnsupportedWav { .. })));
+    }
+
+    #[test]
+    fn skips_extra_chunks() {
+        // Insert a LIST chunk between fmt and data.
+        let base = encode_wav(8_000, &[5, -5]);
+        let mut bytes = base[..36].to_vec();
+        bytes.extend_from_slice(b"LIST");
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(b"INFO");
+        bytes.extend_from_slice(&base[36..]);
+        // Fix RIFF size.
+        let riff_len = (bytes.len() - 8) as u32;
+        bytes[4..8].copy_from_slice(&riff_len.to_le_bytes());
+        let audio = decode_wav(&bytes).unwrap();
+        assert_eq!(audio.samples, vec![5, -5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            samples in proptest::collection::vec(any::<i16>(), 0..500),
+            rate in 8000u32..48_000,
+        ) {
+            let audio = decode_wav(&encode_wav(rate, &samples)).unwrap();
+            prop_assert_eq!(audio.samples, samples);
+            prop_assert_eq!(audio.sample_rate, rate);
+        }
+    }
+}

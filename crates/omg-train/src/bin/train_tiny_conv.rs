@@ -1,0 +1,43 @@
+//! Trains the paper's `tiny_conv` model on the synthetic Speech Commands
+//! corpus, quantizes it, and prints the accuracy/size summary.
+//!
+//! Usage: `cargo run --release -p omg-train --bin train_tiny_conv [seed]`
+
+use omg_train::export::{evaluate_quantized, export_quantized};
+use omg_train::trainer::{train, TrainConfig};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let config = TrainConfig { seed, ..TrainConfig::default() };
+    println!("training tiny_conv: {config:?}");
+
+    let start = std::time::Instant::now();
+    let outcome = train(&config).expect("training failed");
+    println!("trained in {:.1} s", start.elapsed().as_secs_f32());
+    for (epoch, loss) in outcome.loss_history.iter().enumerate() {
+        println!("  epoch {epoch:>2}: mean loss {loss:.4}");
+    }
+    println!("float test accuracy:     {:.1} %", outcome.float_test_accuracy * 100.0);
+
+    let model = export_quantized(&outcome.net, &outcome.train_set.inputs)
+        .expect("quantized export failed");
+    let q_train = evaluate_quantized(
+        &model,
+        &outcome.train_set.fingerprints,
+        &outcome.train_set.labels,
+    )
+    .expect("evaluation failed");
+    let q_test = evaluate_quantized(
+        &model,
+        &outcome.test_set.fingerprints,
+        &outcome.test_set.labels,
+    )
+    .expect("evaluation failed");
+    println!("quantized train accuracy: {:.1} %", q_train * 100.0);
+    println!("quantized test accuracy:  {:.1} %", q_test * 100.0);
+    println!("model weights:            {} bytes", model.weight_bytes());
+    println!(
+        "serialized model:         {} bytes (paper: \"about 49 kB\")",
+        omg_nn::format::serialize(&model).len()
+    );
+}

@@ -1,0 +1,93 @@
+//! Error types for the training substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use omg_nn::NnError;
+use omg_speech::SpeechError;
+
+/// Errors raised during training, calibration, and export.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// Feature extraction failed.
+    Speech(SpeechError),
+    /// Model construction/export failed.
+    Nn(NnError),
+    /// Input data had the wrong dimensionality.
+    BadInput {
+        /// What was being checked.
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// A configuration value was rejected.
+    BadConfig(&'static str),
+    /// Calibration produced a degenerate activation range.
+    DegenerateRange {
+        /// Which activation.
+        tensor: &'static str,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Speech(e) => write!(f, "speech frontend error: {e}"),
+            TrainError::Nn(e) => write!(f, "model error: {e}"),
+            TrainError::BadInput { what, expected, got } => {
+                write!(f, "bad input for {what}: got {got} elements, expected {expected}")
+            }
+            TrainError::BadConfig(what) => write!(f, "bad training config: {what}"),
+            TrainError::DegenerateRange { tensor } => {
+                write!(f, "calibration range for {tensor} is degenerate")
+            }
+        }
+    }
+}
+
+impl Error for TrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainError::Speech(e) => Some(e),
+            TrainError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpeechError> for TrainError {
+    fn from(e: SpeechError) -> Self {
+        TrainError::Speech(e)
+    }
+}
+
+impl From<NnError> for TrainError {
+    fn from(e: NnError) -> Self {
+        TrainError::Nn(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TrainError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TrainError::from(SpeechError::BadFftLength { len: 3 });
+        assert!(e.to_string().contains("speech"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&TrainError::BadConfig("zero epochs")).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrainError>();
+    }
+}

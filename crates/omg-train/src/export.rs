@@ -1,0 +1,269 @@
+//! Post-training quantization: float `tiny_conv` → int8 micro model.
+//!
+//! Mirrors the paper's conversion step: "The model is first trained using
+//! TensorFlow and subsequently converted to a TensorFlow Lite and 'micro'
+//! model. The resulting compressed model is about 49 kB in size." (§VI)
+//!
+//! Weights are quantized per-tensor symmetric; activation ranges come from
+//! running calibration examples through the float network (standard
+//! post-training quantization); biases are int32 at `input_scale ×
+//! weight_scale`.
+
+use omg_nn::model::{Activation, Model, Op, Padding};
+use omg_nn::quantize::QuantParams;
+use omg_nn::tensor::DType;
+use omg_speech::dataset::LABELS;
+use omg_speech::frontend::{FEATURES_PER_FRAME, NUM_FRAMES};
+
+use crate::error::{Result, TrainError};
+use crate::tiny_conv::{TinyConv, CONV_FILTERS, KERNEL_H, KERNEL_W, STRIDE};
+
+/// Input quantization: `(q + 128) / 255`, exactly matching
+/// [`TinyConv::input_from_fingerprint`].
+pub fn input_quant_params() -> QuantParams {
+    QuantParams { scale: 1.0 / 255.0, zero_point: -128 }
+}
+
+/// Observed activation ranges from calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRanges {
+    /// Post-ReLU convolution output range.
+    pub conv: (f32, f32),
+    /// Logit range.
+    pub logits: (f32, f32),
+}
+
+/// Runs calibration inputs through the float network and records ranges.
+///
+/// # Errors
+///
+/// [`TrainError::BadInput`] if `inputs` is empty and
+/// [`TrainError::DegenerateRange`] if an activation never varies.
+pub fn calibrate(net: &TinyConv, inputs: &[Vec<f32>]) -> Result<CalibrationRanges> {
+    if inputs.is_empty() {
+        return Err(TrainError::BadInput { what: "calibration set", expected: 1, got: 0 });
+    }
+    let mut conv_min = f32::MAX;
+    let mut conv_max = f32::MIN;
+    let mut logit_min = f32::MAX;
+    let mut logit_max = f32::MIN;
+    for x in inputs {
+        let trace = net.forward::<rand::rngs::ThreadRng>(x, None);
+        for &v in trace.conv_activations() {
+            conv_min = conv_min.min(v);
+            conv_max = conv_max.max(v);
+        }
+        for &v in trace.logits() {
+            logit_min = logit_min.min(v);
+            logit_max = logit_max.max(v);
+        }
+    }
+    if conv_max <= conv_min {
+        return Err(TrainError::DegenerateRange { tensor: "conv output" });
+    }
+    if logit_max <= logit_min {
+        return Err(TrainError::DegenerateRange { tensor: "logits" });
+    }
+    Ok(CalibrationRanges { conv: (conv_min, conv_max), logits: (logit_min, logit_max) })
+}
+
+fn symmetric_scale(values: &[f32]) -> f32 {
+    let max_abs = values.iter().fold(0f32, |m, v| m.max(v.abs()));
+    (max_abs / 127.0).max(1e-8)
+}
+
+fn quantize_weights(values: &[f32], scale: f32) -> Vec<i8> {
+    values
+        .iter()
+        .map(|&v| ((v / scale).round() as i32).clamp(-127, 127) as i8)
+        .collect()
+}
+
+fn quantize_bias(values: &[f32], scale: f32) -> Vec<i32> {
+    values.iter().map(|&v| (v / scale).round() as i32).collect()
+}
+
+/// Converts a trained float network into the quantized micro model.
+///
+/// # Errors
+///
+/// Propagates calibration errors and model validation errors.
+///
+/// # Examples
+///
+/// ```no_run
+/// use omg_train::trainer::{train, TrainConfig};
+/// use omg_train::export::export_quantized;
+///
+/// let outcome = train(&TrainConfig::fast())?;
+/// let model = export_quantized(&outcome.net, &outcome.train_set.inputs)?;
+/// // "about 49 kB in size"
+/// assert!(model.weight_bytes() > 40_000 && model.weight_bytes() < 80_000);
+/// # Ok::<(), omg_train::TrainError>(())
+/// ```
+pub fn export_quantized(net: &TinyConv, calibration: &[Vec<f32>]) -> Result<Model> {
+    let ranges = calibrate(net, calibration)?;
+    let in_q = input_quant_params();
+    let conv_q = QuantParams::from_min_max(ranges.conv.0, ranges.conv.1);
+    let logit_q = QuantParams::from_min_max(ranges.logits.0, ranges.logits.1);
+
+    let conv_w_scale = symmetric_scale(&net.conv.w);
+    let fc_w_scale = symmetric_scale(&net.fc.w);
+
+    let (oh, ow, oc) = net.conv.out_shape();
+    let mut b = Model::builder();
+    let input = b.add_activation(
+        "fingerprint",
+        vec![1, NUM_FRAMES, FEATURES_PER_FRAME, 1],
+        DType::I8,
+        Some(in_q),
+    );
+    let conv_w = b.add_weight_i8(
+        "conv/weights",
+        vec![CONV_FILTERS, KERNEL_H, KERNEL_W, 1],
+        quantize_weights(&net.conv.w, conv_w_scale),
+        QuantParams::symmetric(conv_w_scale),
+    );
+    let conv_b = b.add_weight_i32(
+        "conv/bias",
+        vec![CONV_FILTERS],
+        quantize_bias(&net.conv.b, in_q.scale * conv_w_scale),
+    );
+    let conv_out = b.add_activation("conv_relu", vec![1, oh, ow, oc], DType::I8, Some(conv_q));
+    b.add_op(Op::Conv2D {
+        input,
+        filter: conv_w,
+        bias: conv_b,
+        output: conv_out,
+        stride_h: STRIDE,
+        stride_w: STRIDE,
+        padding: Padding::Same,
+        activation: Activation::Relu,
+    });
+
+    let fc_w = b.add_weight_i8(
+        "fc/weights",
+        vec![net.fc.out_features, net.fc.in_features],
+        quantize_weights(&net.fc.w, fc_w_scale),
+        QuantParams::symmetric(fc_w_scale),
+    );
+    let fc_b = b.add_weight_i32(
+        "fc/bias",
+        vec![net.fc.out_features],
+        quantize_bias(&net.fc.b, conv_q.scale * fc_w_scale),
+    );
+    let logits = b.add_activation("logits", vec![1, net.fc.out_features], DType::I8, Some(logit_q));
+    b.add_op(Op::FullyConnected {
+        input: conv_out,
+        filter: fc_w,
+        bias: fc_b,
+        output: logits,
+        activation: Activation::None,
+    });
+
+    let probs = b.add_activation(
+        "probabilities",
+        vec![1, net.fc.out_features],
+        DType::I8,
+        Some(QuantParams { scale: 1.0 / 256.0, zero_point: -128 }),
+    );
+    b.add_op(Op::Softmax { input: logits, output: probs });
+
+    b.set_input(input);
+    b.set_output(probs);
+    b.set_labels(LABELS);
+    b.set_description(
+        "tiny_conv keyword-spotting model (OMG reproduction): \
+         conv 8x(10x8)/2x2 + ReLU -> FC(12) -> softmax",
+    );
+    Ok(b.build()?)
+}
+
+/// Accuracy of a quantized model on int8 fingerprints.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn evaluate_quantized(
+    model: &Model,
+    fingerprints: &[Vec<i8>],
+    labels: &[usize],
+) -> Result<f32> {
+    if fingerprints.is_empty() {
+        return Ok(0.0);
+    }
+    let mut interp = omg_nn::Interpreter::new(model.clone())?;
+    let mut correct = 0usize;
+    for (fp, &label) in fingerprints.iter().zip(labels.iter()) {
+        let (pred, _) = interp.classify(fp)?;
+        if pred == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / fingerprints.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train, TrainConfig, TrainOutcome};
+    use std::sync::OnceLock;
+
+    /// One shared training run for all export tests (training dominates the
+    /// test time; the assertions are independent).
+    fn trained() -> &'static TrainOutcome {
+        static OUTCOME: OnceLock<TrainOutcome> = OnceLock::new();
+        OUTCOME.get_or_init(|| train(&TrainConfig::fast()).unwrap())
+    }
+
+    #[test]
+    fn calibrate_requires_inputs() {
+        let outcome = trained();
+        assert!(matches!(
+            calibrate(&outcome.net, &[]),
+            Err(TrainError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn export_produces_valid_model_with_expected_size() {
+        let outcome = trained();
+        let model = export_quantized(&outcome.net, &outcome.train_set.inputs).unwrap();
+        // conv: 8*10*8 = 640 i8 + 8*4 bias; fc: 12*4400 = 52800 i8 + 48;
+        // ≈ 53.5 kB — same order as the paper's "about 49 kB".
+        let bytes = model.weight_bytes();
+        assert!((50_000..60_000).contains(&bytes), "weight bytes = {bytes}");
+        assert_eq!(model.labels().len(), 12);
+    }
+
+    #[test]
+    fn quantized_accuracy_close_to_float() {
+        let outcome = trained();
+        let model = export_quantized(&outcome.net, &outcome.train_set.inputs).unwrap();
+        let q_acc = evaluate_quantized(
+            &model,
+            &outcome.test_set.fingerprints,
+            &outcome.test_set.labels,
+        )
+        .unwrap();
+        let f_acc = outcome.float_test_accuracy;
+        // Post-training int8 quantization must not collapse accuracy.
+        assert!(
+            (q_acc - f_acc).abs() <= 0.15,
+            "float {f_acc} vs quantized {q_acc}"
+        );
+        assert!(q_acc > 0.3, "quantized accuracy {q_acc}");
+    }
+
+    #[test]
+    fn exported_model_serializes() {
+        let outcome = trained();
+        let model = export_quantized(&outcome.net, &outcome.train_set.inputs).unwrap();
+        let blob = omg_nn::format::serialize(&model);
+        let restored = omg_nn::format::deserialize(&blob).unwrap();
+        assert_eq!(restored, model);
+        // The serialized blob is what the paper calls "the resulting
+        // compressed model ... about 49 kB".
+        assert!(blob.len() < 80_000, "blob size {}", blob.len());
+    }
+}

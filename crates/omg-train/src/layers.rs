@@ -1,0 +1,428 @@
+//! f32 layers with forward and backward passes.
+//!
+//! The paper trains `tiny_conv` in TensorFlow before converting it to the
+//! micro model (§VI). This module provides the minimal training substrate
+//! for that architecture: a strided SAME-padded 2-D convolution, a dense
+//! layer, inverted dropout, and softmax cross-entropy — each with hand-
+//! derived gradients that are verified against numerical differentiation in
+//! the test suite.
+
+use rand::Rng;
+
+/// A 2-D convolution layer (NHWC input, OHWI weights, SAME padding).
+#[derive(Debug, Clone)]
+pub struct Conv2D {
+    /// Weights `[out_c, kh, kw, in_c]`.
+    pub w: Vec<f32>,
+    /// Bias `[out_c]`.
+    pub b: Vec<f32>,
+    /// Input spatial shape `(h, w, c)`.
+    pub in_shape: (usize, usize, usize),
+    /// Kernel `(kh, kw)`.
+    pub kernel: (usize, usize),
+    /// Stride `(sh, sw)`.
+    pub stride: (usize, usize),
+    /// Output channels.
+    pub out_c: usize,
+}
+
+impl Conv2D {
+    /// Creates a layer with He-initialized weights.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_shape: (usize, usize, usize),
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        out_c: usize,
+    ) -> Self {
+        let fan_in = (kernel.0 * kernel.1 * in_shape.2) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let w_len = out_c * kernel.0 * kernel.1 * in_shape.2;
+        let w = (0..w_len).map(|_| sample_normal(rng) * std).collect();
+        Conv2D { w, b: vec![0.0; out_c], in_shape, kernel, stride, out_c }
+    }
+
+    /// Output spatial shape `(oh, ow, out_c)` under SAME padding.
+    pub fn out_shape(&self) -> (usize, usize, usize) {
+        (
+            self.in_shape.0.div_ceil(self.stride.0),
+            self.in_shape.1.div_ceil(self.stride.1),
+            self.out_c,
+        )
+    }
+
+    fn pads(&self) -> (usize, usize) {
+        let (oh, ow, _) = self.out_shape();
+        let pad_h = ((oh - 1) * self.stride.0 + self.kernel.0).saturating_sub(self.in_shape.0);
+        let pad_w = ((ow - 1) * self.stride.1 + self.kernel.1).saturating_sub(self.in_shape.1);
+        (pad_h / 2, pad_w / 2)
+    }
+
+    fn w_idx(&self, oc: usize, ky: usize, kx: usize, ic: usize) -> usize {
+        ((oc * self.kernel.0 + ky) * self.kernel.1 + kx) * self.in_shape.2 + ic
+    }
+
+    /// Forward pass for one example.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the input length matches `in_shape`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let (h, w, c) = self.in_shape;
+        debug_assert_eq!(x.len(), h * w * c);
+        let (oh, ow, oc_n) = self.out_shape();
+        let (pad_t, pad_l) = self.pads();
+        let mut y = vec![0f32; oh * ow * oc_n];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for oc in 0..oc_n {
+                    let mut acc = self.b[oc];
+                    for ky in 0..self.kernel.0 {
+                        let iy = (oy * self.stride.0 + ky) as isize - pad_t as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..self.kernel.1 {
+                            let ix = (ox * self.stride.1 + kx) as isize - pad_l as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            for ic in 0..c {
+                                acc += x[(iy as usize * w + ix as usize) * c + ic]
+                                    * self.w[self.w_idx(oc, ky, kx, ic)];
+                            }
+                        }
+                    }
+                    y[(oy * ow + ox) * oc_n + oc] = acc;
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass: given the input and upstream gradient, returns
+    /// `(dx, dw, db)`.
+    pub fn backward(&self, x: &[f32], dy: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let (h, w, c) = self.in_shape;
+        let (oh, ow, oc_n) = self.out_shape();
+        let (pad_t, pad_l) = self.pads();
+        let mut dx = vec![0f32; h * w * c];
+        let mut dw = vec![0f32; self.w.len()];
+        let mut db = vec![0f32; self.b.len()];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for oc in 0..oc_n {
+                    let g = dy[(oy * ow + ox) * oc_n + oc];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    db[oc] += g;
+                    for ky in 0..self.kernel.0 {
+                        let iy = (oy * self.stride.0 + ky) as isize - pad_t as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..self.kernel.1 {
+                            let ix = (ox * self.stride.1 + kx) as isize - pad_l as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            for ic in 0..c {
+                                let xi = (iy as usize * w + ix as usize) * c + ic;
+                                let wi = self.w_idx(oc, ky, kx, ic);
+                                dw[wi] += g * x[xi];
+                                dx[xi] += g * self.w[wi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (dx, dw, db)
+    }
+}
+
+/// A dense (fully connected) layer.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weights `[out_features, in_features]`.
+    pub w: Vec<f32>,
+    /// Bias `[out_features]`.
+    pub b: Vec<f32>,
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+}
+
+impl Dense {
+    /// Creates a layer with Glorot-initialized weights.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        let std = (2.0 / (in_features + out_features) as f32).sqrt();
+        let w = (0..in_features * out_features).map(|_| sample_normal(rng) * std).collect();
+        Dense { w, b: vec![0.0; out_features], in_features, out_features }
+    }
+
+    /// Forward pass for one example.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_features);
+        let mut y = self.b.clone();
+        for (o, y_o) in y.iter_mut().enumerate() {
+            let row = &self.w[o * self.in_features..(o + 1) * self.in_features];
+            *y_o += row.iter().zip(x.iter()).map(|(w, x)| w * x).sum::<f32>();
+        }
+        y
+    }
+
+    /// Backward pass: returns `(dx, dw, db)`.
+    pub fn backward(&self, x: &[f32], dy: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut dx = vec![0f32; self.in_features];
+        let mut dw = vec![0f32; self.w.len()];
+        let db = dy.to_vec();
+        for o in 0..self.out_features {
+            let g = dy[o];
+            if g == 0.0 {
+                continue;
+            }
+            for i in 0..self.in_features {
+                dw[o * self.in_features + i] += g * x[i];
+                dx[i] += g * self.w[o * self.in_features + i];
+            }
+        }
+        (dx, dw, db)
+    }
+}
+
+/// In-place ReLU; returns the activation mask for the backward pass.
+pub fn relu_forward(x: &mut [f32]) -> Vec<bool> {
+    x.iter_mut()
+        .map(|v| {
+            if *v > 0.0 {
+                true
+            } else {
+                *v = 0.0;
+                false
+            }
+        })
+        .collect()
+}
+
+/// ReLU backward: zeroes gradients where the forward input was negative.
+pub fn relu_backward(dy: &mut [f32], mask: &[bool]) {
+    for (g, &m) in dy.iter_mut().zip(mask.iter()) {
+        if !m {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Inverted dropout: keeps each element with probability `1 - p`, scaling
+/// survivors by `1/(1-p)`. Returns the keep mask.
+pub fn dropout_forward<R: Rng + ?Sized>(rng: &mut R, x: &mut [f32], p: f32) -> Vec<bool> {
+    let keep_scale = 1.0 / (1.0 - p);
+    x.iter_mut()
+        .map(|v| {
+            if rng.gen::<f32>() < p {
+                *v = 0.0;
+                false
+            } else {
+                *v *= keep_scale;
+                true
+            }
+        })
+        .collect()
+}
+
+/// Dropout backward.
+pub fn dropout_backward(dy: &mut [f32], mask: &[bool], p: f32) {
+    let keep_scale = 1.0 / (1.0 - p);
+    for (g, &m) in dy.iter_mut().zip(mask.iter()) {
+        *g = if m { *g * keep_scale } else { 0.0 };
+    }
+}
+
+/// Softmax cross-entropy: returns `(loss, dlogits)` for one example.
+pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|e| e / sum).collect();
+    let loss = -probs[target].max(1e-12).ln();
+    let mut dlogits = probs;
+    dlogits[target] -= 1.0;
+    (loss, dlogits)
+}
+
+/// Softmax probabilities (inference path).
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Box–Muller standard normal sample.
+fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numerical gradient via central differences.
+    fn numeric_grad(f: &mut dyn FnMut(&[f32]) -> f32, x: &[f32]) -> Vec<f32> {
+        let eps = 1e-3f32;
+        let mut grad = vec![0f32; x.len()];
+        let mut probe = x.to_vec();
+        for i in 0..x.len() {
+            probe[i] = x[i] + eps;
+            let up = f(&probe);
+            probe[i] = x[i] - eps;
+            let down = f(&probe);
+            probe[i] = x[i];
+            grad[i] = (up - down) / (2.0 * eps);
+        }
+        grad
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{what}[{i}]: analytic {x} vs numeric {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2D::new(&mut rng, (6, 5, 2), (3, 3), (2, 2), 3);
+        let x: Vec<f32> = (0..60).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let (oh, ow, oc) = conv.out_shape();
+        // Scalar objective: weighted sum of outputs.
+        let weights: Vec<f32> = (0..oh * ow * oc).map(|i| ((i % 7) as f32 - 3.0) / 3.0).collect();
+
+        let y = conv.forward(&x);
+        let dy = weights.clone();
+        let (dx, dw, db) = conv.backward(&x, &dy);
+        assert_eq!(y.len(), oh * ow * oc);
+
+        // dX check.
+        let mut f_x = |probe: &[f32]| -> f32 {
+            conv.forward(probe).iter().zip(&weights).map(|(y, w)| y * w).sum()
+        };
+        let num_dx = numeric_grad(&mut f_x, &x);
+        assert_close(&dx, &num_dx, 2e-2, "conv dx");
+
+        // dW check.
+        let w0 = conv.w.clone();
+        let mut f_w = |probe: &[f32]| -> f32 {
+            let mut c = conv.clone();
+            c.w = probe.to_vec();
+            c.forward(&x).iter().zip(&weights).map(|(y, w)| y * w).sum()
+        };
+        let num_dw = numeric_grad(&mut f_w, &w0);
+        assert_close(&dw, &num_dw, 2e-2, "conv dw");
+
+        // db check.
+        let b0 = conv.b.clone();
+        let mut f_b = |probe: &[f32]| -> f32 {
+            let mut c = conv.clone();
+            c.b = probe.to_vec();
+            c.forward(&x).iter().zip(&weights).map(|(y, w)| y * w).sum()
+        };
+        let num_db = numeric_grad(&mut f_b, &b0);
+        assert_close(&db, &num_db, 2e-2, "conv db");
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dense = Dense::new(&mut rng, 7, 4);
+        let x: Vec<f32> = (0..7).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let weights: Vec<f32> = vec![0.5, -1.0, 2.0, 0.25];
+
+        let (dx, dw, db) = dense.backward(&x, &weights);
+
+        let mut f_x = |probe: &[f32]| -> f32 {
+            dense.forward(probe).iter().zip(&weights).map(|(y, w)| y * w).sum()
+        };
+        assert_close(&dx, &numeric_grad(&mut f_x, &x), 1e-2, "dense dx");
+
+        let w0 = dense.w.clone();
+        let mut f_w = |probe: &[f32]| -> f32 {
+            let mut d = dense.clone();
+            d.w = probe.to_vec();
+            d.forward(&x).iter().zip(&weights).map(|(y, w)| y * w).sum()
+        };
+        assert_close(&dw, &numeric_grad(&mut f_w, &w0), 1e-2, "dense dw");
+        assert_close(&db, &weights, 1e-6, "dense db");
+    }
+
+    #[test]
+    fn softmax_ce_gradient_check() {
+        let logits = vec![0.3f32, -1.2, 2.0, 0.0];
+        let target = 2usize;
+        let (_, dlogits) = softmax_cross_entropy(&logits, target);
+        let mut f = |probe: &[f32]| softmax_cross_entropy(probe, target).0;
+        assert_close(&dlogits, &numeric_grad(&mut f, &logits), 1e-2, "dlogits");
+    }
+
+    #[test]
+    fn softmax_ce_loss_decreases_with_correct_logit() {
+        let (high_loss, _) = softmax_cross_entropy(&[0.0, 0.0, 0.0], 0);
+        let (low_loss, _) = softmax_cross_entropy(&[5.0, 0.0, 0.0], 0);
+        assert!(low_loss < high_loss);
+        assert!((high_loss - (3f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn relu_masks() {
+        let mut x = vec![1.0, -2.0, 0.0, 3.0];
+        let mask = relu_forward(&mut x);
+        assert_eq!(x, vec![1.0, 0.0, 0.0, 3.0]);
+        assert_eq!(mask, vec![true, false, false, true]);
+        let mut dy = vec![1.0; 4];
+        relu_backward(&mut dy, &mask);
+        assert_eq!(dy, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dropout_scales_and_masks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut x = vec![1.0f32; 1000];
+        let mask = dropout_forward(&mut rng, &mut x, 0.5);
+        let kept = mask.iter().filter(|&&m| m).count();
+        // Roughly half kept.
+        assert!((300..700).contains(&kept));
+        // Survivors scaled by 2.
+        for (v, &m) in x.iter().zip(mask.iter()) {
+            assert_eq!(*v, if m { 2.0 } else { 0.0 });
+        }
+        // Expected value preserved within 15%.
+        let mean: f32 = x.iter().sum::<f32>() / x.len() as f32;
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn conv_out_shape_matches_tiny_conv() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // The paper's tiny_conv: 49x43 fingerprint, 8 filters 8x10 (h x w),
+        // stride 2x2, SAME.
+        let conv = Conv2D::new(&mut rng, (49, 43, 1), (10, 8), (2, 2), 8);
+        assert_eq!(conv.out_shape(), (25, 22, 8));
+    }
+}

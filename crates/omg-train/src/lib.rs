@@ -1,0 +1,43 @@
+//! Training substrate for the Offline Model Guard reproduction.
+//!
+//! The paper trains its keyword-spotting model in TensorFlow and converts
+//! it to a TensorFlow Lite "micro" model (§VI). This crate provides the
+//! equivalent pipeline, from scratch:
+//!
+//! * [`layers`] — f32 conv / dense / ReLU / dropout / softmax-CE with
+//!   numerically verified gradients;
+//! * [`optimizer`] — SGD with momentum and Adam;
+//! * [`tiny_conv`] — the paper's exact architecture (8 filters of 10×8,
+//!   stride 2×2, ReLU, dropout, dense to 12 classes);
+//! * [`trainer`] — the deterministic training loop over the synthetic
+//!   Speech Commands corpus;
+//! * [`export`] — post-training int8 quantization into the [`omg_nn`]
+//!   micro-model format (the "about 49 kB" artifact).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use omg_train::trainer::{train, TrainConfig};
+//! use omg_train::export::{evaluate_quantized, export_quantized};
+//!
+//! let outcome = train(&TrainConfig::default())?;
+//! let model = export_quantized(&outcome.net, &outcome.train_set.inputs)?;
+//! let accuracy = evaluate_quantized(
+//!     &model,
+//!     &outcome.test_set.fingerprints,
+//!     &outcome.test_set.labels,
+//! )?;
+//! println!("quantized accuracy: {:.1} %", accuracy * 100.0);
+//! # Ok::<(), omg_train::TrainError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod export;
+pub mod layers;
+pub mod optimizer;
+pub mod tiny_conv;
+pub mod trainer;
+
+pub use error::{Result, TrainError};

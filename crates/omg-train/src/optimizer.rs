@@ -1,0 +1,163 @@
+//! Gradient-descent optimizers.
+
+/// SGD with classical momentum.
+#[derive(Debug, Clone)]
+pub struct SgdMomentum {
+    lr: f32,
+    momentum: f32,
+    velocities: Vec<Vec<f32>>,
+}
+
+impl SgdMomentum {
+    /// Creates an optimizer for `group_sizes.len()` parameter groups
+    /// (one per weight/bias tensor).
+    pub fn new(lr: f32, momentum: f32, group_sizes: &[usize]) -> Self {
+        SgdMomentum {
+            lr,
+            momentum,
+            velocities: group_sizes.iter().map(|&n| vec![0f32; n]).collect(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update to parameter group `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range or the lengths disagree with the
+    /// sizes given at construction.
+    pub fn step(&mut self, group: usize, params: &mut [f32], grads: &[f32]) {
+        let v = &mut self.velocities[group];
+        assert_eq!(params.len(), v.len());
+        assert_eq!(grads.len(), v.len());
+        for i in 0..params.len() {
+            v[i] = self.momentum * v[i] - self.lr * grads[i];
+            params[i] += v[i];
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999).
+    pub fn new(lr: f32, group_sizes: &[usize]) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: group_sizes.iter().map(|&n| vec![0f32; n]).collect(),
+            v: group_sizes.iter().map(|&n| vec![0f32; n]).collect(),
+        }
+    }
+
+    /// Advances the shared timestep; call once per optimizer step, before
+    /// updating the groups of that step.
+    pub fn next_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one update to parameter group `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range or lengths disagree.
+    pub fn step(&mut self, group: usize, params: &mut [f32], grads: &[f32]) {
+        assert!(self.t >= 1, "call next_step() before step()");
+        let m = &mut self.m[group];
+        let v = &mut self.v[group];
+        assert_eq!(params.len(), m.len());
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for i in 0..params.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grads[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 and checks convergence.
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = SgdMomentum::new(0.1, 0.9, &[1]);
+        let mut x = vec![0f32];
+        // Momentum 0.9 oscillates around the optimum; give it time to damp.
+        for _ in 0..400 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(0, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1, &[1]);
+        let mut x = vec![0f32];
+        for _ in 0..300 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.next_step();
+            opt.step(0, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        // With the same lr, momentum should make more progress on a
+        // shallow slope within few steps.
+        let run = |momentum: f32| {
+            let mut opt = SgdMomentum::new(0.01, momentum, &[1]);
+            let mut x = vec![0f32];
+            for _ in 0..20 {
+                let g = vec![2.0 * (x[0] - 3.0)];
+                opt.step(0, &mut x, &g);
+            }
+            x[0]
+        };
+        assert!(run(0.9) > run(0.0));
+    }
+
+    #[test]
+    fn learning_rate_schedule() {
+        let mut opt = SgdMomentum::new(0.5, 0.0, &[1]);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.05);
+        assert_eq!(opt.learning_rate(), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "next_step")]
+    fn adam_requires_timestep() {
+        let mut opt = Adam::new(0.1, &[1]);
+        let mut x = vec![0f32];
+        opt.step(0, &mut x, &[1.0]);
+    }
+}

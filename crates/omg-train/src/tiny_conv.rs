@@ -1,0 +1,314 @@
+//! The `tiny_conv` network of the paper's evaluation.
+//!
+//! "The tiny_conv architecture feeds the audio fingerprint to a 2D
+//! convolutional layer (8 filters, 8×10, x and y stride of 2), followed by
+//! ReLU activation and a regular layer that maps to the output labels.
+//! During training, dropout is applied after the convolution layer." (§VI)
+
+use rand::Rng;
+
+use omg_speech::dataset::NUM_CLASSES;
+use omg_speech::frontend::{FEATURES_PER_FRAME, FINGERPRINT_LEN, NUM_FRAMES};
+
+use crate::layers::{
+    dropout_backward, dropout_forward, relu_backward, relu_forward, softmax,
+    softmax_cross_entropy, Conv2D, Dense,
+};
+
+/// Number of convolution filters.
+pub const CONV_FILTERS: usize = 8;
+/// Kernel height (time axis).
+pub const KERNEL_H: usize = 10;
+/// Kernel width (feature axis).
+pub const KERNEL_W: usize = 8;
+/// Stride in both axes.
+pub const STRIDE: usize = 2;
+
+/// The float `tiny_conv` model under training.
+#[derive(Debug, Clone)]
+pub struct TinyConv {
+    /// The convolution layer.
+    pub conv: Conv2D,
+    /// The classifier head.
+    pub fc: Dense,
+    /// Dropout probability applied after the convolution during training.
+    pub dropout: f32,
+}
+
+/// Per-example forward activations cached for the backward pass.
+#[derive(Debug)]
+pub struct ForwardTrace {
+    input: Vec<f32>,
+    conv_out: Vec<f32>,
+    relu_mask: Vec<bool>,
+    dropout_mask: Option<Vec<bool>>,
+    post_conv: Vec<f32>,
+    logits: Vec<f32>,
+}
+
+impl ForwardTrace {
+    /// Post-ReLU convolution activations (used for quantization
+    /// calibration).
+    pub fn conv_activations(&self) -> &[f32] {
+        &self.conv_out
+    }
+
+    /// The raw logits.
+    pub fn logits(&self) -> &[f32] {
+        &self.logits
+    }
+}
+
+/// Gradients for all parameters of [`TinyConv`].
+#[derive(Debug, Clone, Default)]
+pub struct Gradients {
+    /// Convolution weight gradients.
+    pub conv_w: Vec<f32>,
+    /// Convolution bias gradients.
+    pub conv_b: Vec<f32>,
+    /// Dense weight gradients.
+    pub fc_w: Vec<f32>,
+    /// Dense bias gradients.
+    pub fc_b: Vec<f32>,
+}
+
+impl Gradients {
+    fn zeros_like(net: &TinyConv) -> Self {
+        Gradients {
+            conv_w: vec![0.0; net.conv.w.len()],
+            conv_b: vec![0.0; net.conv.b.len()],
+            fc_w: vec![0.0; net.fc.w.len()],
+            fc_b: vec![0.0; net.fc.b.len()],
+        }
+    }
+
+    fn accumulate(&mut self, other: &Gradients) {
+        for (a, b) in self.conv_w.iter_mut().zip(&other.conv_w) {
+            *a += b;
+        }
+        for (a, b) in self.conv_b.iter_mut().zip(&other.conv_b) {
+            *a += b;
+        }
+        for (a, b) in self.fc_w.iter_mut().zip(&other.fc_w) {
+            *a += b;
+        }
+        for (a, b) in self.fc_b.iter_mut().zip(&other.fc_b) {
+            *a += b;
+        }
+    }
+
+    fn scale(&mut self, factor: f32) {
+        for g in self
+            .conv_w
+            .iter_mut()
+            .chain(self.conv_b.iter_mut())
+            .chain(self.fc_w.iter_mut())
+            .chain(self.fc_b.iter_mut())
+        {
+            *g *= factor;
+        }
+    }
+}
+
+impl TinyConv {
+    /// Creates a freshly initialized network.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, dropout: f32) -> Self {
+        let conv = Conv2D::new(
+            rng,
+            (NUM_FRAMES, FEATURES_PER_FRAME, 1),
+            (KERNEL_H, KERNEL_W),
+            (STRIDE, STRIDE),
+            CONV_FILTERS,
+        );
+        let (oh, ow, oc) = conv.out_shape();
+        let fc = Dense::new(rng, oh * ow * oc, NUM_CLASSES);
+        TinyConv { conv, fc, dropout }
+    }
+
+    /// Flattened convolution output size (the FC input width; 25·22·8 =
+    /// 4400 for the paper's shapes).
+    pub fn feature_len(&self) -> usize {
+        let (oh, ow, oc) = self.conv.out_shape();
+        oh * ow * oc
+    }
+
+    /// Converts an int8 fingerprint (frontend output) to the f32 input the
+    /// float network consumes: `(q + 128) / 255 ∈ [0, 1]`.
+    ///
+    /// The quantized export uses input parameters `scale = 1/255,
+    /// zero_point = -128`, which makes the two representations exactly
+    /// equivalent.
+    pub fn input_from_fingerprint(fingerprint: &[i8]) -> Vec<f32> {
+        fingerprint.iter().map(|&q| (i16::from(q) + 128) as f32 / 255.0).collect()
+    }
+
+    /// Forward pass; `rng` enables dropout (training mode) when `Some`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the input length is [`FINGERPRINT_LEN`].
+    pub fn forward<R: Rng + ?Sized>(&self, input: &[f32], rng: Option<&mut R>) -> ForwardTrace {
+        debug_assert_eq!(input.len(), FINGERPRINT_LEN);
+        let mut conv_out = self.conv.forward(input);
+        let relu_mask = relu_forward(&mut conv_out);
+        let mut post_conv = conv_out.clone();
+        let dropout_mask = match rng {
+            Some(rng) if self.dropout > 0.0 => {
+                Some(dropout_forward(rng, &mut post_conv, self.dropout))
+            }
+            _ => None,
+        };
+        let logits = self.fc.forward(&post_conv);
+        ForwardTrace {
+            input: input.to_vec(),
+            conv_out,
+            relu_mask,
+            dropout_mask,
+            post_conv,
+            logits,
+        }
+    }
+
+    /// Inference helper: class probabilities for one fingerprint input.
+    pub fn predict(&self, input: &[f32]) -> Vec<f32> {
+        let trace = self.forward::<rand::rngs::ThreadRng>(input, None);
+        softmax(&trace.logits)
+    }
+
+    /// Inference helper: argmax class for one fingerprint input.
+    pub fn classify(&self, input: &[f32]) -> usize {
+        let probs = self.predict(input);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Computes the loss and parameter gradients for one example.
+    pub fn backward(&self, trace: &ForwardTrace, target: usize) -> (f32, Gradients) {
+        let (loss, dlogits) = softmax_cross_entropy(&trace.logits, target);
+        let (mut d_post_conv, fc_w_grad, fc_b_grad) = self.fc.backward(&trace.post_conv, &dlogits);
+        if let Some(mask) = &trace.dropout_mask {
+            dropout_backward(&mut d_post_conv, mask, self.dropout);
+        }
+        relu_backward(&mut d_post_conv, &trace.relu_mask);
+        let (_, conv_w_grad, conv_b_grad) = self.conv.backward(&trace.input, &d_post_conv);
+        (
+            loss,
+            Gradients { conv_w: conv_w_grad, conv_b: conv_b_grad, fc_w: fc_w_grad, fc_b: fc_b_grad },
+        )
+    }
+
+    /// Loss and averaged gradients over a minibatch.
+    pub fn batch_gradients<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        inputs: &[Vec<f32>],
+        targets: &[usize],
+    ) -> (f32, Gradients) {
+        debug_assert_eq!(inputs.len(), targets.len());
+        let mut total = Gradients::zeros_like(self);
+        let mut loss_sum = 0f32;
+        for (x, &t) in inputs.iter().zip(targets.iter()) {
+            let trace = self.forward(x, Some(rng));
+            let (loss, grads) = self.backward(&trace, t);
+            loss_sum += loss;
+            total.accumulate(&grads);
+        }
+        let n = inputs.len().max(1) as f32;
+        total.scale(1.0 / n);
+        (loss_sum / n, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_match_paper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = TinyConv::new(&mut rng, 0.5);
+        // conv output 25 x 22 x 8 = 4400, fc maps to 12 classes.
+        assert_eq!(net.feature_len(), 25 * 22 * 8);
+        assert_eq!(net.fc.out_features, 12);
+        assert_eq!(net.conv.w.len(), (8 * 10 * 8));
+    }
+
+    #[test]
+    fn forward_produces_12_logits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = TinyConv::new(&mut rng, 0.0);
+        let input = vec![0.5f32; FINGERPRINT_LEN];
+        let trace = net.forward::<StdRng>(&input, None);
+        assert_eq!(trace.logits.len(), 12);
+        let probs = net.predict(&input);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fingerprint_conversion_range() {
+        let fp = vec![-128i8, 0, 127];
+        let f = TinyConv::input_from_fingerprint(&fp);
+        assert_eq!(f[0], 0.0);
+        assert!((f[1] - 128.0 / 255.0).abs() < 1e-6);
+        assert!((f[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_batch_overfits() {
+        // Sanity: a few gradient steps on one tiny batch must drive the
+        // loss down — catches sign errors end to end.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = TinyConv::new(&mut rng, 0.0);
+        // Four block-orthogonal inputs, one per target class.
+        let block = FINGERPRINT_LEN / 4;
+        let inputs: Vec<Vec<f32>> = (0..4)
+            .map(|k| {
+                (0..FINGERPRINT_LEN)
+                    .map(|i| if i / block == k { 0.9 } else { 0.05 })
+                    .collect()
+            })
+            .collect();
+        let targets = vec![0usize, 1, 2, 3];
+
+        let (loss0, _) = net.batch_gradients(&mut rng, &inputs, &targets);
+        for _ in 0..80 {
+            let (_, grads) = net.batch_gradients(&mut rng, &inputs, &targets);
+            for (w, g) in net.conv.w.iter_mut().zip(&grads.conv_w) {
+                *w -= 0.02 * g;
+            }
+            for (b, g) in net.conv.b.iter_mut().zip(&grads.conv_b) {
+                *b -= 0.02 * g;
+            }
+            for (w, g) in net.fc.w.iter_mut().zip(&grads.fc_w) {
+                *w -= 0.02 * g;
+            }
+            for (b, g) in net.fc.b.iter_mut().zip(&grads.fc_b) {
+                *b -= 0.02 * g;
+            }
+        }
+        let (loss1, _) = net.batch_gradients(&mut rng, &inputs, &targets);
+        assert!(loss1 < loss0 * 0.5, "loss {loss0} -> {loss1}");
+        // And the batch is now classified correctly.
+        for (x, &t) in inputs.iter().zip(targets.iter()) {
+            assert_eq!(net.classify(x), t);
+        }
+    }
+
+    #[test]
+    fn dropout_only_active_with_rng() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = TinyConv::new(&mut rng, 0.9);
+        let input = vec![0.7f32; FINGERPRINT_LEN];
+        let t1 = net.forward::<StdRng>(&input, None);
+        let t2 = net.forward::<StdRng>(&input, None);
+        assert_eq!(t1.logits, t2.logits, "inference must be deterministic");
+        let t3 = net.forward(&input, Some(&mut rng));
+        assert!(t3.dropout_mask.is_some());
+    }
+}

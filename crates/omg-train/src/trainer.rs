@@ -1,0 +1,285 @@
+//! The training loop over the synthetic Speech Commands corpus.
+//!
+//! Follows the paper's recipe: fingerprints from the fixed-point frontend
+//! feed `tiny_conv`, trained with dropout after the convolution, then the
+//! model is converted to the quantized micro format (§VI). The trainer is
+//! fully deterministic given the config seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use omg_speech::dataset::{SyntheticSpeechCommands, NUM_CLASSES};
+use omg_speech::frontend::FeatureExtractor;
+
+use crate::error::{Result, TrainError};
+use crate::optimizer::SgdMomentum;
+use crate::tiny_conv::TinyConv;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// RNG seed (weights, shuffling, dropout, dataset).
+    pub seed: u64,
+    /// Training utterances per class.
+    pub train_per_class: usize,
+    /// Held-out test utterances per class.
+    pub test_per_class: usize,
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Dropout after the convolution (the paper's recipe).
+    pub dropout: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            seed: 0,
+            train_per_class: 80,
+            test_per_class: 10,
+            epochs: 12,
+            batch_size: 32,
+            learning_rate: 0.008,
+            momentum: 0.9,
+            dropout: 0.25,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A reduced configuration for fast unit tests (seconds, not minutes).
+    pub fn fast() -> Self {
+        TrainConfig {
+            train_per_class: 40,
+            test_per_class: 8,
+            epochs: 10,
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// A labelled, feature-extracted dataset split.
+#[derive(Debug, Clone)]
+pub struct FeatureSet {
+    /// Quantized fingerprints (what the deployed model consumes).
+    pub fingerprints: Vec<Vec<i8>>,
+    /// f32 network inputs (`(q + 128) / 255`).
+    pub inputs: Vec<Vec<f32>>,
+    /// Class labels.
+    pub labels: Vec<usize>,
+}
+
+impl FeatureSet {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Extracts fingerprints for `count` utterances per class starting at
+/// `first_index`.
+///
+/// # Errors
+///
+/// Propagates dataset and frontend errors.
+pub fn prepare_features(
+    dataset: &SyntheticSpeechCommands,
+    first_index: u64,
+    count: usize,
+) -> Result<FeatureSet> {
+    let extractor = FeatureExtractor::new()?;
+    let mut fingerprints = Vec::with_capacity(count * NUM_CLASSES);
+    let mut inputs = Vec::with_capacity(count * NUM_CLASSES);
+    let mut labels = Vec::with_capacity(count * NUM_CLASSES);
+    for (utterance, class) in dataset.split(first_index, count)? {
+        let fp = extractor.fingerprint(&utterance)?;
+        inputs.push(TinyConv::input_from_fingerprint(&fp));
+        fingerprints.push(fp);
+        labels.push(class);
+    }
+    Ok(FeatureSet { fingerprints, inputs, labels })
+}
+
+/// Result of a training run.
+#[derive(Debug)]
+pub struct TrainOutcome {
+    /// The trained float network.
+    pub net: TinyConv,
+    /// Mean training loss per epoch.
+    pub loss_history: Vec<f32>,
+    /// Accuracy of the float network on the held-out split.
+    pub float_test_accuracy: f32,
+    /// The training split (reused for quantization calibration).
+    pub train_set: FeatureSet,
+    /// The held-out split.
+    pub test_set: FeatureSet,
+}
+
+/// Accuracy of a float network on a feature set.
+pub fn evaluate_float(net: &TinyConv, set: &FeatureSet) -> f32 {
+    if set.is_empty() {
+        return 0.0;
+    }
+    let correct = set
+        .inputs
+        .iter()
+        .zip(set.labels.iter())
+        .filter(|(x, &t)| net.classify(x) == t)
+        .count();
+    correct as f32 / set.len() as f32
+}
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`
+/// (standard divergence insurance for the high-fan-in FC layer).
+fn clip_global_norm(grads: &mut crate::tiny_conv::Gradients, max_norm: f32) {
+    let sq: f32 = grads
+        .conv_w
+        .iter()
+        .chain(grads.conv_b.iter())
+        .chain(grads.fc_w.iter())
+        .chain(grads.fc_b.iter())
+        .map(|g| g * g)
+        .sum();
+    let norm = sq.sqrt();
+    if norm > max_norm {
+        let factor = max_norm / norm;
+        for g in grads
+            .conv_w
+            .iter_mut()
+            .chain(grads.conv_b.iter_mut())
+            .chain(grads.fc_w.iter_mut())
+            .chain(grads.fc_b.iter_mut())
+        {
+            *g *= factor;
+        }
+    }
+}
+
+/// Trains `tiny_conv` on the synthetic corpus.
+///
+/// # Errors
+///
+/// [`TrainError::BadConfig`] for degenerate configs; otherwise propagates
+/// dataset/frontend errors.
+///
+/// # Examples
+///
+/// ```no_run
+/// use omg_train::trainer::{train, TrainConfig};
+///
+/// let outcome = train(&TrainConfig::fast())?;
+/// assert!(outcome.float_test_accuracy > 0.5);
+/// # Ok::<(), omg_train::TrainError>(())
+/// ```
+pub fn train(config: &TrainConfig) -> Result<TrainOutcome> {
+    if config.epochs == 0 || config.batch_size == 0 || config.train_per_class == 0 {
+        return Err(TrainError::BadConfig("epochs, batch size and train size must be nonzero"));
+    }
+    if !(0.0..1.0).contains(&config.dropout) {
+        return Err(TrainError::BadConfig("dropout must be in [0, 1)"));
+    }
+
+    let dataset = SyntheticSpeechCommands::new(config.seed);
+    let train_set = prepare_features(&dataset, 0, config.train_per_class)?;
+    let test_set = prepare_features(&dataset, 1_000_000, config.test_per_class)?;
+
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x7261696e));
+    let mut net = TinyConv::new(&mut rng, config.dropout);
+    let group_sizes =
+        [net.conv.w.len(), net.conv.b.len(), net.fc.w.len(), net.fc.b.len()];
+    let mut opt = SgdMomentum::new(config.learning_rate, config.momentum, &group_sizes);
+
+    let mut order: Vec<usize> = (0..train_set.len()).collect();
+    let mut loss_history = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        // Cosine-free simple decay: halve the rate for the last third.
+        if epoch == config.epochs * 2 / 3 {
+            opt.set_learning_rate(config.learning_rate * 0.3);
+        }
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0f32;
+        let mut batches = 0f32;
+        for chunk in order.chunks(config.batch_size) {
+            let inputs: Vec<Vec<f32>> =
+                chunk.iter().map(|&i| train_set.inputs[i].clone()).collect();
+            let targets: Vec<usize> = chunk.iter().map(|&i| train_set.labels[i]).collect();
+            let (loss, mut grads) = net.batch_gradients(&mut rng, &inputs, &targets);
+            clip_global_norm(&mut grads, 5.0);
+            opt.step(0, &mut net.conv.w, &grads.conv_w);
+            opt.step(1, &mut net.conv.b, &grads.conv_b);
+            opt.step(2, &mut net.fc.w, &grads.fc_w);
+            opt.step(3, &mut net.fc.b, &grads.fc_b);
+            epoch_loss += loss;
+            batches += 1.0;
+        }
+        loss_history.push(epoch_loss / batches.max(1.0));
+    }
+
+    let float_test_accuracy = evaluate_float(&net, &test_set);
+    Ok(TrainOutcome { net, loss_history, float_test_accuracy, train_set, test_set })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut c = TrainConfig::fast();
+        c.epochs = 0;
+        assert!(matches!(train(&c), Err(TrainError::BadConfig(_))));
+        let mut c = TrainConfig::fast();
+        c.dropout = 1.0;
+        assert!(matches!(train(&c), Err(TrainError::BadConfig(_))));
+    }
+
+    #[test]
+    fn prepare_features_shapes() {
+        let data = SyntheticSpeechCommands::new(9);
+        let set = prepare_features(&data, 0, 2).unwrap();
+        assert_eq!(set.len(), 2 * NUM_CLASSES);
+        assert_eq!(set.fingerprints[0].len(), omg_speech::frontend::FINGERPRINT_LEN);
+        assert_eq!(set.inputs[0].len(), omg_speech::frontend::FINGERPRINT_LEN);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn training_learns_beyond_chance() {
+        // 12 classes => chance is 8.3%. Even the fast config must clear
+        // 40% on held-out data for the pipeline to be sane.
+        let outcome = train(&TrainConfig::fast()).unwrap();
+        assert!(
+            outcome.float_test_accuracy > 0.40,
+            "test accuracy {}",
+            outcome.float_test_accuracy
+        );
+        // Loss decreased overall.
+        let first = outcome.loss_history.first().copied().unwrap();
+        let last = outcome.loss_history.last().copied().unwrap();
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let mut cfg = TrainConfig::fast();
+        cfg.train_per_class = 6;
+        cfg.test_per_class = 2;
+        cfg.epochs = 2;
+        let a = train(&cfg).unwrap();
+        let b = train(&cfg).unwrap();
+        assert_eq!(a.net.fc.w, b.net.fc.w);
+        assert_eq!(a.float_test_accuracy, b.float_test_accuracy);
+    }
+}

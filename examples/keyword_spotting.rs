@@ -1,0 +1,57 @@
+//! The paper's evaluation scenario (§VI): offline keyword recognition over
+//! the 12-class Speech Commands problem, with per-class results.
+//!
+//! Runs the test subset through the OMG-protected pipeline and prints a
+//! per-keyword breakdown plus the Table I summary line.
+//!
+//! Run with: `cargo run --release -p omg-bench --example keyword_spotting`
+
+use omg_bench::{cached_tiny_conv, paper_test_subset, run_table1, ModelKind};
+use omg_speech::dataset::LABELS;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let eval = paper_test_subset(5);
+    println!(
+        "evaluating {} utterances (5 per keyword) with and without OMG...\n",
+        eval.len()
+    );
+
+    // Per-class accuracy under OMG protection.
+    let mut device = omg_core::OmgDevice::new(1)?;
+    let mut user = omg_core::User::new(2);
+    let mut vendor = omg_core::Vendor::new(
+        3,
+        "kws",
+        model.clone(),
+        omg_core::device::expected_enclave_measurement(),
+    );
+    device.prepare(&mut user, &mut vendor)?;
+    device.initialize(&mut vendor)?;
+
+    let mut per_class: Vec<(usize, usize)> = vec![(0, 0); 12]; // (correct, total)
+    for (u, &label) in eval.utterances.iter().zip(eval.labels.iter()) {
+        let t = device.classify_utterance(u)?;
+        per_class[label].1 += 1;
+        if t.class_index == label {
+            per_class[label].0 += 1;
+        }
+    }
+    println!("{:<10} {:>8}", "keyword", "accuracy");
+    println!("{:-<10} {:->8}", "", "");
+    for (class, &(correct, total)) in per_class.iter().enumerate() {
+        if total > 0 {
+            println!(
+                "{:<10} {:>6.0} %",
+                LABELS[class],
+                correct as f64 / total as f64 * 100.0
+            );
+        }
+    }
+
+    // The Table I summary on the same eval set.
+    println!();
+    let table = run_table1(&model, &eval);
+    println!("{}", omg_bench::format_table1(&table));
+    Ok(())
+}

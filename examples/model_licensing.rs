@@ -1,0 +1,59 @@
+//! Model licensing and rollback protection (paper §V, phase II):
+//! "V can actively manage the access of U to the model by either sending or
+//! not sending the symmetric key K_U."
+//!
+//! Demonstrates license revocation, reinstatement, a model update, and a
+//! defeated rollback attack.
+//!
+//! Run with: `cargo run --release -p omg-bench --example model_licensing`
+
+use omg_bench::{cached_tiny_conv, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{OmgDevice, OmgError, User, Vendor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let mut device = OmgDevice::new(1)?;
+    let mut user = User::new(2);
+    let mut vendor = Vendor::new(3, "kws", model.clone(), expected_enclave_measurement());
+
+    device.prepare(&mut user, &mut vendor)?;
+    let enclave_pk = device.enclave_public_key()?.clone();
+    println!("[1] device prepared; encrypted model v1 stored locally");
+
+    // --- license enforcement ------------------------------------------------
+    vendor.revoke_license(&enclave_pk)?;
+    match device.initialize(&mut vendor) {
+        Err(OmgError::LicenseDenied { reason }) => {
+            println!("[2] vendor withheld K_U -> initialization failed: {reason}");
+        }
+        other => panic!("expected license denial, got {other:?}"),
+    }
+
+    vendor.reinstate_license(&enclave_pk)?;
+    device.initialize(&mut vendor)?;
+    println!("[3] license reinstated -> model decrypts and loads");
+
+    // --- model update + rollback attack --------------------------------------
+    let v1_package = device.storage().load("kws").expect("package").clone();
+    vendor.update_model(model);
+    device.update_model(&mut vendor)?;
+    println!("[4] vendor shipped model v{}; device re-provisioned", device.model_version());
+
+    // The attacker (who controls storage) swaps the old v1 package back in,
+    // hoping to keep using the outdated model.
+    device.storage_mut().store(v1_package);
+    match device.initialize(&mut vendor) {
+        Err(OmgError::RollbackDetected) => {
+            println!("[5] rollback attack: stored v1 package fails authenticated \
+                      decryption under the v2 key -> detected");
+        }
+        other => panic!("expected rollback detection, got {other:?}"),
+    }
+
+    // Re-provision cleanly and continue.
+    device.update_model(&mut vendor)?;
+    device.initialize(&mut vendor)?;
+    println!("[6] fresh v2 package restored -> device operational again");
+    Ok(())
+}

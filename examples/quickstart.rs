@@ -1,0 +1,49 @@
+//! Quickstart: the complete OMG protocol in ~40 lines.
+//!
+//! Trains a small keyword-spotting model (cached after the first run),
+//! walks through preparation → initialization → operation, and prints the
+//! transcription of one spoken command.
+//!
+//! Run with: `cargo run --release -p omg-bench --example quickstart`
+
+use omg_bench::{cached_tiny_conv, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{OmgDevice, User, Vendor};
+use omg_speech::dataset::{SyntheticSpeechCommands, LABELS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The vendor owns a trained tiny_conv model (its intellectual property).
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let mut vendor = Vendor::new(3, "kws-tiny-conv", model, expected_enclave_measurement());
+
+    // The user owns an (simulated) ARM HiKey 960 device.
+    let mut device = OmgDevice::new(1)?;
+    let mut user = User::new(2);
+
+    // Phase I: load + attest the enclave, receive the encrypted model.
+    device.prepare(&mut user, &mut vendor)?;
+    println!("phase I  done: encrypted model in untrusted storage ({} bytes)",
+        device.storage().load("kws-tiny-conv").map(|p| p.ciphertext.len()).unwrap_or(0));
+
+    // Phase II: vendor releases K_U; the enclave decrypts the model.
+    device.initialize(&mut vendor)?;
+    println!("phase II done: model decrypted inside TZASC-locked memory");
+
+    // Phase III: speak "yes" into the secure microphone and classify it.
+    let data = SyntheticSpeechCommands::new(42);
+    let yes_class = LABELS.iter().position(|&l| l == "yes").unwrap();
+    let utterance = data.utterance(yes_class, 7)?;
+    device.platform_mut().microphone_mut().push_recording(&utterance);
+
+    let result = device.process_from_microphone(&mut user)?;
+    println!(
+        "phase III: heard \"{}\" (p = {:.2}, {} µs of enclave compute)",
+        result.label,
+        result.score,
+        result.compute.as_micros()
+    );
+    println!("\ntotal virtual device time: {:.2} ms, {} world switches",
+        device.clock().now().as_secs_f64() * 1e3,
+        device.clock().world_switch_count());
+    Ok(())
+}

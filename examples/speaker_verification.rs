@@ -1,0 +1,94 @@
+//! Speaker verification on enclave-computed embeddings — one of the
+//! extensions the paper names in §VI ("speaker verification, and emotion
+//! recognition").
+//!
+//! Two synthetic speakers enroll by averaging utterance embeddings that the
+//! OMG enclave computes from its convolution activations
+//! (`OmgDevice::embed_utterance`); fresh takes are then verified by cosine
+//! similarity against the enrolled centroids. The raw audio and the model
+//! stay protected throughout — only embeddings leave the enclave.
+//!
+//! Run with: `cargo run --release -p omg-bench --example speaker_verification`
+
+use omg_bench::{cached_tiny_conv, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{OmgDevice, User, Vendor};
+use omg_speech::dataset::{SpeakerProfile, SyntheticSpeechCommands};
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn mean(vectors: &[Vec<f32>]) -> Vec<f32> {
+    let mut out = vec![0f32; vectors[0].len()];
+    for v in vectors {
+        for (o, x) in out.iter_mut().zip(v) {
+            *o += x;
+        }
+    }
+    let norm = out.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-9);
+    out.iter_mut().for_each(|v| *v /= norm);
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = cached_tiny_conv(ModelKind::Paper);
+    let mut device = OmgDevice::new(1)?;
+    let mut user = User::new(2);
+    let mut vendor = Vendor::new(3, "kws", model, expected_enclave_measurement());
+    device.prepare(&mut user, &mut vendor)?;
+    device.initialize(&mut vendor)?;
+
+    // Two maximally distinct synthetic speakers.
+    let (mut alice, mut bob) = (0u64, 0u64);
+    for id in 0..300 {
+        let p = SpeakerProfile::for_id(id);
+        if p.pitch < SpeakerProfile::for_id(alice).pitch {
+            alice = id;
+        }
+        if p.pitch > SpeakerProfile::for_id(bob).pitch {
+            bob = id;
+        }
+    }
+    println!(
+        "alice: pitch {:.2} | bob: pitch {:.2}",
+        SpeakerProfile::for_id(alice).pitch,
+        SpeakerProfile::for_id(bob).pitch
+    );
+
+    let data = SyntheticSpeechCommands::new(13);
+    let yes = 2usize; // both speakers say "yes"
+
+    // Enrollment: 5 takes each, embedded inside the enclave.
+    let mut embed = |speaker: u64, take: u64| -> Result<Vec<f32>, Box<dyn std::error::Error>> {
+        let samples = data.utterance_with_speaker(yes, speaker, take)?;
+        Ok(device.embed_utterance(&samples)?)
+    };
+    let alice_centroid = mean(&(0..5).map(|t| embed(alice, t)).collect::<Result<Vec<_>, _>>()?);
+    let bob_centroid = mean(&(0..5).map(|t| embed(bob, t)).collect::<Result<Vec<_>, _>>()?);
+    println!(
+        "enrolled centroid similarity (alice·bob): {:.3}\n",
+        cosine(&alice_centroid, &bob_centroid)
+    );
+
+    // Verification: 6 fresh takes per speaker.
+    println!("{:<20} {:>9} {:>9} {:>9}", "utterance", "sim(A)", "sim(B)", "verdict");
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (name, speaker) in [("alice", alice), ("bob", bob)] {
+        for take in 10..16u64 {
+            let e = embed(speaker, take)?;
+            let sim_a = cosine(&e, &alice_centroid);
+            let sim_b = cosine(&e, &bob_centroid);
+            let verdict = if sim_a > sim_b { "alice" } else { "bob" };
+            total += 1;
+            if verdict == name {
+                correct += 1;
+            }
+            println!("{name:<14} take{take:<2} {sim_a:>9.3} {sim_b:>9.3} {verdict:>9}");
+        }
+    }
+    println!("\nverification accuracy: {correct}/{total}");
+    assert!(correct * 3 >= total * 2, "verification should beat 2/3");
+    Ok(())
+}

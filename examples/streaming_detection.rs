@@ -1,0 +1,73 @@
+//! Continuous keyword spotting over an audio stream — the paper's §VI
+//! outlook ("more complex end-to-end systems") built from the existing
+//! pieces: sliding windows + the OMG-protected classifier + detection
+//! smoothing.
+//!
+//! Run with: `cargo run --release -p omg-bench --example streaming_detection`
+
+use omg_bench::{cached_tiny_conv, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{OmgDevice, User, Vendor};
+use omg_speech::dataset::{SyntheticSpeechCommands, LABELS};
+use omg_speech::streaming::{sliding_windows, DetectionSmoother, SmootherConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a 12-second stream: silence with three commands embedded.
+    let data = SyntheticSpeechCommands::new(21);
+    let mut stream = Vec::new();
+    let silence = || data.utterance(0, 0).unwrap();
+    let word = |label: &str, take: u64| {
+        let class = LABELS.iter().position(|&l| l == label).unwrap();
+        data.utterance(class, take).unwrap()
+    };
+    for (second, chunk) in [
+        silence(), silence(),
+        word("on", 1),
+        silence(), silence(),
+        word("stop", 2),
+        silence(), silence(),
+        word("right", 3),
+        silence(), silence(), silence(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        println!("stream t={second:>2} s: {}", if second % 3 == 2 && second < 9 { "<command>" } else { "(background)" });
+        stream.extend(chunk);
+    }
+
+    // The protected classifier.
+    let model = cached_tiny_conv(ModelKind::Paper);
+    let mut device = OmgDevice::new(1)?;
+    let mut user = User::new(2);
+    let mut vendor = Vendor::new(3, "kws", model, expected_enclave_measurement());
+    device.prepare(&mut user, &mut vendor)?;
+    device.initialize(&mut vendor)?;
+
+    // Slide a 1-second window every 250 ms, smooth the votes.
+    let mut smoother = DetectionSmoother::new(SmootherConfig {
+        min_score: 0.25,
+        ..SmootherConfig::default()
+    });
+    println!("\nscanning with 1 s window, 250 ms hop:");
+    let mut detections = Vec::new();
+    for window in sliding_windows(&stream, 4_000) {
+        let t = device.classify_utterance(window.samples)?;
+        if let Some(d) = smoother.push(window.index, t.class_index, t.score) {
+            println!(
+                "  t={:>5.2} s  DETECTED \"{}\" (score {:.2})",
+                window.start_secs(),
+                LABELS[d.class],
+                d.score
+            );
+            detections.push(LABELS[d.class]);
+        }
+    }
+    println!(
+        "\n{} detections over {:.0} s of audio; total virtual compute {:.0} ms",
+        detections.len(),
+        stream.len() as f32 / 16_000.0,
+        device.clock().measured().as_secs_f64() * 1e3,
+    );
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Integration tests for numerical equivalence across execution contexts:
+//! the same model must produce bit-identical results natively, inside the
+//! enclave, and after serialization round trips — the mechanism behind
+//! Table I's identical accuracy columns.
+
+use omg_bench::{cached_tiny_conv, paper_test_subset, ModelKind};
+use omg_core::device::expected_enclave_measurement;
+use omg_core::{NativeSpotter, OmgDevice, User, Vendor};
+use omg_hal::clock::SimClock;
+
+#[test]
+fn native_and_enclave_predictions_are_bit_identical() {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let eval = paper_test_subset(3);
+
+    let mut native = NativeSpotter::new(model.clone()).unwrap();
+    let clock = SimClock::default();
+
+    let mut device = OmgDevice::new(1).unwrap();
+    let mut user = User::new(2);
+    let mut vendor = Vendor::new(3, "kws", model, expected_enclave_measurement());
+    device.prepare(&mut user, &mut vendor).unwrap();
+    device.initialize(&mut vendor).unwrap();
+
+    for (u, fp) in eval.utterances.iter().zip(eval.fingerprints.iter()) {
+        let n1 = native.classify_utterance(&clock, u).unwrap();
+        let n2 = native.classify_fingerprint(&clock, fp).unwrap();
+        let o = device.classify_utterance(u).unwrap();
+        assert_eq!(n1.class_index, o.class_index);
+        assert_eq!(n1.class_index, n2.class_index, "frontend must be deterministic");
+        assert_eq!(n1.label, o.label);
+        // Scores (dequantized softmax) agree exactly: same integer path.
+        assert_eq!(n1.score, o.score);
+    }
+}
+
+#[test]
+fn serialization_roundtrip_preserves_predictions() {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let blob = omg_nn::format::serialize(&model);
+    let restored = omg_nn::format::deserialize(&blob).unwrap();
+    assert_eq!(restored, model);
+
+    let eval = paper_test_subset(2);
+    let clock = SimClock::default();
+    let mut a = NativeSpotter::new(model).unwrap();
+    let mut b = NativeSpotter::new(restored).unwrap();
+    for fp in &eval.fingerprints {
+        let ta = a.classify_fingerprint(&clock, fp).unwrap();
+        let tb = b.classify_fingerprint(&clock, fp).unwrap();
+        assert_eq!(ta.class_index, tb.class_index);
+        assert_eq!(ta.score, tb.score);
+    }
+}
+
+#[test]
+fn encryption_decryption_cycle_preserves_model_bytes() {
+    // The full vendor -> storage -> enclave path must hand the interpreter
+    // exactly the bytes the vendor serialized.
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let plaintext = omg_nn::format::serialize(&model);
+
+    let mut device = OmgDevice::new(1).unwrap();
+    let mut user = User::new(2);
+    let mut vendor = Vendor::new(3, "kws", model, expected_enclave_measurement());
+    device.prepare(&mut user, &mut vendor).unwrap();
+    device.initialize(&mut vendor).unwrap();
+
+    // The decrypted model sits in enclave memory at the heap base.
+    let enclave = device.enclave().unwrap();
+    let contents = device.platform().read_region_trusted(enclave.region()).unwrap();
+    let heap = enclave.heap_base() as usize;
+    assert_eq!(&contents[heap..heap + plaintext.len()], plaintext.as_slice());
+}
+
+#[test]
+fn secure_smpc_inference_agrees_with_plaintext_argmax() {
+    // Cross-check between the baseline crate and the nn crate on the real
+    // trained model: the 2PC integer pipeline must reproduce the plaintext
+    // integer argmax.
+    use omg_baselines::inference::{argmax, SecureTinyConv};
+    use omg_baselines::smpc::TwoPartyEngine;
+
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let secure = SecureTinyConv::from_model(&model).unwrap();
+    let eval = paper_test_subset(1);
+
+    let mut engine = TwoPartyEngine::new(5);
+    let fp = &eval.fingerprints[0];
+    let (secure_logits, ledger) = secure.infer_secure(&mut engine, fp).unwrap();
+    let plain_logits = secure.infer_plaintext(fp).unwrap();
+    assert_eq!(secure_logits, plain_logits);
+    assert_eq!(argmax(&secure_logits), argmax(&plain_logits));
+    // And it must have actually paid the SMPC price.
+    assert_eq!(ledger.triples_used, secure.multiplication_count());
+    assert!(ledger.online_bytes > 10_000_000, "bytes: {}", ledger.online_bytes);
+}
+
+#[test]
+fn frontend_is_identical_inside_and_outside_the_enclave() {
+    // The fingerprint computed natively equals the one computed in the
+    // enclave context (same code, same fixed-point arithmetic).
+    use omg_speech::frontend::FeatureExtractor;
+    let eval = paper_test_subset(1);
+    let fe1 = FeatureExtractor::new().unwrap();
+    let fe2 = FeatureExtractor::new().unwrap();
+    for u in eval.utterances.iter().take(3) {
+        assert_eq!(fe1.fingerprint(u).unwrap(), fe2.fingerprint(u).unwrap());
+    }
+}

@@ -1,0 +1,149 @@
+//! Randomized protocol-sequence testing: drive an [`OmgDevice`] through
+//! arbitrary interleavings of valid and invalid operations and check that
+//! (a) it never panics, (b) phase rules are enforced, and (c) a correctly
+//! ordered run still succeeds afterwards.
+
+use omg_bench::{cached_tiny_conv, ModelKind};
+use omg_core::device::{expected_enclave_measurement, DevicePhase};
+use omg_core::{OmgDevice, OmgError, User, Vendor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone, Copy)]
+enum ProtocolOp {
+    Prepare,
+    Initialize,
+    Query,
+    UpdateModel,
+    Teardown,
+    TogglePark,
+}
+
+fn random_op(rng: &mut StdRng) -> ProtocolOp {
+    match rng.gen_range(0..6) {
+        0 => ProtocolOp::Prepare,
+        1 => ProtocolOp::Initialize,
+        2 => ProtocolOp::Query,
+        3 => ProtocolOp::UpdateModel,
+        4 => ProtocolOp::Teardown,
+        _ => ProtocolOp::TogglePark,
+    }
+}
+
+#[test]
+fn random_operation_sequences_never_violate_the_state_machine() {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let samples = vec![700i16; 16_000];
+
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut device = OmgDevice::new(seed).unwrap();
+        let mut user = User::new(seed + 1000);
+        let mut vendor =
+            Vendor::new(seed + 2000, "kws", model.clone(), expected_enclave_measurement());
+        let mut park = false;
+
+        for step in 0..40 {
+            let op = random_op(&mut rng);
+            let phase_before = device.phase();
+            match op {
+                ProtocolOp::Prepare => {
+                    let result = device.prepare(&mut user, &mut vendor);
+                    match phase_before {
+                        DevicePhase::Fresh => {
+                            result.unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"))
+                        }
+                        _ => assert!(
+                            matches!(result, Err(OmgError::PhaseViolation { .. })),
+                            "seed {seed} step {step}: double prepare accepted"
+                        ),
+                    }
+                }
+                ProtocolOp::Initialize => {
+                    let result = device.initialize(&mut vendor);
+                    match phase_before {
+                        DevicePhase::Prepared => result
+                            .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}")),
+                        _ => assert!(
+                            matches!(result, Err(OmgError::PhaseViolation { .. })),
+                            "seed {seed} step {step}: initialize in {phase_before:?} accepted"
+                        ),
+                    }
+                }
+                ProtocolOp::Query => {
+                    let result = device.classify_utterance(&samples);
+                    match phase_before {
+                        DevicePhase::Initialized => {
+                            let t = result
+                                .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+                            assert!(t.class_index < 12);
+                        }
+                        _ => assert!(
+                            matches!(result, Err(OmgError::PhaseViolation { .. })),
+                            "seed {seed} step {step}: query in {phase_before:?} accepted"
+                        ),
+                    }
+                }
+                ProtocolOp::UpdateModel => {
+                    let result = device.update_model(&mut vendor);
+                    match phase_before {
+                        DevicePhase::Fresh => assert!(
+                            matches!(result, Err(OmgError::PhaseViolation { .. })),
+                            "seed {seed} step {step}: update on fresh device accepted"
+                        ),
+                        _ => {
+                            result.unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+                            assert_eq!(device.phase(), DevicePhase::Prepared);
+                        }
+                    }
+                }
+                ProtocolOp::Teardown => {
+                    device
+                        .teardown()
+                        .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+                    assert_eq!(device.phase(), DevicePhase::Fresh);
+                }
+                ProtocolOp::TogglePark => {
+                    park = !park;
+                    device.set_park_between_queries(park);
+                }
+            }
+        }
+
+        // Whatever state the fuzz left behind, a clean run must succeed.
+        device.teardown().unwrap();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        let t = device.classify_utterance(&samples).unwrap();
+        assert!(t.class_index < 12, "seed {seed}: clean run failed after fuzzing");
+    }
+}
+
+#[test]
+fn clock_is_monotone_across_arbitrary_operations() {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let mut device = OmgDevice::new(99).unwrap();
+    let mut user = User::new(100);
+    let mut vendor = Vendor::new(101, "kws", model, expected_enclave_measurement());
+    let clock = device.clock();
+    let mut rng = StdRng::seed_from_u64(7);
+    let samples = vec![300i16; 16_000];
+
+    let mut last = clock.now();
+    for _ in 0..30 {
+        let _ = match random_op(&mut rng) {
+            ProtocolOp::Prepare => device.prepare(&mut user, &mut vendor).err(),
+            ProtocolOp::Initialize => device.initialize(&mut vendor).err(),
+            ProtocolOp::Query => device.classify_utterance(&samples).err(),
+            ProtocolOp::UpdateModel => device.update_model(&mut vendor).err(),
+            ProtocolOp::Teardown => device.teardown().err(),
+            ProtocolOp::TogglePark => {
+                device.set_park_between_queries(true);
+                None
+            }
+        };
+        let now = clock.now();
+        assert!(now >= last, "virtual time went backwards");
+        last = now;
+    }
+}
