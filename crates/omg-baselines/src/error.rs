@@ -34,7 +34,10 @@ impl fmt::Display for BaselineError {
         match self {
             BaselineError::Crypto(e) => write!(f, "crypto error: {e}"),
             BaselineError::PlaintextOutOfRange { magnitude } => {
-                write!(f, "plaintext magnitude {magnitude} exceeds the encodable range")
+                write!(
+                    f,
+                    "plaintext magnitude {magnitude} exceeds the encodable range"
+                )
             }
             BaselineError::LengthMismatch { expected, got } => {
                 write!(f, "length mismatch: got {got}, expected {expected}")

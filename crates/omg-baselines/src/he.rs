@@ -84,8 +84,15 @@ pub fn project_inference(
         + counts.scalar_muls as f64 * unit.scalar_mul_s
         + counts.additions as f64 * unit.add_s;
     let network_bytes = counts.ciphertext_transfers * ciphertext_bytes as u64;
-    let network_s = net.transfer_time(network_bytes, counts.rounds).as_secs_f64();
-    HeProjection { compute_s, network_bytes, network_s, total_s: compute_s + network_s }
+    let network_s = net
+        .transfer_time(network_bytes, counts.rounds)
+        .as_secs_f64();
+    HeProjection {
+        compute_s,
+        network_bytes,
+        network_s,
+        total_s: compute_s + network_s,
+    }
 }
 
 /// Evaluates one *real* encrypted linear layer: `logits = W · Enc(x) + b`.
@@ -104,19 +111,27 @@ pub fn encrypted_linear_layer<R: Rng + ?Sized>(
     input: &[i64],
 ) -> Result<Vec<i64>> {
     if weights.len() != bias.len() {
-        return Err(BaselineError::LengthMismatch { expected: weights.len(), got: bias.len() });
+        return Err(BaselineError::LengthMismatch {
+            expected: weights.len(),
+            got: bias.len(),
+        });
     }
     let pk = keys.public_key();
 
     // Client: encrypt the input.
-    let encrypted: Vec<Ciphertext> =
-        input.iter().map(|&x| pk.encrypt(rng, x)).collect::<Result<_>>()?;
+    let encrypted: Vec<Ciphertext> = input
+        .iter()
+        .map(|&x| pk.encrypt(rng, x))
+        .collect::<Result<_>>()?;
 
     // Server: homomorphic dot products with plaintext weights.
     let mut outputs = Vec::with_capacity(weights.len());
     for (row, &b) in weights.iter().zip(bias.iter()) {
         if row.len() != input.len() {
-            return Err(BaselineError::LengthMismatch { expected: input.len(), got: row.len() });
+            return Err(BaselineError::LengthMismatch {
+                expected: input.len(),
+                got: row.len(),
+            });
         }
         let mut acc = pk.encrypt(rng, b)?;
         for (ct, &w) in encrypted.iter().zip(row.iter()) {
@@ -158,7 +173,10 @@ mod tests {
             decrypt_s: 1e-3,
         };
         let counts = tiny_conv_op_counts();
-        let net = NetworkModel { latency: Duration::from_millis(10), bandwidth_bps: 1e7 };
+        let net = NetworkModel {
+            latency: Duration::from_millis(10),
+            bandwidth_bps: 1e7,
+        };
         let p = project_inference(&counts, &unit, 256, &net);
         assert!(p.compute_s > 40.0, "compute {p:?}"); // ~405k×1e-4 + …
         assert_eq!(p.network_bytes, counts.ciphertext_transfers * 256);

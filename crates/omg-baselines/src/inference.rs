@@ -65,7 +65,9 @@ fn bias_i64(model: &Model, id: TensorId) -> Result<Vec<i64>> {
 }
 
 fn shape4(shape: &[usize]) -> Result<[usize; 4]> {
-    shape.try_into().map_err(|_| BaselineError::BadGeometry("expected rank-4 tensor"))
+    shape
+        .try_into()
+        .map_err(|_| BaselineError::BadGeometry("expected rank-4 tensor"))
 }
 
 impl SecureTinyConv {
@@ -81,14 +83,40 @@ impl SecureTinyConv {
         let mut fc = None;
         for op in model.ops() {
             match *op {
-                Op::Conv2D { input, filter, bias, output, stride_h, stride_w, padding, .. } => {
-                    let input_shape = shape4(model.tensor(input).map_err(|_| BaselineError::BadGeometry("conv input"))?.shape())?;
-                    let filter_shape = shape4(model.tensor(filter).map_err(|_| BaselineError::BadGeometry("conv filter"))?.shape())?;
-                    let output_shape = shape4(model.tensor(output).map_err(|_| BaselineError::BadGeometry("conv output"))?.shape())?;
+                Op::Conv2D {
+                    input,
+                    filter,
+                    bias,
+                    output,
+                    stride_h,
+                    stride_w,
+                    padding,
+                    ..
+                } => {
+                    let input_shape = shape4(
+                        model
+                            .tensor(input)
+                            .map_err(|_| BaselineError::BadGeometry("conv input"))?
+                            .shape(),
+                    )?;
+                    let filter_shape = shape4(
+                        model
+                            .tensor(filter)
+                            .map_err(|_| BaselineError::BadGeometry("conv filter"))?
+                            .shape(),
+                    )?;
+                    let output_shape = shape4(
+                        model
+                            .tensor(output)
+                            .map_err(|_| BaselineError::BadGeometry("conv output"))?
+                            .shape(),
+                    )?;
                     let pad = match padding {
                         omg_nn::model::Padding::Same => (
-                            omg_nn::model::same_padding(input_shape[1], filter_shape[1], stride_h).0,
-                            omg_nn::model::same_padding(input_shape[2], filter_shape[2], stride_w).0,
+                            omg_nn::model::same_padding(input_shape[1], filter_shape[1], stride_h)
+                                .0,
+                            omg_nn::model::same_padding(input_shape[2], filter_shape[2], stride_w)
+                                .0,
                         ),
                         omg_nn::model::Padding::Valid => (0, 0),
                     };
@@ -103,7 +131,9 @@ impl SecureTinyConv {
                     });
                 }
                 Op::FullyConnected { filter, bias, .. } => {
-                    let f = model.tensor(filter).map_err(|_| BaselineError::BadGeometry("fc filter"))?;
+                    let f = model
+                        .tensor(filter)
+                        .map_err(|_| BaselineError::BadGeometry("fc filter"))?;
                     fc = Some(FcSpec {
                         weights: weights_i64(model, filter)?,
                         bias: bias_i64(model, bias)?,
@@ -141,7 +171,10 @@ impl SecureTinyConv {
         let [out_c, k_h, k_w, _] = c.filter_shape;
         let [_, out_h, out_w, _] = c.output_shape;
         if x.len() != in_h * in_w * in_c {
-            return Err(BaselineError::LengthMismatch { expected: in_h * in_w * in_c, got: x.len() });
+            return Err(BaselineError::LengthMismatch {
+                expected: in_h * in_w * in_c,
+                got: x.len(),
+            });
         }
         let mut out = vec![0i64; out_h * out_w * out_c];
         for oy in 0..out_h {
@@ -175,7 +208,10 @@ impl SecureTinyConv {
     fn fc_plaintext(&self, x: &[i64]) -> Result<Vec<i64>> {
         let f = &self.fc;
         if x.len() != f.in_features {
-            return Err(BaselineError::LengthMismatch { expected: f.in_features, got: x.len() });
+            return Err(BaselineError::LengthMismatch {
+                expected: f.in_features,
+                got: x.len(),
+            });
         }
         Ok((0..f.out_features)
             .map(|o| {
@@ -233,10 +269,8 @@ impl SecureTinyConv {
                         for kx in 0..k_w {
                             let ix = (ox * c.stride.1 + kx) as isize - c.pad.1 as isize;
                             for ic in 0..in_c {
-                                let inside = iy >= 0
-                                    && iy < in_h as isize
-                                    && ix >= 0
-                                    && ix < in_w as isize;
+                                let inside =
+                                    iy >= 0 && iy < in_h as isize && ix >= 0 && ix < in_w as isize;
                                 x_idx.push(if inside {
                                     Some((iy as usize * in_w + ix as usize) * in_c + ic)
                                 } else {
@@ -262,10 +296,14 @@ impl SecureTinyConv {
         let f = &self.fc;
         let mut fc_pairs = Vec::with_capacity(f.out_features);
         for o in 0..f.out_features {
-            let w_idx: Vec<Option<usize>> =
-                (0..f.in_features).map(|i| Some(o * f.in_features + i)).collect();
+            let w_idx: Vec<Option<usize>> = (0..f.in_features)
+                .map(|i| Some(o * f.in_features + i))
+                .collect();
             let x_idx: Vec<Option<usize>> = (0..f.in_features).map(Some).collect();
-            fc_pairs.push((engine.gather(&activated, &x_idx), engine.gather(&fc_w, &w_idx)));
+            fc_pairs.push((
+                engine.gather(&activated, &x_idx),
+                engine.gather(&fc_w, &w_idx),
+            ));
         }
         let fc_dots = engine.dot_batch(&fc_pairs)?;
         let fc_bias_gather: Vec<Option<usize>> = (0..f.out_features).map(Some).collect();
@@ -307,7 +345,15 @@ mod tests {
     /// A miniature conv→relu→fc model (4x4 input) for fast secure tests.
     fn mini_model() -> Model {
         let mut b = Model::builder();
-        let input = b.add_activation("in", vec![1, 4, 4, 1], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        let input = b.add_activation(
+            "in",
+            vec![1, 4, 4, 1],
+            DType::I8,
+            Some(QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            }),
+        );
         let cw = b.add_weight_i8(
             "conv/w",
             vec![2, 3, 3, 1],
@@ -315,10 +361,24 @@ mod tests {
             QuantParams::symmetric(1.0),
         );
         let cb = b.add_weight_i32("conv/b", vec![2], vec![3, -3]);
-        let conv = b.add_activation("conv", vec![1, 2, 2, 2], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        let conv = b.add_activation(
+            "conv",
+            vec![1, 2, 2, 2],
+            DType::I8,
+            Some(QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            }),
+        );
         b.add_op(Op::Conv2D {
-            input, filter: cw, bias: cb, output: conv,
-            stride_h: 2, stride_w: 2, padding: Padding::Same, activation: Activation::Relu,
+            input,
+            filter: cw,
+            bias: cb,
+            output: conv,
+            stride_h: 2,
+            stride_w: 2,
+            padding: Padding::Same,
+            activation: Activation::Relu,
         });
         let fw = b.add_weight_i8(
             "fc/w",
@@ -327,8 +387,22 @@ mod tests {
             QuantParams::symmetric(1.0),
         );
         let fb = b.add_weight_i32("fc/b", vec![3], vec![1, 2, 3]);
-        let fc = b.add_activation("logits", vec![1, 3], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
-        b.add_op(Op::FullyConnected { input: conv, filter: fw, bias: fb, output: fc, activation: Activation::None });
+        let fc = b.add_activation(
+            "logits",
+            vec![1, 3],
+            DType::I8,
+            Some(QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            }),
+        );
+        b.add_op(Op::FullyConnected {
+            input: conv,
+            filter: fw,
+            bias: fb,
+            output: fc,
+            activation: Activation::None,
+        });
         b.set_input(input);
         b.set_output(fc);
         b.set_labels(["a", "b", "c"]);
@@ -372,11 +446,33 @@ mod tests {
     #[test]
     fn rejects_models_without_conv() {
         let mut b = Model::builder();
-        let input = b.add_activation("in", vec![1, 4], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        let input = b.add_activation(
+            "in",
+            vec![1, 4],
+            DType::I8,
+            Some(QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            }),
+        );
         let w = b.add_weight_i8("w", vec![2, 4], vec![1; 8], QuantParams::symmetric(1.0));
         let bias = b.add_weight_i32("b", vec![2], vec![0; 2]);
-        let out = b.add_activation("out", vec![1, 2], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
-        b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+        let out = b.add_activation(
+            "out",
+            vec![1, 2],
+            DType::I8,
+            Some(QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            }),
+        );
+        b.add_op(Op::FullyConnected {
+            input,
+            filter: w,
+            bias,
+            output: out,
+            activation: Activation::None,
+        });
         b.set_input(input);
         b.set_output(out);
         let model = b.build().unwrap();

@@ -20,17 +20,26 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// A good mobile LTE link: 25 ms one-way latency, 20 Mbit/s.
     pub fn mobile_lte() -> Self {
-        NetworkModel { latency: Duration::from_millis(25), bandwidth_bps: 20e6 }
+        NetworkModel {
+            latency: Duration::from_millis(25),
+            bandwidth_bps: 20e6,
+        }
     }
 
     /// Home Wi-Fi: 5 ms one-way latency, 100 Mbit/s.
     pub fn wifi() -> Self {
-        NetworkModel { latency: Duration::from_millis(5), bandwidth_bps: 100e6 }
+        NetworkModel {
+            latency: Duration::from_millis(5),
+            bandwidth_bps: 100e6,
+        }
     }
 
     /// A congested/roaming link: 150 ms one-way latency, 1 Mbit/s.
     pub fn roaming() -> Self {
-        NetworkModel { latency: Duration::from_millis(150), bandwidth_bps: 1e6 }
+        NetworkModel {
+            latency: Duration::from_millis(150),
+            bandwidth_bps: 1e6,
+        }
     }
 
     /// Time to push `bytes` through the link plus per-round latency.
@@ -94,7 +103,10 @@ mod tests {
 
     #[test]
     fn transfer_time_scales_with_bytes_and_rounds() {
-        let net = NetworkModel { latency: Duration::from_millis(10), bandwidth_bps: 8e6 };
+        let net = NetworkModel {
+            latency: Duration::from_millis(10),
+            bandwidth_bps: 8e6,
+        };
         // 1 MB over 8 Mbit/s = 1 s, plus 2 rounds × 20 ms RTT.
         let t = net.transfer_time(1_000_000, 2);
         assert!((t.as_secs_f64() - 1.04).abs() < 1e-9, "{t:?}");

@@ -58,12 +58,18 @@ pub struct BeaverDealer {
 impl BeaverDealer {
     /// Creates a dealer with unlimited triple supply.
     pub fn new(seed: u64) -> Self {
-        BeaverDealer { rng: ChaChaRng::seed_from_u64(seed ^ 0xBEA7E5), budget: None }
+        BeaverDealer {
+            rng: ChaChaRng::seed_from_u64(seed ^ 0xBEA7E5),
+            budget: None,
+        }
     }
 
     /// Creates a dealer that refuses to issue more than `budget` triples.
     pub fn with_budget(seed: u64, budget: u64) -> Self {
-        BeaverDealer { rng: ChaChaRng::seed_from_u64(seed ^ 0xBEA7E5), budget: Some(budget) }
+        BeaverDealer {
+            rng: ChaChaRng::seed_from_u64(seed ^ 0xBEA7E5),
+            budget: Some(budget),
+        }
     }
 
     /// One triple: shares of `a`, `b`, `c = a·b`.
@@ -81,7 +87,11 @@ impl BeaverDealer {
         let a0: u64 = self.rng.gen();
         let b0: u64 = self.rng.gen();
         let c0: u64 = self.rng.gen();
-        Ok(((a0, a.wrapping_sub(a0)), (b0, b.wrapping_sub(b0)), (c0, c.wrapping_sub(c0))))
+        Ok((
+            (a0, a.wrapping_sub(a0)),
+            (b0, b.wrapping_sub(b0)),
+            (c0, c.wrapping_sub(c0)),
+        ))
     }
 }
 
@@ -127,17 +137,33 @@ impl TwoPartyEngine {
     pub fn reconstruct(&mut self, x: &SharedVec) -> Vec<i64> {
         self.ledger.add_online(BYTES_PER_OPEN * x.len() as u64);
         self.ledger.add_round();
-        x.s0.iter().zip(&x.s1).map(|(&a, &b)| a.wrapping_add(b) as i64).collect()
+        x.s0.iter()
+            .zip(&x.s1)
+            .map(|(&a, &b)| a.wrapping_add(b) as i64)
+            .collect()
     }
 
     /// Share-local addition.
     pub fn add(&self, x: &SharedVec, y: &SharedVec) -> Result<SharedVec> {
         if x.len() != y.len() {
-            return Err(BaselineError::LengthMismatch { expected: x.len(), got: y.len() });
+            return Err(BaselineError::LengthMismatch {
+                expected: x.len(),
+                got: y.len(),
+            });
         }
         Ok(SharedVec {
-            s0: x.s0.iter().zip(&y.s0).map(|(&a, &b)| a.wrapping_add(b)).collect(),
-            s1: x.s1.iter().zip(&y.s1).map(|(&a, &b)| a.wrapping_add(b)).collect(),
+            s0: x
+                .s0
+                .iter()
+                .zip(&y.s0)
+                .map(|(&a, &b)| a.wrapping_add(b))
+                .collect(),
+            s1: x
+                .s1
+                .iter()
+                .zip(&y.s1)
+                .map(|(&a, &b)| a.wrapping_add(b))
+                .collect(),
         })
     }
 
@@ -149,7 +175,10 @@ impl TwoPartyEngine {
     /// [`BaselineError::LengthMismatch`]; [`BaselineError::OutOfTriples`].
     pub fn mul_vec(&mut self, x: &SharedVec, y: &SharedVec) -> Result<SharedVec> {
         if x.len() != y.len() {
-            return Err(BaselineError::LengthMismatch { expected: x.len(), got: y.len() });
+            return Err(BaselineError::LengthMismatch {
+                expected: x.len(),
+                got: y.len(),
+            });
         }
         let n = x.len();
         let mut z0 = Vec::with_capacity(n);
@@ -169,7 +198,10 @@ impl TwoPartyEngine {
                     .wrapping_add(e.wrapping_mul(a0))
                     .wrapping_add(d.wrapping_mul(e)),
             );
-            z1.push(c1.wrapping_add(d.wrapping_mul(b1)).wrapping_add(e.wrapping_mul(a1)));
+            z1.push(
+                c1.wrapping_add(d.wrapping_mul(b1))
+                    .wrapping_add(e.wrapping_mul(a1)),
+            );
         }
         self.ledger.consume_triples(n as u64);
         self.ledger.add_offline(BYTES_PER_TRIPLE_OFFLINE * n as u64);
@@ -191,14 +223,21 @@ impl TwoPartyEngine {
         let mut total_mults = 0u64;
         for (xs, ys) in pairs {
             if xs.len() != ys.len() {
-                return Err(BaselineError::LengthMismatch { expected: xs.len(), got: ys.len() });
+                return Err(BaselineError::LengthMismatch {
+                    expected: xs.len(),
+                    got: ys.len(),
+                });
             }
             let mut acc0 = 0u64;
             let mut acc1 = 0u64;
             for i in 0..xs.len() {
                 let ((a0, a1), (b0, b1), (c0, c1)) = self.dealer.triple()?;
-                let d = xs.s0[i].wrapping_sub(a0).wrapping_add(xs.s1[i].wrapping_sub(a1));
-                let e = ys.s0[i].wrapping_sub(b0).wrapping_add(ys.s1[i].wrapping_sub(b1));
+                let d = xs.s0[i]
+                    .wrapping_sub(a0)
+                    .wrapping_add(xs.s1[i].wrapping_sub(a1));
+                let e = ys.s0[i]
+                    .wrapping_sub(b0)
+                    .wrapping_add(ys.s1[i].wrapping_sub(b1));
                 acc0 = acc0
                     .wrapping_add(c0)
                     .wrapping_add(d.wrapping_mul(b0))
@@ -214,7 +253,8 @@ impl TwoPartyEngine {
             out1.push(acc1);
         }
         self.ledger.consume_triples(total_mults);
-        self.ledger.add_offline(BYTES_PER_TRIPLE_OFFLINE * total_mults);
+        self.ledger
+            .add_offline(BYTES_PER_TRIPLE_OFFLINE * total_mults);
         self.ledger.add_online(BYTES_PER_MULT * total_mults);
         self.ledger.add_round();
         Ok(SharedVec { s0: out0, s1: out1 })
@@ -225,7 +265,10 @@ impl TwoPartyEngine {
     /// computed at functionality level and re-shared.
     pub fn relu(&mut self, x: &SharedVec) -> SharedVec {
         let values: Vec<i64> =
-            x.s0.iter().zip(&x.s1).map(|(&a, &b)| a.wrapping_add(b) as i64).collect();
+            x.s0.iter()
+                .zip(&x.s1)
+                .map(|(&a, &b)| a.wrapping_add(b) as i64)
+                .collect();
         let mut s0 = Vec::with_capacity(x.len());
         let mut s1 = Vec::with_capacity(x.len());
         for v in values {
@@ -335,7 +378,10 @@ mod tests {
         engine.dealer = BeaverDealer::with_budget(7, 3);
         let x = engine.share(&[1i64; 4]);
         let y = engine.share(&[1i64; 4]);
-        assert!(matches!(engine.mul_vec(&x, &y), Err(BaselineError::OutOfTriples)));
+        assert!(matches!(
+            engine.mul_vec(&x, &y),
+            Err(BaselineError::OutOfTriples)
+        ));
     }
 
     #[test]
@@ -351,7 +397,10 @@ mod tests {
         let mut engine = TwoPartyEngine::new(9);
         let x = engine.share(&[1, 2]);
         let y = engine.share(&[1, 2, 3]);
-        assert!(matches!(engine.mul_vec(&x, &y), Err(BaselineError::LengthMismatch { .. })));
+        assert!(matches!(
+            engine.mul_vec(&x, &y),
+            Err(BaselineError::LengthMismatch { .. })
+        ));
         assert!(engine.add(&x, &y).is_err());
     }
 }

@@ -53,7 +53,9 @@ fn report_l2_exclusion() {
         let clock = device.clock();
         // Warm up, then measure 10 queries of virtual compute.
         for _ in 0..3 {
-            device.classify_utterance(&eval.utterances[0]).expect("warmup");
+            device
+                .classify_utterance(&eval.utterances[0])
+                .expect("warmup");
         }
         let start = clock.now();
         for u in eval.utterances.iter().take(10) {

@@ -15,7 +15,15 @@ use omg_nn::tensor::DType;
 /// A small conv→fc model for the secure-inference throughput bench.
 fn mini_model() -> Model {
     let mut b = Model::builder();
-    let input = b.add_activation("in", vec![1, 8, 8, 1], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+    let input = b.add_activation(
+        "in",
+        vec![1, 8, 8, 1],
+        DType::I8,
+        Some(QuantParams {
+            scale: 1.0,
+            zero_point: 0,
+        }),
+    );
     let cw = b.add_weight_i8(
         "conv/w",
         vec![4, 3, 3, 1],
@@ -23,10 +31,24 @@ fn mini_model() -> Model {
         QuantParams::symmetric(1.0),
     );
     let cb = b.add_weight_i32("conv/b", vec![4], vec![0; 4]);
-    let conv = b.add_activation("conv", vec![1, 4, 4, 4], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+    let conv = b.add_activation(
+        "conv",
+        vec![1, 4, 4, 4],
+        DType::I8,
+        Some(QuantParams {
+            scale: 1.0,
+            zero_point: 0,
+        }),
+    );
     b.add_op(Op::Conv2D {
-        input, filter: cw, bias: cb, output: conv,
-        stride_h: 2, stride_w: 2, padding: Padding::Same, activation: Activation::Relu,
+        input,
+        filter: cw,
+        bias: cb,
+        output: conv,
+        stride_h: 2,
+        stride_w: 2,
+        padding: Padding::Same,
+        activation: Activation::Relu,
     });
     let fw = b.add_weight_i8(
         "fc/w",
@@ -35,8 +57,22 @@ fn mini_model() -> Model {
         QuantParams::symmetric(1.0),
     );
     let fb = b.add_weight_i32("fc/b", vec![4], vec![0; 4]);
-    let fc = b.add_activation("logits", vec![1, 4], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
-    b.add_op(Op::FullyConnected { input: conv, filter: fw, bias: fb, output: fc, activation: Activation::None });
+    let fc = b.add_activation(
+        "logits",
+        vec![1, 4],
+        DType::I8,
+        Some(QuantParams {
+            scale: 1.0,
+            zero_point: 0,
+        }),
+    );
+    b.add_op(Op::FullyConnected {
+        input: conv,
+        filter: fw,
+        bias: fb,
+        output: fc,
+        activation: Activation::None,
+    });
     b.set_input(input);
     b.set_output(fc);
     b.build().unwrap()
@@ -83,7 +119,9 @@ fn bench_baselines(c: &mut Criterion) {
     group.bench_function("secure_2pc_mini_inference", |b| {
         b.iter(|| {
             let mut engine = TwoPartyEngine::new(3);
-            secure.infer_secure(&mut engine, &fingerprint).expect("2pc inference")
+            secure
+                .infer_secure(&mut engine, &fingerprint)
+                .expect("2pc inference")
         })
     });
 

@@ -45,7 +45,11 @@ fn bench_crypto(c: &mut Criterion) {
     });
     let signature = key.sign(b"attestation report payload").expect("sign");
     group.bench_function("rsa1024_verify", |b| {
-        b.iter(|| key.public_key().verify(b"attestation report payload", &signature).expect("verify"))
+        b.iter(|| {
+            key.public_key()
+                .verify(b"attestation report payload", &signature)
+                .expect("verify")
+        })
     });
 
     // K_U derivation (Fig. 2: KDF(PK, n)).

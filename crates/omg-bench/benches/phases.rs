@@ -25,12 +25,23 @@ fn report_virtual_phase_costs() {
     device.initialize(&mut vendor).expect("initialize");
     let t2 = clock.now();
     let eval = paper_test_subset(1);
-    device.classify_utterance(&eval.utterances[0]).expect("query");
+    device
+        .classify_utterance(&eval.utterances[0])
+        .expect("query");
     let t3 = clock.now();
 
-    eprintln!("[virtual] phase I  (preparation):    {:8.2} ms", (t1 - t0).as_secs_f64() * 1e3);
-    eprintln!("[virtual] phase II (initialization): {:8.2} ms", (t2 - t1).as_secs_f64() * 1e3);
-    eprintln!("[virtual] phase III (one query):     {:8.2} ms", (t3 - t2).as_secs_f64() * 1e3);
+    eprintln!(
+        "[virtual] phase I  (preparation):    {:8.2} ms",
+        (t1 - t0).as_secs_f64() * 1e3
+    );
+    eprintln!(
+        "[virtual] phase II (initialization): {:8.2} ms",
+        (t2 - t1).as_secs_f64() * 1e3
+    );
+    eprintln!(
+        "[virtual] phase III (one query):     {:8.2} ms",
+        (t3 - t2).as_secs_f64() * 1e3
+    );
 }
 
 fn bench_phases(c: &mut Criterion) {
@@ -46,8 +57,7 @@ fn bench_phases(c: &mut Criterion) {
         b.iter(|| {
             let mut device = OmgDevice::new(1).expect("device");
             let mut user = User::new(2);
-            let mut vendor =
-                Vendor::new(3, "kws", model.clone(), expected_enclave_measurement());
+            let mut vendor = Vendor::new(3, "kws", model.clone(), expected_enclave_measurement());
             device.prepare(&mut user, &mut vendor).expect("prepare");
             device
         })
@@ -78,13 +88,19 @@ fn bench_phases(c: &mut Criterion) {
     let mut rng = omg_crypto::rng::ChaChaRng::seed_from_u64(7);
     let pki = DevicePki::new(&mut rng).expect("pki");
     let measurement = Measurement::of(b"bench enclave");
-    let identity = pki.issue_enclave_identity(&mut rng, measurement).expect("identity");
+    let identity = pki
+        .issue_enclave_identity(&mut rng, measurement)
+        .expect("identity");
     group.bench_function("attestation_generate", |b| {
         b.iter(|| AttestationReport::generate(&identity, b"challenge").expect("report"))
     });
     let report = AttestationReport::generate(&identity, b"challenge").expect("report");
     group.bench_function("attestation_verify", |b| {
-        b.iter(|| report.verify(pki.platform_ca(), &measurement, b"challenge").expect("verify"))
+        b.iter(|| {
+            report
+                .verify(pki.platform_ca(), &measurement, b"challenge")
+                .expect("verify")
+        })
     });
 
     group.finish();

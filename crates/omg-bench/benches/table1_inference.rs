@@ -29,7 +29,11 @@ fn bench_table1(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table1");
     group.bench_function("native_classify_utterance", |b| {
-        b.iter(|| native.classify_utterance(&native_clock, &utterance).expect("native classify"))
+        b.iter(|| {
+            native
+                .classify_utterance(&native_clock, &utterance)
+                .expect("native classify")
+        })
     });
     group.bench_function("omg_classify_utterance", |b| {
         b.iter(|| device.classify_utterance(&utterance).expect("omg classify"))

@@ -20,8 +20,12 @@ fn report_virtual_costs() {
     // One SMC round trip.
     let mut platform = Platform::hikey960();
     let clock = platform.clock();
-    platform.world_switch(omg_hal::cpu::CoreId(0), World::Secure).unwrap();
-    platform.world_switch(omg_hal::cpu::CoreId(0), World::Normal).unwrap();
+    platform
+        .world_switch(omg_hal::cpu::CoreId(0), World::Secure)
+        .unwrap();
+    platform
+        .world_switch(omg_hal::cpu::CoreId(0), World::Normal)
+        .unwrap();
     eprintln!(
         "[virtual] SA<->secure world round trip: {:.3} ms (paper/[11]: ~0.3 ms)",
         clock.now().as_secs_f64() * 1e3
@@ -36,7 +40,8 @@ fn report_virtual_costs() {
         .unwrap();
     platform.microphone_mut().push_recording(&vec![0i16; 320]);
     let mut enclave =
-        SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("bench", b"sa".to_vec())).unwrap();
+        SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("bench", b"sa".to_vec()))
+            .unwrap();
     enclave.boot(&mut platform, &pki, &mut rng).unwrap();
     let clock = platform.clock();
     let before = clock.now();
@@ -59,7 +64,11 @@ fn bench_world_switch(c: &mut Criterion) {
     let mut to_secure = true;
     group.bench_function("smc_world_switch", |b| {
         b.iter(|| {
-            let world = if to_secure { World::Secure } else { World::Normal };
+            let world = if to_secure {
+                World::Secure
+            } else {
+                World::Normal
+            };
             to_secure = !to_secure;
             platform.world_switch(core, world).expect("switch")
         })
@@ -73,12 +82,15 @@ fn bench_world_switch(c: &mut Criterion) {
         .assign_microphone(Agent::TrustedFirmware, PeriphAssignment::SecureWorld)
         .unwrap();
     let mut enclave =
-        SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("bench2", b"sa".to_vec())).unwrap();
+        SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("bench2", b"sa".to_vec()))
+            .unwrap();
     enclave.boot(&mut platform, &pki, &mut rng).unwrap();
     group.bench_function("secure_mic_read_320", |b| {
         b.iter(|| {
             platform.microphone_mut().push_recording(&[7i16; 320]);
-            enclave.secure_mic_read(&mut platform, 320).expect("mic read")
+            enclave
+                .secure_mic_read(&mut platform, 320)
+                .expect("mic read")
         })
     });
 

@@ -66,13 +66,20 @@ fn main() {
     let secure = SecureTinyConv::from_model(&model).expect("conv/fc model");
     let mut engine = TwoPartyEngine::new(0x5EC);
     let start = std::time::Instant::now();
-    let (logits, ledger) = secure.infer_secure(&mut engine, &eval.fingerprints[0]).expect("2pc");
+    let (logits, ledger) = secure
+        .infer_secure(&mut engine, &eval.fingerprints[0])
+        .expect("2pc");
     let smpc_compute = start.elapsed();
     let smpc_network = ledger.online_time(&net);
     let smpc_total = smpc_compute + smpc_network;
-    let plain = secure.infer_plaintext(&eval.fingerprints[0]).expect("plaintext ref");
+    let plain = secure
+        .infer_plaintext(&eval.fingerprints[0])
+        .expect("plaintext ref");
     assert_eq!(logits, plain, "secure inference must match plaintext");
-    println!("[2pc] argmax agrees with plaintext reference: class {}\n", argmax(&logits));
+    println!(
+        "[2pc] argmax agrees with plaintext reference: class {}\n",
+        argmax(&logits)
+    );
 
     println!(
         "{:<28} {:>14} {:>16} {:>14}",

@@ -21,8 +21,7 @@ fn main() {
     let model = cached_tiny_conv(ModelKind::Fast);
     let mut device = OmgDevice::new(1).expect("device");
     let mut user = User::new(2);
-    let mut vendor =
-        Vendor::new(3, "kws-tiny-conv", model, expected_enclave_measurement());
+    let mut vendor = Vendor::new(3, "kws-tiny-conv", model, expected_enclave_measurement());
     device.prepare(&mut user, &mut vendor).expect("prepare");
     device.initialize(&mut vendor).expect("initialize");
 

@@ -14,8 +14,7 @@ fn main() {
     let model = cached_tiny_conv(ModelKind::Fast);
     let mut device = OmgDevice::new(1).expect("device");
     let mut user = User::new(2);
-    let mut vendor =
-        Vendor::new(3, "kws-tiny-conv", model, expected_enclave_measurement());
+    let mut vendor = Vendor::new(3, "kws-tiny-conv", model, expected_enclave_measurement());
 
     device.prepare(&mut user, &mut vendor).expect("prepare");
     device.initialize(&mut vendor).expect("initialize");
@@ -23,11 +22,17 @@ fn main() {
     // One voice query through the secure microphone (steps 7-8).
     let dataset = SyntheticSpeechCommands::new(9);
     let samples = dataset.utterance(2, 0).expect("utterance"); // "yes"
-    device.platform_mut().microphone_mut().push_recording(&samples);
+    device
+        .platform_mut()
+        .microphone_mut()
+        .push_recording(&samples);
     let t = device.process_from_microphone(&mut user).expect("query");
 
     println!("{}", device.trace().render_figure2());
-    println!("transcription delivered to user: \"{}\" (p = {:.2})", t.label, t.score);
+    println!(
+        "transcription delivered to user: \"{}\" (p = {:.2})",
+        t.label, t.score
+    );
     println!(
         "\nvirtual time: {:.2} ms total, {} world switches",
         device.clock().now().as_secs_f64() * 1e3,

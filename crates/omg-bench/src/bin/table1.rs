@@ -8,7 +8,11 @@ use omg_bench::{cached_tiny_conv, format_table1, paper_test_subset, run_table1, 
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    let (kind, per_class) = if fast { (ModelKind::Fast, 3) } else { (ModelKind::Paper, 10) };
+    let (kind, per_class) = if fast {
+        (ModelKind::Fast, 3)
+    } else {
+        (ModelKind::Paper, 10)
+    };
 
     println!("== OMG reproduction: Table I ==");
     println!("model: trained tiny_conv ({kind:?} config)");

@@ -36,7 +36,9 @@ fn cache_path(kind: ModelKind) -> PathBuf {
         ModelKind::Paper => format!("tiny_conv_paper_seed0_{CACHE_VERSION}.omgm"),
         ModelKind::Fast => format!("tiny_conv_fast_seed0_{CACHE_VERSION}.omgm"),
     };
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/omg-model-cache").join(name)
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/omg-model-cache")
+        .join(name)
 }
 
 /// Returns the trained, quantized `tiny_conv` model, training it on first
@@ -109,13 +111,19 @@ pub fn paper_test_subset(per_class: usize) -> EvalSet {
     let mut labels = Vec::new();
     for class in 2..NUM_CLASSES {
         for i in 0..per_class {
-            let u = dataset.utterance(class, 2_000_000 + i as u64).expect("utterance");
+            let u = dataset
+                .utterance(class, 2_000_000 + i as u64)
+                .expect("utterance");
             fingerprints.push(extractor.fingerprint(&u).expect("fingerprint"));
             utterances.push(u);
             labels.push(class);
         }
     }
-    EvalSet { utterances, fingerprints, labels }
+    EvalSet {
+        utterances,
+        fingerprints,
+        labels,
+    }
 }
 
 /// One row of Table I.
@@ -166,7 +174,9 @@ pub fn run_table1(model: &Model, eval: &EvalSet) -> Table1 {
     let mut native_correct = 0usize;
     let native_start = native_clock.now();
     for (u, &label) in eval.utterances.iter().zip(eval.labels.iter()) {
-        let t = native.classify_utterance(&native_clock, u).expect("native classify");
+        let t = native
+            .classify_utterance(&native_clock, u)
+            .expect("native classify");
         if t.class_index == label {
             native_correct += 1;
         }
@@ -176,7 +186,12 @@ pub fn run_table1(model: &Model, eval: &EvalSet) -> Table1 {
     // --- OMG row ----------------------------------------------------------
     let mut device = OmgDevice::new(1).expect("device");
     let mut user = User::new(2);
-    let mut vendor = Vendor::new(3, "kws-tiny-conv", model.clone(), expected_enclave_measurement());
+    let mut vendor = Vendor::new(
+        3,
+        "kws-tiny-conv",
+        model.clone(),
+        expected_enclave_measurement(),
+    );
     let clock = device.clock();
 
     let prep_start = clock.now();
@@ -224,7 +239,10 @@ pub fn format_table1(t: &Table1) -> String {
     let mut out = String::new();
     out.push_str("TABLE I: Accuracy and runtime results for running the keyword\n");
     out.push_str("recognition with and without OMG protection.\n\n");
-    out.push_str(&format!("{:<38} {:>9} {:>12}\n", "Model", "Accuracy", "Runtime"));
+    out.push_str(&format!(
+        "{:<38} {:>9} {:>12}\n",
+        "Model", "Accuracy", "Runtime"
+    ));
     out.push_str(&format!("{:-<38} {:->9} {:->12}\n", "", "", ""));
     for row in [&t.native, &t.omg] {
         out.push_str(&format!(
@@ -241,7 +259,10 @@ pub fn format_table1(t: &Table1) -> String {
         (t.omg.runtime.as_secs_f64() / t.native.runtime.as_secs_f64() - 1.0) * 100.0,
         (t.omg.accuracy - t.native.accuracy) * 100.0,
     ));
-    out.push_str(&format!("real-time factor:  {:.4}x (paper: 0.004x)\n", t.real_time_factor));
+    out.push_str(&format!(
+        "real-time factor:  {:.4}x (paper: 0.004x)\n",
+        t.real_time_factor
+    ));
     out.push_str(&format!(
         "model size:        {} bytes (paper: \"about 49 kB\")\n",
         t.model_bytes

@@ -21,10 +21,12 @@ use omg_hal::memory::Agent;
 use omg_hal::periph::PeriphAssignment;
 use omg_hal::Platform;
 use omg_nn::Interpreter;
-use omg_sanctuary::enclave::{sanctuary_library_image, EnclaveConfig, EnclaveState, SanctuaryEnclave};
+use omg_sanctuary::attest::AttestationReport;
+use omg_sanctuary::enclave::{
+    sanctuary_library_image, EnclaveConfig, EnclaveState, SanctuaryEnclave,
+};
 use omg_sanctuary::identity::DevicePki;
 use omg_sanctuary::measurement::Measurement;
-use omg_sanctuary::attest::AttestationReport;
 use omg_speech::frontend::{FeatureExtractor, UTTERANCE_SAMPLES};
 
 use crate::error::{OmgError, Result};
@@ -237,7 +239,10 @@ impl OmgDevice {
         image: Vec<u8>,
     ) -> Result<()> {
         if self.phase != DevicePhase::Fresh {
-            return Err(OmgError::PhaseViolation { operation: "prepare", phase: self.phase.name() });
+            return Err(OmgError::PhaseViolation {
+                operation: "prepare",
+                phase: self.phase.name(),
+            });
         }
 
         // Claim the microphone for the secure world before any audio flows.
@@ -269,7 +274,11 @@ impl OmgDevice {
         // Step ①: attest to the user over the trusted display.
         let user_challenge = user.new_challenge();
         let report_u = AttestationReport::generate(enclave.identity()?, &user_challenge)?;
-        user.verify_attestation(self.pki.platform_ca(), vendor.expected_measurement(), &report_u)?;
+        user.verify_attestation(
+            self.pki.platform_ca(),
+            vendor.expected_measurement(),
+            &report_u,
+        )?;
         self.platform.display_show(
             Agent::TrustedFirmware,
             &format!("OMG enclave attested: {}", enclave.measurement()?),
@@ -303,7 +312,11 @@ impl OmgDevice {
             Party::Vendor,
             Party::Enclave,
             Channel::Trusted,
-            format!("Enc(model, K_U)  [v{}, {} bytes]", package.version, package.ciphertext.len()),
+            format!(
+                "Enc(model, K_U)  [v{}, {} bytes]",
+                package.version,
+                package.ciphertext.len()
+            ),
         );
 
         // Step ④: store the ciphertext in untrusted local storage.
@@ -336,9 +349,15 @@ impl OmgDevice {
     /// storage is empty.
     pub fn initialize(&mut self, vendor: &mut Vendor) -> Result<()> {
         if self.phase != DevicePhase::Prepared {
-            return Err(OmgError::PhaseViolation { operation: "initialize", phase: self.phase.name() });
+            return Err(OmgError::PhaseViolation {
+                operation: "initialize",
+                phase: self.phase.name(),
+            });
         }
-        let enclave = self.enclave.as_ref().expect("prepared device has an enclave");
+        let enclave = self
+            .enclave
+            .as_ref()
+            .expect("prepared device has an enclave");
 
         // Step ⑤: the vendor decides whether to release K_U.
         let release = vendor.release_key(enclave.identity()?.public_key())?;
@@ -353,8 +372,11 @@ impl OmgDevice {
 
         // Step ⑥: decrypt + load the model inside the enclave.
         let model_id = self.model_id.clone().ok_or(OmgError::ModelMissing)?;
-        let package: ModelPackage =
-            self.storage.load(&model_id).ok_or(OmgError::ModelMissing)?.clone();
+        let package: ModelPackage = self
+            .storage
+            .load(&model_id)
+            .ok_or(OmgError::ModelMissing)?
+            .clone();
         let keypair = enclave.identity()?.keypair().clone();
 
         let (result, _) = enclave.run_compute(&mut self.platform, move || -> Result<Vec<u8>> {
@@ -379,7 +401,8 @@ impl OmgDevice {
         let enclave = self.enclave.as_ref().expect("enclave present");
         enclave.heap_write(&mut self.platform, 0, &model_bytes)?;
         let model = omg_nn::format::deserialize(&model_bytes)?;
-        let (interp, _) = enclave.run_compute(&mut self.platform, move || Interpreter::new(model))?;
+        let (interp, _) =
+            enclave.run_compute(&mut self.platform, move || Interpreter::new(model))?;
         self.interpreter = Some(interp?);
 
         self.trace.record(
@@ -401,7 +424,10 @@ impl OmgDevice {
                 phase: self.phase.name(),
             });
         }
-        let enclave = self.enclave.as_mut().expect("initialized device has an enclave");
+        let enclave = self
+            .enclave
+            .as_mut()
+            .expect("initialized device has an enclave");
         if enclave.state() == EnclaveState::Parked {
             enclave.resume(&mut self.platform)?;
         }
@@ -469,12 +495,14 @@ impl OmgDevice {
         let interpreter = self.interpreter.as_mut().ok_or(OmgError::ModelMissing)?;
         let extractor = &self.extractor;
         let samples = samples.to_vec();
-        let (result, compute) =
-            enclave.run_compute(&mut self.platform, move || -> Result<(usize, f32, Vec<i8>)> {
+        let (result, compute) = enclave.run_compute(
+            &mut self.platform,
+            move || -> Result<(usize, f32, Vec<i8>)> {
                 let fingerprint = extractor.fingerprint(&samples)?;
                 let (idx, score) = interpreter.classify(&fingerprint)?;
                 Ok((idx, score, fingerprint))
-            })?;
+            },
+        )?;
         let (class_index, score, _fp) = result?;
         let label = self
             .interpreter
@@ -485,7 +513,12 @@ impl OmgDevice {
             .get(class_index)
             .cloned()
             .unwrap_or_else(|| format!("class-{class_index}"));
-        Ok(Transcription { label, class_index, score, compute })
+        Ok(Transcription {
+            label,
+            class_index,
+            score,
+            compute,
+        })
     }
 
     /// Computes an utterance embedding *inside the enclave* by tapping the
@@ -516,19 +549,20 @@ impl OmgDevice {
                 "model has no convolution to embed from",
             )))?;
         let info = model.tensor(conv)?;
-        let quant = info.quant().ok_or(OmgError::Nn(omg_nn::NnError::MissingQuantization {
-            tensor: info.name().to_owned(),
-        }))?;
+        let quant = info
+            .quant()
+            .ok_or(OmgError::Nn(omg_nn::NnError::MissingQuantization {
+                tensor: info.name().to_owned(),
+            }))?;
         let shape: Vec<usize> = info.shape().to_vec();
 
         let extractor = &self.extractor;
         let samples = samples.to_vec();
-        let (result, _) =
-            enclave.run_compute(&mut self.platform, move || -> Result<Vec<i8>> {
-                let fingerprint = extractor.fingerprint(&samples)?;
-                let taps = interpreter.invoke_with_taps(&fingerprint, &[conv])?;
-                Ok(taps.into_iter().next().expect("one tap requested"))
-            })?;
+        let (result, _) = enclave.run_compute(&mut self.platform, move || -> Result<Vec<i8>> {
+            let fingerprint = extractor.fingerprint(&samples)?;
+            let taps = interpreter.invoke_with_taps(&fingerprint, &[conv])?;
+            Ok(taps.into_iter().next().expect("one tap requested"))
+        })?;
         let activations = result?;
 
         // Pool over the time axis (NHWC: axis 1), dequantize, L2-normalize.
@@ -557,9 +591,15 @@ impl OmgDevice {
     /// Attestation/provisioning failures; phase violations when fresh.
     pub fn update_model(&mut self, vendor: &mut Vendor) -> Result<()> {
         if self.phase == DevicePhase::Fresh {
-            return Err(OmgError::PhaseViolation { operation: "update model", phase: self.phase.name() });
+            return Err(OmgError::PhaseViolation {
+                operation: "update model",
+                phase: self.phase.name(),
+            });
         }
-        let enclave = self.enclave.as_mut().expect("non-fresh device has an enclave");
+        let enclave = self
+            .enclave
+            .as_mut()
+            .expect("non-fresh device has an enclave");
         if enclave.state() == EnclaveState::Parked {
             enclave.resume(&mut self.platform)?;
         }
@@ -622,7 +662,10 @@ mod tests {
             "in",
             vec![1, FINGERPRINT_LEN],
             DType::I8,
-            Some(QuantParams { scale: 1.0 / 255.0, zero_point: -128 }),
+            Some(QuantParams {
+                scale: 1.0 / 255.0,
+                zero_point: -128,
+            }),
         );
         let w = b.add_weight_i8(
             "w",
@@ -635,10 +678,17 @@ mod tests {
             "logits",
             vec![1, 12],
             DType::I8,
-            Some(QuantParams { scale: 0.5, zero_point: 0 }),
+            Some(QuantParams {
+                scale: 0.5,
+                zero_point: 0,
+            }),
         );
         b.add_op(Op::FullyConnected {
-            input, filter: w, bias, output: out, activation: Activation::None,
+            input,
+            filter: w,
+            bias,
+            output: out,
+            activation: Activation::None,
         });
         b.set_input(input);
         b.set_output(out);
@@ -673,17 +723,28 @@ mod tests {
         // Query through the secure microphone.
         let data = omg_speech::dataset::SyntheticSpeechCommands::new(5);
         let samples = data.utterance(2, 0).unwrap();
-        device.platform_mut().microphone_mut().push_recording(&samples);
+        device
+            .platform_mut()
+            .microphone_mut()
+            .push_recording(&samples);
         let t = device.process_from_microphone(&mut user).unwrap();
         assert!(t.class_index < 12);
         assert_eq!(user.transcriptions().len(), 1);
         assert_eq!(user.transcriptions()[0], t.label);
 
         // Trace covers all eight numbered steps.
-        let numbers: Vec<u8> =
-            device.trace().steps().iter().map(|s| s.number).filter(|&n| n > 0).collect();
+        let numbers: Vec<u8> = device
+            .trace()
+            .steps()
+            .iter()
+            .map(|s| s.number)
+            .filter(|&n| n > 0)
+            .collect();
         for step in 1..=8u8 {
-            assert!(numbers.contains(&step), "missing step {step} in {numbers:?}");
+            assert!(
+                numbers.contains(&step),
+                "missing step {step} in {numbers:?}"
+            );
         }
         let fig = device.trace().render_figure2();
         assert!(fig.contains("Enc(model, K_U)"));
@@ -717,7 +778,9 @@ mod tests {
         let (mut device, mut user, mut vendor) = parties();
         let mut evil = omg_enclave_image();
         evil[100] ^= 0x01; // one flipped bit in the runtime
-        let err = device.prepare_with_image(&mut user, &mut vendor, evil).unwrap_err();
+        let err = device
+            .prepare_with_image(&mut user, &mut vendor, evil)
+            .unwrap_err();
         assert!(matches!(err, OmgError::Sanctuary(_)), "got {err:?}");
         assert_eq!(device.phase(), DevicePhase::Fresh);
     }
@@ -854,7 +917,10 @@ mod tests {
             "in",
             vec![1, 49, 43, 1],
             DType::I8,
-            Some(QuantParams { scale: 1.0 / 255.0, zero_point: -128 }),
+            Some(QuantParams {
+                scale: 1.0 / 255.0,
+                zero_point: -128,
+            }),
         );
         let cw = b.add_weight_i8(
             "conv/w",
@@ -867,12 +933,20 @@ mod tests {
             "conv",
             vec![1, 25, 22, 2],
             DType::I8,
-            Some(QuantParams { scale: 0.05, zero_point: -20 }),
+            Some(QuantParams {
+                scale: 0.05,
+                zero_point: -20,
+            }),
         );
         b.add_op(Op::Conv2D {
-            input, filter: cw, bias: cb, output: conv,
-            stride_h: 2, stride_w: 2,
-            padding: Padding::Same, activation: Activation::Relu,
+            input,
+            filter: cw,
+            bias: cb,
+            output: conv,
+            stride_h: 2,
+            stride_w: 2,
+            padding: Padding::Same,
+            activation: Activation::Relu,
         });
         let fw = b.add_weight_i8(
             "fc/w",
@@ -885,10 +959,17 @@ mod tests {
             "logits",
             vec![1, 12],
             DType::I8,
-            Some(QuantParams { scale: 0.5, zero_point: 0 }),
+            Some(QuantParams {
+                scale: 0.5,
+                zero_point: 0,
+            }),
         );
         b.add_op(Op::FullyConnected {
-            input: conv, filter: fw, bias: fb, output: out, activation: Activation::None,
+            input: conv,
+            filter: fw,
+            bias: fb,
+            output: out,
+            activation: Activation::None,
         });
         b.set_input(input);
         b.set_output(out);
@@ -900,22 +981,32 @@ mod tests {
     fn embedding_api_returns_normalized_vectors() {
         let mut device = OmgDevice::new(100).unwrap();
         let mut user = User::new(101);
-        let mut vendor =
-            Vendor::new(102, "kws", conv_test_model(), expected_enclave_measurement());
+        let mut vendor = Vendor::new(
+            102,
+            "kws",
+            conv_test_model(),
+            expected_enclave_measurement(),
+        );
         device.prepare(&mut user, &mut vendor).unwrap();
         device.initialize(&mut vendor).unwrap();
 
         let data = omg_speech::dataset::SyntheticSpeechCommands::new(8);
-        let a = device.embed_utterance(&data.utterance(2, 0).unwrap()).unwrap();
+        let a = device
+            .embed_utterance(&data.utterance(2, 0).unwrap())
+            .unwrap();
         // width(22) × channels(2) after time pooling.
         assert_eq!(a.len(), 44);
         let norm: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
         assert!((norm - 1.0).abs() < 1e-4, "norm {norm}");
         // Deterministic.
-        let a2 = device.embed_utterance(&data.utterance(2, 0).unwrap()).unwrap();
+        let a2 = device
+            .embed_utterance(&data.utterance(2, 0).unwrap())
+            .unwrap();
         assert_eq!(a, a2);
         // Different audio gives a different embedding.
-        let b = device.embed_utterance(&data.utterance(5, 3).unwrap()).unwrap();
+        let b = device
+            .embed_utterance(&data.utterance(5, 3).unwrap())
+            .unwrap();
         assert_ne!(a, b);
     }
 

@@ -55,7 +55,10 @@ impl fmt::Display for OmgError {
             OmgError::Speech(e) => write!(f, "speech error: {e}"),
             OmgError::LicenseDenied { reason } => write!(f, "license denied: {reason}"),
             OmgError::RollbackDetected => {
-                write!(f, "stored model failed authenticated decryption (rollback or tampering)")
+                write!(
+                    f,
+                    "stored model failed authenticated decryption (rollback or tampering)"
+                )
             }
             OmgError::PhaseViolation { operation, phase } => {
                 write!(f, "cannot {operation} during the {phase} phase")
@@ -122,7 +125,9 @@ mod tests {
         assert!(e.to_string().contains("platform"));
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&OmgError::RollbackDetected).is_none());
-        assert!(OmgError::LicenseDenied { reason: "expired" }.to_string().contains("expired"));
+        assert!(OmgError::LicenseDenied { reason: "expired" }
+            .to_string()
+            .contains("expired"));
     }
 
     #[test]

@@ -44,7 +44,11 @@ impl NativeSpotter {
     /// # Errors
     ///
     /// Frontend and inference errors.
-    pub fn classify_utterance(&mut self, clock: &SimClock, samples: &[i16]) -> Result<Transcription> {
+    pub fn classify_utterance(
+        &mut self,
+        clock: &SimClock,
+        samples: &[i16],
+    ) -> Result<Transcription> {
         let extractor = &self.extractor;
         let interpreter = &mut self.interpreter;
         let (result, compute) = clock.measure(|| -> Result<(usize, f32)> {
@@ -60,7 +64,12 @@ impl NativeSpotter {
             .get(class_index)
             .cloned()
             .unwrap_or_else(|| format!("class-{class_index}"));
-        Ok(Transcription { label, class_index, score, compute })
+        Ok(Transcription {
+            label,
+            class_index,
+            score,
+            compute,
+        })
     }
 
     /// Classifies a precomputed fingerprint (inference only).
@@ -68,7 +77,11 @@ impl NativeSpotter {
     /// # Errors
     ///
     /// Inference errors.
-    pub fn classify_fingerprint(&mut self, clock: &SimClock, fingerprint: &[i8]) -> Result<Transcription> {
+    pub fn classify_fingerprint(
+        &mut self,
+        clock: &SimClock,
+        fingerprint: &[i8],
+    ) -> Result<Transcription> {
         let interpreter = &mut self.interpreter;
         let (result, compute) = clock.measure(|| interpreter.classify(fingerprint));
         let (class_index, score) = result.map_err(OmgError::from)?;
@@ -79,7 +92,12 @@ impl NativeSpotter {
             .get(class_index)
             .cloned()
             .unwrap_or_else(|| format!("class-{class_index}"));
-        Ok(Transcription { label, class_index, score, compute })
+        Ok(Transcription {
+            label,
+            class_index,
+            score,
+            compute,
+        })
     }
 }
 
@@ -97,7 +115,10 @@ mod tests {
             "in",
             vec![1, FINGERPRINT_LEN],
             DType::I8,
-            Some(QuantParams { scale: 1.0 / 255.0, zero_point: -128 }),
+            Some(QuantParams {
+                scale: 1.0 / 255.0,
+                zero_point: -128,
+            }),
         );
         let w = b.add_weight_i8(
             "w",
@@ -110,9 +131,18 @@ mod tests {
             "logits",
             vec![1, 12],
             DType::I8,
-            Some(QuantParams { scale: 0.5, zero_point: 0 }),
+            Some(QuantParams {
+                scale: 0.5,
+                zero_point: 0,
+            }),
         );
-        b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+        b.add_op(Op::FullyConnected {
+            input,
+            filter: w,
+            bias,
+            output: out,
+            activation: Activation::None,
+        });
         b.set_input(input);
         b.set_output(out);
         b.set_labels(omg_speech::dataset::LABELS);

@@ -107,7 +107,14 @@ impl ProtocolTrace {
         channel: Channel,
         what: impl Into<String>,
     ) {
-        self.steps.push(TraceStep { number, phase, from, to, channel, what: what.into() });
+        self.steps.push(TraceStep {
+            number,
+            phase,
+            from,
+            to,
+            channel,
+            what: what.into(),
+        });
     }
 
     /// All recorded steps in order.
@@ -137,7 +144,11 @@ impl ProtocolTrace {
                     Channel::Untrusted => "-->",
                     Channel::Internal => "···",
                 };
-                let num = if s.number == 0 { "   ".to_owned() } else { format!("({})", s.number) };
+                let num = if s.number == 0 {
+                    "   ".to_owned()
+                } else {
+                    format!("({})", s.number)
+                };
                 out.push_str(&format!(
                     "  {num} {:<12} {arrow} {:<12} {}\n",
                     s.from.to_string(),
@@ -157,9 +168,30 @@ mod tests {
     #[test]
     fn records_and_filters() {
         let mut t = ProtocolTrace::new();
-        t.record(1, Phase::Preparation, Party::Enclave, Party::User, Channel::Trusted, "attest");
-        t.record(5, Phase::Initialization, Party::Vendor, Party::Enclave, Channel::Trusted, "K_U");
-        t.record(7, Phase::Operation, Party::User, Party::Enclave, Channel::Trusted, "voice");
+        t.record(
+            1,
+            Phase::Preparation,
+            Party::Enclave,
+            Party::User,
+            Channel::Trusted,
+            "attest",
+        );
+        t.record(
+            5,
+            Phase::Initialization,
+            Party::Vendor,
+            Party::Enclave,
+            Channel::Trusted,
+            "K_U",
+        );
+        t.record(
+            7,
+            Phase::Operation,
+            Party::User,
+            Party::Enclave,
+            Channel::Trusted,
+            "voice",
+        );
         assert_eq!(t.steps().len(), 3);
         assert_eq!(t.phase_steps(Phase::Preparation).len(), 1);
         assert_eq!(t.phase_steps(Phase::Operation)[0].number, 7);
@@ -168,9 +200,30 @@ mod tests {
     #[test]
     fn figure2_rendering_contains_phases_and_arrows() {
         let mut t = ProtocolTrace::new();
-        t.record(3, Phase::Preparation, Party::Vendor, Party::Enclave, Channel::Trusted, "Enc(model, K_U)");
-        t.record(4, Phase::Preparation, Party::Enclave, Party::Storage, Channel::Untrusted, "store model");
-        t.record(8, Phase::Operation, Party::Enclave, Party::User, Channel::Trusted, "output");
+        t.record(
+            3,
+            Phase::Preparation,
+            Party::Vendor,
+            Party::Enclave,
+            Channel::Trusted,
+            "Enc(model, K_U)",
+        );
+        t.record(
+            4,
+            Phase::Preparation,
+            Party::Enclave,
+            Party::Storage,
+            Channel::Untrusted,
+            "store model",
+        );
+        t.record(
+            8,
+            Phase::Operation,
+            Party::Enclave,
+            Party::User,
+            Channel::Trusted,
+            "output",
+        );
         let fig = t.render_figure2();
         assert!(fig.contains("I. Preparation"));
         assert!(fig.contains("III. Operation"));

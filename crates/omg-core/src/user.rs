@@ -55,7 +55,9 @@ impl User {
         let challenge = self
             .pending_challenge
             .take()
-            .ok_or(OmgError::LicenseDenied { reason: "user issued no challenge" })?;
+            .ok_or(OmgError::LicenseDenied {
+                reason: "user issued no challenge",
+            })?;
         Ok(report.verify(platform_ca, expected, &challenge)?)
     }
 
@@ -85,7 +87,9 @@ mod tests {
         let mut user = User::new(1);
         let challenge = user.new_challenge();
         let report = AttestationReport::generate(&ident, &challenge).unwrap();
-        let pk = user.verify_attestation(pki.platform_ca(), &m, &report).unwrap();
+        let pk = user
+            .verify_attestation(pki.platform_ca(), &m, &report)
+            .unwrap();
         assert_eq!(&pk, ident.public_key());
     }
 
@@ -127,6 +131,9 @@ mod tests {
         let mut user = User::new(4);
         user.receive_output("yes");
         user.receive_output("stop");
-        assert_eq!(user.transcriptions(), &["yes".to_owned(), "stop".to_owned()]);
+        assert_eq!(
+            user.transcriptions(),
+            &["yes".to_owned(), "stop".to_owned()]
+        );
     }
 }

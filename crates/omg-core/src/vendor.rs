@@ -138,7 +138,9 @@ impl Vendor {
         let challenge = self
             .pending_challenge
             .take()
-            .ok_or(OmgError::LicenseDenied { reason: "no attestation challenge outstanding" })?;
+            .ok_or(OmgError::LicenseDenied {
+                reason: "no attestation challenge outstanding",
+            })?;
         let enclave_pk = report.verify(platform_ca, &self.expected_measurement, &challenge)?;
 
         let mut nonce = [0u8; 32];
@@ -148,11 +150,21 @@ impl Vendor {
         let plaintext = omg_nn::format::serialize(&self.model);
         let cipher = ChaCha20Poly1305::new(&ku);
         // The AEAD nonce can be fixed: K_U is unique per (PK, n, version).
-        let ciphertext =
-            cipher.seal(&[0u8; 12], &ModelPackage::aad(&self.model_id, self.version), &plaintext);
+        let ciphertext = cipher.seal(
+            &[0u8; 12],
+            &ModelPackage::aad(&self.model_id, self.version),
+            &plaintext,
+        );
 
         let key_id = Sha256::digest(&enclave_pk.to_bytes());
-        self.enclaves.insert(key_id, EnclaveRecord { version: self.version, ku, licensed: true });
+        self.enclaves.insert(
+            key_id,
+            EnclaveRecord {
+                version: self.version,
+                ku,
+                licensed: true,
+            },
+        );
 
         Ok(ModelPackage {
             model_id: self.model_id.clone(),
@@ -164,7 +176,9 @@ impl Vendor {
 
     fn record_mut(&mut self, enclave_pk: &RsaPublicKey) -> Result<&mut EnclaveRecord> {
         let key_id = Sha256::digest(&enclave_pk.to_bytes());
-        self.enclaves.get_mut(&key_id).ok_or(OmgError::UnknownEnclave)
+        self.enclaves
+            .get_mut(&key_id)
+            .ok_or(OmgError::UnknownEnclave)
     }
 
     /// Releases `K_U` for a provisioned enclave (step ⑤), wrapped under the
@@ -179,12 +193,17 @@ impl Vendor {
         let record = {
             let r = self.record_mut(enclave_pk)?;
             if !r.licensed {
-                return Err(OmgError::LicenseDenied { reason: "license expired or revoked" });
+                return Err(OmgError::LicenseDenied {
+                    reason: "license expired or revoked",
+                });
             }
             r.clone()
         };
         let wrapped_key = enclave_pk.encrypt(&mut self.rng, &record.ku)?;
-        Ok(KeyRelease { version: record.version, wrapped_key })
+        Ok(KeyRelease {
+            version: record.version,
+            wrapped_key,
+        })
     }
 
     /// Revokes an enclave's license; subsequent key requests fail.
@@ -227,17 +246,44 @@ mod tests {
 
     fn tiny_model() -> Model {
         let mut b = Model::builder();
-        let input = b.add_activation("in", vec![1, 4], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
+        let input = b.add_activation(
+            "in",
+            vec![1, 4],
+            DType::I8,
+            Some(QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            }),
+        );
         let w = b.add_weight_i8("w", vec![2, 4], vec![1i8; 8], QuantParams::symmetric(1.0));
         let bias = b.add_weight_i32("b", vec![2], vec![0; 2]);
-        let out = b.add_activation("out", vec![1, 2], DType::I8, Some(QuantParams { scale: 1.0, zero_point: 0 }));
-        b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+        let out = b.add_activation(
+            "out",
+            vec![1, 2],
+            DType::I8,
+            Some(QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            }),
+        );
+        b.add_op(Op::FullyConnected {
+            input,
+            filter: w,
+            bias,
+            output: out,
+            activation: Activation::None,
+        });
         b.set_input(input);
         b.set_output(out);
         b.build().unwrap()
     }
 
-    fn setup() -> (Vendor, DevicePki, omg_sanctuary::identity::EnclaveIdentity, Measurement) {
+    fn setup() -> (
+        Vendor,
+        DevicePki,
+        omg_sanctuary::identity::EnclaveIdentity,
+        Measurement,
+    ) {
         let mut rng = ChaChaRng::seed_from_u64(50);
         let pki = DevicePki::new(&mut rng).unwrap();
         let m = Measurement::of(b"omg runtime image");
@@ -264,11 +310,19 @@ mod tests {
 
         // Key release decrypts the package (simulating the enclave side).
         let release = vendor.release_key(ident.public_key()).unwrap();
-        let ku: [u8; 32] =
-            ident.keypair().decrypt(&release.wrapped_key).unwrap().try_into().unwrap();
+        let ku: [u8; 32] = ident
+            .keypair()
+            .decrypt(&release.wrapped_key)
+            .unwrap()
+            .try_into()
+            .unwrap();
         let cipher = ChaCha20Poly1305::new(&ku);
         let opened = cipher
-            .open(&[0u8; 12], &ModelPackage::aad("kws-tiny-conv", 1), &package.ciphertext)
+            .open(
+                &[0u8; 12],
+                &ModelPackage::aad("kws-tiny-conv", 1),
+                &package.ciphertext,
+            )
             .unwrap();
         assert_eq!(opened, plaintext);
     }
@@ -353,8 +407,12 @@ mod tests {
         // be decrypted with it (rollback protection).
         let release = vendor.release_key(ident.public_key()).unwrap();
         assert_eq!(release.version, 2);
-        let ku: [u8; 32] =
-            ident.keypair().decrypt(&release.wrapped_key).unwrap().try_into().unwrap();
+        let ku: [u8; 32] = ident
+            .keypair()
+            .decrypt(&release.wrapped_key)
+            .unwrap()
+            .try_into()
+            .unwrap();
         let cipher = ChaCha20Poly1305::new(&ku);
         assert!(cipher
             .open(

@@ -598,7 +598,11 @@ impl BigUint {
         let limbs = bits.div_ceil(64);
         let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
         let top_bits = bits - (limbs - 1) * 64;
-        let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+        let mask = if top_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << top_bits) - 1
+        };
         let last = limbs - 1;
         v[last] &= mask;
         v[last] |= 1u64 << (top_bits - 1);
@@ -616,7 +620,11 @@ impl BigUint {
         let bits = bound.bit_len();
         let limbs = bits.div_ceil(64);
         let top_bits = bits - (limbs - 1) * 64;
-        let mask = if top_bits == 64 { u64::MAX } else { (1u64 << top_bits) - 1 };
+        let mask = if top_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << top_bits) - 1
+        };
         loop {
             let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
             let last = limbs - 1;
@@ -784,7 +792,12 @@ impl MontgomeryCtx {
         // R^2 mod n computed as 2^(128k) mod n.
         let mut r2 = BigUint::one().shl(2 * 64 * k);
         r2 = r2.rem(n)?;
-        Ok(MontgomeryCtx { n: n.clone(), k, n_prime, r2 })
+        Ok(MontgomeryCtx {
+            n: n.clone(),
+            k,
+            n_prime,
+            r2,
+        })
     }
 
     /// The modulus this context reduces by.
@@ -803,9 +816,7 @@ impl MontgomeryCtx {
             // a += m * n << (64*i)
             let mut carry = 0u128;
             for j in 0..k {
-                let p = u128::from(m) * u128::from(self.n.limbs[j])
-                    + u128::from(a[i + j])
-                    + carry;
+                let p = u128::from(m) * u128::from(self.n.limbs[j]) + u128::from(a[i + j]) + carry;
                 a[i + j] = p as u64;
                 carry = p >> 64;
             }
@@ -930,24 +941,24 @@ mod tests {
     #[test]
     fn mod_pow_known_answer() {
         // 2^10 mod 1000 = 24
-        assert_eq!(
-            big(2).mod_pow(&big(10), &big(1000)).unwrap(),
-            big(24)
-        );
+        assert_eq!(big(2).mod_pow(&big(10), &big(1000)).unwrap(), big(24));
         // Odd modulus path (Montgomery).
-        assert_eq!(
-            big(4).mod_pow(&big(13), &big(497)).unwrap(),
-            big(445)
-        );
+        assert_eq!(big(4).mod_pow(&big(13), &big(497)).unwrap(), big(445));
         // Fermat: a^(p-1) mod p = 1 for prime p.
         let p = big(1_000_000_007);
-        assert_eq!(big(123_456).mod_pow(&p.sub_unchecked(&big(1)), &p).unwrap(), big(1));
+        assert_eq!(
+            big(123_456).mod_pow(&p.sub_unchecked(&big(1)), &p).unwrap(),
+            big(1)
+        );
     }
 
     #[test]
     fn mod_pow_edge_cases() {
         assert_eq!(big(5).mod_pow(&BigUint::zero(), &big(7)).unwrap(), big(1));
-        assert_eq!(big(5).mod_pow(&big(100), &BigUint::one()).unwrap(), BigUint::zero());
+        assert_eq!(
+            big(5).mod_pow(&big(100), &BigUint::one()).unwrap(),
+            BigUint::zero()
+        );
         assert!(big(5).mod_pow(&big(2), &BigUint::zero()).is_err());
     }
 
@@ -1030,7 +1041,10 @@ mod tests {
     fn u64_u128_conversions() {
         assert_eq!(u64::try_from(&big(42)).unwrap(), 42);
         assert!(u64::try_from(&BigUint::from(u128::MAX)).is_err());
-        assert_eq!(u128::try_from(&BigUint::from(u128::MAX)).unwrap(), u128::MAX);
+        assert_eq!(
+            u128::try_from(&BigUint::from(u128::MAX)).unwrap(),
+            u128::MAX
+        );
     }
 
     proptest! {

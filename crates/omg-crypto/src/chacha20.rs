@@ -37,12 +37,7 @@ impl ChaCha20 {
     pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> Self {
         let mut k = [0u32; 8];
         for i in 0..8 {
-            k[i] = u32::from_le_bytes([
-                key[i * 4],
-                key[i * 4 + 1],
-                key[i * 4 + 2],
-                key[i * 4 + 3],
-            ]);
+            k[i] = u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
         }
         let mut n = [0u32; 3];
         for i in 0..3 {

@@ -43,8 +43,15 @@ impl fmt::Display for CryptoError {
             CryptoError::AuthenticationFailed => write!(f, "authentication failed"),
             CryptoError::InvalidSignature => write!(f, "signature verification failed"),
             CryptoError::InvalidKey(what) => write!(f, "invalid key: {what}"),
-            CryptoError::InvalidLength { what, got, expected } => {
-                write!(f, "invalid length for {what}: got {got}, expected {expected}")
+            CryptoError::InvalidLength {
+                what,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid length for {what}: got {got}, expected {expected}"
+                )
             }
             CryptoError::PrimeGenerationFailed => write!(f, "prime generation failed"),
             CryptoError::MalformedInput(what) => write!(f, "malformed input: {what}"),
@@ -69,7 +76,11 @@ mod tests {
             CryptoError::AuthenticationFailed,
             CryptoError::InvalidSignature,
             CryptoError::InvalidKey("short"),
-            CryptoError::InvalidLength { what: "message", got: 3, expected: 2 },
+            CryptoError::InvalidLength {
+                what: "message",
+                got: 3,
+                expected: 2,
+            },
             CryptoError::PrimeGenerationFailed,
             CryptoError::MalformedInput("padding"),
             CryptoError::DivisionByZero,

@@ -29,7 +29,9 @@ pub struct Poly1305 {
 impl std::fmt::Debug for Poly1305 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("Poly1305").field("buf_len", &self.buf_len).finish_non_exhaustive()
+        f.debug_struct("Poly1305")
+            .field("buf_len", &self.buf_len)
+            .finish_non_exhaustive()
     }
 }
 
@@ -57,7 +59,13 @@ impl Poly1305 {
             u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
         ];
 
-        Poly1305 { r, h: [0; 5], s, buf: [0; 16], buf_len: 0 }
+        Poly1305 {
+            r,
+            h: [0; 5],
+            s,
+            buf: [0; 16],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs message bytes.
@@ -238,9 +246,7 @@ mod tests {
     // RFC 8439 §2.5.2 test vector.
     #[test]
     fn rfc8439_mac_vector() {
-        let key = unhex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        );
+        let key = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
         let msg = b"Cryptographic Forum Research Group";
         let tag = Poly1305::mac(key.as_slice().try_into().unwrap(), msg);
         assert_eq!(tag.to_vec(), unhex("a8061dc1305136c6c22b8baf0c0127a9"));

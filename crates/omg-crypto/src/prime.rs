@@ -7,9 +7,9 @@ use crate::error::{CryptoError, Result};
 
 /// Small primes used for fast trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 60] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
 ];
 
 /// Number of Miller–Rabin rounds. 40 rounds gives a false-positive
@@ -149,10 +149,16 @@ mod tests {
     fn small_known_primes_and_composites() {
         let mut rng = ChaChaRng::seed_from_u64(0);
         for p in [2u64, 3, 5, 7, 11, 13, 97, 101, 65_537, 1_000_000_007] {
-            assert!(is_probable_prime(&BigUint::from(p), &mut rng), "{p} should be prime");
+            assert!(
+                is_probable_prime(&BigUint::from(p), &mut rng),
+                "{p} should be prime"
+            );
         }
         for c in [0u64, 1, 4, 6, 9, 15, 91, 561, 65_536, 1_000_000_001] {
-            assert!(!is_probable_prime(&BigUint::from(c), &mut rng), "{c} should be composite");
+            assert!(
+                !is_probable_prime(&BigUint::from(c), &mut rng),
+                "{c} should be composite"
+            );
         }
     }
 
@@ -160,8 +166,13 @@ mod tests {
     fn carmichael_numbers_rejected() {
         // Carmichael numbers fool Fermat but not Miller–Rabin.
         let mut rng = ChaChaRng::seed_from_u64(1);
-        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341] {
-            assert!(!is_probable_prime(&BigUint::from(c), &mut rng), "{c} is Carmichael");
+        for c in [
+            561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341,
+        ] {
+            assert!(
+                !is_probable_prime(&BigUint::from(c), &mut rng),
+                "{c} is Carmichael"
+            );
         }
     }
 
@@ -169,10 +180,16 @@ mod tests {
     fn large_known_prime() {
         // 2^127 - 1 is a Mersenne prime.
         let mut rng = ChaChaRng::seed_from_u64(2);
-        let m127 = BigUint::one().shl(127).checked_sub(&BigUint::one()).unwrap();
+        let m127 = BigUint::one()
+            .shl(127)
+            .checked_sub(&BigUint::one())
+            .unwrap();
         assert!(is_probable_prime(&m127, &mut rng));
         // 2^128 - 1 = 3 * 5 * 17 * ... is composite.
-        let m128 = BigUint::one().shl(128).checked_sub(&BigUint::one()).unwrap();
+        let m128 = BigUint::one()
+            .shl(128)
+            .checked_sub(&BigUint::one())
+            .unwrap();
         assert!(!is_probable_prime(&m128, &mut rng));
     }
 

@@ -19,8 +19,8 @@ use crate::sha256::{Sha256, DIGEST_LEN};
 /// The DER prefix of the PKCS#1 v1.5 `DigestInfo` structure for SHA-256
 /// (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// An RSA public key `(n, e)`.
@@ -66,7 +66,9 @@ impl RsaPublicKey {
             return Err(CryptoError::InvalidKey("modulus must be at least 512 bits"));
         }
         if e.is_even() || e < BigUint::from(3u64) {
-            return Err(CryptoError::InvalidKey("public exponent must be odd and >= 3"));
+            return Err(CryptoError::InvalidKey(
+                "public exponent must be odd and >= 3",
+            ));
         }
         let k = n.bit_len().div_ceil(8);
         Ok(RsaPublicKey { n, e, k })
@@ -119,13 +121,18 @@ impl RsaPublicKey {
         };
         let (n_bytes, off) = take(bytes, 0)?;
         let (e_bytes, _) = take(bytes, off)?;
-        Self::new(BigUint::from_bytes_be(&n_bytes), BigUint::from_bytes_be(&e_bytes))
+        Self::new(
+            BigUint::from_bytes_be(&n_bytes),
+            BigUint::from_bytes_be(&e_bytes),
+        )
     }
 
     /// Raw RSA public operation `m^e mod n`.
     fn public_op(&self, m: &BigUint) -> Result<BigUint> {
         if m >= &self.n {
-            return Err(CryptoError::OutOfRange("message representative out of range"));
+            return Err(CryptoError::OutOfRange(
+                "message representative out of range",
+            ));
         }
         m.mod_pow(&self.e, &self.n)
     }
@@ -231,7 +238,15 @@ impl RsaPrivateKey {
             let dq = d.rem(&q1)?;
             let qinv = q.mod_inv(&p)?;
             let public = RsaPublicKey::new(n, e.clone())?;
-            return Ok(RsaPrivateKey { public, d, p, q, dp, dq, qinv });
+            return Ok(RsaPrivateKey {
+                public,
+                d,
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+            });
         }
     }
 
@@ -251,7 +266,9 @@ impl RsaPrivateKey {
     /// Raw RSA private operation using the CRT.
     fn private_op(&self, c: &BigUint) -> Result<BigUint> {
         if c >= &self.public.n {
-            return Err(CryptoError::OutOfRange("ciphertext representative out of range"));
+            return Err(CryptoError::OutOfRange(
+                "ciphertext representative out of range",
+            ));
         }
         let m1 = c.mod_pow(&self.dp, &self.p)?;
         let m2 = c.mod_pow(&self.dq, &self.q)?;
@@ -322,7 +339,11 @@ impl RsaPrivateKey {
 fn pkcs1_v15_sign_encode(message: &[u8], k: usize) -> Result<Vec<u8>> {
     let t_len = SHA256_DIGEST_INFO_PREFIX.len() + DIGEST_LEN;
     if k < t_len + 11 {
-        return Err(CryptoError::InvalidLength { what: "rsa modulus", got: k, expected: t_len + 11 });
+        return Err(CryptoError::InvalidLength {
+            what: "rsa modulus",
+            got: k,
+            expected: t_len + 11,
+        });
     }
     let digest = Sha256::digest(message);
     let mut em = vec![0xffu8; k];

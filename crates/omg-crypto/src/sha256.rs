@@ -60,7 +60,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; BLOCK_LEN], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// One-shot convenience: hashes `data` and returns the digest.

@@ -1,0 +1,256 @@
+//! Randomised property and round-trip tests for `omg_crypto::bignum` and
+//! the RSA layer built on it.
+//!
+//! All randomness comes from [`ChaChaRng`] with fixed seeds, so every run
+//! exercises the identical sequence of operands — a failure here always
+//! reproduces bit-for-bit.
+
+use omg_crypto::bignum::BigUint;
+use omg_crypto::rng::ChaChaRng;
+use omg_crypto::rsa::RsaPrivateKey;
+use rand::{Rng, RngCore};
+
+/// Random integer of up to `max_limbs` limbs (skewed toward small sizes so
+/// edge cases around zero and one limb show up often).
+fn random_biguint<R: Rng + ?Sized>(rng: &mut R, max_limbs: usize) -> BigUint {
+    let limbs = rng.gen_range(0..=max_limbs);
+    BigUint::from_limbs((0..limbs).map(|_| rng.gen()).collect())
+}
+
+/// Reference square-and-multiply, left-to-right over the exponent bits,
+/// using only `mod_mul` — independent of the windowed/Montgomery fast path
+/// inside `mod_pow`.
+fn mod_pow_reference(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    assert!(!m.is_zero());
+    if m.is_one() {
+        return BigUint::zero();
+    }
+    let mut acc = BigUint::one();
+    let base = base.rem(m).unwrap();
+    for i in (0..exp.bit_len()).rev() {
+        acc = acc.mod_mul(&acc, m).unwrap();
+        if exp.bit(i) {
+            acc = acc.mod_mul(&base, m).unwrap();
+        }
+    }
+    acc
+}
+
+#[test]
+fn add_is_commutative_and_associative() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_0001);
+    for _ in 0..200 {
+        let a = random_biguint(&mut rng, 6);
+        let b = random_biguint(&mut rng, 6);
+        let c = random_biguint(&mut rng, 6);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.add(&BigUint::zero()), a);
+    }
+}
+
+#[test]
+fn add_then_sub_round_trips() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_0002);
+    for _ in 0..200 {
+        let a = random_biguint(&mut rng, 6);
+        let b = random_biguint(&mut rng, 6);
+        assert_eq!(a.add(&b).checked_sub(&b).unwrap(), a);
+        assert_eq!(a.add(&b).checked_sub(&a).unwrap(), b);
+        // Subtracting more than the value must fail, never wrap.
+        let bigger = a.add(&b).add(&BigUint::one());
+        assert!(a.checked_sub(&bigger).is_err());
+    }
+}
+
+#[test]
+fn mul_identities_and_distributivity() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_0003);
+    for _ in 0..200 {
+        let a = random_biguint(&mut rng, 5);
+        let b = random_biguint(&mut rng, 5);
+        let c = random_biguint(&mut rng, 5);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&BigUint::one()), a);
+        assert!(a.mul(&BigUint::zero()).is_zero());
+        // a * (b + c) == a*b + a*c
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+}
+
+#[test]
+fn div_rem_reconstructs_and_bounds_remainder() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_0004);
+    for _ in 0..200 {
+        let a = random_biguint(&mut rng, 6);
+        let mut d = random_biguint(&mut rng, 3);
+        if d.is_zero() {
+            d = BigUint::one();
+        }
+        let (q, r) = a.div_rem(&d).unwrap();
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(
+            r < d,
+            "remainder {} not below divisor {}",
+            r.to_hex(),
+            d.to_hex()
+        );
+    }
+    // Division by zero is an error, not a panic.
+    assert!(BigUint::one().div_rem(&BigUint::zero()).is_err());
+}
+
+#[test]
+fn shifts_match_mul_by_powers_of_two() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_0005);
+    for _ in 0..100 {
+        let a = random_biguint(&mut rng, 4);
+        let k = rng.gen_range(0..130usize);
+        let mut pow2 = BigUint::one();
+        for _ in 0..k {
+            pow2 = pow2.add(&pow2);
+        }
+        assert_eq!(a.shl(k), a.mul(&pow2));
+        assert_eq!(a.shl(k).shr(k), a);
+    }
+}
+
+#[test]
+fn bytes_and_hex_round_trip() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_0006);
+    for _ in 0..200 {
+        let a = random_biguint(&mut rng, 6);
+        assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+        assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+}
+
+#[test]
+fn mod_pow_matches_square_and_multiply_reference() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_0007);
+    for case in 0..60 {
+        let base = random_biguint(&mut rng, 3);
+        let exp = random_biguint(&mut rng, 2);
+        let mut m = random_biguint(&mut rng, 3);
+        if m.is_zero() {
+            m = BigUint::one();
+        }
+        assert_eq!(
+            base.mod_pow(&exp, &m).unwrap(),
+            mod_pow_reference(&base, &exp, &m),
+            "case {case}: base={} exp={} m={}",
+            base.to_hex(),
+            exp.to_hex(),
+            m.to_hex()
+        );
+    }
+}
+
+#[test]
+fn mod_pow_edge_exponents() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_0008);
+    for _ in 0..50 {
+        let a = random_biguint(&mut rng, 3);
+        let mut m = random_biguint(&mut rng, 3);
+        if m.is_zero() || m.is_one() {
+            m = BigUint::from_limbs(vec![rng.gen_range(2..u64::MAX)]);
+        }
+        // a^0 mod m == 1, a^1 mod m == a mod m.
+        assert_eq!(a.mod_pow(&BigUint::zero(), &m).unwrap(), BigUint::one());
+        assert_eq!(a.mod_pow(&BigUint::one(), &m).unwrap(), a.rem(&m).unwrap());
+    }
+}
+
+#[test]
+fn fermat_little_theorem_on_known_primes() {
+    // 2^61 - 1 and a few smaller primes: a^(p-1) ≡ 1 (mod p) for a ∤ p.
+    let primes: [u64; 4] = [
+        65_537,
+        4_294_967_291,
+        2_305_843_009_213_693_951,
+        1_000_000_007,
+    ];
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_0009);
+    for &p in &primes {
+        let p_big = BigUint::from_limbs(vec![p]);
+        let p_minus_1 = p_big.checked_sub(&BigUint::one()).unwrap();
+        for _ in 0..10 {
+            let a = BigUint::from_limbs(vec![rng.gen_range(1..p)]);
+            assert_eq!(
+                a.mod_pow(&p_minus_1, &p_big).unwrap(),
+                BigUint::one(),
+                "Fermat failed for p={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mod_inv_is_a_real_inverse() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_000A);
+    let m = BigUint::from_limbs(vec![2_305_843_009_213_693_951]); // prime 2^61-1
+    for _ in 0..100 {
+        let a = BigUint::from_limbs(vec![rng.gen_range(1..2_305_843_009_213_693_951)]);
+        let inv = a.mod_inv(&m).unwrap();
+        assert_eq!(a.mod_mul(&inv, &m).unwrap(), BigUint::one());
+    }
+}
+
+#[test]
+fn gcd_divides_both_and_is_symmetric() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_000B);
+    for _ in 0..100 {
+        let a = random_biguint(&mut rng, 3);
+        let b = random_biguint(&mut rng, 3);
+        let g = a.gcd(&b);
+        assert_eq!(g, b.gcd(&a));
+        if !g.is_zero() {
+            assert!(a.rem(&g).unwrap().is_zero());
+            assert!(b.rem(&g).unwrap().is_zero());
+        } else {
+            // gcd(0, 0) == 0 — both operands must have been zero.
+            assert!(a.is_zero() && b.is_zero());
+        }
+    }
+}
+
+#[test]
+fn rsa_sign_verify_round_trip() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_000C);
+    let key = RsaPrivateKey::generate(&mut rng, 1024).expect("keygen");
+    for i in 0..8u32 {
+        let msg = format!("attestation report #{i}");
+        let sig = key.sign(msg.as_bytes()).expect("sign");
+        key.public_key()
+            .verify(msg.as_bytes(), &sig)
+            .expect("verify");
+        // A different message must not verify under the same signature.
+        assert!(key.public_key().verify(b"forged message", &sig).is_err());
+        // A corrupted signature must not verify.
+        let mut bad = sig.clone();
+        bad[0] ^= 0x01;
+        assert!(key.public_key().verify(msg.as_bytes(), &bad).is_err());
+    }
+}
+
+#[test]
+fn rsa_encrypt_decrypt_round_trip() {
+    let mut rng = ChaChaRng::seed_from_u64(0xB16_000D);
+    let key = RsaPrivateKey::generate(&mut rng, 1024).expect("keygen");
+    for i in 0..8u64 {
+        let mut msg = vec![0u8; 16 + (i as usize) * 3];
+        rng.fill_bytes(&mut msg);
+        let ct = key.public_key().encrypt(&mut rng, &msg).expect("encrypt");
+        assert_ne!(ct, msg);
+        assert_eq!(key.decrypt(&ct).expect("decrypt"), msg);
+    }
+}
+
+#[test]
+fn same_seed_same_keypair() {
+    let k1 = RsaPrivateKey::generate(&mut ChaChaRng::seed_from_u64(1234), 1024).unwrap();
+    let k2 = RsaPrivateKey::generate(&mut ChaChaRng::seed_from_u64(1234), 1024).unwrap();
+    assert_eq!(k1.public_key().to_bytes(), k2.public_key().to_bytes());
+    let k3 = RsaPrivateKey::generate(&mut ChaChaRng::seed_from_u64(1235), 1024).unwrap();
+    assert_ne!(k1.public_key().to_bytes(), k3.public_key().to_bytes());
+}

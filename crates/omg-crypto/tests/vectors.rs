@@ -1,0 +1,339 @@
+//! Golden-vector tests pinning omg-crypto's primitives to published
+//! standards:
+//!
+//! - ChaCha20 block function, keystream encryption, Poly1305 and the
+//!   combined AEAD — RFC 8439 (§2.3.2, §2.4.2, §2.5.2, §2.8.2)
+//! - SHA-256 — FIPS 180-4 (NIST example vectors)
+//! - HMAC-SHA-256 — RFC 4231 (test cases 1–4, 6, 7)
+//! - HKDF-SHA-256 — RFC 5869 (test cases 1–3)
+//!
+//! Any refactor of the crypto layer (SIMD kernels, constant-time rewrites,
+//! batching) must keep these byte-exact.
+
+use omg_crypto::aead::ChaCha20Poly1305;
+use omg_crypto::chacha20::ChaCha20;
+use omg_crypto::hkdf::Hkdf;
+use omg_crypto::hmac::HmacSha256;
+use omg_crypto::poly1305::Poly1305;
+use omg_crypto::sha256::Sha256;
+
+fn unhex(s: &str) -> Vec<u8> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    assert!(s.len().is_multiple_of(2), "odd hex length");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+fn key32(s: &str) -> [u8; 32] {
+    unhex(s).as_slice().try_into().unwrap()
+}
+
+fn nonce12(s: &str) -> [u8; 12] {
+    unhex(s).as_slice().try_into().unwrap()
+}
+
+// ---------------------------------------------------------------- ChaCha20
+
+/// RFC 8439 §2.3.2: the block function with the test key/nonce at counter 1.
+#[test]
+fn rfc8439_chacha20_block_function() {
+    let key = key32("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+    let nonce = nonce12("000000090000004a00000000");
+    let keystream = ChaCha20::new(&key, &nonce).block(1);
+    let expected = unhex(
+        "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+         d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+    );
+    assert_eq!(keystream.as_slice(), expected.as_slice());
+}
+
+/// RFC 8439 §2.4.2: keystream encryption of the sunscreen plaintext,
+/// starting at counter 1.
+#[test]
+fn rfc8439_chacha20_encryption() {
+    let key = key32("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+    let nonce = nonce12("000000000000004a00000000");
+    let plaintext: &[u8] = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+    let mut data = plaintext.to_vec();
+    ChaCha20::new(&key, &nonce).apply_keystream(1, &mut data);
+    let expected = unhex(
+        "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+         f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+         07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+         5af90bbf74a35be6b40b8eedf2785e42874d",
+    );
+    assert_eq!(data, expected);
+    // Applying the keystream again restores the plaintext (XOR symmetry).
+    ChaCha20::new(&key, &nonce).apply_keystream(1, &mut data);
+    assert_eq!(data, plaintext);
+}
+
+// ---------------------------------------------------------------- Poly1305
+
+/// RFC 8439 §2.5.2: one-shot Poly1305 over the CFRG message.
+#[test]
+fn rfc8439_poly1305_mac() {
+    let key = key32("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+    let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+    assert_eq!(
+        tag.as_slice(),
+        unhex("a8061dc1305136c6c22b8baf0c0127a9").as_slice()
+    );
+}
+
+/// The incremental interface must agree with the one-shot interface on the
+/// RFC message, regardless of chunking.
+#[test]
+fn rfc8439_poly1305_incremental_matches_oneshot() {
+    let key = key32("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+    let msg = b"Cryptographic Forum Research Group";
+    for chunk in [1usize, 3, 16, 17] {
+        let mut mac = Poly1305::new(&key);
+        for part in msg.chunks(chunk) {
+            mac.update(part);
+        }
+        assert_eq!(
+            mac.finalize().as_slice(),
+            unhex("a8061dc1305136c6c22b8baf0c0127a9").as_slice(),
+            "chunk size {chunk}"
+        );
+    }
+}
+
+// ------------------------------------------------------------------- AEAD
+
+/// RFC 8439 §2.8.2: the combined AEAD construction, byte-exact ciphertext
+/// and tag, plus successful open.
+#[test]
+fn rfc8439_aead_seal_and_open() {
+    let key: [u8; 32] = (0x80..0xa0u8)
+        .collect::<Vec<u8>>()
+        .as_slice()
+        .try_into()
+        .unwrap();
+    let nonce = nonce12("070000004041424344454647");
+    let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+    let plaintext: &[u8] = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+
+    let cipher = ChaCha20Poly1305::new(&key);
+    let sealed = cipher.seal(&nonce, &aad, plaintext);
+
+    let expected_ct = unhex(
+        "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6\
+         3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36\
+         92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc\
+         3ff4def08e4b7a9de576d26586cec64b6116",
+    );
+    let expected_tag = unhex("1ae10b594f09e26a7e902ecbd0600691");
+    assert_eq!(&sealed[..plaintext.len()], expected_ct.as_slice());
+    assert_eq!(&sealed[plaintext.len()..], expected_tag.as_slice());
+    assert_eq!(cipher.open(&nonce, &aad, &sealed).unwrap(), plaintext);
+}
+
+/// Tampering with any region of the RFC vector (ciphertext, tag, aad)
+/// must be rejected.
+#[test]
+fn rfc8439_aead_tamper_rejected() {
+    let key: [u8; 32] = (0x80..0xa0u8)
+        .collect::<Vec<u8>>()
+        .as_slice()
+        .try_into()
+        .unwrap();
+    let nonce = nonce12("070000004041424344454647");
+    let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+    let cipher = ChaCha20Poly1305::new(&key);
+    let sealed = cipher.seal(&nonce, &aad, b"model weights");
+
+    let mut bad_ct = sealed.clone();
+    bad_ct[0] ^= 0x01;
+    assert!(cipher.open(&nonce, &aad, &bad_ct).is_err());
+
+    let mut bad_tag = sealed.clone();
+    let last = bad_tag.len() - 1;
+    bad_tag[last] ^= 0x80;
+    assert!(cipher.open(&nonce, &aad, &bad_tag).is_err());
+
+    let mut bad_aad = aad.clone();
+    bad_aad[0] ^= 0x01;
+    assert!(cipher.open(&nonce, &bad_aad, &sealed).is_err());
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+/// FIPS 180-4 / NIST example vectors for SHA-256.
+#[test]
+fn fips180_sha256_vectors() {
+    let cases: &[(&[u8], &str)] = &[
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+    ];
+    for (input, digest) in cases {
+        assert_eq!(Sha256::digest(input).as_slice(), unhex(digest).as_slice());
+    }
+}
+
+/// FIPS 180-4: one million repetitions of 'a', fed incrementally.
+#[test]
+fn fips180_sha256_million_a() {
+    let chunk = [b'a'; 1000];
+    let mut h = Sha256::new();
+    for _ in 0..1000 {
+        h.update(&chunk);
+    }
+    assert_eq!(
+        h.finalize().as_slice(),
+        unhex("cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0").as_slice()
+    );
+}
+
+/// Incremental hashing must equal one-shot hashing at every split point.
+#[test]
+fn sha256_incremental_split_points() {
+    let data = b"The quick brown fox jumps over the lazy dog";
+    let want = Sha256::digest(data);
+    for split in 0..=data.len() {
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        assert_eq!(h.finalize(), want, "split at {split}");
+    }
+}
+
+// ------------------------------------------------------------ HMAC-SHA-256
+
+/// RFC 4231 test cases 1–4, 6 and 7 (case 5 tests truncated output, which
+/// this API does not expose).
+#[test]
+fn rfc4231_hmac_sha256_vectors() {
+    let tc1_key = vec![0x0bu8; 20];
+    let tc3_key = vec![0xaau8; 20];
+    let tc4_key = unhex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+    let big_key = vec![0xaau8; 131];
+    let tc3_data = vec![0xddu8; 50];
+    let tc4_data = vec![0xcdu8; 50];
+
+    let cases: &[(&[u8], &[u8], &str)] = &[
+        (
+            &tc1_key,
+            b"Hi There",
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+        ),
+        (
+            b"Jefe",
+            b"what do ya want for nothing?",
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+        ),
+        (
+            &tc3_key,
+            &tc3_data,
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+        ),
+        (
+            &tc4_key,
+            &tc4_data,
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+        ),
+        (
+            &big_key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+        ),
+        (
+            &big_key,
+            b"This is a test using a larger than block-size key and a larger than \
+block-size data. The key needs to be hashed before being used by the HMAC algorithm.",
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+        ),
+    ];
+    for (i, (key, data, tag)) in cases.iter().enumerate() {
+        assert_eq!(
+            HmacSha256::mac(key, data).as_slice(),
+            unhex(tag).as_slice(),
+            "RFC 4231 case {}",
+            i + 1
+        );
+        assert!(
+            HmacSha256::verify(key, data, &unhex(tag)),
+            "verify case {}",
+            i + 1
+        );
+    }
+}
+
+// ------------------------------------------------------------ HKDF-SHA-256
+
+/// RFC 5869 test case 1: basic extract-then-expand.
+#[test]
+fn rfc5869_hkdf_case1() {
+    let ikm = vec![0x0bu8; 22];
+    let salt = unhex("000102030405060708090a0b0c");
+    let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+
+    let prk = Hkdf::extract(&salt, &ikm);
+    assert_eq!(
+        prk.as_slice(),
+        unhex("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5").as_slice()
+    );
+
+    let okm = Hkdf::expand(&prk, &info, 42).unwrap();
+    assert_eq!(
+        okm,
+        unhex(
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        )
+    );
+    // derive = extract ∘ expand.
+    assert_eq!(Hkdf::derive(&salt, &ikm, &info, 42).unwrap(), okm);
+}
+
+/// RFC 5869 test case 2: longer inputs and 82-byte output (multi-block
+/// expand).
+#[test]
+fn rfc5869_hkdf_case2() {
+    let ikm: Vec<u8> = (0x00..=0x4f).collect();
+    let salt: Vec<u8> = (0x60..=0xaf).collect();
+    let info: Vec<u8> = (0xb0..=0xff).collect();
+    let okm = Hkdf::derive(&salt, &ikm, &info, 82).unwrap();
+    assert_eq!(
+        okm,
+        unhex(
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        )
+    );
+}
+
+/// RFC 5869 test case 3: empty salt and info.
+#[test]
+fn rfc5869_hkdf_case3() {
+    let ikm = vec![0x0bu8; 22];
+    let okm = Hkdf::derive(b"", &ikm, b"", 42).unwrap();
+    assert_eq!(
+        okm,
+        unhex(
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        )
+    );
+}

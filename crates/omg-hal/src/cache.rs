@@ -35,7 +35,10 @@ impl L2Cache {
     /// Creates an empty L2; `exclusion_enabled` controls whether enclave
     /// accesses bypass the cache.
     pub fn new(exclusion_enabled: bool) -> Self {
-        L2Cache { lines: BTreeSet::new(), exclusion_enabled }
+        L2Cache {
+            lines: BTreeSet::new(),
+            exclusion_enabled,
+        }
     }
 
     /// Whether enclave traffic is excluded from this cache.

@@ -147,7 +147,10 @@ impl fmt::Debug for SimClock {
 impl SimClock {
     /// Creates a clock at time zero with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        SimClock { inner: Arc::new(Mutex::new(ClockInner::default())), cost: Arc::new(cost) }
+        SimClock {
+            inner: Arc::new(Mutex::new(ClockInner::default())),
+            cost: Arc::new(cost),
+        }
     }
 
     /// The cost model this clock charges with.
@@ -279,7 +282,8 @@ mod tests {
     #[test]
     fn measure_scaled_applies_penalty() {
         let clock = SimClock::default();
-        let (_, charged) = clock.measure_scaled(1.0, || std::thread::sleep(Duration::from_millis(2)));
+        let (_, charged) =
+            clock.measure_scaled(1.0, || std::thread::sleep(Duration::from_millis(2)));
         // Penalty of 100% doubles the charge.
         assert!(charged >= Duration::from_millis(4));
     }

@@ -118,7 +118,14 @@ pub struct CpuCore {
 impl CpuCore {
     /// Creates an online core in the normal world.
     pub fn new(id: CoreId, freq_mhz: u32) -> Self {
-        CpuCore { id, freq_mhz, state: CoreState::Online, world: World::Normal, load: 0, l1: L1Cache::new() }
+        CpuCore {
+            id,
+            freq_mhz,
+            state: CoreState::Online,
+            world: World::Normal,
+            load: 0,
+            l1: L1Cache::new(),
+        }
     }
 
     /// This core's identifier.
@@ -219,7 +226,7 @@ mod tests {
     fn holds_range_detects_overlap_at_line_granularity() {
         let mut l1 = L1Cache::new();
         l1.touch(0x80, 4); // line 0x80..0xC0
-        // Query for a different offset in the same line still hits.
+                           // Query for a different offset in the same line still hits.
         assert!(l1.holds_range(0xB0, 4));
         // Adjacent line misses.
         assert!(!l1.holds_range(0xC0, 4));

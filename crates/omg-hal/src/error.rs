@@ -76,12 +76,19 @@ pub enum HalError {
 impl fmt::Display for HalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HalError::AccessFault { addr, agent, reason } => {
+            HalError::AccessFault {
+                addr,
+                agent,
+                reason,
+            } => {
                 write!(f, "access fault at {addr:#x} by {agent}: {reason}")
             }
             HalError::UnmappedAddress { addr } => write!(f, "unmapped address {addr:#x}"),
             HalError::RegionOverrun { addr, len } => {
-                write!(f, "access at {addr:#x} of {len} bytes crosses a region boundary")
+                write!(
+                    f,
+                    "access at {addr:#x} of {len} bytes crosses a region boundary"
+                )
             }
             HalError::RegionOverlap { base } => {
                 write!(f, "region at {base:#x} overlaps an existing region")

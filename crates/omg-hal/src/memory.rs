@@ -139,7 +139,11 @@ pub struct MemoryController {
 impl MemoryController {
     /// Creates a controller managing `[dram_base, dram_base + dram_size)`.
     pub fn new(dram_base: u64, dram_size: u64) -> Self {
-        MemoryController { dram_base, dram_size, regions: Vec::new() }
+        MemoryController {
+            dram_base,
+            dram_size,
+            regions: Vec::new(),
+        }
     }
 
     /// Total DRAM size in bytes.
@@ -167,7 +171,12 @@ impl MemoryController {
         if base < self.dram_base || base + size > self.dram_base + self.dram_size {
             return Err(HalError::OutOfMemory { requested: size });
         }
-        if self.regions.iter().flatten().any(|r| base < r.base + r.size && r.base < base + size) {
+        if self
+            .regions
+            .iter()
+            .flatten()
+            .any(|r| base < r.base + r.size && r.base < base + size)
+        {
             return Err(HalError::RegionOverlap { base });
         }
         let region = Region {
@@ -225,11 +234,17 @@ impl MemoryController {
     }
 
     fn region(&self, id: RegionId) -> Result<&Region> {
-        self.regions.get(id.0).and_then(Option::as_ref).ok_or(HalError::UnknownRegion)
+        self.regions
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .ok_or(HalError::UnknownRegion)
     }
 
     fn region_mut(&mut self, id: RegionId) -> Result<&mut Region> {
-        self.regions.get_mut(id.0).and_then(Option::as_mut).ok_or(HalError::UnknownRegion)
+        self.regions
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(HalError::UnknownRegion)
     }
 
     /// Removes a region definition entirely, returning its former range to
@@ -330,7 +345,11 @@ impl MemoryController {
                 Protection::CoreLocked(_) => "region is TZASC-locked to another agent",
                 Protection::Shared(_) => "shared region does not admit this agent",
             };
-            Err(HalError::AccessFault { addr, agent, reason })
+            Err(HalError::AccessFault {
+                addr,
+                agent,
+                reason,
+            })
         }
     }
 
@@ -384,7 +403,11 @@ impl MemoryController {
     pub fn scrub(&mut self, agent: Agent, id: RegionId) -> Result<()> {
         if agent != Agent::TrustedFirmware {
             let base = self.region(id)?.base;
-            return Err(HalError::AccessFault { addr: base, agent, reason: "only firmware scrubs" });
+            return Err(HalError::AccessFault {
+                addr: base,
+                agent,
+                reason: "only firmware scrubs",
+            });
         }
         let r = self.region_mut(id)?;
         r.buf.iter_mut().for_each(|b| *b = 0);
@@ -423,7 +446,8 @@ mod tests {
         let mut mc = controller();
         mc.define_region_at("a", 0, MB, Protection::Open).unwrap();
         assert_eq!(
-            mc.define_region_at("b", MB / 2, MB, Protection::Open).unwrap_err(),
+            mc.define_region_at("b", MB / 2, MB, Protection::Open)
+                .unwrap_err(),
             HalError::RegionOverlap { base: MB / 2 }
         );
         // Adjacent is fine.
@@ -440,8 +464,12 @@ mod tests {
     #[test]
     fn out_of_dram_rejected() {
         let mut mc = controller();
-        assert!(mc.define_region_at("big", 0, 65 * MB, Protection::Open).is_err());
-        assert!(mc.allocate_region("big", 65 * MB, Protection::Open).is_err());
+        assert!(mc
+            .define_region_at("big", 0, 65 * MB, Protection::Open)
+            .is_err());
+        assert!(mc
+            .allocate_region("big", 65 * MB, Protection::Open)
+            .is_err());
     }
 
     #[test]
@@ -458,7 +486,9 @@ mod tests {
     #[test]
     fn unmapped_and_overrun() {
         let mut mc = controller();
-        let id = mc.define_region_at("a", 4096, 4096, Protection::Open).unwrap();
+        let id = mc
+            .define_region_at("a", 4096, 4096, Protection::Open)
+            .unwrap();
         let base = mc.region_base(id).unwrap();
         let mut buf = [0u8; 8];
         assert!(matches!(
@@ -474,7 +504,9 @@ mod tests {
     #[test]
     fn core_locked_two_way_isolation() {
         let mut mc = controller();
-        let id = mc.allocate_region("enclave", MB, Protection::CoreLocked(CoreId(7))).unwrap();
+        let id = mc
+            .allocate_region("enclave", MB, Protection::CoreLocked(CoreId(7)))
+            .unwrap();
         let base = mc.region_base(id).unwrap();
         let sa = Agent::SanctuaryApp { core: CoreId(7) };
         mc.write(sa, base, b"secret").unwrap();
@@ -484,9 +516,15 @@ mod tests {
         mc.read(sa, base, &mut buf).unwrap();
         assert_eq!(&buf, b"secret");
         // Normal world: denied (one-way isolation, classic).
-        assert!(matches!(mc.read(normal(0), base, &mut buf), Err(HalError::AccessFault { .. })));
+        assert!(matches!(
+            mc.read(normal(0), base, &mut buf),
+            Err(HalError::AccessFault { .. })
+        ));
         // Normal world *on the same core id*: still denied (the SA owns it).
-        assert!(matches!(mc.read(normal(7), base, &mut buf), Err(HalError::AccessFault { .. })));
+        assert!(matches!(
+            mc.read(normal(7), base, &mut buf),
+            Err(HalError::AccessFault { .. })
+        ));
         // Secure world: denied — this is SANCTUARY's *two-way* isolation.
         assert!(matches!(
             mc.read(Agent::SecureWorld { core: CoreId(0) }, base, &mut buf),
@@ -509,28 +547,42 @@ mod tests {
     #[test]
     fn secure_only_blocks_normal_world_and_dma() {
         let mut mc = controller();
-        let id = mc.allocate_region("tee", MB, Protection::SecureOnly).unwrap();
+        let id = mc
+            .allocate_region("tee", MB, Protection::SecureOnly)
+            .unwrap();
         let base = mc.region_base(id).unwrap();
         let sw = Agent::SecureWorld { core: CoreId(0) };
         mc.write(sw, base, b"trusted os").unwrap();
         let mut buf = [0u8; 10];
         mc.read(sw, base, &mut buf).unwrap();
         assert!(mc.read(normal(0), base, &mut buf).is_err());
-        assert!(mc.read(Agent::Dma { device: "nic" }, base, &mut buf).is_err());
-        assert!(mc.read(Agent::SanctuaryApp { core: CoreId(1) }, base, &mut buf).is_err());
+        assert!(mc
+            .read(Agent::Dma { device: "nic" }, base, &mut buf)
+            .is_err());
+        assert!(mc
+            .read(Agent::SanctuaryApp { core: CoreId(1) }, base, &mut buf)
+            .is_err());
     }
 
     #[test]
     fn shared_mailbox_permits_three_parties_but_not_dma() {
         let mut mc = controller();
-        let id = mc.allocate_region("mailbox", 4096, Protection::Shared(CoreId(2))).unwrap();
+        let id = mc
+            .allocate_region("mailbox", 4096, Protection::Shared(CoreId(2)))
+            .unwrap();
         let base = mc.region_base(id).unwrap();
         let mut buf = [0u8; 4];
-        mc.write(Agent::SanctuaryApp { core: CoreId(2) }, base, b"ping").unwrap();
+        mc.write(Agent::SanctuaryApp { core: CoreId(2) }, base, b"ping")
+            .unwrap();
         mc.read(normal(0), base, &mut buf).unwrap();
-        mc.read(Agent::SecureWorld { core: CoreId(0) }, base, &mut buf).unwrap();
-        assert!(mc.read(Agent::SanctuaryApp { core: CoreId(3) }, base, &mut buf).is_err());
-        assert!(mc.read(Agent::Dma { device: "usb" }, base, &mut buf).is_err());
+        mc.read(Agent::SecureWorld { core: CoreId(0) }, base, &mut buf)
+            .unwrap();
+        assert!(mc
+            .read(Agent::SanctuaryApp { core: CoreId(3) }, base, &mut buf)
+            .is_err());
+        assert!(mc
+            .read(Agent::Dma { device: "usb" }, base, &mut buf)
+            .is_err());
     }
 
     #[test]
@@ -541,10 +593,12 @@ mod tests {
         // Normal world loads content while open...
         mc.write(normal(0), base, b"enclave code").unwrap();
         // ...then the TZASC locks it to core 5.
-        mc.set_protection(id, Protection::CoreLocked(CoreId(5))).unwrap();
+        mc.set_protection(id, Protection::CoreLocked(CoreId(5)))
+            .unwrap();
         let mut buf = [0u8; 12];
         assert!(mc.read(normal(0), base, &mut buf).is_err());
-        mc.read(Agent::SanctuaryApp { core: CoreId(5) }, base, &mut buf).unwrap();
+        mc.read(Agent::SanctuaryApp { core: CoreId(5) }, base, &mut buf)
+            .unwrap();
         assert_eq!(&buf, b"enclave code");
         // Unlock: accessible again.
         mc.set_protection(id, Protection::Open).unwrap();
@@ -554,7 +608,9 @@ mod tests {
     #[test]
     fn scrub_requires_firmware_and_zeroizes() {
         let mut mc = controller();
-        let id = mc.allocate_region("enclave", 4096, Protection::CoreLocked(CoreId(1))).unwrap();
+        let id = mc
+            .allocate_region("enclave", 4096, Protection::CoreLocked(CoreId(1)))
+            .unwrap();
         let base = mc.region_base(id).unwrap();
         let sa = Agent::SanctuaryApp { core: CoreId(1) };
         mc.write(sa, base, b"key material").unwrap();
@@ -573,14 +629,19 @@ mod tests {
         mc.release_region(id).unwrap();
         assert_eq!(mc.release_region(id).unwrap_err(), HalError::UnknownRegion);
         assert_eq!(mc.protection(id).unwrap_err(), HalError::UnknownRegion);
-        assert_eq!(mc.set_protection(id, Protection::Open).unwrap_err(), HalError::UnknownRegion);
+        assert_eq!(
+            mc.set_protection(id, Protection::Open).unwrap_err(),
+            HalError::UnknownRegion
+        );
     }
 
     #[test]
     fn regions_listing_sorted_by_base() {
         let mut mc = controller();
-        mc.define_region_at("hi", 8 * MB, MB, Protection::Open).unwrap();
-        mc.define_region_at("lo", 0, MB, Protection::SecureOnly).unwrap();
+        mc.define_region_at("hi", 8 * MB, MB, Protection::Open)
+            .unwrap();
+        mc.define_region_at("lo", 0, MB, Protection::SecureOnly)
+            .unwrap();
         let infos = mc.regions();
         assert_eq!(infos.len(), 2);
         assert_eq!(infos[0].name, "lo");

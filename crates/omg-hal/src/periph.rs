@@ -53,7 +53,11 @@ impl Microphone {
     /// Creates a microphone assigned to the normal world (the insecure
     /// power-on default; OMG reassigns it during preparation).
     pub fn new() -> Self {
-        Microphone { assignment: Some(PeriphAssignment::NormalWorld), stream: VecDeque::new(), samples_served: 0 }
+        Microphone {
+            assignment: Some(PeriphAssignment::NormalWorld),
+            stream: VecDeque::new(),
+            samples_served: 0,
+        }
     }
 
     /// Current world assignment.
@@ -91,10 +95,15 @@ impl Microphone {
     /// and [`HalError::PeripheralExhausted`] when no samples remain.
     pub fn read(&mut self, agent: Agent, n: usize) -> Result<Vec<i16>> {
         if !self.assignment().permits(agent) {
-            return Err(HalError::PeripheralDenied { periph: "microphone", agent });
+            return Err(HalError::PeripheralDenied {
+                periph: "microphone",
+                agent,
+            });
         }
         if self.stream.is_empty() {
-            return Err(HalError::PeripheralExhausted { periph: "microphone" });
+            return Err(HalError::PeripheralExhausted {
+                periph: "microphone",
+            });
         }
         let take = n.min(self.stream.len());
         let out: Vec<i16> = self.stream.drain(..take).collect();
@@ -128,7 +137,10 @@ impl SecureDisplay {
     pub fn show(&mut self, agent: Agent, message: &str) -> Result<()> {
         let allowed = matches!(agent, Agent::SecureWorld { .. } | Agent::TrustedFirmware);
         if !allowed {
-            return Err(HalError::PeripheralDenied { periph: "secure display", agent });
+            return Err(HalError::PeripheralDenied {
+                periph: "secure display",
+                agent,
+            });
         }
         self.messages.push(message.to_owned());
         Ok(())
@@ -184,7 +196,9 @@ mod tests {
         ));
         // The SA cannot read the device directly either; it must proxy
         // through the secure world.
-        assert!(mic.read(Agent::SanctuaryApp { core: CoreId(5) }, 10).is_err());
+        assert!(mic
+            .read(Agent::SanctuaryApp { core: CoreId(5) }, 10)
+            .is_err());
         // The secure world reads fine.
         assert_eq!(mic.read(secure(), 10).unwrap().len(), 10);
     }
@@ -218,8 +232,13 @@ mod tests {
         d.show(secure(), "attestation ok").unwrap();
         d.show(Agent::TrustedFirmware, "measured").unwrap();
         assert!(d.show(normal(), "phishing").is_err());
-        assert!(d.show(Agent::SanctuaryApp { core: CoreId(1) }, "sa").is_err());
-        assert_eq!(d.messages(), &["attestation ok".to_owned(), "measured".to_owned()]);
+        assert!(d
+            .show(Agent::SanctuaryApp { core: CoreId(1) }, "sa")
+            .is_err());
+        assert_eq!(
+            d.messages(),
+            &["attestation ok".to_owned(), "measured".to_owned()]
+        );
     }
 
     #[test]
@@ -227,7 +246,10 @@ mod tests {
         use crate::cpu::World;
         assert_eq!(agent_world(normal()), Some(World::Normal));
         assert_eq!(agent_world(secure()), Some(World::Secure));
-        assert_eq!(agent_world(Agent::SanctuaryApp { core: CoreId(0) }), Some(World::Normal));
+        assert_eq!(
+            agent_world(Agent::SanctuaryApp { core: CoreId(0) }),
+            Some(World::Normal)
+        );
         assert_eq!(agent_world(Agent::Dma { device: "x" }), None);
         assert_eq!(agent_world(Agent::TrustedFirmware), None);
     }

@@ -25,7 +25,9 @@ use crate::soc::Platform;
 pub fn render_platform(platform: &Platform) -> String {
     let mut out = String::new();
     let name = platform.name();
-    out.push_str(&format!("=== {name}: TrustZone platform state (cf. paper Fig. 1) ===\n\n"));
+    out.push_str(&format!(
+        "=== {name}: TrustZone platform state (cf. paper Fig. 1) ===\n\n"
+    ));
 
     out.push_str("  Normal World                     | Secure World\n");
     out.push_str("  -------------------------------- | --------------------------------\n");
@@ -105,8 +107,10 @@ mod tests {
         let c = CoreId(5);
         p.shutdown_core(c).unwrap();
         p.boot_core_sanctuary(c).unwrap();
-        p.allocate_region("enclave", 1 << 20, Protection::CoreLocked(c)).unwrap();
-        p.allocate_region("mailbox", 4096, Protection::Shared(c)).unwrap();
+        p.allocate_region("enclave", 1 << 20, Protection::CoreLocked(c))
+            .unwrap();
+        p.allocate_region("mailbox", 4096, Protection::Shared(c))
+            .unwrap();
 
         let fig = render_platform(&p);
         assert!(fig.contains("core5"));

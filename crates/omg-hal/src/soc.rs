@@ -92,7 +92,10 @@ impl Platform {
             cores.push(CpuCore::new(CoreId(i), config.big_freq_mhz));
         }
         for i in 0..config.little_cores {
-            cores.push(CpuCore::new(CoreId(config.big_cores + i), config.little_freq_mhz));
+            cores.push(CpuCore::new(
+                CoreId(config.big_cores + i),
+                config.little_freq_mhz,
+            ));
         }
         Platform {
             name: config.name,
@@ -131,11 +134,17 @@ impl Platform {
     ///
     /// [`HalError::CoreUnavailable`] for ids beyond the core count.
     pub fn core(&self, id: CoreId) -> Result<&CpuCore> {
-        self.cores.get(id.0).ok_or(HalError::CoreUnavailable { core: id, reason: "no such core" })
+        self.cores.get(id.0).ok_or(HalError::CoreUnavailable {
+            core: id,
+            reason: "no such core",
+        })
     }
 
     fn core_mut(&mut self, id: CoreId) -> Result<&mut CpuCore> {
-        self.cores.get_mut(id.0).ok_or(HalError::CoreUnavailable { core: id, reason: "no such core" })
+        self.cores.get_mut(id.0).ok_or(HalError::CoreUnavailable {
+            core: id,
+            reason: "no such core",
+        })
     }
 
     /// Sets the scheduler-load indicator of a core (used by tests and by
@@ -167,7 +176,12 @@ impl Platform {
     /// # Errors
     ///
     /// Propagates allocator errors.
-    pub fn allocate_region(&mut self, name: &str, size: u64, protection: Protection) -> Result<RegionId> {
+    pub fn allocate_region(
+        &mut self,
+        name: &str,
+        size: u64,
+        protection: Protection,
+    ) -> Result<RegionId> {
         self.memory.allocate_region(name, size, protection)
     }
 
@@ -239,7 +253,13 @@ impl Platform {
     /// # Errors
     ///
     /// TZASC faults and bounds errors from [`MemoryController::read`].
-    pub fn read_at(&mut self, agent: Agent, id: RegionId, offset: u64, buf: &mut [u8]) -> Result<()> {
+    pub fn read_at(
+        &mut self,
+        agent: Agent,
+        id: RegionId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<()> {
         let base = self.memory.region_base(id)?;
         self.memory.read(agent, base + offset, buf)?;
         self.note_cache_traffic(agent, base + offset, buf.len());
@@ -266,7 +286,8 @@ impl Platform {
     /// [`HalError::UnknownRegion`] for stale handles.
     pub fn read_region_trusted(&self, id: RegionId) -> Result<Vec<u8>> {
         let mut out = Vec::new();
-        self.memory.read_region(Agent::TrustedFirmware, id, &mut out)?;
+        self.memory
+            .read_region(Agent::TrustedFirmware, id, &mut out)?;
         Ok(out)
     }
 
@@ -293,12 +314,19 @@ impl Platform {
     /// [`HalError::NoEligibleCore`] if shutting a core down would leave the
     /// OS without cores.
     pub fn least_busy_online_core(&self) -> Result<CoreId> {
-        let online: Vec<&CpuCore> =
-            self.cores.iter().filter(|c| c.state() == CoreState::Online).collect();
+        let online: Vec<&CpuCore> = self
+            .cores
+            .iter()
+            .filter(|c| c.state() == CoreState::Online)
+            .collect();
         if online.len() < 2 {
             return Err(HalError::NoEligibleCore);
         }
-        Ok(online.iter().min_by_key(|c| c.load()).expect("nonempty").id())
+        Ok(online
+            .iter()
+            .min_by_key(|c| c.load())
+            .expect("nonempty")
+            .id())
     }
 
     /// Powers a core off (SANCTUARY setup step), charging the shutdown cost.
@@ -309,7 +337,10 @@ impl Platform {
     pub fn shutdown_core(&mut self, id: CoreId) -> Result<()> {
         let core = self.core_mut(id)?;
         if core.state() != CoreState::Online {
-            return Err(HalError::CoreUnavailable { core: id, reason: "not online" });
+            return Err(HalError::CoreUnavailable {
+                core: id,
+                reason: "not online",
+            });
         }
         core.set_state(CoreState::Offline);
         self.clock.charge(HwEvent::CoreShutdown, 0);
@@ -325,7 +356,10 @@ impl Platform {
     pub fn boot_core_sanctuary(&mut self, id: CoreId) -> Result<()> {
         let core = self.core_mut(id)?;
         if core.state() != CoreState::Offline {
-            return Err(HalError::CoreUnavailable { core: id, reason: "not offline" });
+            return Err(HalError::CoreUnavailable {
+                core: id,
+                reason: "not offline",
+            });
         }
         core.set_state(CoreState::Sanctuary);
         core.set_world(World::Normal); // SAs are *normal-world* user space
@@ -341,7 +375,10 @@ impl Platform {
     pub fn return_core(&mut self, id: CoreId) -> Result<()> {
         let core = self.core_mut(id)?;
         if core.state() != CoreState::Sanctuary {
-            return Err(HalError::CoreUnavailable { core: id, reason: "not a sanctuary core" });
+            return Err(HalError::CoreUnavailable {
+                core: id,
+                reason: "not a sanctuary core",
+            });
         }
         core.set_state(CoreState::Online);
         core.set_world(World::Normal);
@@ -368,7 +405,10 @@ impl Platform {
     pub fn world_switch(&mut self, id: CoreId, to: World) -> Result<()> {
         let core = self.core_mut(id)?;
         if core.state() == CoreState::Offline {
-            return Err(HalError::CoreUnavailable { core: id, reason: "core is offline" });
+            return Err(HalError::CoreUnavailable {
+                core: id,
+                reason: "core is offline",
+            });
         }
         if core.world() != to {
             core.set_world(to);
@@ -383,9 +423,16 @@ impl Platform {
     /// # Errors
     ///
     /// [`HalError::CoreUnavailable`] unless the core is in SANCTUARY state.
-    pub fn run_enclave_compute<T>(&mut self, id: CoreId, f: impl FnOnce() -> T) -> Result<(T, Duration)> {
+    pub fn run_enclave_compute<T>(
+        &mut self,
+        id: CoreId,
+        f: impl FnOnce() -> T,
+    ) -> Result<(T, Duration)> {
         if self.core(id)?.state() != CoreState::Sanctuary {
-            return Err(HalError::CoreUnavailable { core: id, reason: "not a sanctuary core" });
+            return Err(HalError::CoreUnavailable {
+                core: id,
+                reason: "not a sanctuary core",
+            });
         }
         let penalty = if self.l2.exclusion_enabled() {
             self.clock.cost_model().l2_exclusion_compute_penalty
@@ -424,7 +471,10 @@ impl Platform {
                 self.mic.set_assignment(assignment);
                 Ok(())
             }
-            _ => Err(HalError::PeripheralDenied { periph: "microphone (tzpc)", agent }),
+            _ => Err(HalError::PeripheralDenied {
+                periph: "microphone (tzpc)",
+                agent,
+            }),
         }
     }
 
@@ -493,7 +543,10 @@ mod tests {
         for i in 1..8 {
             p.shutdown_core(CoreId(i)).unwrap();
         }
-        assert_eq!(p.least_busy_online_core().unwrap_err(), HalError::NoEligibleCore);
+        assert_eq!(
+            p.least_busy_online_core().unwrap_err(),
+            HalError::NoEligibleCore
+        );
     }
 
     #[test]
@@ -548,7 +601,9 @@ mod tests {
         let c = CoreId(4);
         p.shutdown_core(c).unwrap();
         p.boot_core_sanctuary(c).unwrap();
-        let r = p.allocate_region("enclave", 4096, Protection::CoreLocked(c)).unwrap();
+        let r = p
+            .allocate_region("enclave", 4096, Protection::CoreLocked(c))
+            .unwrap();
         let sa = Agent::SanctuaryApp { core: c };
         p.write_at(sa, r, 0, &[9u8; 256]).unwrap();
         // L1 has residue; shared L2 does not (exclusion on).
@@ -568,7 +623,9 @@ mod tests {
         let c = CoreId(6);
         p.shutdown_core(c).unwrap();
         p.boot_core_sanctuary(c).unwrap();
-        let r = p.allocate_region("enclave", 4096, Protection::CoreLocked(c)).unwrap();
+        let r = p
+            .allocate_region("enclave", 4096, Protection::CoreLocked(c))
+            .unwrap();
         let sa = Agent::SanctuaryApp { core: c };
         p.write_at(sa, r, 0, b"secret key").unwrap();
         let before = clock.now();
@@ -596,10 +653,15 @@ mod tests {
     fn microphone_tzpc_privilege() {
         let mut p = Platform::hikey960();
         // The commodity OS cannot grab the mic assignment.
-        assert!(p.assign_microphone(normal(0), PeriphAssignment::SecureWorld).is_err());
+        assert!(p
+            .assign_microphone(normal(0), PeriphAssignment::SecureWorld)
+            .is_err());
         // The secure world can.
-        p.assign_microphone(Agent::SecureWorld { core: CoreId(0) }, PeriphAssignment::SecureWorld)
-            .unwrap();
+        p.assign_microphone(
+            Agent::SecureWorld { core: CoreId(0) },
+            PeriphAssignment::SecureWorld,
+        )
+        .unwrap();
         assert_eq!(p.microphone_assignment(), PeriphAssignment::SecureWorld);
         // Now the normal world cannot read samples.
         p.microphone_mut().push_recording(&[1; 16]);
@@ -609,7 +671,8 @@ mod tests {
     #[test]
     fn display_records_messages() {
         let mut p = Platform::hikey960();
-        p.display_show(Agent::TrustedFirmware, "enclave measured").unwrap();
+        p.display_show(Agent::TrustedFirmware, "enclave measured")
+            .unwrap();
         assert_eq!(p.display_messages(), &["enclave measured".to_owned()]);
     }
 
@@ -619,7 +682,8 @@ mod tests {
         let clock = p.clock();
         let r = p.allocate_region("x", 4096, Protection::Open).unwrap();
         let before = clock.now();
-        p.set_protection(r, Protection::CoreLocked(CoreId(1))).unwrap();
+        p.set_protection(r, Protection::CoreLocked(CoreId(1)))
+            .unwrap();
         assert_eq!(clock.now() - before, Duration::from_micros(50));
         assert_eq!(p.protection(r).unwrap(), Protection::CoreLocked(CoreId(1)));
     }

@@ -72,16 +72,29 @@ impl fmt::Display for NnError {
             NnError::MissingQuantization { tensor } => {
                 write!(f, "tensor {tensor} lacks quantization parameters")
             }
-            NnError::BufferSizeMismatch { tensor, expected, got } => {
-                write!(f, "buffer for tensor {tensor} has {got} bytes, expected {expected}")
+            NnError::BufferSizeMismatch {
+                tensor,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "buffer for tensor {tensor} has {got} bytes, expected {expected}"
+                )
             }
             NnError::BadInputLength { expected, got } => {
                 write!(f, "input has {got} elements, model expects {expected}")
             }
             NnError::MalformedModel(what) => write!(f, "malformed model: {what}"),
             NnError::UnsupportedFormat { detail } => write!(f, "unsupported format: {detail}"),
-            NnError::ArenaTooSmall { required, available } => {
-                write!(f, "arena too small: need {required} bytes, have {available}")
+            NnError::ArenaTooSmall {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "arena too small: need {required} bytes, have {available}"
+                )
             }
         }
     }
@@ -98,7 +111,11 @@ mod tests {
 
     #[test]
     fn messages_are_descriptive() {
-        let e = NnError::BufferSizeMismatch { tensor: "conv/filter".into(), expected: 640, got: 639 };
+        let e = NnError::BufferSizeMismatch {
+            tensor: "conv/filter".into(),
+            expected: 640,
+            got: 639,
+        };
         assert!(e.to_string().contains("conv/filter"));
         assert!(e.to_string().contains("640"));
     }

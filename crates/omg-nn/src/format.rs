@@ -103,7 +103,16 @@ fn put_str32(buf: &mut BytesMut, s: &str) {
 
 fn put_op(buf: &mut BytesMut, op: &Op) {
     match *op {
-        Op::Conv2D { input, filter, bias, output, stride_h, stride_w, padding, activation } => {
+        Op::Conv2D {
+            input,
+            filter,
+            bias,
+            output,
+            stride_h,
+            stride_w,
+            padding,
+            activation,
+        } => {
             buf.put_u8(0);
             for id in [input, filter, bias, output] {
                 buf.put_u32_le(id.index() as u32);
@@ -114,7 +123,15 @@ fn put_op(buf: &mut BytesMut, op: &Op) {
             buf.put_u8(activation.tag());
         }
         Op::DepthwiseConv2D {
-            input, filter, bias, output, stride_h, stride_w, padding, activation, depth_multiplier,
+            input,
+            filter,
+            bias,
+            output,
+            stride_h,
+            stride_w,
+            padding,
+            activation,
+            depth_multiplier,
         } => {
             buf.put_u8(1);
             for id in [input, filter, bias, output] {
@@ -126,14 +143,28 @@ fn put_op(buf: &mut BytesMut, op: &Op) {
             buf.put_u8(activation.tag());
             buf.put_u16_le(depth_multiplier as u16);
         }
-        Op::FullyConnected { input, filter, bias, output, activation } => {
+        Op::FullyConnected {
+            input,
+            filter,
+            bias,
+            output,
+            activation,
+        } => {
             buf.put_u8(2);
             for id in [input, filter, bias, output] {
                 buf.put_u32_le(id.index() as u32);
             }
             buf.put_u8(activation.tag());
         }
-        Op::AveragePool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding } => {
+        Op::AveragePool2D {
+            input,
+            output,
+            filter_h,
+            filter_w,
+            stride_h,
+            stride_w,
+            padding,
+        } => {
             buf.put_u8(3);
             buf.put_u32_le(input.index() as u32);
             buf.put_u32_le(output.index() as u32);
@@ -143,7 +174,15 @@ fn put_op(buf: &mut BytesMut, op: &Op) {
             buf.put_u16_le(stride_w as u16);
             buf.put_u8(padding.tag());
         }
-        Op::MaxPool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding } => {
+        Op::MaxPool2D {
+            input,
+            output,
+            filter_h,
+            filter_w,
+            stride_h,
+            stride_w,
+            padding,
+        } => {
             buf.put_u8(4);
             buf.put_u32_le(input.index() as u32);
             buf.put_u32_le(output.index() as u32);
@@ -241,15 +280,21 @@ impl Reader {
 /// [`NnError::MalformedModel`] on truncation or inconsistent ids, plus any
 /// model validation error.
 pub fn deserialize(data: &[u8]) -> Result<Model> {
-    let mut r = Reader { buf: Bytes::copy_from_slice(data) };
+    let mut r = Reader {
+        buf: Bytes::copy_from_slice(data),
+    };
 
     let magic = r.bytes(4)?;
     if magic != MAGIC {
-        return Err(NnError::UnsupportedFormat { detail: "bad magic".into() });
+        return Err(NnError::UnsupportedFormat {
+            detail: "bad magic".into(),
+        });
     }
     let version = r.u16()?;
     if version != VERSION {
-        return Err(NnError::UnsupportedFormat { detail: format!("version {version} unsupported") });
+        return Err(NnError::UnsupportedFormat {
+            detail: format!("version {version} unsupported"),
+        });
     }
 
     let description = r.str32()?;
@@ -266,15 +311,21 @@ pub fn deserialize(data: &[u8]) -> Result<Model> {
     let mut tensors = Vec::with_capacity(tensor_count);
     for _ in 0..tensor_count {
         let name = r.str16()?;
-        let dtype = DType::from_tag(r.u8()?)
-            .ok_or(NnError::MalformedModel("unknown dtype tag"))?;
+        let dtype = DType::from_tag(r.u8()?).ok_or(NnError::MalformedModel("unknown dtype tag"))?;
         let quant = match r.u8()? {
             0 => None,
-            1 => Some(QuantParams { scale: r.f32()?, zero_point: r.i32()? }),
+            1 => Some(QuantParams {
+                scale: r.f32()?,
+                zero_point: r.i32()?,
+            }),
             _ => return Err(NnError::MalformedModel("bad quant flag")),
         };
         let buffer_raw = r.u32()?;
-        let buffer = if buffer_raw == u32::MAX { None } else { Some(buffer_raw as usize) };
+        let buffer = if buffer_raw == u32::MAX {
+            None
+        } else {
+            Some(buffer_raw as usize)
+        };
         let rank = r.u8()? as usize;
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
@@ -302,16 +353,32 @@ pub fn deserialize(data: &[u8]) -> Result<Model> {
                 let output = r.tensor_id(tensor_count)?;
                 let stride_h = r.u16()? as usize;
                 let stride_w = r.u16()? as usize;
-                let padding = Padding::from_tag(r.u8()?)
-                    .ok_or(NnError::MalformedModel("bad padding tag"))?;
+                let padding =
+                    Padding::from_tag(r.u8()?).ok_or(NnError::MalformedModel("bad padding tag"))?;
                 let activation = Activation::from_tag(r.u8()?)
                     .ok_or(NnError::MalformedModel("bad activation tag"))?;
                 if opcode == 0 {
-                    Op::Conv2D { input, filter, bias, output, stride_h, stride_w, padding, activation }
+                    Op::Conv2D {
+                        input,
+                        filter,
+                        bias,
+                        output,
+                        stride_h,
+                        stride_w,
+                        padding,
+                        activation,
+                    }
                 } else {
                     let depth_multiplier = r.u16()? as usize;
                     Op::DepthwiseConv2D {
-                        input, filter, bias, output, stride_h, stride_w, padding, activation,
+                        input,
+                        filter,
+                        bias,
+                        output,
+                        stride_h,
+                        stride_w,
+                        padding,
+                        activation,
                         depth_multiplier,
                     }
                 }
@@ -323,7 +390,13 @@ pub fn deserialize(data: &[u8]) -> Result<Model> {
                 let output = r.tensor_id(tensor_count)?;
                 let activation = Activation::from_tag(r.u8()?)
                     .ok_or(NnError::MalformedModel("bad activation tag"))?;
-                Op::FullyConnected { input, filter, bias, output, activation }
+                Op::FullyConnected {
+                    input,
+                    filter,
+                    bias,
+                    output,
+                    activation,
+                }
             }
             3 | 4 => {
                 let input = r.tensor_id(tensor_count)?;
@@ -332,12 +405,28 @@ pub fn deserialize(data: &[u8]) -> Result<Model> {
                 let filter_w = r.u16()? as usize;
                 let stride_h = r.u16()? as usize;
                 let stride_w = r.u16()? as usize;
-                let padding = Padding::from_tag(r.u8()?)
-                    .ok_or(NnError::MalformedModel("bad padding tag"))?;
+                let padding =
+                    Padding::from_tag(r.u8()?).ok_or(NnError::MalformedModel("bad padding tag"))?;
                 if opcode == 3 {
-                    Op::AveragePool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding }
+                    Op::AveragePool2D {
+                        input,
+                        output,
+                        filter_h,
+                        filter_w,
+                        stride_h,
+                        stride_w,
+                        padding,
+                    }
                 } else {
-                    Op::MaxPool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding }
+                    Op::MaxPool2D {
+                        input,
+                        output,
+                        filter_h,
+                        filter_w,
+                        stride_h,
+                        stride_w,
+                        padding,
+                    }
                 }
             }
             5 => Op::Softmax {
@@ -357,7 +446,15 @@ pub fn deserialize(data: &[u8]) -> Result<Model> {
     let output = r.tensor_id(tensor_count)?;
 
     // Rebuild through the builder-equivalent constructor and validate.
-    let model = Model { tensors, buffers, ops, input, output, labels, description };
+    let model = Model {
+        tensors,
+        buffers,
+        ops,
+        input,
+        output,
+        labels,
+        description,
+    };
     // Re-run full validation so a tampered blob cannot produce a model
     // violating kernel preconditions.
     let rebuilt = {
@@ -387,39 +484,73 @@ mod tests {
             "in",
             vec![1, 4, 4, 1],
             DType::I8,
-            Some(QuantParams { scale: 0.5, zero_point: -1 }),
+            Some(QuantParams {
+                scale: 0.5,
+                zero_point: -1,
+            }),
         );
-        let cf = b.add_weight_i8("conv/w", vec![2, 3, 3, 1], vec![1; 18], QuantParams::symmetric(0.1));
+        let cf = b.add_weight_i8(
+            "conv/w",
+            vec![2, 3, 3, 1],
+            vec![1; 18],
+            QuantParams::symmetric(0.1),
+        );
         let cb = b.add_weight_i32("conv/b", vec![2], vec![5, -5]);
         let conv = b.add_activation(
             "conv",
             vec![1, 4, 4, 2],
             DType::I8,
-            Some(QuantParams { scale: 0.25, zero_point: 3 }),
+            Some(QuantParams {
+                scale: 0.25,
+                zero_point: 3,
+            }),
         );
         b.add_op(Op::Conv2D {
-            input, filter: cf, bias: cb, output: conv,
-            stride_h: 1, stride_w: 1,
-            padding: Padding::Same, activation: Activation::Relu,
+            input,
+            filter: cf,
+            bias: cb,
+            output: conv,
+            stride_h: 1,
+            stride_w: 1,
+            padding: Padding::Same,
+            activation: Activation::Relu,
         });
-        let fw = b.add_weight_i8("fc/w", vec![3, 32], vec![2; 96], QuantParams::symmetric(0.05));
+        let fw = b.add_weight_i8(
+            "fc/w",
+            vec![3, 32],
+            vec![2; 96],
+            QuantParams::symmetric(0.05),
+        );
         let fb = b.add_weight_i32("fc/b", vec![3], vec![0, 1, 2]);
         let fc = b.add_activation(
             "logits",
             vec![1, 3],
             DType::I8,
-            Some(QuantParams { scale: 1.0, zero_point: 0 }),
+            Some(QuantParams {
+                scale: 1.0,
+                zero_point: 0,
+            }),
         );
         b.add_op(Op::FullyConnected {
-            input: conv, filter: fw, bias: fb, output: fc, activation: Activation::None,
+            input: conv,
+            filter: fw,
+            bias: fb,
+            output: fc,
+            activation: Activation::None,
         });
         let probs = b.add_activation(
             "probs",
             vec![1, 3],
             DType::I8,
-            Some(QuantParams { scale: 1.0 / 256.0, zero_point: -128 }),
+            Some(QuantParams {
+                scale: 1.0 / 256.0,
+                zero_point: -128,
+            }),
         );
-        b.add_op(Op::Softmax { input: fc, output: probs });
+        b.add_op(Op::Softmax {
+            input: fc,
+            output: probs,
+        });
         b.set_input(input);
         b.set_output(probs);
         b.set_labels(["a", "b", "c"]);
@@ -453,14 +584,20 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = serialize(&sample_model());
         bytes[0] = b'X';
-        assert!(matches!(deserialize(&bytes), Err(NnError::UnsupportedFormat { .. })));
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(NnError::UnsupportedFormat { .. })
+        ));
     }
 
     #[test]
     fn bad_version_rejected() {
         let mut bytes = serialize(&sample_model());
         bytes[4] = 99;
-        assert!(matches!(deserialize(&bytes), Err(NnError::UnsupportedFormat { .. })));
+        assert!(matches!(
+            deserialize(&bytes),
+            Err(NnError::UnsupportedFormat { .. })
+        ));
     }
 
     #[test]
@@ -468,7 +605,10 @@ mod tests {
         let bytes = serialize(&sample_model());
         // Every strict prefix must fail cleanly, never panic.
         for len in 0..bytes.len() {
-            assert!(deserialize(&bytes[..len]).is_err(), "prefix of {len} bytes parsed");
+            assert!(
+                deserialize(&bytes[..len]).is_err(),
+                "prefix of {len} bytes parsed"
+            );
         }
     }
 

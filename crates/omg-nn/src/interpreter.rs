@@ -90,9 +90,10 @@ pub struct Interpreter {
 }
 
 fn shape4(shape: &[usize], context: &'static str) -> Result<[usize; 4]> {
-    shape
-        .try_into()
-        .map_err(|_| NnError::ShapeMismatch { context, detail: format!("expected rank 4, got {shape:?}") })
+    shape.try_into().map_err(|_| NnError::ShapeMismatch {
+        context,
+        detail: format!("expected rank 4, got {shape:?}"),
+    })
 }
 
 impl Interpreter {
@@ -121,7 +122,9 @@ impl Interpreter {
                     weights_i32[idx] = Some(vals);
                 }
                 DType::F32 => {
-                    return Err(NnError::DtypeMismatch { context: "f32 constants unsupported" })
+                    return Err(NnError::DtypeMismatch {
+                        context: "f32 constants unsupported",
+                    })
                 }
             }
         }
@@ -191,8 +194,21 @@ impl Interpreter {
             }
         };
         match *op {
-            Op::Conv2D { input, filter, bias, output, stride_h, stride_w, padding, activation } => {
-                let (it, ft, ot) = (model.tensor(input)?, model.tensor(filter)?, model.tensor(output)?);
+            Op::Conv2D {
+                input,
+                filter,
+                bias,
+                output,
+                stride_h,
+                stride_w,
+                padding,
+                activation,
+            } => {
+                let (it, ft, ot) = (
+                    model.tensor(input)?,
+                    model.tensor(filter)?,
+                    model.tensor(output)?,
+                );
                 let in_q = it.quant().expect("validated");
                 let w_q = ft.quant().expect("validated");
                 let out_q = ot.quant().expect("validated");
@@ -211,20 +227,39 @@ impl Interpreter {
                 };
                 let (act_min, act_max) = act_range(activation, out_q.zero_point);
                 Ok(Step::Conv2D {
-                    input, filter, bias, output,
-                    input_shape, filter_shape, output_shape,
+                    input,
+                    filter,
+                    bias,
+                    output,
+                    input_shape,
+                    filter_shape,
+                    output_shape,
                     stride: (stride_h, stride_w),
                     pad,
                     input_offset: -in_q.zero_point,
                     output_offset: out_q.zero_point,
-                    multiplier, act_min, act_max,
+                    multiplier,
+                    act_min,
+                    act_max,
                     depthwise: None,
                 })
             }
             Op::DepthwiseConv2D {
-                input, filter, bias, output, stride_h, stride_w, padding, activation, depth_multiplier,
+                input,
+                filter,
+                bias,
+                output,
+                stride_h,
+                stride_w,
+                padding,
+                activation,
+                depth_multiplier,
             } => {
-                let (it, ft, ot) = (model.tensor(input)?, model.tensor(filter)?, model.tensor(output)?);
+                let (it, ft, ot) = (
+                    model.tensor(input)?,
+                    model.tensor(filter)?,
+                    model.tensor(output)?,
+                );
                 let in_q = it.quant().expect("validated");
                 let w_q = ft.quant().expect("validated");
                 let out_q = ot.quant().expect("validated");
@@ -243,18 +278,35 @@ impl Interpreter {
                 };
                 let (act_min, act_max) = act_range(activation, out_q.zero_point);
                 Ok(Step::Conv2D {
-                    input, filter, bias, output,
-                    input_shape, filter_shape, output_shape,
+                    input,
+                    filter,
+                    bias,
+                    output,
+                    input_shape,
+                    filter_shape,
+                    output_shape,
                     stride: (stride_h, stride_w),
                     pad,
                     input_offset: -in_q.zero_point,
                     output_offset: out_q.zero_point,
-                    multiplier, act_min, act_max,
+                    multiplier,
+                    act_min,
+                    act_max,
                     depthwise: Some(depth_multiplier),
                 })
             }
-            Op::FullyConnected { input, filter, bias, output, activation } => {
-                let (it, ft, ot) = (model.tensor(input)?, model.tensor(filter)?, model.tensor(output)?);
+            Op::FullyConnected {
+                input,
+                filter,
+                bias,
+                output,
+                activation,
+            } => {
+                let (it, ft, ot) = (
+                    model.tensor(input)?,
+                    model.tensor(filter)?,
+                    model.tensor(output)?,
+                );
                 let in_q = it.quant().expect("validated");
                 let w_q = ft.quant().expect("validated");
                 let out_q = ot.quant().expect("validated");
@@ -263,16 +315,37 @@ impl Interpreter {
                 )?;
                 let (act_min, act_max) = act_range(activation, out_q.zero_point);
                 Ok(Step::FullyConnected {
-                    input, filter, bias, output,
+                    input,
+                    filter,
+                    bias,
+                    output,
                     in_features: ft.shape()[1],
                     out_features: ft.shape()[0],
                     input_offset: -in_q.zero_point,
                     output_offset: out_q.zero_point,
-                    multiplier, act_min, act_max,
+                    multiplier,
+                    act_min,
+                    act_max,
                 })
             }
-            Op::AveragePool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding }
-            | Op::MaxPool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding } => {
+            Op::AveragePool2D {
+                input,
+                output,
+                filter_h,
+                filter_w,
+                stride_h,
+                stride_w,
+                padding,
+            }
+            | Op::MaxPool2D {
+                input,
+                output,
+                filter_h,
+                filter_w,
+                stride_h,
+                stride_w,
+                padding,
+            } => {
                 let (it, ot) = (model.tensor(input)?, model.tensor(output)?);
                 let input_shape = shape4(it.shape(), "Pool2D input")?;
                 let output_shape = shape4(ot.shape(), "Pool2D output")?;
@@ -284,7 +357,10 @@ impl Interpreter {
                     Padding::Valid => (0, 0),
                 };
                 Ok(Step::Pool2D {
-                    input, output, input_shape, output_shape,
+                    input,
+                    output,
+                    input_shape,
+                    output_shape,
                     filter: (filter_h, filter_w),
                     stride: (stride_h, stride_w),
                     pad,
@@ -294,7 +370,12 @@ impl Interpreter {
             Op::Softmax { input, output } => {
                 let it = model.tensor(input)?;
                 let q = it.quant().expect("validated");
-                Ok(Step::Softmax { input, output, input_scale: q.scale, input_zp: q.zero_point })
+                Ok(Step::Softmax {
+                    input,
+                    output,
+                    input_scale: q.scale,
+                    input_zp: q.zero_point,
+                })
             }
             Op::Reshape { input, output } => Ok(Step::Copy { input, output }),
         }
@@ -337,13 +418,17 @@ impl Interpreter {
     fn filter_slice(&self, id: TensorId) -> Result<&[i8]> {
         self.weights_i8[id.index()]
             .as_deref()
-            .ok_or(NnError::DtypeMismatch { context: "filter must be constant i8" })
+            .ok_or(NnError::DtypeMismatch {
+                context: "filter must be constant i8",
+            })
     }
 
     fn bias_slice(&self, id: TensorId) -> Result<&[i32]> {
         self.weights_i32[id.index()]
             .as_deref()
-            .ok_or(NnError::DtypeMismatch { context: "bias must be constant i32" })
+            .ok_or(NnError::DtypeMismatch {
+                context: "bias must be constant i32",
+            })
     }
 
     /// Runs the model and snapshots the named activation tensors right
@@ -392,7 +477,8 @@ impl Interpreter {
     fn record_tap(&mut self, produced: TensorId) {
         if self.pending_taps.contains(&produced) {
             if let Ok((off, len)) = self.activation_range(produced) {
-                self.tap_results.push((produced, self.arena[off..off + len].to_vec()));
+                self.tap_results
+                    .push((produced, self.arena[off..off + len].to_vec()));
             }
         }
     }
@@ -406,7 +492,10 @@ impl Interpreter {
     pub fn invoke(&mut self, input: &[i8]) -> Result<()> {
         let (in_off, in_len) = self.activation_range(self.model.input)?;
         if input.len() != in_len {
-            return Err(NnError::BadInputLength { expected: in_len, got: input.len() });
+            return Err(NnError::BadInputLength {
+                expected: in_len,
+                got: input.len(),
+            });
         }
         self.arena[in_off..in_off + in_len].copy_from_slice(input);
         // The input's arena slot may be reused by later ops; snapshot it now
@@ -418,10 +507,21 @@ impl Interpreter {
             let step = self.steps[step_idx].clone();
             match step {
                 Step::Conv2D {
-                    input, filter, bias, output,
-                    input_shape, filter_shape, output_shape,
-                    stride, pad, input_offset, output_offset, multiplier,
-                    act_min, act_max, depthwise,
+                    input,
+                    filter,
+                    bias,
+                    output,
+                    input_shape,
+                    filter_shape,
+                    output_shape,
+                    stride,
+                    pad,
+                    input_offset,
+                    output_offset,
+                    multiplier,
+                    act_min,
+                    act_max,
+                    depthwise,
                 } => {
                     self.load_input(input)?;
                     let (out_off, out_len) = self.activation_range(output)?;
@@ -440,8 +540,13 @@ impl Interpreter {
                             bias: &bias_data,
                             output: out_slice,
                             output_shape,
-                            stride, pad, input_offset, output_offset, multiplier,
-                            act_min, act_max,
+                            stride,
+                            pad,
+                            input_offset,
+                            output_offset,
+                            multiplier,
+                            act_min,
+                            act_max,
                         }),
                         Some(mult) => kernels::depthwise_conv2d(kernels::DepthwiseConv2DArgs {
                             input: &self.scratch,
@@ -452,15 +557,28 @@ impl Interpreter {
                             output: out_slice,
                             output_shape,
                             depth_multiplier: mult,
-                            stride, pad, input_offset, output_offset, multiplier,
-                            act_min, act_max,
+                            stride,
+                            pad,
+                            input_offset,
+                            output_offset,
+                            multiplier,
+                            act_min,
+                            act_max,
                         }),
                     }
                 }
                 Step::FullyConnected {
-                    input, filter, bias, output,
-                    in_features, out_features,
-                    input_offset, output_offset, multiplier, act_min, act_max,
+                    input,
+                    filter,
+                    bias,
+                    output,
+                    in_features,
+                    out_features,
+                    input_offset,
+                    output_offset,
+                    multiplier,
+                    act_min,
+                    act_max,
                 } => {
                     self.load_input(input)?;
                     let (out_off, out_len) = self.activation_range(output)?;
@@ -472,11 +590,25 @@ impl Interpreter {
                         filter: &filter_data,
                         bias: &bias_data,
                         output: out_slice,
-                        in_features, out_features,
-                        input_offset, output_offset, multiplier, act_min, act_max,
+                        in_features,
+                        out_features,
+                        input_offset,
+                        output_offset,
+                        multiplier,
+                        act_min,
+                        act_max,
                     });
                 }
-                Step::Pool2D { input, output, input_shape, output_shape, filter, stride, pad, is_max } => {
+                Step::Pool2D {
+                    input,
+                    output,
+                    input_shape,
+                    output_shape,
+                    filter,
+                    stride,
+                    pad,
+                    is_max,
+                } => {
                     self.load_input(input)?;
                     let (out_off, out_len) = self.activation_range(output)?;
                     let out_slice = &mut self.arena[out_off..out_off + out_len];
@@ -485,7 +617,9 @@ impl Interpreter {
                         input_shape,
                         output: out_slice,
                         output_shape,
-                        filter, stride, pad,
+                        filter,
+                        stride,
+                        pad,
                     };
                     if is_max {
                         kernels::max_pool2d(args);
@@ -493,7 +627,12 @@ impl Interpreter {
                         kernels::average_pool2d(args);
                     }
                 }
-                Step::Softmax { input, output, input_scale, input_zp } => {
+                Step::Softmax {
+                    input,
+                    output,
+                    input_scale,
+                    input_zp,
+                } => {
                     self.load_input(input)?;
                     let (out_off, out_len) = self.activation_range(output)?;
                     let out_slice = &mut self.arena[out_off..out_off + out_len];
@@ -532,7 +671,9 @@ impl Interpreter {
             .model
             .tensor(self.model.output)?
             .quant()
-            .ok_or_else(|| NnError::MissingQuantization { tensor: "output".into() })?;
+            .ok_or_else(|| NnError::MissingQuantization {
+                tensor: "output".into(),
+            })?;
         Ok(q.dequantize_slice(self.output_quantized()?))
     }
 
@@ -562,25 +703,48 @@ mod tests {
     use crate::tensor::DType;
 
     fn qp(scale: f32, zp: i32) -> QuantParams {
-        QuantParams { scale, zero_point: zp }
+        QuantParams {
+            scale,
+            zero_point: zp,
+        }
     }
 
     /// Builds a 2-layer model: conv (identity 1x1) -> fc.
     fn tiny_model() -> Model {
         let mut b = Model::builder();
         let input = b.add_activation("in", vec![1, 2, 2, 1], DType::I8, Some(qp(1.0, 0)));
-        let cf = b.add_weight_i8("conv/w", vec![1, 1, 1, 1], vec![1], QuantParams::symmetric(1.0));
+        let cf = b.add_weight_i8(
+            "conv/w",
+            vec![1, 1, 1, 1],
+            vec![1],
+            QuantParams::symmetric(1.0),
+        );
         let cb = b.add_weight_i32("conv/b", vec![1], vec![0]);
         let conv_out = b.add_activation("conv", vec![1, 2, 2, 1], DType::I8, Some(qp(1.0, 0)));
         b.add_op(Op::Conv2D {
-            input, filter: cf, bias: cb, output: conv_out,
-            stride_h: 1, stride_w: 1, padding: Padding::Valid, activation: Activation::None,
+            input,
+            filter: cf,
+            bias: cb,
+            output: conv_out,
+            stride_h: 1,
+            stride_w: 1,
+            padding: Padding::Valid,
+            activation: Activation::None,
         });
-        let fw = b.add_weight_i8("fc/w", vec![2, 4], vec![1, 1, 1, 1, 1, -1, 1, -1], QuantParams::symmetric(1.0));
+        let fw = b.add_weight_i8(
+            "fc/w",
+            vec![2, 4],
+            vec![1, 1, 1, 1, 1, -1, 1, -1],
+            QuantParams::symmetric(1.0),
+        );
         let fb = b.add_weight_i32("fc/b", vec![2], vec![0, 0]);
         let fc_out = b.add_activation("fc", vec![1, 2], DType::I8, Some(qp(1.0, 0)));
         b.add_op(Op::FullyConnected {
-            input: conv_out, filter: fw, bias: fb, output: fc_out, activation: Activation::None,
+            input: conv_out,
+            filter: fw,
+            bias: fb,
+            output: fc_out,
+            activation: Activation::None,
         });
         b.set_input(input);
         b.set_output(fc_out);
@@ -611,7 +775,10 @@ mod tests {
         let mut interp = Interpreter::new(tiny_model()).unwrap();
         assert!(matches!(
             interp.invoke(&[1, 2, 3]),
-            Err(NnError::BadInputLength { expected: 4, got: 3 })
+            Err(NnError::BadInputLength {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 
@@ -683,7 +850,9 @@ mod tests {
         let model = tiny_model();
         let weight_tensor = TensorId(1);
         let mut interp = Interpreter::new(model).unwrap();
-        assert!(interp.invoke_with_taps(&[1, 2, 3, 4], &[weight_tensor]).is_err());
+        assert!(interp
+            .invoke_with_taps(&[1, 2, 3, 4], &[weight_tensor])
+            .is_err());
     }
 
     #[test]
@@ -691,7 +860,9 @@ mod tests {
         let model = tiny_model();
         let input_tensor = TensorId(0);
         let mut interp = Interpreter::new(model).unwrap();
-        let taps = interp.invoke_with_taps(&[5, 6, 7, 8], &[input_tensor]).unwrap();
+        let taps = interp
+            .invoke_with_taps(&[5, 6, 7, 8], &[input_tensor])
+            .unwrap();
         assert_eq!(taps[0], vec![5, 6, 7, 8]);
     }
 
@@ -701,8 +872,12 @@ mod tests {
         let input = b.add_activation("in", vec![1, 2, 2, 1], DType::I8, Some(qp(1.0, 0)));
         let out = b.add_activation("pooled", vec![1, 1, 1, 1], DType::I8, Some(qp(1.0, 0)));
         b.add_op(Op::MaxPool2D {
-            input, output: out,
-            filter_h: 2, filter_w: 2, stride_h: 2, stride_w: 2,
+            input,
+            output: out,
+            filter_h: 2,
+            filter_w: 2,
+            stride_h: 2,
+            stride_w: 2,
             padding: Padding::Valid,
         });
         b.set_input(input);

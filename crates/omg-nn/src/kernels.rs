@@ -277,7 +277,15 @@ pub struct Pool2DArgs<'a> {
 /// int8 average pooling: averages over the *valid* window elements with
 /// round-half-away-from-zero, matching TFLite.
 pub fn average_pool2d(args: Pool2DArgs<'_>) {
-    let Pool2DArgs { input, input_shape, output, output_shape, filter, stride, pad } = args;
+    let Pool2DArgs {
+        input,
+        input_shape,
+        output,
+        output_shape,
+        filter,
+        stride,
+        pad,
+    } = args;
     let [n, in_h, in_w, c] = input_shape;
     let [_, out_h, out_w, _] = output_shape;
     for b in 0..n {
@@ -296,12 +304,18 @@ pub fn average_pool2d(args: Pool2DArgs<'_>) {
                             if ix < 0 || ix >= in_w as isize {
                                 continue;
                             }
-                            sum += i32::from(input[idx4(input_shape, b, iy as usize, ix as usize, ch)]);
+                            sum += i32::from(
+                                input[idx4(input_shape, b, iy as usize, ix as usize, ch)],
+                            );
                             count += 1;
                         }
                     }
                     let avg = if count > 0 {
-                        if sum >= 0 { (sum + count / 2) / count } else { (sum - count / 2) / count }
+                        if sum >= 0 {
+                            (sum + count / 2) / count
+                        } else {
+                            (sum - count / 2) / count
+                        }
                     } else {
                         0
                     };
@@ -314,7 +328,15 @@ pub fn average_pool2d(args: Pool2DArgs<'_>) {
 
 /// int8 max pooling.
 pub fn max_pool2d(args: Pool2DArgs<'_>) {
-    let Pool2DArgs { input, input_shape, output, output_shape, filter, stride, pad } = args;
+    let Pool2DArgs {
+        input,
+        input_shape,
+        output,
+        output_shape,
+        filter,
+        stride,
+        pad,
+    } = args;
     let [n, in_h, in_w, c] = input_shape;
     let [_, out_h, out_w, _] = output_shape;
     for b in 0..n {
@@ -332,7 +354,8 @@ pub fn max_pool2d(args: Pool2DArgs<'_>) {
                             if ix < 0 || ix >= in_w as isize {
                                 continue;
                             }
-                            best = best.max(input[idx4(input_shape, b, iy as usize, ix as usize, ch)]);
+                            best =
+                                best.max(input[idx4(input_shape, b, iy as usize, ix as usize, ch)]);
                         }
                     }
                     output[idx4(output_shape, b, oy, ox, ch)] = best;
@@ -535,7 +558,10 @@ mod tests {
         let mut output = vec![0i8; 4];
         softmax(&input, 0.1, 0, &mut output);
         // Probabilities (q + 128) / 256 sum to ~1.
-        let total: f32 = output.iter().map(|&q| (i32::from(q) + 128) as f32 / 256.0).sum();
+        let total: f32 = output
+            .iter()
+            .map(|&q| (i32::from(q) + 128) as f32 / 256.0)
+            .sum();
         assert!((total - 1.0).abs() < 0.02, "total={total}");
         // Ordering preserved.
         assert!(output[2] > output[1]);
@@ -575,7 +601,8 @@ mod tests {
                                     continue;
                                 }
                                 for ic in 0..in_c {
-                                    acc += input[idx4(input_shape, b, iy as usize, ix as usize, ic)]
+                                    acc += input
+                                        [idx4(input_shape, b, iy as usize, ix as usize, ic)]
                                         * filter[idx4(filter_shape, oc, ky, kx, ic)];
                                 }
                             }

@@ -174,9 +174,24 @@ impl Op {
     /// Tensors read by this op.
     pub fn inputs(&self) -> Vec<TensorId> {
         match *self {
-            Op::Conv2D { input, filter, bias, .. }
-            | Op::DepthwiseConv2D { input, filter, bias, .. }
-            | Op::FullyConnected { input, filter, bias, .. } => vec![input, filter, bias],
+            Op::Conv2D {
+                input,
+                filter,
+                bias,
+                ..
+            }
+            | Op::DepthwiseConv2D {
+                input,
+                filter,
+                bias,
+                ..
+            }
+            | Op::FullyConnected {
+                input,
+                filter,
+                bias,
+                ..
+            } => vec![input, filter, bias],
             Op::AveragePool2D { input, .. }
             | Op::MaxPool2D { input, .. }
             | Op::Softmax { input, .. }
@@ -250,7 +265,9 @@ impl Model {
     ///
     /// [`NnError::UnknownTensor`] for out-of-range ids.
     pub fn tensor(&self, id: TensorId) -> Result<&TensorInfo> {
-        self.tensors.get(id.0).ok_or(NnError::UnknownTensor { id: id.0 })
+        self.tensors
+            .get(id.0)
+            .ok_or(NnError::UnknownTensor { id: id.0 })
     }
 
     /// All tensors.
@@ -311,7 +328,9 @@ impl Model {
 
     fn validate(&self) -> Result<()> {
         let check = |id: TensorId| -> Result<&TensorInfo> {
-            self.tensors.get(id.0).ok_or(NnError::UnknownTensor { id: id.0 })
+            self.tensors
+                .get(id.0)
+                .ok_or(NnError::UnknownTensor { id: id.0 })
         };
         check(self.input)?;
         check(self.output)?;
@@ -345,13 +364,26 @@ impl Model {
             })
         };
         match *op {
-            Op::Conv2D { input, filter, bias, output, stride_h, stride_w, padding, .. } => {
+            Op::Conv2D {
+                input,
+                filter,
+                bias,
+                output,
+                stride_h,
+                stride_w,
+                padding,
+                ..
+            } => {
                 let (i, f, b, o) = (t(input)?, t(filter)?, t(bias)?, t(output)?);
                 if i.dtype() != DType::I8 || f.dtype() != DType::I8 || o.dtype() != DType::I8 {
-                    return Err(NnError::DtypeMismatch { context: "Conv2D activations/weights" });
+                    return Err(NnError::DtypeMismatch {
+                        context: "Conv2D activations/weights",
+                    });
                 }
                 if b.dtype() != DType::I32 {
-                    return Err(NnError::DtypeMismatch { context: "Conv2D bias" });
+                    return Err(NnError::DtypeMismatch {
+                        context: "Conv2D bias",
+                    });
                 }
                 let (is, fs, os) = (i.shape(), f.shape(), o.shape());
                 if is.len() != 4 || fs.len() != 4 || os.len() != 4 {
@@ -388,7 +420,15 @@ impl Model {
                 want_quant(output)?;
             }
             Op::DepthwiseConv2D {
-                input, filter, bias, output, stride_h, stride_w, padding, depth_multiplier, ..
+                input,
+                filter,
+                bias,
+                output,
+                stride_h,
+                stride_w,
+                padding,
+                depth_multiplier,
+                ..
             } => {
                 let (i, f, b, o) = (t(input)?, t(filter)?, t(bias)?, t(output)?);
                 let (is, fs, os) = (i.shape(), f.shape(), o.shape());
@@ -423,7 +463,13 @@ impl Model {
                 want_quant(filter)?;
                 want_quant(output)?;
             }
-            Op::FullyConnected { input, filter, bias, output, .. } => {
+            Op::FullyConnected {
+                input,
+                filter,
+                bias,
+                output,
+                ..
+            } => {
                 let (i, f, b, o) = (t(input)?, t(filter)?, t(bias)?, t(output)?);
                 if f.shape().len() != 2 {
                     return Err(NnError::ShapeMismatch {
@@ -435,7 +481,10 @@ impl Model {
                 if i.elem_count() % in_f != 0 {
                     return Err(NnError::ShapeMismatch {
                         context: "FullyConnected",
-                        detail: format!("input of {} elements not divisible by in features {in_f}", i.elem_count()),
+                        detail: format!(
+                            "input of {} elements not divisible by in features {in_f}",
+                            i.elem_count()
+                        ),
                     });
                 }
                 if o.elem_count() != (i.elem_count() / in_f) * out_f {
@@ -454,8 +503,24 @@ impl Model {
                 want_quant(filter)?;
                 want_quant(output)?;
             }
-            Op::AveragePool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding }
-            | Op::MaxPool2D { input, output, filter_h, filter_w, stride_h, stride_w, padding } => {
+            Op::AveragePool2D {
+                input,
+                output,
+                filter_h,
+                filter_w,
+                stride_h,
+                stride_w,
+                padding,
+            }
+            | Op::MaxPool2D {
+                input,
+                output,
+                filter_h,
+                filter_w,
+                stride_h,
+                stride_w,
+                padding,
+            } => {
                 let (i, o) = (t(input)?, t(output)?);
                 let (is, os) = (i.shape(), o.shape());
                 if is.len() != 4 || os.len() != 4 {
@@ -552,7 +617,8 @@ impl ModelBuilder {
         dtype: DType,
         quant: Option<QuantParams>,
     ) -> TensorId {
-        self.tensors.push(TensorInfo::new(name.to_owned(), shape, dtype, quant, None));
+        self.tensors
+            .push(TensorInfo::new(name.to_owned(), shape, dtype, quant, None));
         TensorId(self.tensors.len() - 1)
     }
 
@@ -612,7 +678,10 @@ impl ModelBuilder {
     }
 
     /// Sets the class labels.
-    pub fn set_labels<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, labels: I) -> &mut Self {
+    pub fn set_labels<I: IntoIterator<Item = S>, S: Into<String>>(
+        &mut self,
+        labels: I,
+    ) -> &mut Self {
         self.labels = labels.into_iter().map(Into::into).collect();
         self
     }
@@ -630,8 +699,12 @@ impl ModelBuilder {
     /// [`NnError::MalformedModel`] if input/output are missing, plus any
     /// shape/dtype/quantization validation error.
     pub fn build(self) -> Result<Model> {
-        let input = self.input.ok_or(NnError::MalformedModel("input tensor not set"))?;
-        let output = self.output.ok_or(NnError::MalformedModel("output tensor not set"))?;
+        let input = self
+            .input
+            .ok_or(NnError::MalformedModel("input tensor not set"))?;
+        let output = self
+            .output
+            .ok_or(NnError::MalformedModel("output tensor not set"))?;
         let model = Model {
             tensors: self.tensors,
             buffers: self.buffers,
@@ -651,7 +724,10 @@ mod tests {
     use super::*;
 
     fn qp(scale: f32, zp: i32) -> QuantParams {
-        QuantParams { scale, zero_point: zp }
+        QuantParams {
+            scale,
+            zero_point: zp,
+        }
     }
 
     #[test]
@@ -684,14 +760,24 @@ mod tests {
     fn validation_catches_bad_conv_shapes() {
         let mut b = Model::builder();
         let input = b.add_activation("in", vec![1, 8, 8, 1], DType::I8, Some(qp(0.5, 0)));
-        let filter = b.add_weight_i8("f", vec![4, 3, 3, 1], vec![0; 36], QuantParams::symmetric(0.1));
+        let filter = b.add_weight_i8(
+            "f",
+            vec![4, 3, 3, 1],
+            vec![0; 36],
+            QuantParams::symmetric(0.1),
+        );
         let bias = b.add_weight_i32("b", vec![4], vec![0; 4]);
         // Wrong output shape (channels).
         let out = b.add_activation("out", vec![1, 8, 8, 5], DType::I8, Some(qp(0.5, 0)));
         b.add_op(Op::Conv2D {
-            input, filter, bias, output: out,
-            stride_h: 1, stride_w: 1,
-            padding: Padding::Same, activation: Activation::Relu,
+            input,
+            filter,
+            bias,
+            output: out,
+            stride_h: 1,
+            stride_w: 1,
+            padding: Padding::Same,
+            activation: Activation::Relu,
         });
         b.set_input(input);
         b.set_output(out);
@@ -706,7 +792,13 @@ mod tests {
         let w = b.add_weight_i8("w", vec![2, 4], vec![0; 7], QuantParams::symmetric(0.1));
         let bias = b.add_weight_i32("b", vec![2], vec![0; 2]);
         let out = b.add_activation("out", vec![1, 2], DType::I8, Some(qp(1.0, 0)));
-        b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+        b.add_op(Op::FullyConnected {
+            input,
+            filter: w,
+            bias,
+            output: out,
+            activation: Activation::None,
+        });
         b.set_input(input);
         b.set_output(out);
         assert!(matches!(b.build(), Err(NnError::BufferSizeMismatch { .. })));
@@ -719,15 +811,27 @@ mod tests {
         let w = b.add_weight_i8("w", vec![2, 4], vec![0; 8], QuantParams::symmetric(0.1));
         let bias = b.add_weight_i32("b", vec![2], vec![0; 2]);
         let out = b.add_activation("out", vec![1, 2], DType::I8, Some(qp(1.0, 0)));
-        b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+        b.add_op(Op::FullyConnected {
+            input,
+            filter: w,
+            bias,
+            output: out,
+            activation: Activation::None,
+        });
         b.set_input(input);
         b.set_output(out);
-        assert!(matches!(b.build(), Err(NnError::MissingQuantization { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(NnError::MissingQuantization { .. })
+        ));
     }
 
     #[test]
     fn op_introspection() {
-        let op = Op::Softmax { input: TensorId(1), output: TensorId(2) };
+        let op = Op::Softmax {
+            input: TensorId(1),
+            output: TensorId(2),
+        };
         assert_eq!(op.inputs(), vec![TensorId(1)]);
         assert_eq!(op.output(), TensorId(2));
         assert_eq!(op.name(), "Softmax");
@@ -740,7 +844,13 @@ mod tests {
         let w = b.add_weight_i8("w", vec![2, 4], vec![0; 8], QuantParams::symmetric(0.1));
         let bias = b.add_weight_i32("b", vec![2], vec![0; 2]);
         let out = b.add_activation("out", vec![1, 2], DType::I8, Some(qp(1.0, 0)));
-        b.add_op(Op::FullyConnected { input, filter: w, bias, output: out, activation: Activation::None });
+        b.add_op(Op::FullyConnected {
+            input,
+            filter: w,
+            bias,
+            output: out,
+            activation: Activation::None,
+        });
         b.set_input(input);
         b.set_output(out);
         let model = b.build().unwrap();

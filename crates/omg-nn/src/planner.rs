@@ -86,7 +86,10 @@ pub fn plan_arena(lives: &[TensorLife]) -> ArenaPlan {
 
     let arena_size = placed.iter().map(|(l, o)| o + l.size).max().unwrap_or(0);
     let offsets = placed.iter().map(|(l, o)| (l.id, *o)).collect();
-    ArenaPlan { offsets, arena_size }
+    ArenaPlan {
+        offsets,
+        arena_size,
+    }
 }
 
 #[cfg(test)]
@@ -95,7 +98,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn life(id: usize, size: usize, first: usize, last: usize) -> TensorLife {
-        TensorLife { id, size, first_use: first, last_use: last }
+        TensorLife {
+            id,
+            size,
+            first_use: first,
+            last_use: last,
+        }
     }
 
     #[test]
@@ -138,11 +146,7 @@ mod tests {
     fn gap_filling_first_fit() {
         // Big tensor [0..10], small co-live tensors should fill below/after
         // without pushing the arena beyond necessity.
-        let plan = plan_arena(&[
-            life(0, 100, 0, 10),
-            life(1, 40, 0, 10),
-            life(2, 30, 11, 12),
-        ]);
+        let plan = plan_arena(&[life(0, 100, 0, 10), life(1, 40, 0, 10), life(2, 30, 11, 12)]);
         assert_eq!(plan.arena_size, 140);
         assert_eq!(plan.offset_of(2), Some(0)); // reuses freed space
     }

@@ -23,7 +23,10 @@ impl QuantParams {
     /// Parameters representing real zero at integer zero with the given
     /// scale (used for weights, which TFLite quantizes symmetrically).
     pub fn symmetric(scale: f32) -> Self {
-        QuantParams { scale, zero_point: 0 }
+        QuantParams {
+            scale,
+            zero_point: 0,
+        }
     }
 
     /// Chooses asymmetric int8 parameters covering `[min, max]`.
@@ -93,7 +96,9 @@ impl FixedMultiplier {
     /// multipliers.
     pub fn from_real(real: f64) -> Result<Self> {
         if !(real.is_finite() && real > 0.0) {
-            return Err(NnError::MalformedModel("requantization multiplier must be positive"));
+            return Err(NnError::MalformedModel(
+                "requantization multiplier must be positive",
+            ));
         }
         // frexp: real = significand * 2^exp with significand in [0.5, 1).
         let exp = real.log2().floor() as i32 + 1;
@@ -105,7 +110,10 @@ impl FixedMultiplier {
             q /= 2;
             shift += 1;
         }
-        Ok(FixedMultiplier { multiplier: q as i32, shift })
+        Ok(FixedMultiplier {
+            multiplier: q as i32,
+            shift,
+        })
     }
 
     /// Applies the multiplier to an int32 accumulator with TFLite reference
@@ -163,7 +171,10 @@ mod tests {
 
     #[test]
     fn quantize_saturates() {
-        let qp = QuantParams { scale: 0.1, zero_point: 0 };
+        let qp = QuantParams {
+            scale: 0.1,
+            zero_point: 0,
+        };
         assert_eq!(qp.quantize(1000.0), 127);
         assert_eq!(qp.quantize(-1000.0), -128);
     }
@@ -219,7 +230,10 @@ mod tests {
 
     #[test]
     fn doubling_high_mul_saturation_edge() {
-        assert_eq!(saturating_rounding_doubling_high_mul(i32::MIN, i32::MIN), i32::MAX);
+        assert_eq!(
+            saturating_rounding_doubling_high_mul(i32::MIN, i32::MIN),
+            i32::MAX
+        );
     }
 
     proptest! {

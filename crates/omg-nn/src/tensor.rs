@@ -72,7 +72,13 @@ impl TensorInfo {
         quant: Option<QuantParams>,
         buffer: Option<usize>,
     ) -> Self {
-        TensorInfo { name, shape, dtype, quant, buffer }
+        TensorInfo {
+            name,
+            shape,
+            dtype,
+            quant,
+            buffer,
+        }
     }
 
     /// Human-readable tensor name.
@@ -141,7 +147,10 @@ mod tests {
             "fingerprint".into(),
             vec![1, 49, 43, 1],
             DType::I8,
-            Some(QuantParams { scale: 0.5, zero_point: -128 }),
+            Some(QuantParams {
+                scale: 0.5,
+                zero_point: -128,
+            }),
             None,
         );
         assert_eq!(t.name(), "fingerprint");

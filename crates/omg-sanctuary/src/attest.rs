@@ -83,14 +83,17 @@ impl AttestationReport {
         challenge: &[u8],
     ) -> Result<RsaPublicKey> {
         let certified_pk = self.cert.verify(platform_ca)?;
-        let payload = Self::signed_payload(&self.measurement, &self.enclave_public_key, &self.challenge);
+        let payload =
+            Self::signed_payload(&self.measurement, &self.enclave_public_key, &self.challenge);
         certified_pk
             .verify(&payload, &self.signature)
             .map_err(|_| SanctuaryError::AttestationFailed("report signature invalid"))?;
         let report_pk = RsaPublicKey::from_bytes(&self.enclave_public_key)
             .map_err(|_| SanctuaryError::AttestationFailed("malformed enclave key"))?;
         if report_pk != certified_pk {
-            return Err(SanctuaryError::AttestationFailed("report key does not match certificate"));
+            return Err(SanctuaryError::AttestationFailed(
+                "report key does not match certificate",
+            ));
         }
         if self.challenge != challenge {
             return Err(SanctuaryError::AttestationFailed("stale challenge"));
@@ -99,7 +102,9 @@ impl AttestationReport {
             return Err(SanctuaryError::AttestationFailed("measurement mismatch"));
         }
         if !self.cert.measurement().ct_matches(expected) {
-            return Err(SanctuaryError::AttestationFailed("certificate measurement mismatch"));
+            return Err(SanctuaryError::AttestationFailed(
+                "certificate measurement mismatch",
+            ));
         }
         Ok(report_pk)
     }
@@ -157,7 +162,9 @@ mod tests {
         report.signature[5] ^= 0x10;
         assert!(matches!(
             report.verify(pki.platform_ca(), &m, b"n"),
-            Err(SanctuaryError::AttestationFailed("report signature invalid"))
+            Err(SanctuaryError::AttestationFailed(
+                "report signature invalid"
+            ))
         ));
     }
 

@@ -143,9 +143,15 @@ impl SanctuaryEnclave {
             .find(|c| c.state() == omg_hal::cpu::CoreState::Online)
             .map(|c| c.id())
             .ok_or(omg_hal::HalError::NoEligibleCore)?;
-        let region = platform.allocate_region(&config.name, config.memory_size, Protection::Open)?;
+        let region =
+            platform.allocate_region(&config.name, config.memory_size, Protection::Open)?;
         platform.write_at(Agent::NormalWorld { core: loader }, region, 0, &sl)?;
-        platform.write_at(Agent::NormalWorld { core: loader }, region, sl.len() as u64, &config.code)?;
+        platform.write_at(
+            Agent::NormalWorld { core: loader },
+            region,
+            sl.len() as u64,
+            &config.code,
+        )?;
 
         // ...then the TZASC binds it exclusively to the parked core.
         platform.set_protection(region, Protection::CoreLocked(core))?;
@@ -208,7 +214,10 @@ impl SanctuaryEnclave {
 
     fn expect_state(&self, want: EnclaveState, operation: &'static str) -> Result<()> {
         if self.state != want {
-            return Err(SanctuaryError::BadState { operation, state: self.state.name() });
+            return Err(SanctuaryError::BadState {
+                operation,
+                state: self.state.name(),
+            });
         }
         Ok(())
     }
@@ -244,9 +253,10 @@ impl SanctuaryEnclave {
     ///
     /// [`SanctuaryError::BadState`] before boot.
     pub fn measurement(&self) -> Result<&Measurement> {
-        self.measurement
-            .as_ref()
-            .ok_or(SanctuaryError::BadState { operation: "read measurement", state: self.state.name() })
+        self.measurement.as_ref().ok_or(SanctuaryError::BadState {
+            operation: "read measurement",
+            state: self.state.name(),
+        })
     }
 
     /// The enclave identity (key pair + certificate).
@@ -255,9 +265,10 @@ impl SanctuaryEnclave {
     ///
     /// [`SanctuaryError::BadState`] before boot.
     pub fn identity(&self) -> Result<&EnclaveIdentity> {
-        self.identity
-            .as_ref()
-            .ok_or(SanctuaryError::BadState { operation: "read identity", state: self.state.name() })
+        self.identity.as_ref().ok_or(SanctuaryError::BadState {
+            operation: "read identity",
+            state: self.state.name(),
+        })
     }
 
     /// Offset of the first heap byte (after the SL + SA image).
@@ -286,7 +297,12 @@ impl SanctuaryEnclave {
     pub fn heap_write(&self, platform: &mut Platform, offset: u64, data: &[u8]) -> Result<()> {
         self.expect_state(EnclaveState::Running, "write enclave heap")?;
         self.check_heap_bounds(offset, data.len())?;
-        platform.write_at(Agent::SanctuaryApp { core: self.core }, self.region, self.heap_base() + offset, data)?;
+        platform.write_at(
+            Agent::SanctuaryApp { core: self.core },
+            self.region,
+            self.heap_base() + offset,
+            data,
+        )?;
         Ok(())
     }
 
@@ -298,7 +314,12 @@ impl SanctuaryEnclave {
     pub fn heap_read(&self, platform: &mut Platform, offset: u64, buf: &mut [u8]) -> Result<()> {
         self.expect_state(EnclaveState::Running, "read enclave heap")?;
         self.check_heap_bounds(offset, buf.len())?;
-        platform.read_at(Agent::SanctuaryApp { core: self.core }, self.region, self.heap_base() + offset, buf)?;
+        platform.read_at(
+            Agent::SanctuaryApp { core: self.core },
+            self.region,
+            self.heap_base() + offset,
+            buf,
+        )?;
         Ok(())
     }
 
@@ -309,7 +330,12 @@ impl SanctuaryEnclave {
     /// [`SanctuaryError::BadState`] unless running; platform faults otherwise.
     pub fn shared_write(&self, platform: &mut Platform, offset: u64, data: &[u8]) -> Result<()> {
         self.expect_state(EnclaveState::Running, "write shared mailbox")?;
-        platform.write_at(Agent::SanctuaryApp { core: self.core }, self.shared, offset, data)?;
+        platform.write_at(
+            Agent::SanctuaryApp { core: self.core },
+            self.shared,
+            offset,
+            data,
+        )?;
         Ok(())
     }
 
@@ -320,7 +346,12 @@ impl SanctuaryEnclave {
     /// [`SanctuaryError::BadState`] unless running; platform faults otherwise.
     pub fn shared_read(&self, platform: &mut Platform, offset: u64, buf: &mut [u8]) -> Result<()> {
         self.expect_state(EnclaveState::Running, "read shared mailbox")?;
-        platform.read_at(Agent::SanctuaryApp { core: self.core }, self.shared, offset, buf)?;
+        platform.read_at(
+            Agent::SanctuaryApp { core: self.core },
+            self.shared,
+            offset,
+            buf,
+        )?;
         Ok(())
     }
 
@@ -379,7 +410,12 @@ impl SanctuaryEnclave {
         // Return to the SA and copy out of the mailbox.
         platform.world_switch(self.core, World::Normal)?;
         let mut out_bytes = vec![0u8; bytes.len()];
-        platform.read_at(Agent::SanctuaryApp { core: self.core }, self.shared, 0, &mut out_bytes)?;
+        platform.read_at(
+            Agent::SanctuaryApp { core: self.core },
+            self.shared,
+            0,
+            &mut out_bytes,
+        )?;
         let out = out_bytes
             .chunks_exact(2)
             .map(|c| i16::from_le_bytes([c[0], c[1]]))
@@ -433,7 +469,10 @@ impl SanctuaryEnclave {
             }
             EnclaveState::Parked => {}
             other => {
-                return Err(SanctuaryError::BadState { operation: "teardown", state: other.name() })
+                return Err(SanctuaryError::BadState {
+                    operation: "teardown",
+                    state: other.name(),
+                })
             }
         }
         platform.scrub_region(self.region)?;
@@ -471,7 +510,9 @@ mod tests {
         assert!(enclave.measurement().is_ok());
         assert!(enclave.identity().is_ok());
 
-        enclave.heap_write(&mut platform, 0, b"working data").unwrap();
+        enclave
+            .heap_write(&mut platform, 0, b"working data")
+            .unwrap();
         let mut buf = [0u8; 12];
         enclave.heap_read(&mut platform, 0, &mut buf).unwrap();
         assert_eq!(&buf, b"working data");
@@ -526,23 +567,40 @@ mod tests {
     fn enclave_memory_isolated_from_normal_and_secure_world() {
         let mut platform = Platform::hikey960();
         let (enclave, _) = booted_enclave(&mut platform);
-        enclave.heap_write(&mut platform, 0, b"model secret").unwrap();
+        enclave
+            .heap_write(&mut platform, 0, b"model secret")
+            .unwrap();
 
         let mut buf = [0u8; 12];
         let base_off = enclave.heap_base();
         // Commodity OS: fault.
         assert!(matches!(
-            platform.read_at(Agent::NormalWorld { core: CoreId(0) }, enclave.region(), base_off, &mut buf),
+            platform.read_at(
+                Agent::NormalWorld { core: CoreId(0) },
+                enclave.region(),
+                base_off,
+                &mut buf
+            ),
             Err(HalError::AccessFault { .. })
         ));
         // Secure world: fault (two-way isolation).
         assert!(matches!(
-            platform.read_at(Agent::SecureWorld { core: CoreId(0) }, enclave.region(), base_off, &mut buf),
+            platform.read_at(
+                Agent::SecureWorld { core: CoreId(0) },
+                enclave.region(),
+                base_off,
+                &mut buf
+            ),
             Err(HalError::AccessFault { .. })
         ));
         // DMA: fault.
         assert!(matches!(
-            platform.read_at(Agent::Dma { device: "gpu" }, enclave.region(), base_off, &mut buf),
+            platform.read_at(
+                Agent::Dma { device: "gpu" },
+                enclave.region(),
+                base_off,
+                &mut buf
+            ),
             Err(HalError::AccessFault { .. })
         ));
     }
@@ -552,7 +610,9 @@ mod tests {
         let mut platform = Platform::hikey960();
         let (enclave, _) = booted_enclave(&mut platform);
         let heap = enclave.heap_size();
-        assert!(enclave.heap_write(&mut platform, heap - 4, &[0u8; 4]).is_ok());
+        assert!(enclave
+            .heap_write(&mut platform, heap - 4, &[0u8; 4])
+            .is_ok());
         assert!(matches!(
             enclave.heap_write(&mut platform, heap - 3, &[0u8; 4]),
             Err(SanctuaryError::OutOfBounds { .. })
@@ -565,22 +625,25 @@ mod tests {
         let mut rng = ChaChaRng::seed_from_u64(33);
         let pki = DevicePki::new(&mut rng).unwrap();
 
-        let mut e1 = SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("a", b"code v1".to_vec())).unwrap();
+        let mut e1 =
+            SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("a", b"code v1".to_vec()))
+                .unwrap();
         e1.boot(&mut platform, &pki, &mut rng).unwrap();
-        let mut e2 = SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("b", b"code v2".to_vec())).unwrap();
+        let mut e2 =
+            SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("b", b"code v2".to_vec()))
+                .unwrap();
         e2.boot(&mut platform, &pki, &mut rng).unwrap();
         assert_ne!(e1.measurement().unwrap(), e2.measurement().unwrap());
 
         // Same code in a fresh enclave measures identically.
         e1.teardown(&mut platform).unwrap();
-        let mut e3 = SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("c", b"code v1".to_vec())).unwrap();
+        let mut e3 =
+            SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("c", b"code v1".to_vec()))
+                .unwrap();
         e3.boot(&mut platform, &pki, &mut rng).unwrap();
         // Note: e3's region may differ in *size*? No — same config size, so
         // identical initial content.
-        assert_eq!(
-            platform.region_size(e3.region()).unwrap(),
-            1 << 20
-        );
+        assert_eq!(platform.region_size(e3.region()).unwrap(), 1 << 20);
         let m3 = *e3.measurement().unwrap();
         assert_eq!(&m3, {
             let m1 = Measurement::of(&{
@@ -613,7 +676,10 @@ mod tests {
             SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("t", tampered_code)).unwrap();
         tampered.boot(&mut platform, &pki, &mut rng).unwrap();
 
-        assert_ne!(genuine.measurement().unwrap(), tampered.measurement().unwrap());
+        assert_ne!(
+            genuine.measurement().unwrap(),
+            tampered.measurement().unwrap()
+        );
     }
 
     #[test]
@@ -632,7 +698,12 @@ mod tests {
         // While parked, nobody can read the locked memory.
         let mut buf = [0u8; 10];
         assert!(platform
-            .read_at(Agent::NormalWorld { core: CoreId(0) }, enclave.region(), enclave.heap_base(), &mut buf)
+            .read_at(
+                Agent::NormalWorld { core: CoreId(0) },
+                enclave.region(),
+                enclave.heap_base(),
+                &mut buf
+            )
             .is_err());
 
         enclave.resume(&mut platform).unwrap();
@@ -647,7 +718,9 @@ mod tests {
     fn teardown_scrubs_and_releases() {
         let mut platform = Platform::hikey960();
         let (mut enclave, _) = booted_enclave(&mut platform);
-        enclave.heap_write(&mut platform, 0, b"key material").unwrap();
+        enclave
+            .heap_write(&mut platform, 0, b"key material")
+            .unwrap();
         let region = enclave.region();
         let core = enclave.core();
         enclave.teardown(&mut platform).unwrap();
@@ -664,7 +737,9 @@ mod tests {
         platform
             .assign_microphone(Agent::TrustedFirmware, PeriphAssignment::SecureWorld)
             .unwrap();
-        platform.microphone_mut().push_recording(&[100, -200, 300, -400]);
+        platform
+            .microphone_mut()
+            .push_recording(&[100, -200, 300, -400]);
 
         let (enclave, _) = booted_enclave(&mut platform);
         let clock = platform.clock();
@@ -689,7 +764,10 @@ mod tests {
             .unwrap();
         let (enclave, _) = booted_enclave(&mut platform);
         let err = enclave.secure_mic_read(&mut platform, 16).unwrap_err();
-        assert!(matches!(err, SanctuaryError::Hal(HalError::PeripheralExhausted { .. })));
+        assert!(matches!(
+            err,
+            SanctuaryError::Hal(HalError::PeripheralExhausted { .. })
+        ));
         // The enclave is still usable (the SMC returned).
         assert_eq!(
             platform.core(enclave.core()).unwrap().world(),
@@ -703,10 +781,17 @@ mod tests {
     fn shared_mailbox_visible_to_os() {
         let mut platform = Platform::hikey960();
         let (enclave, _) = booted_enclave(&mut platform);
-        enclave.shared_write(&mut platform, 0, b"result: yes").unwrap();
+        enclave
+            .shared_write(&mut platform, 0, b"result: yes")
+            .unwrap();
         let mut buf = [0u8; 11];
         platform
-            .read_at(Agent::NormalWorld { core: CoreId(0) }, enclave.shared_region(), 0, &mut buf)
+            .read_at(
+                Agent::NormalWorld { core: CoreId(0) },
+                enclave.shared_region(),
+                0,
+                &mut buf,
+            )
             .unwrap();
         assert_eq!(&buf, b"result: yes");
     }
@@ -726,12 +811,19 @@ mod tests {
         let mut rng = ChaChaRng::seed_from_u64(40);
         let pki = DevicePki::new(&mut rng).unwrap();
 
-        let mut a = SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("a", b"app A".to_vec())).unwrap();
+        let mut a =
+            SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("a", b"app A".to_vec()))
+                .unwrap();
         a.boot(&mut platform, &pki, &mut rng).unwrap();
-        let mut b = SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("b", b"app B".to_vec())).unwrap();
+        let mut b =
+            SanctuaryEnclave::setup(&mut platform, EnclaveConfig::new("b", b"app B".to_vec()))
+                .unwrap();
         b.boot(&mut platform, &pki, &mut rng).unwrap();
         assert_ne!(a.core(), b.core());
-        assert_ne!(a.identity().unwrap().public_key(), b.identity().unwrap().public_key());
+        assert_ne!(
+            a.identity().unwrap().public_key(),
+            b.identity().unwrap().public_key()
+        );
 
         a.heap_write(&mut platform, 0, b"secret of A").unwrap();
         b.heap_write(&mut platform, 0, b"secret of B").unwrap();
@@ -739,10 +831,20 @@ mod tests {
         // A malicious SA on B's core cannot touch A's region and vice versa.
         let mut buf = [0u8; 11];
         assert!(platform
-            .read_at(Agent::SanctuaryApp { core: b.core() }, a.region(), a.heap_base(), &mut buf)
+            .read_at(
+                Agent::SanctuaryApp { core: b.core() },
+                a.region(),
+                a.heap_base(),
+                &mut buf
+            )
             .is_err());
         assert!(platform
-            .read_at(Agent::SanctuaryApp { core: a.core() }, b.region(), b.heap_base(), &mut buf)
+            .read_at(
+                Agent::SanctuaryApp { core: a.core() },
+                b.region(),
+                b.heap_base(),
+                &mut buf
+            )
             .is_err());
 
         // Both keep working independently.

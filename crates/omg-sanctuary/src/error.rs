@@ -49,10 +49,16 @@ impl fmt::Display for SanctuaryError {
             }
             SanctuaryError::AttestationFailed(why) => write!(f, "attestation failed: {why}"),
             SanctuaryError::CodeTooLarge { code, memory } => {
-                write!(f, "enclave image of {code} bytes exceeds {memory}-byte enclave memory")
+                write!(
+                    f,
+                    "enclave image of {code} bytes exceeds {memory}-byte enclave memory"
+                )
             }
             SanctuaryError::OutOfBounds { offset, len } => {
-                write!(f, "enclave access at offset {offset} of {len} bytes is out of bounds")
+                write!(
+                    f,
+                    "enclave access at offset {offset} of {len} bytes is out of bounds"
+                )
             }
         }
     }

@@ -120,7 +120,10 @@ impl DevicePki {
     /// Propagates key-generation failures (e.g. sizes below 512 bits).
     pub fn with_key_bits<R: Rng + ?Sized>(rng: &mut R, key_bits: usize) -> Result<Self> {
         let platform_key = RsaPrivateKey::generate(rng, key_bits)?;
-        Ok(DevicePki { platform_key, key_bits })
+        Ok(DevicePki {
+            platform_key,
+            key_bits,
+        })
     }
 
     /// The platform CA public key (distributed with the device, known to
@@ -143,7 +146,14 @@ impl DevicePki {
         let public_key = keypair.public_key().to_bytes();
         let payload = EnclaveCert::signed_payload(&public_key, &measurement);
         let signature = self.platform_key.sign(&payload)?;
-        Ok(EnclaveIdentity { keypair, cert: EnclaveCert { public_key, measurement, signature } })
+        Ok(EnclaveIdentity {
+            keypair,
+            cert: EnclaveCert {
+                public_key,
+                measurement,
+                signature,
+            },
+        })
     }
 }
 
@@ -155,7 +165,9 @@ mod tests {
     fn pki_and_identity() -> (DevicePki, EnclaveIdentity) {
         let mut rng = ChaChaRng::seed_from_u64(11);
         let pki = DevicePki::new(&mut rng).unwrap();
-        let ident = pki.issue_enclave_identity(&mut rng, Measurement::of(b"enclave")).unwrap();
+        let ident = pki
+            .issue_enclave_identity(&mut rng, Measurement::of(b"enclave"))
+            .unwrap();
         (pki, ident)
     }
 
@@ -191,8 +203,12 @@ mod tests {
     fn distinct_enclaves_get_distinct_keys() {
         let mut rng = ChaChaRng::seed_from_u64(12);
         let pki = DevicePki::new(&mut rng).unwrap();
-        let a = pki.issue_enclave_identity(&mut rng, Measurement::of(b"a")).unwrap();
-        let b = pki.issue_enclave_identity(&mut rng, Measurement::of(b"b")).unwrap();
+        let a = pki
+            .issue_enclave_identity(&mut rng, Measurement::of(b"a"))
+            .unwrap();
+        let b = pki
+            .issue_enclave_identity(&mut rng, Measurement::of(b"b"))
+            .unwrap();
         assert_ne!(a.public_key(), b.public_key());
     }
 }

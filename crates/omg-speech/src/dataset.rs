@@ -21,8 +21,9 @@ use crate::error::{Result, SpeechError};
 use crate::frontend::UTTERANCE_SAMPLES;
 
 /// The ten command words of the paper's 12-class problem (§VI).
-pub const CORE_WORDS: [&str; 10] =
-    ["yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go"];
+pub const CORE_WORDS: [&str; 10] = [
+    "yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go",
+];
 
 /// All 12 class labels, in model output order.
 pub const LABELS: [&str; 12] = [
@@ -60,7 +61,12 @@ pub struct DatasetConfig {
 impl Default for DatasetConfig {
     fn default() -> Self {
         // Calibrated so tiny_conv lands near the paper's 75 % band.
-        DatasetConfig { seed: 0, noise_level: 0.12, formant_jitter: 0.09, speaker_spread: 0.20 }
+        DatasetConfig {
+            seed: 0,
+            noise_level: 0.12,
+            formant_jitter: 0.09,
+            speaker_spread: 0.20,
+        }
     }
 }
 
@@ -107,7 +113,10 @@ fn word_signature(word: &str) -> WordSignature {
         slide: rng.gen_range(-0.2..0.2),
         amplitude: rng.gen_range(0.15..0.45),
     };
-    WordSignature { formants: [f1, f2, f3], syllables: rng.gen_range(1..=2) }
+    WordSignature {
+        formants: [f1, f2, f3],
+        syllables: rng.gen_range(1..=2),
+    }
 }
 
 /// A persistent synthetic speaker: fixed pitch and formant tilt derived
@@ -157,7 +166,12 @@ pub struct SyntheticSpeechCommands {
 impl SyntheticSpeechCommands {
     /// Creates a generator with default difficulty and the given seed.
     pub fn new(seed: u64) -> Self {
-        SyntheticSpeechCommands { config: DatasetConfig { seed, ..DatasetConfig::default() } }
+        SyntheticSpeechCommands {
+            config: DatasetConfig {
+                seed,
+                ..DatasetConfig::default()
+            },
+        }
     }
 
     /// Creates a generator with explicit knobs.
@@ -205,19 +219,21 @@ impl SyntheticSpeechCommands {
         if class >= NUM_CLASSES {
             return Err(SpeechError::UnknownLabel { index: class });
         }
-        let mix = fnv1a(&[
-            self.config.seed.to_le_bytes(),
-            (class as u64).to_le_bytes(),
-            index.to_le_bytes(),
-            speaker.map_or(0, |s| s.id).to_le_bytes(),
-        ]
-        .concat());
+        let mix = fnv1a(
+            &[
+                self.config.seed.to_le_bytes(),
+                (class as u64).to_le_bytes(),
+                index.to_le_bytes(),
+                speaker.map_or(0, |s| s.id).to_le_bytes(),
+            ]
+            .concat(),
+        );
         let mut rng = StdRng::seed_from_u64(mix);
 
         let mut samples = vec![0f32; UTTERANCE_SAMPLES];
 
         // Background noise floor (every class, silence included).
-        let noise_amp = self.config.noise_level * rng.gen_range(0.5..1.5);
+        let noise_amp = self.config.noise_level * rng.gen_range(0.5f32..1.5);
         for s in samples.iter_mut() {
             *s += noise_amp * rng.gen_range(-1.0f32..1.0);
         }
@@ -268,7 +284,11 @@ impl SyntheticSpeechCommands {
             .map(|(i, f)| {
                 let jitter = 1.0 + self.config.formant_jitter * rng.gen_range(-1.0f32..1.0);
                 let phase = rng.gen_range(0.0f32..std::f32::consts::TAU);
-                let amp = if i > 0 { f.amplitude * tilt } else { f.amplitude };
+                let amp = if i > 0 {
+                    f.amplitude * tilt
+                } else {
+                    f.amplitude
+                };
                 (f.base_hz * pitch * jitter, f.slide, amp, phase)
             })
             .collect();
@@ -354,7 +374,10 @@ mod tests {
     #[test]
     fn unknown_class_rejected() {
         let d = SyntheticSpeechCommands::new(0);
-        assert!(matches!(d.utterance(12, 0), Err(SpeechError::UnknownLabel { .. })));
+        assert!(matches!(
+            d.utterance(12, 0),
+            Err(SpeechError::UnknownLabel { .. })
+        ));
     }
 
     #[test]
@@ -367,11 +390,17 @@ mod tests {
             (xs.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>() / xs.len() as f64).sqrt()
         };
         let mean = |class: usize| -> f64 {
-            (0..8).map(|i| rms(&d.utterance(class, i).unwrap())).sum::<f64>() / 8.0
+            (0..8)
+                .map(|i| rms(&d.utterance(class, i).unwrap()))
+                .sum::<f64>()
+                / 8.0
         };
         let silence = mean(SILENCE_CLASS);
         let yes = mean(2);
-        assert!(yes > 1.15 * silence, "yes rms {yes} vs silence rms {silence}");
+        assert!(
+            yes > 1.15 * silence,
+            "yes rms {yes} vs silence rms {silence}"
+        );
     }
 
     #[test]
@@ -415,7 +444,11 @@ mod tests {
                 .collect()
         };
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         // Average within-class vs cross-class distance over several pairs.
         let mut within = 0.0;
@@ -489,8 +522,9 @@ mod tests {
         // pitch/tilt signature — the standard speaker-feature recipe.
         let profile = |speaker: u64, take: u64| -> Vec<f64> {
             use crate::frontend::{FEATURES_PER_FRAME, NUM_FRAMES};
-            let fp =
-                fe.fingerprint(&d.utterance_with_speaker(2, speaker, take).unwrap()).unwrap();
+            let fp = fe
+                .fingerprint(&d.utterance_with_speaker(2, speaker, take).unwrap())
+                .unwrap();
             let mut mean = vec![0f64; FEATURES_PER_FRAME];
             for frame in 0..NUM_FRAMES {
                 for (j, m) in mean.iter_mut().enumerate() {
@@ -503,7 +537,11 @@ mod tests {
             mean
         };
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         // Enroll both speakers on 4 takes each.
         let enroll = |speaker: u64| -> Vec<f64> {
@@ -523,7 +561,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 6, "only {correct}/8 verification trials succeeded");
+        assert!(
+            correct >= 6,
+            "only {correct}/8 verification trials succeeded"
+        );
     }
 
     #[test]

@@ -70,8 +70,12 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SpeechError::BadFftLength { len: 100 }.to_string().contains("100"));
-        assert!(SpeechError::MalformedWav("no riff").to_string().contains("riff"));
+        assert!(SpeechError::BadFftLength { len: 100 }
+            .to_string()
+            .contains("100"));
+        assert!(SpeechError::MalformedWav("no riff")
+            .to_string()
+            .contains("riff"));
     }
 
     #[test]

@@ -68,7 +68,12 @@ impl FixedFft {
         let rev = (0..len)
             .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) & (len - 1))
             .collect();
-        Ok(FixedFft { len, twiddle_re, twiddle_im, rev })
+        Ok(FixedFft {
+            len,
+            twiddle_re,
+            twiddle_im,
+            rev,
+        })
     }
 
     /// The FFT length.
@@ -147,7 +152,10 @@ pub fn power_spectrum(re: &[i16], im: &[i16]) -> Vec<u32> {
 
 /// Magnitude spectrum (integer square root of the power) per bin.
 pub fn magnitude_spectrum(re: &[i16], im: &[i16]) -> Vec<u16> {
-    power_spectrum(re, im).iter().map(|&p| p.isqrt() as u16).collect()
+    power_spectrum(re, im)
+        .iter()
+        .map(|&p| p.isqrt() as u16)
+        .collect()
 }
 
 #[cfg(test)]
@@ -202,7 +210,10 @@ mod tests {
         fft.forward(&mut re, &mut im).unwrap();
         let expected = 16000 / 16;
         for (k, &r) in re.iter().enumerate() {
-            assert!((i32::from(r) - expected).abs() <= 2, "bin {k}: {r} vs {expected}");
+            assert!(
+                (i32::from(r) - expected).abs() <= 2,
+                "bin {k}: {r} vs {expected}"
+            );
             assert!(im[k].abs() <= 2);
         }
     }
@@ -233,7 +244,10 @@ mod tests {
             .map(|(_, &m)| m as f64)
             .sum::<f64>()
             / (n - 2) as f64;
-        assert!(peak_mag > 10.0 * floor.max(1.0), "peak {peak_mag} floor {floor}");
+        assert!(
+            peak_mag > 10.0 * floor.max(1.0),
+            "peak {peak_mag} floor {floor}"
+        );
     }
 
     #[test]
@@ -259,11 +273,13 @@ mod tests {
             let tol = 16.0 + want_re.abs().max(want_im.abs()) * 0.02;
             assert!(
                 (f64::from(re[k]) - want_re).abs() < tol,
-                "bin {k} re: {} vs {want_re}", re[k]
+                "bin {k} re: {} vs {want_re}",
+                re[k]
             );
             assert!(
                 (f64::from(im[k]) - want_im).abs() < tol,
-                "bin {k} im: {} vs {want_im}", im[k]
+                "bin {k} im: {} vs {want_im}",
+                im[k]
             );
         }
     }

@@ -84,7 +84,10 @@ impl FeatureExtractor {
     /// [`WINDOW_SAMPLES`] samples.
     pub fn frame_features(&self, frame: &[i16]) -> Result<[u8; FEATURES_PER_FRAME]> {
         if frame.len() != WINDOW_SAMPLES {
-            return Err(SpeechError::LengthMismatch { expected: WINDOW_SAMPLES, got: frame.len() });
+            return Err(SpeechError::LengthMismatch {
+                expected: WINDOW_SAMPLES,
+                got: frame.len(),
+            });
         }
         // Apply the Hann window in q15 and zero-pad to the FFT length.
         let mut re = vec![0i16; FFT_LEN];
@@ -154,7 +157,10 @@ mod tests {
         let fe = FeatureExtractor::new().unwrap();
         let fp = fe.fingerprint(&vec![0i16; UTTERANCE_SAMPLES]).unwrap();
         assert_eq!(fp.len(), FINGERPRINT_LEN);
-        assert!(fp.iter().all(|&v| v == -128), "silence must map to the minimum feature");
+        assert!(
+            fp.iter().all(|&v| v == -128),
+            "silence must map to the minimum feature"
+        );
     }
 
     #[test]
@@ -171,7 +177,10 @@ mod tests {
         for frame in 0..NUM_FRAMES {
             let row = &fp[frame * FEATURES_PER_FRAME..(frame + 1) * FEATURES_PER_FRAME];
             let peak = row.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0;
-            assert!((4..=6).contains(&peak), "frame {frame} peaked at group {peak}");
+            assert!(
+                (4..=6).contains(&peak),
+                "frame {frame} peaked at group {peak}"
+            );
         }
     }
 
@@ -209,8 +218,13 @@ mod tests {
     #[test]
     fn deterministic() {
         let fe = FeatureExtractor::new().unwrap();
-        let samples: Vec<i16> = (0..UTTERANCE_SAMPLES).map(|t| ((t * 13) % 9000) as i16 - 4500).collect();
-        assert_eq!(fe.fingerprint(&samples).unwrap(), fe.fingerprint(&samples).unwrap());
+        let samples: Vec<i16> = (0..UTTERANCE_SAMPLES)
+            .map(|t| ((t * 13) % 9000) as i16 - 4500)
+            .collect();
+        assert_eq!(
+            fe.fingerprint(&samples).unwrap(),
+            fe.fingerprint(&samples).unwrap()
+        );
     }
 
     proptest! {

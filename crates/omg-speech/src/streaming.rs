@@ -26,7 +26,11 @@ use crate::frontend::UTTERANCE_SAMPLES;
 /// assert!(windows.iter().all(|w| w.samples.len() == 16_000));
 /// ```
 pub fn sliding_windows(stream: &[i16], hop: usize) -> SlidingWindows<'_> {
-    SlidingWindows { stream, hop: hop.max(1), pos: 0 }
+    SlidingWindows {
+        stream,
+        hop: hop.max(1),
+        pos: 0,
+    }
 }
 
 /// One window of a stream (see [`sliding_windows`]).
@@ -133,7 +137,11 @@ pub struct DetectionSmoother {
 impl DetectionSmoother {
     /// Creates a smoother.
     pub fn new(config: SmootherConfig) -> Self {
-        DetectionSmoother { config, votes: VecDeque::new(), suppressed_until: None }
+        DetectionSmoother {
+            config,
+            votes: VecDeque::new(),
+            suppressed_until: None,
+        }
     }
 
     /// Feeds one per-window classification; returns a detection when the
@@ -170,7 +178,11 @@ impl DetectionSmoother {
         }
         self.suppressed_until = Some(window_index + 1 + self.config.refractory);
         self.votes.clear();
-        Some(Detection { class, score: mean, window_index })
+        Some(Detection {
+            class,
+            score: mean,
+            window_index,
+        })
     }
 }
 
@@ -217,7 +229,10 @@ mod tests {
         let mut s = DetectionSmoother::new(SmootherConfig::default());
         for i in 0..10 {
             assert!(s.push(i, 0, 0.99).is_none(), "silence must never fire");
-            assert!(s.push(i + 100, 1, 0.99).is_none(), "unknown must never fire");
+            assert!(
+                s.push(i + 100, 1, 0.99).is_none(),
+                "unknown must never fire"
+            );
         }
     }
 
@@ -226,7 +241,10 @@ mod tests {
         let mut s = DetectionSmoother::new(SmootherConfig::default());
         assert!(s.push(0, 5, 0.05).is_none());
         assert!(s.push(1, 5, 0.05).is_none(), "low scores must not fire");
-        assert!(s.push(2, 5, 0.9).is_none(), "mean (0.05+0.05+0.9)/3 ≈ 0.33 < 0.35");
+        assert!(
+            s.push(2, 5, 0.9).is_none(),
+            "mean (0.05+0.05+0.9)/3 ≈ 0.33 < 0.35"
+        );
         assert!(s.push(3, 5, 0.9).is_some(), "recent window mean recovers");
     }
 

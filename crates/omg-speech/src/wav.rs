@@ -43,7 +43,7 @@ pub fn encode_wav(sample_rate: u32, samples: &[i16]) -> Vec<u8> {
     out.extend_from_slice(&(sample_rate * 2).to_le_bytes()); // byte rate
     out.extend_from_slice(&2u16.to_le_bytes()); // block align
     out.extend_from_slice(&16u16.to_le_bytes()); // bits per sample
-    // data chunk
+                                                 // data chunk
     out.extend_from_slice(b"data");
     out.extend_from_slice(&(data_len as u32).to_le_bytes());
     for s in samples {
@@ -116,16 +116,25 @@ pub fn decode_wav(data: &[u8]) -> Result<WavAudio> {
     let (audio_format, channels, sample_rate, bits) =
         format.ok_or(SpeechError::MalformedWav("missing fmt chunk"))?;
     if audio_format != 1 {
-        return Err(SpeechError::UnsupportedWav { detail: format!("audio format {audio_format}") });
+        return Err(SpeechError::UnsupportedWav {
+            detail: format!("audio format {audio_format}"),
+        });
     }
     if channels != 1 {
-        return Err(SpeechError::UnsupportedWav { detail: format!("{channels} channels") });
+        return Err(SpeechError::UnsupportedWav {
+            detail: format!("{channels} channels"),
+        });
     }
     if bits != 16 {
-        return Err(SpeechError::UnsupportedWav { detail: format!("{bits} bits per sample") });
+        return Err(SpeechError::UnsupportedWav {
+            detail: format!("{bits} bits per sample"),
+        });
     }
     let samples = samples.ok_or(SpeechError::MalformedWav("missing data chunk"))?;
-    Ok(WavAudio { sample_rate, samples })
+    Ok(WavAudio {
+        sample_rate,
+        samples,
+    })
 }
 
 #[cfg(test)]
@@ -135,7 +144,9 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let samples: Vec<i16> = (0..1000).map(|i| ((i * 37) % 30000) as i16 - 15000).collect();
+        let samples: Vec<i16> = (0..1000)
+            .map(|i| ((i * 37) % 30000) as i16 - 15000)
+            .collect();
         let bytes = encode_wav(16_000, &samples);
         let audio = decode_wav(&bytes).unwrap();
         assert_eq!(audio.sample_rate, 16_000);
@@ -160,14 +171,20 @@ mod tests {
     fn rejects_stereo() {
         let mut bytes = encode_wav(16_000, &[1, 2]);
         bytes[22] = 2; // channel count
-        assert!(matches!(decode_wav(&bytes), Err(SpeechError::UnsupportedWav { .. })));
+        assert!(matches!(
+            decode_wav(&bytes),
+            Err(SpeechError::UnsupportedWav { .. })
+        ));
     }
 
     #[test]
     fn rejects_non_pcm() {
         let mut bytes = encode_wav(16_000, &[1, 2]);
         bytes[20] = 3; // IEEE float
-        assert!(matches!(decode_wav(&bytes), Err(SpeechError::UnsupportedWav { .. })));
+        assert!(matches!(
+            decode_wav(&bytes),
+            Err(SpeechError::UnsupportedWav { .. })
+        ));
     }
 
     #[test]

@@ -7,8 +7,14 @@ use omg_train::export::{evaluate_quantized, export_quantized};
 use omg_train::trainer::{train, TrainConfig};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let config = TrainConfig { seed, ..TrainConfig::default() };
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let config = TrainConfig {
+        seed,
+        ..TrainConfig::default()
+    };
     println!("training tiny_conv: {config:?}");
 
     let start = std::time::Instant::now();
@@ -17,10 +23,13 @@ fn main() {
     for (epoch, loss) in outcome.loss_history.iter().enumerate() {
         println!("  epoch {epoch:>2}: mean loss {loss:.4}");
     }
-    println!("float test accuracy:     {:.1} %", outcome.float_test_accuracy * 100.0);
+    println!(
+        "float test accuracy:     {:.1} %",
+        outcome.float_test_accuracy * 100.0
+    );
 
-    let model = export_quantized(&outcome.net, &outcome.train_set.inputs)
-        .expect("quantized export failed");
+    let model =
+        export_quantized(&outcome.net, &outcome.train_set.inputs).expect("quantized export failed");
     let q_train = evaluate_quantized(
         &model,
         &outcome.train_set.fingerprints,

@@ -37,8 +37,15 @@ impl fmt::Display for TrainError {
         match self {
             TrainError::Speech(e) => write!(f, "speech frontend error: {e}"),
             TrainError::Nn(e) => write!(f, "model error: {e}"),
-            TrainError::BadInput { what, expected, got } => {
-                write!(f, "bad input for {what}: got {got} elements, expected {expected}")
+            TrainError::BadInput {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "bad input for {what}: got {got} elements, expected {expected}"
+                )
             }
             TrainError::BadConfig(what) => write!(f, "bad training config: {what}"),
             TrainError::DegenerateRange { tensor } => {

@@ -21,7 +21,10 @@ use crate::tiny_conv::{TinyConv, CONV_FILTERS, KERNEL_H, KERNEL_W, STRIDE};
 /// Input quantization: `(q + 128) / 255`, exactly matching
 /// [`TinyConv::input_from_fingerprint`].
 pub fn input_quant_params() -> QuantParams {
-    QuantParams { scale: 1.0 / 255.0, zero_point: -128 }
+    QuantParams {
+        scale: 1.0 / 255.0,
+        zero_point: -128,
+    }
 }
 
 /// Observed activation ranges from calibration.
@@ -41,14 +44,18 @@ pub struct CalibrationRanges {
 /// [`TrainError::DegenerateRange`] if an activation never varies.
 pub fn calibrate(net: &TinyConv, inputs: &[Vec<f32>]) -> Result<CalibrationRanges> {
     if inputs.is_empty() {
-        return Err(TrainError::BadInput { what: "calibration set", expected: 1, got: 0 });
+        return Err(TrainError::BadInput {
+            what: "calibration set",
+            expected: 1,
+            got: 0,
+        });
     }
     let mut conv_min = f32::MAX;
     let mut conv_max = f32::MIN;
     let mut logit_min = f32::MAX;
     let mut logit_max = f32::MIN;
     for x in inputs {
-        let trace = net.forward::<rand::rngs::ThreadRng>(x, None);
+        let trace = net.forward::<rand::rngs::StdRng>(x, None);
         for &v in trace.conv_activations() {
             conv_min = conv_min.min(v);
             conv_max = conv_max.max(v);
@@ -59,12 +66,17 @@ pub fn calibrate(net: &TinyConv, inputs: &[Vec<f32>]) -> Result<CalibrationRange
         }
     }
     if conv_max <= conv_min {
-        return Err(TrainError::DegenerateRange { tensor: "conv output" });
+        return Err(TrainError::DegenerateRange {
+            tensor: "conv output",
+        });
     }
     if logit_max <= logit_min {
         return Err(TrainError::DegenerateRange { tensor: "logits" });
     }
-    Ok(CalibrationRanges { conv: (conv_min, conv_max), logits: (logit_min, logit_max) })
+    Ok(CalibrationRanges {
+        conv: (conv_min, conv_max),
+        logits: (logit_min, logit_max),
+    })
 }
 
 fn symmetric_scale(values: &[f32]) -> f32 {
@@ -152,7 +164,12 @@ pub fn export_quantized(net: &TinyConv, calibration: &[Vec<f32>]) -> Result<Mode
         vec![net.fc.out_features],
         quantize_bias(&net.fc.b, conv_q.scale * fc_w_scale),
     );
-    let logits = b.add_activation("logits", vec![1, net.fc.out_features], DType::I8, Some(logit_q));
+    let logits = b.add_activation(
+        "logits",
+        vec![1, net.fc.out_features],
+        DType::I8,
+        Some(logit_q),
+    );
     b.add_op(Op::FullyConnected {
         input: conv_out,
         filter: fc_w,
@@ -165,9 +182,15 @@ pub fn export_quantized(net: &TinyConv, calibration: &[Vec<f32>]) -> Result<Mode
         "probabilities",
         vec![1, net.fc.out_features],
         DType::I8,
-        Some(QuantParams { scale: 1.0 / 256.0, zero_point: -128 }),
+        Some(QuantParams {
+            scale: 1.0 / 256.0,
+            zero_point: -128,
+        }),
     );
-    b.add_op(Op::Softmax { input: logits, output: probs });
+    b.add_op(Op::Softmax {
+        input: logits,
+        output: probs,
+    });
 
     b.set_input(input);
     b.set_output(probs);

@@ -39,7 +39,14 @@ impl Conv2D {
         let std = (2.0 / fan_in).sqrt();
         let w_len = out_c * kernel.0 * kernel.1 * in_shape.2;
         let w = (0..w_len).map(|_| sample_normal(rng) * std).collect();
-        Conv2D { w, b: vec![0.0; out_c], in_shape, kernel, stride, out_c }
+        Conv2D {
+            w,
+            b: vec![0.0; out_c],
+            in_shape,
+            kernel,
+            stride,
+            out_c,
+        }
     }
 
     /// Output spatial shape `(oh, ow, out_c)` under SAME padding.
@@ -159,8 +166,15 @@ impl Dense {
     /// Creates a layer with Glorot-initialized weights.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
         let std = (2.0 / (in_features + out_features) as f32).sqrt();
-        let w = (0..in_features * out_features).map(|_| sample_normal(rng) * std).collect();
-        Dense { w, b: vec![0.0; out_features], in_features, out_features }
+        let w = (0..in_features * out_features)
+            .map(|_| sample_normal(rng) * std)
+            .collect();
+        Dense {
+            w,
+            b: vec![0.0; out_features],
+            in_features,
+            out_features,
+        }
     }
 
     /// Forward pass for one example.
@@ -306,7 +320,9 @@ mod tests {
         let x: Vec<f32> = (0..60).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
         let (oh, ow, oc) = conv.out_shape();
         // Scalar objective: weighted sum of outputs.
-        let weights: Vec<f32> = (0..oh * ow * oc).map(|i| ((i % 7) as f32 - 3.0) / 3.0).collect();
+        let weights: Vec<f32> = (0..oh * ow * oc)
+            .map(|i| ((i % 7) as f32 - 3.0) / 3.0)
+            .collect();
 
         let y = conv.forward(&x);
         let dy = weights.clone();
@@ -315,7 +331,11 @@ mod tests {
 
         // dX check.
         let mut f_x = |probe: &[f32]| -> f32 {
-            conv.forward(probe).iter().zip(&weights).map(|(y, w)| y * w).sum()
+            conv.forward(probe)
+                .iter()
+                .zip(&weights)
+                .map(|(y, w)| y * w)
+                .sum()
         };
         let num_dx = numeric_grad(&mut f_x, &x);
         assert_close(&dx, &num_dx, 2e-2, "conv dx");
@@ -351,7 +371,12 @@ mod tests {
         let (dx, dw, db) = dense.backward(&x, &weights);
 
         let mut f_x = |probe: &[f32]| -> f32 {
-            dense.forward(probe).iter().zip(&weights).map(|(y, w)| y * w).sum()
+            dense
+                .forward(probe)
+                .iter()
+                .zip(&weights)
+                .map(|(y, w)| y * w)
+                .sum()
         };
         assert_close(&dx, &numeric_grad(&mut f_x, &x), 1e-2, "dense dx");
 

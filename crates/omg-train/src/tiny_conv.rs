@@ -11,8 +11,8 @@ use omg_speech::dataset::NUM_CLASSES;
 use omg_speech::frontend::{FEATURES_PER_FRAME, FINGERPRINT_LEN, NUM_FRAMES};
 
 use crate::layers::{
-    dropout_backward, dropout_forward, relu_backward, relu_forward, softmax,
-    softmax_cross_entropy, Conv2D, Dense,
+    dropout_backward, dropout_forward, relu_backward, relu_forward, softmax, softmax_cross_entropy,
+    Conv2D, Dense,
 };
 
 /// Number of convolution filters.
@@ -139,7 +139,10 @@ impl TinyConv {
     /// zero_point = -128`, which makes the two representations exactly
     /// equivalent.
     pub fn input_from_fingerprint(fingerprint: &[i8]) -> Vec<f32> {
-        fingerprint.iter().map(|&q| (i16::from(q) + 128) as f32 / 255.0).collect()
+        fingerprint
+            .iter()
+            .map(|&q| (i16::from(q) + 128) as f32 / 255.0)
+            .collect()
     }
 
     /// Forward pass; `rng` enables dropout (training mode) when `Some`.
@@ -171,7 +174,7 @@ impl TinyConv {
 
     /// Inference helper: class probabilities for one fingerprint input.
     pub fn predict(&self, input: &[f32]) -> Vec<f32> {
-        let trace = self.forward::<rand::rngs::ThreadRng>(input, None);
+        let trace = self.forward::<rand::rngs::StdRng>(input, None);
         softmax(&trace.logits)
     }
 
@@ -197,7 +200,12 @@ impl TinyConv {
         let (_, conv_w_grad, conv_b_grad) = self.conv.backward(&trace.input, &d_post_conv);
         (
             loss,
-            Gradients { conv_w: conv_w_grad, conv_b: conv_b_grad, fc_w: fc_w_grad, fc_b: fc_b_grad },
+            Gradients {
+                conv_w: conv_w_grad,
+                conv_b: conv_b_grad,
+                fc_w: fc_w_grad,
+                fc_b: fc_b_grad,
+            },
         )
     }
 

@@ -108,7 +108,11 @@ pub fn prepare_features(
         fingerprints.push(fp);
         labels.push(class);
     }
-    Ok(FeatureSet { fingerprints, inputs, labels })
+    Ok(FeatureSet {
+        fingerprints,
+        inputs,
+        labels,
+    })
 }
 
 /// Result of a training run.
@@ -184,7 +188,9 @@ fn clip_global_norm(grads: &mut crate::tiny_conv::Gradients, max_norm: f32) {
 /// ```
 pub fn train(config: &TrainConfig) -> Result<TrainOutcome> {
     if config.epochs == 0 || config.batch_size == 0 || config.train_per_class == 0 {
-        return Err(TrainError::BadConfig("epochs, batch size and train size must be nonzero"));
+        return Err(TrainError::BadConfig(
+            "epochs, batch size and train size must be nonzero",
+        ));
     }
     if !(0.0..1.0).contains(&config.dropout) {
         return Err(TrainError::BadConfig("dropout must be in [0, 1)"));
@@ -196,8 +202,12 @@ pub fn train(config: &TrainConfig) -> Result<TrainOutcome> {
 
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x7261696e));
     let mut net = TinyConv::new(&mut rng, config.dropout);
-    let group_sizes =
-        [net.conv.w.len(), net.conv.b.len(), net.fc.w.len(), net.fc.b.len()];
+    let group_sizes = [
+        net.conv.w.len(),
+        net.conv.b.len(),
+        net.fc.w.len(),
+        net.fc.b.len(),
+    ];
     let mut opt = SgdMomentum::new(config.learning_rate, config.momentum, &group_sizes);
 
     let mut order: Vec<usize> = (0..train_set.len()).collect();
@@ -228,7 +238,13 @@ pub fn train(config: &TrainConfig) -> Result<TrainOutcome> {
     }
 
     let float_test_accuracy = evaluate_float(&net, &test_set);
-    Ok(TrainOutcome { net, loss_history, float_test_accuracy, train_set, test_set })
+    Ok(TrainOutcome {
+        net,
+        loss_history,
+        float_test_accuracy,
+        train_set,
+        test_set,
+    })
 }
 
 #[cfg(test)]
@@ -250,7 +266,10 @@ mod tests {
         let data = SyntheticSpeechCommands::new(9);
         let set = prepare_features(&data, 0, 2).unwrap();
         assert_eq!(set.len(), 2 * NUM_CLASSES);
-        assert_eq!(set.fingerprints[0].len(), omg_speech::frontend::FINGERPRINT_LEN);
+        assert_eq!(
+            set.fingerprints[0].len(),
+            omg_speech::frontend::FINGERPRINT_LEN
+        );
         assert_eq!(set.inputs[0].len(), omg_speech::frontend::FINGERPRINT_LEN);
         assert!(!set.is_empty());
     }

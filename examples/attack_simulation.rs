@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         evil_image[0] ^= 0xFF; // backdoored runtime
         match device.prepare_with_image(&mut user, &mut vendor, evil_image) {
             Err(OmgError::Sanctuary(e)) => {
-                println!("[attack 1] backdoored enclave runtime -> attestation fails:\n            {e}")
+                println!(
+                    "[attack 1] backdoored enclave runtime -> attestation fails:\n            {e}"
+                )
             }
             other => panic!("expected attestation failure, got {other:?}"),
         }
@@ -44,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Attack 2: steal the model from local storage.
     {
         let view = device.storage().attacker_view();
-        let leaked = view.windows(16).any(|w| plaintext_model.windows(16).any(|p| p == w));
+        let leaked = view
+            .windows(16)
+            .any(|w| plaintext_model.windows(16).any(|p| p == w));
         println!(
             "\n[attack 2] dump local storage -> {} bytes of ciphertext, \
              0 plaintext model windows found ({})",
@@ -65,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             heap,
             &mut buf,
         );
-        println!("[attack 3] OS reads enclave heap -> {}", attempt.unwrap_err());
+        println!(
+            "[attack 3] OS reads enclave heap -> {}",
+            attempt.unwrap_err()
+        );
     }
 
     // Attack 4: DMA into the enclave from a malicious device.
@@ -73,21 +80,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let region = device.enclave().unwrap().region();
         let mut buf = [0u8; 64];
         let attempt = device.platform_mut().read_at(
-            Agent::Dma { device: "malicious-gpu" },
+            Agent::Dma {
+                device: "malicious-gpu",
+            },
             region,
             0,
             &mut buf,
         );
-        println!("[attack 4] DMA device reads enclave -> {}", attempt.unwrap_err());
+        println!(
+            "[attack 4] DMA device reads enclave -> {}",
+            attempt.unwrap_err()
+        );
     }
 
     // Attack 5: probe the shared L2 cache for enclave access patterns.
     {
         let region = device.enclave().unwrap().region();
-        let sa = Agent::SanctuaryApp { core: device.enclave().unwrap().core() };
+        let sa = Agent::SanctuaryApp {
+            core: device.enclave().unwrap().core(),
+        };
         let before = device.platform().l2().resident_lines();
         // The enclave touches secret-dependent addresses...
-        device.platform_mut().write_at(sa, region, 900_000, &[1u8; 512])?;
+        device
+            .platform_mut()
+            .write_at(sa, region, 900_000, &[1u8; 512])?;
         let after = device.platform().l2().resident_lines();
         println!(
             "[attack 5] probe shared L2 after enclave accesses -> {} new lines \

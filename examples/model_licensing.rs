@@ -38,15 +38,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v1_package = device.storage().load("kws").expect("package").clone();
     vendor.update_model(model);
     device.update_model(&mut vendor)?;
-    println!("[4] vendor shipped model v{}; device re-provisioned", device.model_version());
+    println!(
+        "[4] vendor shipped model v{}; device re-provisioned",
+        device.model_version()
+    );
 
     // The attacker (who controls storage) swaps the old v1 package back in,
     // hoping to keep using the outdated model.
     device.storage_mut().store(v1_package);
     match device.initialize(&mut vendor) {
         Err(OmgError::RollbackDetected) => {
-            println!("[5] rollback attack: stored v1 package fails authenticated \
-                      decryption under the v2 key -> detected");
+            println!(
+                "[5] rollback attack: stored v1 package fails authenticated \
+                      decryption under the v2 key -> detected"
+            );
         }
         other => panic!("expected rollback detection, got {other:?}"),
     }

@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase I: load + attest the enclave, receive the encrypted model.
     device.prepare(&mut user, &mut vendor)?;
-    println!("phase I  done: encrypted model in untrusted storage ({} bytes)",
-        device.storage().load("kws-tiny-conv").map(|p| p.ciphertext.len()).unwrap_or(0));
+    println!(
+        "phase I  done: encrypted model in untrusted storage ({} bytes)",
+        device
+            .storage()
+            .load("kws-tiny-conv")
+            .map(|p| p.ciphertext.len())
+            .unwrap_or(0)
+    );
 
     // Phase II: vendor releases K_U; the enclave decrypts the model.
     device.initialize(&mut vendor)?;
@@ -33,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = SyntheticSpeechCommands::new(42);
     let yes_class = LABELS.iter().position(|&l| l == "yes").unwrap();
     let utterance = data.utterance(yes_class, 7)?;
-    device.platform_mut().microphone_mut().push_recording(&utterance);
+    device
+        .platform_mut()
+        .microphone_mut()
+        .push_recording(&utterance);
 
     let result = device.process_from_microphone(&mut user)?;
     println!(
@@ -42,8 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.score,
         result.compute.as_micros()
     );
-    println!("\ntotal virtual device time: {:.2} ms, {} world switches",
+    println!(
+        "\ntotal virtual device time: {:.2} ms, {} world switches",
         device.clock().now().as_secs_f64() * 1e3,
-        device.clock().world_switch_count());
+        device.clock().world_switch_count()
+    );
     Ok(())
 }

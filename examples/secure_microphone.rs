@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The user speaks.
     let data = SyntheticSpeechCommands::new(11);
     let samples = data.utterance(10, 0)?; // "stop"
-    device.platform_mut().microphone_mut().push_recording(&samples);
+    device
+        .platform_mut()
+        .microphone_mut()
+        .push_recording(&samples);
 
     // The malicious commodity OS tries to grab the samples first.
     let os = Agent::NormalWorld { core: CoreId(0) };

@@ -64,15 +64,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let samples = data.utterance_with_speaker(yes, speaker, take)?;
         Ok(device.embed_utterance(&samples)?)
     };
-    let alice_centroid = mean(&(0..5).map(|t| embed(alice, t)).collect::<Result<Vec<_>, _>>()?);
-    let bob_centroid = mean(&(0..5).map(|t| embed(bob, t)).collect::<Result<Vec<_>, _>>()?);
+    let alice_centroid = mean(
+        &(0..5)
+            .map(|t| embed(alice, t))
+            .collect::<Result<Vec<_>, _>>()?,
+    );
+    let bob_centroid = mean(
+        &(0..5)
+            .map(|t| embed(bob, t))
+            .collect::<Result<Vec<_>, _>>()?,
+    );
     println!(
         "enrolled centroid similarity (alice·bob): {:.3}\n",
         cosine(&alice_centroid, &bob_centroid)
     );
 
     // Verification: 6 fresh takes per speaker.
-    println!("{:<20} {:>9} {:>9} {:>9}", "utterance", "sim(A)", "sim(B)", "verdict");
+    println!(
+        "{:<20} {:>9} {:>9} {:>9}",
+        "utterance", "sim(A)", "sim(B)", "verdict"
+    );
     let mut correct = 0usize;
     let mut total = 0usize;
     for (name, speaker) in [("alice", alice), ("bob", bob)] {

@@ -21,18 +21,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.utterance(class, take).unwrap()
     };
     for (second, chunk) in [
-        silence(), silence(),
+        silence(),
+        silence(),
         word("on", 1),
-        silence(), silence(),
+        silence(),
+        silence(),
         word("stop", 2),
-        silence(), silence(),
+        silence(),
+        silence(),
         word("right", 3),
-        silence(), silence(), silence(),
+        silence(),
+        silence(),
+        silence(),
     ]
     .into_iter()
     .enumerate()
     {
-        println!("stream t={second:>2} s: {}", if second % 3 == 2 && second < 9 { "<command>" } else { "(background)" });
+        println!(
+            "stream t={second:>2} s: {}",
+            if second % 3 == 2 && second < 9 {
+                "<command>"
+            } else {
+                "(background)"
+            }
+        );
         stream.extend(chunk);
     }
 

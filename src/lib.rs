@@ -1,0 +1,23 @@
+//! Offline Model Guard (OMG) — workspace facade.
+//!
+//! This crate re-exports the nine workspace crates under one roof so the
+//! root integration tests, the `examples/` directory and downstream users
+//! can depend on a single package. The layering mirrors the paper's stack:
+//!
+//! ```text
+//! omg_crypto ─→ omg_hal ─→ omg_sanctuary ─→ { omg_nn, omg_speech }
+//!      └→ omg_train ─→ omg_core ─→ omg_baselines ─→ omg_bench
+//! ```
+//!
+//! See the individual crates for the real documentation; start with
+//! [`core`] for the protocol and [`bench`] for the paper's measurements.
+
+pub use omg_baselines as baselines;
+pub use omg_bench as bench;
+pub use omg_core as core;
+pub use omg_crypto as crypto;
+pub use omg_hal as hal;
+pub use omg_nn as nn;
+pub use omg_sanctuary as sanctuary;
+pub use omg_speech as speech;
+pub use omg_train as train;

@@ -25,7 +25,10 @@ fn end_to_end_protocol_with_trained_model() {
     let data = SyntheticSpeechCommands::new(77);
     for class in [2usize, 5, 10] {
         let samples = data.utterance(class, 3).unwrap();
-        device.platform_mut().microphone_mut().push_recording(&samples);
+        device
+            .platform_mut()
+            .microphone_mut()
+            .push_recording(&samples);
         let t = device.process_from_microphone(&mut user).unwrap();
         assert!(t.class_index < 12);
         assert!(LABELS.contains(&t.label.as_str()));
@@ -41,6 +44,68 @@ fn end_to_end_protocol_with_trained_model() {
 
     device.teardown().unwrap();
     assert_eq!(device.phase(), DevicePhase::Fresh);
+}
+
+#[test]
+fn fig2_eight_step_trace_invariant_holds_under_repeated_runs() {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let data = SyntheticSpeechCommands::new(77);
+    let samples = data.utterance(4, 9).unwrap();
+
+    let mut reference: Option<Vec<(u8, String)>> = None;
+    for run in 0..3 {
+        let mut device = OmgDevice::new(1).unwrap();
+        let mut user = User::new(2);
+        let mut vendor = Vendor::new(3, "kws", model.clone(), expected_enclave_measurement());
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        device
+            .platform_mut()
+            .microphone_mut()
+            .push_recording(&samples);
+        device.process_from_microphone(&mut user).unwrap();
+
+        let steps = device.trace().steps();
+        let numbers: Vec<u8> = steps.iter().map(|s| s.number).collect();
+
+        // (a) every Fig. 2 step is present,
+        for step in 1..=8u8 {
+            assert!(
+                numbers.contains(&step),
+                "run {run}: missing protocol step {step}"
+            );
+        }
+        // (b) steps first occur in Fig. 2 order,
+        let firsts: Vec<u8> = {
+            let mut seen = Vec::new();
+            for &n in &numbers {
+                if !seen.contains(&n) {
+                    seen.push(n);
+                }
+            }
+            seen
+        };
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            firsts, sorted,
+            "run {run}: steps out of Fig. 2 order: {numbers:?}"
+        );
+
+        // (c) and the entire trace is identical from run to run — the
+        // protocol is deterministic given the same party seeds and input.
+        let signature: Vec<(u8, String)> =
+            steps.iter().map(|s| (s.number, s.what.clone())).collect();
+        match &reference {
+            None => reference = Some(signature),
+            Some(expected) => {
+                assert_eq!(
+                    &signature, expected,
+                    "run {run}: trace diverged between runs"
+                )
+            }
+        }
+    }
 }
 
 #[test]
@@ -64,7 +129,11 @@ fn table1_accuracy_identical_and_overhead_small() {
         "runtime ratio {ratio} outside the plausible overhead band"
     );
     // Real-time factor well below real time, like the paper's 0.004x.
-    assert!(table.real_time_factor < 0.2, "rtf {}", table.real_time_factor);
+    assert!(
+        table.real_time_factor < 0.2,
+        "rtf {}",
+        table.real_time_factor
+    );
     // Model size in the paper's ballpark ("about 49 kB").
     assert!(
         (40_000..80_000).contains(&table.model_bytes),
@@ -94,7 +163,10 @@ fn repeated_queries_amortize_phases() {
 
     // One-time phases cost more than a single query, but after a session of
     // queries they are amortized — the paper's operation-phase argument.
-    assert!(phases > per_query, "phases {phases:?} vs per-query {per_query:?}");
+    assert!(
+        phases > per_query,
+        "phases {phases:?} vs per-query {per_query:?}"
+    );
 }
 
 #[test]

@@ -27,7 +27,10 @@ fn native_and_enclave_predictions_are_bit_identical() {
         let n2 = native.classify_fingerprint(&clock, fp).unwrap();
         let o = device.classify_utterance(u).unwrap();
         assert_eq!(n1.class_index, o.class_index);
-        assert_eq!(n1.class_index, n2.class_index, "frontend must be deterministic");
+        assert_eq!(
+            n1.class_index, n2.class_index,
+            "frontend must be deterministic"
+        );
         assert_eq!(n1.label, o.label);
         // Scores (dequantized softmax) agree exactly: same integer path.
         assert_eq!(n1.score, o.score);
@@ -68,9 +71,15 @@ fn encryption_decryption_cycle_preserves_model_bytes() {
 
     // The decrypted model sits in enclave memory at the heap base.
     let enclave = device.enclave().unwrap();
-    let contents = device.platform().read_region_trusted(enclave.region()).unwrap();
+    let contents = device
+        .platform()
+        .read_region_trusted(enclave.region())
+        .unwrap();
     let heap = enclave.heap_base() as usize;
-    assert_eq!(&contents[heap..heap + plaintext.len()], plaintext.as_slice());
+    assert_eq!(
+        &contents[heap..heap + plaintext.len()],
+        plaintext.as_slice()
+    );
 }
 
 #[test]
@@ -93,7 +102,11 @@ fn secure_smpc_inference_agrees_with_plaintext_argmax() {
     assert_eq!(argmax(&secure_logits), argmax(&plain_logits));
     // And it must have actually paid the SMPC price.
     assert_eq!(ledger.triples_used, secure.multiplication_count());
-    assert!(ledger.online_bytes > 10_000_000, "bytes: {}", ledger.online_bytes);
+    assert!(
+        ledger.online_bytes > 10_000_000,
+        "bytes: {}",
+        ledger.online_bytes
+    );
 }
 
 #[test]

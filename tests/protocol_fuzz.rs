@@ -39,8 +39,12 @@ fn random_operation_sequences_never_violate_the_state_machine() {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut device = OmgDevice::new(seed).unwrap();
         let mut user = User::new(seed + 1000);
-        let mut vendor =
-            Vendor::new(seed + 2000, "kws", model.clone(), expected_enclave_measurement());
+        let mut vendor = Vendor::new(
+            seed + 2000,
+            "kws",
+            model.clone(),
+            expected_enclave_measurement(),
+        );
         let mut park = false;
 
         for step in 0..40 {
@@ -62,8 +66,9 @@ fn random_operation_sequences_never_violate_the_state_machine() {
                 ProtocolOp::Initialize => {
                     let result = device.initialize(&mut vendor);
                     match phase_before {
-                        DevicePhase::Prepared => result
-                            .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}")),
+                        DevicePhase::Prepared => {
+                            result.unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"))
+                        }
                         _ => assert!(
                             matches!(result, Err(OmgError::PhaseViolation { .. })),
                             "seed {seed} step {step}: initialize in {phase_before:?} accepted"
@@ -74,8 +79,8 @@ fn random_operation_sequences_never_violate_the_state_machine() {
                     let result = device.classify_utterance(&samples);
                     match phase_before {
                         DevicePhase::Initialized => {
-                            let t = result
-                                .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+                            let t =
+                                result.unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
                             assert!(t.class_index < 12);
                         }
                         _ => assert!(
@@ -115,8 +120,65 @@ fn random_operation_sequences_never_violate_the_state_machine() {
         device.prepare(&mut user, &mut vendor).unwrap();
         device.initialize(&mut vendor).unwrap();
         let t = device.classify_utterance(&samples).unwrap();
-        assert!(t.class_index < 12, "seed {seed}: clean run failed after fuzzing");
+        assert!(
+            t.class_index < 12,
+            "seed {seed}: clean run failed after fuzzing"
+        );
     }
+}
+
+/// The fuzz is driven exclusively by seeded [`StdRng`] — no wall-clock, no
+/// ambient entropy — so two runs with the same seed must take the identical
+/// path through the state machine. This pins the determinism the other
+/// fuzz tests rely on for reproducible failures.
+#[test]
+fn identical_seeds_replay_identical_operation_outcomes() {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let samples = vec![250i16; 16_000];
+
+    let run = |seed: u64| -> Vec<(u8, bool, DevicePhase)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut device = OmgDevice::new(seed).unwrap();
+        let mut user = User::new(seed + 1000);
+        let mut vendor = Vendor::new(
+            seed + 2000,
+            "kws",
+            model.clone(),
+            expected_enclave_measurement(),
+        );
+        let mut log = Vec::new();
+        for _ in 0..30 {
+            let op = random_op(&mut rng);
+            let ok = match op {
+                ProtocolOp::Prepare => device.prepare(&mut user, &mut vendor).is_ok(),
+                ProtocolOp::Initialize => device.initialize(&mut vendor).is_ok(),
+                ProtocolOp::Query => device.classify_utterance(&samples).is_ok(),
+                ProtocolOp::UpdateModel => device.update_model(&mut vendor).is_ok(),
+                ProtocolOp::Teardown => device.teardown().is_ok(),
+                ProtocolOp::TogglePark => {
+                    device.set_park_between_queries(true);
+                    true
+                }
+            };
+            log.push((op as u8, ok, device.phase()));
+        }
+        log
+    };
+
+    let mut paths = Vec::new();
+    for seed in [11u64, 42, 4096] {
+        let first = run(seed);
+        let second = run(seed);
+        assert_eq!(
+            first, second,
+            "seed {seed}: fuzz path diverged between runs"
+        );
+        paths.push(first);
+    }
+    assert_ne!(
+        paths[0], paths[1],
+        "different seeds unexpectedly took the same path"
+    );
 }
 
 #[test]

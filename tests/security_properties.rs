@@ -28,7 +28,9 @@ fn model_secrecy_in_storage_and_memory() {
     // Secrecy at rest: no window of the plaintext model in storage.
     let view = device.storage().attacker_view();
     assert!(
-        !view.windows(24).any(|w| plaintext.windows(24).any(|p| p == w)),
+        !view
+            .windows(24)
+            .any(|w| plaintext.windows(24).any(|p| p == w)),
         "plaintext model leaked into untrusted storage"
     );
 
@@ -52,7 +54,10 @@ fn model_secrecy_in_storage_and_memory() {
 #[test]
 fn input_privacy_microphone_unreachable_from_normal_world() {
     let (mut device, _user, _vendor) = protected_device();
-    device.platform_mut().microphone_mut().push_recording(&[1234i16; 16_000]);
+    device
+        .platform_mut()
+        .microphone_mut()
+        .push_recording(&[1234i16; 16_000]);
 
     // Any normal-world core: denied.
     for core in 0..8 {
@@ -84,8 +89,12 @@ fn algorithm_integrity_any_runtime_bitflip_is_caught() {
 
         let mut device = OmgDevice::new(k + 10).unwrap();
         let mut user = User::new(k + 100);
-        let mut vendor =
-            Vendor::new(k + 200, "kws", model.clone(), expected_enclave_measurement());
+        let mut vendor = Vendor::new(
+            k + 200,
+            "kws",
+            model.clone(),
+            expected_enclave_measurement(),
+        );
         let result = device.prepare_with_image(&mut user, &mut vendor, tampered);
         assert!(
             matches!(result, Err(OmgError::Sanctuary(_))),
@@ -106,7 +115,10 @@ fn teardown_leaves_no_secrets_behind() {
     // sanctuary crate; here the handle must be gone entirely).
     assert!(device.platform().read_region_trusted(region).is_err());
     // No L1 residue on the returned core.
-    assert_eq!(device.platform().core(core).unwrap().l1().resident_lines(), 0);
+    assert_eq!(
+        device.platform().core(core).unwrap().l1().resident_lines(),
+        0
+    );
     // Core back with the OS.
     assert_eq!(
         device.platform().core(core).unwrap().state(),
@@ -122,12 +134,17 @@ fn cache_side_channel_closed_by_l2_exclusion() {
     // observable lines.
     let (mut device, _user, _vendor) = protected_device();
     let enclave_region = device.enclave().unwrap().region();
-    let sa = Agent::SanctuaryApp { core: device.enclave().unwrap().core() };
+    let sa = Agent::SanctuaryApp {
+        core: device.enclave().unwrap().core(),
+    };
 
     // With exclusion on (the paper's design): enclave writes leave no new
     // residue for the attacker to probe.
     let before = device.platform().l2().resident_lines();
-    device.platform_mut().write_at(sa, enclave_region, 900_000, &[1u8; 256]).unwrap();
+    device
+        .platform_mut()
+        .write_at(sa, enclave_region, 900_000, &[1u8; 256])
+        .unwrap();
     assert_eq!(
         device.platform().l2().resident_lines(),
         before,
@@ -136,7 +153,10 @@ fn cache_side_channel_closed_by_l2_exclusion() {
 
     // Ablation: with exclusion off, the same access is observable.
     device.platform_mut().l2_mut().set_exclusion(false);
-    device.platform_mut().write_at(sa, enclave_region, 950_000, &[1u8; 256]).unwrap();
+    device
+        .platform_mut()
+        .write_at(sa, enclave_region, 950_000, &[1u8; 256])
+        .unwrap();
     assert!(
         device.platform().l2().resident_lines() > before,
         "with exclusion off the probe should see residue"

@@ -1,0 +1,300 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset the OMG benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], per-group
+//! `throughput` / `sample_size`, and [`Bencher::iter`] /
+//! [`Bencher::iter_batched`]. Statistics are simpler than upstream —
+//! each benchmark reports min / median / mean over the sampled iterations —
+//! but the timing loop is a genuine measurement, so relative comparisons
+//! between benches remain meaningful.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Reported alongside timings so byte-oriented benches print a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Controls how `iter_batched` amortises setup cost. This harness always
+/// re-runs setup per batch, so the variants only influence batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark context, handed to each `criterion_group!` target.
+pub struct Criterion {
+    /// When true (`cargo test` on a harness=false bench passes `--test`),
+    /// run each benchmark exactly once for a smoke check.
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; this harness runs everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        let test_mode = self.test_mode;
+        let default_sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+            test_mode,
+            default_sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        let sample_size = self.default_sample_size;
+        run_benchmark(id, None, sample_size, test_mode, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        let sample_size = self.sample_size.unwrap_or(self.default_sample_size);
+        run_benchmark(&full_id, self.throughput, sample_size, self.test_mode, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let samples = if test_mode { 1 } else { sample_size };
+    let mut bencher = Bencher {
+        samples,
+        durations: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    report(id, throughput, &mut bencher.durations);
+}
+
+fn report(id: &str, throughput: Option<Throughput>, durations: &mut [Duration]) {
+    if durations.is_empty() {
+        println!("  {id:<40} (no samples)");
+        return;
+    }
+    durations.sort_unstable();
+    let min = durations[0];
+    let median = durations[durations.len() / 2];
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => {
+            let mib_s = b as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  {mib_s:.1} MiB/s")
+        }
+        Throughput::Elements(e) => {
+            let elem_s = e as f64 / mean.as_secs_f64();
+            format!("  {elem_s:.1} elem/s")
+        }
+    });
+    println!(
+        "  {id:<40} min {min:>10.3?}  median {median:>10.3?}  mean {mean:>10.3?}{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Runs the closure under test repeatedly and records per-sample timings.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group: a function that runs each target against a
+/// fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            default_sample_size: 5,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_reruns_setup() {
+        let mut c = Criterion {
+            test_mode: false,
+            default_sample_size: 4,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut setups = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        // 1 warm-up + 4 samples.
+        assert_eq!(setups, 5);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_sample_size: 50,
+        };
+        let mut runs = 0u32;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 1 warm-up + 1 sample.
+        assert_eq!(runs, 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline, API-compatible subset of the `proptest` property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the surface the OMG workspace uses: the [`proptest!`] macro,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`,
+//! [`arbitrary::any`], range and tuple strategies, and
+//! [`collection::vec`].
+//!
+//! Differences from upstream, deliberately accepted for an offline stub:
+//!
+//! - **No shrinking.** Failures report the panic from the failing case; the
+//!   run is deterministic (seeded from the test's module path and name), so
+//!   a failure always reproduces with the same inputs.
+//! - **Fixed case count** (default 64, override with `PROPTEST_CASES`).
+//! - Values are sampled uniformly; there is no bias toward boundary values.
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    /// Strategy for the full range of a type, returned by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: rand::SampleStandard> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            runner.rng().gen::<T>()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+    macro_rules! impl_range_from_strategy {
+        ($($t:ty),*) => {$(
+            /// `start..` samples uniformly from `start..=MAX`.
+            impl Strategy for std::ops::RangeFrom<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.start..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_range_from_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// Strategy producing any value of `T` (uniform over the type's range).
+    pub fn any<T: rand::SampleStandard>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = runner
+                .rng()
+                .gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Default number of cases per property (upstream default is 256; this
+    /// stub trades cases for suite runtime). Override with `PROPTEST_CASES`.
+    pub const DEFAULT_CASES: usize = 64;
+
+    /// Holds the deterministic RNG and case budget for one property test.
+    pub struct TestRunner {
+        rng: StdRng,
+        cases: usize,
+    }
+
+    impl TestRunner {
+        /// Creates a runner seeded from the test's identity, so every run of
+        /// a given test sees the same sequence of inputs.
+        pub fn new(test_id: &str) -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_CASES);
+            TestRunner {
+                rng: StdRng::seed_from_u64(fnv1a(test_id.as_bytes())),
+                cases,
+            }
+        }
+
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        pub fn cases(&self) -> usize {
+            self.cases
+        }
+    }
+
+    fn fnv1a(data: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in data {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each function runs its body against
+/// `PROPTEST_CASES` (default 64) deterministic samples of its strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            // The immediately-called closure lets `prop_assume!` skip a
+            // case via `return`.
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..runner.cases() {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner);
+                    )+
+                    (move || $body)();
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in -50i32..50,
+            y in 1usize..=8,
+            f in -1.0f32..1.0,
+        ) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..=8).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size_bounds(v in crate::collection::vec(any::<u8>(), 3..10)) {
+            prop_assert!((3..10).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0u64..1000, any::<u8>())) {
+            prop_assert!(pair.0 < 1000);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    #[test]
+    fn same_test_id_gives_same_sequence() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRunner;
+        let strat = crate::collection::vec(any::<u64>(), 0..16);
+        let mut a = TestRunner::new("id");
+        let mut b = TestRunner::new("id");
+        let mut c = TestRunner::new("other");
+        let va: Vec<_> = (0..8).map(|_| strat.generate(&mut a)).collect();
+        let vb: Vec<_> = (0..8).map(|_| strat.generate(&mut b)).collect();
+        let vc: Vec<_> = (0..8).map(|_| strat.generate(&mut c)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+}
