@@ -28,8 +28,16 @@ pub enum ModelKind {
 }
 
 /// Bump when the dataset calibration or training recipe changes, so stale
-/// cached models are retrained instead of silently reused.
+/// cached models are retrained instead of silently reused. When bumping,
+/// also regenerate the checked-in [`FAST_MODEL_BLOB`].
 const CACHE_VERSION: &str = "v2";
+
+/// Pre-trained `ModelKind::Fast` artifact checked into the repo so a cold
+/// `cargo test` run does not pay the 1–2 min training cost. Produced by the
+/// exact training path below (`TrainConfig::fast()`, seed 0) and versioned
+/// by its file name; regenerate by deleting it and copying the file that
+/// [`cached_tiny_conv`] writes to `target/omg-model-cache/`.
+const FAST_MODEL_BLOB: &[u8] = include_bytes!("../data/tiny_conv_fast_seed0_v2.omgm");
 
 fn cache_path(kind: ModelKind) -> PathBuf {
     let name = match kind {
@@ -48,6 +56,12 @@ fn cache_path(kind: ModelKind) -> PathBuf {
 ///
 /// Panics if training or serialization fails (harness-level invariant).
 pub fn cached_tiny_conv(kind: ModelKind) -> Model {
+    // The fast model ships pre-trained in the repo: no disk, no training.
+    if kind == ModelKind::Fast {
+        if let Ok(model) = omg_nn::format::deserialize(FAST_MODEL_BLOB) {
+            return model;
+        }
+    }
     let path = cache_path(kind);
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(model) = omg_nn::format::deserialize(&bytes) {
@@ -324,5 +338,23 @@ mod tests {
         let b = cached_tiny_conv(ModelKind::Fast);
         assert_eq!(a, b);
         assert_eq!(a.labels().len(), 12);
+    }
+
+    #[test]
+    fn checked_in_fast_blob_matches_cache_version() {
+        // The include_bytes! path names its version independently of
+        // CACHE_VERSION; this pins the two together so a version bump
+        // without a regenerated blob fails loudly instead of silently
+        // serving the stale artifact.
+        let expected_name = format!("tiny_conv_fast_seed0_{CACHE_VERSION}.omgm");
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("data")
+            .join(&expected_name);
+        let on_disk = std::fs::read(&path)
+            .unwrap_or_else(|_| panic!("regenerate the checked-in blob {expected_name}"));
+        assert_eq!(on_disk, FAST_MODEL_BLOB, "embedded blob is out of date");
+        // A corrupt blob must fail here, not silently fall back to
+        // retraining in cached_tiny_conv.
+        omg_nn::format::deserialize(FAST_MODEL_BLOB).expect("checked-in blob must deserialize");
     }
 }

@@ -27,7 +27,7 @@ use omg_sanctuary::enclave::{
 };
 use omg_sanctuary::identity::DevicePki;
 use omg_sanctuary::measurement::Measurement;
-use omg_speech::frontend::{FeatureExtractor, UTTERANCE_SAMPLES};
+use omg_speech::frontend::{FeatureExtractor, FingerprintBuffer, UTTERANCE_SAMPLES};
 
 use crate::error::{OmgError, Result};
 use crate::storage::UntrustedStorage;
@@ -417,7 +417,7 @@ impl OmgDevice {
         Ok(())
     }
 
-    fn ensure_running(&mut self) -> Result<()> {
+    pub(crate) fn ensure_running(&mut self) -> Result<()> {
         if self.phase != DevicePhase::Initialized {
             return Err(OmgError::PhaseViolation {
                 operation: "process query",
@@ -434,10 +434,12 @@ impl OmgDevice {
         Ok(())
     }
 
-    fn finish_query(&mut self) -> Result<()> {
+    pub(crate) fn finish_query(&mut self) -> Result<()> {
         if self.park_between_queries {
             let enclave = self.enclave.as_mut().expect("enclave present");
-            enclave.park(&mut self.platform)?;
+            if enclave.state() == EnclaveState::Running {
+                enclave.park(&mut self.platform)?;
+            }
         }
         Ok(())
     }
@@ -490,20 +492,35 @@ impl OmgDevice {
         Ok(t)
     }
 
-    fn classify_in_enclave(&mut self, samples: &[i16]) -> Result<Transcription> {
+    /// Enclave frontend + inference on borrowed samples, writing all
+    /// intermediate state into `buf`. Zero copies of the audio and, once
+    /// `buf` is warm, zero allocation — the building block both the
+    /// one-shot path and [`crate::session::QuerySession`] share.
+    pub(crate) fn classify_class_warm(
+        &mut self,
+        samples: &[i16],
+        buf: &mut FingerprintBuffer,
+    ) -> Result<(usize, f32, Duration)> {
         let enclave = self.enclave.as_ref().expect("enclave present");
         let interpreter = self.interpreter.as_mut().ok_or(OmgError::ModelMissing)?;
         let extractor = &self.extractor;
-        let samples = samples.to_vec();
-        let (result, compute) = enclave.run_compute(
-            &mut self.platform,
-            move || -> Result<(usize, f32, Vec<i8>)> {
-                let fingerprint = extractor.fingerprint(&samples)?;
-                let (idx, score) = interpreter.classify(&fingerprint)?;
-                Ok((idx, score, fingerprint))
-            },
-        )?;
-        let (class_index, score, _fp) = result?;
+        let (result, compute) =
+            enclave.run_compute(&mut self.platform, move || -> Result<(usize, f32)> {
+                extractor.fingerprint_into(samples, buf)?;
+                interpreter.classify(buf.fingerprint()).map_err(Into::into)
+            })?;
+        let (class_index, score) = result?;
+        Ok((class_index, score, compute))
+    }
+
+    /// Looks up the label for a class index (clones the label string — the
+    /// only allocation on the warm transcription path).
+    pub(crate) fn transcription(
+        &self,
+        class_index: usize,
+        score: f32,
+        compute: Duration,
+    ) -> Transcription {
         let label = self
             .interpreter
             .as_ref()
@@ -513,12 +530,35 @@ impl OmgDevice {
             .get(class_index)
             .cloned()
             .unwrap_or_else(|| format!("class-{class_index}"));
-        Ok(Transcription {
+        Transcription {
             label,
             class_index,
             score,
             compute,
-        })
+        }
+    }
+
+    fn classify_in_enclave(&mut self, samples: &[i16]) -> Result<Transcription> {
+        let mut buf = FingerprintBuffer::new();
+        let (class_index, score, compute) = self.classify_class_warm(samples, &mut buf)?;
+        Ok(self.transcription(class_index, score, compute))
+    }
+
+    /// Zeroes the interpreter's activation arena (enclave-internal state;
+    /// no-op before initialization).
+    pub(crate) fn scrub_interpreter(&mut self) {
+        if let Some(interp) = self.interpreter.as_mut() {
+            interp.scrub();
+        }
+    }
+
+    /// Whether the interpreter's activation arena holds only zeros —
+    /// the post-session hygiene property security tests assert on.
+    /// `None` before initialization.
+    pub fn interpreter_arena_scrubbed(&self) -> Option<bool> {
+        self.interpreter
+            .as_ref()
+            .map(Interpreter::arena_is_scrubbed)
     }
 
     /// Computes an utterance embedding *inside the enclave* by tapping the
@@ -557,9 +597,8 @@ impl OmgDevice {
         let shape: Vec<usize> = info.shape().to_vec();
 
         let extractor = &self.extractor;
-        let samples = samples.to_vec();
         let (result, _) = enclave.run_compute(&mut self.platform, move || -> Result<Vec<i8>> {
-            let fingerprint = extractor.fingerprint(&samples)?;
+            let fingerprint = extractor.fingerprint(samples)?;
             let taps = interpreter.invoke_with_taps(&fingerprint, &[conv])?;
             Ok(taps.into_iter().next().expect("one tap requested"))
         })?;

@@ -39,6 +39,11 @@ pub enum OmgError {
         /// The phase the deployment is actually in.
         phase: &'static str,
     },
+    /// A serving-layer configuration was invalid (e.g. an empty fleet).
+    InvalidConfig {
+        /// What was wrong.
+        reason: &'static str,
+    },
     /// No encrypted model is present in local storage.
     ModelMissing,
     /// The vendor has no record of the requesting enclave.
@@ -63,6 +68,7 @@ impl fmt::Display for OmgError {
             OmgError::PhaseViolation { operation, phase } => {
                 write!(f, "cannot {operation} during the {phase} phase")
             }
+            OmgError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             OmgError::ModelMissing => write!(f, "no encrypted model in local storage"),
             OmgError::UnknownEnclave => write!(f, "vendor has no record of this enclave"),
         }

@@ -10,6 +10,9 @@
 //! * [`user`] — challenge generation and report verification (step ①);
 //! * [`device`] — [`device::OmgDevice`], orchestrating the three phases
 //!   against the simulated platform;
+//! * [`session`] — warm [`session::QuerySession`]s that amortize enclave
+//!   park/resume across query bursts, and [`session::Fleet`]s that serve
+//!   round-robin over many provisioned devices;
 //! * [`storage`] — attacker-controlled local storage (step ④);
 //! * [`native`] — the unprotected baseline of Table I;
 //! * [`trace`] — protocol tracing and the Fig. 2 renderer.
@@ -61,6 +64,7 @@
 pub mod device;
 mod error;
 pub mod native;
+pub mod session;
 pub mod storage;
 pub mod trace;
 pub mod user;
@@ -69,5 +73,6 @@ pub mod vendor;
 pub use device::{OmgDevice, Transcription};
 pub use error::{OmgError, Result};
 pub use native::NativeSpotter;
+pub use session::{Fleet, QuerySession};
 pub use user::User;
 pub use vendor::Vendor;

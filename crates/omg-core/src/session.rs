@@ -1,0 +1,482 @@
+//! Warm query sessions and multi-device fleets.
+//!
+//! The paper measures one utterance per park/resume cycle; serving real
+//! traffic needs the opposite shape: keep the enclave core bound and its
+//! buffers warm across a burst of queries, and spread load over many
+//! devices. [`QuerySession`] amortizes enclave resume/park and fingerprint
+//! allocation across a whole burst; [`Fleet`] provisions N simulated
+//! devices from one vendor and multiplexes queries round-robin — the
+//! scaling direction ("millions of users") of the ROADMAP.
+
+use std::time::Duration;
+
+use omg_nn::Model;
+use omg_speech::frontend::FingerprintBuffer;
+use omg_speech::streaming::{classify_stream, Detection, DetectionSmoother};
+
+use crate::device::{expected_enclave_measurement, OmgDevice, Transcription};
+use crate::error::Result;
+use crate::user::User;
+use crate::vendor::Vendor;
+
+/// A warm, exclusive serving session on one device.
+///
+/// Opening the session resumes the enclave once; every query then runs on
+/// the already-bound core with a reused fingerprint buffer, so the
+/// per-query cost is pure frontend + inference. Parking (when the device
+/// has `park_between_queries` set) happens once, at [`QuerySession::finish`]
+/// or drop — not per query like [`OmgDevice::classify_utterance`].
+///
+/// The interpreter arena is scrubbed when the session ends, so no
+/// activation residue outlives the session.
+#[derive(Debug)]
+pub struct QuerySession<'d> {
+    device: &'d mut OmgDevice,
+    buf: FingerprintBuffer,
+    queries: u64,
+    last_compute: Duration,
+    finished: bool,
+}
+
+impl OmgDevice {
+    /// Opens a warm query session, resuming the enclave if it was parked.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::OmgError::PhaseViolation`] unless the device is
+    /// initialized; resume failures.
+    pub fn session(&mut self) -> Result<QuerySession<'_>> {
+        self.ensure_running()?;
+        Ok(QuerySession {
+            device: self,
+            buf: FingerprintBuffer::new(),
+            queries: 0,
+            last_compute: Duration::ZERO,
+            finished: false,
+        })
+    }
+}
+
+impl QuerySession<'_> {
+    /// Classifies one utterance on the warm enclave.
+    ///
+    /// # Errors
+    ///
+    /// Frontend and inference errors.
+    pub fn classify(&mut self, samples: &[i16]) -> Result<Transcription> {
+        let (class_index, score) = self.classify_class(samples)?;
+        let compute = self.last_compute;
+        Ok(self.device.transcription(class_index, score, compute))
+    }
+
+    /// Like [`Self::classify`] but label-free: returns `(class, score)`
+    /// without even the label-string allocation. The per-window primitive
+    /// for streaming recognition.
+    ///
+    /// # Errors
+    ///
+    /// Frontend and inference errors.
+    pub fn classify_class(&mut self, samples: &[i16]) -> Result<(usize, f32)> {
+        let (class_index, score, compute) =
+            self.device.classify_class_warm(samples, &mut self.buf)?;
+        self.last_compute = compute;
+        self.queries += 1;
+        Ok((class_index, score))
+    }
+
+    /// Streams an unbounded sample buffer through the warm enclave:
+    /// every sliding window (advanced by `hop` samples) is classified
+    /// without per-window allocation and smoothed into debounced keyword
+    /// detections.
+    ///
+    /// # Errors
+    ///
+    /// Frontend and inference errors from any window.
+    pub fn classify_stream(
+        &mut self,
+        stream: &[i16],
+        hop: usize,
+        smoother: &mut DetectionSmoother,
+    ) -> Result<Vec<Detection>> {
+        classify_stream(stream, hop, smoother, |window| {
+            self.classify_class(window.samples)
+        })
+    }
+
+    /// Queries served by this session so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Ends the session: scrubs the interpreter arena (no activation
+    /// residue outlives the session) and parks the enclave if the device
+    /// is configured to park between queries.
+    ///
+    /// # Errors
+    ///
+    /// Park failures. Dropping the session instead performs the same
+    /// cleanup best-effort, swallowing errors.
+    pub fn finish(mut self) -> Result<()> {
+        self.finished = true;
+        self.buf.scrub();
+        self.device.scrub_interpreter();
+        self.device.finish_query()
+    }
+}
+
+impl Drop for QuerySession<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.buf.scrub();
+            self.device.scrub_interpreter();
+            let _ = self.device.finish_query();
+        }
+    }
+}
+
+/// A pool of N provisioned devices served round-robin.
+///
+/// All devices attest to the same vendor and receive the same model, like
+/// a production install base. Queries dispatch to devices in rotation;
+/// because each simulated device has its own virtual clock, the fleet's
+/// wall time for a workload is the *busiest device's* time — N devices
+/// give close to N× the throughput of one.
+#[derive(Debug)]
+pub struct Fleet {
+    devices: Vec<OmgDevice>,
+    buf: FingerprintBuffer,
+    next: usize,
+    queries: u64,
+}
+
+impl Fleet {
+    /// Provisions `n` fresh devices through the full preparation and
+    /// initialization phases against a single vendor.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::OmgError::InvalidConfig`] if `n` is zero; any attestation,
+    /// provisioning, or initialization failure.
+    pub fn provision(n: usize, model_id: &str, model: Model, seed: u64) -> Result<Fleet> {
+        if n == 0 {
+            return Err(crate::OmgError::InvalidConfig {
+                reason: "a fleet needs at least one device",
+            });
+        }
+        let mut vendor = Vendor::new(
+            seed ^ 0x464c_4545, // "FLEE"
+            model_id,
+            model,
+            expected_enclave_measurement(),
+        );
+        let mut user = User::new(seed ^ 0x5553_4552); // "USER"
+        let mut devices = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut device = OmgDevice::new(seed.wrapping_add(1000 + i as u64))?;
+            device.prepare(&mut user, &mut vendor)?;
+            device.initialize(&mut vendor)?;
+            devices.push(device);
+        }
+        Ok(Fleet {
+            devices,
+            buf: FingerprintBuffer::new(),
+            next: 0,
+            queries: 0,
+        })
+    }
+
+    /// Number of devices in the fleet.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Classifies one utterance on the next device in rotation. Each fleet
+    /// query comes from a different simulated principal, so the serving
+    /// device's arena is scrubbed afterwards — no user's activations
+    /// survive into the next user's query.
+    ///
+    /// # Errors
+    ///
+    /// Inference errors from the chosen device.
+    pub fn classify(&mut self, samples: &[i16]) -> Result<Transcription> {
+        let (idx, class_index, score, compute) = self.dispatch(samples)?;
+        Ok(self.devices[idx].transcription(class_index, score, compute))
+    }
+
+    /// Label-free round-robin classification (scrubs like
+    /// [`Self::classify`]).
+    ///
+    /// # Errors
+    ///
+    /// Inference errors from the chosen device.
+    pub fn classify_class(&mut self, samples: &[i16]) -> Result<(usize, f32)> {
+        let (_, class_index, score, _) = self.dispatch(samples)?;
+        Ok((class_index, score))
+    }
+
+    /// One round-robin query: pick the device, classify, then scrub the
+    /// fingerprint buffer and interpreter arena — the single copy of the
+    /// between-principals hygiene sequence.
+    fn dispatch(&mut self, samples: &[i16]) -> Result<(usize, usize, f32, Duration)> {
+        let idx = self.next;
+        self.next = (self.next + 1) % self.devices.len();
+        let device = &mut self.devices[idx];
+        let (class_index, score, compute) = device.classify_class_warm(samples, &mut self.buf)?;
+        self.buf.scrub();
+        device.scrub_interpreter();
+        self.queries += 1;
+        Ok((idx, class_index, score, compute))
+    }
+
+    /// Total queries dispatched across all devices.
+    pub fn total_queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Read-only access to a device (e.g. for its clock or trace).
+    pub fn device(&self, idx: usize) -> Option<&OmgDevice> {
+        self.devices.get(idx)
+    }
+
+    /// The fleet's makespan for everything run so far: the largest virtual
+    /// elapsed time across devices, since devices run concurrently in the
+    /// scenario the fleet models.
+    pub fn busiest_device_time(&self) -> Duration {
+        self.devices
+            .iter()
+            .map(|d| d.clock().now())
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_nn::model::{Activation, Op};
+    use omg_nn::quantize::QuantParams;
+    use omg_nn::tensor::DType;
+    use omg_speech::dataset::SyntheticSpeechCommands;
+    use omg_speech::frontend::FINGERPRINT_LEN;
+    use omg_speech::streaming::SmootherConfig;
+
+    /// A small FC model over the fingerprint so session tests stay fast.
+    fn test_model() -> Model {
+        let mut b = Model::builder();
+        let input = b.add_activation(
+            "in",
+            vec![1, FINGERPRINT_LEN],
+            DType::I8,
+            Some(QuantParams {
+                scale: 1.0 / 255.0,
+                zero_point: -128,
+            }),
+        );
+        let w = b.add_weight_i8(
+            "w",
+            vec![12, FINGERPRINT_LEN],
+            (0..12 * FINGERPRINT_LEN)
+                .map(|i| ((i % 17) as i8) - 8)
+                .collect(),
+            QuantParams::symmetric(0.01),
+        );
+        let bias = b.add_weight_i32("b", vec![12], (0..12).map(|i| i * 50).collect());
+        let out = b.add_activation(
+            "logits",
+            vec![1, 12],
+            DType::I8,
+            Some(QuantParams {
+                scale: 0.5,
+                zero_point: 0,
+            }),
+        );
+        b.add_op(Op::FullyConnected {
+            input,
+            filter: w,
+            bias,
+            output: out,
+            activation: Activation::None,
+        });
+        b.set_input(input);
+        b.set_output(out);
+        b.set_labels(omg_speech::dataset::LABELS);
+        b.build().unwrap()
+    }
+
+    fn ready_device(park: bool) -> OmgDevice {
+        let mut device = OmgDevice::new(700).unwrap();
+        let mut user = User::new(701);
+        let mut vendor = Vendor::new(702, "kws", test_model(), expected_enclave_measurement());
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        device.set_park_between_queries(park);
+        device
+    }
+
+    #[test]
+    fn session_matches_one_shot_classification() {
+        let data = SyntheticSpeechCommands::new(40);
+        let mut one_shot = ready_device(false);
+        let mut warm = ready_device(false);
+        let mut session = warm.session().unwrap();
+        for class in 2..6 {
+            let samples = data.utterance(class, 0).unwrap();
+            let a = one_shot.classify_utterance(&samples).unwrap();
+            let b = session.classify(&samples).unwrap();
+            assert_eq!(a.class_index, b.class_index);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.score, b.score);
+        }
+        assert_eq!(session.queries(), 4);
+        session.finish().unwrap();
+    }
+
+    #[test]
+    fn session_amortizes_park_resume() {
+        let data = SyntheticSpeechCommands::new(41);
+        let samples = data.utterance(3, 0).unwrap();
+        let queries = 5;
+
+        // One-shot with parking: resume + park per query.
+        let mut cold = ready_device(true);
+        let _ = cold.classify_utterance(&samples).unwrap(); // enter steady state
+        let cold_clock = cold.clock();
+        let start = cold_clock.now();
+        for _ in 0..queries {
+            cold.classify_utterance(&samples).unwrap();
+        }
+        let cold_time = cold_clock.now() - start;
+
+        // Warm session on an identically configured device: one resume,
+        // one park, N queries in between.
+        let mut warm = ready_device(true);
+        let _ = warm.classify_utterance(&samples).unwrap();
+        let warm_clock = warm.clock();
+        let start = warm_clock.now();
+        let mut session = warm.session().unwrap();
+        for _ in 0..queries {
+            session.classify(&samples).unwrap();
+        }
+        session.finish().unwrap();
+        let warm_time = warm_clock.now() - start;
+
+        assert!(
+            warm_time < cold_time,
+            "warm {warm_time:?} should beat one-shot {cold_time:?}"
+        );
+    }
+
+    #[test]
+    fn session_scrubs_arena_on_finish() {
+        let data = SyntheticSpeechCommands::new(42);
+        let mut device = ready_device(false);
+        {
+            let mut session = device.session().unwrap();
+            session.classify(&data.utterance(2, 0).unwrap()).unwrap();
+        } // dropped without finish(): scrub still runs
+        assert!(device.interpreter_arena_scrubbed().unwrap());
+
+        let mut session = device.session().unwrap();
+        session.classify(&data.utterance(3, 0).unwrap()).unwrap();
+        session.finish().unwrap();
+        assert!(device.interpreter_arena_scrubbed().unwrap());
+    }
+
+    #[test]
+    fn session_streams_keywords() {
+        let data = SyntheticSpeechCommands::new(43);
+        // 3 seconds: silence, then a keyword utterance, then silence.
+        let keyword = data.utterance(4, 0).unwrap();
+        let mut stream = vec![0i16; 16_000];
+        stream.extend_from_slice(&keyword);
+        stream.extend_from_slice(&[0i16; 16_000]);
+
+        let mut device = ready_device(false);
+        let mut session = device.session().unwrap();
+        let mut smoother = DetectionSmoother::new(SmootherConfig {
+            min_score: 0.0,
+            ..SmootherConfig::default()
+        });
+        let detections = session
+            .classify_stream(&stream, 4_000, &mut smoother)
+            .unwrap();
+        // Every window got classified (windows = (48000-16000)/4000 + 1).
+        assert_eq!(session.queries(), 9);
+        // Detections only report non-background classes.
+        assert!(detections.iter().all(|d| d.class >= 2));
+        session.finish().unwrap();
+    }
+
+    #[test]
+    fn fleet_round_robins_and_agrees_with_single_device() {
+        let data = SyntheticSpeechCommands::new(44);
+        let mut fleet = Fleet::provision(3, "kws", test_model(), 900).unwrap();
+        assert_eq!(fleet.len(), 3);
+        assert!(!fleet.is_empty());
+
+        let mut single = ready_device(false);
+        for class in 2..8 {
+            let samples = data.utterance(class, 1).unwrap();
+            let f = fleet.classify(&samples).unwrap();
+            let s = single.classify_utterance(&samples).unwrap();
+            assert_eq!(f.class_index, s.class_index);
+            assert_eq!(f.label, s.label);
+        }
+        assert_eq!(fleet.total_queries(), 6);
+        // Round-robin: 6 queries over 3 devices = 2 each; every device's
+        // clock advanced beyond its initialization time.
+        assert!(fleet.busiest_device_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn fleet_spreads_load_evenly() {
+        let data = SyntheticSpeechCommands::new(45);
+        let samples = data.utterance(2, 0).unwrap();
+        let mut fleet = Fleet::provision(2, "kws", test_model(), 901).unwrap();
+        let t0: Vec<Duration> = (0..2)
+            .map(|i| fleet.device(i).unwrap().clock().now())
+            .collect();
+        for _ in 0..4 {
+            fleet.classify_class(&samples).unwrap();
+        }
+        let busy: Vec<Duration> = (0..2)
+            .map(|i| fleet.device(i).unwrap().clock().now() - t0[i])
+            .collect();
+        assert!(busy[0] > Duration::ZERO && busy[1] > Duration::ZERO);
+        // 2 queries each: the two devices should be near-identically busy.
+        let (a, b) = (busy[0].as_secs_f64(), busy[1].as_secs_f64());
+        assert!((a - b).abs() / a.max(b) < 0.2, "uneven load: {busy:?}");
+    }
+
+    #[test]
+    fn session_requires_initialized_device() {
+        let mut device = OmgDevice::new(703).unwrap();
+        assert!(device.session().is_err());
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(matches!(
+            Fleet::provision(0, "kws", test_model(), 902),
+            Err(crate::OmgError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn fleet_scrubs_between_principals() {
+        let data = SyntheticSpeechCommands::new(46);
+        let mut fleet = Fleet::provision(1, "kws", test_model(), 903).unwrap();
+        fleet.classify(&data.utterance(2, 0).unwrap()).unwrap();
+        // The previous user's activations must not sit in the arena while
+        // the next user's query is pending.
+        assert_eq!(
+            fleet.device(0).unwrap().interpreter_arena_scrubbed(),
+            Some(true)
+        );
+    }
+}

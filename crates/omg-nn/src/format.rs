@@ -445,7 +445,6 @@ pub fn deserialize(data: &[u8]) -> Result<Model> {
     let input = r.tensor_id(tensor_count)?;
     let output = r.tensor_id(tensor_count)?;
 
-    // Rebuild through the builder-equivalent constructor and validate.
     let model = Model {
         tensors,
         buffers,
@@ -455,21 +454,10 @@ pub fn deserialize(data: &[u8]) -> Result<Model> {
         labels,
         description,
     };
-    // Re-run full validation so a tampered blob cannot produce a model
+    // Full validation in place, so a tampered blob cannot produce a model
     // violating kernel preconditions.
-    let rebuilt = {
-        model.clone() // validate consumes nothing; call the internal check
-    };
-    validate_model(&rebuilt)?;
+    model.validate()?;
     Ok(model)
-}
-
-fn validate_model(model: &Model) -> Result<()> {
-    // Re-serialize round-trip validation is wasteful; instead rebuild via
-    // the builder path: Model::validate is private, so reconstruct checks
-    // by serializing through the builder API.
-    // (Model validation logic lives in model.rs; reuse via a shim.)
-    crate::model::validate_for_format(model)
 }
 
 #[cfg(test)]

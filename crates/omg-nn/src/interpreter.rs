@@ -1,9 +1,13 @@
 //! The arena-based model interpreter.
 //!
 //! Mirrors the TFLite-Micro execution model: all activations live in one
-//! fixed arena planned up front (see [`crate::planner`]); weights are read
-//! directly from the model's constant buffers; `invoke` runs the ops in
-//! order with no allocation on the hot path.
+//! fixed arena planned up front (see [`crate::planner`]), weights are read
+//! directly from the model's constant buffers, and `invoke` runs the ops in
+//! order with **zero heap allocation on the hot path**. All shape, dtype,
+//! quantization, and arena-range resolution happens once in
+//! [`Interpreter::new`], which compiles the graph into an immutable step
+//! list; executing a step only does split borrows into the arena and the
+//! model's buffers.
 
 use crate::error::{NnError, Result};
 use crate::kernels;
@@ -12,14 +16,30 @@ use crate::planner::{plan_arena, ArenaPlan, TensorLife};
 use crate::quantize::FixedMultiplier;
 use crate::tensor::{DType, TensorId};
 
-/// Resolved execution parameters for one op.
+/// Reinterprets raw constant-buffer bytes as int8 weights without copying.
+fn as_i8(bytes: &[u8]) -> &[i8] {
+    // SAFETY: i8 and u8 have identical size and alignment, and every bit
+    // pattern is a valid i8.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<i8>(), bytes.len()) }
+}
+
+/// Where a step reads its data input from.
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    /// An activation at a fixed arena range.
+    Arena { off: usize, len: usize },
+    /// A constant tensor: index into the model's buffer list.
+    Constant { buffer: usize },
+}
+
+/// Kernel parameters resolved at compile time. Weight tensors are reduced
+/// to buffer indices (borrowed at execution time) and biases to ranges in
+/// the decoded bias pool.
 #[derive(Debug, Clone)]
-enum Step {
+enum StepKind {
     Conv2D {
-        input: TensorId,
-        filter: TensorId,
-        bias: TensorId,
-        output: TensorId,
+        filter_buf: usize,
+        bias: (usize, usize),
         input_shape: [usize; 4],
         filter_shape: [usize; 4],
         output_shape: [usize; 4],
@@ -33,10 +53,8 @@ enum Step {
         depthwise: Option<usize>,
     },
     FullyConnected {
-        input: TensorId,
-        filter: TensorId,
-        bias: TensorId,
-        output: TensorId,
+        filter_buf: usize,
+        bias: (usize, usize),
         in_features: usize,
         out_features: usize,
         input_offset: i32,
@@ -46,8 +64,6 @@ enum Step {
         act_max: i8,
     },
     Pool2D {
-        input: TensorId,
-        output: TensorId,
         input_shape: [usize; 4],
         output_shape: [usize; 4],
         filter: (usize, usize),
@@ -56,15 +72,22 @@ enum Step {
         is_max: bool,
     },
     Softmax {
-        input: TensorId,
-        output: TensorId,
         input_scale: f32,
         input_zp: i32,
     },
-    Copy {
-        input: TensorId,
-        output: TensorId,
-    },
+    Copy,
+}
+
+/// One fully resolved execution step: data source, arena output range, and
+/// kernel parameters. Immutable after compilation.
+#[derive(Debug, Clone)]
+struct CompiledStep {
+    /// The tensor this step produces (for activation taps).
+    output: TensorId,
+    input: Src,
+    out_off: usize,
+    out_len: usize,
+    kind: StepKind,
 }
 
 /// Executes a [`Model`] using a fixed activation arena.
@@ -77,12 +100,11 @@ pub struct Interpreter {
     model: Model,
     plan: ArenaPlan,
     arena: Vec<i8>,
-    steps: Vec<Step>,
-    scratch: Vec<i8>,
-    /// Decoded int8 weight buffers by tensor index.
-    weights_i8: Vec<Option<Vec<i8>>>,
-    /// Decoded int32 bias buffers by tensor index.
-    weights_i32: Vec<Option<Vec<i32>>>,
+    steps: Vec<CompiledStep>,
+    /// Int32 bias values decoded once from the model's little-endian
+    /// buffers (they cannot be borrowed in place: the raw bytes are
+    /// unaligned for i32). Steps hold ranges into this pool.
+    bias_pool: Vec<i32>,
     /// Tensors to snapshot during the current `invoke_with_taps` run.
     pending_taps: Vec<TensorId>,
     /// Snapshots collected for the pending taps.
@@ -96,30 +118,50 @@ fn shape4(shape: &[usize], context: &'static str) -> Result<[usize; 4]> {
     })
 }
 
+/// Splits the arena into a shared input slice and a mutable output slice.
+/// Compilation guarantees the two ranges are disjoint (live tensors never
+/// share arena memory), which `split_at_mut` then enforces structurally.
+fn split_io(
+    arena: &mut [i8],
+    in_off: usize,
+    in_len: usize,
+    out_off: usize,
+    out_len: usize,
+) -> (&[i8], &mut [i8]) {
+    if in_off < out_off {
+        let (lo, hi) = arena.split_at_mut(out_off);
+        (&lo[in_off..in_off + in_len], &mut hi[..out_len])
+    } else {
+        let (lo, hi) = arena.split_at_mut(in_off);
+        (&hi[..in_len], &mut lo[out_off..out_off + out_len])
+    }
+}
+
 impl Interpreter {
-    /// Plans the arena and resolves kernel parameters for `model`.
+    /// Plans the arena, decodes biases, and compiles every op into a fully
+    /// resolved step.
     ///
     /// # Errors
     ///
-    /// Any validation error surfaced while resolving shapes, dtypes, or
-    /// quantization parameters.
+    /// Any validation error surfaced while resolving shapes, dtypes,
+    /// quantization parameters, or arena placement.
     pub fn new(model: Model) -> Result<Self> {
-        // Decode constant buffers.
-        let mut weights_i8: Vec<Option<Vec<i8>>> = vec![None; model.tensors.len()];
-        let mut weights_i32: Vec<Option<Vec<i32>>> = vec![None; model.tensors.len()];
+        // Decode int32 bias buffers into one flat pool; reject f32
+        // constants (unsupported by the int8 kernels).
+        let mut bias_pool = Vec::new();
+        let mut bias_ranges: Vec<Option<(usize, usize)>> = vec![None; model.tensors.len()];
         for (idx, t) in model.tensors.iter().enumerate() {
             let Some(buf_idx) = t.buffer() else { continue };
-            let raw = model.buffer(buf_idx)?;
             match t.dtype() {
-                DType::I8 => {
-                    weights_i8[idx] = Some(raw.iter().map(|&b| b as i8).collect());
-                }
+                DType::I8 => {}
                 DType::I32 => {
-                    let vals = raw
-                        .chunks_exact(4)
-                        .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                        .collect();
-                    weights_i32[idx] = Some(vals);
+                    let raw = model.buffer(buf_idx)?;
+                    let start = bias_pool.len();
+                    bias_pool.extend(
+                        raw.chunks_exact(4)
+                            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                    );
+                    bias_ranges[idx] = Some((start, bias_pool.len()));
                 }
                 DType::F32 => {
                     return Err(NnError::DtypeMismatch {
@@ -167,33 +209,90 @@ impl Interpreter {
         let plan = plan_arena(&lives);
         let arena = vec![0i8; plan.arena_size];
 
-        // Resolve steps.
-        let mut steps = Vec::with_capacity(model.ops.len());
-        for op in &model.ops {
-            steps.push(Self::resolve(&model, op)?);
-        }
-
-        Ok(Interpreter {
+        let mut interp = Interpreter {
             model,
             plan,
             arena,
-            steps,
-            scratch: Vec::new(),
-            weights_i8,
-            weights_i32,
+            steps: Vec::new(),
+            bias_pool,
             pending_taps: Vec::new(),
             tap_results: Vec::new(),
-        })
+        };
+        let mut steps = Vec::with_capacity(interp.model.ops.len());
+        for op in &interp.model.ops {
+            steps.push(interp.compile(op, &bias_ranges)?);
+        }
+        interp.steps = steps;
+        Ok(interp)
     }
 
-    fn resolve(model: &Model, op: &Op) -> Result<Step> {
+    /// Resolves the arena range of an activation tensor.
+    fn activation_range(&self, id: TensorId) -> Result<(usize, usize)> {
+        let t = self.model.tensor(id)?;
+        let offset = self
+            .plan
+            .offset_of(id.index())
+            .ok_or(NnError::UnknownTensor { id: id.index() })?;
+        Ok((offset, t.byte_size()))
+    }
+
+    /// Resolves where a step's data input comes from.
+    fn resolve_src(&self, id: TensorId) -> Result<Src> {
+        let t = self.model.tensor(id)?;
+        if let Some(buffer) = t.buffer() {
+            if t.dtype() != DType::I8 {
+                return Err(NnError::DtypeMismatch {
+                    context: "constant data inputs must be i8",
+                });
+            }
+            return Ok(Src::Constant { buffer });
+        }
+        let (off, len) = self.activation_range(id)?;
+        Ok(Src::Arena { off, len })
+    }
+
+    /// Resolves a constant i8 filter tensor to its buffer index.
+    fn resolve_filter(&self, id: TensorId) -> Result<usize> {
+        let t = self.model.tensor(id)?;
+        match (t.dtype(), t.buffer()) {
+            (DType::I8, Some(buffer)) => Ok(buffer),
+            _ => Err(NnError::DtypeMismatch {
+                context: "filter must be constant i8",
+            }),
+        }
+    }
+
+    /// Checks that a step's arena input and output ranges are disjoint, so
+    /// the executor's split borrows cannot alias. The planner guarantees
+    /// this (input and output lifetimes overlap at the op), but the
+    /// invariant is load-bearing for `split_io`, so verify at compile time.
+    fn check_disjoint(&self, step: &CompiledStep) -> Result<()> {
+        if let Src::Arena { off, len } = step.input {
+            let disjoint = off + len <= step.out_off || step.out_off + step.out_len <= off;
+            if !disjoint {
+                return Err(NnError::MalformedModel(
+                    "arena plan aliases a step's input and output",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn compile(&self, op: &Op, bias_ranges: &[Option<(usize, usize)>]) -> Result<CompiledStep> {
         let act_range = |activation: Activation, out_zp: i32| -> (i8, i8) {
             match activation {
                 Activation::None => (-128, 127),
                 Activation::Relu => (out_zp.clamp(-128, 127) as i8, 127),
             }
         };
-        match *op {
+        let bias_range = |id: TensorId| -> Result<(usize, usize)> {
+            bias_ranges[id.index()].ok_or(NnError::DtypeMismatch {
+                context: "bias must be constant i32",
+            })
+        };
+        let output = op.output();
+        let (out_off, out_len) = self.activation_range(output)?;
+        let kind = match *op {
             Op::Conv2D {
                 input,
                 filter,
@@ -203,48 +302,8 @@ impl Interpreter {
                 stride_w,
                 padding,
                 activation,
-            } => {
-                let (it, ft, ot) = (
-                    model.tensor(input)?,
-                    model.tensor(filter)?,
-                    model.tensor(output)?,
-                );
-                let in_q = it.quant().expect("validated");
-                let w_q = ft.quant().expect("validated");
-                let out_q = ot.quant().expect("validated");
-                let multiplier = FixedMultiplier::from_real(
-                    f64::from(in_q.scale) * f64::from(w_q.scale) / f64::from(out_q.scale),
-                )?;
-                let input_shape = shape4(it.shape(), "Conv2D input")?;
-                let filter_shape = shape4(ft.shape(), "Conv2D filter")?;
-                let output_shape = shape4(ot.shape(), "Conv2D output")?;
-                let pad = match padding {
-                    Padding::Same => (
-                        same_padding(input_shape[1], filter_shape[1], stride_h).0,
-                        same_padding(input_shape[2], filter_shape[2], stride_w).0,
-                    ),
-                    Padding::Valid => (0, 0),
-                };
-                let (act_min, act_max) = act_range(activation, out_q.zero_point);
-                Ok(Step::Conv2D {
-                    input,
-                    filter,
-                    bias,
-                    output,
-                    input_shape,
-                    filter_shape,
-                    output_shape,
-                    stride: (stride_h, stride_w),
-                    pad,
-                    input_offset: -in_q.zero_point,
-                    output_offset: out_q.zero_point,
-                    multiplier,
-                    act_min,
-                    act_max,
-                    depthwise: None,
-                })
             }
-            Op::DepthwiseConv2D {
+            | Op::DepthwiseConv2D {
                 input,
                 filter,
                 bias,
@@ -253,12 +312,12 @@ impl Interpreter {
                 stride_w,
                 padding,
                 activation,
-                depth_multiplier,
+                ..
             } => {
                 let (it, ft, ot) = (
-                    model.tensor(input)?,
-                    model.tensor(filter)?,
-                    model.tensor(output)?,
+                    self.model.tensor(input)?,
+                    self.model.tensor(filter)?,
+                    self.model.tensor(output)?,
                 );
                 let in_q = it.quant().expect("validated");
                 let w_q = ft.quant().expect("validated");
@@ -266,9 +325,13 @@ impl Interpreter {
                 let multiplier = FixedMultiplier::from_real(
                     f64::from(in_q.scale) * f64::from(w_q.scale) / f64::from(out_q.scale),
                 )?;
-                let input_shape = shape4(it.shape(), "DepthwiseConv2D input")?;
-                let filter_shape = shape4(ft.shape(), "DepthwiseConv2D filter")?;
-                let output_shape = shape4(ot.shape(), "DepthwiseConv2D output")?;
+                let context = match op {
+                    Op::Conv2D { .. } => "Conv2D",
+                    _ => "DepthwiseConv2D",
+                };
+                let input_shape = shape4(it.shape(), context)?;
+                let filter_shape = shape4(ft.shape(), context)?;
+                let output_shape = shape4(ot.shape(), context)?;
                 let pad = match padding {
                     Padding::Same => (
                         same_padding(input_shape[1], filter_shape[1], stride_h).0,
@@ -277,11 +340,15 @@ impl Interpreter {
                     Padding::Valid => (0, 0),
                 };
                 let (act_min, act_max) = act_range(activation, out_q.zero_point);
-                Ok(Step::Conv2D {
-                    input,
-                    filter,
-                    bias,
-                    output,
+                let depthwise = match *op {
+                    Op::DepthwiseConv2D {
+                        depth_multiplier, ..
+                    } => Some(depth_multiplier),
+                    _ => None,
+                };
+                StepKind::Conv2D {
+                    filter_buf: self.resolve_filter(filter)?,
+                    bias: bias_range(bias)?,
                     input_shape,
                     filter_shape,
                     output_shape,
@@ -292,8 +359,8 @@ impl Interpreter {
                     multiplier,
                     act_min,
                     act_max,
-                    depthwise: Some(depth_multiplier),
-                })
+                    depthwise,
+                }
             }
             Op::FullyConnected {
                 input,
@@ -303,9 +370,9 @@ impl Interpreter {
                 activation,
             } => {
                 let (it, ft, ot) = (
-                    model.tensor(input)?,
-                    model.tensor(filter)?,
-                    model.tensor(output)?,
+                    self.model.tensor(input)?,
+                    self.model.tensor(filter)?,
+                    self.model.tensor(output)?,
                 );
                 let in_q = it.quant().expect("validated");
                 let w_q = ft.quant().expect("validated");
@@ -314,11 +381,9 @@ impl Interpreter {
                     f64::from(in_q.scale) * f64::from(w_q.scale) / f64::from(out_q.scale),
                 )?;
                 let (act_min, act_max) = act_range(activation, out_q.zero_point);
-                Ok(Step::FullyConnected {
-                    input,
-                    filter,
-                    bias,
-                    output,
+                StepKind::FullyConnected {
+                    filter_buf: self.resolve_filter(filter)?,
+                    bias: bias_range(bias)?,
                     in_features: ft.shape()[1],
                     out_features: ft.shape()[0],
                     input_offset: -in_q.zero_point,
@@ -326,7 +391,7 @@ impl Interpreter {
                     multiplier,
                     act_min,
                     act_max,
-                })
+                }
             }
             Op::AveragePool2D {
                 input,
@@ -346,7 +411,7 @@ impl Interpreter {
                 stride_w,
                 padding,
             } => {
-                let (it, ot) = (model.tensor(input)?, model.tensor(output)?);
+                let (it, ot) = (self.model.tensor(input)?, self.model.tensor(output)?);
                 let input_shape = shape4(it.shape(), "Pool2D input")?;
                 let output_shape = shape4(ot.shape(), "Pool2D output")?;
                 let pad = match padding {
@@ -356,29 +421,43 @@ impl Interpreter {
                     ),
                     Padding::Valid => (0, 0),
                 };
-                Ok(Step::Pool2D {
-                    input,
-                    output,
+                StepKind::Pool2D {
                     input_shape,
                     output_shape,
                     filter: (filter_h, filter_w),
                     stride: (stride_h, stride_w),
                     pad,
                     is_max: matches!(op, Op::MaxPool2D { .. }),
-                })
+                }
             }
-            Op::Softmax { input, output } => {
-                let it = model.tensor(input)?;
+            Op::Softmax { input, .. } => {
+                let it = self.model.tensor(input)?;
                 let q = it.quant().expect("validated");
-                Ok(Step::Softmax {
-                    input,
-                    output,
+                StepKind::Softmax {
                     input_scale: q.scale,
                     input_zp: q.zero_point,
-                })
+                }
             }
-            Op::Reshape { input, output } => Ok(Step::Copy { input, output }),
-        }
+            Op::Reshape { .. } => StepKind::Copy,
+        };
+        let input = match *op {
+            Op::Conv2D { input, .. }
+            | Op::DepthwiseConv2D { input, .. }
+            | Op::FullyConnected { input, .. }
+            | Op::AveragePool2D { input, .. }
+            | Op::MaxPool2D { input, .. }
+            | Op::Softmax { input, .. }
+            | Op::Reshape { input, .. } => self.resolve_src(input)?,
+        };
+        let step = CompiledStep {
+            output,
+            input,
+            out_off,
+            out_len,
+            kind,
+        };
+        self.check_disjoint(&step)?;
+        Ok(step)
     }
 
     /// The wrapped model.
@@ -392,43 +471,18 @@ impl Interpreter {
         self.plan.arena_size
     }
 
-    fn activation_range(&self, id: TensorId) -> Result<(usize, usize)> {
-        let t = self.model.tensor(id)?;
-        let offset = self
-            .plan
-            .offset_of(id.index())
-            .ok_or(NnError::UnknownTensor { id: id.index() })?;
-        Ok((offset, t.byte_size()))
+    /// Zeroes the activation arena and drops any tap snapshots, so no
+    /// residue of a previous query's activations survives. Warm serving
+    /// paths call this between queries from different principals.
+    pub fn scrub(&mut self) {
+        self.arena.fill(0);
+        self.tap_results.clear();
     }
 
-    /// Loads the slice feeding `id` into `scratch` (from the arena or from
-    /// a constant buffer) and returns it.
-    fn load_input(&mut self, id: TensorId) -> Result<()> {
-        if let Some(w) = &self.weights_i8[id.index()] {
-            self.scratch.clear();
-            self.scratch.extend_from_slice(w);
-            return Ok(());
-        }
-        let (off, len) = self.activation_range(id)?;
-        self.scratch.clear();
-        self.scratch.extend_from_slice(&self.arena[off..off + len]);
-        Ok(())
-    }
-
-    fn filter_slice(&self, id: TensorId) -> Result<&[i8]> {
-        self.weights_i8[id.index()]
-            .as_deref()
-            .ok_or(NnError::DtypeMismatch {
-                context: "filter must be constant i8",
-            })
-    }
-
-    fn bias_slice(&self, id: TensorId) -> Result<&[i32]> {
-        self.weights_i32[id.index()]
-            .as_deref()
-            .ok_or(NnError::DtypeMismatch {
-                context: "bias must be constant i32",
-            })
+    /// Whether every arena byte is zero (test/diagnostic hook for the
+    /// scrub-between-queries security property).
+    pub fn arena_is_scrubbed(&self) -> bool {
+        self.arena.iter().all(|&b| b == 0)
     }
 
     /// Runs the model and snapshots the named activation tensors right
@@ -474,17 +528,8 @@ impl Interpreter {
         Ok(out)
     }
 
-    fn record_tap(&mut self, produced: TensorId) {
-        if self.pending_taps.contains(&produced) {
-            if let Ok((off, len)) = self.activation_range(produced) {
-                self.tap_results
-                    .push((produced, self.arena[off..off + len].to_vec()));
-            }
-        }
-    }
-
     /// Runs the model on quantized input (length must equal the input
-    /// tensor's element count).
+    /// tensor's element count). Performs no heap allocation.
     ///
     /// # Errors
     ///
@@ -501,154 +546,93 @@ impl Interpreter {
         // The input's arena slot may be reused by later ops; snapshot it now
         // if it is tapped.
         let model_input = self.model.input;
-        self.record_tap(model_input);
+        if !self.pending_taps.is_empty() {
+            Self::record_tap(
+                &self.pending_taps,
+                &mut self.tap_results,
+                &self.arena,
+                (in_off, in_len),
+                model_input,
+            );
+        }
 
+        let taps_active = !self.pending_taps.is_empty();
         for step_idx in 0..self.steps.len() {
-            let step = self.steps[step_idx].clone();
-            match step {
-                Step::Conv2D {
-                    input,
-                    filter,
-                    bias,
-                    output,
-                    input_shape,
-                    filter_shape,
-                    output_shape,
-                    stride,
-                    pad,
-                    input_offset,
-                    output_offset,
-                    multiplier,
-                    act_min,
-                    act_max,
-                    depthwise,
-                } => {
-                    self.load_input(input)?;
-                    let (out_off, out_len) = self.activation_range(output)?;
-                    // Split borrows: scratch (input) vs arena (output) are
-                    // distinct fields, but filter/bias also borrow self, so
-                    // clone the small weight refs up front via raw indices.
-                    let filter_data = self.filter_slice(filter)?.to_vec();
-                    let bias_data = self.bias_slice(bias)?.to_vec();
-                    let out_slice = &mut self.arena[out_off..out_off + out_len];
-                    match depthwise {
-                        None => kernels::conv2d(kernels::Conv2DArgs {
-                            input: &self.scratch,
-                            input_shape,
-                            filter: &filter_data,
-                            filter_shape,
-                            bias: &bias_data,
-                            output: out_slice,
-                            output_shape,
-                            stride,
-                            pad,
-                            input_offset,
-                            output_offset,
-                            multiplier,
-                            act_min,
-                            act_max,
-                        }),
-                        Some(mult) => kernels::depthwise_conv2d(kernels::DepthwiseConv2DArgs {
-                            input: &self.scratch,
-                            input_shape,
-                            filter: &filter_data,
-                            filter_shape,
-                            bias: &bias_data,
-                            output: out_slice,
-                            output_shape,
-                            depth_multiplier: mult,
-                            stride,
-                            pad,
-                            input_offset,
-                            output_offset,
-                            multiplier,
-                            act_min,
-                            act_max,
-                        }),
-                    }
-                }
-                Step::FullyConnected {
-                    input,
-                    filter,
-                    bias,
-                    output,
-                    in_features,
-                    out_features,
-                    input_offset,
-                    output_offset,
-                    multiplier,
-                    act_min,
-                    act_max,
-                } => {
-                    self.load_input(input)?;
-                    let (out_off, out_len) = self.activation_range(output)?;
-                    let filter_data = self.filter_slice(filter)?.to_vec();
-                    let bias_data = self.bias_slice(bias)?.to_vec();
-                    let out_slice = &mut self.arena[out_off..out_off + out_len];
-                    kernels::fully_connected(kernels::FullyConnectedArgs {
-                        input: &self.scratch,
-                        filter: &filter_data,
-                        bias: &bias_data,
-                        output: out_slice,
-                        in_features,
-                        out_features,
-                        input_offset,
-                        output_offset,
-                        multiplier,
-                        act_min,
-                        act_max,
-                    });
-                }
-                Step::Pool2D {
-                    input,
-                    output,
-                    input_shape,
-                    output_shape,
-                    filter,
-                    stride,
-                    pad,
-                    is_max,
-                } => {
-                    self.load_input(input)?;
-                    let (out_off, out_len) = self.activation_range(output)?;
-                    let out_slice = &mut self.arena[out_off..out_off + out_len];
-                    let args = kernels::Pool2DArgs {
-                        input: &self.scratch,
-                        input_shape,
-                        output: out_slice,
-                        output_shape,
-                        filter,
-                        stride,
-                        pad,
-                    };
-                    if is_max {
-                        kernels::max_pool2d(args);
-                    } else {
-                        kernels::average_pool2d(args);
-                    }
-                }
-                Step::Softmax {
-                    input,
-                    output,
-                    input_scale,
-                    input_zp,
-                } => {
-                    self.load_input(input)?;
-                    let (out_off, out_len) = self.activation_range(output)?;
-                    let out_slice = &mut self.arena[out_off..out_off + out_len];
-                    kernels::softmax(&self.scratch, input_scale, input_zp, out_slice);
-                }
-                Step::Copy { input, output } => {
-                    self.load_input(input)?;
-                    let (out_off, out_len) = self.activation_range(output)?;
-                    self.arena[out_off..out_off + out_len].copy_from_slice(&self.scratch);
-                }
+            {
+                // Split borrows: the step list, bias pool, and model buffers
+                // are read-only; only the arena is written.
+                let Interpreter {
+                    steps,
+                    arena,
+                    model,
+                    bias_pool,
+                    ..
+                } = self;
+                exec_step(&steps[step_idx], arena, &model.buffers, bias_pool);
             }
-            // Snapshot tapped activations before the arena reuses them.
-            let produced = self.model.ops[step_idx].output();
-            self.record_tap(produced);
+            if taps_active {
+                let step = &self.steps[step_idx];
+                let produced = step.output;
+                let range = (step.out_off, step.out_len);
+                Self::record_tap(
+                    &self.pending_taps,
+                    &mut self.tap_results,
+                    &self.arena,
+                    range,
+                    produced,
+                );
+            }
         }
         Ok(())
+    }
+
+    fn record_tap(
+        pending: &[TensorId],
+        results: &mut Vec<(TensorId, Vec<i8>)>,
+        arena: &[i8],
+        (off, len): (usize, usize),
+        produced: TensorId,
+    ) {
+        if pending.contains(&produced) {
+            results.push((produced, arena[off..off + len].to_vec()));
+        }
+    }
+
+    /// Runs the model over many inputs, reusing the arena across them and
+    /// performing no per-input heap allocation. Each input's quantized
+    /// output is handed to `sink` (with its index) before the next input
+    /// overwrites the arena.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::BadInputLength`] for the first ill-sized input; inputs
+    /// before it have already been processed and delivered.
+    pub fn invoke_batch<F>(&mut self, inputs: &[&[i8]], mut sink: F) -> Result<()>
+    where
+        F: FnMut(usize, &[i8]),
+    {
+        let (out_off, out_len) = self.activation_range(self.model.output)?;
+        for (idx, input) in inputs.iter().enumerate() {
+            self.invoke(input)?;
+            sink(idx, &self.arena[out_off..out_off + out_len]);
+        }
+        Ok(())
+    }
+
+    /// Batched classification: argmax + dequantized score per input, with a
+    /// single result-vector allocation for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `invoke` errors; [`NnError::MissingQuantization`] if the
+    /// output has no parameters.
+    pub fn classify_batch(&mut self, inputs: &[&[i8]]) -> Result<Vec<(usize, f32)>> {
+        let q = self.output_quant()?;
+        let mut out = Vec::with_capacity(inputs.len());
+        self.invoke_batch(inputs, |_, quantized| {
+            out.push(argmax_dequantized(quantized, q));
+        })?;
+        Ok(out)
     }
 
     /// The raw quantized output of the last `invoke`.
@@ -661,37 +645,178 @@ impl Interpreter {
         Ok(&self.arena[off..off + len])
     }
 
+    fn output_quant(&self) -> Result<crate::quantize::QuantParams> {
+        self.model
+            .tensor(self.model.output)?
+            .quant()
+            .ok_or_else(|| NnError::MissingQuantization {
+                tensor: "output".into(),
+            })
+    }
+
     /// The dequantized output of the last `invoke`.
     ///
     /// # Errors
     ///
     /// [`NnError::MissingQuantization`] if the output has no parameters.
     pub fn output_dequantized(&self) -> Result<Vec<f32>> {
-        let q = self
-            .model
-            .tensor(self.model.output)?
-            .quant()
-            .ok_or_else(|| NnError::MissingQuantization {
-                tensor: "output".into(),
-            })?;
+        let q = self.output_quant()?;
         Ok(q.dequantize_slice(self.output_quantized()?))
     }
 
     /// Convenience: runs the model and returns `(argmax index, score)`.
+    /// Allocation-free: the argmax is taken over the quantized output
+    /// (dequantization is monotonic) and only the winner is dequantized.
     ///
     /// # Errors
     ///
     /// Propagates `invoke` errors.
     pub fn classify(&mut self, input: &[i8]) -> Result<(usize, f32)> {
         self.invoke(input)?;
-        let probs = self.output_dequantized()?;
-        let (idx, score) = probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
-            .map(|(i, &p)| (i, p))
-            .unwrap_or((0, 0.0));
-        Ok((idx, score))
+        let q = self.output_quant()?;
+        Ok(argmax_dequantized(self.output_quantized()?, q))
+    }
+}
+
+/// Last-maximum argmax over the quantized output with the winner's
+/// dequantized score (matches `max_by` + `partial_cmp` over the
+/// dequantized vector, without materializing it).
+fn argmax_dequantized(quantized: &[i8], q: crate::quantize::QuantParams) -> (usize, f32) {
+    quantized
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1))
+        .map(|(i, &v)| (i, q.dequantize(v)))
+        .unwrap_or((0, 0.0))
+}
+
+/// Executes one precompiled step. Infallible: every range and parameter was
+/// validated at compile time, and the only memory touched is the arena, the
+/// model's constant buffers, and the bias pool.
+fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[Vec<u8>], bias_pool: &[i32]) {
+    // Obtain the input and output slices via a split borrow. A constant
+    // input borrows the model buffer instead, leaving the whole arena free
+    // for the output.
+    let (input, output): (&[i8], &mut [i8]) = match step.input {
+        Src::Arena { off, len } => split_io(arena, off, len, step.out_off, step.out_len),
+        Src::Constant { buffer } => (
+            as_i8(&buffers[buffer]),
+            &mut arena[step.out_off..step.out_off + step.out_len],
+        ),
+    };
+    match step.kind {
+        StepKind::Conv2D {
+            filter_buf,
+            bias,
+            input_shape,
+            filter_shape,
+            output_shape,
+            stride,
+            pad,
+            input_offset,
+            output_offset,
+            multiplier,
+            act_min,
+            act_max,
+            depthwise,
+        } => {
+            let filter = as_i8(&buffers[filter_buf]);
+            let bias = &bias_pool[bias.0..bias.1];
+            match depthwise {
+                None => kernels::conv2d(kernels::Conv2DArgs {
+                    input,
+                    input_shape,
+                    filter,
+                    filter_shape,
+                    bias,
+                    output,
+                    output_shape,
+                    stride,
+                    pad,
+                    input_offset,
+                    output_offset,
+                    multiplier,
+                    act_min,
+                    act_max,
+                }),
+                Some(mult) => kernels::depthwise_conv2d(kernels::DepthwiseConv2DArgs {
+                    input,
+                    input_shape,
+                    filter,
+                    filter_shape,
+                    bias,
+                    output,
+                    output_shape,
+                    depth_multiplier: mult,
+                    stride,
+                    pad,
+                    input_offset,
+                    output_offset,
+                    multiplier,
+                    act_min,
+                    act_max,
+                }),
+            }
+        }
+        StepKind::FullyConnected {
+            filter_buf,
+            bias,
+            in_features,
+            out_features,
+            input_offset,
+            output_offset,
+            multiplier,
+            act_min,
+            act_max,
+        } => {
+            let filter = as_i8(&buffers[filter_buf]);
+            let bias = &bias_pool[bias.0..bias.1];
+            kernels::fully_connected(kernels::FullyConnectedArgs {
+                input,
+                filter,
+                bias,
+                output,
+                in_features,
+                out_features,
+                input_offset,
+                output_offset,
+                multiplier,
+                act_min,
+                act_max,
+            });
+        }
+        StepKind::Pool2D {
+            input_shape,
+            output_shape,
+            filter,
+            stride,
+            pad,
+            is_max,
+        } => {
+            let args = kernels::Pool2DArgs {
+                input,
+                input_shape,
+                output,
+                output_shape,
+                filter,
+                stride,
+                pad,
+            };
+            if is_max {
+                kernels::max_pool2d(args);
+            } else {
+                kernels::average_pool2d(args);
+            }
+        }
+        StepKind::Softmax {
+            input_scale,
+            input_zp,
+        } => {
+            kernels::softmax(input, input_scale, input_zp, output);
+        }
+        StepKind::Copy => {
+            output.copy_from_slice(input);
+        }
     }
 }
 
@@ -885,5 +1010,85 @@ mod tests {
         let mut interp = Interpreter::new(b.build().unwrap()).unwrap();
         interp.invoke(&[3, 1, 4, 1]).unwrap();
         assert_eq!(interp.output_quantized().unwrap(), &[4]);
+    }
+
+    #[test]
+    fn invoke_batch_matches_sequential_invokes() {
+        let mut interp = Interpreter::new(tiny_model()).unwrap();
+        let inputs: Vec<Vec<i8>> = vec![
+            vec![1, 2, 3, 4],
+            vec![5, 5, 5, 5],
+            vec![-1, -2, -3, -4],
+            vec![0, 0, 0, 0],
+        ];
+        let refs: Vec<&[i8]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut batched: Vec<Vec<i8>> = Vec::new();
+        interp
+            .invoke_batch(&refs, |idx, out| {
+                assert_eq!(idx, batched.len());
+                batched.push(out.to_vec());
+            })
+            .unwrap();
+        assert_eq!(batched.len(), inputs.len());
+        for (input, expected) in inputs.iter().zip(&batched) {
+            let mut fresh = Interpreter::new(tiny_model()).unwrap();
+            fresh.invoke(input).unwrap();
+            assert_eq!(fresh.output_quantized().unwrap(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn classify_batch_matches_classify() {
+        let mut interp = Interpreter::new(tiny_model()).unwrap();
+        let inputs: Vec<Vec<i8>> = vec![vec![1, 2, 3, 4], vec![-4, 1, -1, 2]];
+        let refs: Vec<&[i8]> = inputs.iter().map(Vec::as_slice).collect();
+        let batch = interp.classify_batch(&refs).unwrap();
+        for (input, &(idx, score)) in inputs.iter().zip(&batch) {
+            let mut fresh = Interpreter::new(tiny_model()).unwrap();
+            assert_eq!(fresh.classify(input).unwrap(), (idx, score));
+        }
+    }
+
+    #[test]
+    fn invoke_batch_rejects_bad_lengths_midway() {
+        let mut interp = Interpreter::new(tiny_model()).unwrap();
+        let good: &[i8] = &[1, 2, 3, 4];
+        let bad: &[i8] = &[1, 2];
+        let mut seen = 0;
+        let err = interp.invoke_batch(&[good, bad], |_, _| seen += 1);
+        assert!(matches!(err, Err(NnError::BadInputLength { .. })));
+        assert_eq!(seen, 1, "the good input was delivered before the error");
+    }
+
+    #[test]
+    fn scrub_clears_the_arena() {
+        let mut interp = Interpreter::new(tiny_model()).unwrap();
+        interp.invoke(&[9, 9, 9, 9]).unwrap();
+        assert!(!interp.arena_is_scrubbed(), "activations present after run");
+        interp.scrub();
+        assert!(interp.arena_is_scrubbed());
+        // Scrubbing does not poison later runs.
+        interp.invoke(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(interp.output_quantized().unwrap(), &[10, -2]);
+    }
+
+    #[test]
+    fn constant_data_input_is_borrowed_not_copied() {
+        // A model whose op reads a constant tensor directly (softmax over a
+        // constant): exercises the Src::Constant execution path.
+        let mut b = Model::builder();
+        let konst = b.add_weight_i8("k", vec![1, 4], vec![0, 10, 20, 30], qp(0.1, 0));
+        let input = b.add_activation("in", vec![1, 1], DType::I8, Some(qp(1.0, 0)));
+        let probs = b.add_activation("probs", vec![1, 4], DType::I8, Some(qp(1.0 / 256.0, -128)));
+        b.add_op(Op::Softmax {
+            input: konst,
+            output: probs,
+        });
+        b.set_input(input);
+        b.set_output(probs);
+        let mut interp = Interpreter::new(b.build().unwrap()).unwrap();
+        interp.invoke(&[0]).unwrap();
+        let out = interp.output_dequantized().unwrap();
+        assert!(out[3] > out[0]);
     }
 }

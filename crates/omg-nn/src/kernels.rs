@@ -373,17 +373,17 @@ pub fn max_pool2d(args: Pool2DArgs<'_>) {
 pub fn softmax(input: &[i8], input_scale: f32, input_zp: i32, output: &mut [i8]) {
     debug_assert_eq!(input.len(), output.len());
     let max_q = input.iter().copied().max().unwrap_or(0);
-    let mut exps = vec![0f32; input.len()];
+    let x_max = input_scale * (i32::from(max_q) - input_zp) as f32;
+    // Two passes so no scratch buffer is needed: exp is recomputed in the
+    // second pass, keeping the kernel allocation-free.
     let mut sum = 0f32;
-    for (i, &q) in input.iter().enumerate() {
+    for &q in input {
         let x = input_scale * (i32::from(q) - input_zp) as f32;
-        let x_max = input_scale * (i32::from(max_q) - input_zp) as f32;
-        let e = (x - x_max).exp();
-        exps[i] = e;
-        sum += e;
+        sum += (x - x_max).exp();
     }
-    for (o, e) in output.iter_mut().zip(exps.iter()) {
-        let p = e / sum;
+    for (o, &q) in output.iter_mut().zip(input.iter()) {
+        let x = input_scale * (i32::from(q) - input_zp) as f32;
+        let p = (x - x_max).exp() / sum;
         // q = p / (1/256) - 128
         let q = (p * 256.0).round() as i32 - 128;
         *o = q.clamp(-128, 127) as i8;

@@ -326,7 +326,12 @@ impl Model {
         self.buffers.iter().map(Vec::len).sum()
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Runs full structural validation: every tensor id in range, constant
+    /// buffers sized to their tensors, and every op's shape/dtype/quant
+    /// preconditions. Called by [`ModelBuilder::build`] and by
+    /// [`crate::format::deserialize`], so a `Model` in hand is always valid
+    /// and the interpreter can precompile steps without re-checking.
+    pub(crate) fn validate(&self) -> Result<()> {
         let check = |id: TensorId| -> Result<&TensorInfo> {
             self.tensors
                 .get(id.0)
@@ -335,6 +340,17 @@ impl Model {
         check(self.input)?;
         check(self.output)?;
         for t in &self.tensors {
+            // Dequantization is `scale * (q - zp)`: a non-positive or
+            // non-finite scale would silently invert or poison every
+            // downstream comparison (classify takes argmax in the
+            // quantized domain), so a tampered blob must be rejected here.
+            if let Some(q) = t.quant() {
+                if !(q.scale.is_finite() && q.scale > 0.0) {
+                    return Err(NnError::MalformedModel(
+                        "quantization scale must be positive and finite",
+                    ));
+                }
+            }
             if let Some(b) = t.buffer() {
                 let buf = self.buffer(b)?;
                 if buf.len() != t.byte_size() {
@@ -561,12 +577,6 @@ impl Model {
         }
         Ok(())
     }
-}
-
-/// Runs full model validation for the deserializer (which constructs the
-/// struct directly rather than through the builder).
-pub(crate) fn validate_for_format(model: &Model) -> Result<()> {
-    model.validate()
 }
 
 /// Incremental builder for [`Model`].
@@ -824,6 +834,30 @@ mod tests {
             b.build(),
             Err(NnError::MissingQuantization { .. })
         ));
+    }
+
+    #[test]
+    fn validation_rejects_nonpositive_or_nonfinite_scales() {
+        for bad_scale in [0.0f32, -0.5, f32::NAN, f32::INFINITY] {
+            let mut b = Model::builder();
+            let input = b.add_activation("in", vec![1, 4], DType::I8, Some(qp(bad_scale, 0)));
+            let w = b.add_weight_i8("w", vec![2, 4], vec![0; 8], QuantParams::symmetric(0.1));
+            let bias = b.add_weight_i32("b", vec![2], vec![0; 2]);
+            let out = b.add_activation("out", vec![1, 2], DType::I8, Some(qp(1.0, 0)));
+            b.add_op(Op::FullyConnected {
+                input,
+                filter: w,
+                bias,
+                output: out,
+                activation: Activation::None,
+            });
+            b.set_input(input);
+            b.set_output(out);
+            assert!(
+                matches!(b.build(), Err(NnError::MalformedModel(_))),
+                "scale {bad_scale} must be rejected"
+            );
+        }
     }
 
     #[test]

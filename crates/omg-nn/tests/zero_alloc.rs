@@ -1,0 +1,147 @@
+//! Verifies the zero-copy execution engine's core claim: after
+//! construction, `invoke`, `classify`, and `invoke_batch` perform **zero
+//! heap allocations** — no `Step` clones, no decoded weight copies, no
+//! scratch buffers.
+//!
+//! A counting global allocator wraps the system allocator; the single test
+//! below is alone in this binary so no other test thread can perturb the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use omg_nn::model::{Activation, Model, Op, Padding};
+use omg_nn::quantize::QuantParams;
+use omg_nn::tensor::DType;
+use omg_nn::Interpreter;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// A conv → fc → softmax model, exercising every hot-path step kind that
+/// the tiny_conv production model uses.
+fn conv_fc_model() -> Model {
+    let qp = |scale: f32, zp: i32| QuantParams {
+        scale,
+        zero_point: zp,
+    };
+    let mut b = Model::builder();
+    let input = b.add_activation(
+        "in",
+        vec![1, 8, 8, 1],
+        DType::I8,
+        Some(qp(1.0 / 255.0, -128)),
+    );
+    let cw = b.add_weight_i8(
+        "conv/w",
+        vec![2, 3, 3, 1],
+        (0..18).map(|i| (i % 5) as i8 - 2).collect(),
+        QuantParams::symmetric(0.05),
+    );
+    let cb = b.add_weight_i32("conv/b", vec![2], vec![3, -3]);
+    let conv = b.add_activation("conv", vec![1, 4, 4, 2], DType::I8, Some(qp(0.1, 0)));
+    b.add_op(Op::Conv2D {
+        input,
+        filter: cw,
+        bias: cb,
+        output: conv,
+        stride_h: 2,
+        stride_w: 2,
+        padding: Padding::Same,
+        activation: Activation::Relu,
+    });
+    let fw = b.add_weight_i8(
+        "fc/w",
+        vec![4, 32],
+        (0..128).map(|i| (i % 7) as i8 - 3).collect(),
+        QuantParams::symmetric(0.02),
+    );
+    let fb = b.add_weight_i32("fc/b", vec![4], vec![0, 1, -1, 2]);
+    let logits = b.add_activation("logits", vec![1, 4], DType::I8, Some(qp(0.5, 0)));
+    b.add_op(Op::FullyConnected {
+        input: conv,
+        filter: fw,
+        bias: fb,
+        output: logits,
+        activation: Activation::None,
+    });
+    let probs = b.add_activation("probs", vec![1, 4], DType::I8, Some(qp(1.0 / 256.0, -128)));
+    b.add_op(Op::Softmax {
+        input: logits,
+        output: probs,
+    });
+    b.set_input(input);
+    b.set_output(probs);
+    b.build().unwrap()
+}
+
+#[test]
+fn hot_path_performs_zero_heap_allocations() {
+    let mut interp = Interpreter::new(conv_fc_model()).unwrap();
+    let input: Vec<i8> = (0..64).map(|i| (i * 3 % 256) as u8 as i8).collect();
+    let inputs: Vec<&[i8]> = vec![&input; 8];
+
+    // Warm up once (nothing on the hot path lazily allocates, but keep the
+    // measurement honest regardless).
+    interp.invoke(&input).unwrap();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..16 {
+        interp.invoke(&input).unwrap();
+    }
+    let after_invoke = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after_invoke - before,
+        0,
+        "Interpreter::invoke allocated on the hot path"
+    );
+
+    for _ in 0..16 {
+        interp.classify(&input).unwrap();
+    }
+    let after_classify = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after_classify - after_invoke,
+        0,
+        "Interpreter::classify allocated on the hot path"
+    );
+
+    let mut checksum = 0i64;
+    interp
+        .invoke_batch(&inputs, |_, out| {
+            checksum += out.iter().map(|&v| i64::from(v)).sum::<i64>();
+        })
+        .unwrap();
+    let after_batch = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after_batch - after_classify,
+        0,
+        "Interpreter::invoke_batch allocated per input"
+    );
+    assert_ne!(checksum, 0, "batch produced real outputs");
+
+    // Scrubbing between queries is also allocation-free.
+    interp.scrub();
+    let after_scrub = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after_scrub - after_batch, 0, "scrub allocated");
+}

@@ -143,9 +143,11 @@ pub fn power_spectrum(re: &[i16], im: &[i16]) -> Vec<u32> {
     re.iter()
         .zip(im.iter())
         .map(|(&r, &i)| {
+            // Squares fit i32 but their sum can reach 2^31 (both parts
+            // -32768), so accumulate in u32.
             let r = i32::from(r);
             let i = i32::from(i);
-            (r * r + i * i) as u32
+            (r * r) as u32 + (i * i) as u32
         })
         .collect()
 }

@@ -12,7 +12,7 @@
 //! `i8` range the quantized model consumes.
 
 use crate::error::{Result, SpeechError};
-use crate::fft::{magnitude_spectrum, FixedFft};
+use crate::fft::FixedFft;
 
 /// Sample rate the frontend expects.
 pub const SAMPLE_RATE_HZ: usize = 16_000;
@@ -83,6 +83,19 @@ impl FeatureExtractor {
     /// [`SpeechError::LengthMismatch`] unless `frame` has exactly
     /// [`WINDOW_SAMPLES`] samples.
     pub fn frame_features(&self, frame: &[i16]) -> Result<[u8; FEATURES_PER_FRAME]> {
+        let mut re = Vec::new();
+        let mut im = Vec::new();
+        self.frame_features_into(frame, &mut re, &mut im)
+    }
+
+    /// [`Self::frame_features`] with caller-provided FFT scratch, so warm
+    /// paths reuse the buffers' capacity instead of allocating per frame.
+    fn frame_features_into(
+        &self,
+        frame: &[i16],
+        re: &mut Vec<i16>,
+        im: &mut Vec<i16>,
+    ) -> Result<[u8; FEATURES_PER_FRAME]> {
         if frame.len() != WINDOW_SAMPLES {
             return Err(SpeechError::LengthMismatch {
                 expected: WINDOW_SAMPLES,
@@ -90,20 +103,31 @@ impl FeatureExtractor {
             });
         }
         // Apply the Hann window in q15 and zero-pad to the FFT length.
-        let mut re = vec![0i16; FFT_LEN];
-        let mut im = vec![0i16; FFT_LEN];
+        re.clear();
+        re.resize(FFT_LEN, 0);
+        im.clear();
+        im.resize(FFT_LEN, 0);
         for (i, (&s, &w)) in frame.iter().zip(self.window.iter()).enumerate() {
             re[i] = (((i32::from(s) * i32::from(w)) + (1 << 14)) >> 15) as i16;
         }
-        self.fft.forward(&mut re, &mut im)?;
-        let mags = magnitude_spectrum(&re[..SPECTRUM_BINS], &im[..SPECTRUM_BINS]);
+        self.fft.forward(re, im)?;
 
-        // Average groups of 6 neighbouring bins, then log-compress to u8.
+        // Average magnitude over groups of 6 neighbouring bins, then
+        // log-compress to u8. Magnitudes are computed per bin in place of
+        // the old intermediate spectrum vector.
         let mut features = [0u8; FEATURES_PER_FRAME];
         for (g, feature) in features.iter_mut().enumerate() {
             let start = g * BINS_PER_FEATURE;
             let end = (start + BINS_PER_FEATURE).min(SPECTRUM_BINS);
-            let sum: u32 = mags[start..end].iter().map(|&m| u32::from(m)).sum();
+            let sum: u32 = (start..end)
+                .map(|i| {
+                    // Squares fit i32 but their sum can reach 2^31, so
+                    // accumulate in u32.
+                    let r = i32::from(re[i]);
+                    let im = i32::from(im[i]);
+                    ((r * r) as u32 + (im * im) as u32).isqrt()
+                })
+                .sum();
             let avg = sum / (end - start) as u32;
             // Log compression: u8 range covers ~5 orders of magnitude.
             let compressed = ((f64::from(avg) + 1.0).ln() * 25.6).min(255.0);
@@ -120,20 +144,78 @@ impl FeatureExtractor {
     /// [`SpeechError::BadUtteranceLength`] unless the utterance is exactly
     /// one second.
     pub fn fingerprint(&self, samples: &[i16]) -> Result<Vec<i8>> {
+        let mut buf = FingerprintBuffer::new();
+        self.fingerprint_into(samples, &mut buf)?;
+        Ok(buf.fingerprint)
+    }
+
+    /// Computes the fingerprint entirely inside `buf`, allocating nothing
+    /// once the buffer is warm — the per-window path for streaming
+    /// recognition and warm query sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`SpeechError::BadUtteranceLength`] unless the utterance is exactly
+    /// one second.
+    pub fn fingerprint_into(&self, samples: &[i16], buf: &mut FingerprintBuffer) -> Result<()> {
         if samples.len() != UTTERANCE_SAMPLES {
             return Err(SpeechError::BadUtteranceLength {
                 expected: UTTERANCE_SAMPLES,
                 got: samples.len(),
             });
         }
-        let mut out = Vec::with_capacity(FINGERPRINT_LEN);
+        let FingerprintBuffer {
+            re,
+            im,
+            fingerprint,
+        } = buf;
+        fingerprint.clear();
+        fingerprint.reserve(FINGERPRINT_LEN);
         for f in 0..NUM_FRAMES {
             let start = f * SHIFT_SAMPLES;
-            let features = self.frame_features(&samples[start..start + WINDOW_SAMPLES])?;
-            out.extend(features.iter().map(|&u| (i16::from(u) - 128) as i8));
+            let features =
+                self.frame_features_into(&samples[start..start + WINDOW_SAMPLES], re, im)?;
+            fingerprint.extend(features.iter().map(|&u| (i16::from(u) - 128) as i8));
         }
-        debug_assert_eq!(out.len(), FINGERPRINT_LEN);
-        Ok(out)
+        debug_assert_eq!(fingerprint.len(), FINGERPRINT_LEN);
+        Ok(())
+    }
+}
+
+/// Reusable working memory for [`FeatureExtractor::fingerprint_into`]:
+/// FFT scratch plus the fingerprint itself. Allocates only until each
+/// buffer reaches its steady-state capacity, then every subsequent
+/// fingerprint is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintBuffer {
+    re: Vec<i16>,
+    im: Vec<i16>,
+    fingerprint: Vec<i8>,
+}
+
+impl FingerprintBuffer {
+    /// Creates an empty buffer (capacity grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recently computed fingerprint (empty before the first
+    /// [`FeatureExtractor::fingerprint_into`] call).
+    pub fn fingerprint(&self) -> &[i8] {
+        &self.fingerprint
+    }
+
+    /// Zeroes all retained audio-derived state (fingerprint and FFT
+    /// scratch) while keeping the buffers' capacity, so warm serving paths
+    /// can guarantee no residue of one principal's audio survives into the
+    /// next query.
+    pub fn scrub(&mut self) {
+        self.re.fill(0);
+        self.re.clear();
+        self.im.fill(0);
+        self.im.clear();
+        self.fingerprint.fill(0);
+        self.fingerprint.clear();
     }
 }
 

@@ -186,6 +186,50 @@ impl DetectionSmoother {
     }
 }
 
+/// Drives every sliding window of `stream` through `classify` and smooths
+/// the per-window votes into debounced keyword detections — the complete
+/// stream-side half of continuous recognition. The classifier side decides
+/// where inference runs: a warm enclave session, the native baseline, or a
+/// test stub. Windows are borrowed slices and detections accumulate into
+/// one result vector, so the driver itself adds no per-window allocation.
+///
+/// # Errors
+///
+/// Stops at the first classifier error and propagates it.
+///
+/// # Examples
+///
+/// ```
+/// use omg_speech::streaming::{classify_stream, DetectionSmoother, SmootherConfig};
+///
+/// let stream = vec![0i16; 48_000]; // 3 s of audio
+/// let mut smoother = DetectionSmoother::new(SmootherConfig::default());
+/// // A stub classifier that always votes class 5 with high confidence.
+/// let detections = classify_stream(&stream, 8_000, &mut smoother, |_w| {
+///     Ok::<_, std::convert::Infallible>((5, 0.9))
+/// })?;
+/// assert!(!detections.is_empty());
+/// # Ok::<(), std::convert::Infallible>(())
+/// ```
+pub fn classify_stream<F, E>(
+    stream: &[i16],
+    hop: usize,
+    smoother: &mut DetectionSmoother,
+    mut classify: F,
+) -> std::result::Result<Vec<Detection>, E>
+where
+    F: FnMut(&StreamWindow<'_>) -> std::result::Result<(usize, f32), E>,
+{
+    let mut detections = Vec::new();
+    for window in sliding_windows(stream, hop) {
+        let (class, score) = classify(&window)?;
+        if let Some(d) = smoother.push(window.index, class, score) {
+            detections.push(d);
+        }
+    }
+    Ok(detections)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +313,46 @@ mod tests {
         let d = s.push(1, 4, 0.8).unwrap();
         assert!((d.score - 0.7).abs() < 1e-6);
         assert_eq!(d.class, 4);
+    }
+
+    #[test]
+    fn classify_stream_fires_and_propagates_errors() {
+        let stream = vec![0i16; 16_000 + 3 * 4_000];
+        let mut smoother = DetectionSmoother::new(SmootherConfig::default());
+        let detections = classify_stream(&stream, 4_000, &mut smoother, |w| {
+            Ok::<_, ()>((2, 0.5 + w.index as f32 * 0.1))
+        })
+        .unwrap();
+        assert_eq!(detections.len(), 1);
+        assert_eq!(detections[0].class, 2);
+
+        let mut smoother = DetectionSmoother::new(SmootherConfig::default());
+        let mut calls = 0;
+        let err = classify_stream(&stream, 4_000, &mut smoother, |w| {
+            calls += 1;
+            if w.index == 1 {
+                Err("boom")
+            } else {
+                Ok((2, 0.9))
+            }
+        });
+        assert_eq!(err, Err("boom"));
+        assert_eq!(calls, 2, "stops at the failing window");
+    }
+
+    #[test]
+    fn fingerprint_into_matches_fingerprint() {
+        use crate::frontend::{FeatureExtractor, FingerprintBuffer, UTTERANCE_SAMPLES};
+        let fe = FeatureExtractor::new().unwrap();
+        let samples: Vec<i16> = (0..UTTERANCE_SAMPLES)
+            .map(|i| ((i as i64 * 37) % 2000 - 1000) as i16)
+            .collect();
+        let direct = fe.fingerprint(&samples).unwrap();
+        let mut buf = FingerprintBuffer::new();
+        fe.fingerprint_into(&samples, &mut buf).unwrap();
+        assert_eq!(buf.fingerprint(), &direct[..]);
+        // The buffer is reusable and stable across calls.
+        fe.fingerprint_into(&samples, &mut buf).unwrap();
+        assert_eq!(buf.fingerprint(), &direct[..]);
     }
 }

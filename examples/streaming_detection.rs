@@ -9,7 +9,7 @@ use omg_bench::{cached_tiny_conv, ModelKind};
 use omg_core::device::expected_enclave_measurement;
 use omg_core::{OmgDevice, User, Vendor};
 use omg_speech::dataset::{SyntheticSpeechCommands, LABELS};
-use omg_speech::streaming::{sliding_windows, DetectionSmoother, SmootherConfig};
+use omg_speech::streaming::{DetectionSmoother, SmootherConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Build a 12-second stream: silence with three commands embedded.
@@ -56,28 +56,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     device.prepare(&mut user, &mut vendor)?;
     device.initialize(&mut vendor)?;
 
-    // Slide a 1-second window every 250 ms, smooth the votes.
+    // Slide a 1-second window every 250 ms through a warm session (one
+    // enclave resume for the whole stream, no per-window allocation) and
+    // smooth the votes.
     let mut smoother = DetectionSmoother::new(SmootherConfig {
         min_score: 0.25,
         ..SmootherConfig::default()
     });
-    println!("\nscanning with 1 s window, 250 ms hop:");
-    let mut detections = Vec::new();
-    for window in sliding_windows(&stream, 4_000) {
-        let t = device.classify_utterance(window.samples)?;
-        if let Some(d) = smoother.push(window.index, t.class_index, t.score) {
-            println!(
-                "  t={:>5.2} s  DETECTED \"{}\" (score {:.2})",
-                window.start_secs(),
-                LABELS[d.class],
-                d.score
-            );
-            detections.push(LABELS[d.class]);
-        }
+    const HOP_SAMPLES: usize = 4_000; // 250 ms at 16 kHz
+    println!("\nscanning with 1 s window, 250 ms hop (warm session):");
+    let mut session = device.session()?;
+    let detections = session.classify_stream(&stream, HOP_SAMPLES, &mut smoother)?;
+    let windows = session.queries();
+    session.finish()?;
+    for d in &detections {
+        let start_secs = (d.window_index * HOP_SAMPLES) as f32 / 16_000.0;
+        println!(
+            "  t={start_secs:>5.2} s  DETECTED \"{}\" (score {:.2})",
+            LABELS[d.class], d.score
+        );
     }
     println!(
-        "\n{} detections over {:.0} s of audio; total virtual compute {:.0} ms",
+        "\n{} detections over {} windows / {:.0} s of audio; total virtual compute {:.0} ms",
         detections.len(),
+        windows,
         stream.len() as f32 / 16_000.0,
         device.clock().measured().as_secs_f64() * 1e3,
     );

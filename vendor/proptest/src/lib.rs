@@ -8,9 +8,11 @@
 //!
 //! Differences from upstream, deliberately accepted for an offline stub:
 //!
-//! - **No shrinking.** Failures report the panic from the failing case; the
-//!   run is deterministic (seeded from the test's module path and name), so
-//!   a failure always reproduces with the same inputs.
+//! - **Simple shrinking.** On failure, the failing inputs are minimized by
+//!   halving numeric values toward their range start and
+//!   halving/truncating collections (plus element-wise shrinks); the
+//!   minimized counterexample is printed before the test re-panics with
+//!   it. Upstream's lazy shrink trees are not reproduced.
 //! - **Fixed case count** (default 64, override with `PROPTEST_CASES`).
 //! - Values are sampled uniformly; there is no bias toward boundary values.
 
@@ -20,9 +22,24 @@ pub mod strategy {
 
     /// A source of random values of one type.
     pub trait Strategy {
-        type Value;
+        type Value: Clone + std::fmt::Debug;
 
         fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Candidate simplifications of a failing `value`, simplest first.
+        /// Every candidate must be strictly "smaller" than `value` so the
+        /// minimization loop terminates. An empty vector means the value
+        /// cannot shrink further (the default).
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+    }
+
+    /// Ties a test-body closure's argument type to a strategy's `Value`,
+    /// so the `proptest!` macro's closure type-checks without annotations.
+    #[doc(hidden)]
+    pub fn bind_body<S: Strategy, R, F: Fn(S::Value) -> R>(_strategy: &S, body: F) -> F {
+        body
     }
 
     /// Strategy for the full range of a type, returned by [`crate::arbitrary::any`].
@@ -30,12 +47,35 @@ pub mod strategy {
         pub(crate) _marker: std::marker::PhantomData<T>,
     }
 
-    impl<T: rand::SampleStandard> Strategy for Any<T> {
+    impl<T: rand::SampleStandard + Clone + std::fmt::Debug> Strategy for Any<T> {
         type Value = T;
 
         fn generate(&self, runner: &mut TestRunner) -> T {
             runner.rng().gen::<T>()
         }
+        // `any` has no ordering to shrink along generically; values from
+        // `any::<T>()` are reported as-is.
+    }
+
+    /// Halving candidates between `start` and a failing integer `value`.
+    macro_rules! int_shrink {
+        ($t:ty, $start:expr, $value:expr) => {{
+            let (start, value): ($t, $t) = ($start, $value);
+            let mut out: Vec<$t> = Vec::new();
+            if value != start {
+                out.push(start);
+                let mid = start.midpoint(value);
+                if mid != start && mid != value {
+                    out.push(mid);
+                }
+                // Step one toward the start (covers the final gap).
+                let step = if value > start { value - 1 } else { value + 1 };
+                if step != start && step != mid {
+                    out.push(step);
+                }
+            }
+            out
+        }};
     }
 
     macro_rules! impl_range_strategy {
@@ -46,6 +86,10 @@ pub mod strategy {
                 fn generate(&self, runner: &mut TestRunner) -> $t {
                     runner.rng().gen_range(self.clone())
                 }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!($t, self.start, *value)
+                }
             }
 
             impl Strategy for std::ops::RangeInclusive<$t> {
@@ -54,11 +98,62 @@ pub mod strategy {
                 fn generate(&self, runner: &mut TestRunner) -> $t {
                     runner.rng().gen_range(self.clone())
                 }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!($t, *self.start(), *value)
+                }
             }
         )*};
     }
 
-    impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+    impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    if *value != self.start {
+                        out.push(self.start);
+                        let mid = self.start + (*value - self.start) / 2.0;
+                        if mid != self.start && mid != *value {
+                            out.push(mid);
+                        }
+                    }
+                    out
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let start = *self.start();
+                    let mut out = Vec::new();
+                    if *value != start {
+                        out.push(start);
+                        let mid = start + (*value - start) / 2.0;
+                        if mid != start && mid != *value {
+                            out.push(mid);
+                        }
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
 
     macro_rules! impl_range_from_strategy {
         ($($t:ty),*) => {$(
@@ -68,6 +163,10 @@ pub mod strategy {
 
                 fn generate(&self, runner: &mut TestRunner) -> $t {
                     runner.rng().gen_range(self.start..=<$t>::MAX)
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink!($t, self.start, *value)
                 }
             }
         )*};
@@ -82,6 +181,18 @@ pub mod strategy {
 
                 fn generate(&self, runner: &mut TestRunner) -> Self::Value {
                     ($(self.$idx.generate(runner),)+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )+};
@@ -164,6 +275,31 @@ pub mod collection {
                 .gen_range(self.size.lo..=self.size.hi_inclusive);
             (0..len).map(|_| self.element.generate(runner)).collect()
         }
+
+        /// Length halving/truncation toward the minimum length, then
+        /// element-wise shrinks (each element's first candidate).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out: Vec<Self::Value> = Vec::new();
+            let lo = self.size.lo;
+            if value.len() > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo.max(value.len() / 2);
+                if half < value.len() && half > lo {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 > half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
@@ -220,6 +356,48 @@ pub mod test_runner {
         }
         hash
     }
+
+    /// Upper bound on shrink candidates tried per failure, so pathological
+    /// strategies cannot loop forever (each accepted candidate is strictly
+    /// smaller, but the trial count is bounded anyway).
+    pub const MAX_SHRINK_TRIALS: usize = 1024;
+
+    /// Greedily minimizes a failing value: repeatedly replaces it with the
+    /// first shrink candidate that still fails, until no candidate fails or
+    /// the trial budget runs out. Returns the smallest failing value found.
+    ///
+    /// The panic hook is silenced for the duration (like upstream), so the
+    /// hundreds of caught panics from shrink trials do not bury the
+    /// one-line minimized-counterexample report. Concurrent tests that
+    /// panic inside this window lose their message but still fail.
+    pub fn minimize<S, F>(strategy: &S, mut value: S::Value, mut fails: F) -> S::Value
+    where
+        S: crate::strategy::Strategy,
+        F: FnMut(&S::Value) -> bool,
+    {
+        let saved_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut trials = 0usize;
+        let result = 'search: loop {
+            let mut progressed = false;
+            for candidate in strategy.shrink(&value) {
+                trials += 1;
+                if trials > MAX_SHRINK_TRIALS {
+                    break 'search value;
+                }
+                if fails(&candidate) {
+                    value = candidate;
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break 'search value;
+            }
+        };
+        std::panic::set_hook(saved_hook);
+        result
+    }
 }
 
 pub mod prelude {
@@ -230,23 +408,51 @@ pub mod prelude {
 
 /// Declares property tests. Each function runs its body against
 /// `PROPTEST_CASES` (default 64) deterministic samples of its strategies.
+/// A failing case is minimized by the strategies' shrink rules; the
+/// minimized counterexample is printed and the body re-panics with it.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
         $(
             $(#[$meta])*
-            // The immediately-called closure lets `prop_assume!` skip a
-            // case via `return`.
             #[allow(clippy::redundant_closure_call)]
             fn $name() {
-                let mut runner = $crate::test_runner::TestRunner::new(
+                let mut __runner = $crate::test_runner::TestRunner::new(
                     concat!(module_path!(), "::", stringify!($name)),
                 );
-                for _case in 0..runner.cases() {
-                    $(
-                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner);
-                    )+
-                    (move || $body)();
+                // All argument strategies combine into one tuple strategy,
+                // so generation *and shrinking* see the case as a whole.
+                let __strat = ($($strat,)+);
+                // The closure lets `prop_assume!` skip a case via `return`
+                // and makes the body re-runnable during shrinking.
+                let __run = $crate::strategy::bind_body(&__strat, |__vals| {
+                    let ($($arg,)+) = __vals;
+                    $body
+                });
+                for __case in 0..__runner.cases() {
+                    let __vals = $crate::strategy::Strategy::generate(&__strat, &mut __runner);
+                    let __failed = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { __run(__vals.clone()); }),
+                    )
+                    .is_err();
+                    if __failed {
+                        let __minimized =
+                            $crate::test_runner::minimize(&__strat, __vals, |__cand| {
+                                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                                    || { __run(::std::clone::Clone::clone(__cand)); },
+                                ))
+                                .is_err()
+                            });
+                        eprintln!(
+                            "proptest: {} failed at case {}; minimized counterexample: {:?}",
+                            stringify!($name),
+                            __case,
+                            __minimized,
+                        );
+                        // Re-run uncaught so the test reports the real panic.
+                        __run(__minimized);
+                        unreachable!("minimized counterexample no longer fails");
+                    }
                 }
             }
         )+
@@ -348,5 +554,72 @@ mod tests {
         let vc: Vec<_> = (0..8).map(|_| strat.generate(&mut c)).collect();
         assert_eq!(va, vb);
         assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn integer_shrink_minimizes_to_boundary() {
+        use crate::test_runner::minimize;
+        // Property "v < 37" fails for v >= 37; the minimal counterexample
+        // in 0..1000 is exactly 37.
+        let strat = 0usize..1000;
+        let minimized = minimize(&strat, 612, |v| *v >= 37);
+        assert_eq!(minimized, 37);
+        // Already-minimal values stay put.
+        assert_eq!(minimize(&strat, 37, |v| *v >= 37), 37);
+    }
+
+    #[test]
+    fn signed_shrink_moves_toward_range_start() {
+        use crate::test_runner::minimize;
+        let strat = -128i8..=127;
+        // Fails for v >= 0: minimal failing value is 0.
+        assert_eq!(minimize(&strat, 99, |v| *v >= 0), 0);
+        // midpoint of the full i8 range must not overflow.
+        let cands = crate::strategy::Strategy::shrink(&strat, &127i8);
+        assert!(cands.contains(&-128));
+    }
+
+    #[test]
+    fn vec_shrink_truncates_and_respects_minimum_len() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u8..100, 2..10);
+        let value = vec![50u8, 60, 70, 80, 90];
+        for cand in strat.shrink(&value) {
+            assert!((2..10).contains(&cand.len()), "bad len {}", cand.len());
+            assert_ne!(cand, value);
+        }
+        // Minimization drives both length and elements down.
+        let minimized = crate::test_runner::minimize(&strat, value, |v| v.iter().any(|&x| x >= 10));
+        assert_eq!(minimized.len(), 2);
+        assert!(minimized.iter().any(|&x| x >= 10));
+        assert!(minimized.iter().all(|&x| x <= 10));
+    }
+
+    #[test]
+    fn tuple_shrink_shrinks_one_component_at_a_time() {
+        use crate::strategy::Strategy;
+        let strat = (0u32..100, 0u32..100);
+        let value = (40u32, 80u32);
+        for (a, b) in strat.shrink(&value) {
+            let changed = usize::from(a != value.0) + usize::from(b != value.1);
+            assert_eq!(changed, 1);
+        }
+        let minimized = crate::test_runner::minimize(&strat, value, |&(a, b)| a + b >= 30);
+        assert_eq!(minimized.0 + minimized.1, 30);
+    }
+
+    #[test]
+    fn minimize_is_bounded() {
+        use crate::test_runner::{minimize, MAX_SHRINK_TRIALS};
+        // A predicate that always fails keeps shrinking until the value is
+        // fully minimal; the budget guarantees termination regardless.
+        let strat = 0u64..u64::MAX;
+        let mut trials = 0usize;
+        let minimized = minimize(&strat, u64::MAX - 1, |_| {
+            trials += 1;
+            true
+        });
+        assert_eq!(minimized, 0);
+        assert!(trials <= MAX_SHRINK_TRIALS);
     }
 }
