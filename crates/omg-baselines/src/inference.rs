@@ -42,7 +42,7 @@ struct FcSpec {
 pub struct SecureTinyConv {
     conv: ConvSpec,
     fc: FcSpec,
-    labels: Vec<String>,
+    labels: Vec<std::sync::Arc<str>>,
 }
 
 fn weights_i64(model: &Model, id: TensorId) -> Result<Vec<i64>> {
@@ -152,7 +152,7 @@ impl SecureTinyConv {
     }
 
     /// Class labels from the model.
-    pub fn labels(&self) -> &[String] {
+    pub fn labels(&self) -> &[std::sync::Arc<str>] {
         &self.labels
     }
 

@@ -86,8 +86,9 @@ impl DevicePhase {
 /// The result of one keyword-recognition query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Transcription {
-    /// Predicted label (e.g. `"yes"`).
-    pub label: String,
+    /// Predicted label (e.g. `"yes"`), shared with the model's interned
+    /// label table — producing a transcription never copies the string.
+    pub label: std::sync::Arc<str>,
     /// Class index in the model's label table.
     pub class_index: usize,
     /// Softmax score of the prediction.
@@ -271,6 +272,31 @@ impl OmgDevice {
             format!("enclave loaded + measured ({})", enclave.measurement()?),
         );
 
+        // Steps ①–④ can fail (e.g. a tampered runtime is rejected by
+        // attestation). A rejected enclave must not leave a dead core and a
+        // locked memory region behind, so tear it down before reporting
+        // the failure — the device returns to a genuinely fresh state.
+        match self.attest_and_provision(user, vendor, &enclave) {
+            Ok(()) => {
+                self.enclave = Some(enclave);
+                self.phase = DevicePhase::Prepared;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = enclave.teardown(&mut self.platform);
+                Err(e)
+            }
+        }
+    }
+
+    /// Preparation steps ①–④ against a booted enclave: attest to user and
+    /// vendor, receive the encrypted model, store it locally.
+    fn attest_and_provision(
+        &mut self,
+        user: &mut User,
+        vendor: &mut Vendor,
+        enclave: &SanctuaryEnclave,
+    ) -> Result<()> {
         // Step ①: attest to the user over the trusted display.
         let user_challenge = user.new_challenge();
         let report_u = AttestationReport::generate(enclave.identity()?, &user_challenge)?;
@@ -332,9 +358,6 @@ impl OmgDevice {
             Channel::Untrusted,
             format!("store model_KU ({size} bytes ciphertext)"),
         );
-
-        self.enclave = Some(enclave);
-        self.phase = DevicePhase::Prepared;
         Ok(())
     }
 
@@ -513,8 +536,10 @@ impl OmgDevice {
         Ok((class_index, score, compute))
     }
 
-    /// Looks up the label for a class index (clones the label string — the
-    /// only allocation on the warm transcription path).
+    /// Looks up the interned label for a class index. Cloning the
+    /// `Arc<str>` is a refcount bump, so the warm transcription path is
+    /// allocation-free (the `format!` fallback only fires for indices
+    /// outside the label table).
     pub(crate) fn transcription(
         &self,
         class_index: usize,
@@ -529,7 +554,7 @@ impl OmgDevice {
             .labels()
             .get(class_index)
             .cloned()
-            .unwrap_or_else(|| format!("class-{class_index}"));
+            .unwrap_or_else(|| format!("class-{class_index}").into());
         Transcription {
             label,
             class_index,
@@ -769,7 +794,7 @@ mod tests {
         let t = device.process_from_microphone(&mut user).unwrap();
         assert!(t.class_index < 12);
         assert_eq!(user.transcriptions().len(), 1);
-        assert_eq!(user.transcriptions()[0], t.label);
+        assert_eq!(user.transcriptions()[0], *t.label);
 
         // Trace covers all eight numbered steps.
         let numbers: Vec<u8> = device
@@ -876,10 +901,12 @@ mod tests {
         device.prepare(&mut user, &mut vendor).unwrap();
         let plaintext = omg_nn::format::serialize(vendor.model());
         let attacker_view = device.storage().attacker_view();
-        // No 16-byte window of the plaintext model appears in storage.
+        // No 16-byte window of the plaintext model appears in storage
+        // (hash-set membership keeps the scan linear).
+        let plaintext_windows: std::collections::HashSet<&[u8]> = plaintext.windows(16).collect();
         assert!(!attacker_view
             .windows(16)
-            .any(|w| plaintext.windows(16).any(|p| p == w)));
+            .any(|w| plaintext_windows.contains(w)));
     }
 
     #[test]

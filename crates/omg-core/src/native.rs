@@ -63,7 +63,7 @@ impl NativeSpotter {
             .labels()
             .get(class_index)
             .cloned()
-            .unwrap_or_else(|| format!("class-{class_index}"));
+            .unwrap_or_else(|| format!("class-{class_index}").into());
         Ok(Transcription {
             label,
             class_index,
@@ -91,7 +91,7 @@ impl NativeSpotter {
             .labels()
             .get(class_index)
             .cloned()
-            .unwrap_or_else(|| format!("class-{class_index}"));
+            .unwrap_or_else(|| format!("class-{class_index}").into());
         Ok(Transcription {
             label,
             class_index,
@@ -168,6 +168,6 @@ mod tests {
         let t = spotter.classify_fingerprint(&clock, &fp).unwrap();
         // Bias grows with index, all weights equal -> class 11 wins.
         assert_eq!(t.class_index, 11);
-        assert_eq!(t.label, "go");
+        assert_eq!(&*t.label, "go");
     }
 }

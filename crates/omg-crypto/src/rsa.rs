@@ -250,6 +250,65 @@ impl RsaPrivateKey {
         }
     }
 
+    /// Like [`Self::generate`], but memoized on the generator's upcoming
+    /// output stream: two calls that would consume identical random streams
+    /// return identical keys, and the second call skips prime generation
+    /// entirely (the dominant cost of simulated-device setup — hundreds of
+    /// milliseconds per key in debug builds).
+    ///
+    /// The memoization is *exact*: key generation is a deterministic
+    /// function of the RNG stream, so the cache is keyed by a 32-byte
+    /// prefix of the stream (peeked from a clone without consuming it) and
+    /// a cache hit also restores the RNG to the precise post-generation
+    /// state. Callers observe bit-identical behaviour either way. Intended
+    /// for simulations and tests that create many same-seeded devices; for
+    /// one-off keys, plain [`Self::generate`] avoids retaining key material
+    /// in the process-wide cache.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::generate`].
+    pub fn generate_memoized<R>(rng: &mut R, bits: usize) -> Result<Self>
+    where
+        R: Rng + Clone + Send + Sync + 'static,
+    {
+        use std::any::{Any, TypeId};
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+
+        type Cache =
+            Mutex<HashMap<(TypeId, usize, [u8; 32]), (RsaPrivateKey, Box<dyn Any + Send + Sync>)>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        // Bound the retained key material: past this point new streams are
+        // generated but not remembered (first-come entries — the
+        // fixed-seed simulation parties — stay hot). Keeps a pathological
+        // many-distinct-seed workload from growing the cache forever.
+        const MAX_ENTRIES: usize = 64;
+
+        // Peek the next 32 bytes of the stream from a clone; the caller's
+        // generator is not advanced by the lookup.
+        let mut probe = rng.clone();
+        let mut prefix = [0u8; 32];
+        probe.fill_bytes(&mut prefix);
+        let key = (TypeId::of::<R>(), bits, prefix);
+
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some((cached_key, post_state)) = cache.lock().expect("rsa cache").get(&key) {
+            let post = post_state
+                .downcast_ref::<R>()
+                .expect("cache entry type matches TypeId");
+            *rng = post.clone();
+            return Ok(cached_key.clone());
+        }
+
+        let generated = Self::generate(rng, bits)?;
+        let mut cache = cache.lock().expect("rsa cache");
+        if cache.len() < MAX_ENTRIES {
+            cache.insert(key, (generated.clone(), Box::new(rng.clone())));
+        }
+        Ok(generated)
+    }
+
     /// The corresponding public key.
     pub fn public_key(&self) -> &RsaPublicKey {
         &self.public
@@ -363,6 +422,35 @@ mod tests {
     fn test_key() -> RsaPrivateKey {
         let mut rng = ChaChaRng::seed_from_u64(0xD15EA5E);
         RsaPrivateKey::generate(&mut rng, 1024).unwrap()
+    }
+
+    #[test]
+    fn memoized_generate_is_transparent() {
+        use rand::RngCore;
+
+        // Plain generation: the ground truth for key and RNG evolution.
+        let mut plain_rng = ChaChaRng::seed_from_u64(0x4D454D4F); // "MEMO"
+        let plain_key = RsaPrivateKey::generate(&mut plain_rng, 1024).unwrap();
+        let plain_next = plain_rng.next_u64();
+
+        // First memoized call (cache miss): identical key, identical
+        // post-generation stream.
+        let mut rng1 = ChaChaRng::seed_from_u64(0x4D454D4F);
+        let key1 = RsaPrivateKey::generate_memoized(&mut rng1, 1024).unwrap();
+        assert_eq!(key1.public_key(), plain_key.public_key());
+        assert_eq!(key1.private_exponent(), plain_key.private_exponent());
+        assert_eq!(rng1.next_u64(), plain_next);
+
+        // Second memoized call (cache hit): still identical on both counts.
+        let mut rng2 = ChaChaRng::seed_from_u64(0x4D454D4F);
+        let key2 = RsaPrivateKey::generate_memoized(&mut rng2, 1024).unwrap();
+        assert_eq!(key2.public_key(), plain_key.public_key());
+        assert_eq!(rng2.next_u64(), plain_next);
+
+        // A different stream yields a different key (no false hits).
+        let mut other = ChaChaRng::seed_from_u64(0x4D454D50);
+        let key3 = RsaPrivateKey::generate_memoized(&mut other, 1024).unwrap();
+        assert_ne!(key3.public_key(), plain_key.public_key());
     }
 
     #[test]

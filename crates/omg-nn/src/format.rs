@@ -301,7 +301,7 @@ pub fn deserialize(data: &[u8]) -> Result<Model> {
     let label_count = r.u16()? as usize;
     let mut labels = Vec::with_capacity(label_count);
     for _ in 0..label_count {
-        labels.push(r.str16()?);
+        labels.push(r.str16()?.into());
     }
 
     let tensor_count = r.u32()? as usize;

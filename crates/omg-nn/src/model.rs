@@ -7,6 +7,8 @@
 //! stride 2×2) with fused ReLU, a FullyConnected layer to 12 labels, and a
 //! Softmax (paper §VI).
 
+use std::sync::Arc;
+
 use crate::error::{NnError, Result};
 use crate::quantize::QuantParams;
 use crate::tensor::{DType, TensorId, TensorInfo};
@@ -249,7 +251,7 @@ pub struct Model {
     pub(crate) ops: Vec<Op>,
     pub(crate) input: TensorId,
     pub(crate) output: TensorId,
-    pub(crate) labels: Vec<String>,
+    pub(crate) labels: Vec<Arc<str>>,
     pub(crate) description: String,
 }
 
@@ -290,8 +292,10 @@ impl Model {
         self.output
     }
 
-    /// Class labels (e.g. the 12 keyword classes).
-    pub fn labels(&self) -> &[String] {
+    /// Class labels (e.g. the 12 keyword classes), interned as `Arc<str>`
+    /// so serving paths can hand out a label without allocating: cloning an
+    /// `Arc<str>` is a refcount bump, not a string copy.
+    pub fn labels(&self) -> &[Arc<str>] {
         &self.labels
     }
 
@@ -609,7 +613,7 @@ pub struct ModelBuilder {
     ops: Vec<Op>,
     input: Option<TensorId>,
     output: Option<TensorId>,
-    labels: Vec<String>,
+    labels: Vec<Arc<str>>,
     description: String,
 }
 
@@ -687,8 +691,8 @@ impl ModelBuilder {
         self
     }
 
-    /// Sets the class labels.
-    pub fn set_labels<I: IntoIterator<Item = S>, S: Into<String>>(
+    /// Sets the class labels (interned as `Arc<str>`).
+    pub fn set_labels<I: IntoIterator<Item = S>, S: Into<Arc<str>>>(
         &mut self,
         labels: I,
     ) -> &mut Self {

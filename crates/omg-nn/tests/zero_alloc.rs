@@ -92,6 +92,7 @@ fn conv_fc_model() -> Model {
     });
     b.set_input(input);
     b.set_output(probs);
+    b.set_labels(["up", "down", "left", "right"]);
     b.build().unwrap()
 }
 
@@ -116,15 +117,22 @@ fn hot_path_performs_zero_heap_allocations() {
         "Interpreter::invoke allocated on the hot path"
     );
 
+    // The full serving-path query: classify + interned-label lookup. With
+    // labels stored as `Arc<str>`, handing out the label is a refcount
+    // bump, so even the label-bearing path is allocation-free end to end.
+    let mut label_len = 0usize;
     for _ in 0..16 {
-        interp.classify(&input).unwrap();
+        let (class, _score) = interp.classify(&input).unwrap();
+        let label = interp.model().labels()[class].clone();
+        label_len += label.len();
     }
     let after_classify = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
         after_classify - after_invoke,
         0,
-        "Interpreter::classify allocated on the hot path"
+        "Interpreter::classify + label lookup allocated on the hot path"
     );
+    assert!(label_len > 0, "labels were actually produced");
 
     let mut checksum = 0i64;
     interp

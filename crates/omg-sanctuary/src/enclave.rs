@@ -184,7 +184,7 @@ impl SanctuaryEnclave {
     ///
     /// [`SanctuaryError::BadState`] unless the enclave is freshly loaded;
     /// propagates key-generation failures.
-    pub fn boot<R: Rng + ?Sized>(
+    pub fn boot<R: Rng + Clone + Send + Sync + 'static>(
         &mut self,
         platform: &mut Platform,
         pki: &DevicePki,
@@ -200,8 +200,7 @@ impl SanctuaryEnclave {
         // Key pair derived from the platform certificate hierarchy.
         let (identity, _) = {
             let pki_ref = &pki;
-            let mut local_rng = &mut *rng;
-            clock.measure(move || pki_ref.issue_enclave_identity(&mut local_rng, measurement))
+            clock.measure(move || pki_ref.issue_enclave_identity(rng, measurement))
         };
         let identity = identity?;
 

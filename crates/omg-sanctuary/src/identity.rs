@@ -106,10 +106,23 @@ pub struct DevicePki {
 impl DevicePki {
     /// Generates a device PKI with [`DEFAULT_KEY_BITS`] keys.
     ///
+    /// Key generation is memoized on the generator's stream
+    /// ([`RsaPrivateKey::generate_memoized`]): simulations that provision
+    /// many identically seeded devices pay the prime search once and get
+    /// bit-identical keys and RNG evolution on every subsequent call.
+    ///
+    /// Memoization retains key material in bounded host-process memory for
+    /// the process lifetime. That is harness state outside the simulated
+    /// threat model — the adversary of paper §IV lives in the simulated
+    /// normal world, which can never read it, exactly as the simulated
+    /// `Vendor` holds the plaintext model in host memory. The scrub
+    /// guarantees (`teardown_leaves_no_secrets_behind` etc.) are about the
+    /// simulated platform's memory and are unaffected.
+    ///
     /// # Errors
     ///
     /// Propagates key-generation failures.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Result<Self> {
+    pub fn new<R: Rng + Clone + Send + Sync + 'static>(rng: &mut R) -> Result<Self> {
         Self::with_key_bits(rng, DEFAULT_KEY_BITS)
     }
 
@@ -118,8 +131,11 @@ impl DevicePki {
     /// # Errors
     ///
     /// Propagates key-generation failures (e.g. sizes below 512 bits).
-    pub fn with_key_bits<R: Rng + ?Sized>(rng: &mut R, key_bits: usize) -> Result<Self> {
-        let platform_key = RsaPrivateKey::generate(rng, key_bits)?;
+    pub fn with_key_bits<R: Rng + Clone + Send + Sync + 'static>(
+        rng: &mut R,
+        key_bits: usize,
+    ) -> Result<Self> {
+        let platform_key = RsaPrivateKey::generate_memoized(rng, key_bits)?;
         Ok(DevicePki {
             platform_key,
             key_bits,
@@ -137,12 +153,12 @@ impl DevicePki {
     /// # Errors
     ///
     /// Propagates key-generation and signing failures.
-    pub fn issue_enclave_identity<R: Rng + ?Sized>(
+    pub fn issue_enclave_identity<R: Rng + Clone + Send + Sync + 'static>(
         &self,
         rng: &mut R,
         measurement: Measurement,
     ) -> Result<EnclaveIdentity> {
-        let keypair = RsaPrivateKey::generate(rng, self.key_bits)?;
+        let keypair = RsaPrivateKey::generate_memoized(rng, self.key_bits)?;
         let public_key = keypair.public_key().to_bytes();
         let payload = EnclaveCert::signed_payload(&public_key, &measurement);
         let signature = self.platform_key.sign(&payload)?;

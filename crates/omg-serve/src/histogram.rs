@@ -1,0 +1,189 @@
+//! A fixed-bucket, log-scale latency histogram with lock-free recording.
+//!
+//! Workers record per-query latency concurrently with relaxed atomic
+//! increments; readers compute quantiles from a racy-but-monotone snapshot.
+//! Bucket boundaries grow geometrically (~25 % per bucket) from 1 µs, so 96
+//! buckets span 1 µs to ≈30 min with bounded relative error — the classic
+//! serving-systems trade: fixed memory, no allocation on the record path,
+//! quantiles accurate to one bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets (plus one implicit overflow bucket at the end).
+const BUCKETS: usize = 96;
+
+/// Lowest bucket boundary: 1 µs in nanoseconds.
+const FIRST_BOUNDARY_NS: u64 = 1_000;
+
+/// A concurrent latency histogram with geometric buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// `counts[i]` holds samples with `value <= boundaries_ns[i]`; the last
+    /// slot is the overflow bucket.
+    counts: [AtomicU64; BUCKETS + 1],
+    boundaries_ns: [u64; BUCKETS],
+    total: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let mut boundaries_ns = [0u64; BUCKETS];
+        let mut b = FIRST_BOUNDARY_NS;
+        for slot in &mut boundaries_ns {
+            *slot = b;
+            // ~25 % geometric growth, with a floor so early buckets advance.
+            b += (b / 4).max(250);
+        }
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            boundaries_ns,
+            total: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(&self, ns: u64) -> usize {
+        // partition_point: first boundary >= ns, i.e. the covering bucket.
+        self.boundaries_ns.partition_point(|&b| b < ns)
+    }
+
+    /// Records one latency sample. Lock- and allocation-free.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.counts[self.bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, or zero when empty.
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
+    }
+
+    /// Largest recorded latency (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), reported as the upper boundary of
+    /// the bucket containing that rank — conservative by at most one bucket
+    /// width (~25 %). Returns zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, counter) in self.counts.iter().enumerate() {
+            cumulative += counter.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return if i < BUCKETS {
+                    Duration::from_nanos(self.boundaries_ns[i])
+                } else {
+                    // Overflow bucket: report the observed maximum.
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// Convenience accessor for the standard serving percentiles
+    /// `(p50, p95, p99)`.
+    pub fn percentiles(&self) -> (Duration, Duration, Duration) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn boundaries_are_strictly_increasing() {
+        let h = LatencyHistogram::new();
+        for w in h.boundaries_ns.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // 96 geometric buckets reach far beyond any plausible query time.
+        assert!(h.boundaries_ns[BUCKETS - 1] > 60_000_000_000); // > 1 min
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_value_within_a_bucket() {
+        let h = LatencyHistogram::new();
+        // 100 samples: 1 ms .. 100 ms.
+        for i in 1..=100u64 {
+            h.record(Duration::from_millis(i));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50).as_secs_f64();
+        let p99 = h.quantile(0.99).as_secs_f64();
+        // True p50 = 50 ms, p99 = 99 ms; bucketing may round up ~25 %.
+        assert!((0.050..0.065).contains(&p50), "p50 {p50}");
+        assert!((0.099..0.13).contains(&p99), "p99 {p99}");
+        assert!(h.max() == Duration::from_millis(100));
+        let mean = h.mean().as_secs_f64();
+        assert!((0.0500..0.0510).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(3600)); // beyond the last boundary
+        assert_eq!(h.quantile(1.0), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(Duration::from_micros(t * 1000 + i % 997));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

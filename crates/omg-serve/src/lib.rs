@@ -1,0 +1,875 @@
+//! `omg-serve`: a concurrent multi-device serving runtime with latency
+//! SLOs.
+//!
+//! The paper evaluates one query on one device; production serving (the
+//! MLCapsule framing: guarded offline inference *as a service*) needs the
+//! opposite shape — many provisioned devices executing concurrently behind
+//! one submission interface, with admission control and tail-latency
+//! accounting. This crate provides that runtime:
+//!
+//! * **Workers** — N provisioned [`omg_core::OmgDevice`]s, each moved into
+//!   its own thread and served through a warm
+//!   [`omg_core::QuerySession`]-style loop (resume once, classify many,
+//!   park once);
+//! * **Admission control** — a bounded, sharded MPMC [`queue::ShardedQueue`]
+//!   between submitters and workers; a saturated queue rejects with
+//!   [`ServeError::Overloaded`] instead of queuing unboundedly;
+//! * **Latency SLOs** — every query's submit-to-completion latency lands in
+//!   a fixed-bucket log-scale [`histogram::LatencyHistogram`];
+//!   [`ServeStats`] reports throughput, p50/p95/p99, and violations of the
+//!   configured SLO target;
+//! * **Graceful drain** — [`ServeHandle::drain`] stops admission, finishes
+//!   every in-flight query, scrubs each worker's enclave arena (no user's
+//!   activations survive the runtime), parks the enclaves, and returns the
+//!   devices for inspection.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use omg_serve::{ServeConfig, ServeHandle};
+//! # use omg_nn::model::{Activation, Model, Op};
+//! # use omg_nn::quantize::QuantParams;
+//! # use omg_nn::tensor::DType;
+//! #
+//! # fn tiny_model() -> Model {
+//! #     const FINGERPRINT_LEN: usize = 49 * 43;
+//! #     let mut b = Model::builder();
+//! #     let input = b.add_activation("in", vec![1, FINGERPRINT_LEN], DType::I8,
+//! #         Some(QuantParams { scale: 1.0 / 255.0, zero_point: -128 }));
+//! #     let w = b.add_weight_i8("w", vec![12, FINGERPRINT_LEN],
+//! #         vec![1i8; 12 * FINGERPRINT_LEN], QuantParams::symmetric(0.01));
+//! #     let bias = b.add_weight_i32("b", vec![12], (0..12).map(|i| i * 50).collect());
+//! #     let out = b.add_activation("out", vec![1, 12], DType::I8,
+//! #         Some(QuantParams { scale: 0.5, zero_point: 0 }));
+//! #     b.add_op(Op::FullyConnected { input, filter: w, bias, output: out,
+//! #         activation: Activation::None });
+//! #     b.set_input(input);
+//! #     b.set_output(out);
+//! #     b.set_labels(["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"]);
+//! #     b.build().unwrap()
+//! # }
+//! // Two workers, each a fully provisioned enclave device.
+//! let handle = ServeHandle::provision(2, ServeConfig::default(), "kws", tiny_model(), 7)?;
+//!
+//! let samples = vec![500i16; 16_000];
+//! let pending: Vec<_> = (0..8).map(|_| handle.submit(&samples).unwrap()).collect();
+//! for p in pending {
+//!     let t = p.wait()?;
+//!     assert!(!t.label.is_empty());
+//! }
+//!
+//! let drained = handle.drain();
+//! assert!(drained.is_healthy());
+//! assert_eq!(drained.stats.completed, 8);
+//! // Every worker's arena was scrubbed before its thread joined.
+//! for device in &drained.devices {
+//!     assert_eq!(device.interpreter_arena_scrubbed(), Some(true));
+//! }
+//! # Ok::<(), omg_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod queue;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use omg_core::session::provision_devices;
+use omg_core::{OmgDevice, OmgError, Transcription};
+use omg_nn::Model;
+
+use histogram::LatencyHistogram;
+use queue::{PushError, ShardedQueue};
+
+/// Errors surfaced by the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The work queue is saturated: the query was rejected at admission
+    /// (backpressure). Retry later or shed load.
+    Overloaded,
+    /// The runtime is draining (or a query was abandoned by it); no new
+    /// work is accepted.
+    ShuttingDown,
+    /// Invalid runtime configuration.
+    Config(&'static str),
+    /// The underlying device query failed.
+    Query(OmgError),
+    /// A worker thread panicked (its device is lost).
+    WorkerPanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "serving queue saturated; query rejected"),
+            ServeError::ShuttingDown => write!(f, "serving runtime is shutting down"),
+            ServeError::Config(reason) => write!(f, "invalid serve config: {reason}"),
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+            ServeError::WorkerPanicked => write!(f, "a serving worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<OmgError> for ServeError {
+    fn from(e: OmgError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Total admission-queue capacity across shards. Once this many queries
+    /// are waiting, [`ServeHandle::submit`] returns
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Optional latency SLO target: queries whose submit-to-completion
+    /// latency exceeds it are counted in [`ServeStats::slo_violations`].
+    pub slo: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            slo: None,
+        }
+    }
+}
+
+/// One query's completion slot, shared between the submitting thread and
+/// the worker that serves it.
+#[derive(Debug)]
+struct ResponseSlot {
+    result: Mutex<Option<Result<Transcription, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<Transcription, ServeError>) {
+        let mut slot = self.result.lock();
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.ready.notify_all();
+    }
+}
+
+/// A ticket for a submitted query; redeem with [`Pending::wait`].
+#[derive(Debug)]
+pub struct Pending {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Pending {
+    /// Blocks until the query completes and returns its transcription.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Query`] if the device query failed,
+    /// [`ServeError::ShuttingDown`] if the runtime abandoned the query.
+    pub fn wait(self) -> Result<Transcription, ServeError> {
+        let mut result = self.slot.result.lock();
+        while result.is_none() {
+            self.slot.ready.wait(&mut result);
+        }
+        result.take().expect("checked some")
+    }
+
+    /// Non-blocking completion check: returns the result if the query has
+    /// finished, `None` (and the ticket back) otherwise.
+    pub fn try_wait(self) -> Result<Result<Transcription, ServeError>, Pending> {
+        let mut result = self.slot.result.lock();
+        match result.take() {
+            Some(r) => Ok(r),
+            None => {
+                drop(result);
+                Err(self)
+            }
+        }
+    }
+}
+
+/// One unit of work flowing through the queue.
+#[derive(Debug)]
+struct Job {
+    samples: Vec<i16>,
+    submitted: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+impl Job {
+    fn complete(self, result: Result<Transcription, ServeError>) {
+        self.slot.fill(result);
+        // Drop runs next, but fill() is sticky: the first result wins.
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        // A job dropped without completion (queue torn down, worker
+        // unwinding) must not strand its waiter.
+        self.slot.fill(Err(ServeError::ShuttingDown));
+    }
+}
+
+/// What a worker thread hands back when it exits.
+struct WorkerExit {
+    device: OmgDevice,
+    served: u64,
+}
+
+/// Shared runtime state visible to workers and submitters.
+struct Shared {
+    queue: ShardedQueue<Job>,
+    latency: LatencyHistogram,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    slo_violations: AtomicU64,
+    slo: Option<Duration>,
+    /// Workers still running their serve loop. The last worker to exit —
+    /// cleanly or by panic — fails over any jobs still queued, so a waiter
+    /// can never deadlock on a fleet with no one left to serve it.
+    live_workers: AtomicU64,
+}
+
+/// Decrements the live-worker count on scope exit (including unwinding)
+/// and, when the last worker leaves, closes the queue and completes every
+/// stranded job with [`ServeError::ShuttingDown`].
+struct WorkerPresence<'a> {
+    shared: &'a Shared,
+    index: usize,
+}
+
+impl Drop for WorkerPresence<'_> {
+    fn drop(&mut self) {
+        if self.shared.live_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.queue.close();
+            // Dropping a job fills its response slot with ShuttingDown.
+            while self.shared.queue.pop(self.index).is_some() {}
+        }
+    }
+}
+
+/// Aggregate serving statistics at a point in time.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Worker (device) count.
+    pub workers: usize,
+    /// Queries completed *successfully* (these are what the latency
+    /// percentiles describe).
+    pub completed: u64,
+    /// Queries rejected at admission ([`ServeError::Overloaded`]).
+    pub rejected: u64,
+    /// Queries accepted but failed on the device
+    /// ([`ServeError::Query`] delivered to the waiter).
+    pub failed: u64,
+    /// Queries currently waiting in the queue (racy snapshot).
+    pub queued: usize,
+    /// Wall-clock time since the runtime started.
+    pub elapsed: Duration,
+    /// Completed queries per second of wall-clock time.
+    pub throughput_qps: f64,
+    /// Median submit-to-completion latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Worst observed latency.
+    pub max: Duration,
+    /// The configured SLO target, if any.
+    pub slo: Option<Duration>,
+    /// Completed queries that exceeded the SLO target.
+    pub slo_violations: u64,
+}
+
+impl fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        write!(
+            f,
+            "{} workers: {:.1} q/s, {} ok / {} rejected / {} failed, \
+             p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+            self.workers,
+            self.throughput_qps,
+            self.completed,
+            self.rejected,
+            self.failed,
+            ms(self.p50),
+            ms(self.p95),
+            ms(self.p99),
+        )?;
+        if let Some(slo) = self.slo {
+            write!(
+                f,
+                ", SLO {:.2} ms: {} violations",
+                ms(slo),
+                self.slo_violations
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything [`ServeHandle::drain`] leaves behind: final statistics plus
+/// the (scrubbed, parked) devices for inspection or re-use.
+#[derive(Debug)]
+pub struct DrainedServe {
+    /// Final statistics snapshot.
+    pub stats: ServeStats,
+    /// The devices of workers that exited cleanly, arenas scrubbed, in
+    /// worker order.
+    pub devices: Vec<OmgDevice>,
+    /// Queries served by each cleanly exited worker, in worker order.
+    pub served_per_worker: Vec<u64>,
+    /// Errors from workers that did not exit cleanly (their devices are
+    /// lost). Empty on a fully healthy drain.
+    pub worker_errors: Vec<ServeError>,
+}
+
+impl DrainedServe {
+    /// Whether every worker exited cleanly.
+    pub fn is_healthy(&self) -> bool {
+        self.worker_errors.is_empty()
+    }
+}
+
+/// Handle to a running serving fleet: submit queries, read stats, drain.
+///
+/// The handle is `Sync` — submit from as many threads as you like (e.g.
+/// behind an `Arc` or via scoped threads).
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<Result<WorkerExit, ServeError>>>,
+    started: Instant,
+}
+
+impl fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeHandle")
+            .field("workers", &self.workers.len())
+            .field("queued", &self.shared.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeHandle {
+    /// Provisions `workers` fresh devices (full preparation + initialization
+    /// against one vendor, like [`omg_core::session::Fleet::provision`])
+    /// and starts a worker thread per device.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for a zero worker count or queue capacity;
+    /// any protocol failure during provisioning.
+    pub fn provision(
+        workers: usize,
+        config: ServeConfig,
+        model_id: &str,
+        model: Model,
+        seed: u64,
+    ) -> Result<ServeHandle, ServeError> {
+        if workers == 0 {
+            return Err(ServeError::Config("need at least one worker"));
+        }
+        let devices = provision_devices(workers, model_id, model, seed)?;
+        Self::start(devices, config)
+    }
+
+    /// Starts the runtime over already provisioned devices (one worker
+    /// thread per device). Devices must be initialized; each worker opens a
+    /// warm query session on its device and serves until drain.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] if `devices` is empty or the queue capacity
+    /// is zero.
+    pub fn start(devices: Vec<OmgDevice>, config: ServeConfig) -> Result<ServeHandle, ServeError> {
+        if devices.is_empty() {
+            return Err(ServeError::Config("need at least one device"));
+        }
+        if config.queue_capacity == 0 {
+            return Err(ServeError::Config("queue capacity must be nonzero"));
+        }
+        let worker_count = devices.len();
+        let shared = Arc::new(Shared {
+            queue: ShardedQueue::new(worker_count, config.queue_capacity),
+            latency: LatencyHistogram::new(),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            slo_violations: AtomicU64::new(0),
+            slo: config.slo,
+            live_workers: AtomicU64::new(worker_count as u64),
+        });
+        let workers = devices
+            .into_iter()
+            .enumerate()
+            .map(|(index, device)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("omg-serve-{index}"))
+                    .spawn(move || worker_loop(index, device, &shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Ok(ServeHandle {
+            shared,
+            workers,
+            started: Instant::now(),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one utterance for classification. Non-blocking: the samples
+    /// are copied into the queue and a [`Pending`] ticket is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the bounded queue is saturated
+    /// (backpressure — retry later), [`ServeError::ShuttingDown`] after
+    /// [`Self::drain`] began.
+    pub fn submit(&self, samples: &[i16]) -> Result<Pending, ServeError> {
+        let slot = ResponseSlot::new();
+        let job = Job {
+            samples: samples.to_vec(),
+            submitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        match self.shared.queue.push(job) {
+            Ok(()) => Ok(Pending { slot }),
+            Err(PushError::Full(job)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                // Forget the job quietly: its waiter is the error return.
+                drop(job);
+                Err(ServeError::Overloaded)
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        snapshot_stats(
+            &self.shared,
+            self.started,
+            self.workers.len(),
+            self.shared.queue.len(),
+        )
+    }
+
+    /// Gracefully shuts the runtime down: closes admission, lets every
+    /// worker finish the queries already queued, scrubs each worker's
+    /// enclave arena, parks the enclave, and joins the threads.
+    ///
+    /// Drain is best-effort and total: it never discards a healthy
+    /// worker's device because a sibling failed. Workers that errored or
+    /// panicked are reported in [`DrainedServe::worker_errors`]
+    /// (check [`DrainedServe::is_healthy`]).
+    pub fn drain(self) -> DrainedServe {
+        self.shared.queue.close();
+        let mut devices = Vec::with_capacity(self.workers.len());
+        let mut served_per_worker = Vec::with_capacity(self.workers.len());
+        let mut worker_errors = Vec::new();
+        for handle in self.workers {
+            match handle.join() {
+                Ok(Ok(exit)) => {
+                    devices.push(exit.device);
+                    served_per_worker.push(exit.served);
+                }
+                Ok(Err(e)) => worker_errors.push(e),
+                Err(_) => worker_errors.push(ServeError::WorkerPanicked),
+            }
+        }
+        let stats = snapshot_stats(&self.shared, self.started, devices.len(), 0);
+        DrainedServe {
+            stats,
+            devices,
+            served_per_worker,
+            worker_errors,
+        }
+    }
+}
+
+/// Builds a [`ServeStats`] from the shared counters — the single source
+/// for both live [`ServeHandle::stats`] snapshots and the final
+/// [`ServeHandle::drain`] report.
+fn snapshot_stats(shared: &Shared, started: Instant, workers: usize, queued: usize) -> ServeStats {
+    let completed = shared.latency.count();
+    let elapsed = started.elapsed();
+    let (p50, p95, p99) = shared.latency.percentiles();
+    ServeStats {
+        workers,
+        completed,
+        rejected: shared.rejected.load(Ordering::Relaxed),
+        failed: shared.failed.load(Ordering::Relaxed),
+        queued,
+        elapsed,
+        throughput_qps: completed as f64 / elapsed.as_secs_f64().max(1e-12),
+        p50,
+        p95,
+        p99,
+        mean: shared.latency.mean(),
+        max: shared.latency.max(),
+        slo: shared.slo,
+        slo_violations: shared.slo_violations.load(Ordering::Relaxed),
+    }
+}
+
+/// The per-worker serve loop: open a warm session once, classify queue
+/// items until the queue closes and drains, then scrub and park.
+///
+/// Successive queries come from *different principals*, so the session is
+/// scrubbed after every query — no user's activations or audio features
+/// are resident while the next user's query runs (the hygiene
+/// [`omg_core::Fleet`] applies per dispatch).
+fn worker_loop(
+    index: usize,
+    mut device: OmgDevice,
+    shared: &Shared,
+) -> Result<WorkerExit, ServeError> {
+    // Runs on every exit path (error returns and panics alike): the last
+    // worker out fails over stranded jobs so waiters never deadlock.
+    let _presence = WorkerPresence { shared, index };
+    let mut served = 0u64;
+    {
+        let mut session = device.session()?;
+        while let Some(job) = shared.queue.pop(index) {
+            let result = session.classify(&job.samples).map_err(ServeError::from);
+            session.scrub();
+            let latency = job.submitted.elapsed();
+            match &result {
+                Ok(_) => {
+                    shared.latency.record(latency);
+                    if let Some(slo) = shared.slo {
+                        if latency > slo {
+                            shared.slo_violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(_) => {
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            job.complete(result);
+            served += 1;
+        }
+        // Park the enclave (final scrub included) before the device leaves
+        // the thread: no activation residue outlives the runtime.
+        session.finish()?;
+    }
+    Ok(WorkerExit { device, served })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_nn::model::{Activation, Op};
+    use omg_nn::quantize::QuantParams;
+    use omg_nn::tensor::DType;
+    use omg_speech::frontend::FINGERPRINT_LEN;
+
+    /// A small FC model over the fingerprint so runtime tests stay fast.
+    fn test_model() -> Model {
+        let mut b = Model::builder();
+        let input = b.add_activation(
+            "in",
+            vec![1, FINGERPRINT_LEN],
+            DType::I8,
+            Some(QuantParams {
+                scale: 1.0 / 255.0,
+                zero_point: -128,
+            }),
+        );
+        let w = b.add_weight_i8(
+            "w",
+            vec![12, FINGERPRINT_LEN],
+            (0..12 * FINGERPRINT_LEN)
+                .map(|i| ((i % 17) as i8) - 8)
+                .collect(),
+            QuantParams::symmetric(0.01),
+        );
+        let bias = b.add_weight_i32("b", vec![12], (0..12).map(|i| i * 50).collect());
+        let out = b.add_activation(
+            "logits",
+            vec![1, 12],
+            DType::I8,
+            Some(QuantParams {
+                scale: 0.5,
+                zero_point: 0,
+            }),
+        );
+        b.add_op(Op::FullyConnected {
+            input,
+            filter: w,
+            bias,
+            output: out,
+            activation: Activation::None,
+        });
+        b.set_input(input);
+        b.set_output(out);
+        b.set_labels(omg_speech::dataset::LABELS);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn serve_matches_single_device_results() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(60);
+        let handle =
+            ServeHandle::provision(2, ServeConfig::default(), "kws", test_model(), 600).unwrap();
+
+        // Reference: the same model behind a plain provisioned device.
+        let mut reference = provision_devices(1, "kws", test_model(), 601)
+            .unwrap()
+            .pop()
+            .unwrap();
+
+        for class in 2..8 {
+            let samples = data.utterance(class, 0).unwrap();
+            let served = handle.submit(&samples).unwrap().wait().unwrap();
+            let expected = reference.classify_utterance(&samples).unwrap();
+            assert_eq!(served.class_index, expected.class_index);
+            assert_eq!(served.label, expected.label);
+        }
+
+        let drained = handle.drain();
+        assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+        assert_eq!(drained.stats.completed, 6);
+        assert_eq!(drained.stats.rejected, 0);
+        assert_eq!(drained.devices.len(), 2);
+        assert_eq!(drained.served_per_worker.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn drain_scrubs_every_worker_arena() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(61);
+        let handle =
+            ServeHandle::provision(3, ServeConfig::default(), "kws", test_model(), 610).unwrap();
+        let pending: Vec<_> = (0..9)
+            .map(|i| {
+                handle
+                    .submit(&data.utterance(2 + i % 6, 1).unwrap())
+                    .unwrap()
+            })
+            .collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let drained = handle.drain();
+        assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+        assert_eq!(drained.devices.len(), 3);
+        for device in &drained.devices {
+            assert_eq!(device.interpreter_arena_scrubbed(), Some(true));
+        }
+    }
+
+    #[test]
+    fn drain_finishes_in_flight_queries() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(62);
+        let samples = data.utterance(3, 0).unwrap();
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                queue_capacity: 32,
+                slo: None,
+            },
+            "kws",
+            test_model(),
+            620,
+        )
+        .unwrap();
+        // Queue a burst, then drain immediately: every accepted query must
+        // still complete with a real result.
+        let pending: Vec<_> = (0..16).map(|_| handle.submit(&samples).unwrap()).collect();
+        let drained = handle.drain();
+        assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+        for p in pending {
+            let t = p.wait().unwrap();
+            assert!(t.class_index < 12);
+        }
+        assert_eq!(drained.stats.completed, 16);
+    }
+
+    #[test]
+    fn submit_after_drain_is_rejected() {
+        let handle =
+            ServeHandle::provision(1, ServeConfig::default(), "kws", test_model(), 630).unwrap();
+        let shared = Arc::clone(&handle.shared);
+        assert!(handle.drain().is_healthy());
+        // The queue is closed: a late producer (simulated directly against
+        // the shared state) is refused.
+        let slot = ResponseSlot::new();
+        let job = Job {
+            samples: vec![0i16; 16_000],
+            submitted: Instant::now(),
+            slot,
+        };
+        assert!(matches!(shared.queue.push(job), Err(PushError::Closed(_))));
+    }
+
+    #[test]
+    fn overload_rejects_with_backpressure() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(63);
+        let samples = data.utterance(4, 0).unwrap();
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                queue_capacity: 2,
+                slo: None,
+            },
+            "kws",
+            test_model(),
+            640,
+        )
+        .unwrap();
+        // Far more submissions than one worker can absorb through a
+        // 2-entry queue: some must be rejected, accepted ones all complete.
+        let mut accepted = Vec::new();
+        let mut rejected = 0u64;
+        for _ in 0..64 {
+            match handle.submit(&samples) {
+                Ok(p) => accepted.push(p),
+                Err(ServeError::Overloaded) => rejected += 1,
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(
+            rejected > 0,
+            "64 rapid submits never saturated a 2-slot queue"
+        );
+        for p in accepted {
+            p.wait().unwrap();
+        }
+        let drained = handle.drain();
+        assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+        assert_eq!(drained.stats.rejected, rejected);
+        assert_eq!(drained.stats.completed + rejected, 64);
+    }
+
+    #[test]
+    fn stats_report_latency_percentiles_and_slo() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(64);
+        let samples = data.utterance(5, 0).unwrap();
+        let handle = ServeHandle::provision(
+            2,
+            ServeConfig {
+                queue_capacity: 64,
+                // Impossible SLO: every query violates it, making the
+                // counter deterministic.
+                slo: Some(Duration::from_nanos(1)),
+            },
+            "kws",
+            test_model(),
+            650,
+        )
+        .unwrap();
+        let pending: Vec<_> = (0..10).map(|_| handle.submit(&samples).unwrap()).collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 10);
+        assert!(stats.throughput_qps > 0.0);
+        assert!(stats.p50 > Duration::ZERO);
+        assert!(stats.p95 >= stats.p50);
+        assert!(stats.p99 >= stats.p95);
+        assert!(stats.max >= stats.mean);
+        assert_eq!(stats.slo_violations, 10);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("q/s"), "{rendered}");
+        assert!(rendered.contains("SLO"), "{rendered}");
+        assert!(handle.drain().is_healthy());
+    }
+
+    #[test]
+    fn zero_workers_and_zero_capacity_are_rejected() {
+        assert!(matches!(
+            ServeHandle::provision(0, ServeConfig::default(), "kws", test_model(), 660),
+            Err(ServeError::Config(_))
+        ));
+        let devices = provision_devices(1, "kws", test_model(), 661).unwrap();
+        assert!(matches!(
+            ServeHandle::start(
+                devices,
+                ServeConfig {
+                    queue_capacity: 0,
+                    slo: None
+                }
+            ),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn dead_workers_fail_over_stranded_jobs() {
+        // Start the runtime on a device that was never initialized:
+        // every worker's session() fails immediately, so no one can serve.
+        // Accepted jobs must still resolve (with ShuttingDown) instead of
+        // deadlocking their waiters.
+        let uninitialized = OmgDevice::new(990).unwrap();
+        let handle = ServeHandle::start(
+            vec![uninitialized],
+            ServeConfig {
+                queue_capacity: 8,
+                slo: None,
+            },
+        )
+        .unwrap();
+        // Submissions may race the dying worker: accepted ones must
+        // eventually resolve with an error, never hang.
+        let mut outcomes = Vec::new();
+        for _ in 0..4 {
+            if let Ok(pending) = handle.submit(&[0i16; 16_000]) {
+                outcomes.push(pending.wait());
+            }
+        }
+        for outcome in outcomes {
+            assert!(outcome.is_err(), "query served by a dead fleet?");
+        }
+        let drained = handle.drain();
+        assert!(!drained.is_healthy());
+        assert!(matches!(drained.worker_errors[0], ServeError::Query(_)));
+    }
+
+    #[test]
+    fn try_wait_returns_ticket_until_complete() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(65);
+        let handle =
+            ServeHandle::provision(1, ServeConfig::default(), "kws", test_model(), 670).unwrap();
+        let mut pending = handle.submit(&data.utterance(2, 0).unwrap()).unwrap();
+        let result = loop {
+            match pending.try_wait() {
+                Ok(result) => break result,
+                Err(ticket) => {
+                    pending = ticket;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert!(result.unwrap().class_index < 12);
+        assert!(handle.drain().is_healthy());
+    }
+}

@@ -1,0 +1,317 @@
+//! A bounded, sharded MPMC work queue with backpressure.
+//!
+//! Producers spread pushes over the shards round-robin and get
+//! [`PushError::Full`] back — with their item — when every shard is at
+//! capacity, instead of queuing unboundedly. Consumers drain their home
+//! shard first and steal from the others, so a slow worker cannot strand
+//! items. A single signal condvar wakes sleeping consumers; the queue
+//! closes for producers on [`ShardedQueue::close`] while consumers keep
+//! draining whatever is already enqueued.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Why a push was refused. The rejected item is handed back so the caller
+/// can retry, shed, or report it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// Every shard is at capacity — the system is saturated and the caller
+    /// must back off (the backpressure signal).
+    Full(T),
+    /// The queue has been closed; no new work is accepted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+/// A bounded MPMC queue sharded over independently locked segments.
+#[derive(Debug)]
+pub struct ShardedQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    per_shard_capacity: usize,
+    /// Round-robin cursor spreading producers over shards.
+    cursor: AtomicUsize,
+    closed: AtomicBool,
+    /// Consumers park here; producers bump the generation and notify.
+    signal: Mutex<u64>,
+    available: Condvar,
+}
+
+impl<T> ShardedQueue<T> {
+    /// Creates a queue with `shards` independently locked segments and a
+    /// total capacity of at least `capacity` items (rounded up to a
+    /// multiple of the shard count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity` is zero.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "queue needs at least one shard");
+        assert!(capacity > 0, "queue needs nonzero capacity");
+        let per_shard_capacity = capacity.div_ceil(shards);
+        ShardedQueue {
+            shards: (0..shards)
+                .map(|_| Mutex::new(VecDeque::with_capacity(per_shard_capacity)))
+                .collect(),
+            per_shard_capacity,
+            cursor: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            signal: Mutex::new(0),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Items currently enqueued (racy snapshot, for stats).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Whether [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Attempts to enqueue without blocking. Starts at the next round-robin
+    /// shard and falls through to any shard with space, so a single
+    /// congested shard does not reject while others have room.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when every shard is at capacity,
+    /// [`PushError::Closed`] after [`Self::close`]; both return the item.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        if self.is_closed() {
+            return Err(PushError::Closed(item));
+        }
+        let n = self.shards.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n {
+            let shard = &self.shards[(start + i) % n];
+            let mut q = shard.lock();
+            if q.len() < self.per_shard_capacity {
+                q.push_back(item);
+                drop(q);
+                // Publish under the signal lock so a consumer that just
+                // re-checked empty cannot miss the wakeup.
+                *self.signal.lock() += 1;
+                self.available.notify_one();
+                return Ok(());
+            }
+        }
+        Err(PushError::Full(item))
+    }
+
+    fn try_pop(&self, home: usize) -> Option<T> {
+        let n = self.shards.len();
+        for i in 0..n {
+            if let Some(item) = self.shards[(home + i) % n].lock().pop_front() {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Dequeues one item, blocking while the queue is empty and open.
+    /// `home` is the consumer's preferred shard; other shards are stolen
+    /// from when it is empty. Returns `None` once the queue is closed
+    /// *and* fully drained — the consumer's signal to exit.
+    pub fn pop(&self, home: usize) -> Option<T> {
+        loop {
+            if let Some(item) = self.try_pop(home) {
+                return Some(item);
+            }
+            let mut signal = self.signal.lock();
+            // Re-check with the signal lock held: a producer that enqueued
+            // between our scan and this lock already bumped the generation.
+            if let Some(item) = self.try_pop(home) {
+                return Some(item);
+            }
+            if self.is_closed() {
+                return None;
+            }
+            self.available.wait(&mut signal);
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail with [`PushError::Closed`];
+    /// consumers drain the remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let mut signal = self.signal.lock();
+        *signal += 1;
+        drop(signal);
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_single_shard() {
+        let q = ShardedQueue::new(1, 4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full_and_recovers() {
+        let q = ShardedQueue::new(2, 4);
+        assert_eq!(q.capacity(), 4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        // Saturated: the item comes back in the error.
+        match q.push(99) {
+            Err(PushError::Full(item)) => assert_eq!(item, 99),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining one slot makes room again.
+        assert!(q.pop(0).is_some());
+        q.push(99).unwrap();
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn push_falls_through_congested_shards() {
+        // One consumer pinned to shard 0 never drains shard 1; producers
+        // still fill every slot because push scans all shards.
+        let q = ShardedQueue::new(4, 8);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        assert!(matches!(q.push(8), Err(PushError::Full(8))));
+    }
+
+    #[test]
+    fn consumers_steal_from_other_shards() {
+        let q = ShardedQueue::new(4, 8);
+        q.push(7).unwrap(); // lands in some shard per the cursor
+                            // A consumer homed on every shard index can retrieve it.
+        assert_eq!(q.pop(3), Some(7));
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_old() {
+        let q = ShardedQueue::new(2, 4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(matches!(q.push(3), Err(PushError::Closed(3))));
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(1), Some(2));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let q = Arc::new(ShardedQueue::new(2, 8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop(0))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42u32).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_close() {
+        let q: Arc<ShardedQueue<u32>> = Arc::new(ShardedQueue::new(2, 8));
+        let consumers: Vec<_> = (0..3)
+            .map(|home| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop(home))
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_duplication() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 2000;
+        let q = Arc::new(ShardedQueue::new(CONSUMERS, 64));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut item = p * PER_PRODUCER + i;
+                        // Full queue = backpressure: spin until accepted.
+                        loop {
+                            match q.push(item) {
+                                Ok(()) => break,
+                                Err(PushError::Full(back)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|home| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(item) = q.pop(home) {
+                        seen.push(item);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expected, "items lost or duplicated");
+    }
+}

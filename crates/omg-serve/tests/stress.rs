@@ -1,0 +1,201 @@
+//! Loom-style concurrency stress test for the serving runtime: many
+//! submitter threads fire a seeded mix of queries at a multi-worker fleet,
+//! and every response must match the ground truth for *that* query —
+//! catching cross-worker state leakage, response cross-wiring, and arena
+//! residue surviving drain.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use omg_core::session::provision_devices;
+use omg_nn::model::{Activation, Model, Op};
+use omg_nn::quantize::QuantParams;
+use omg_nn::tensor::DType;
+use omg_serve::{ServeConfig, ServeError, ServeHandle};
+use omg_speech::dataset::SyntheticSpeechCommands;
+use omg_speech::frontend::FINGERPRINT_LEN;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A frequency-band-selective FC model over the 49×43 fingerprint: output
+/// `r` sums the energy in frequency band `r`, so utterances of different
+/// synthetic words (distinct formant tracks) map to *different* classes —
+/// a cross-wired or residue-contaminated response cannot hide behind a
+/// constant prediction.
+fn test_model() -> Model {
+    let mut b = Model::builder();
+    let input = b.add_activation(
+        "in",
+        vec![1, FINGERPRINT_LEN],
+        DType::I8,
+        Some(QuantParams {
+            scale: 1.0 / 255.0,
+            zero_point: -128,
+        }),
+    );
+    let mut w = vec![0i8; 12 * FINGERPRINT_LEN];
+    for r in 0..12 {
+        for t in 0..49 {
+            for c in 0..43 {
+                if c * 12 / 43 == r {
+                    w[r * FINGERPRINT_LEN + t * 43 + c] = 4;
+                }
+            }
+        }
+    }
+    let wt = b.add_weight_i8(
+        "w",
+        vec![12, FINGERPRINT_LEN],
+        w,
+        QuantParams::symmetric(0.01),
+    );
+    let bias = b.add_weight_i32("b", vec![12], vec![0; 12]);
+    let out = b.add_activation(
+        "logits",
+        vec![1, 12],
+        DType::I8,
+        Some(QuantParams {
+            scale: 0.5,
+            zero_point: 0,
+        }),
+    );
+    b.add_op(Op::FullyConnected {
+        input,
+        filter: wt,
+        bias,
+        output: out,
+        activation: Activation::None,
+    });
+    b.set_input(input);
+    b.set_output(out);
+    b.set_labels(omg_speech::dataset::LABELS);
+    b.build().unwrap()
+}
+
+#[test]
+fn concurrent_seeded_mix_has_no_cross_worker_leakage() {
+    const SUBMITTERS: usize = 4;
+    const WORKERS: usize = 4;
+    const QUERIES_PER_SUBMITTER: usize = 40;
+
+    // Ground truth: classify a pool of distinct utterances on a single
+    // reference device before any concurrency is involved.
+    let data = SyntheticSpeechCommands::new(900);
+    let pool: Vec<Vec<i16>> = (0..12)
+        .map(|i| data.utterance(2 + i % 10, i as u64).unwrap())
+        .collect();
+    let mut reference = provision_devices(1, "kws", test_model(), 9000)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let expected: Vec<(usize, Arc<str>)> = pool
+        .iter()
+        .map(|samples| {
+            let t = reference.classify_utterance(samples).unwrap();
+            (t.class_index, t.label)
+        })
+        .collect();
+    // The pool genuinely mixes classes (a leak could not go unnoticed).
+    assert!(
+        expected
+            .iter()
+            .map(|(c, _)| c)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            > 1,
+        "stress pool must span multiple classes"
+    );
+
+    let handle = Arc::new(
+        ServeHandle::provision(
+            WORKERS,
+            ServeConfig {
+                queue_capacity: 32,
+                slo: Some(Duration::from_secs(5)),
+            },
+            "kws",
+            test_model(),
+            9100,
+        )
+        .unwrap(),
+    );
+    let pool = Arc::new(pool);
+    let expected = Arc::new(expected);
+
+    let submitters: Vec<_> = (0..SUBMITTERS)
+        .map(|s| {
+            let handle = Arc::clone(&handle);
+            let pool = Arc::clone(&pool);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(7000 + s as u64);
+                let mut completed = 0usize;
+                let mut rejected = 0usize;
+                for _ in 0..QUERIES_PER_SUBMITTER {
+                    let pick = rng.gen_range(0..pool.len());
+                    match handle.submit(&pool[pick]) {
+                        Ok(pending) => {
+                            let t = pending.wait().expect("query must complete");
+                            let (want_class, want_label) = &expected[pick];
+                            // The response must be the answer to *our*
+                            // query, computed on clean state — any
+                            // cross-worker or cross-query residue shows up
+                            // as a mismatch here.
+                            assert_eq!(t.class_index, *want_class, "submitter {s}: wrong class");
+                            assert_eq!(t.label, *want_label, "submitter {s}: wrong label");
+                            completed += 1;
+                        }
+                        Err(ServeError::Overloaded) => {
+                            // Backpressure is legitimate under burst; yield
+                            // and move on.
+                            rejected += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("submitter {s}: unexpected error {e:?}"),
+                    }
+                }
+                (completed, rejected)
+            })
+        })
+        .collect();
+
+    let mut completed_total = 0usize;
+    let mut rejected_total = 0usize;
+    for s in submitters {
+        let (completed, rejected) = s.join().unwrap();
+        completed_total += completed;
+        rejected_total += rejected;
+    }
+    assert!(
+        completed_total > 0,
+        "at least some queries must get through"
+    );
+    assert_eq!(
+        completed_total + rejected_total,
+        SUBMITTERS * QUERIES_PER_SUBMITTER
+    );
+
+    let handle = Arc::try_unwrap(handle).expect("all submitters joined");
+    let drained = handle.drain();
+    assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+    assert_eq!(drained.stats.completed, completed_total as u64);
+    assert_eq!(drained.stats.rejected, rejected_total as u64);
+    assert_eq!(drained.devices.len(), WORKERS);
+    // Graceful drain left every worker's arena scrubbed: no activation
+    // residue from any user's queries survives the runtime.
+    for (i, device) in drained.devices.iter().enumerate() {
+        assert_eq!(
+            device.interpreter_arena_scrubbed(),
+            Some(true),
+            "worker {i} arena not scrubbed"
+        );
+    }
+    // Per-worker accounting adds up exactly.
+    assert_eq!(
+        drained.served_per_worker.iter().sum::<u64>(),
+        completed_total as u64,
+        "per-worker counts disagree with completions: {:?}",
+        drained.served_per_worker
+    );
+}

@@ -100,6 +100,46 @@
 //! session.finish()?;                         // scrub arena + park once
 //! # Ok::<(), omg::core::OmgError>(())
 //! ```
+//!
+//! To serve many principals concurrently, put a [`serve::ServeHandle`]
+//! fleet in front: N provisioned devices on worker threads behind a
+//! bounded admission queue, with latency percentiles and graceful drain:
+//!
+//! ```
+//! use omg::serve::{ServeConfig, ServeHandle};
+//! # use omg::nn::model::{Activation, Model, Op};
+//! # use omg::nn::quantize::QuantParams;
+//! # use omg::nn::tensor::DType;
+//! # use omg::speech::frontend::FINGERPRINT_LEN;
+//! #
+//! # fn tiny_model() -> Model {
+//! #     let mut b = Model::builder();
+//! #     let input = b.add_activation("in", vec![1, FINGERPRINT_LEN], DType::I8,
+//! #         Some(QuantParams { scale: 1.0 / 255.0, zero_point: -128 }));
+//! #     let w = b.add_weight_i8("w", vec![12, FINGERPRINT_LEN],
+//! #         vec![1i8; 12 * FINGERPRINT_LEN], QuantParams::symmetric(0.01));
+//! #     let bias = b.add_weight_i32("b", vec![12], vec![0; 12]);
+//! #     let out = b.add_activation("out", vec![1, 12], DType::I8,
+//! #         Some(QuantParams { scale: 0.5, zero_point: 0 }));
+//! #     b.add_op(Op::FullyConnected { input, filter: w, bias, output: out,
+//! #         activation: Activation::None });
+//! #     b.set_input(input);
+//! #     b.set_output(out);
+//! #     b.set_labels(omg::speech::dataset::LABELS);
+//! #     b.build().unwrap()
+//! # }
+//! let handle = ServeHandle::provision(2, ServeConfig::default(), "kws", tiny_model(), 9)?;
+//! let samples = vec![500i16; 16_000];
+//! let pending: Vec<_> = (0..6).map(|_| handle.submit(&samples).unwrap()).collect();
+//! for p in pending {
+//!     assert!(!p.wait()?.label.is_empty());
+//! }
+//! let drained = handle.drain();                    // finish + scrub + park
+//! assert!(drained.is_healthy());
+//! assert_eq!(drained.stats.completed, 6);
+//! assert!(drained.stats.p99 >= drained.stats.p50); // percentiles reported
+//! # Ok::<(), omg::serve::ServeError>(())
+//! ```
 
 pub use omg_baselines as baselines;
 pub use omg_bench as bench;
@@ -108,5 +148,6 @@ pub use omg_crypto as crypto;
 pub use omg_hal as hal;
 pub use omg_nn as nn;
 pub use omg_sanctuary as sanctuary;
+pub use omg_serve as serve;
 pub use omg_speech as speech;
 pub use omg_train as train;

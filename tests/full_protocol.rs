@@ -31,7 +31,7 @@ fn end_to_end_protocol_with_trained_model() {
             .push_recording(&samples);
         let t = device.process_from_microphone(&mut user).unwrap();
         assert!(t.class_index < 12);
-        assert!(LABELS.contains(&t.label.as_str()));
+        assert!(LABELS.contains(&&*t.label));
         assert!(t.score > 0.0);
     }
     assert_eq!(user.transcriptions().len(), 3);

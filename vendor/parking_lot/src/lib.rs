@@ -3,15 +3,60 @@
 //! Wraps `std::sync` primitives behind the `parking_lot` calling convention:
 //! `lock()` returns the guard directly (no poisoning — a poisoned std lock is
 //! recovered transparently, matching parking_lot's panic-transparent
-//! semantics closely enough for this workspace).
+//! semantics closely enough for this workspace), and [`Condvar::wait`]
+//! borrows the guard mutably instead of consuming it.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::{self, TryLockError};
+use std::time::Duration;
 
 pub struct Mutex<T: ?Sized> {
     inner: sync::Mutex<T>,
 }
 
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Unlike `std::sync::MutexGuard` this is an owned newtype, so
+/// [`Condvar::wait`] can take it by `&mut` (parking_lot's calling
+/// convention) and internally move the std guard out and back.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Always `Some` outside of `Condvar::wait*` internals.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    fn new(inner: sync::MutexGuard<'a, T>) -> Self {
+        MutexGuard { inner: Some(inner) }
+    }
+
+    fn std(&self) -> &sync::MutexGuard<'a, T> {
+        self.inner.as_ref().expect("guard vacated outside wait")
+    }
+
+    fn std_mut(&mut self) -> &mut sync::MutexGuard<'a, T> {
+        self.inner.as_mut().expect("guard vacated outside wait")
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.std()
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std_mut()
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
@@ -27,13 +72,13 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        MutexGuard::new(self.inner.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Ok(guard) => Some(MutexGuard::new(guard)),
+            Err(TryLockError::Poisoned(e)) => Some(MutexGuard::new(e.into_inner())),
             Err(TryLockError::WouldBlock) => None,
         }
     }
@@ -55,6 +100,87 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
             Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
             None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
         }
+    }
+}
+
+/// Result of a timed wait on a [`Condvar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable following parking_lot's API: `wait` borrows the
+/// guard mutably and re-acquires the lock before returning.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until this condition variable is notified. Spurious wakeups
+    /// are possible, as with any condvar — re-check the predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard vacated outside wait");
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(reacquired);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard vacated outside wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Blocks until `condition` returns `false` (parking_lot's
+    /// `wait_while`: waits *while* the condition holds).
+    pub fn wait_while<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) {
+        while condition(&mut **guard) {
+            self.wait(guard);
+        }
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 
@@ -87,6 +213,7 @@ impl<T: ?Sized> RwLock<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn mutex_basic() {
@@ -115,10 +242,100 @@ mod tests {
     }
 
     #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(7);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 7);
+    }
+
+    #[test]
     fn rwlock_basic() {
         let l = RwLock::new(5);
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cvar.wait(&mut ready);
+            }
+            *ready
+        });
+        // Give the waiter a moment to park, then flip the flag.
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_one();
+        }
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(());
+        let cvar = Condvar::new();
+        let mut guard = lock.lock();
+        let start = Instant::now();
+        let result = cvar.wait_for(&mut guard, Duration::from_millis(30));
+        assert!(result.timed_out());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        // The guard is usable (lock re-acquired) after the timeout.
+        drop(guard);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wait_while_rechecks_predicate() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut count = lock.lock();
+            cvar.wait_while(&mut count, |c| *c < 3);
+            *count
+        });
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(5));
+            let (lock, cvar) = &*pair;
+            *lock.lock() += 1;
+            cvar.notify_all();
+        }
+        assert_eq!(t.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn condvar_notify_all_wakes_everyone() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let pair = Arc::clone(&pair);
+                std::thread::spawn(move || {
+                    let (lock, cvar) = &*pair;
+                    let mut go = lock.lock();
+                    while !*go {
+                        cvar.wait(&mut go);
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        for w in waiters {
+            w.join().unwrap();
+        }
     }
 }
