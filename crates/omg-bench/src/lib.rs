@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod regression;
+
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -35,8 +37,16 @@ const CACHE_VERSION: &str = "v2";
 /// Pre-trained `ModelKind::Fast` artifact checked into the repo so a cold
 /// `cargo test` run does not pay the 1–2 min training cost. Produced by the
 /// exact training path below (`TrainConfig::fast()`, seed 0) and versioned
-/// by its file name; regenerate by deleting it and copying the file that
-/// [`cached_tiny_conv`] writes to `target/omg-model-cache/`.
+/// by its file name.
+///
+/// The artifact **deliberately stays in the legacy OMGM v1 layout** as a
+/// permanent compatibility probe for the copying decoder (the `_v2` in
+/// the file name is the *cache* version, not the format version). When
+/// regenerating after a [`CACHE_VERSION`] bump, do NOT copy the
+/// `target/omg-model-cache/` file (that one is written with the current
+/// v2 `serialize`); instead re-serialize the trained model with
+/// `omg_nn::format::serialize_v1` — the
+/// `checked_in_v1_blob_round_trips_through_v2` test enforces this.
 const FAST_MODEL_BLOB: &[u8] = include_bytes!("../data/tiny_conv_fast_seed0_v2.omgm");
 
 fn cache_path(kind: ModelKind) -> PathBuf {
@@ -338,6 +348,36 @@ mod tests {
         let b = cached_tiny_conv(ModelKind::Fast);
         assert_eq!(a, b);
         assert_eq!(a.labels().len(), 12);
+    }
+
+    #[test]
+    fn checked_in_v1_blob_round_trips_through_v2() {
+        // The pre-trained artifact was serialized with format v1 (the
+        // copying layout). It must keep loading unmodified through the
+        // version dispatch, survive a v1 -> v2 re-serialization round
+        // trip, and serve identical predictions from both containers.
+        assert_eq!(
+            u16::from_le_bytes([FAST_MODEL_BLOB[4], FAST_MODEL_BLOB[5]]),
+            omg_nn::format::VERSION_V1,
+            "the checked-in blob is the v1 compatibility artifact"
+        );
+        let model = omg_nn::format::deserialize(FAST_MODEL_BLOB).unwrap();
+
+        let v2_blob = omg_nn::format::serialize(&model);
+        assert_eq!(
+            u16::from_le_bytes([v2_blob[4], v2_blob[5]]),
+            omg_nn::format::VERSION
+        );
+        let restored = omg_nn::format::deserialize(&v2_blob).unwrap();
+        assert_eq!(restored, model);
+
+        // Same predictions from the v1-loaded and v2-loaded models.
+        let eval = paper_test_subset(1);
+        let mut from_v1 = omg_nn::Interpreter::new(model).unwrap();
+        let mut from_v2 = omg_nn::Interpreter::new(restored).unwrap();
+        for fp in &eval.fingerprints {
+            assert_eq!(from_v1.classify(fp).unwrap(), from_v2.classify(fp).unwrap());
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::time::Duration;
 
-use omg_crypto::aead::ChaCha20Poly1305;
+use omg_crypto::aead::{ChaCha20Poly1305, TAG_LEN};
 use omg_crypto::rng::ChaChaRng;
 use omg_crypto::rsa::RsaPublicKey;
 use omg_crypto::CryptoError;
@@ -21,6 +21,7 @@ use omg_hal::memory::Agent;
 use omg_hal::periph::PeriphAssignment;
 use omg_hal::Platform;
 use omg_nn::Interpreter;
+use omg_nn::{AlignedBytes, ModelBuf};
 use omg_sanctuary::attest::AttestationReport;
 use omg_sanctuary::enclave::{
     sanctuary_library_image, EnclaveConfig, EnclaveState, SanctuaryEnclave,
@@ -30,6 +31,7 @@ use omg_sanctuary::measurement::Measurement;
 use omg_speech::frontend::{FeatureExtractor, FingerprintBuffer, UTTERANCE_SAMPLES};
 
 use crate::error::{OmgError, Result};
+use crate::session::ModelCache;
 use crate::storage::UntrustedStorage;
 use crate::trace::{Channel, Party, Phase, ProtocolTrace};
 use crate::user::User;
@@ -371,6 +373,35 @@ impl OmgDevice {
     /// authenticate under the released key, [`OmgError::ModelMissing`] if
     /// storage is empty.
     pub fn initialize(&mut self, vendor: &mut Vendor) -> Result<()> {
+        self.initialize_inner(vendor, None)
+    }
+
+    /// [`Self::initialize`] with a provisioning [`ModelCache`]: when the
+    /// decrypted image is byte-identical to one a previous device already
+    /// authenticated and decoded, the deserialization step is skipped and
+    /// the cached model (whose buffers all borrow one shared decrypted
+    /// image) is reused. Every device still performs its *own* key unwrap
+    /// and authenticated decryption — licensing and rollback protection
+    /// are per-device — only the redundant decode and the N-fold buffer
+    /// memory are shared. This is the fast path for provisioning a fleet
+    /// against one vendor (see [`crate::session::provision_devices`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::initialize`].
+    pub fn initialize_with_cache(
+        &mut self,
+        vendor: &mut Vendor,
+        cache: &mut ModelCache,
+    ) -> Result<()> {
+        self.initialize_inner(vendor, Some(cache))
+    }
+
+    fn initialize_inner(
+        &mut self,
+        vendor: &mut Vendor,
+        cache: Option<&mut ModelCache>,
+    ) -> Result<()> {
         if self.phase != DevicePhase::Prepared {
             return Err(OmgError::PhaseViolation {
                 operation: "initialize",
@@ -393,7 +424,10 @@ impl OmgDevice {
             format!("K_U  [wrapped under PK, v{}]", release.version),
         );
 
-        // Step ⑥: decrypt + load the model inside the enclave.
+        // Step ⑥: decrypt + load the model inside the enclave. The
+        // plaintext is written straight into one aligned model image — a
+        // single allocation that the zero-copy deserializer then borrows
+        // every tensor from.
         let model_id = self.model_id.clone().ok_or(OmgError::ModelMissing)?;
         let package: ModelPackage = self
             .storage
@@ -401,29 +435,50 @@ impl OmgDevice {
             .ok_or(OmgError::ModelMissing)?
             .clone();
         let keypair = enclave.identity()?.keypair().clone();
+        let aad = ModelPackage::aad(&model_id, release.version);
 
-        let (result, _) = enclave.run_compute(&mut self.platform, move || -> Result<Vec<u8>> {
-            let ku_bytes = keypair.decrypt(&release.wrapped_key)?;
-            let ku: [u8; 32] = ku_bytes
-                .try_into()
-                .map_err(|_| OmgError::Crypto(CryptoError::InvalidKey("K_U must be 32 bytes")))?;
-            let cipher = ChaCha20Poly1305::new(&ku);
-            // Authenticated decryption under the *released* version: a
-            // rolled-back or tampered package fails here.
-            cipher
-                .open(
-                    &[0u8; 12],
-                    &ModelPackage::aad(&model_id, release.version),
-                    &package.ciphertext,
-                )
-                .map_err(|_| OmgError::RollbackDetected)
-        })?;
-        let model_bytes = result?;
+        let (result, _) =
+            enclave.run_compute(&mut self.platform, move || -> Result<ModelBuf> {
+                let ku_bytes = keypair.decrypt(&release.wrapped_key)?;
+                let ku: [u8; 32] = ku_bytes.try_into().map_err(|_| {
+                    OmgError::Crypto(CryptoError::InvalidKey("K_U must be 32 bytes"))
+                })?;
+                let cipher = ChaCha20Poly1305::new(&ku);
+                let plaintext_len = package
+                    .ciphertext
+                    .len()
+                    .checked_sub(TAG_LEN)
+                    .ok_or(OmgError::RollbackDetected)?;
+                let mut image = AlignedBytes::zeroed(plaintext_len);
+                // Authenticated decryption under the *released* version: a
+                // rolled-back or tampered package fails here, releasing no
+                // plaintext.
+                cipher
+                    .open_into(&[0u8; 12], &aad, &package.ciphertext, &mut image)
+                    .map_err(|_| OmgError::RollbackDetected)?;
+                Ok(ModelBuf::from_aligned(image))
+            })?;
+        let image = result?;
 
         // The decrypted model lives only in TZASC-locked enclave memory.
         let enclave = self.enclave.as_ref().expect("enclave present");
-        enclave.heap_write(&mut self.platform, 0, &model_bytes)?;
-        let model = omg_nn::format::deserialize(&model_bytes)?;
+        enclave.heap_write(&mut self.platform, 0, image.as_slice())?;
+
+        // Decode the image — or, with a cache hit (identical plaintext
+        // already authenticated and decoded by a sibling device), share
+        // that model's buffers instead of decoding again.
+        let version = self.model_version;
+        let (model, shared) = match cache {
+            Some(cache) => match cache.lookup(&model_id, version, &image) {
+                Some(model) => (model, true),
+                None => {
+                    let model = omg_nn::format::deserialize_shared(image.clone())?;
+                    cache.store(&model_id, version, image, model.clone());
+                    (model, false)
+                }
+            },
+            None => (omg_nn::format::deserialize_shared(image)?, false),
+        };
         let (interp, _) =
             enclave.run_compute(&mut self.platform, move || Interpreter::new(model))?;
         self.interpreter = Some(interp?);
@@ -434,7 +489,11 @@ impl OmgDevice {
             Party::Enclave,
             Party::Enclave,
             Channel::Internal,
-            "Dec → model loaded into TZASC-locked memory",
+            if shared {
+                "Dec → model loaded into TZASC-locked memory (image shared from fleet cache)"
+            } else {
+                "Dec → model loaded into TZASC-locked memory"
+            },
         );
         self.phase = DevicePhase::Initialized;
         Ok(())
@@ -690,6 +749,14 @@ impl OmgDevice {
     /// The version of the currently stored model package.
     pub fn model_version(&self) -> u32 {
         self.model_version
+    }
+
+    /// The decrypted model loaded in the enclave, once initialized.
+    /// Exposed so fleet-level invariants (e.g. that N provisioned devices
+    /// share one decrypted image — see
+    /// [`omg_nn::Model::shares_storage_with`]) can be asserted.
+    pub fn model(&self) -> Option<&omg_nn::Model> {
+        self.interpreter.as_ref().map(Interpreter::model)
     }
 
     /// Tears the enclave down (scrub + release), returning the device to

@@ -73,6 +73,8 @@ pub mod vendor;
 pub use device::{OmgDevice, Transcription};
 pub use error::{OmgError, Result};
 pub use native::NativeSpotter;
-pub use session::{provision_devices, Fleet, QuerySession};
+pub use session::{
+    provision_devices, provision_devices_with_cache, Fleet, ModelCache, QuerySession,
+};
 pub use user::User;
 pub use vendor::Vendor;

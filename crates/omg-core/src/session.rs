@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use omg_nn::Model;
+use omg_nn::{Model, ModelBuf};
 use omg_speech::frontend::FingerprintBuffer;
 use omg_speech::streaming::{classify_stream, Detection, DetectionSmoother};
 
@@ -158,10 +158,85 @@ pub struct Fleet {
     queries: u64,
 }
 
+/// The fleet-provisioning model cache: lets N devices initializing against
+/// one vendor share a single decrypted, decoded model instead of N
+/// independent decodes and N buffer copies.
+///
+/// Every device still runs the full protocol — its own attestation, key
+/// unwrap, and authenticated decryption (licensing and rollback protection
+/// stay per-device). The cache only kicks in *after* a device's own AEAD
+/// open succeeds: if the resulting plaintext is byte-identical to the image
+/// a sibling device already decoded, the sibling's [`Model`] (whose
+/// buffers all borrow one shared aligned image) is reused and the fresh
+/// plaintext copy is dropped. Memory for the fleet's weights is therefore
+/// one image, not N.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    entry: Option<CacheEntry>,
+    hits: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    model_id: String,
+    version: u32,
+    image: ModelBuf,
+    model: Model,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many initializations were served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Returns the cached model if `plaintext` is byte-identical to the
+    /// already-decoded image for the same `(model_id, version)`.
+    pub(crate) fn lookup(
+        &mut self,
+        model_id: &str,
+        version: u32,
+        plaintext: &ModelBuf,
+    ) -> Option<Model> {
+        let entry = self.entry.as_ref()?;
+        if entry.model_id == model_id
+            && entry.version == version
+            && entry.image.as_slice() == plaintext.as_slice()
+        {
+            self.hits += 1;
+            Some(entry.model.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Records a freshly decoded image (replacing any previous entry — a
+    /// vendor update supersedes the old version).
+    pub(crate) fn store(&mut self, model_id: &str, version: u32, image: ModelBuf, model: Model) {
+        self.entry = Some(CacheEntry {
+            model_id: model_id.to_owned(),
+            version,
+            image,
+            model,
+        });
+    }
+}
+
 /// Provisions `n` fresh devices through the full preparation and
 /// initialization phases against a single vendor — a production install
 /// base in miniature. Every device attests to the same vendor and receives
 /// the same model; each gets its own simulated platform and virtual clock.
+///
+/// Initialization runs through a shared [`ModelCache`], so after the first
+/// device decodes the model, the remaining `n - 1` devices reuse its
+/// decoded form and all `n` interpreters borrow their weights from **one**
+/// decrypted image (see [`Model::shares_storage_with`]) — per-device
+/// incremental provisioning no longer re-decodes (or re-buffers) the model.
 ///
 /// This is the provisioning primitive shared by [`Fleet`] and by external
 /// serving runtimes (e.g. the `omg-serve` crate) that move the returned
@@ -177,6 +252,23 @@ pub fn provision_devices(
     model_id: &str,
     model: Model,
     seed: u64,
+) -> Result<Vec<OmgDevice>> {
+    provision_devices_with_cache(n, model_id, model, seed, &mut ModelCache::new())
+}
+
+/// [`provision_devices`] with a caller-supplied [`ModelCache`], so the
+/// caller can observe cache effectiveness ([`ModelCache::hits`]) or keep
+/// the cache warm across successive provisioning waves.
+///
+/// # Errors
+///
+/// Same conditions as [`provision_devices`].
+pub fn provision_devices_with_cache(
+    n: usize,
+    model_id: &str,
+    model: Model,
+    seed: u64,
+    cache: &mut ModelCache,
 ) -> Result<Vec<OmgDevice>> {
     if n == 0 {
         return Err(crate::OmgError::InvalidConfig {
@@ -194,7 +286,7 @@ pub fn provision_devices(
     for i in 0..n {
         let mut device = OmgDevice::new(seed.wrapping_add(1000 + i as u64))?;
         device.prepare(&mut user, &mut vendor)?;
-        device.initialize(&mut vendor)?;
+        device.initialize_with_cache(&mut vendor, cache)?;
         devices.push(device);
     }
     Ok(devices)
@@ -505,6 +597,76 @@ mod tests {
     fn session_requires_initialized_device() {
         let mut device = OmgDevice::new(703).unwrap();
         assert!(device.session().is_err());
+    }
+
+    #[test]
+    fn provisioned_fleet_shares_one_decrypted_image() {
+        let mut cache = ModelCache::new();
+        let devices =
+            provision_devices_with_cache(3, "kws", test_model(), 910, &mut cache).unwrap();
+        // Every device past the first was served from the cache...
+        assert_eq!(cache.hits(), 2);
+        // ...and all three interpreters borrow their weights from one
+        // shared decrypted image: fleet weight memory is 1x, not Nx.
+        let first = devices[0].model().expect("initialized");
+        for d in &devices[1..] {
+            assert!(first.shares_storage_with(d.model().unwrap()));
+        }
+        // An independently provisioned device does not share storage.
+        let solo = provision_devices(1, "kws", test_model(), 911).unwrap();
+        assert!(!first.shares_storage_with(solo[0].model().unwrap()));
+    }
+
+    #[test]
+    fn cached_provisioning_matches_uncached_results() {
+        let data = SyntheticSpeechCommands::new(47);
+        let mut cached = provision_devices(2, "kws", test_model(), 912)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let mut uncached = ready_device(false);
+        for class in 2..8 {
+            let samples = data.utterance(class, 0).unwrap();
+            let a = cached.classify_utterance(&samples).unwrap();
+            let b = uncached.classify_utterance(&samples).unwrap();
+            assert_eq!(a.class_index, b.class_index);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.score, b.score);
+        }
+    }
+
+    #[test]
+    fn cache_rejects_different_models_and_versions() {
+        // Two different vendors/models through one cache: the second
+        // device's plaintext differs, so it must decode fresh (no false
+        // sharing).
+        let mut cache = ModelCache::new();
+        let mut vendor_a = Vendor::new(920, "kws", test_model(), expected_enclave_measurement());
+        let mut user = User::new(921);
+        let mut dev_a = OmgDevice::new(922).unwrap();
+        dev_a.prepare(&mut user, &mut vendor_a).unwrap();
+        dev_a
+            .initialize_with_cache(&mut vendor_a, &mut cache)
+            .unwrap();
+
+        // Same weights but a distinct model id: the id check must prevent
+        // cross-model sharing even when the images happen to match.
+        let mut vendor_b = Vendor::new(
+            923,
+            "kws-other",
+            test_model(),
+            expected_enclave_measurement(),
+        );
+        let mut dev_b = OmgDevice::new(924).unwrap();
+        dev_b.prepare(&mut user, &mut vendor_b).unwrap();
+        dev_b
+            .initialize_with_cache(&mut vendor_b, &mut cache)
+            .unwrap();
+        assert_eq!(cache.hits(), 0, "distinct model ids must not share");
+        assert!(!dev_a
+            .model()
+            .unwrap()
+            .shares_storage_with(dev_b.model().unwrap()));
     }
 
     #[test]

@@ -22,7 +22,9 @@
 use crate::chacha20::{ChaCha20, KEY_LEN, NONCE_LEN};
 use crate::ct::ct_eq;
 use crate::error::{CryptoError, Result};
-use crate::poly1305::{Poly1305, TAG_LEN};
+use crate::poly1305::Poly1305;
+
+pub use crate::poly1305::TAG_LEN;
 
 /// Authenticated encryption with associated data using ChaCha20-Poly1305.
 #[derive(Clone)]
@@ -100,14 +102,51 @@ impl ChaCha20Poly1305 {
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::AuthenticationFailed);
         }
+        let mut out = vec![0u8; sealed.len() - TAG_LEN];
+        self.open_into(nonce, aad, sealed, &mut out)?;
+        Ok(out)
+    }
+
+    /// Verifies and decrypts `sealed` directly into a caller-provided
+    /// buffer of exactly `sealed.len() - TAG_LEN` bytes.
+    ///
+    /// This is the single-allocation load path for sealed models: the
+    /// enclave allocates one aligned model buffer up front and decrypts in
+    /// place into it, so the plaintext never transits an intermediate
+    /// `Vec` (and the zero-copy deserializer then borrows tensors straight
+    /// out of `out`).
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] if the tag does not verify —
+    /// `out` receives no plaintext in that case —
+    /// [`CryptoError::InvalidLength`] if `out` is not exactly
+    /// ciphertext-sized.
+    pub fn open_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut [u8],
+    ) -> Result<()> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::AuthenticationFailed);
+        }
         let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        if out.len() != ciphertext.len() {
+            return Err(CryptoError::InvalidLength {
+                what: "open_into output buffer",
+                got: out.len(),
+                expected: ciphertext.len(),
+            });
+        }
         let expected = self.tag(nonce, aad, ciphertext);
         if !ct_eq(&expected, tag) {
             return Err(CryptoError::AuthenticationFailed);
         }
-        let mut out = ciphertext.to_vec();
-        ChaCha20::new(&self.key, nonce).apply_keystream(1, &mut out);
-        Ok(out)
+        out.copy_from_slice(ciphertext);
+        ChaCha20::new(&self.key, nonce).apply_keystream(1, out);
+        Ok(())
     }
 }
 
@@ -157,6 +196,35 @@ only one tip for the future, sunscreen would be it.";
             cipher.open(&[0u8; 12], b"", &[0u8; 15]).unwrap_err(),
             CryptoError::AuthenticationFailed
         );
+    }
+
+    #[test]
+    fn open_into_matches_open_and_checks_buffer_size() {
+        let cipher = ChaCha20Poly1305::new(&[3u8; 32]);
+        let nonce = [9u8; 12];
+        let sealed = cipher.seal(&nonce, b"aad", b"direct-to-buffer plaintext");
+        let mut out = vec![0u8; sealed.len() - TAG_LEN];
+        cipher.open_into(&nonce, b"aad", &sealed, &mut out).unwrap();
+        assert_eq!(out, b"direct-to-buffer plaintext");
+
+        // Wrong output size is a usage error, not an auth failure.
+        let mut short = vec![0u8; sealed.len() - TAG_LEN - 1];
+        assert!(matches!(
+            cipher.open_into(&nonce, b"aad", &sealed, &mut short),
+            Err(CryptoError::InvalidLength { .. })
+        ));
+
+        // A tampered blob releases nothing into the buffer.
+        let mut bad = sealed.clone();
+        bad[0] ^= 1;
+        let mut out = vec![0u8; sealed.len() - TAG_LEN];
+        assert_eq!(
+            cipher
+                .open_into(&nonce, b"aad", &bad, &mut out)
+                .unwrap_err(),
+            CryptoError::AuthenticationFailed
+        );
+        assert!(out.iter().all(|&b| b == 0), "plaintext leaked on failure");
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Aligned model storage for the zero-copy load path.
+//!
+//! OMGM v2 blobs place every weight and bias section at a 64-byte-aligned
+//! offset, so the deserializer can hand out typed views straight into the
+//! decrypted byte image instead of copying each tensor out. That only
+//! works if the image itself sits at an aligned base address:
+//!
+//! * [`AlignedBytes`] is an owned byte buffer whose base address is
+//!   guaranteed to be 64-byte aligned (≥ the natural alignment of every
+//!   dtype in the format). The sealed-storage decrypt path writes the
+//!   plaintext model directly into one of these — a single allocation for
+//!   the whole model image.
+//! * [`ModelBuf`] wraps the image in an [`Arc`] so many models,
+//!   interpreters, and provisioned devices can share one immutable
+//!   decrypted copy; cloning is a refcount bump.
+//! * [`ByteView`](crate::model::Model) buffers (crate-internal) are
+//!   `(Arc<AlignedBytes>, offset, len)` triples — the per-tensor windows a
+//!   [`crate::model::Model`] holds.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+/// Base-address alignment of every [`AlignedBytes`] allocation, and the
+/// section alignment OMGM v2 guarantees for buffer offsets. 64 covers the
+/// natural alignment of all format dtypes (i8/i32/f32) with cache-line
+/// headroom.
+pub const BUFFER_ALIGN: usize = 64;
+
+/// An owned byte buffer with a 64-byte-aligned base address.
+pub struct AlignedBytes {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: AlignedBytes is a plain owned byte region with unique access
+// through &mut self; it carries no thread affinity.
+unsafe impl Send for AlignedBytes {}
+unsafe impl Sync for AlignedBytes {}
+
+impl AlignedBytes {
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len, BUFFER_ALIGN).expect("buffer length overflows layout")
+    }
+
+    /// Allocates `len` zeroed bytes at a 64-byte-aligned address.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedBytes {
+                ptr: NonNull::<u64>::dangling().cast(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has nonzero size (len > 0 checked above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        AlignedBytes { ptr, len }
+    }
+
+    /// Allocates an aligned copy of `bytes`.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        let mut out = Self::zeroed(bytes.len());
+        out.copy_from_slice(bytes);
+        out
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for AlignedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live allocation owned by self (or a
+        // dangling pointer with len 0, valid for empty slices).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl DerefMut for AlignedBytes {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as above; &mut self guarantees exclusive access.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedBytes {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated in `zeroed` with this exact layout.
+            unsafe { dealloc(self.ptr.as_ptr(), Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Clone for AlignedBytes {
+    fn clone(&self) -> Self {
+        Self::copy_from(self)
+    }
+}
+
+impl std::fmt::Debug for AlignedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlignedBytes({} bytes @ {:p})", self.len, self.ptr)
+    }
+}
+
+impl PartialEq for AlignedBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+/// A shareable, immutable, aligned model image — the decrypted OMGM blob.
+///
+/// Cloning is a refcount bump: N provisioned devices (or interpreters)
+/// loading the same model hold views into one allocation instead of N
+/// copies.
+#[derive(Clone, Debug)]
+pub struct ModelBuf {
+    data: Arc<AlignedBytes>,
+}
+
+impl ModelBuf {
+    /// Wraps an aligned image, freezing it for sharing.
+    pub fn from_aligned(data: AlignedBytes) -> Self {
+        ModelBuf {
+            data: Arc::new(data),
+        }
+    }
+
+    /// Allocates an aligned copy of `bytes` (the one copy a
+    /// `&[u8]`-sourced v2 load pays; the sealed-storage path decrypts
+    /// straight into [`AlignedBytes`] and pays none).
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self::from_aligned(AlignedBytes::copy_from(bytes))
+    }
+
+    /// The whole image.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Image length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether two handles share one underlying allocation.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    pub(crate) fn share(&self) -> Arc<AlignedBytes> {
+        Arc::clone(&self.data)
+    }
+}
+
+impl PartialEq for ModelBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr_eq(other) || self.as_slice() == other.as_slice()
+    }
+}
+
+/// A window into shared aligned storage: one model buffer (weight or bias
+/// tensor data). Cloning bumps the refcount of the backing image.
+#[derive(Clone)]
+pub(crate) struct ByteView {
+    data: Arc<AlignedBytes>,
+    off: usize,
+    len: usize,
+}
+
+impl ByteView {
+    /// A view owning its whole (freshly allocated, aligned) storage.
+    pub(crate) fn owned(bytes: AlignedBytes) -> Self {
+        let len = bytes.len();
+        ByteView {
+            data: Arc::new(bytes),
+            off: 0,
+            len,
+        }
+    }
+
+    /// An aligned copy of `bytes` as a standalone view.
+    pub(crate) fn copy_of(bytes: &[u8]) -> Self {
+        Self::owned(AlignedBytes::copy_from(bytes))
+    }
+
+    /// A window into a shared image. Caller must have bounds-checked
+    /// `off + len <= data.len()` (the v2 parser does).
+    pub(crate) fn window(data: Arc<AlignedBytes>, off: usize, len: usize) -> Self {
+        debug_assert!(off.checked_add(len).is_some_and(|end| end <= data.len()));
+        ByteView { data, off, len }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Whether two views are backed by the same allocation (regardless of
+    /// window) — the "one shared decrypted buffer" provisioning property.
+    pub(crate) fn same_backing(&self, other: &ByteView) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl Deref for ByteView {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for ByteView {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for ByteView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ByteView({} bytes @ +{})", self.len, self.off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_base_address() {
+        for len in [1usize, 7, 64, 65, 4096, 50_000] {
+            let b = AlignedBytes::zeroed(len);
+            assert_eq!(b.as_ptr() as usize % BUFFER_ALIGN, 0, "len {len}");
+            assert_eq!(b.len(), len);
+            assert!(b.iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_safe() {
+        let b = AlignedBytes::zeroed(0);
+        assert!(b.is_empty());
+        assert_eq!(&b[..], &[] as &[u8]);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn copy_round_trips_and_mutates() {
+        let mut b = AlignedBytes::copy_from(&[1, 2, 3, 4]);
+        b[2] = 9;
+        assert_eq!(&b[..], &[1, 2, 9, 4]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        // Clones are independent allocations.
+        assert_ne!(b.as_ptr(), c.as_ptr());
+    }
+
+    #[test]
+    fn model_buf_sharing_is_by_pointer() {
+        let a = ModelBuf::copy_from_slice(&[5u8; 100]);
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        let c = ModelBuf::copy_from_slice(&[5u8; 100]);
+        assert!(!a.ptr_eq(&c));
+        assert_eq!(a, c, "equal content still compares equal");
+    }
+
+    #[test]
+    fn byte_view_windows_share_backing() {
+        let image = ModelBuf::copy_from_slice(&(0u8..=255).collect::<Vec<_>>());
+        let a = ByteView::window(image.share(), 0, 16);
+        let b = ByteView::window(image.share(), 64, 32);
+        assert!(a.same_backing(&b));
+        assert_eq!(&a[..4], &[0, 1, 2, 3]);
+        assert_eq!(b[0], 64);
+        let solo = ByteView::copy_of(&[0, 1, 2, 3]);
+        assert!(!solo.same_backing(&a));
+        assert_eq!(solo, ByteView::window(image.share(), 0, 4));
+    }
+}

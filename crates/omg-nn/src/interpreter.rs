@@ -9,6 +9,7 @@
 //! list; executing a step only does split borrows into the arena and the
 //! model's buffers.
 
+use crate::buffer::ByteView;
 use crate::error::{NnError, Result};
 use crate::kernels;
 use crate::model::{same_padding, Activation, Model, Op, Padding};
@@ -23,6 +24,39 @@ fn as_i8(bytes: &[u8]) -> &[i8] {
     unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<i8>(), bytes.len()) }
 }
 
+/// Reinterprets raw little-endian constant-buffer bytes as int32 biases
+/// without copying. Callers must have verified 4-byte pointer alignment and
+/// a length divisible by 4 (see [`bias_borrowable`]).
+fn as_i32(bytes: &[u8]) -> &[i32] {
+    debug_assert!(bias_borrowable(bytes));
+    // SAFETY: alignment and length were checked when the step was compiled;
+    // the backing storage is immutable and its address is stable (Arc'd
+    // aligned allocation). Every bit pattern is a valid i32, and the bytes
+    // are little-endian, matching the host (borrowing is gated on LE).
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<i32>(), bytes.len() / 4) }
+}
+
+/// Whether an i32 constant buffer can be borrowed in place: the host is
+/// little-endian (the wire format is LE) and the bytes sit at their natural
+/// alignment. OMGM v2 images and builder-constructed models guarantee the
+/// alignment by construction; anything else falls back to the decoded pool.
+fn bias_borrowable(bytes: &[u8]) -> bool {
+    cfg!(target_endian = "little")
+        && (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<i32>())
+        && bytes.len().is_multiple_of(4)
+}
+
+/// Where a step's int32 bias comes from: borrowed in place from an aligned
+/// model buffer (the v2 fast path), or a range in the decoded pool (the
+/// fallback for unaligned/big-endian loads).
+#[derive(Debug, Clone, Copy)]
+enum BiasSrc {
+    /// Index into the model's buffer list; reinterpreted via [`as_i32`].
+    Borrowed(usize),
+    /// Range in the interpreter's decoded bias pool.
+    Pool(usize, usize),
+}
+
 /// Where a step reads its data input from.
 #[derive(Debug, Clone, Copy)]
 enum Src {
@@ -33,13 +67,13 @@ enum Src {
 }
 
 /// Kernel parameters resolved at compile time. Weight tensors are reduced
-/// to buffer indices (borrowed at execution time) and biases to ranges in
-/// the decoded bias pool.
+/// to buffer indices and biases to [`BiasSrc`]es — both borrowed at
+/// execution time.
 #[derive(Debug, Clone)]
 enum StepKind {
     Conv2D {
         filter_buf: usize,
-        bias: (usize, usize),
+        bias: BiasSrc,
         input_shape: [usize; 4],
         filter_shape: [usize; 4],
         output_shape: [usize; 4],
@@ -54,7 +88,7 @@ enum StepKind {
     },
     FullyConnected {
         filter_buf: usize,
-        bias: (usize, usize),
+        bias: BiasSrc,
         in_features: usize,
         out_features: usize,
         input_offset: i32,
@@ -101,9 +135,12 @@ pub struct Interpreter {
     plan: ArenaPlan,
     arena: Vec<i8>,
     steps: Vec<CompiledStep>,
-    /// Int32 bias values decoded once from the model's little-endian
-    /// buffers (they cannot be borrowed in place: the raw bytes are
-    /// unaligned for i32). Steps hold ranges into this pool.
+    /// Fallback pool for int32 biases that cannot be borrowed in place
+    /// (unaligned bytes, or a big-endian host). Models loaded from aligned
+    /// storage — every OMGM v2 image and every builder-constructed model —
+    /// leave this empty: their biases are borrowed straight from the model
+    /// buffers, so constructing an interpreter copies no tensor data at
+    /// all.
     bias_pool: Vec<i32>,
     /// Tensors to snapshot during the current `invoke_with_taps` run.
     pending_taps: Vec<TensorId>,
@@ -146,22 +183,28 @@ impl Interpreter {
     /// Any validation error surfaced while resolving shapes, dtypes,
     /// quantization parameters, or arena placement.
     pub fn new(model: Model) -> Result<Self> {
-        // Decode int32 bias buffers into one flat pool; reject f32
-        // constants (unsupported by the int8 kernels).
+        // Resolve int32 bias buffers: aligned little-endian bytes (every v2
+        // image and builder model) are borrowed in place; anything else is
+        // decoded into the fallback pool. f32 constants are rejected
+        // (unsupported by the int8 kernels).
         let mut bias_pool = Vec::new();
-        let mut bias_ranges: Vec<Option<(usize, usize)>> = vec![None; model.tensors.len()];
+        let mut bias_srcs: Vec<Option<BiasSrc>> = vec![None; model.tensors.len()];
         for (idx, t) in model.tensors.iter().enumerate() {
             let Some(buf_idx) = t.buffer() else { continue };
             match t.dtype() {
                 DType::I8 => {}
                 DType::I32 => {
                     let raw = model.buffer(buf_idx)?;
-                    let start = bias_pool.len();
-                    bias_pool.extend(
-                        raw.chunks_exact(4)
-                            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]])),
-                    );
-                    bias_ranges[idx] = Some((start, bias_pool.len()));
+                    if bias_borrowable(raw) {
+                        bias_srcs[idx] = Some(BiasSrc::Borrowed(buf_idx));
+                    } else {
+                        let start = bias_pool.len();
+                        bias_pool.extend(
+                            raw.chunks_exact(4)
+                                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                        );
+                        bias_srcs[idx] = Some(BiasSrc::Pool(start, bias_pool.len()));
+                    }
                 }
                 DType::F32 => {
                     return Err(NnError::DtypeMismatch {
@@ -220,7 +263,7 @@ impl Interpreter {
         };
         let mut steps = Vec::with_capacity(interp.model.ops.len());
         for op in &interp.model.ops {
-            steps.push(interp.compile(op, &bias_ranges)?);
+            steps.push(interp.compile(op, &bias_srcs)?);
         }
         interp.steps = steps;
         Ok(interp)
@@ -278,15 +321,15 @@ impl Interpreter {
         Ok(())
     }
 
-    fn compile(&self, op: &Op, bias_ranges: &[Option<(usize, usize)>]) -> Result<CompiledStep> {
+    fn compile(&self, op: &Op, bias_srcs: &[Option<BiasSrc>]) -> Result<CompiledStep> {
         let act_range = |activation: Activation, out_zp: i32| -> (i8, i8) {
             match activation {
                 Activation::None => (-128, 127),
                 Activation::Relu => (out_zp.clamp(-128, 127) as i8, 127),
             }
         };
-        let bias_range = |id: TensorId| -> Result<(usize, usize)> {
-            bias_ranges[id.index()].ok_or(NnError::DtypeMismatch {
+        let bias_range = |id: TensorId| -> Result<BiasSrc> {
+            bias_srcs[id.index()].ok_or(NnError::DtypeMismatch {
                 context: "bias must be constant i32",
             })
         };
@@ -469,6 +512,15 @@ impl Interpreter {
     /// must reserve inside the enclave).
     pub fn arena_size(&self) -> usize {
         self.plan.arena_size
+    }
+
+    /// Bytes of int32 bias data this interpreter had to *decode* into its
+    /// fallback pool instead of borrowing from the model's buffers. Zero
+    /// for every model loaded from aligned storage (OMGM v2 images and
+    /// builder-constructed models) — i.e. construction copied no tensor
+    /// data at all. The provisioning bench regression-asserts this.
+    pub fn decoded_bias_bytes(&self) -> usize {
+        self.bias_pool.len() * std::mem::size_of::<i32>()
     }
 
     /// Zeroes the activation arena and drops any tap snapshots, so no
@@ -690,10 +742,19 @@ fn argmax_dequantized(quantized: &[i8], q: crate::quantize::QuantParams) -> (usi
         .unwrap_or((0, 0.0))
 }
 
+/// Resolves a step's bias slice: borrowed from the model's aligned buffers
+/// or (fallback) from the decoded pool.
+fn bias_slice<'a>(src: BiasSrc, buffers: &'a [ByteView], bias_pool: &'a [i32]) -> &'a [i32] {
+    match src {
+        BiasSrc::Borrowed(buf) => as_i32(&buffers[buf]),
+        BiasSrc::Pool(start, end) => &bias_pool[start..end],
+    }
+}
+
 /// Executes one precompiled step. Infallible: every range and parameter was
 /// validated at compile time, and the only memory touched is the arena, the
 /// model's constant buffers, and the bias pool.
-fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[Vec<u8>], bias_pool: &[i32]) {
+fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[ByteView], bias_pool: &[i32]) {
     // Obtain the input and output slices via a split borrow. A constant
     // input borrows the model buffer instead, leaving the whole arena free
     // for the output.
@@ -721,7 +782,7 @@ fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[Vec<u8>], bias_po
             depthwise,
         } => {
             let filter = as_i8(&buffers[filter_buf]);
-            let bias = &bias_pool[bias.0..bias.1];
+            let bias = bias_slice(bias, buffers, bias_pool);
             match depthwise {
                 None => kernels::conv2d(kernels::Conv2DArgs {
                     input,
@@ -770,7 +831,7 @@ fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[Vec<u8>], bias_po
             act_max,
         } => {
             let filter = as_i8(&buffers[filter_buf]);
-            let bias = &bias_pool[bias.0..bias.1];
+            let bias = bias_slice(bias, buffers, bias_pool);
             kernels::fully_connected(kernels::FullyConnectedArgs {
                 input,
                 filter,

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod buffer;
 mod error;
 pub mod format;
 pub mod interpreter;
@@ -56,6 +57,7 @@ pub mod planner;
 pub mod quantize;
 pub mod tensor;
 
+pub use buffer::{AlignedBytes, ModelBuf};
 pub use error::{NnError, Result};
 pub use interpreter::Interpreter;
 pub use model::Model;

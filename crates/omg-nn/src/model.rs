@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use crate::buffer::{AlignedBytes, ByteView};
 use crate::error::{NnError, Result};
 use crate::quantize::QuantParams;
 use crate::tensor::{DType, TensorId, TensorInfo};
@@ -244,10 +245,15 @@ pub fn same_padding(input: usize, kernel: usize, stride: usize) -> (usize, usize
 }
 
 /// A complete, validated model.
+///
+/// Constant buffers are [`ByteView`]s into 64-byte-aligned storage: models
+/// deserialized from an OMGM v2 blob borrow windows of one shared decrypted
+/// image (see [`crate::buffer::ModelBuf`]), and cloning a model is a
+/// refcount bump per buffer rather than a copy of the weights.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Model {
     pub(crate) tensors: Vec<TensorInfo>,
-    pub(crate) buffers: Vec<Vec<u8>>,
+    pub(crate) buffers: Vec<ByteView>,
     pub(crate) ops: Vec<Op>,
     pub(crate) input: TensorId,
     pub(crate) output: TensorId,
@@ -308,8 +314,22 @@ impl Model {
     pub(crate) fn buffer(&self, idx: usize) -> Result<&[u8]> {
         self.buffers
             .get(idx)
-            .map(Vec::as_slice)
+            .map(ByteView::as_slice)
             .ok_or(NnError::MalformedModel("buffer index out of range"))
+    }
+
+    /// Whether every constant buffer of `self` and `other` is a window into
+    /// the *same backing allocation* — i.e. the two models share one
+    /// decrypted image instead of holding independent weight copies. This
+    /// is the property the fast provisioning path guarantees for an
+    /// N-device fleet (memory does not scale N× with model size).
+    pub fn shares_storage_with(&self, other: &Model) -> bool {
+        self.buffers.len() == other.buffers.len()
+            && self
+                .buffers
+                .iter()
+                .zip(&other.buffers)
+                .all(|(a, b)| a.same_backing(b))
     }
 
     /// Raw constant data backing a weight tensor, if it is constant.
@@ -327,7 +347,7 @@ impl Model {
     /// Total bytes of constant data (the "model size" the paper reports as
     /// ≈49 kB for `tiny_conv`).
     pub fn weight_bytes(&self) -> usize {
-        self.buffers.iter().map(Vec::len).sum()
+        self.buffers.iter().map(|b| b.len()).sum()
     }
 
     /// Runs full structural validation: every tensor id in range, constant
@@ -609,7 +629,7 @@ impl Model {
 #[derive(Debug, Default)]
 pub struct ModelBuilder {
     tensors: Vec<TensorInfo>,
-    buffers: Vec<Vec<u8>>,
+    buffers: Vec<ByteView>,
     ops: Vec<Op>,
     input: Option<TensorId>,
     output: Option<TensorId>,
@@ -644,8 +664,11 @@ impl ModelBuilder {
         data: Vec<i8>,
         quant: QuantParams,
     ) -> TensorId {
-        let bytes: Vec<u8> = data.iter().map(|&v| v as u8).collect();
-        self.buffers.push(bytes);
+        let mut bytes = AlignedBytes::zeroed(data.len());
+        for (dst, &v) in bytes.iter_mut().zip(&data) {
+            *dst = v as u8;
+        }
+        self.buffers.push(ByteView::owned(bytes));
         self.tensors.push(TensorInfo::new(
             name.to_owned(),
             shape,
@@ -656,13 +679,15 @@ impl ModelBuilder {
         TensorId(self.tensors.len() - 1)
     }
 
-    /// Adds an int32 bias tensor with its constant data.
+    /// Adds an int32 bias tensor with its constant data (stored
+    /// little-endian in aligned storage, so the interpreter can borrow it
+    /// in place).
     pub fn add_weight_i32(&mut self, name: &str, shape: Vec<usize>, data: Vec<i32>) -> TensorId {
-        let mut bytes = Vec::with_capacity(data.len() * 4);
-        for v in &data {
-            bytes.extend_from_slice(&v.to_le_bytes());
+        let mut bytes = AlignedBytes::zeroed(data.len() * 4);
+        for (dst, v) in bytes.chunks_exact_mut(4).zip(&data) {
+            dst.copy_from_slice(&v.to_le_bytes());
         }
-        self.buffers.push(bytes);
+        self.buffers.push(ByteView::owned(bytes));
         self.tensors.push(TensorInfo::new(
             name.to_owned(),
             shape,

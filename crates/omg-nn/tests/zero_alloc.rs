@@ -1,11 +1,17 @@
-//! Verifies the zero-copy execution engine's core claim: after
-//! construction, `invoke`, `classify`, and `invoke_batch` perform **zero
-//! heap allocations** — no `Step` clones, no decoded weight copies, no
-//! scratch buffers.
+//! Verifies the zero-copy execution engine's core claims:
+//!
+//! * after construction, `invoke`, `classify`, and `invoke_batch` perform
+//!   **zero heap allocations** — no `Step` clones, no decoded weight
+//!   copies, no scratch buffers;
+//! * `Interpreter::new` on a model loaded from an OMGM v2 image performs
+//!   **no tensor-data allocations** — weights *and* biases are borrowed
+//!   from the shared decrypted image, so construction cost is independent
+//!   of model size (only the activation arena and fixed-size step/plan
+//!   structures are allocated).
 //!
 //! A counting global allocator wraps the system allocator; the single test
 //! below is alone in this binary so no other test thread can perturb the
-//! counter.
+//! counters.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -13,15 +19,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use omg_nn::model::{Activation, Model, Op, Padding};
 use omg_nn::quantize::QuantParams;
 use omg_nn::tensor::DType;
-use omg_nn::Interpreter;
+use omg_nn::{Interpreter, ModelBuf};
 
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static ALLOCATED_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        ALLOCATED_BYTES.fetch_add(layout.size(), Ordering::SeqCst);
         unsafe { System.alloc(layout) }
     }
 
@@ -31,6 +39,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        ALLOCATED_BYTES.fetch_add(new_size, Ordering::SeqCst);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -152,4 +161,80 @@ fn hot_path_performs_zero_heap_allocations() {
     interp.scrub();
     let after_scrub = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(after_scrub - after_batch, 0, "scrub allocated");
+
+    // ---- Interpreter::new on a v2 image copies no tensor data ----------
+    //
+    // Build a model whose weights dwarf its activations (a 64×4096 FC is
+    // 256 KiB of weights against a ~4 KiB arena), serialize it to the v2
+    // container, and load it zero-copy. Constructing an interpreter may
+    // allocate its fixed-size structures and the activation arena, but
+    // nothing proportional to the weights: every weight and bias is
+    // borrowed from the shared image.
+    let big = big_fc_model();
+    let weight_bytes = big.weight_bytes();
+    assert!(
+        weight_bytes > 250_000,
+        "model not big enough to be probative"
+    );
+    let image = ModelBuf::copy_from_slice(&omg_nn::format::serialize(&big));
+    drop(big);
+
+    let model = omg_nn::format::deserialize_shared(image.clone()).unwrap();
+    let before_bytes = ALLOCATED_BYTES.load(Ordering::SeqCst);
+    let interp2 = Interpreter::new(model).unwrap();
+    let new_bytes = ALLOCATED_BYTES.load(Ordering::SeqCst) - before_bytes;
+    let budget = interp2.arena_size() + 16 * 1024;
+    assert!(
+        new_bytes <= budget,
+        "Interpreter::new allocated {new_bytes} bytes (arena {} + 16 KiB slack allowed) \
+         for a {weight_bytes}-byte model: tensor data was copied",
+        interp2.arena_size()
+    );
+    assert_eq!(
+        interp2.decoded_bias_bytes(),
+        0,
+        "v2-loaded biases must be borrowed, not decoded into a pool"
+    );
+}
+
+/// A single-FC model with deliberately large weights (64 outputs × 4096
+/// inputs), used to prove `Interpreter::new` cost is independent of model
+/// size.
+fn big_fc_model() -> Model {
+    let mut b = Model::builder();
+    let input = b.add_activation(
+        "in",
+        vec![1, 4096],
+        DType::I8,
+        Some(QuantParams {
+            scale: 1.0 / 255.0,
+            zero_point: -128,
+        }),
+    );
+    let w = b.add_weight_i8(
+        "w",
+        vec![64, 4096],
+        (0..64 * 4096).map(|i| (i % 11) as i8 - 5).collect(),
+        QuantParams::symmetric(0.02),
+    );
+    let bias = b.add_weight_i32("b", vec![64], (0..64).collect());
+    let out = b.add_activation(
+        "logits",
+        vec![1, 64],
+        DType::I8,
+        Some(QuantParams {
+            scale: 0.5,
+            zero_point: 0,
+        }),
+    );
+    b.add_op(Op::FullyConnected {
+        input,
+        filter: w,
+        bias,
+        output: out,
+        activation: Activation::None,
+    });
+    b.set_input(input);
+    b.set_output(out);
+    b.build().unwrap()
 }

@@ -205,6 +205,48 @@ impl Pending {
             }
         }
     }
+
+    /// Blocks until the query completes or `timeout` elapses, whichever
+    /// comes first. On timeout the ticket is handed back, so the caller can
+    /// keep waiting, retry elsewhere, or abandon the query — this is the
+    /// wait-side primitive for *admission-time* SLO enforcement (a caller
+    /// that will not wait past its SLO budget simply passes the budget
+    /// here), complementing the runtime's after-the-fact violation
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` if the deadline passed with the query still in flight;
+    /// otherwise the completed result exactly as [`Pending::wait`] would
+    /// return it.
+    pub fn wait_deadline(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<Transcription, ServeError>, Pending> {
+        // A timeout too large to represent as an Instant (e.g. the natural
+        // `Duration::MAX` "no deadline" sentinel) means wait unboundedly —
+        // never panic on the addition.
+        let deadline = Instant::now().checked_add(timeout);
+        let mut result = self.slot.result.lock();
+        loop {
+            if let Some(r) = result.take() {
+                return Ok(r);
+            }
+            match deadline {
+                None => self.slot.ready.wait(&mut result),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        drop(result);
+                        return Err(self);
+                    }
+                    // Spurious wakeups and early notifies just re-loop;
+                    // the deadline check above bounds total waiting.
+                    let _ = self.slot.ready.wait_for(&mut result, deadline - now);
+                }
+            }
+        }
+    }
 }
 
 /// One unit of work flowing through the queue.
@@ -852,6 +894,64 @@ mod tests {
         let drained = handle.drain();
         assert!(!drained.is_healthy());
         assert!(matches!(drained.worker_errors[0], ServeError::Query(_)));
+    }
+
+    #[test]
+    fn wait_deadline_times_out_and_hands_the_ticket_back() {
+        // A slot nobody will ever fill: the deadline must fire and return
+        // the ticket, which must then still be redeemable once filled.
+        let slot = ResponseSlot::new();
+        let pending = Pending {
+            slot: Arc::clone(&slot),
+        };
+        let start = Instant::now();
+        let ticket = pending
+            .wait_deadline(Duration::from_millis(30))
+            .expect_err("unfilled slot must time out");
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "returned before the deadline"
+        );
+        // Fill from "a worker" and redeem the returned ticket.
+        slot.fill(Err(ServeError::ShuttingDown));
+        assert!(matches!(
+            ticket.wait_deadline(Duration::from_millis(30)),
+            Ok(Err(ServeError::ShuttingDown))
+        ));
+    }
+
+    #[test]
+    fn wait_deadline_with_duration_max_waits_instead_of_panicking() {
+        let slot = ResponseSlot::new();
+        let pending = Pending {
+            slot: Arc::clone(&slot),
+        };
+        let filler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            slot.fill(Err(ServeError::ShuttingDown));
+        });
+        // Duration::MAX overflows Instant arithmetic; it must degrade to an
+        // unbounded wait, not a panic.
+        assert!(matches!(
+            pending.wait_deadline(Duration::MAX),
+            Ok(Err(ServeError::ShuttingDown))
+        ));
+        filler.join().unwrap();
+    }
+
+    #[test]
+    fn wait_deadline_returns_completed_queries_in_time() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(66);
+        let handle =
+            ServeHandle::provision(1, ServeConfig::default(), "kws", test_model(), 680).unwrap();
+        let pending = handle.submit(&data.utterance(3, 0).unwrap()).unwrap();
+        // A generous deadline: the query must complete well within it.
+        let result = pending
+            .wait_deadline(Duration::from_secs(30))
+            .expect("query completes within deadline")
+            .expect("query succeeds");
+        assert!(result.class_index < 12);
+        assert!(handle.drain().is_healthy());
     }
 
     #[test]
