@@ -1,7 +1,8 @@
 //! CI gate: compares the bench JSON uploaded from this run
 //! (`target/bench-json/`) against the committed baseline trajectory
 //! (`crates/omg-bench/baselines/`) and exits nonzero on a >25% throughput
-//! regression in the `serving` or `provisioning` benches.
+//! regression in any watched bench (`serving`, `provisioning`,
+//! `kernels` — see [`WATCHED_METRICS`]).
 //!
 //! Usage:
 //!

@@ -49,7 +49,10 @@ pub struct WatchedMetric {
 /// `virtual_qps` occurrence is the 1-worker configuration; `speedup_4v1`
 /// guards the scaling claim. For `provisioning`, `v2_loads_per_s` is the
 /// zero-copy cold-load throughput and `v2_v1_load_ratio` guards the
-/// fast-path advantage itself (machine-independent).
+/// fast-path advantage itself (machine-independent). For `kernels`,
+/// `conv_speedup` is the machine-independent fast-vs-reference advantage
+/// on the conv-heavy shapes and `conv_mmacs_per_s` the absolute fast-conv
+/// throughput floor.
 pub const WATCHED_METRICS: &[WatchedMetric] = &[
     WatchedMetric {
         bench: "serving",
@@ -66,6 +69,14 @@ pub const WATCHED_METRICS: &[WatchedMetric] = &[
     WatchedMetric {
         bench: "provisioning",
         key: "v2_v1_load_ratio",
+    },
+    WatchedMetric {
+        bench: "kernels",
+        key: "conv_speedup",
+    },
+    WatchedMetric {
+        bench: "kernels",
+        key: "conv_mmacs_per_s",
     },
 ];
 
@@ -182,6 +193,16 @@ mod tests {
         let baseline = r#"{"v2_loads_per_s":100000,"v2_v1_load_ratio":2.5}"#;
         let bad = r#"{"v2_loads_per_s":10000,"v2_v1_load_ratio":1.0}"#;
         let failures = compare_bench("provisioning", bad, baseline, 0.25);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+    }
+
+    #[test]
+    fn kernel_metrics_are_watched() {
+        let baseline = r#"{"conv_speedup":5.0,"conv_mmacs_per_s":2500}"#;
+        let ok = r#"{"conv_speedup":4.2,"conv_mmacs_per_s":2100}"#;
+        assert!(compare_bench("kernels", ok, baseline, 0.25).is_empty());
+        let bad = r#"{"conv_speedup":1.1,"conv_mmacs_per_s":500}"#;
+        let failures = compare_bench("kernels", bad, baseline, 0.25);
         assert_eq!(failures.len(), 2, "{failures:?}");
     }
 }

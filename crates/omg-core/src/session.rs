@@ -170,10 +170,23 @@ pub struct Fleet {
 /// buffers all borrow one shared aligned image) is reused and the fresh
 /// plaintext copy is dropped. Memory for the fleet's weights is therefore
 /// one image, not N.
-#[derive(Debug, Default)]
+///
+/// The cache is a small LRU keyed by `(model_id, version)` (capacity
+/// [`ModelCache::DEFAULT_CAPACITY`]), so a host serving several models —
+/// or rolling a version forward while the old one still provisions —
+/// does not thrash on every alternation.
+#[derive(Debug)]
 pub struct ModelCache {
-    entry: Option<CacheEntry>,
+    /// Most-recently-used first.
+    entries: Vec<CacheEntry>,
+    capacity: usize,
     hits: u64,
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[derive(Debug)]
@@ -185,9 +198,22 @@ struct CacheEntry {
 }
 
 impl ModelCache {
-    /// An empty cache.
+    /// Default number of `(model_id, version)` entries kept.
+    pub const DEFAULT_CAPACITY: usize = 4;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding up to `capacity` distinct
+    /// `(model_id, version)` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ModelCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+        }
     }
 
     /// How many initializations were served from the cache so far.
@@ -195,35 +221,67 @@ impl ModelCache {
         self.hits
     }
 
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum entries kept.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The cached `(model_id, version)` keys, most recently used first
+    /// (diagnostics / eviction-order tests).
+    pub fn keys(&self) -> Vec<(String, u32)> {
+        self.entries
+            .iter()
+            .map(|e| (e.model_id.clone(), e.version))
+            .collect()
+    }
+
     /// Returns the cached model if `plaintext` is byte-identical to the
-    /// already-decoded image for the same `(model_id, version)`.
+    /// already-decoded image for the same `(model_id, version)`, marking
+    /// the entry most-recently used.
     pub(crate) fn lookup(
         &mut self,
         model_id: &str,
         version: u32,
         plaintext: &ModelBuf,
     ) -> Option<Model> {
-        let entry = self.entry.as_ref()?;
-        if entry.model_id == model_id
-            && entry.version == version
-            && entry.image.as_slice() == plaintext.as_slice()
-        {
-            self.hits += 1;
-            Some(entry.model.clone())
-        } else {
-            None
-        }
+        let pos = self.entries.iter().position(|e| {
+            e.model_id == model_id
+                && e.version == version
+                && e.image.as_slice() == plaintext.as_slice()
+        })?;
+        let entry = self.entries.remove(pos);
+        let model = entry.model.clone();
+        self.entries.insert(0, entry);
+        self.hits += 1;
+        Some(model)
     }
 
-    /// Records a freshly decoded image (replacing any previous entry — a
-    /// vendor update supersedes the old version).
+    /// Records a freshly decoded image as most-recently used, evicting
+    /// the least-recently-used entry once the capacity is exceeded (and
+    /// superseding any stale entry under the same key).
     pub(crate) fn store(&mut self, model_id: &str, version: u32, image: ModelBuf, model: Model) {
-        self.entry = Some(CacheEntry {
-            model_id: model_id.to_owned(),
-            version,
-            image,
-            model,
-        });
+        self.entries
+            .retain(|e| !(e.model_id == model_id && e.version == version));
+        self.entries.insert(
+            0,
+            CacheEntry {
+                model_id: model_id.to_owned(),
+                version,
+                image,
+                model,
+            },
+        );
+        self.entries.truncate(self.capacity);
     }
 }
 
@@ -667,6 +725,74 @@ mod tests {
             .model()
             .unwrap()
             .shares_storage_with(dev_b.model().unwrap()));
+    }
+
+    #[test]
+    fn model_cache_lru_evicts_oldest_and_refreshes_on_hit() {
+        let mut cache = ModelCache::with_capacity(2);
+        let image = |tag: u8| ModelBuf::copy_from_slice(&[tag; 16]);
+        cache.store("a", 1, image(1), test_model());
+        cache.store("b", 1, image(2), test_model());
+        assert_eq!(cache.len(), 2);
+
+        // Touch "a": it becomes most-recently used.
+        assert!(cache.lookup("a", 1, &image(1)).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.keys()[0].0, "a");
+
+        // Storing "c" overflows capacity 2: the LRU entry ("b") goes.
+        cache.store("c", 1, image(3), test_model());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.keys(), vec![("c".to_owned(), 1), ("a".to_owned(), 1)]);
+        assert!(cache.lookup("b", 1, &image(2)).is_none());
+        assert!(cache.lookup("a", 1, &image(1)).is_some());
+    }
+
+    #[test]
+    fn model_cache_distinguishes_versions_and_supersedes_same_key() {
+        let mut cache = ModelCache::new();
+        assert_eq!(cache.capacity(), ModelCache::DEFAULT_CAPACITY);
+        assert!(cache.is_empty());
+        let image = |tag: u8| ModelBuf::copy_from_slice(&[tag; 8]);
+        cache.store("m", 1, image(1), test_model());
+        cache.store("m", 2, image(2), test_model());
+        assert_eq!(cache.len(), 2, "versions are distinct keys");
+        // A vendor re-pushing (model_id, version) with new bytes replaces
+        // the stale entry instead of duplicating the key.
+        cache.store("m", 2, image(3), test_model());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("m", 2, &image(2)).is_none());
+        assert!(cache.lookup("m", 2, &image(3)).is_some());
+        // Key matches but plaintext differs: never falsely shared.
+        assert!(cache.lookup("m", 1, &image(9)).is_none());
+    }
+
+    #[test]
+    fn multi_model_host_does_not_thrash_one_cache() {
+        // Two vendors with distinct model ids alternate through one
+        // cache: with the LRU both stay resident, so the second round of
+        // provisioning hits for both (the single-slot cache thrashed
+        // here). Cache hits still share storage with the first decode.
+        let mut cache = ModelCache::new();
+        let mut user = User::new(930);
+        let mut provision_one = |id: &str, seed: u64, cache: &mut ModelCache| {
+            let mut vendor = Vendor::new(seed, id, test_model(), expected_enclave_measurement());
+            let mut device = OmgDevice::new(seed + 1).unwrap();
+            device.prepare(&mut user, &mut vendor).unwrap();
+            device.initialize_with_cache(&mut vendor, cache).unwrap();
+            device
+        };
+        let dev_a1 = provision_one("model-a", 931, &mut cache);
+        let _dev_b1 = provision_one("model-b", 933, &mut cache);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 2);
+        let dev_a2 = provision_one("model-a", 935, &mut cache);
+        let _dev_b2 = provision_one("model-b", 937, &mut cache);
+        assert_eq!(cache.hits(), 2, "second round must hit for both models");
+        assert!(dev_a1
+            .model()
+            .unwrap()
+            .shares_storage_with(dev_a2.model().unwrap()));
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Blocked int8 GEMM core and im2col packing for the fast kernels.
+//!
+//! This is the compute engine [`crate::kernels_fast`] lowers convolutions
+//! onto: `conv2d` packs each input patch into a row of an im2col panel,
+//! then a single matrix multiply against the OHWI filter matrix produces
+//! every output pixel. The GEMM itself is written so LLVM autovectorizes
+//! it on any target — contiguous-slice inner loops over fixed-width
+//! accumulator lanes, no `std::arch` — and stays bit-exact with the
+//! scalar TFLM reference pipeline:
+//!
+//! * all accumulation is in `i32`, where lane-reassociated sums are
+//!   *exactly* the sums the reference kernels compute term by term;
+//! * the asymmetric input zero point is hoisted out of the inner loop
+//!   gemmlowp-style: `Σ (a_i + off) · b_i = Σ a_i·b_i + off · Σ b_i`,
+//!   with the per-filter-row sums `Σ b_i` ([`row_sums`]) precomputed
+//!   once per compiled step — filters are constant, so the interpreter
+//!   pays for them at construction, never on the hot path;
+//! * padding positions are packed as the input zero point, whose hoisted
+//!   contribution `(zp + off) · b = 0` vanishes identically, matching the
+//!   reference kernels' skip-the-border behaviour bit for bit.
+//!
+//! The only per-invoke scratch — the im2col panel — is planned into the
+//! interpreter's activation arena (see [`conv_im2col_len`]), so `invoke`
+//! performs no heap allocation.
+
+use crate::quantize::FixedMultiplier;
+
+/// Accumulator width of the vectorizable inner loops. 16 × i32 covers a
+/// 512-bit vector unit and folds cleanly onto 128/256-bit ones.
+pub const LANES: usize = 16;
+
+/// Dot product of two equal-length i8 slices, widened to i32.
+///
+/// Fixed-width lane accumulators plus `chunks_exact` give LLVM a loop it
+/// can turn into packed multiply-adds on every mainstream target.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0i32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            lanes[l] += i32::from(xa[l]) * i32::from(xb[l]);
+        }
+    }
+    let mut acc: i32 = lanes.iter().sum();
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}
+
+/// Like [`dot_i8`] but with the asymmetric input offset applied inline:
+/// `Σ (a_i + offset) · b_i`. Used where hoisting via row sums would cost
+/// as much as it saves (fully connected layers with batch 1).
+#[inline]
+pub fn dot_i8_offset(a: &[i8], b: &[i8], offset: i32) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0i32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            lanes[l] += (i32::from(xa[l]) + offset) * i32::from(xb[l]);
+        }
+    }
+    let mut acc: i32 = lanes.iter().sum();
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += (i32::from(x) + offset) * i32::from(y);
+    }
+    acc
+}
+
+/// Per-row sums of an `n × k` row-major i8 matrix, written into `out[..n]`.
+/// One pass over the filter, amortized across every GEMM row.
+pub fn row_sums(b: &[i8], n: usize, k: usize, out: &mut [i32]) {
+    debug_assert!(b.len() >= n * k);
+    debug_assert!(out.len() >= n);
+    for (j, o) in out.iter_mut().enumerate().take(n) {
+        let row = &b[j * k..][..k];
+        let mut lanes = [0i32; LANES];
+        let mut chunks = row.chunks_exact(LANES);
+        for c in chunks.by_ref() {
+            for l in 0..LANES {
+                lanes[l] += i32::from(c[l]);
+            }
+        }
+        let mut sum: i32 = lanes.iter().sum();
+        for &v in chunks.remainder() {
+            sum += i32::from(v);
+        }
+        *o = sum;
+    }
+}
+
+/// Arguments for [`gemm`]: `out = requant(A · Bᵀ + bias)` with the
+/// gemmlowp offset-hoisting described at module level.
+#[derive(Debug)]
+pub struct GemmArgs<'a> {
+    /// Left matrix, `m × k` row-major (im2col panel or raw activations).
+    pub a: &'a [i8],
+    /// Right matrix, `n × k` row-major — one filter per row, so the
+    /// product needs no transposition of the OHWI weight layout.
+    pub b: &'a [i8],
+    /// Per-output-channel bias, length `n`.
+    pub bias: &'a [i32],
+    /// Per-row sums of `b` (see [`row_sums`]), length `n`.
+    pub b_row_sums: &'a [i32],
+    /// Output, `m × n` row-major (NHWC pixels × channels).
+    pub out: &'a mut [i8],
+    /// Rows of `a` / output pixels.
+    pub m: usize,
+    /// Rows of `b` / output channels.
+    pub n: usize,
+    /// Shared inner dimension.
+    pub k: usize,
+    /// `-input_zero_point`.
+    pub input_offset: i32,
+    /// `output_zero_point`.
+    pub output_offset: i32,
+    /// Requantization multiplier.
+    pub multiplier: FixedMultiplier,
+    /// Fused activation clamp low.
+    pub act_min: i8,
+    /// Fused activation clamp high.
+    pub act_max: i8,
+}
+
+/// Blocked int8×int8→i32 matrix multiply with fused requantization.
+///
+/// B is walked in column panels so a panel's rows stay cache-hot across
+/// every row of A; each `(i, j)` cell is a contiguous [`dot_i8`] plus the
+/// hoisted offset and bias, requantized straight into the i8 output.
+pub fn gemm(args: GemmArgs<'_>) {
+    let GemmArgs {
+        a,
+        b,
+        bias,
+        b_row_sums,
+        out,
+        m,
+        n,
+        k,
+        input_offset,
+        output_offset,
+        multiplier,
+        act_min,
+        act_max,
+    } = args;
+    debug_assert!(a.len() >= m * k);
+    debug_assert!(b.len() >= n * k);
+    debug_assert!(bias.len() >= n && b_row_sums.len() >= n);
+    debug_assert!(out.len() >= m * n);
+    let (lo, hi) = (i32::from(act_min), i32::from(act_max));
+    // Column-panel width: enough rows of B to amortize streaming A, small
+    // enough that a panel of realistic k stays in L1.
+    const NB: usize = 8;
+    let mut jb = 0;
+    while jb < n {
+        let jn = NB.min(n - jb);
+        for i in 0..m {
+            let a_row = &a[i * k..][..k];
+            let out_cells = &mut out[i * n + jb..][..jn];
+            for (jj, cell) in out_cells.iter_mut().enumerate() {
+                let j = jb + jj;
+                let acc = dot_i8(a_row, &b[j * k..][..k]) + input_offset * b_row_sums[j] + bias[j];
+                let scaled = multiplier.apply(acc) + output_offset;
+                *cell = scaled.clamp(lo, hi) as i8;
+            }
+        }
+        jb += NB;
+    }
+}
+
+/// Whether a convolution needs an im2col panel at all. A 1×1 kernel at
+/// stride 1 with no padding reads the NHWC input as the `m × k` matrix
+/// directly (`m = h·w`, `k = c`), skipping the pack entirely.
+pub fn conv_uses_im2col(
+    filter_shape: [usize; 4],
+    stride: (usize, usize),
+    pad: (usize, usize),
+) -> bool {
+    !(filter_shape[1] == 1 && filter_shape[2] == 1 && stride == (1, 1) && pad == (0, 0))
+}
+
+/// im2col panel length in bytes for one batch of a convolution (zero when
+/// [`conv_uses_im2col`] says the input is usable in place).
+pub fn conv_im2col_len(
+    filter_shape: [usize; 4],
+    output_shape: [usize; 4],
+    stride: (usize, usize),
+    pad: (usize, usize),
+) -> usize {
+    if conv_uses_im2col(filter_shape, stride, pad) {
+        output_shape[1] * output_shape[2] * filter_shape[1] * filter_shape[2] * filter_shape[3]
+    } else {
+        0
+    }
+}
+
+/// Packs one batch's NHWC input plane into an im2col panel: row `(oy, ox)`
+/// holds the `(ky, kx, ic)`-ordered patch under that output pixel, so a
+/// flattened OHWI filter row dots against it directly.
+///
+/// Out-of-bounds positions are filled with `pad_value` (the input zero
+/// point), whose hoisted-offset contribution is exactly zero. Interior
+/// rows collapse to a single `copy_from_slice` per kernel row.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    input: &[i8],
+    in_h: usize,
+    in_w: usize,
+    in_c: usize,
+    k_h: usize,
+    k_w: usize,
+    stride: (usize, usize),
+    pad: (usize, usize),
+    out_h: usize,
+    out_w: usize,
+    pad_value: i8,
+    col: &mut [i8],
+) {
+    let patch = k_h * k_w * in_c;
+    debug_assert!(input.len() >= in_h * in_w * in_c);
+    debug_assert!(col.len() >= out_h * out_w * patch);
+    for oy in 0..out_h {
+        let iy0 = (oy * stride.0) as isize - pad.0 as isize;
+        for ox in 0..out_w {
+            let ix0 = (ox * stride.1) as isize - pad.1 as isize;
+            let dst = &mut col[(oy * out_w + ox) * patch..][..patch];
+            for ky in 0..k_h {
+                let iy = iy0 + ky as isize;
+                let row_dst = &mut dst[ky * k_w * in_c..][..k_w * in_c];
+                if iy < 0 || iy >= in_h as isize {
+                    row_dst.fill(pad_value);
+                    continue;
+                }
+                let src_row = &input[(iy as usize * in_w) * in_c..][..in_w * in_c];
+                // kx is valid iff 0 <= ix0 + kx < in_w.
+                let kx_lo = (-ix0).clamp(0, k_w as isize) as usize;
+                let kx_hi = (in_w as isize - ix0).clamp(0, k_w as isize) as usize;
+                row_dst[..kx_lo * in_c].fill(pad_value);
+                row_dst[kx_hi * in_c..].fill(pad_value);
+                if kx_lo < kx_hi {
+                    let src_off = (ix0 + kx_lo as isize) as usize * in_c;
+                    row_dst[kx_lo * in_c..kx_hi * in_c]
+                        .copy_from_slice(&src_row[src_off..src_off + (kx_hi - kx_lo) * in_c]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_products_match_scalar() {
+        let a: Vec<i8> = (0..100).map(|i| (i % 23) as i8 - 11).collect();
+        let b: Vec<i8> = (0..100).map(|i| (i % 17) as i8 - 8).collect();
+        let scalar: i32 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| i32::from(x) * i32::from(y))
+            .sum();
+        assert_eq!(dot_i8(&a, &b), scalar);
+        let off = 37;
+        let scalar_off: i32 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (i32::from(x) + off) * i32::from(y))
+            .sum();
+        assert_eq!(dot_i8_offset(&a, &b, off), scalar_off);
+        // Hoisting identity: dot + off * sum(b).
+        let bsum: i32 = b.iter().map(|&v| i32::from(v)).sum();
+        assert_eq!(dot_i8(&a, &b) + off * bsum, scalar_off);
+    }
+
+    #[test]
+    fn row_sums_match_scalar() {
+        let b: Vec<i8> = (0..60).map(|i| (i % 29) as i8 - 14).collect();
+        let mut sums = [0i32; 3];
+        row_sums(&b, 3, 20, &mut sums);
+        for j in 0..3 {
+            let want: i32 = b[j * 20..][..20].iter().map(|&v| i32::from(v)).sum();
+            assert_eq!(sums[j], want);
+        }
+    }
+
+    #[test]
+    fn gemm_identity() {
+        // 2x2 identity B, unit multiplier: out == a (k = n = 2).
+        let a = [3i8, -4, 5, 6];
+        let b = [1i8, 0, 0, 1];
+        let mut sums = [0i32; 2];
+        row_sums(&b, 2, 2, &mut sums);
+        let mut out = [0i8; 4];
+        gemm(GemmArgs {
+            a: &a,
+            b: &b,
+            bias: &[0, 0],
+            b_row_sums: &sums,
+            out: &mut out,
+            m: 2,
+            n: 2,
+            k: 2,
+            input_offset: 0,
+            output_offset: 0,
+            multiplier: FixedMultiplier::from_real(0.999_999_999).unwrap(),
+            act_min: -128,
+            act_max: 127,
+        });
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn im2col_packs_valid_window() {
+        // 3x3 single-channel input, 2x2 kernel, stride 1, no padding:
+        // first patch is the top-left 2x2 block.
+        let input: Vec<i8> = (1..=9).collect();
+        let mut col = vec![0i8; 4 * 4];
+        im2col(&input, 3, 3, 1, 2, 2, (1, 1), (0, 0), 2, 2, 0, &mut col);
+        assert_eq!(&col[0..4], &[1, 2, 4, 5]);
+        assert_eq!(&col[12..16], &[5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn im2col_fills_padding_with_zero_point() {
+        // 2x2 input, 3x3 kernel, SAME padding (pad 1): the corner patch
+        // has 5 padded positions.
+        let input = [1i8, 2, 3, 4];
+        let mut col = vec![99i8; 4 * 9];
+        im2col(&input, 2, 2, 1, 3, 3, (1, 1), (1, 1), 2, 2, -7, &mut col);
+        // Patch for output (0,0): rows ky=0 all pad; ky=1 -> pad,1,2;
+        // ky=2 -> pad,3,4.
+        assert_eq!(&col[0..9], &[-7, -7, -7, -7, 1, 2, -7, 3, 4]);
+    }
+}

@@ -11,11 +11,42 @@
 
 use crate::buffer::ByteView;
 use crate::error::{NnError, Result};
-use crate::kernels;
 use crate::model::{same_padding, Activation, Model, Op, Padding};
 use crate::planner::{plan_arena, ArenaPlan, TensorLife};
 use crate::quantize::FixedMultiplier;
 use crate::tensor::{DType, TensorId};
+use crate::{gemm, kernels, kernels_fast};
+
+/// Which kernel implementation set an [`Interpreter`] executes with.
+///
+/// The fast set (im2col + blocked GEMM, restructured window kernels; see
+/// [`crate::kernels_fast`]) is the default. The scalar TFLM reference set
+/// ([`crate::kernels`]) is kept verbatim as the correctness oracle:
+/// differential tests assert the two produce bit-identical outputs, and
+/// `OMG_KERNELS=reference` forces the oracle at run time for triage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelSet {
+    /// im2col + blocked-GEMM fast kernels (the default).
+    #[default]
+    Fast,
+    /// Scalar TFLM reference kernels (the differential-test oracle).
+    Reference,
+}
+
+impl KernelSet {
+    /// Parses an `OMG_KERNELS` value; anything unrecognized (or absent)
+    /// selects the fast set.
+    pub fn parse(value: Option<&str>) -> Self {
+        match value {
+            Some("reference") | Some("ref") => KernelSet::Reference,
+            _ => KernelSet::Fast,
+        }
+    }
+
+    fn from_env() -> Self {
+        Self::parse(std::env::var("OMG_KERNELS").ok().as_deref())
+    }
+}
 
 /// Reinterprets raw constant-buffer bytes as int8 weights without copying.
 fn as_i8(bytes: &[u8]) -> &[i8] {
@@ -85,6 +116,10 @@ enum StepKind {
         act_min: i8,
         act_max: i8,
         depthwise: Option<usize>,
+        /// Per-output-channel filter row sums for the fast GEMM's hoisted
+        /// zero-point offsets; precomputed here because the filter is
+        /// constant. Empty for depthwise and reference-kernel steps.
+        row_sums: Vec<i32>,
     },
     FullyConnected {
         filter_buf: usize,
@@ -112,6 +147,13 @@ enum StepKind {
     Copy,
 }
 
+/// Arena range holding a fast conv2d's im2col panel.
+#[derive(Debug, Clone, Copy)]
+struct ScratchRange {
+    off: usize,
+    len: usize,
+}
+
 /// One fully resolved execution step: data source, arena output range, and
 /// kernel parameters. Immutable after compilation.
 #[derive(Debug, Clone)]
@@ -121,6 +163,8 @@ struct CompiledStep {
     input: Src,
     out_off: usize,
     out_len: usize,
+    /// Scratch planned for this step (fast non-depthwise convs only).
+    scratch: Option<ScratchRange>,
     kind: StepKind,
 }
 
@@ -146,6 +190,8 @@ pub struct Interpreter {
     pending_taps: Vec<TensorId>,
     /// Snapshots collected for the pending taps.
     tap_results: Vec<(TensorId, Vec<i8>)>,
+    /// Which kernel implementation set `invoke` executes with.
+    kernels: KernelSet,
 }
 
 fn shape4(shape: &[usize], context: &'static str) -> Result<[usize; 4]> {
@@ -155,34 +201,131 @@ fn shape4(shape: &[usize], context: &'static str) -> Result<[usize; 4]> {
     })
 }
 
-/// Splits the arena into a shared input slice and a mutable output slice.
-/// Compilation guarantees the two ranges are disjoint (live tensors never
-/// share arena memory), which `split_at_mut` then enforces structurally.
-fn split_io(
-    arena: &mut [i8],
-    in_off: usize,
-    in_len: usize,
-    out_off: usize,
-    out_len: usize,
-) -> (&[i8], &mut [i8]) {
-    if in_off < out_off {
-        let (lo, hi) = arena.split_at_mut(out_off);
-        (&lo[in_off..in_off + in_len], &mut hi[..out_len])
-    } else {
-        let (lo, hi) = arena.split_at_mut(in_off);
-        (&hi[..in_len], &mut lo[out_off..out_off + out_len])
+/// Splits the arena into three disjoint sub-slices at the given
+/// `(offset, length)` ranges; zero-length ranges yield empty slices.
+/// Compilation guarantees the ranges are pairwise disjoint (live tensors
+/// and scratch never share arena memory), which the successive
+/// `split_at_mut`s then enforce structurally.
+fn split3<'a>(arena: &'a mut [i8], ranges: [(usize, usize); 3]) -> [&'a mut [i8]; 3] {
+    let mut order = [0usize, 1, 2];
+    order.sort_unstable_by_key(|&slot| ranges[slot].0);
+    let mut out: [&'a mut [i8]; 3] = [&mut [], &mut [], &mut []];
+    let mut rest = arena;
+    let mut consumed = 0usize;
+    for slot in order {
+        let (off, len) = ranges[slot];
+        if len == 0 {
+            continue;
+        }
+        let tail = std::mem::take(&mut rest);
+        let (_, tail) = tail.split_at_mut(off - consumed);
+        let (seg, tail) = tail.split_at_mut(len);
+        out[slot] = seg;
+        rest = tail;
+        consumed = off + len;
     }
+    out
+}
+
+/// Resolved shapes, stride, and padding of a (full or depthwise) conv op.
+/// The **single** geometry resolution shared by scratch planning and step
+/// compilation, so the planned im2col panel and the executed step cannot
+/// drift apart.
+struct ConvGeometry {
+    input_shape: [usize; 4],
+    filter_shape: [usize; 4],
+    output_shape: [usize; 4],
+    stride: (usize, usize),
+    pad: (usize, usize),
+}
+
+impl ConvGeometry {
+    /// im2col panel bytes the fast conv needs (zero when the input is
+    /// read in place).
+    fn im2col_len(&self) -> usize {
+        gemm::conv_im2col_len(self.filter_shape, self.output_shape, self.stride, self.pad)
+    }
+}
+
+fn conv_geometry(
+    model: &Model,
+    input: TensorId,
+    filter: TensorId,
+    output: TensorId,
+    stride: (usize, usize),
+    padding: Padding,
+    context: &'static str,
+) -> Result<ConvGeometry> {
+    let input_shape = shape4(model.tensor(input)?.shape(), context)?;
+    let filter_shape = shape4(model.tensor(filter)?.shape(), context)?;
+    let output_shape = shape4(model.tensor(output)?.shape(), context)?;
+    let pad = match padding {
+        Padding::Same => (
+            same_padding(input_shape[1], filter_shape[1], stride.0).0,
+            same_padding(input_shape[2], filter_shape[2], stride.1).0,
+        ),
+        Padding::Valid => (0, 0),
+    };
+    Ok(ConvGeometry {
+        input_shape,
+        filter_shape,
+        output_shape,
+        stride,
+        pad,
+    })
+}
+
+/// Arena scratch a fast (non-depthwise) conv step needs: the im2col
+/// panel length in bytes, from the same [`conv_geometry`] resolution
+/// `compile` uses. Zero (no scratch) for convs that read the input in
+/// place and for every other op.
+fn conv_scratch_layout(model: &Model, op: &Op) -> Result<usize> {
+    let Op::Conv2D {
+        input,
+        filter,
+        output,
+        stride_h,
+        stride_w,
+        padding,
+        ..
+    } = *op
+    else {
+        return Ok(0);
+    };
+    let geo = conv_geometry(
+        model,
+        input,
+        filter,
+        output,
+        (stride_h, stride_w),
+        padding,
+        "Conv2D",
+    )?;
+    Ok(geo.im2col_len())
 }
 
 impl Interpreter {
     /// Plans the arena, decodes biases, and compiles every op into a fully
-    /// resolved step.
+    /// resolved step. Executes with the fast kernel set unless the
+    /// `OMG_KERNELS=reference` environment toggle selects the oracle (see
+    /// [`KernelSet`] and [`Self::with_kernels`]).
     ///
     /// # Errors
     ///
     /// Any validation error surfaced while resolving shapes, dtypes,
     /// quantization parameters, or arena placement.
     pub fn new(model: Model) -> Result<Self> {
+        Self::with_kernels(model, KernelSet::from_env())
+    }
+
+    /// [`Self::new`] with an explicit kernel implementation set — the
+    /// seam the differential tests and benches use to pit the fast
+    /// kernels against the scalar reference oracle on identical models.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn with_kernels(model: Model, kernels: KernelSet) -> Result<Self> {
         // Resolve int32 bias buffers: aligned little-endian bytes (every v2
         // image and builder model) are borrowed in place; anything else is
         // decoded into the fallback pool. f32 constants are rejected
@@ -237,7 +380,7 @@ impl Interpreter {
         let final_op = model.ops.len().saturating_sub(1);
         last[model.output.index()] = Some(final_op);
 
-        let lives: Vec<TensorLife> = model
+        let mut lives: Vec<TensorLife> = model
             .tensors
             .iter()
             .enumerate()
@@ -249,6 +392,26 @@ impl Interpreter {
                 last_use: last[idx].unwrap_or(first[idx].unwrap_or(0)),
             })
             .collect();
+
+        // Fast convs need arena scratch for their im2col panel. Plan it
+        // as a pseudo-tensor alive only at its own op, so the planner
+        // overlaps scratch with whatever is dead at that step and
+        // `invoke` stays allocation-free.
+        let mut scratch_lens: Vec<usize> = vec![0; model.ops.len()];
+        if kernels == KernelSet::Fast {
+            for (op_idx, op) in model.ops.iter().enumerate() {
+                let size = conv_scratch_layout(&model, op)?;
+                if size > 0 {
+                    scratch_lens[op_idx] = size;
+                    lives.push(TensorLife {
+                        id: model.tensors.len() + op_idx,
+                        size,
+                        first_use: op_idx,
+                        last_use: op_idx,
+                    });
+                }
+            }
+        }
         let plan = plan_arena(&lives);
         let arena = vec![0i8; plan.arena_size];
 
@@ -260,10 +423,18 @@ impl Interpreter {
             bias_pool,
             pending_taps: Vec::new(),
             tap_results: Vec::new(),
+            kernels,
         };
         let mut steps = Vec::with_capacity(interp.model.ops.len());
-        for op in &interp.model.ops {
-            steps.push(interp.compile(op, &bias_srcs)?);
+        for (op_idx, op) in interp.model.ops.iter().enumerate() {
+            let scratch = (scratch_lens[op_idx] > 0).then(|| ScratchRange {
+                off: interp
+                    .plan
+                    .offset_of(interp.model.tensors.len() + op_idx)
+                    .expect("scratch pseudo-tensor was planned"),
+                len: scratch_lens[op_idx],
+            });
+            steps.push(interp.compile(op, &bias_srcs, scratch)?);
         }
         interp.steps = steps;
         Ok(interp)
@@ -305,23 +476,38 @@ impl Interpreter {
         }
     }
 
-    /// Checks that a step's arena input and output ranges are disjoint, so
-    /// the executor's split borrows cannot alias. The planner guarantees
-    /// this (input and output lifetimes overlap at the op), but the
-    /// invariant is load-bearing for `split_io`, so verify at compile time.
+    /// Checks that a step's arena input, output, and scratch ranges are
+    /// pairwise disjoint, so the executor's split borrows cannot alias.
+    /// The planner guarantees this (the lifetimes all overlap at the op),
+    /// but the invariant is load-bearing for `split3`, so verify at
+    /// compile time.
     fn check_disjoint(&self, step: &CompiledStep) -> Result<()> {
+        let disjoint = |a: (usize, usize), b: (usize, usize)| {
+            a.0 + a.1 <= b.0 || b.0 + b.1 <= a.0 || a.1 == 0 || b.1 == 0
+        };
+        let out = (step.out_off, step.out_len);
+        let scratch = step.scratch.map(|s| (s.off, s.len)).unwrap_or((0, 0));
         if let Src::Arena { off, len } = step.input {
-            let disjoint = off + len <= step.out_off || step.out_off + step.out_len <= off;
-            if !disjoint {
+            if !disjoint((off, len), out) || !disjoint((off, len), scratch) {
                 return Err(NnError::MalformedModel(
-                    "arena plan aliases a step's input and output",
+                    "arena plan aliases a step's input with its output or scratch",
                 ));
             }
+        }
+        if !disjoint(out, scratch) {
+            return Err(NnError::MalformedModel(
+                "arena plan aliases a step's output and scratch",
+            ));
         }
         Ok(())
     }
 
-    fn compile(&self, op: &Op, bias_srcs: &[Option<BiasSrc>]) -> Result<CompiledStep> {
+    fn compile(
+        &self,
+        op: &Op,
+        bias_srcs: &[Option<BiasSrc>],
+        scratch: Option<ScratchRange>,
+    ) -> Result<CompiledStep> {
         let act_range = |activation: Activation, out_zp: i32| -> (i8, i8) {
             match activation {
                 Activation::None => (-128, 127),
@@ -372,16 +558,21 @@ impl Interpreter {
                     Op::Conv2D { .. } => "Conv2D",
                     _ => "DepthwiseConv2D",
                 };
-                let input_shape = shape4(it.shape(), context)?;
-                let filter_shape = shape4(ft.shape(), context)?;
-                let output_shape = shape4(ot.shape(), context)?;
-                let pad = match padding {
-                    Padding::Same => (
-                        same_padding(input_shape[1], filter_shape[1], stride_h).0,
-                        same_padding(input_shape[2], filter_shape[2], stride_w).0,
-                    ),
-                    Padding::Valid => (0, 0),
-                };
+                let ConvGeometry {
+                    input_shape,
+                    filter_shape,
+                    output_shape,
+                    stride: _,
+                    pad,
+                } = conv_geometry(
+                    &self.model,
+                    input,
+                    filter,
+                    output,
+                    (stride_h, stride_w),
+                    padding,
+                    context,
+                )?;
                 let (act_min, act_max) = act_range(activation, out_q.zero_point);
                 let depthwise = match *op {
                     Op::DepthwiseConv2D {
@@ -389,8 +580,25 @@ impl Interpreter {
                     } => Some(depth_multiplier),
                     _ => None,
                 };
+                let filter_buf = self.resolve_filter(filter)?;
+                // The fast GEMM hoists the input zero point via per-row
+                // filter sums; the filter is constant, so compute them
+                // once here instead of on every invoke.
+                let row_sums = if depthwise.is_none() && self.kernels == KernelSet::Fast {
+                    let k = filter_shape[1] * filter_shape[2] * filter_shape[3];
+                    let mut sums = vec![0i32; filter_shape[0]];
+                    gemm::row_sums(
+                        as_i8(self.model.buffer(filter_buf)?),
+                        filter_shape[0],
+                        k,
+                        &mut sums,
+                    );
+                    sums
+                } else {
+                    Vec::new()
+                };
                 StepKind::Conv2D {
-                    filter_buf: self.resolve_filter(filter)?,
+                    filter_buf,
                     bias: bias_range(bias)?,
                     input_shape,
                     filter_shape,
@@ -403,6 +611,7 @@ impl Interpreter {
                     act_min,
                     act_max,
                     depthwise,
+                    row_sums,
                 }
             }
             Op::FullyConnected {
@@ -497,6 +706,7 @@ impl Interpreter {
             input,
             out_off,
             out_len,
+            scratch,
             kind,
         };
         self.check_disjoint(&step)?;
@@ -506,6 +716,11 @@ impl Interpreter {
     /// The wrapped model.
     pub fn model(&self) -> &Model {
         &self.model
+    }
+
+    /// Which kernel implementation set this interpreter executes with.
+    pub fn kernels(&self) -> KernelSet {
+        self.kernels
     }
 
     /// Bytes of activation arena in use (the "tensor arena" a TFLM port
@@ -618,9 +833,10 @@ impl Interpreter {
                     arena,
                     model,
                     bias_pool,
+                    kernels,
                     ..
                 } = self;
-                exec_step(&steps[step_idx], arena, &model.buffers, bias_pool);
+                exec_step(&steps[step_idx], arena, &model.buffers, bias_pool, *kernels);
             }
             if taps_active {
                 let step = &self.steps[step_idx];
@@ -753,18 +969,33 @@ fn bias_slice<'a>(src: BiasSrc, buffers: &'a [ByteView], bias_pool: &'a [i32]) -
 
 /// Executes one precompiled step. Infallible: every range and parameter was
 /// validated at compile time, and the only memory touched is the arena, the
-/// model's constant buffers, and the bias pool.
-fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[ByteView], bias_pool: &[i32]) {
-    // Obtain the input and output slices via a split borrow. A constant
-    // input borrows the model buffer instead, leaving the whole arena free
-    // for the output.
-    let (input, output): (&[i8], &mut [i8]) = match step.input {
-        Src::Arena { off, len } => split_io(arena, off, len, step.out_off, step.out_len),
-        Src::Constant { buffer } => (
-            as_i8(&buffers[buffer]),
-            &mut arena[step.out_off..step.out_off + step.out_len],
-        ),
+/// model's constant buffers, the bias pool, and the step's planned scratch.
+fn exec_step(
+    step: &CompiledStep,
+    arena: &mut [i8],
+    buffers: &[ByteView],
+    bias_pool: &[i32],
+    kernel_set: KernelSet,
+) {
+    // Obtain the input, output, and scratch slices via split borrows. A
+    // constant input borrows the model buffer instead, leaving the whole
+    // arena free for the output and scratch.
+    let scratch_range = step.scratch.map(|s| (s.off, s.len)).unwrap_or((0, 0));
+    let (input, output, scratch): (&[i8], &mut [i8], &mut [i8]) = match step.input {
+        Src::Arena { off, len } => {
+            let [inp, out, scr] = split3(
+                arena,
+                [(off, len), (step.out_off, step.out_len), scratch_range],
+            );
+            (inp, out, scr)
+        }
+        Src::Constant { buffer } => {
+            let [out, scr, _] =
+                split3(arena, [(step.out_off, step.out_len), scratch_range, (0, 0)]);
+            (as_i8(&buffers[buffer]), out, scr)
+        }
     };
+    let fast = kernel_set == KernelSet::Fast;
     match step.kind {
         StepKind::Conv2D {
             filter_buf,
@@ -780,43 +1011,53 @@ fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[ByteView], bias_p
             act_min,
             act_max,
             depthwise,
+            ref row_sums,
         } => {
             let filter = as_i8(&buffers[filter_buf]);
             let bias = bias_slice(bias, buffers, bias_pool);
-            match depthwise {
-                None => kernels::conv2d(kernels::Conv2DArgs {
-                    input,
-                    input_shape,
-                    filter,
-                    filter_shape,
-                    bias,
-                    output,
-                    output_shape,
-                    stride,
-                    pad,
-                    input_offset,
-                    output_offset,
-                    multiplier,
-                    act_min,
-                    act_max,
-                }),
-                Some(mult) => kernels::depthwise_conv2d(kernels::DepthwiseConv2DArgs {
-                    input,
-                    input_shape,
-                    filter,
-                    filter_shape,
-                    bias,
-                    output,
-                    output_shape,
-                    depth_multiplier: mult,
-                    stride,
-                    pad,
-                    input_offset,
-                    output_offset,
-                    multiplier,
-                    act_min,
-                    act_max,
-                }),
+            let args = kernels::Conv2DArgs {
+                input,
+                input_shape,
+                filter,
+                filter_shape,
+                bias,
+                output,
+                output_shape,
+                stride,
+                pad,
+                input_offset,
+                output_offset,
+                multiplier,
+                act_min,
+                act_max,
+            };
+            match (depthwise, fast) {
+                (None, true) => kernels_fast::conv2d(args, row_sums, scratch),
+                (None, false) => kernels::conv2d(args),
+                (Some(mult), _) => {
+                    let args = kernels::DepthwiseConv2DArgs {
+                        input,
+                        input_shape,
+                        filter,
+                        filter_shape,
+                        bias,
+                        output,
+                        output_shape,
+                        depth_multiplier: mult,
+                        stride,
+                        pad,
+                        input_offset,
+                        output_offset,
+                        multiplier,
+                        act_min,
+                        act_max,
+                    };
+                    if fast {
+                        kernels_fast::depthwise_conv2d(args);
+                    } else {
+                        kernels::depthwise_conv2d(args);
+                    }
+                }
             }
         }
         StepKind::FullyConnected {
@@ -832,7 +1073,7 @@ fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[ByteView], bias_p
         } => {
             let filter = as_i8(&buffers[filter_buf]);
             let bias = bias_slice(bias, buffers, bias_pool);
-            kernels::fully_connected(kernels::FullyConnectedArgs {
+            let args = kernels::FullyConnectedArgs {
                 input,
                 filter,
                 bias,
@@ -844,7 +1085,12 @@ fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[ByteView], bias_p
                 multiplier,
                 act_min,
                 act_max,
-            });
+            };
+            if fast {
+                kernels_fast::fully_connected(args);
+            } else {
+                kernels::fully_connected(args);
+            }
         }
         StepKind::Pool2D {
             input_shape,
@@ -863,17 +1109,22 @@ fn exec_step(step: &CompiledStep, arena: &mut [i8], buffers: &[ByteView], bias_p
                 stride,
                 pad,
             };
-            if is_max {
-                kernels::max_pool2d(args);
-            } else {
-                kernels::average_pool2d(args);
+            match (is_max, fast) {
+                (true, true) => kernels_fast::max_pool2d(args),
+                (true, false) => kernels::max_pool2d(args),
+                (false, true) => kernels_fast::average_pool2d(args),
+                (false, false) => kernels::average_pool2d(args),
             }
         }
         StepKind::Softmax {
             input_scale,
             input_zp,
         } => {
-            kernels::softmax(input, input_scale, input_zp, output);
+            if fast {
+                kernels_fast::softmax(input, input_scale, input_zp, output);
+            } else {
+                kernels::softmax(input, input_scale, input_zp, output);
+            }
         }
         StepKind::Copy => {
             output.copy_from_slice(input);
@@ -981,10 +1232,45 @@ mod tests {
     #[test]
     fn arena_smaller_than_total_activations() {
         // in (4) + conv (4) + fc (2) = 10 total, but in/fc don't coexist
-        // with everything simultaneously.
-        let interp = Interpreter::new(tiny_model()).unwrap();
-        assert!(interp.arena_size() <= 10);
-        assert!(interp.arena_size() >= 8); // conv co-lives with in and fc
+        // with everything simultaneously. The tiny model's 1x1/s1/p0 conv
+        // reads its input in place, so even the fast interpreter plans no
+        // im2col scratch and the two kernel sets agree on the arena.
+        let reference = Interpreter::with_kernels(tiny_model(), KernelSet::Reference).unwrap();
+        assert!(reference.arena_size() <= 10);
+        assert!(reference.arena_size() >= 8); // conv co-lives with in and fc
+
+        let fast = Interpreter::with_kernels(tiny_model(), KernelSet::Fast).unwrap();
+        assert_eq!(fast.arena_size(), reference.arena_size());
+    }
+
+    #[test]
+    fn kernel_set_env_parsing_and_default() {
+        assert_eq!(KernelSet::parse(None), KernelSet::Fast);
+        assert_eq!(KernelSet::parse(Some("fast")), KernelSet::Fast);
+        assert_eq!(KernelSet::parse(Some("reference")), KernelSet::Reference);
+        assert_eq!(KernelSet::parse(Some("ref")), KernelSet::Reference);
+        assert_eq!(KernelSet::parse(Some("garbage")), KernelSet::Fast);
+        // The constructor seam records the selection.
+        let interp = Interpreter::with_kernels(tiny_model(), KernelSet::Reference).unwrap();
+        assert_eq!(interp.kernels(), KernelSet::Reference);
+        assert_eq!(
+            Interpreter::new(tiny_model()).unwrap().kernels(),
+            KernelSet::Fast
+        );
+    }
+
+    #[test]
+    fn fast_and_reference_kernels_agree_end_to_end() {
+        let mut fast = Interpreter::with_kernels(tiny_model(), KernelSet::Fast).unwrap();
+        let mut reference = Interpreter::with_kernels(tiny_model(), KernelSet::Reference).unwrap();
+        for input in [[1i8, 2, 3, 4], [-5, 0, 127, -128], [9, 9, 9, 9]] {
+            fast.invoke(&input).unwrap();
+            reference.invoke(&input).unwrap();
+            assert_eq!(
+                fast.output_quantized().unwrap(),
+                reference.output_quantized().unwrap()
+            );
+        }
     }
 
     #[test]

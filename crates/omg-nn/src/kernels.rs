@@ -4,6 +4,12 @@
 //! symmetric weights, int32 biases, accumulate in int32, and requantize
 //! through the gemmlowp fixed-point pipeline (see [`crate::quantize`]).
 //! Layouts follow TFLite: activations NHWC, convolution filters OHWI.
+//!
+//! These scalar loops are the **correctness oracle** for the fast kernel
+//! set in [`crate::kernels_fast`]: they are kept deliberately simple (and
+//! verbatim), and `omg-nn/tests/kernel_equivalence.rs` property-tests that
+//! the fast kernels produce bit-identical outputs. The interpreter runs
+//! the fast set by default; set `OMG_KERNELS=reference` to force these.
 
 use crate::quantize::FixedMultiplier;
 

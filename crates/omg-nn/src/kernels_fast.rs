@@ -1,0 +1,543 @@
+//! Fast int8 kernels: the restructured counterparts of [`crate::kernels`].
+//!
+//! Same argument structs, same TFLM semantics, **bit-exact outputs** — the
+//! scalar reference kernels remain the correctness oracle and
+//! `omg-nn/tests/kernel_equivalence.rs` proves equality by differential
+//! property testing. What changes is the loop structure:
+//!
+//! * [`conv2d`] lowers onto the blocked GEMM in [`crate::gemm`] via an
+//!   im2col panel (carved from the interpreter arena — no allocation);
+//! * [`depthwise_conv2d`], [`average_pool2d`], and [`max_pool2d`] hoist
+//!   zero-point offsets and row base pointers out of the window loops,
+//!   split the padded border from the interior fast path, and walk
+//!   channels in fixed-width vectorizable lanes instead of calling
+//!   `idx4` per element;
+//! * [`fully_connected`] runs contiguous lane dot products per output row;
+//! * [`softmax`] memoizes `exp` per distinct quantized value (an i8 input
+//!   has at most 256), instead of recomputing it twice per element.
+//!
+//! Everything accumulates in `i32` exactly as the reference does, so
+//! reassociating sums into lanes cannot change a single output bit; the
+//! only float kernel (`softmax`) preserves the reference's operation
+//! order per element and is therefore bit-exact too.
+
+use crate::gemm::{conv_uses_im2col, dot_i8_offset, gemm, im2col, GemmArgs, LANES};
+use crate::kernels::{Conv2DArgs, DepthwiseConv2DArgs, FullyConnectedArgs, Pool2DArgs};
+use crate::quantize::FixedMultiplier;
+
+/// int8 2-D convolution via im2col + blocked GEMM.
+///
+/// `filter_row_sums` is the per-output-channel `Σ filter` vector
+/// ([`crate::gemm::row_sums`]); the filter is constant, so callers
+/// precompute it once (the interpreter does so at step-compile time).
+/// `im2col_scratch` must hold [`crate::gemm::conv_im2col_len`] bytes (the
+/// interpreter plans it into the activation arena; it is empty for
+/// 1×1/stride-1/unpadded convs, which read the input in place).
+pub fn conv2d(args: Conv2DArgs<'_>, filter_row_sums: &[i32], im2col_scratch: &mut [i8]) {
+    let Conv2DArgs {
+        input,
+        input_shape,
+        filter,
+        filter_shape,
+        bias,
+        output,
+        output_shape,
+        stride,
+        pad,
+        input_offset,
+        output_offset,
+        multiplier,
+        act_min,
+        act_max,
+    } = args;
+    let [batches, in_h, in_w, in_c] = input_shape;
+    let [out_c, k_h, k_w, _] = filter_shape;
+    let [_, out_h, out_w, _] = output_shape;
+    let k = k_h * k_w * in_c;
+    let m = out_h * out_w;
+    let use_col = conv_uses_im2col(filter_shape, stride, pad);
+    // The zero point: packed padding contributes (zp + input_offset) = 0.
+    let pad_value = (-input_offset) as i8;
+    for b in 0..batches {
+        let in_plane = &input[b * in_h * in_w * in_c..][..in_h * in_w * in_c];
+        let out_plane = &mut output[b * m * out_c..][..m * out_c];
+        let a: &[i8] = if use_col {
+            im2col(
+                in_plane,
+                in_h,
+                in_w,
+                in_c,
+                k_h,
+                k_w,
+                stride,
+                pad,
+                out_h,
+                out_w,
+                pad_value,
+                im2col_scratch,
+            );
+            im2col_scratch
+        } else {
+            in_plane
+        };
+        gemm(GemmArgs {
+            a,
+            b: filter,
+            bias,
+            b_row_sums: filter_row_sums,
+            out: out_plane,
+            m,
+            n: out_c,
+            k,
+            input_offset,
+            output_offset,
+            multiplier,
+            act_min,
+            act_max,
+        });
+    }
+}
+
+/// Clipped kernel range along one axis: the `kk` for which
+/// `0 <= i0 + kk < limit`, as a `lo..hi` pair within `0..k`.
+#[inline]
+fn kernel_range(i0: isize, k: usize, limit: usize) -> (usize, usize) {
+    let lo = (-i0).clamp(0, k as isize) as usize;
+    let hi = (limit as isize - i0).clamp(0, k as isize) as usize;
+    (lo, hi.max(lo))
+}
+
+/// int8 depthwise convolution with hoisted offsets and channel lanes.
+pub fn depthwise_conv2d(args: DepthwiseConv2DArgs<'_>) {
+    let DepthwiseConv2DArgs {
+        input,
+        input_shape,
+        filter,
+        filter_shape,
+        bias,
+        output,
+        output_shape,
+        depth_multiplier,
+        stride,
+        pad,
+        input_offset,
+        output_offset,
+        multiplier,
+        act_min,
+        act_max,
+    } = args;
+    let [batches, in_h, in_w, in_c] = input_shape;
+    let [_, k_h, k_w, _] = filter_shape;
+    let [_, out_h, out_w, out_c] = output_shape;
+    debug_assert_eq!(out_c, in_c * depth_multiplier);
+    let (lo, hi) = (i32::from(act_min), i32::from(act_max));
+    let in_row_pitch = in_w * in_c;
+    let f_row_pitch = k_w * out_c;
+    for b in 0..batches {
+        let in_plane = &input[b * in_h * in_row_pitch..][..in_h * in_row_pitch];
+        for oy in 0..out_h {
+            let iy0 = (oy * stride.0) as isize - pad.0 as isize;
+            let (ky_lo, ky_hi) = kernel_range(iy0, k_h, in_h);
+            for ox in 0..out_w {
+                let ix0 = (ox * stride.1) as isize - pad.1 as isize;
+                let (kx_lo, kx_hi) = kernel_range(ix0, k_w, in_w);
+                let out_px = &mut output[((b * out_h + oy) * out_w + ox) * out_c..][..out_c];
+                if depth_multiplier == 1 {
+                    dw_pixel_mult1(
+                        in_plane,
+                        filter,
+                        bias,
+                        out_px,
+                        DwPixel {
+                            channels: in_c,
+                            iy0,
+                            ix0,
+                            ky: (ky_lo, ky_hi),
+                            kx: (kx_lo, kx_hi),
+                            in_row_pitch,
+                            f_row_pitch,
+                            input_offset,
+                            output_offset,
+                            multiplier,
+                            clamp: (lo, hi),
+                        },
+                    );
+                } else {
+                    // The rare general path keeps hoisted row bases but
+                    // walks (ic, m) scalar.
+                    for ic in 0..in_c {
+                        for mch in 0..depth_multiplier {
+                            let oc = ic * depth_multiplier + mch;
+                            let mut acc = 0i32;
+                            for ky in ky_lo..ky_hi {
+                                let iy = (iy0 + ky as isize) as usize;
+                                let in_row = &in_plane[iy * in_row_pitch..][..in_row_pitch];
+                                let f_row = &filter[ky * f_row_pitch..][..f_row_pitch];
+                                for kx in kx_lo..kx_hi {
+                                    let ix = (ix0 + kx as isize) as usize;
+                                    let iv = i32::from(in_row[ix * in_c + ic]);
+                                    let fv = i32::from(f_row[kx * out_c + oc]);
+                                    acc += (iv + input_offset) * fv;
+                                }
+                            }
+                            acc += bias[oc];
+                            let scaled = multiplier.apply(acc) + output_offset;
+                            out_px[oc] = scaled.clamp(lo, hi) as i8;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Geometry and quantization context for one depthwise output pixel.
+struct DwPixel {
+    channels: usize,
+    iy0: isize,
+    ix0: isize,
+    ky: (usize, usize),
+    kx: (usize, usize),
+    in_row_pitch: usize,
+    f_row_pitch: usize,
+    input_offset: i32,
+    output_offset: i32,
+    multiplier: FixedMultiplier,
+    clamp: (i32, i32),
+}
+
+/// One depthwise output pixel at depth multiplier 1: channels are walked
+/// in fixed-width lanes so the per-`(ky, kx)` inner loop vectorizes.
+fn dw_pixel_mult1(in_plane: &[i8], filter: &[i8], bias: &[i32], out_px: &mut [i8], px: DwPixel) {
+    let c = px.channels;
+    let mut cb = 0;
+    while cb < c {
+        let width = LANES.min(c - cb);
+        let mut acc = [0i32; LANES];
+        for ky in px.ky.0..px.ky.1 {
+            let iy = (px.iy0 + ky as isize) as usize;
+            let in_row = &in_plane[iy * px.in_row_pitch..][..px.in_row_pitch];
+            let f_row = &filter[ky * px.f_row_pitch..][..px.f_row_pitch];
+            for kx in px.kx.0..px.kx.1 {
+                let ix = (px.ix0 + kx as isize) as usize;
+                let iv = &in_row[ix * c + cb..][..width];
+                let fv = &f_row[kx * c + cb..][..width];
+                if width == LANES {
+                    for l in 0..LANES {
+                        acc[l] += (i32::from(iv[l]) + px.input_offset) * i32::from(fv[l]);
+                    }
+                } else {
+                    for l in 0..width {
+                        acc[l] += (i32::from(iv[l]) + px.input_offset) * i32::from(fv[l]);
+                    }
+                }
+            }
+        }
+        for l in 0..width {
+            let with_bias = acc[l] + bias[cb + l];
+            let scaled = px.multiplier.apply(with_bias) + px.output_offset;
+            out_px[cb + l] = scaled.clamp(px.clamp.0, px.clamp.1) as i8;
+        }
+        cb += LANES;
+    }
+}
+
+/// int8 fully connected layer: contiguous lane dot products per output.
+pub fn fully_connected(args: FullyConnectedArgs<'_>) {
+    let FullyConnectedArgs {
+        input,
+        filter,
+        bias,
+        output,
+        in_features,
+        out_features,
+        input_offset,
+        output_offset,
+        multiplier,
+        act_min,
+        act_max,
+    } = args;
+    let (lo, hi) = (i32::from(act_min), i32::from(act_max));
+    let batches = input.len() / in_features;
+    for b in 0..batches {
+        let a_row = &input[b * in_features..][..in_features];
+        let out_row = &mut output[b * out_features..][..out_features];
+        for (o, cell) in out_row.iter_mut().enumerate() {
+            let w_row = &filter[o * in_features..][..in_features];
+            let acc = dot_i8_offset(a_row, w_row, input_offset) + bias[o];
+            let scaled = multiplier.apply(acc) + output_offset;
+            *cell = scaled.clamp(lo, hi) as i8;
+        }
+    }
+}
+
+/// int8 average pooling with hoisted window clipping and channel lanes.
+pub fn average_pool2d(args: Pool2DArgs<'_>) {
+    let Pool2DArgs {
+        input,
+        input_shape,
+        output,
+        output_shape,
+        filter,
+        stride,
+        pad,
+    } = args;
+    let [batches, in_h, in_w, c] = input_shape;
+    let [_, out_h, out_w, _] = output_shape;
+    let row_pitch = in_w * c;
+    for b in 0..batches {
+        let in_plane = &input[b * in_h * row_pitch..][..in_h * row_pitch];
+        for oy in 0..out_h {
+            let iy0 = (oy * stride.0) as isize - pad.0 as isize;
+            let (ky_lo, ky_hi) = kernel_range(iy0, filter.0, in_h);
+            for ox in 0..out_w {
+                let ix0 = (ox * stride.1) as isize - pad.1 as isize;
+                let (kx_lo, kx_hi) = kernel_range(ix0, filter.1, in_w);
+                let count = ((ky_hi - ky_lo) * (kx_hi - kx_lo)) as i32;
+                let out_px = &mut output[((b * out_h + oy) * out_w + ox) * c..][..c];
+                let mut cb = 0;
+                while cb < c {
+                    let width = LANES.min(c - cb);
+                    let mut sum = [0i32; LANES];
+                    for ky in ky_lo..ky_hi {
+                        let iy = (iy0 + ky as isize) as usize;
+                        let in_row = &in_plane[iy * row_pitch..][..row_pitch];
+                        for kx in kx_lo..kx_hi {
+                            let ix = (ix0 + kx as isize) as usize;
+                            let iv = &in_row[ix * c + cb..][..width];
+                            if width == LANES {
+                                for l in 0..LANES {
+                                    sum[l] += i32::from(iv[l]);
+                                }
+                            } else {
+                                for l in 0..width {
+                                    sum[l] += i32::from(iv[l]);
+                                }
+                            }
+                        }
+                    }
+                    for l in 0..width {
+                        // Round half away from zero, exactly as the
+                        // reference (and TFLite) do.
+                        let avg = if count > 0 {
+                            if sum[l] >= 0 {
+                                (sum[l] + count / 2) / count
+                            } else {
+                                (sum[l] - count / 2) / count
+                            }
+                        } else {
+                            0
+                        };
+                        out_px[cb + l] = avg.clamp(-128, 127) as i8;
+                    }
+                    cb += LANES;
+                }
+            }
+        }
+    }
+}
+
+/// int8 max pooling with hoisted window clipping and channel lanes.
+pub fn max_pool2d(args: Pool2DArgs<'_>) {
+    let Pool2DArgs {
+        input,
+        input_shape,
+        output,
+        output_shape,
+        filter,
+        stride,
+        pad,
+    } = args;
+    let [batches, in_h, in_w, c] = input_shape;
+    let [_, out_h, out_w, _] = output_shape;
+    let row_pitch = in_w * c;
+    for b in 0..batches {
+        let in_plane = &input[b * in_h * row_pitch..][..in_h * row_pitch];
+        for oy in 0..out_h {
+            let iy0 = (oy * stride.0) as isize - pad.0 as isize;
+            let (ky_lo, ky_hi) = kernel_range(iy0, filter.0, in_h);
+            for ox in 0..out_w {
+                let ix0 = (ox * stride.1) as isize - pad.1 as isize;
+                let (kx_lo, kx_hi) = kernel_range(ix0, filter.1, in_w);
+                let out_px = &mut output[((b * out_h + oy) * out_w + ox) * c..][..c];
+                let mut cb = 0;
+                while cb < c {
+                    let width = LANES.min(c - cb);
+                    let mut best = [i8::MIN; LANES];
+                    for ky in ky_lo..ky_hi {
+                        let iy = (iy0 + ky as isize) as usize;
+                        let in_row = &in_plane[iy * row_pitch..][..row_pitch];
+                        for kx in kx_lo..kx_hi {
+                            let ix = (ix0 + kx as isize) as usize;
+                            let iv = &in_row[ix * c + cb..][..width];
+                            if width == LANES {
+                                for l in 0..LANES {
+                                    best[l] = best[l].max(iv[l]);
+                                }
+                            } else {
+                                for l in 0..width {
+                                    best[l] = best[l].max(iv[l]);
+                                }
+                            }
+                        }
+                    }
+                    out_px[cb..cb + width].copy_from_slice(&best[..width]);
+                    cb += LANES;
+                }
+            }
+        }
+    }
+}
+
+/// int8 softmax with `exp` memoized per distinct quantized value.
+///
+/// The reference recomputes `exp(scale·(q − zp) − x_max)` twice per
+/// element; an i8 input has at most 256 distinct values, and warm serving
+/// runs this once per query, so each distinct value's exponential is
+/// computed once and looked up thereafter. Every per-element float
+/// operation (`x − x_max`, `exp`, `/ sum`, `· 256`, `round`) happens in
+/// the reference's exact order on the reference's exact inputs, so the
+/// result is bit-identical.
+pub fn softmax(input: &[i8], input_scale: f32, input_zp: i32, output: &mut [i8]) {
+    debug_assert_eq!(input.len(), output.len());
+    let max_q = input.iter().copied().max().unwrap_or(0);
+    let x_max = input_scale * (i32::from(max_q) - input_zp) as f32;
+    let mut table = [0f32; 256];
+    let mut known = [false; 256];
+    let mut sum = 0f32;
+    for &q in input {
+        let idx = (i32::from(q) + 128) as usize;
+        if !known[idx] {
+            let x = input_scale * (i32::from(q) - input_zp) as f32;
+            table[idx] = (x - x_max).exp();
+            known[idx] = true;
+        }
+        sum += table[idx];
+    }
+    for (o, &q) in output.iter_mut().zip(input.iter()) {
+        let p = table[(i32::from(q) + 128) as usize] / sum;
+        // q = p / (1/256) - 128, the fixed TFLite output convention.
+        let q = (p * 256.0).round() as i32 - 128;
+        *o = q.clamp(-128, 127) as i8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    /// Runs the fast conv with locally allocated scratch and row sums
+    /// (tests only; the interpreter precomputes row sums per step and
+    /// carves the im2col panel from its arena instead).
+    pub(crate) fn conv2d_alloc(args: Conv2DArgs<'_>) {
+        let im2col_len = crate::gemm::conv_im2col_len(
+            args.filter_shape,
+            args.output_shape,
+            args.stride,
+            args.pad,
+        );
+        let out_c = args.filter_shape[0];
+        let k = args.filter_shape[1] * args.filter_shape[2] * args.filter_shape[3];
+        let mut sums = vec![0i32; out_c];
+        crate::gemm::row_sums(args.filter, out_c, k, &mut sums);
+        let mut scratch = vec![0i8; im2col_len];
+        conv2d(args, &sums, &mut scratch);
+    }
+
+    #[test]
+    fn conv_matches_reference_on_padded_strided_case() {
+        // 5x4x2 input, 3x2 kernel, stride (2,1), SAME-ish padding (1,0),
+        // nonzero zero points: a case touching border and interior paths.
+        let input: Vec<i8> = (0..40).map(|i| (i * 7 % 256) as u8 as i8).collect();
+        let filter: Vec<i8> = (0..36).map(|i| (i * 5 % 256) as u8 as i8).collect();
+        let bias = [17i32, -9, 4];
+        let input_shape = [1, 5, 4, 2];
+        let filter_shape = [3, 3, 2, 2];
+        let output_shape = [1, 3, 3, 3];
+        let mult = FixedMultiplier::from_real(0.03).unwrap();
+        let mut want = vec![0i8; 27];
+        kernels::conv2d(Conv2DArgs {
+            input: &input,
+            input_shape,
+            filter: &filter,
+            filter_shape,
+            bias: &bias,
+            output: &mut want,
+            output_shape,
+            stride: (2, 1),
+            pad: (1, 0),
+            input_offset: 11,
+            output_offset: -3,
+            multiplier: mult,
+            act_min: -110,
+            act_max: 100,
+        });
+        let mut got = vec![0i8; 27];
+        conv2d_alloc(Conv2DArgs {
+            input: &input,
+            input_shape,
+            filter: &filter,
+            filter_shape,
+            bias: &bias,
+            output: &mut got,
+            output_shape,
+            stride: (2, 1),
+            pad: (1, 0),
+            input_offset: 11,
+            output_offset: -3,
+            multiplier: mult,
+            act_min: -110,
+            act_max: 100,
+        });
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn one_by_one_conv_skips_im2col_and_matches() {
+        let input: Vec<i8> = (0..48).map(|i| (i * 3 % 256) as u8 as i8).collect();
+        let filter: Vec<i8> = (0..12).map(|i| (i % 11) as i8 - 5).collect();
+        let bias = [5i32, -5, 0, 9];
+        let input_shape = [1, 4, 4, 3];
+        let filter_shape = [4, 1, 1, 3];
+        let output_shape = [1, 4, 4, 4];
+        let mult = FixedMultiplier::from_real(0.11).unwrap();
+        let run = |fast: bool| {
+            let mut out = vec![0i8; 64];
+            let args = Conv2DArgs {
+                input: &input,
+                input_shape,
+                filter: &filter,
+                filter_shape,
+                bias: &bias,
+                output: &mut out,
+                output_shape,
+                stride: (1, 1),
+                pad: (0, 0),
+                input_offset: -4,
+                output_offset: 2,
+                multiplier: mult,
+                act_min: -128,
+                act_max: 127,
+            };
+            if fast {
+                conv2d_alloc(args);
+            } else {
+                kernels::conv2d(args);
+            }
+            out
+        };
+        assert!(!conv_uses_im2col(filter_shape, (1, 1), (0, 0)));
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn softmax_matches_reference_exactly() {
+        let input: Vec<i8> = (0..100).map(|i| ((i * 37) % 256) as u8 as i8).collect();
+        let mut want = vec![0i8; 100];
+        kernels::softmax(&input, 0.17, 3, &mut want);
+        let mut got = vec![0i8; 100];
+        softmax(&input, 0.17, 3, &mut got);
+        assert_eq!(got, want);
+    }
+}

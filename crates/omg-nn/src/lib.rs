@@ -7,7 +7,12 @@
 //! * [`quantize`] — affine int8 quantization and the gemmlowp fixed-point
 //!   requantization pipeline, bit-matching the TFLite reference kernels;
 //! * [`kernels`] — reference int8 Conv2D / DepthwiseConv2D / FullyConnected
-//!   / pooling / softmax;
+//!   / pooling / softmax, kept verbatim as the correctness oracle;
+//! * [`gemm`] — portable blocked int8 GEMM core + im2col packing;
+//! * [`kernels_fast`] — the default execution kernels: conv lowered onto
+//!   the GEMM, window kernels restructured into vectorizable lanes,
+//!   bit-exact with [`kernels`] (select with [`interpreter::KernelSet`]
+//!   or `OMG_KERNELS=reference`);
 //! * [`model`] — the operator graph and its builder;
 //! * [`planner`] — TFLM-style greedy arena planning (no heap at inference);
 //! * [`interpreter`] — the arena-based executor;
@@ -50,8 +55,10 @@
 pub mod buffer;
 mod error;
 pub mod format;
+pub mod gemm;
 pub mod interpreter;
 pub mod kernels;
+pub mod kernels_fast;
 pub mod model;
 pub mod planner;
 pub mod quantize;
@@ -59,5 +66,5 @@ pub mod tensor;
 
 pub use buffer::{AlignedBytes, ModelBuf};
 pub use error::{NnError, Result};
-pub use interpreter::Interpreter;
+pub use interpreter::{Interpreter, KernelSet};
 pub use model::Model;

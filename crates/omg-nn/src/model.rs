@@ -374,6 +374,16 @@ impl Model {
                         "quantization scale must be positive and finite",
                     ));
                 }
+                // An i8 tensor's zero point must itself be representable
+                // in i8: the kernels pack padding as the zero point and
+                // hoist `-zp` offsets, both of which assume it fits. A
+                // tampered blob carrying an out-of-range zp must be
+                // rejected, not silently truncated.
+                if t.dtype() == DType::I8 && !(-128..=127).contains(&q.zero_point) {
+                    return Err(NnError::MalformedModel(
+                        "i8 quantization zero point out of range",
+                    ));
+                }
             }
             if let Some(b) = t.buffer() {
                 let buf = self.buffer(b)?;
@@ -885,6 +895,33 @@ mod tests {
             assert!(
                 matches!(b.build(), Err(NnError::MalformedModel(_))),
                 "scale {bad_scale} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_i8_zero_points_are_rejected() {
+        // The kernels pack padding as the zero point and hoist -zp
+        // offsets; a zp that does not fit i8 (e.g. from a tampered blob)
+        // would silently truncate there, so validation must refuse it.
+        for bad_zp in [128, -129, 1000, i32::MIN] {
+            let mut b = Model::builder();
+            let input = b.add_activation("in", vec![1, 4], DType::I8, Some(qp(0.1, bad_zp)));
+            let w = b.add_weight_i8("w", vec![2, 4], vec![0; 8], QuantParams::symmetric(0.1));
+            let bias = b.add_weight_i32("b", vec![2], vec![0; 2]);
+            let out = b.add_activation("out", vec![1, 2], DType::I8, Some(qp(1.0, 0)));
+            b.add_op(Op::FullyConnected {
+                input,
+                filter: w,
+                bias,
+                output: out,
+                activation: Activation::None,
+            });
+            b.set_input(input);
+            b.set_output(out);
+            assert!(
+                matches!(b.build(), Err(NnError::MalformedModel(_))),
+                "zero point {bad_zp} must be rejected"
             );
         }
     }

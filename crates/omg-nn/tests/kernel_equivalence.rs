@@ -1,0 +1,413 @@
+//! Differential proptests: the fast kernels (`omg_nn::kernels_fast`,
+//! im2col + blocked GEMM, lane-restructured window loops) must produce
+//! **bit-identical** outputs to the scalar TFLM reference oracle
+//! (`omg_nn::kernels`) for every kernel, across randomized shapes,
+//! strides, paddings, zero points, and activation clamps.
+//!
+//! Generators are shrinking-friendly: every dimension comes from a range
+//! strategy (which the vendored proptest halves toward its start), and
+//! tensor data is cycled out of an independently shrinkable byte vector,
+//! so a failing case minimizes toward the smallest shape and blandest
+//! data that still disagrees.
+
+use omg_nn::gemm::{conv_im2col_len, row_sums};
+use omg_nn::kernels::{self, Conv2DArgs, DepthwiseConv2DArgs, FullyConnectedArgs, Pool2DArgs};
+use omg_nn::kernels_fast;
+use omg_nn::model::{conv_output_size, same_padding, Padding};
+use omg_nn::quantize::FixedMultiplier;
+use proptest::prelude::*;
+
+/// Cycles `data` into a tensor of `len` elements, so shrinking the data
+/// vector (even below `len`) can never index out of bounds.
+fn cycle_i8(data: &[i8], len: usize) -> Vec<i8> {
+    (0..len).map(|i| data[i % data.len()]).collect()
+}
+
+fn cycle_i32(data: &[i8], len: usize, spread: i32) -> Vec<i32> {
+    (0..len)
+        .map(|i| i32::from(data[(i * 7 + 3) % data.len()]) * spread)
+        .collect()
+}
+
+/// Resolves padding amounts and the output spatial size the way the
+/// interpreter does.
+fn geometry(in_size: usize, kernel: usize, stride: usize, same: bool) -> (usize, usize) {
+    let padding = if same { Padding::Same } else { Padding::Valid };
+    let out = conv_output_size(in_size, kernel, stride, padding);
+    let pad = if same {
+        same_padding(in_size, kernel, stride).0
+    } else {
+        0
+    };
+    (out, pad)
+}
+
+/// Orders a clamp pair.
+fn clamp(a: i8, b: i8) -> (i8, i8) {
+    (a.min(b), a.max(b))
+}
+
+proptest! {
+    /// conv2d: fast (im2col + GEMM) == reference, bit for bit.
+    #[test]
+    fn prop_conv2d_fast_matches_reference(
+        dims in (1usize..7, 1usize..7, 1usize..4, 1usize..5),
+        kernel in (1usize..4, 1usize..4, 1usize..3, 1usize..3),
+        quant in (-128i32..=127, -128i32..=127, 1u32..9999),
+        acts in (-128i8..=127i8, -128i8..=127i8, proptest::arbitrary::any::<bool>()),
+        data in proptest::collection::vec(-128i8..=127i8, 1..48),
+    ) {
+        let (in_h, in_w, in_c, out_c) = dims;
+        let (k_h, k_w, stride_h, stride_w) = kernel;
+        let (in_zp, out_zp, mult_ppm) = quant;
+        let (act_a, act_b, same) = acts;
+        prop_assume!(k_h <= in_h + 1 && k_w <= in_w + 1);
+
+        let (out_h, pad_h) = geometry(in_h, k_h, stride_h, same);
+        let (out_w, pad_w) = geometry(in_w, k_w, stride_w, same);
+        prop_assume!(out_h > 0 && out_w > 0);
+
+        let input_shape = [1, in_h, in_w, in_c];
+        let filter_shape = [out_c, k_h, k_w, in_c];
+        let output_shape = [1, out_h, out_w, out_c];
+        let input = cycle_i8(&data, in_h * in_w * in_c);
+        let filter = cycle_i8(&data, out_c * k_h * k_w * in_c);
+        let bias = cycle_i32(&data, out_c, 13);
+        let multiplier = FixedMultiplier::from_real(f64::from(mult_ppm) * 1e-4).unwrap();
+        let (act_min, act_max) = clamp(act_a, act_b);
+
+        let run = |fast: bool| -> Vec<i8> {
+            let mut output = vec![0i8; out_h * out_w * out_c];
+            let args = Conv2DArgs {
+                input: &input,
+                input_shape,
+                filter: &filter,
+                filter_shape,
+                bias: &bias,
+                output: &mut output,
+                output_shape,
+                stride: (stride_h, stride_w),
+                pad: (pad_h, pad_w),
+                input_offset: -in_zp,
+                output_offset: out_zp,
+                multiplier,
+                act_min,
+                act_max,
+            };
+            if fast {
+                let im2col_len = conv_im2col_len(
+                    filter_shape,
+                    output_shape,
+                    (stride_h, stride_w),
+                    (pad_h, pad_w),
+                );
+                let mut sums = vec![0i32; out_c];
+                row_sums(&filter, out_c, k_h * k_w * in_c, &mut sums);
+                let mut scratch = vec![0i8; im2col_len];
+                kernels_fast::conv2d(args, &sums, &mut scratch);
+            } else {
+                kernels::conv2d(args);
+            }
+            output
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// depthwise_conv2d: lane-blocked fast path (and its multiplier > 1
+    /// general path) == reference.
+    #[test]
+    fn prop_depthwise_fast_matches_reference(
+        dims in (1usize..7, 1usize..7, 1usize..6, 1usize..3),
+        kernel in (1usize..4, 1usize..4, 1usize..3, 1usize..3),
+        quant in (-128i32..=127, -128i32..=127, 1u32..9999),
+        acts in (-128i8..=127i8, -128i8..=127i8, proptest::arbitrary::any::<bool>()),
+        data in proptest::collection::vec(-128i8..=127i8, 1..48),
+    ) {
+        let (in_h, in_w, in_c, depth_multiplier) = dims;
+        let (k_h, k_w, stride_h, stride_w) = kernel;
+        let (in_zp, out_zp, mult_ppm) = quant;
+        let (act_a, act_b, same) = acts;
+        prop_assume!(k_h <= in_h + 1 && k_w <= in_w + 1);
+
+        let out_c = in_c * depth_multiplier;
+        let (out_h, pad_h) = geometry(in_h, k_h, stride_h, same);
+        let (out_w, pad_w) = geometry(in_w, k_w, stride_w, same);
+        prop_assume!(out_h > 0 && out_w > 0);
+
+        let input_shape = [1, in_h, in_w, in_c];
+        let filter_shape = [1, k_h, k_w, out_c];
+        let output_shape = [1, out_h, out_w, out_c];
+        let input = cycle_i8(&data, in_h * in_w * in_c);
+        let filter = cycle_i8(&data, k_h * k_w * out_c);
+        let bias = cycle_i32(&data, out_c, 7);
+        let multiplier = FixedMultiplier::from_real(f64::from(mult_ppm) * 1e-4).unwrap();
+        let (act_min, act_max) = clamp(act_a, act_b);
+
+        let run = |fast: bool| -> Vec<i8> {
+            let mut output = vec![0i8; out_h * out_w * out_c];
+            let args = DepthwiseConv2DArgs {
+                input: &input,
+                input_shape,
+                filter: &filter,
+                filter_shape,
+                bias: &bias,
+                output: &mut output,
+                output_shape,
+                depth_multiplier,
+                stride: (stride_h, stride_w),
+                pad: (pad_h, pad_w),
+                input_offset: -in_zp,
+                output_offset: out_zp,
+                multiplier,
+                act_min,
+                act_max,
+            };
+            if fast {
+                kernels_fast::depthwise_conv2d(args);
+            } else {
+                kernels::depthwise_conv2d(args);
+            }
+            output
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// fully_connected: lane dot products == reference, including
+    /// multi-batch inputs.
+    #[test]
+    fn prop_fully_connected_fast_matches_reference(
+        dims in (1usize..4, 1usize..40, 1usize..12),
+        quant in (-128i32..=127, -128i32..=127, 1u32..9999),
+        acts in (-128i8..=127i8, -128i8..=127i8),
+        data in proptest::collection::vec(-128i8..=127i8, 1..48),
+    ) {
+        let (batches, in_features, out_features) = dims;
+        let (in_zp, out_zp, mult_ppm) = quant;
+        let (act_a, act_b) = acts;
+
+        let input = cycle_i8(&data, batches * in_features);
+        let filter = cycle_i8(&data, out_features * in_features);
+        let bias = cycle_i32(&data, out_features, 29);
+        let multiplier = FixedMultiplier::from_real(f64::from(mult_ppm) * 1e-4).unwrap();
+        let (act_min, act_max) = clamp(act_a, act_b);
+
+        let run = |fast: bool| -> Vec<i8> {
+            let mut output = vec![0i8; batches * out_features];
+            let args = FullyConnectedArgs {
+                input: &input,
+                filter: &filter,
+                bias: &bias,
+                output: &mut output,
+                in_features,
+                out_features,
+                input_offset: -in_zp,
+                output_offset: out_zp,
+                multiplier,
+                act_min,
+                act_max,
+            };
+            if fast {
+                kernels_fast::fully_connected(args);
+            } else {
+                kernels::fully_connected(args);
+            }
+            output
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// average_pool2d and max_pool2d: interior/border split == reference.
+    #[test]
+    fn prop_pools_fast_match_reference(
+        dims in (1usize..8, 1usize..8, 1usize..6),
+        window in (1usize..4, 1usize..4, 1usize..3, 1usize..3),
+        same in proptest::arbitrary::any::<bool>(),
+        data in proptest::collection::vec(-128i8..=127i8, 1..48),
+    ) {
+        let (in_h, in_w, c) = dims;
+        let (f_h, f_w, stride_h, stride_w) = window;
+        prop_assume!(f_h <= in_h + 1 && f_w <= in_w + 1);
+
+        let (out_h, pad_h) = geometry(in_h, f_h, stride_h, same);
+        let (out_w, pad_w) = geometry(in_w, f_w, stride_w, same);
+        prop_assume!(out_h > 0 && out_w > 0);
+
+        let input_shape = [1, in_h, in_w, c];
+        let output_shape = [1, out_h, out_w, c];
+        let input = cycle_i8(&data, in_h * in_w * c);
+
+        let run = |fast: bool, is_max: bool| -> Vec<i8> {
+            let mut output = vec![0i8; out_h * out_w * c];
+            let args = Pool2DArgs {
+                input: &input,
+                input_shape,
+                output: &mut output,
+                output_shape,
+                filter: (f_h, f_w),
+                stride: (stride_h, stride_w),
+                pad: (pad_h, pad_w),
+            };
+            match (fast, is_max) {
+                (true, true) => kernels_fast::max_pool2d(args),
+                (false, true) => kernels::max_pool2d(args),
+                (true, false) => kernels_fast::average_pool2d(args),
+                (false, false) => kernels::average_pool2d(args),
+            }
+            output
+        };
+        prop_assert_eq!(run(true, false), run(false, false), "average_pool2d diverged");
+        prop_assert_eq!(run(true, true), run(false, true), "max_pool2d diverged");
+    }
+
+    /// softmax: exp-memoized fast path == reference, bit for bit (same
+    /// float operations in the same order per element).
+    #[test]
+    fn prop_softmax_fast_matches_reference(
+        len in 1usize..80,
+        scale_ppm in 1u32..50000,
+        zp in -128i32..=127,
+        data in proptest::collection::vec(-128i8..=127i8, 1..48),
+    ) {
+        let input = cycle_i8(&data, len);
+        let scale = scale_ppm as f32 * 1e-4;
+        let mut want = vec![0i8; len];
+        kernels::softmax(&input, scale, zp, &mut want);
+        let mut got = vec![0i8; len];
+        kernels_fast::softmax(&input, scale, zp, &mut got);
+        prop_assert_eq!(got, want);
+    }
+}
+
+mod interpreter_seam {
+    use omg_nn::model::{Activation, Model, Op, Padding};
+    use omg_nn::quantize::QuantParams;
+    use omg_nn::tensor::DType;
+    use omg_nn::{Interpreter, KernelSet};
+    use proptest::prelude::*;
+
+    /// A model exercising every step kind: conv (SAME padding, strided),
+    /// depthwise conv, max pool, average pool, fully connected, softmax.
+    fn all_ops_model() -> Model {
+        let qp = |scale: f32, zp: i32| QuantParams {
+            scale,
+            zero_point: zp,
+        };
+        let mut b = Model::builder();
+        let input = b.add_activation(
+            "in",
+            vec![1, 8, 8, 1],
+            DType::I8,
+            Some(qp(1.0 / 255.0, -128)),
+        );
+        let cw = b.add_weight_i8(
+            "conv/w",
+            vec![4, 3, 3, 1],
+            (0..36).map(|i| (i % 9) as i8 - 4).collect(),
+            QuantParams::symmetric(0.05),
+        );
+        let cb = b.add_weight_i32("conv/b", vec![4], vec![5, -5, 9, 0]);
+        let conv = b.add_activation("conv", vec![1, 4, 4, 4], DType::I8, Some(qp(0.1, 3)));
+        b.add_op(Op::Conv2D {
+            input,
+            filter: cw,
+            bias: cb,
+            output: conv,
+            stride_h: 2,
+            stride_w: 2,
+            padding: Padding::Same,
+            activation: Activation::Relu,
+        });
+        let dw = b.add_weight_i8(
+            "dw/w",
+            vec![1, 3, 3, 4],
+            (0..36).map(|i| (i % 7) as i8 - 3).collect(),
+            QuantParams::symmetric(0.04),
+        );
+        let db = b.add_weight_i32("dw/b", vec![4], vec![1, 2, -3, 4]);
+        let dw_out = b.add_activation("dw", vec![1, 4, 4, 4], DType::I8, Some(qp(0.12, -2)));
+        b.add_op(Op::DepthwiseConv2D {
+            input: conv,
+            filter: dw,
+            bias: db,
+            output: dw_out,
+            stride_h: 1,
+            stride_w: 1,
+            depth_multiplier: 1,
+            padding: Padding::Same,
+            activation: Activation::None,
+        });
+        let mp = b.add_activation("maxpool", vec![1, 2, 2, 4], DType::I8, Some(qp(0.12, -2)));
+        b.add_op(Op::MaxPool2D {
+            input: dw_out,
+            output: mp,
+            filter_h: 2,
+            filter_w: 2,
+            stride_h: 2,
+            stride_w: 2,
+            padding: Padding::Valid,
+        });
+        let ap = b.add_activation("avgpool", vec![1, 1, 1, 4], DType::I8, Some(qp(0.12, -2)));
+        b.add_op(Op::AveragePool2D {
+            input: mp,
+            output: ap,
+            filter_h: 2,
+            filter_w: 2,
+            stride_h: 2,
+            stride_w: 2,
+            padding: Padding::Valid,
+        });
+        let fw = b.add_weight_i8(
+            "fc/w",
+            vec![6, 4],
+            (0..24).map(|i| (i % 5) as i8 - 2).collect(),
+            QuantParams::symmetric(0.02),
+        );
+        let fb = b.add_weight_i32("fc/b", vec![6], vec![0, 2, -2, 4, -4, 6]);
+        let logits = b.add_activation("logits", vec![1, 6], DType::I8, Some(qp(0.25, 0)));
+        b.add_op(Op::FullyConnected {
+            input: ap,
+            filter: fw,
+            bias: fb,
+            output: logits,
+            activation: Activation::None,
+        });
+        let probs = b.add_activation("probs", vec![1, 6], DType::I8, Some(qp(1.0 / 256.0, -128)));
+        b.add_op(Op::Softmax {
+            input: logits,
+            output: probs,
+        });
+        b.set_input(input);
+        b.set_output(probs);
+        b.build().unwrap()
+    }
+
+    proptest! {
+        /// The full interpreter path — arena-planned scratch, split
+        /// borrows, every fast kernel — is bit-identical to the reference
+        /// interpreter on the same model and inputs.
+        #[test]
+        fn prop_interpreters_agree_on_every_step_kind(
+            data in proptest::collection::vec(-128i8..=127i8, 1..64),
+        ) {
+            let input: Vec<i8> = (0..64).map(|i| data[i % data.len()]).collect();
+            let mut fast = Interpreter::with_kernels(all_ops_model(), KernelSet::Fast).unwrap();
+            let mut reference =
+                Interpreter::with_kernels(all_ops_model(), KernelSet::Reference).unwrap();
+            fast.invoke(&input).unwrap();
+            reference.invoke(&input).unwrap();
+            prop_assert_eq!(
+                fast.output_quantized().unwrap(),
+                reference.output_quantized().unwrap()
+            );
+        }
+    }
+
+    /// The fast interpreter plans conv scratch into its arena; the
+    /// reference one does not pay for it.
+    #[test]
+    fn fast_interpreter_plans_scratch_reference_does_not() {
+        let fast = Interpreter::with_kernels(all_ops_model(), KernelSet::Fast).unwrap();
+        let reference = Interpreter::with_kernels(all_ops_model(), KernelSet::Reference).unwrap();
+        assert!(fast.arena_size() > reference.arena_size());
+    }
+}

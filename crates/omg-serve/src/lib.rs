@@ -13,7 +13,10 @@
 //!   park once);
 //! * **Admission control** — a bounded, sharded MPMC [`queue::ShardedQueue`]
 //!   between submitters and workers; a saturated queue rejects with
-//!   [`ServeError::Overloaded`] instead of queuing unboundedly;
+//!   [`ServeError::Overloaded`] instead of queuing unboundedly, and
+//!   deadline-stamped queries ([`ServeHandle::submit_with_deadline`])
+//!   whose budget expires while queued are shed at dequeue with
+//!   [`ServeError::Expired`] instead of serving doomed work;
 //! * **Latency SLOs** — every query's submit-to-completion latency lands in
 //!   a fixed-bucket log-scale [`histogram::LatencyHistogram`];
 //!   [`ServeStats`] reports throughput, p50/p95/p99, and violations of the
@@ -94,6 +97,10 @@ pub enum ServeError {
     /// The work queue is saturated: the query was rejected at admission
     /// (backpressure). Retry later or shed load.
     Overloaded,
+    /// The query's deadline had already passed when a worker dequeued it,
+    /// so it was shed instead of serving doomed work (see
+    /// [`ServeHandle::submit_with_deadline`]).
+    Expired,
     /// The runtime is draining (or a query was abandoned by it); no new
     /// work is accepted.
     ShuttingDown,
@@ -109,6 +116,9 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Overloaded => write!(f, "serving queue saturated; query rejected"),
+            ServeError::Expired => {
+                write!(f, "query deadline passed while queued; shed unserved")
+            }
             ServeError::ShuttingDown => write!(f, "serving runtime is shutting down"),
             ServeError::Config(reason) => write!(f, "invalid serve config: {reason}"),
             ServeError::Query(e) => write!(f, "query failed: {e}"),
@@ -254,6 +264,9 @@ impl Pending {
 struct Job {
     samples: Vec<i16>,
     submitted: Instant,
+    /// If set, the instant past which serving this job is pointless: a
+    /// worker dequeueing it later sheds it with [`ServeError::Expired`].
+    deadline: Option<Instant>,
     slot: Arc<ResponseSlot>,
 }
 
@@ -284,6 +297,7 @@ struct Shared {
     latency: LatencyHistogram,
     rejected: AtomicU64,
     failed: AtomicU64,
+    shed: AtomicU64,
     slo_violations: AtomicU64,
     slo: Option<Duration>,
     /// Workers still running their serve loop. The last worker to exit —
@@ -323,6 +337,10 @@ pub struct ServeStats {
     /// Queries accepted but failed on the device
     /// ([`ServeError::Query`] delivered to the waiter).
     pub failed: u64,
+    /// Queries shed at dequeue because their deadline had already passed
+    /// ([`ServeError::Expired`] delivered to the waiter) — doomed work
+    /// the runtime refused to spend device time on.
+    pub shed: u64,
     /// Queries currently waiting in the queue (racy snapshot).
     pub queued: usize,
     /// Wall-clock time since the runtime started.
@@ -350,13 +368,14 @@ impl fmt::Display for ServeStats {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         write!(
             f,
-            "{} workers: {:.1} q/s, {} ok / {} rejected / {} failed, \
+            "{} workers: {:.1} q/s, {} ok / {} rejected / {} failed / {} shed, \
              p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
             self.workers,
             self.throughput_qps,
             self.completed,
             self.rejected,
             self.failed,
+            self.shed,
             ms(self.p50),
             ms(self.p95),
             ms(self.p99),
@@ -459,6 +478,7 @@ impl ServeHandle {
             latency: LatencyHistogram::new(),
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             slo_violations: AtomicU64::new(0),
             slo: config.slo,
             live_workers: AtomicU64::new(worker_count as u64),
@@ -495,10 +515,36 @@ impl ServeHandle {
     /// (backpressure — retry later), [`ServeError::ShuttingDown`] after
     /// [`Self::drain`] began.
     pub fn submit(&self, samples: &[i16]) -> Result<Pending, ServeError> {
+        self.enqueue(samples, None)
+    }
+
+    /// Like [`Self::submit`], but with a latency budget: if the queue is
+    /// backed up enough that a worker only reaches the job after
+    /// `budget` has elapsed, the job is **shed at dequeue** — the ticket
+    /// completes with [`ServeError::Expired`] and no device time is spent
+    /// on an answer the caller would have abandoned. Sheds are counted in
+    /// [`ServeStats::shed`], alongside the SLO-violation accounting; this
+    /// is the admission-side complement of [`Pending::wait_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// Same admission errors as [`Self::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        samples: &[i16],
+        budget: Duration,
+    ) -> Result<Pending, ServeError> {
+        // An unrepresentable deadline (e.g. a Duration::MAX "no budget"
+        // sentinel) degrades to no deadline rather than panicking.
+        self.enqueue(samples, Instant::now().checked_add(budget))
+    }
+
+    fn enqueue(&self, samples: &[i16], deadline: Option<Instant>) -> Result<Pending, ServeError> {
         let slot = ResponseSlot::new();
         let job = Job {
             samples: samples.to_vec(),
             submitted: Instant::now(),
+            deadline,
             slot: Arc::clone(&slot),
         };
         match self.shared.queue.push(job) {
@@ -568,6 +614,7 @@ fn snapshot_stats(shared: &Shared, started: Instant, workers: usize, queued: usi
         completed,
         rejected: shared.rejected.load(Ordering::Relaxed),
         failed: shared.failed.load(Ordering::Relaxed),
+        shed: shared.shed.load(Ordering::Relaxed),
         queued,
         elapsed,
         throughput_qps: completed as f64 / elapsed.as_secs_f64().max(1e-12),
@@ -600,6 +647,16 @@ fn worker_loop(
     {
         let mut session = device.session()?;
         while let Some(job) = shared.queue.pop(index) {
+            // Deadline-aware pop: a job whose deadline already passed is
+            // doomed — its submitter has (or should have) walked away —
+            // so shed it instead of burning warm-enclave time on it.
+            if let Some(deadline) = job.deadline {
+                if Instant::now() >= deadline {
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    job.complete(Err(ServeError::Expired));
+                    continue;
+                }
+            }
             let result = session.classify(&job.samples).map_err(ServeError::from);
             session.scrub();
             let latency = job.submitted.elapsed();
@@ -767,6 +824,7 @@ mod tests {
         let job = Job {
             samples: vec![0i16; 16_000],
             submitted: Instant::now(),
+            deadline: None,
             slot,
         };
         assert!(matches!(shared.queue.push(job), Err(PushError::Closed(_))));
@@ -894,6 +952,60 @@ mod tests {
         let drained = handle.drain();
         assert!(!drained.is_healthy());
         assert!(matches!(drained.worker_errors[0], ServeError::Query(_)));
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_not_served() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(67);
+        let samples = data.utterance(4, 0).unwrap();
+        let handle =
+            ServeHandle::provision(1, ServeConfig::default(), "kws", test_model(), 690).unwrap();
+        // Occupy the single worker, then queue a burst of already-expired
+        // jobs behind the in-flight one: by the time the worker dequeues
+        // them their (zero-budget) deadline has passed, so each must be
+        // shed with `Expired` instead of being served.
+        let busy = handle.submit(&samples).unwrap();
+        let doomed: Vec<_> = (0..4)
+            .map(|_| {
+                handle
+                    .submit_with_deadline(&samples, Duration::ZERO)
+                    .unwrap()
+            })
+            .collect();
+        assert!(busy.wait().is_ok());
+        for pending in doomed {
+            assert_eq!(pending.wait(), Err(ServeError::Expired));
+        }
+        let drained = handle.drain();
+        assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+        assert_eq!(drained.stats.shed, 4);
+        assert_eq!(drained.stats.completed, 1);
+        assert_eq!(drained.stats.failed, 0, "sheds are not device failures");
+        assert!(drained.stats.to_string().contains("shed"));
+    }
+
+    #[test]
+    fn generous_deadlines_serve_normally() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(68);
+        let handle =
+            ServeHandle::provision(1, ServeConfig::default(), "kws", test_model(), 695).unwrap();
+        // A comfortable budget: the job is served, not shed — and a
+        // Duration::MAX budget degrades to "no deadline", not a panic.
+        let t = handle
+            .submit_with_deadline(&data.utterance(2, 0).unwrap(), Duration::from_secs(60))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(t.class_index < 12);
+        let t = handle
+            .submit_with_deadline(&data.utterance(3, 0).unwrap(), Duration::MAX)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(t.class_index < 12);
+        let drained = handle.drain();
+        assert_eq!(drained.stats.shed, 0);
+        assert_eq!(drained.stats.completed, 2);
     }
 
     #[test]
