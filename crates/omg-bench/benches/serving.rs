@@ -61,6 +61,7 @@ fn run_config(workers: usize, workload: &[&[i16]], seed: u64, slo: Duration) -> 
         ServeConfig {
             queue_capacity: QUEUE_CAPACITY,
             slo: Some(slo),
+            faults: None,
         },
     )
     .expect("start serving fleet");
@@ -183,6 +184,7 @@ fn main() {
         ServeConfig {
             queue_capacity: 4,
             slo: None,
+            faults: None,
         },
         "kws",
         model,

@@ -518,9 +518,12 @@ impl OmgDevice {
 
     pub(crate) fn finish_query(&mut self) -> Result<()> {
         if self.park_between_queries {
-            let enclave = self.enclave.as_mut().expect("enclave present");
-            if enclave.state() == EnclaveState::Running {
-                enclave.park(&mut self.platform)?;
+            // The enclave may be gone if the device crashed mid-query; there
+            // is nothing to park then.
+            if let Some(enclave) = self.enclave.as_mut() {
+                if enclave.state() == EnclaveState::Running {
+                    enclave.park(&mut self.platform)?;
+                }
             }
         }
         Ok(())
@@ -583,7 +586,9 @@ impl OmgDevice {
         samples: &[i16],
         buf: &mut FingerprintBuffer,
     ) -> Result<(usize, f32, Duration)> {
-        let enclave = self.enclave.as_ref().expect("enclave present");
+        // A warm session bypasses `ensure_running`, so the enclave may be
+        // gone here if the device crashed mid-session — fail, don't panic.
+        let enclave = self.enclave.as_ref().ok_or(OmgError::DeviceCrashed)?;
         let interpreter = self.interpreter.as_mut().ok_or(OmgError::ModelMissing)?;
         let extractor = &self.extractor;
         let (result, compute) =
@@ -757,6 +762,29 @@ impl OmgDevice {
     /// [`omg_nn::Model::shares_storage_with`]) can be asserted.
     pub fn model(&self) -> Option<&omg_nn::Model> {
         self.interpreter.as_ref().map(Interpreter::model)
+    }
+
+    /// **Fault-injection API**: simulates an abrupt device crash
+    /// mid-operation. The enclave is torn down through the normal release
+    /// path — TZASC scrub-on-release still fires, so the security
+    /// invariants (no plaintext outside locked memory) hold even through a
+    /// crash — and the device drops back to the fresh phase. Any query in
+    /// flight must be answered with [`OmgError::DeviceCrashed`] by the
+    /// caller. Chaos harnesses (`omg-sim`) use this to script device loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates teardown failures.
+    pub fn crash(&mut self) -> Result<()> {
+        self.trace.record(
+            0,
+            Phase::Operation,
+            Party::SecureWorld,
+            Party::SecureWorld,
+            Channel::Internal,
+            "device crashed: enclave torn down (memory scrubbed on release)",
+        );
+        self.teardown()
     }
 
     /// Tears the enclave down (scrub + release), returning the device to
@@ -1028,6 +1056,32 @@ mod tests {
             .push_recording(&vec![100i16; 16_000]);
         device.process_from_microphone(&mut user).unwrap();
         assert_eq!(clock.world_switch_count() - before, 2);
+    }
+
+    #[test]
+    fn crash_scrubs_and_queries_fail_cleanly() {
+        let (mut device, mut user, mut vendor) = parties();
+        device.prepare(&mut user, &mut vendor).unwrap();
+        device.initialize(&mut vendor).unwrap();
+        device.set_park_between_queries(true);
+        let region = device.enclave().unwrap().region();
+
+        device.crash().unwrap();
+        assert_eq!(device.phase(), DevicePhase::Fresh);
+        // The crash went through the release path: memory scrubbed, region
+        // handle stale — no plaintext survives the crash.
+        assert!(device.platform().read_region_trusted(region).is_err());
+        // Follow-up queries fail with a clean error instead of panicking,
+        // even with park-between-queries enabled (finish_query must tolerate
+        // the missing enclave).
+        assert!(device.classify_utterance(&[0i16; 16_000]).is_err());
+        assert!(device.finish_query().is_ok());
+        // The crash is visible in the protocol trace.
+        assert!(device
+            .trace()
+            .steps()
+            .iter()
+            .any(|s| s.what.contains("device crashed")));
     }
 
     #[test]

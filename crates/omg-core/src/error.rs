@@ -48,6 +48,11 @@ pub enum OmgError {
     ModelMissing,
     /// The vendor has no record of the requesting enclave.
     UnknownEnclave,
+    /// The device crashed mid-operation and its enclave was lost (the
+    /// simulated abrupt-loss path — see `OmgDevice::crash`). The enclave
+    /// memory was scrubbed on release; the query it was serving cannot
+    /// complete.
+    DeviceCrashed,
 }
 
 impl fmt::Display for OmgError {
@@ -71,6 +76,12 @@ impl fmt::Display for OmgError {
             OmgError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             OmgError::ModelMissing => write!(f, "no encrypted model in local storage"),
             OmgError::UnknownEnclave => write!(f, "vendor has no record of this enclave"),
+            OmgError::DeviceCrashed => {
+                write!(
+                    f,
+                    "device crashed mid-operation; enclave lost (memory scrubbed)"
+                )
+            }
         }
     }
 }

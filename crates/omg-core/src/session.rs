@@ -119,6 +119,19 @@ impl QuerySession<'_> {
         self.device.scrub_interpreter();
     }
 
+    /// **Fault-injection API**: crashes the underlying device mid-session
+    /// ([`OmgDevice::crash`]): the enclave is torn down through the
+    /// scrub-on-release path and every subsequent query on this session
+    /// fails. Chaos harnesses (`omg-sim`) script this to model a device
+    /// dying while its worker is serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates teardown failures.
+    pub fn crash_device(&mut self) -> Result<()> {
+        self.device.crash()
+    }
+
     /// Ends the session: scrubs the interpreter arena (no activation
     /// residue outlives the session) and parks the enclave if the device
     /// is configured to park between queries.
@@ -649,6 +662,24 @@ mod tests {
             (a - b).abs() / a.max(b) < 0.5 || (a - b).abs() < 4e-3,
             "uneven load: {busy:?}"
         );
+    }
+
+    #[test]
+    fn crashed_session_fails_queries_cleanly() {
+        let data = SyntheticSpeechCommands::new(48);
+        let samples = data.utterance(2, 0).unwrap();
+        let mut device = ready_device(true);
+        let mut session = device.session().unwrap();
+        session.classify(&samples).unwrap();
+        session.crash_device().unwrap();
+        // Every query after the crash fails with DeviceCrashed — no hang,
+        // no panic — and dropping the session tolerates the lost enclave.
+        assert!(matches!(
+            session.classify(&samples),
+            Err(crate::OmgError::DeviceCrashed)
+        ));
+        drop(session);
+        assert_eq!(device.phase(), crate::device::DevicePhase::Fresh);
     }
 
     #[test]

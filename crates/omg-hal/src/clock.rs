@@ -115,6 +115,8 @@ struct ClockInner {
     modelled_ns: u64,
     /// Nanoseconds attributed to measured compute.
     measured_ns: u64,
+    /// Nanoseconds attributed to scripted stalls (scenario harnesses).
+    stalled_ns: u64,
     /// Count of each charged event kind (for reports).
     world_switches: u64,
 }
@@ -204,6 +206,24 @@ impl SimClock {
         let mut inner = self.inner.lock();
         inner.now_ns += ns;
         inner.measured_ns += ns;
+    }
+
+    /// Advances virtual time without attributing it to hardware events or
+    /// compute: the device was *stalled* — wedged on a slow bus, descheduled,
+    /// or deliberately delayed by a chaos scenario. Simulation harnesses use
+    /// this to script slow devices: the device's timeline moves forward, but
+    /// neither the modelled-cost nor the measured-compute accounting is
+    /// polluted by time the device did not actually work.
+    pub fn stall(&self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut inner = self.inner.lock();
+        inner.now_ns += ns;
+        inner.stalled_ns += ns;
+    }
+
+    /// Virtual time spent stalled (see [`Self::stall`]).
+    pub fn stalled(&self) -> Duration {
+        Duration::from_nanos(self.inner.lock().stalled_ns)
     }
 
     /// Runs `f`, measures the host compute time it consumed, and adds it to
@@ -347,15 +367,22 @@ mod tests {
             std::hint::black_box(acc)
         };
         let clock = SimClock::default();
-        let (_, baseline) = clock.measure(busy);
-        let (_, charged) = clock.measure_scaled(1.0, busy);
-        assert!(baseline > Duration::ZERO);
-        // Penalty of 100% doubles the charge; allow slack for run-to-run
-        // jitter in the underlying measurement.
-        assert!(
-            charged > baseline + baseline / 2,
-            "charged {charged:?} vs baseline {baseline:?}"
-        );
+        // Penalty of 100% doubles the charge; the 1.5x threshold leaves
+        // slack for jitter in the underlying CPU-time measurement, and a
+        // bounded retry rides out scheduler noise when the whole suite
+        // runs in parallel (each attempt measures fresh, so a pass is
+        // still evidence of the penalty, not of accumulated luck).
+        let mut last = (Duration::ZERO, Duration::ZERO);
+        for _ in 0..3 {
+            let (_, baseline) = clock.measure(busy);
+            let (_, charged) = clock.measure_scaled(1.0, busy);
+            assert!(baseline > Duration::ZERO);
+            if charged > baseline + baseline / 2 {
+                return;
+            }
+            last = (charged, baseline);
+        }
+        panic!("charged {:?} vs baseline {:?}", last.0, last.1);
     }
 
     #[test]
@@ -379,9 +406,26 @@ mod tests {
     fn reset_zeroes_everything() {
         let clock = SimClock::default();
         clock.charge(HwEvent::CoreBoot, 0);
+        clock.stall(Duration::from_millis(5));
         clock.reset();
         assert_eq!(clock.now(), Duration::ZERO);
         assert_eq!(clock.world_switch_count(), 0);
+        assert_eq!(clock.stalled(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stall_advances_time_without_charging_work() {
+        let clock = SimClock::default();
+        clock.charge(HwEvent::TzascConfig, 0);
+        clock.stall(Duration::from_millis(7));
+        assert_eq!(clock.stalled(), Duration::from_millis(7));
+        assert_eq!(
+            clock.now(),
+            Duration::from_millis(7) + Duration::from_micros(50)
+        );
+        // Stalls are neither modelled hardware events nor measured compute.
+        assert_eq!(clock.modelled(), Duration::from_micros(50));
+        assert_eq!(clock.measured(), Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Deterministic fault injection for the serving runtime.
+//!
+//! A [`FaultPlan`] is the chaos seam `omg-sim` scripts against: faults are
+//! keyed by **submission sequence number** (the order queries were
+//! admitted), not by worker or by wall-clock time, so the same plan run
+//! against the same seed reproduces the same failure no matter how the OS
+//! schedules the worker threads. The plan also carries a *pause gate*:
+//! while paused, every worker parks right after dequeuing its next job,
+//! which lets a scenario fill the admission queue to a deterministic depth
+//! (saturation bursts) or stage a drain-under-load, then release the
+//! workers all at once.
+//!
+//! Production code pays one `Option` check per query when no plan is
+//! installed ([`crate::ServeConfig::faults`] defaults to `None`).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A scripted fault to inject while serving one specific query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryFault {
+    /// The worker thread panics mid-query (its device is lost; the job in
+    /// hand must still resolve with [`crate::ServeError::WorkerPanicked`]).
+    WorkerPanic,
+    /// The worker's device crashes mid-query: the enclave is torn down
+    /// through the scrub-on-release path and the worker exits with
+    /// [`omg_core::OmgError::DeviceCrashed`].
+    DeviceCrash,
+    /// The worker stalls for this long before serving the query —
+    /// virtual time via `SimClock::stall`, plus a small capped real sleep
+    /// so wall-clock-dependent paths (deadlines) see it.
+    Delay(Duration),
+}
+
+#[derive(Debug, Default)]
+struct Gate {
+    paused: bool,
+    /// Workers currently parked at the gate (each holding one dequeued,
+    /// unserved job).
+    parked: usize,
+}
+
+/// A deterministic fault schedule shared between a scenario driver and the
+/// serving workers (install via [`crate::ServeConfig::faults`]).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    by_query: Mutex<HashMap<u64, QueryFault>>,
+    gate: Mutex<Gate>,
+    gate_changed: Condvar,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, gate open.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `fault` for the query with submission sequence number
+    /// `seq` (the order of admission: the first accepted *or rejected*
+    /// submission is seq 0). Scheduling twice for one seq replaces the
+    /// earlier fault.
+    pub fn fault_query(&self, seq: u64, fault: QueryFault) {
+        self.by_query.lock().insert(seq, fault);
+    }
+
+    /// Number of scheduled faults not yet consumed by a worker.
+    pub fn pending_faults(&self) -> usize {
+        self.by_query.lock().len()
+    }
+
+    /// Closes the gate: from now on every worker parks immediately after
+    /// dequeuing its next job, before serving it.
+    pub fn pause(&self) {
+        self.gate.lock().paused = true;
+    }
+
+    /// Opens the gate and releases every parked worker.
+    pub fn resume(&self) {
+        let mut gate = self.gate.lock();
+        gate.paused = false;
+        drop(gate);
+        self.gate_changed.notify_all();
+    }
+
+    /// Blocks until at least `n` workers are parked at the (closed) gate.
+    /// Each parked worker holds exactly one dequeued job, so parking `n`
+    /// workers after priming the queue with `n` submissions leaves the
+    /// admission queue at a deterministic depth.
+    pub fn await_parked(&self, n: usize) {
+        let mut gate = self.gate.lock();
+        while gate.parked < n {
+            self.gate_changed.wait(&mut gate);
+        }
+    }
+
+    /// Worker-side gate check, called right after a successful dequeue:
+    /// parks while the gate is paused.
+    pub(crate) fn checkpoint(&self) {
+        let mut gate = self.gate.lock();
+        while gate.paused {
+            gate.parked += 1;
+            self.gate_changed.notify_all();
+            self.gate_changed.wait(&mut gate);
+            gate.parked -= 1;
+        }
+    }
+
+    /// Consumes the fault scheduled for `seq`, if any.
+    pub(crate) fn take(&self, seq: u64) -> Option<QueryFault> {
+        self.by_query.lock().remove(&seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn faults_are_consumed_once() {
+        let plan = FaultPlan::new();
+        plan.fault_query(3, QueryFault::WorkerPanic);
+        plan.fault_query(5, QueryFault::Delay(Duration::from_millis(1)));
+        assert_eq!(plan.pending_faults(), 2);
+        assert_eq!(plan.take(4), None);
+        assert_eq!(plan.take(3), Some(QueryFault::WorkerPanic));
+        assert_eq!(plan.take(3), None, "a fault fires exactly once");
+        assert_eq!(plan.pending_faults(), 1);
+    }
+
+    #[test]
+    fn rescheduling_replaces_the_fault() {
+        let plan = FaultPlan::new();
+        plan.fault_query(1, QueryFault::WorkerPanic);
+        plan.fault_query(1, QueryFault::DeviceCrash);
+        assert_eq!(plan.take(1), Some(QueryFault::DeviceCrash));
+    }
+
+    #[test]
+    fn gate_parks_and_releases_workers() {
+        let plan = Arc::new(FaultPlan::new());
+        plan.pause();
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let plan = Arc::clone(&plan);
+                std::thread::spawn(move || plan.checkpoint())
+            })
+            .collect();
+        // All three park; resume releases them all.
+        plan.await_parked(3);
+        plan.resume();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // Gate open: checkpoint is a no-op now.
+        plan.checkpoint();
+    }
+}

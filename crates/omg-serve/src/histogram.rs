@@ -88,36 +88,65 @@ impl LatencyHistogram {
 
     /// The `q`-quantile (`0.0 ..= 1.0`), reported as the upper boundary of
     /// the bucket containing that rank — conservative by at most one bucket
-    /// width (~25 %). Returns zero when empty.
+    /// width (~25 %) — clamped to the observed [`Self::max`] (a bucket's
+    /// boundary can exceed every sample actually recorded into it, so
+    /// without the clamp a sparse histogram reports a p99 *above* its own
+    /// maximum). Returns zero when empty.
+    ///
+    /// Each call takes its own racy snapshot; for quantiles that must be
+    /// mutually consistent (e.g. monotone in `q`) under concurrent
+    /// recording, use [`Self::quantiles`].
     pub fn quantile(&self, q: f64) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (i, counter) in self.counts.iter().enumerate() {
-            cumulative += counter.load(Ordering::Relaxed);
-            if cumulative >= rank {
-                return if i < BUCKETS {
-                    Duration::from_nanos(self.boundaries_ns[i])
-                } else {
-                    // Overflow bucket: report the observed maximum.
-                    self.max()
-                };
-            }
-        }
-        self.max()
+        self.quantiles(&[q])[0]
+    }
+
+    /// Computes several quantiles from **one** snapshot of the bucket
+    /// counts, so the results are mutually consistent even while workers
+    /// are recording concurrently: for `q1 <= q2` the reported values obey
+    /// `quantiles(&[q1, q2])[0] <= [1]`, and every value is bounded by the
+    /// observed maximum at snapshot time (separate [`Self::quantile`]
+    /// calls each re-read the live counters and can violate monotonicity
+    /// between each other mid-traffic).
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Duration> {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        // Rank against the snapshot's own total (not the live `total`
+        // counter, which may already include samples the snapshot missed).
+        let n: u64 = counts.iter().sum();
+        let max = self.max();
+        qs.iter()
+            .map(|&q| {
+                if n == 0 {
+                    return Duration::ZERO;
+                }
+                let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+                let mut cumulative = 0u64;
+                for (i, &count) in counts.iter().enumerate() {
+                    cumulative += count;
+                    if cumulative >= rank {
+                        return if i < BUCKETS {
+                            // Clamp: no recorded sample exceeds `max`, so a
+                            // bucket boundary above it is pure rounding.
+                            Duration::from_nanos(self.boundaries_ns[i]).min(max)
+                        } else {
+                            // Overflow bucket: report the observed maximum.
+                            max
+                        };
+                    }
+                }
+                max
+            })
+            .collect()
     }
 
     /// Convenience accessor for the standard serving percentiles
-    /// `(p50, p95, p99)`.
+    /// `(p50, p95, p99)`, computed from one consistent snapshot.
     pub fn percentiles(&self) -> (Duration, Duration, Duration) {
-        (
-            self.quantile(0.50),
-            self.quantile(0.95),
-            self.quantile(0.99),
-        )
+        let qs = self.quantiles(&[0.50, 0.95, 0.99]);
+        (qs[0], qs[1], qs[2])
     }
 }
 
@@ -166,6 +195,95 @@ mod tests {
         let h = LatencyHistogram::new();
         h.record(Duration::from_secs(3600)); // beyond the last boundary
         assert_eq!(h.quantile(1.0), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn sparse_quantile_never_exceeds_observed_max() {
+        // Regression: a single 3 µs sample lands in a bucket whose upper
+        // boundary is above 3 µs; before the clamp, quantile() reported
+        // that boundary — a p99 larger than the histogram's own max().
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.max(), Duration::from_micros(3));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!(
+                h.quantile(q) <= h.max(),
+                "q={q}: {:?} exceeds max {:?}",
+                h.quantile(q),
+                h.max()
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// For any sample set and any quantile ladder, quantiles are
+        /// monotone in q and never exceed the observed maximum.
+        #[test]
+        fn prop_quantiles_monotone_and_bounded_by_max(
+            samples in proptest::collection::vec(0u64..120_000_000_000, 1..120),
+            qs in proptest::collection::vec(0.0f64..=1.0, 2..12),
+        ) {
+            let h = LatencyHistogram::new();
+            for &ns in &samples {
+                h.record(Duration::from_nanos(ns));
+            }
+            let mut ladder = qs;
+            ladder.sort_by(f64::total_cmp);
+            let values = h.quantiles(&ladder);
+            let max = h.max();
+            for pair in values.windows(2) {
+                proptest::prop_assert!(pair[0] <= pair[1], "not monotone: {pair:?}");
+            }
+            for (q, v) in ladder.iter().zip(&values) {
+                proptest::prop_assert!(*v <= max, "q={q}: {v:?} > max {max:?}");
+            }
+            // Separate single-quantile calls agree with the snapshot path
+            // when nothing records concurrently.
+            for (q, v) in ladder.iter().zip(&values) {
+                proptest::prop_assert_eq!(h.quantile(*q), *v);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_monotone_under_concurrent_recording() {
+        // Writers hammer the histogram while a reader repeatedly takes
+        // quantile ladders; every snapshot must be internally monotone and
+        // bounded by a max() read *after* it (max only grows, and the
+        // snapshot clamps against the max at snapshot time).
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..3)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Spread samples across many buckets, including the
+                        // sparse high end where the clamp matters.
+                        h.record(Duration::from_micros(1 + (i * 7919 + t * 131) % 500_000));
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let ladder = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        for _ in 0..2_000 {
+            let values = h.quantiles(&ladder);
+            let max_after = h.max();
+            for pair in values.windows(2) {
+                assert!(pair[0] <= pair[1], "snapshot not monotone: {values:?}");
+            }
+            assert!(
+                values.iter().all(|v| *v <= max_after),
+                "quantile exceeded max: {values:?} vs {max_after:?}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod histogram;
 pub mod queue;
 
@@ -88,8 +89,14 @@ use omg_core::session::provision_devices;
 use omg_core::{OmgDevice, OmgError, Transcription};
 use omg_nn::Model;
 
+use fault::{FaultPlan, QueryFault};
 use histogram::LatencyHistogram;
 use queue::{PushError, ShardedQueue};
+
+/// Longest *real* sleep a scripted [`QueryFault::Delay`] performs; the full
+/// delay is charged to virtual time (`SimClock::stall`), so scenarios can
+/// model multi-second stalls without slowing the suite.
+const MAX_REAL_DELAY: Duration = Duration::from_millis(25);
 
 /// Errors surfaced by the serving runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,6 +152,10 @@ pub struct ServeConfig {
     /// Optional latency SLO target: queries whose submit-to-completion
     /// latency exceeds it are counted in [`ServeStats::slo_violations`].
     pub slo: Option<Duration>,
+    /// Optional deterministic fault schedule (chaos harnesses only; see
+    /// [`fault::FaultPlan`]). `None` in production: workers then pay a
+    /// single branch per query for the hook.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -152,6 +163,7 @@ impl Default for ServeConfig {
         ServeConfig {
             queue_capacity: 64,
             slo: None,
+            faults: None,
         }
     }
 }
@@ -183,6 +195,15 @@ impl ResponseSlot {
 }
 
 /// A ticket for a submitted query; redeem with [`Pending::wait`].
+///
+/// **Liveness guarantee:** an admitted ticket *always* resolves — waiting
+/// on it can never hang, no matter what happens to the fleet. If the query
+/// is served, the ticket yields the transcription (or the device error).
+/// If the serving worker panics mid-query, the unwinding worker delivers
+/// [`ServeError::WorkerPanicked`]. If the fleet drains (or dies) with the
+/// job still queued, the job's teardown delivers
+/// [`ServeError::ShuttingDown`]. Every such abandoned job is counted in
+/// [`ServeStats::discarded`].
 #[derive(Debug)]
 pub struct Pending {
     slot: Arc<ResponseSlot>,
@@ -194,7 +215,9 @@ impl Pending {
     /// # Errors
     ///
     /// [`ServeError::Query`] if the device query failed,
-    /// [`ServeError::ShuttingDown`] if the runtime abandoned the query.
+    /// [`ServeError::WorkerPanicked`] if the serving worker panicked with
+    /// the query in hand, [`ServeError::ShuttingDown`] if the runtime
+    /// abandoned the query at teardown.
     pub fn wait(self) -> Result<Transcription, ServeError> {
         let mut result = self.slot.result.lock();
         while result.is_none() {
@@ -262,26 +285,55 @@ impl Pending {
 /// One unit of work flowing through the queue.
 #[derive(Debug)]
 struct Job {
+    /// Submission sequence number (admission order) — the deterministic
+    /// key fault plans target.
+    seq: u64,
     samples: Vec<i16>,
     submitted: Instant,
     /// If set, the instant past which serving this job is pointless: a
     /// worker dequeueing it later sheds it with [`ServeError::Expired`].
     deadline: Option<Instant>,
     slot: Arc<ResponseSlot>,
+    /// Set once a definitive result reached the slot (or the admission
+    /// error return *is* the waiter's answer): teardown then neither
+    /// overwrites the result nor counts the job discarded.
+    resolved: bool,
+    /// The runtime's discard counter, bumped when an unresolved job is
+    /// dropped (worker panic, fleet teardown) — what keeps the accounting
+    /// identity exact through crashes.
+    discarded: Arc<AtomicU64>,
 }
 
 impl Job {
-    fn complete(self, result: Result<Transcription, ServeError>) {
+    fn complete(mut self, result: Result<Transcription, ServeError>) {
+        self.resolved = true;
         self.slot.fill(result);
-        // Drop runs next, but fill() is sticky: the first result wins.
+    }
+
+    /// Defuses a job bounced at admission: the submit call's error return
+    /// is the waiter's answer, so the drop must not fill the slot or count
+    /// a discard.
+    fn into_rejected(mut self) {
+        self.resolved = true;
     }
 }
 
 impl Drop for Job {
     fn drop(&mut self) {
         // A job dropped without completion (queue torn down, worker
-        // unwinding) must not strand its waiter.
-        self.slot.fill(Err(ServeError::ShuttingDown));
+        // unwinding) must not strand its waiter: deliver the reason the
+        // job died. `std::thread::panicking()` distinguishes a worker
+        // unwinding with the job in hand from orderly teardown.
+        if self.resolved {
+            return;
+        }
+        self.discarded.fetch_add(1, Ordering::Relaxed);
+        let verdict = if std::thread::panicking() {
+            ServeError::WorkerPanicked
+        } else {
+            ServeError::ShuttingDown
+        };
+        self.slot.fill(Err(verdict));
     }
 }
 
@@ -295,11 +347,17 @@ struct WorkerExit {
 struct Shared {
     queue: ShardedQueue<Job>,
     latency: LatencyHistogram,
+    /// Every submission attempt, accepted or not; doubles as the sequence
+    /// allocator, so seq numbers reflect admission order deterministically.
+    submitted: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
+    /// Admitted jobs dropped unresolved (worker panic, fleet teardown).
+    discarded: Arc<AtomicU64>,
     slo_violations: AtomicU64,
     slo: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
     /// Workers still running their serve loop. The last worker to exit —
     /// cleanly or by panic — fails over any jobs still queued, so a waiter
     /// can never deadlock on a fleet with no one left to serve it.
@@ -325,14 +383,30 @@ impl Drop for WorkerPresence<'_> {
 }
 
 /// Aggregate serving statistics at a point in time.
+///
+/// The counters satisfy an exact accounting identity once the runtime has
+/// drained (no in-flight or queued work):
+///
+/// ```text
+/// completed + rejected + failed + shed + discarded == submitted
+/// ```
+///
+/// Every submission attempt lands in exactly one bucket — nothing is
+/// double-counted and nothing vanishes, even through worker panics and
+/// device crashes. The `omg-sim` chaos harness asserts this identity after
+/// every scenario.
 #[derive(Debug, Clone)]
 pub struct ServeStats {
     /// Worker (device) count.
     pub workers: usize,
+    /// Every submission attempt, whether admitted or bounced.
+    pub submitted: u64,
     /// Queries completed *successfully* (these are what the latency
     /// percentiles describe).
     pub completed: u64,
-    /// Queries rejected at admission ([`ServeError::Overloaded`]).
+    /// Queries bounced at admission: [`ServeError::Overloaded`]
+    /// (backpressure) or [`ServeError::ShuttingDown`] (submitted after
+    /// drain began).
     pub rejected: u64,
     /// Queries accepted but failed on the device
     /// ([`ServeError::Query`] delivered to the waiter).
@@ -341,6 +415,10 @@ pub struct ServeStats {
     /// ([`ServeError::Expired`] delivered to the waiter) — doomed work
     /// the runtime refused to spend device time on.
     pub shed: u64,
+    /// Admitted queries the runtime dropped unresolved — stranded in the
+    /// queue at teardown, or in a panicking worker's hand. Their waiters
+    /// received [`ServeError::ShuttingDown`] / [`ServeError::WorkerPanicked`].
+    pub discarded: u64,
     /// Queries currently waiting in the queue (racy snapshot).
     pub queued: usize,
     /// Wall-clock time since the runtime started.
@@ -368,14 +446,16 @@ impl fmt::Display for ServeStats {
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         write!(
             f,
-            "{} workers: {:.1} q/s, {} ok / {} rejected / {} failed / {} shed, \
-             p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
+            "{} workers: {:.1} q/s, {} submitted: {} ok / {} rejected / {} failed \
+             / {} shed / {} discarded, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms",
             self.workers,
             self.throughput_qps,
+            self.submitted,
             self.completed,
             self.rejected,
             self.failed,
             self.shed,
+            self.discarded,
             ms(self.p50),
             ms(self.p95),
             ms(self.p99),
@@ -476,11 +556,14 @@ impl ServeHandle {
         let shared = Arc::new(Shared {
             queue: ShardedQueue::new(worker_count, config.queue_capacity),
             latency: LatencyHistogram::new(),
+            submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            discarded: Arc::new(AtomicU64::new(0)),
             slo_violations: AtomicU64::new(0),
             slo: config.slo,
+            faults: config.faults,
             live_workers: AtomicU64::new(worker_count as u64),
         });
         let workers = devices
@@ -541,21 +624,32 @@ impl ServeHandle {
 
     fn enqueue(&self, samples: &[i16], deadline: Option<Instant>) -> Result<Pending, ServeError> {
         let slot = ResponseSlot::new();
+        // Counting *every* attempt (and allocating the seq from the same
+        // counter) keeps the accounting identity total: a bounced
+        // submission is still a submission.
+        let seq = self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let job = Job {
+            seq,
             samples: samples.to_vec(),
             submitted: Instant::now(),
             deadline,
             slot: Arc::clone(&slot),
+            resolved: false,
+            discarded: Arc::clone(&self.shared.discarded),
         };
         match self.shared.queue.push(job) {
             Ok(()) => Ok(Pending { slot }),
             Err(PushError::Full(job)) => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                // Forget the job quietly: its waiter is the error return.
-                drop(job);
+                // The error return is the waiter's answer.
+                job.into_rejected();
                 Err(ServeError::Overloaded)
             }
-            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+            Err(PushError::Closed(job)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                job.into_rejected();
+                Err(ServeError::ShuttingDown)
+            }
         }
     }
 
@@ -577,6 +671,15 @@ impl ServeHandle {
     /// worker's device because a sibling failed. Workers that errored or
     /// panicked are reported in [`DrainedServe::worker_errors`]
     /// (check [`DrainedServe::is_healthy`]).
+    ///
+    /// **Termination and accounting guarantees:** drain always terminates
+    /// — workers exit once the closed queue is empty, and if every worker
+    /// is already dead the stranded jobs are failed over instead of waited
+    /// on. No admitted ticket is left unresolved: jobs still queued when
+    /// the last worker is gone are swept and their waiters receive
+    /// [`ServeError::ShuttingDown`], counted in [`ServeStats::discarded`]
+    /// so the identity `completed + rejected + failed + shed + discarded
+    /// == submitted` holds exactly on the final snapshot.
     pub fn drain(self) -> DrainedServe {
         self.shared.queue.close();
         let mut devices = Vec::with_capacity(self.workers.len());
@@ -592,7 +695,14 @@ impl ServeHandle {
                 Err(_) => worker_errors.push(ServeError::WorkerPanicked),
             }
         }
-        let stats = snapshot_stats(&self.shared, self.started, devices.len(), 0);
+        // Straggler sweep: with every worker joined, anything still queued
+        // (e.g. pushes that raced the close) would otherwise be dropped
+        // silently with the queue. Popping resolves each stranded job's
+        // waiter (ShuttingDown) and counts it discarded; the loop cannot
+        // block because the queue is closed.
+        while self.shared.queue.pop(0).is_some() {}
+        let queued = self.shared.queue.len();
+        let stats = snapshot_stats(&self.shared, self.started, devices.len(), queued);
         DrainedServe {
             stats,
             devices,
@@ -611,10 +721,12 @@ fn snapshot_stats(shared: &Shared, started: Instant, workers: usize, queued: usi
     let (p50, p95, p99) = shared.latency.percentiles();
     ServeStats {
         workers,
+        submitted: shared.submitted.load(Ordering::Relaxed),
         completed,
         rejected: shared.rejected.load(Ordering::Relaxed),
         failed: shared.failed.load(Ordering::Relaxed),
         shed: shared.shed.load(Ordering::Relaxed),
+        discarded: shared.discarded.load(Ordering::Relaxed),
         queued,
         elapsed,
         throughput_qps: completed as f64 / elapsed.as_secs_f64().max(1e-12),
@@ -644,9 +756,48 @@ fn worker_loop(
     // worker out fails over stranded jobs so waiters never deadlock.
     let _presence = WorkerPresence { shared, index };
     let mut served = 0u64;
+    let clock = device.clock();
     {
         let mut session = device.session()?;
         while let Some(job) = shared.queue.pop(index) {
+            // Fault hook. The pause gate is checked *after* popping, so a
+            // parked worker holds exactly one job — scenarios prime the
+            // queue with one job per worker before awaiting the gate,
+            // leaving the admission queue at a deterministic depth.
+            let fault = match shared.faults.as_deref() {
+                Some(plan) => {
+                    plan.checkpoint();
+                    plan.take(job.seq)
+                }
+                None => None,
+            };
+            match fault {
+                Some(QueryFault::WorkerPanic) => {
+                    // The job in hand is dropped by the unwind; its waiter
+                    // receives WorkerPanicked (see `Job::drop`).
+                    panic!(
+                        "injected fault: worker {index} panics mid-query (seq {})",
+                        job.seq
+                    );
+                }
+                Some(QueryFault::DeviceCrash) => {
+                    // The enclave is torn down through the scrub-on-release
+                    // path; the query in hand fails over to its waiter and
+                    // the worker exits as errored (its device is lost).
+                    session.crash_device()?;
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    job.complete(Err(ServeError::Query(OmgError::DeviceCrashed)));
+                    return Err(ServeError::Query(OmgError::DeviceCrashed));
+                }
+                Some(QueryFault::Delay(d)) => {
+                    // Charge the full stall to virtual time; sleep only a
+                    // capped real amount so deadline paths observe it
+                    // without slowing the suite by the modelled duration.
+                    clock.stall(d);
+                    std::thread::sleep(d.min(MAX_REAL_DELAY));
+                }
+                None => {}
+            }
             // Deadline-aware pop: a job whose deadline already passed is
             // doomed — its submitter has (or should have) walked away —
             // so shed it instead of burning warm-enclave time on it.
@@ -794,6 +945,7 @@ mod tests {
             ServeConfig {
                 queue_capacity: 32,
                 slo: None,
+                faults: None,
             },
             "kws",
             test_model(),
@@ -822,12 +974,18 @@ mod tests {
         // the shared state) is refused.
         let slot = ResponseSlot::new();
         let job = Job {
+            seq: 0,
             samples: vec![0i16; 16_000],
             submitted: Instant::now(),
             deadline: None,
-            slot,
+            slot: Arc::clone(&slot),
+            resolved: false,
+            discarded: Arc::new(AtomicU64::new(0)),
         };
-        assert!(matches!(shared.queue.push(job), Err(PushError::Closed(_))));
+        match shared.queue.push(job) {
+            Err(PushError::Closed(job)) => job.into_rejected(),
+            other => panic!("expected Closed, got {other:?}"),
+        }
     }
 
     #[test]
@@ -839,6 +997,7 @@ mod tests {
             ServeConfig {
                 queue_capacity: 2,
                 slo: None,
+                faults: None,
             },
             "kws",
             test_model(),
@@ -880,6 +1039,7 @@ mod tests {
                 // Impossible SLO: every query violates it, making the
                 // counter deterministic.
                 slo: Some(Duration::from_nanos(1)),
+                faults: None,
             },
             "kws",
             test_model(),
@@ -916,7 +1076,8 @@ mod tests {
                 devices,
                 ServeConfig {
                     queue_capacity: 0,
-                    slo: None
+                    slo: None,
+                    faults: None,
                 }
             ),
             Err(ServeError::Config(_))
@@ -935,6 +1096,7 @@ mod tests {
             ServeConfig {
                 queue_capacity: 8,
                 slo: None,
+                faults: None,
             },
         )
         .unwrap();
@@ -952,6 +1114,128 @@ mod tests {
         let drained = handle.drain();
         assert!(!drained.is_healthy());
         assert!(matches!(drained.worker_errors[0], ServeError::Query(_)));
+    }
+
+    #[test]
+    fn worker_panic_mid_flight_resolves_the_waiter() {
+        // Regression for the liveness bug: a worker that panics with a job
+        // in hand must deliver WorkerPanicked to the waiter — before the
+        // fix the ResponseSlot was filled with the generic ShuttingDown
+        // (or, without Job::drop, never filled: wait() hung forever).
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(70);
+        let samples = data.utterance(3, 0).unwrap();
+        let plan = Arc::new(FaultPlan::new());
+        // Kill the single worker on its very first query.
+        plan.fault_query(0, QueryFault::WorkerPanic);
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                queue_capacity: 8,
+                slo: None,
+                faults: Some(Arc::clone(&plan)),
+            },
+            "kws",
+            test_model(),
+            700,
+        )
+        .unwrap();
+        let doomed = handle.submit(&samples).unwrap();
+        // Must resolve — not hang — with the panic-specific error.
+        assert_eq!(doomed.wait(), Err(ServeError::WorkerPanicked));
+        let drained = handle.drain();
+        assert!(!drained.is_healthy());
+        assert!(matches!(
+            drained.worker_errors[0],
+            ServeError::WorkerPanicked
+        ));
+        // The panicked job is accounted as discarded, keeping the identity.
+        assert_eq!(drained.stats.discarded, 1);
+        assert_eq!(drained.stats.submitted, 1);
+        assert_eq!(
+            drained.stats.completed
+                + drained.stats.rejected
+                + drained.stats.failed
+                + drained.stats.shed
+                + drained.stats.discarded,
+            drained.stats.submitted
+        );
+    }
+
+    #[test]
+    fn device_crash_mid_flight_fails_the_query() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(71);
+        let samples = data.utterance(4, 0).unwrap();
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_query(1, QueryFault::DeviceCrash);
+        let handle = ServeHandle::provision(
+            2,
+            ServeConfig {
+                queue_capacity: 8,
+                slo: None,
+                faults: Some(Arc::clone(&plan)),
+            },
+            "kws",
+            test_model(),
+            710,
+        )
+        .unwrap();
+        // seq 0 serves normally; seq 1 crashes its device mid-query.
+        let ok = handle.submit(&samples).unwrap();
+        let crashed = handle.submit(&samples).unwrap();
+        assert!(ok.wait().is_ok());
+        assert_eq!(
+            crashed.wait(),
+            Err(ServeError::Query(OmgError::DeviceCrashed))
+        );
+        let drained = handle.drain();
+        // The crashed worker's device is lost; the healthy one survives.
+        assert_eq!(drained.devices.len(), 1);
+        assert!(matches!(
+            drained.worker_errors[0],
+            ServeError::Query(OmgError::DeviceCrashed)
+        ));
+        assert_eq!(drained.stats.failed, 1);
+        assert_eq!(
+            drained.stats.completed
+                + drained.stats.rejected
+                + drained.stats.failed
+                + drained.stats.shed
+                + drained.stats.discarded,
+            drained.stats.submitted
+        );
+    }
+
+    #[test]
+    fn accounting_identity_holds_through_dead_fleet_teardown() {
+        // An uninitialized device: the worker dies instantly, stranding
+        // whatever was admitted. Every bucket must still sum to submitted.
+        let uninitialized = OmgDevice::new(991).unwrap();
+        let handle = ServeHandle::start(
+            vec![uninitialized],
+            ServeConfig {
+                queue_capacity: 8,
+                slo: None,
+                faults: None,
+            },
+        )
+        .unwrap();
+        let mut waiters = Vec::new();
+        for _ in 0..6 {
+            if let Ok(p) = handle.submit(&[0i16; 16_000]) {
+                waiters.push(p);
+            }
+        }
+        for w in waiters {
+            assert!(w.wait().is_err(), "dead fleet served a query?");
+        }
+        let drained = handle.drain();
+        let s = &drained.stats;
+        assert_eq!(s.submitted, 6);
+        assert_eq!(
+            s.completed + s.rejected + s.failed + s.shed + s.discarded,
+            s.submitted,
+            "identity violated: {s}"
+        );
     }
 
     #[test]
@@ -1049,6 +1333,37 @@ mod tests {
             Ok(Err(ServeError::ShuttingDown))
         ));
         filler.join().unwrap();
+    }
+
+    #[test]
+    fn wait_deadline_race_with_completion_never_loses_the_result() {
+        // Completion and deadline expiry race head-on: a filler thread
+        // completes the slot at a random point around the waiter's
+        // deadline. Whatever side wins, the result must never be lost —
+        // a timed-out ticket handed back must still redeem to the filled
+        // result, and a won wait must carry it directly.
+        for round in 0..200u64 {
+            let slot = ResponseSlot::new();
+            let pending = Pending {
+                slot: Arc::clone(&slot),
+            };
+            let filler = {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    // Jitter the fill around the 1 ms deadline so both
+                    // orderings (fill-first, timeout-first) are exercised.
+                    std::thread::sleep(Duration::from_micros((round % 40) * 50));
+                    slot.fill(Err(ServeError::Expired));
+                })
+            };
+            let result = match pending.wait_deadline(Duration::from_millis(1)) {
+                Ok(r) => r,
+                // Timed out: the ticket must still redeem once filled.
+                Err(ticket) => ticket.wait(),
+            };
+            assert_eq!(result, Err(ServeError::Expired), "round {round}");
+            filler.join().unwrap();
+        }
     }
 
     #[test]

@@ -112,6 +112,18 @@ impl<T> ShardedQueue<T> {
         for i in 0..n {
             let shard = &self.shards[(start + i) % n];
             let mut q = shard.lock();
+            // Re-check under the shard lock. Checking `closed` only before
+            // locking leaves a window: a producer passes the check, the
+            // queue closes, the consumers observe closed+empty and exit —
+            // and then the push lands in a shard nobody will ever drain,
+            // stranding the item (and hanging its waiter). With this
+            // re-check plus the shard-lock sweep in [`Self::close`], any
+            // push that passed here before close() swept this shard is
+            // visible to close()'s caller afterwards, and any push arriving
+            // after the sweep observes `closed` and bounces.
+            if self.is_closed() {
+                return Err(PushError::Closed(item));
+            }
             if q.len() < self.per_shard_capacity {
                 q.push_back(item);
                 drop(q);
@@ -159,8 +171,24 @@ impl<T> ShardedQueue<T> {
 
     /// Closes the queue: subsequent pushes fail with [`PushError::Closed`];
     /// consumers drain the remaining items and then observe `None`.
+    ///
+    /// When `close` returns, the closure is *settled*: every producer that
+    /// will ever succeed has its item visible in a shard, so a caller that
+    /// sweeps the queue after closing leaves nothing stranded. This is
+    /// what makes the last-worker failover (drain stranded jobs after
+    /// closing) race-free.
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
+        // Sweep every shard lock once. A producer still inside `push`
+        // either held the shard lock before we got it — its item is
+        // enqueued and visible once the sweep acquires that lock — or it
+        // acquires the lock after the sweep, in which case the acquire
+        // synchronizes-with our release and its under-lock re-check sees
+        // `closed` and bounces. Either way no push lands invisibly after
+        // close() returns.
+        for shard in &self.shards {
+            drop(shard.lock());
+        }
         let mut signal = self.signal.lock();
         *signal += 1;
         drop(signal);
@@ -260,6 +288,53 @@ mod tests {
         q.close();
         for c in consumers {
             assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn close_races_with_push_strand_nothing() {
+        // Regression for the stranded-push race: producers hammer push
+        // while another thread closes mid-stream. Every item the queue
+        // *accepted* must be retrievable after close() returns — none may
+        // sit invisibly in a shard consumers already abandoned.
+        for round in 0..50 {
+            const PRODUCERS: usize = 4;
+            let q = Arc::new(ShardedQueue::new(2, 1024));
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut accepted = 0u64;
+                        for i in 0..500 {
+                            match q.push(p * 1000 + i) {
+                                Ok(()) => accepted += 1,
+                                Err(PushError::Closed(_)) => break,
+                                Err(PushError::Full(_)) => {}
+                            }
+                        }
+                        accepted
+                    })
+                })
+                .collect();
+            // Close at a jittered point inside the producers' window.
+            std::thread::sleep(std::time::Duration::from_micros(50 * (round % 7)));
+            q.close();
+            // Everything accepted before the close settled is sweepable
+            // *now* — even though producers may still be running.
+            let mut swept = 0u64;
+            while q.pop(0).is_some() {
+                swept += 1;
+            }
+            let accepted: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+            // Producers that were mid-push when we swept already had their
+            // items visible (close() settles the closure), so the sweep
+            // saw every accepted item.
+            assert_eq!(
+                swept, accepted,
+                "round {round}: accepted items stranded after close+sweep"
+            );
+            assert_eq!(q.len(), 0);
+            assert_eq!(q.pop(0), None);
         }
     }
 

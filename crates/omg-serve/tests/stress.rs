@@ -113,6 +113,7 @@ fn concurrent_seeded_mix_has_no_cross_worker_leakage() {
             ServeConfig {
                 queue_capacity: 32,
                 slo: Some(Duration::from_secs(5)),
+                faults: None,
             },
             "kws",
             test_model(),

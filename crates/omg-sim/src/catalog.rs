@@ -1,0 +1,204 @@
+//! The scenario catalog: the fault modes the fleet must survive, written
+//! as data. Each constructor returns a [`Scenario`] whose outcome is
+//! fully determined by its seed — the comments state the exact expected
+//! accounting so a drifting runtime shows up as a trace diff, not a
+//! shrug.
+//!
+//! The catalog leans on one determinism trick throughout: a paused fault
+//! gate ([`Scenario::pause`]) parks each worker right after its next
+//! dequeue, *holding exactly one job*. That pins queue depth and
+//! worker/job assignment at script time, so saturation counts and fault
+//! targeting don't depend on thread scheduling.
+
+use std::time::Duration;
+
+use omg_serve::fault::QueryFault;
+
+use crate::{Provisioning, Scenario};
+
+/// A worker panics mid-query in a two-worker fleet. The victim's waiter
+/// must resolve with `WorkerPanicked` (the liveness fix under test: before
+/// it, this ticket hung forever) and the survivor serves everything else.
+///
+/// Expected accounting: submitted=5, completed=4, discarded=1.
+pub fn worker_panic() -> Scenario {
+    Scenario::new("worker-panic", 2)
+        .queue_capacity(8)
+        .pause()
+        .submit(2) // primers: one held per parked worker
+        .await_parked(2)
+        .fault(0, QueryFault::WorkerPanic)
+        .submit(3)
+        .resume()
+}
+
+/// The *last* worker panics with work still queued. Failover must close
+/// the queue and deliver a verdict to every stranded waiter — none may
+/// hang, and every stranded job lands in `discarded`.
+///
+/// Expected accounting: submitted=4, completed=0, discarded=4.
+pub fn stranded_queue_panic() -> Scenario {
+    Scenario::new("stranded-queue-panic", 1)
+        .queue_capacity(8)
+        .pause()
+        .submit(1) // held by the only worker
+        .await_parked(1)
+        .submit(3) // stranded behind the doomed primer
+        .fault(0, QueryFault::WorkerPanic)
+        .resume()
+}
+
+/// A device crashes mid-query (enclave torn down, memory scrubbed). The
+/// victim query fails cleanly with `DeviceCrashed`; the fleet keeps
+/// serving on the surviving device and drain reports exactly one lost
+/// worker.
+///
+/// Expected accounting: submitted=6, completed=5, failed=1;
+/// one surviving device, one worker error.
+pub fn device_crash() -> Scenario {
+    Scenario::new("device-crash", 2)
+        .queue_capacity(8)
+        .pause()
+        .submit(2)
+        .await_parked(2)
+        .fault(1, QueryFault::DeviceCrash)
+        .submit(4)
+        .resume()
+}
+
+/// Drain begins while the queue is still loaded. Every admitted job must
+/// be served before drain returns — drain is completion, not abandonment.
+///
+/// Expected accounting: submitted=8, completed=8.
+pub fn drain_under_load() -> Scenario {
+    Scenario::new("drain-under-load", 2)
+        .queue_capacity(8)
+        .pause()
+        .submit(2)
+        .await_parked(2)
+        .submit(6) // queued when the implicit drain starts
+        .resume()
+}
+
+/// Queue saturation with the workers parked: the queue fills to exactly
+/// its capacity, then every further submission bounces `Overloaded` —
+/// deterministically, because no worker is draining.
+///
+/// Expected accounting: submitted=9, completed=6, rejected=3.
+pub fn saturation_burst() -> Scenario {
+    Scenario::new("saturation-burst", 2)
+        .queue_capacity(4)
+        .pause()
+        .submit(2) // held by parked workers, not in the queue
+        .await_parked(2)
+        .submit(4) // fills the queue exactly
+        .submit(3) // every one of these must bounce
+        .resume()
+}
+
+/// One query on a single-device fleet stalls for two virtual seconds
+/// (`SimClock::stall`, wall-clock capped by the runtime). The stall must
+/// not corrupt results or accounting, and the device's clock records the
+/// stall as neither modelled nor measured time.
+///
+/// Expected accounting: submitted=3, completed=3; the surviving device
+/// reports 2 s of stalled virtual time.
+pub fn slow_device() -> Scenario {
+    Scenario::new("slow-device", 1)
+        .queue_capacity(8)
+        .fault(1, QueryFault::Delay(SLOW_DEVICE_STALL))
+        .submit(3)
+}
+
+/// The stall injected by [`slow_device`], exported so tests can assert
+/// the drained device's clock accounted for exactly this much.
+pub const SLOW_DEVICE_STALL: Duration = Duration::from_secs(2);
+
+/// Zero-budget queries behind a parked worker: by the time the worker
+/// dequeues them their deadline has passed, so every one is shed at
+/// dequeue — no device time spent on doomed work.
+///
+/// Expected accounting: submitted=5, completed=1, shed=4.
+pub fn expired_deadline_shed() -> Scenario {
+    Scenario::new("expired-deadline-shed", 1)
+        .queue_capacity(8)
+        .pause()
+        .submit(1) // primer, held; serves fine after resume
+        .await_parked(1)
+        .submit_with_budget(4, Duration::ZERO)
+        .resume()
+}
+
+/// A tampered enclave runtime image is offered during provisioning: the
+/// vendor's attestation must reject it and leave the device fresh. The
+/// fleet then serves genuinely so the full invariant suite still runs.
+pub fn tampered_runtime_image() -> Scenario {
+    Scenario::new("tampered-runtime-image", 1)
+        .queue_capacity(8)
+        .provisioning(Provisioning::TamperedRuntimeImage)
+        .submit(3)
+}
+
+/// The sealed model blob is flipped in untrusted storage before
+/// initialization: authenticated decryption must reject it (reported as
+/// rollback/tamper detection), and a genuine fleet then serves.
+pub fn tampered_sealed_model() -> Scenario {
+    Scenario::new("tampered-sealed-model", 1)
+        .queue_capacity(8)
+        .provisioning(Provisioning::TamperedSealedModel)
+        .submit(3)
+}
+
+/// Every catalog scenario, in a stable order (CI runs all of them across
+/// the seed matrix).
+pub fn all() -> Vec<Scenario> {
+    vec![
+        worker_panic(),
+        stranded_queue_panic(),
+        device_crash(),
+        drain_under_load(),
+        saturation_burst(),
+        slow_device(),
+        expired_deadline_shed(),
+        tampered_runtime_image(),
+        tampered_sealed_model(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_distinct_and_named() {
+        let scenarios = all();
+        assert!(scenarios.len() >= 6, "catalog shrank below the floor");
+        let mut names: Vec<_> = scenarios.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn every_pause_is_resumed() {
+        // A scenario that pauses but never resumes would hang its own
+        // drain; catch that statically.
+        for s in all() {
+            let pauses = s
+                .steps
+                .iter()
+                .filter(|x| matches!(x, crate::Step::Pause))
+                .count();
+            let resumes = s
+                .steps
+                .iter()
+                .filter(|x| matches!(x, crate::Step::Resume))
+                .count();
+            assert_eq!(
+                pauses, resumes,
+                "scenario {:?} leaves the gate shut",
+                s.name
+            );
+        }
+    }
+}

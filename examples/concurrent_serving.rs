@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServeConfig {
             queue_capacity: 32,
             slo: Some(Duration::from_millis(250)),
+            faults: None,
         },
         "kws",
         model,

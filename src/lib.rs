@@ -149,5 +149,6 @@ pub use omg_hal as hal;
 pub use omg_nn as nn;
 pub use omg_sanctuary as sanctuary;
 pub use omg_serve as serve;
+pub use omg_sim as sim;
 pub use omg_speech as speech;
 pub use omg_train as train;
