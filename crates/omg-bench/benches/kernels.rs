@@ -1,26 +1,35 @@
 //! Kernel micro-bench: fast (im2col + blocked GEMM, lane-restructured
-//! window kernels) vs the scalar TFLM reference oracle, on conv-heavy
-//! shapes plus every other kernel on realistic sizes.
+//! window kernels, SIMD-dispatched dot products) vs the scalar TFLM
+//! reference oracle, on conv-heavy shapes plus every other kernel on
+//! realistic sizes.
 //!
-//! Regression-asserts the tentpole claim — **fast ≥ 2× reference on the
-//! conv-heavy shapes** — after first checking bit-exact agreement on
-//! every measured shape (a fast kernel that drifts from the oracle fails
-//! here before any timing runs). Also times the end-to-end
-//! `Interpreter::invoke` on the production `tiny_conv` model under both
-//! kernel sets.
+//! Regression-asserts the tentpole claims — **fast ≥ 2× reference on the
+//! conv-heavy shapes and on `fully_connected`** — after first checking
+//! bit-exact agreement on every measured shape (a fast kernel that
+//! drifts from the oracle fails here before any timing runs). Also times
+//! the end-to-end `Interpreter::invoke` on the production `tiny_conv`
+//! model under both kernel sets, and the row-panel threaded GEMM at 1/2/4
+//! threads.
+//!
+//! The fast tier under test follows `OMG_KERNELS` (default: the detected
+//! SIMD vtable; `portable` pins the lanes fallback), and the JSON output
+//! records it as `"tier"`, so CI's rolling baselines can distinguish
+//! SIMD runs from portable runs. Set `OMG_BENCH_DIR` to redirect the
+//! JSON (CI uses it to upload per-tier files side by side).
 //!
 //! Numbers land as JSON in `target/bench-json/kernels.json` (and the
-//! shared `trajectory.jsonl`); CI's `bench_check` gates `conv_speedup`
-//! and `conv_mmacs_per_s` against the committed floor in
-//! `crates/omg-bench/baselines/kernels.json`. Run with `--quick` for the
-//! CI smoke mode.
+//! shared `trajectory.jsonl`); CI's `bench_check` gates `conv_speedup`,
+//! `conv_mmacs_per_s`, `fc_speedup`, and `gemm_threads_speedup` against
+//! the committed floors in `crates/omg-bench/baselines/kernels.json`.
+//! Run with `--quick` for the CI smoke mode.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use omg_bench::{cached_tiny_conv, ModelKind};
-use omg_nn::gemm::{conv_im2col_len, row_sums};
+use omg_nn::arch::KernelVTable;
+use omg_nn::gemm::{self, conv_im2col_len, row_sums, GemmArgs};
 use omg_nn::kernels::{self, Conv2DArgs, DepthwiseConv2DArgs, FullyConnectedArgs, Pool2DArgs};
 use omg_nn::kernels_fast;
 use omg_nn::quantize::FixedMultiplier;
@@ -76,7 +85,7 @@ impl Row {
     }
 }
 
-fn time_conv(shape: &ConvShape, reps: usize, iters: usize) -> Row {
+fn time_conv(vt: &'static KernelVTable, shape: &ConvShape, reps: usize, iters: usize) -> Row {
     let [_, in_h, in_w, in_c] = shape.input_shape;
     let [out_c, k_h, k_w, _] = shape.filter_shape;
     let [_, out_h, out_w, _] = shape.output_shape;
@@ -121,7 +130,7 @@ fn time_conv(shape: &ConvShape, reps: usize, iters: usize) -> Row {
 
     // Correctness gate before any timing: fast must equal the oracle.
     kernels::conv2d(args!(&mut out_ref));
-    kernels_fast::conv2d(args!(&mut out_fast), &sums, &mut scratch);
+    kernels_fast::conv2d_with(vt, args!(&mut out_fast), &sums, &mut scratch);
     assert_eq!(
         out_ref, out_fast,
         "{}: fast conv diverged from oracle",
@@ -130,7 +139,7 @@ fn time_conv(shape: &ConvShape, reps: usize, iters: usize) -> Row {
 
     let reference = best_per_iter(reps, iters, || kernels::conv2d(args!(&mut out_ref)));
     let fast = best_per_iter(reps, iters, || {
-        kernels_fast::conv2d(args!(&mut out_fast), &sums, &mut scratch)
+        kernels_fast::conv2d_with(vt, args!(&mut out_fast), &sums, &mut scratch)
     });
     Row {
         name: shape.name,
@@ -144,8 +153,13 @@ fn time_conv(shape: &ConvShape, reps: usize, iters: usize) -> Row {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (reps, iters) = if quick { (3, 5) } else { (7, 20) };
+    // The fast tier under test: the detected SIMD vtable by default,
+    // pinned to the lanes fallback under OMG_KERNELS=portable.
+    let kernel_set = KernelSet::parse(std::env::var("OMG_KERNELS").ok().as_deref());
+    let vt = kernel_set.vtable();
     println!(
-        "== OMG compute kernels: fast (im2col + blocked GEMM) vs reference oracle{} ==",
+        "== OMG compute kernels: fast (im2col + blocked GEMM, tier {}) vs reference oracle{} ==",
+        vt.name,
         if quick { " (--quick)" } else { "" }
     );
 
@@ -174,7 +188,7 @@ fn main() {
         },
     ];
     for shape in &convs {
-        rows.push(time_conv(shape, reps, iters));
+        rows.push(time_conv(vt, shape, reps, iters));
     }
 
     // ---- depthwise ------------------------------------------------------
@@ -251,7 +265,7 @@ fn main() {
             };
         }
         kernels::fully_connected(args!(&mut out_ref));
-        kernels_fast::fully_connected(args!(&mut out_fast));
+        kernels_fast::fully_connected_with(vt, args!(&mut out_fast));
         assert_eq!(
             out_ref, out_fast,
             "fast fully_connected diverged from oracle"
@@ -262,7 +276,7 @@ fn main() {
                 kernels::fully_connected(args!(&mut out_ref))
             }),
             fast: best_per_iter(reps, iters, || {
-                kernels_fast::fully_connected(args!(&mut out_fast))
+                kernels_fast::fully_connected_with(vt, args!(&mut out_fast))
             }),
             work: (in_features * out_features) as u64,
             work_unit: "MMAC/s",
@@ -341,7 +355,7 @@ fn main() {
 
     // ---- end-to-end: the production tiny_conv model ---------------------
     let model = cached_tiny_conv(ModelKind::Fast);
-    let mut fast_interp = Interpreter::with_kernels(model.clone(), KernelSet::Fast).unwrap();
+    let mut fast_interp = Interpreter::with_kernels(model.clone(), kernel_set).unwrap();
     let mut ref_interp = Interpreter::with_kernels(model, KernelSet::Reference).unwrap();
     let invoke_input = pattern_i8(49 * 43, 3, 256, 128);
     fast_interp.invoke(&invoke_input).unwrap();
@@ -380,6 +394,87 @@ fn main() {
         invoke_speedup,
     );
 
+    // ---- row-panel threaded GEMM at 1/2/4 threads -----------------------
+    // The conv-heavy im2col shape (m=550 output pixels, n=8 filters, k=80
+    // taps, 352k MACs) clears both PAR_MIN_MACS and PAR_MIN_ROWS, so the
+    // panel split genuinely engages at budgets > 1.
+    let gemm_threads_speedup = {
+        let (m, n, k) = (550, 8, 80);
+        let a = pattern_i8(m * k, 7, 256, 128);
+        let b = pattern_i8(n * k, 5, 200, 100);
+        let bias: Vec<i32> = (0..n as i32).map(|i| i * 9 - 31).collect();
+        let mut sums = vec![0i32; n];
+        row_sums(&b, n, k, &mut sums);
+        let multiplier = FixedMultiplier::from_real(0.004).unwrap();
+        let mut out = vec![0i8; m * n];
+        macro_rules! run {
+            () => {
+                gemm::gemm_with(
+                    vt,
+                    GemmArgs {
+                        a: &a,
+                        b: &b,
+                        bias: &bias,
+                        b_row_sums: &sums,
+                        out: &mut out,
+                        m,
+                        n,
+                        k,
+                        input_offset: 128,
+                        output_offset: -3,
+                        multiplier,
+                        act_min: -128,
+                        act_max: 127,
+                    },
+                )
+            };
+        }
+        let prev = gemm::set_thread_budget(1);
+        run!();
+        let single = out.clone();
+        let budgets = [1usize, 2, 4];
+        let mut times = [Duration::MAX; 3];
+        for (slot, &threads) in budgets.iter().enumerate() {
+            gemm::set_thread_budget(threads);
+            run!();
+            assert_eq!(
+                out, single,
+                "threaded GEMM (t={threads}) diverged from single-thread"
+            );
+            times[slot] = best_per_iter(reps, iters, || run!());
+        }
+        gemm::set_thread_budget(prev);
+        // Best speedup over the sweep; t=1 is in the sweep, so this never
+        // drops below 1.0 and the metric stays meaningful on small hosts.
+        let speedup = times
+            .iter()
+            .map(|t| times[0].as_secs_f64() / t.as_secs_f64())
+            .fold(f64::MIN, f64::max);
+        println!(
+            "{:<36} t1 {:>9.1} us, t2 {:>9.1} us, t4 {:>9.1} us  (best {:>5.2}x)",
+            "gemm 550x8x80 threads 1/2/4",
+            us(times[0]),
+            us(times[1]),
+            us(times[2]),
+            speedup,
+        );
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores >= 4 {
+            assert!(
+                speedup >= 1.5,
+                "threaded GEMM must be >= 1.5x single-thread at 4 threads \
+                 on a {cores}-core host, got {speedup:.2}x"
+            );
+        } else {
+            println!(
+                "note: only {cores} core(s) available; skipping the >= 1.5x threaded-GEMM assert"
+            );
+        }
+        speedup
+    };
+
     // The tentpole claim: fast >= 2x reference on the conv-heavy shapes.
     let conv_speedup = rows[..convs.len()]
         .iter()
@@ -406,18 +501,41 @@ fn main() {
         .find(|r| r.name == "conv 3x3x8->16 @32x32 s1 SAME")
         .expect("gated conv shape present")
         .fast_mwork_per_s();
+    // The reworked classifier head: >= 2x under SIMD dispatch; the
+    // portable tier only has the blocking/widening rework, so it gets a
+    // looser floor.
+    let fc_speedup = rows
+        .iter()
+        .find(|r| r.name == "fully_connected 4400->12")
+        .expect("gated fully_connected shape present")
+        .speedup();
+    if vt.name == "portable" {
+        assert!(
+            fc_speedup >= 1.1,
+            "fully_connected (portable tier) must beat the reference, got {fc_speedup:.2}x"
+        );
+    } else {
+        assert!(
+            fc_speedup >= 2.0,
+            "fully_connected must be >= 2x the reference under SIMD dispatch, got {fc_speedup:.2}x"
+        );
+    }
     println!(
-        "PASS: conv speedup {conv_speedup:.2}x (>= 2x), tiny_conv invoke {invoke_speedup:.2}x, \
-         {conv_mmacs_per_s:.0} MMAC/s fast conv"
+        "PASS: conv speedup {conv_speedup:.2}x (>= 2x), fc {fc_speedup:.2}x, \
+         gemm threads {gemm_threads_speedup:.2}x, tiny_conv invoke {invoke_speedup:.2}x, \
+         {conv_mmacs_per_s:.0} MMAC/s fast conv [tier {}]",
+        vt.name
     );
 
     // ---- JSON trajectory -------------------------------------------------
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\"bench\":\"kernels\",\"quick\":{quick},\"conv_speedup\":{conv_speedup:.3},\
-         \"conv_mmacs_per_s\":{conv_mmacs_per_s:.1},\"invoke_speedup\":{invoke_speedup:.3},\
-         \"invoke_fast_us\":{:.2},\"kernels\":[",
+        "{{\"bench\":\"kernels\",\"quick\":{quick},\"tier\":\"{}\",\
+         \"conv_speedup\":{conv_speedup:.3},\"conv_mmacs_per_s\":{conv_mmacs_per_s:.1},\
+         \"fc_speedup\":{fc_speedup:.3},\"gemm_threads_speedup\":{gemm_threads_speedup:.3},\
+         \"invoke_speedup\":{invoke_speedup:.3},\"invoke_fast_us\":{:.2},\"kernels\":[",
+        vt.name,
         us(invoke_fast),
     );
     for (i, row) in rows.iter().enumerate() {
@@ -435,7 +553,21 @@ fn main() {
     }
     json.push_str("]}");
 
-    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-json");
+    // Bench binaries run with CWD at the package root, so a relative
+    // OMG_BENCH_DIR is anchored at the workspace root — CI sets e.g.
+    // `target/bench-json-portable` and reads it from the checkout root.
+    let workspace_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out_dir = match std::env::var("OMG_BENCH_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            let dir = PathBuf::from(dir);
+            if dir.is_absolute() {
+                dir
+            } else {
+                workspace_root.join(dir)
+            }
+        }
+        _ => workspace_root.join("target/bench-json"),
+    };
     if std::fs::create_dir_all(&out_dir).is_ok() {
         let latest = out_dir.join("kernels.json");
         let _ = std::fs::write(&latest, &json);

@@ -62,6 +62,7 @@ fn run_config(workers: usize, workload: &[&[i16]], seed: u64, slo: Duration) -> 
             queue_capacity: QUEUE_CAPACITY,
             slo: Some(slo),
             faults: None,
+            kernel_threads: None,
         },
     )
     .expect("start serving fleet");
@@ -185,6 +186,7 @@ fn main() {
             queue_capacity: 4,
             slo: None,
             faults: None,
+            kernel_threads: None,
         },
         "kws",
         model,

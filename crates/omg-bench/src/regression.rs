@@ -51,8 +51,11 @@ pub struct WatchedMetric {
 /// zero-copy cold-load throughput and `v2_v1_load_ratio` guards the
 /// fast-path advantage itself (machine-independent). For `kernels`,
 /// `conv_speedup` is the machine-independent fast-vs-reference advantage
-/// on the conv-heavy shapes and `conv_mmacs_per_s` the absolute fast-conv
-/// throughput floor.
+/// on the conv-heavy shapes, `conv_mmacs_per_s` the absolute fast-conv
+/// throughput floor, `fc_speedup` the reworked classifier head's
+/// advantage, and `gemm_threads_speedup` the best row-panel-threaded GEMM
+/// speedup over a 1/2/4-thread sweep (>= 1.0 by construction since the
+/// sweep includes one thread, so the floor stays honest on small hosts).
 pub const WATCHED_METRICS: &[WatchedMetric] = &[
     WatchedMetric {
         bench: "serving",
@@ -77,6 +80,14 @@ pub const WATCHED_METRICS: &[WatchedMetric] = &[
     WatchedMetric {
         bench: "kernels",
         key: "conv_mmacs_per_s",
+    },
+    WatchedMetric {
+        bench: "kernels",
+        key: "fc_speedup",
+    },
+    WatchedMetric {
+        bench: "kernels",
+        key: "gemm_threads_speedup",
     },
 ];
 

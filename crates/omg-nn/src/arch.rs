@@ -1,0 +1,450 @@
+//! Runtime-dispatched SIMD dot-product microkernels.
+//!
+//! The fast kernels funnel all heavy arithmetic through three shapes of
+//! int8 dot product (plain, offset-applied, and a four-row output panel
+//! sharing one activation pass). This module provides a [`KernelVTable`]
+//! of function pointers for each shape and picks the best implementation
+//! the running CPU supports, **once**, behind a `OnceLock`:
+//!
+//! * **x86_64 + AVX2** — 32 int8 lanes per step: bytes are widened to i16
+//!   halves (`vpmovsxbw`) and folded with `vpmaddwd`, which multiplies
+//!   i16 pairs into full i32 products and adds adjacent pairs in i32.
+//!   Every intermediate is exact: an i8×i8 product fits i16 with room to
+//!   spare, a widened `a + offset` term fits i16 because model validation
+//!   pins quantization zero points to the i8 range, and all accumulation
+//!   happens in i32 — so lane reassociation yields *the same* i32 sums
+//!   the scalar reference computes term by term.
+//! * **aarch64 NEON** — 16 lanes per step via the `sdot`-shaped
+//!   `vmull_s8` + `vpadalq_s16` (and widening `vmlal_s16` for the offset
+//!   paths). NEON is baseline on aarch64, so no feature probe is needed.
+//! * **portable** — the autovectorized lane loops from [`crate::gemm`],
+//!   always available, and the implementation behind the
+//!   `OMG_KERNELS=portable` tier.
+//!
+//! Selection happens at [`detect`] (called from `Interpreter::new` via
+//! [`crate::interpreter::KernelSet::vtable`]); the result is cached for
+//! the life of the process. The differential oracle in
+//! `omg-nn/tests/kernel_equivalence.rs` proves every dispatched tier
+//! bit-exact against the scalar reference kernels.
+
+use std::sync::OnceLock;
+
+use crate::gemm::{self, LANES};
+
+/// The dot-product microkernels one dispatch tier executes with.
+///
+/// All three entries compute mathematically identical i32 sums; they
+/// differ only in how many lanes they chew per step. `dot_i8_offset_x4`
+/// is the fully-connected panel kernel: one pass over the activations
+/// `a`, widened and offset once, dotted against four weight rows — the
+/// activation traffic is amortized 4× versus four independent calls.
+#[derive(Debug)]
+pub struct KernelVTable {
+    /// Tier name as reported in bench JSON and diagnostics
+    /// (`"avx2"`, `"neon"`, or `"portable"`).
+    pub name: &'static str,
+    /// `Σ a_i · b_i` over equal-length i8 slices.
+    pub dot_i8: fn(&[i8], &[i8]) -> i32,
+    /// `Σ (a_i + offset) · b_i`.
+    pub dot_i8_offset: fn(&[i8], &[i8], i32) -> i32,
+    /// `Σ (a_i + offset) · r_i` for four rows `r` in one activation pass.
+    pub dot_i8_offset_x4: DotX4Fn,
+}
+
+/// Signature of the four-row panel dot kernel.
+pub type DotX4Fn = fn(&[i8], [&[i8]; 4], i32) -> [i32; 4];
+
+/// The always-available portable tier: the same lane loops LLVM
+/// autovectorizes on every target (see [`crate::gemm::dot_i8`]).
+pub static PORTABLE: KernelVTable = KernelVTable {
+    name: "portable",
+    dot_i8: gemm::dot_i8,
+    dot_i8_offset: gemm::dot_i8_offset,
+    dot_i8_offset_x4: dot_i8_offset_x4_portable,
+};
+
+/// Portable four-row panel dot: the activation chunk is offset-widened
+/// once into `aw` and reused across all four weight rows.
+fn dot_i8_offset_x4_portable(a: &[i8], rows: [&[i8]; 4], offset: i32) -> [i32; 4] {
+    let k = a.len();
+    for r in &rows {
+        debug_assert_eq!(r.len(), k);
+    }
+    let chunks = k / LANES;
+    let mut lanes = [[0i32; LANES]; 4];
+    for c in 0..chunks {
+        let base = c * LANES;
+        let ax = &a[base..base + LANES];
+        let mut aw = [0i32; LANES];
+        for l in 0..LANES {
+            aw[l] = i32::from(ax[l]) + offset;
+        }
+        for (acc, row) in lanes.iter_mut().zip(&rows) {
+            let rx = &row[base..base + LANES];
+            for l in 0..LANES {
+                acc[l] += aw[l] * i32::from(rx[l]);
+            }
+        }
+    }
+    let mut out = [0i32; 4];
+    for (o, (acc, row)) in out.iter_mut().zip(lanes.iter().zip(&rows)) {
+        let mut sum: i32 = acc.iter().sum();
+        for i in chunks * LANES..k {
+            sum += (i32::from(a[i]) + offset) * i32::from(row[i]);
+        }
+        *o = sum;
+    }
+    out
+}
+
+/// Returns the best vtable the running CPU supports, probing CPU features
+/// exactly once per process (`OnceLock`). This is the "simd" dispatch
+/// tier; `OMG_KERNELS=portable|reference` bypass it entirely.
+pub fn detect() -> &'static KernelVTable {
+    static ACTIVE: OnceLock<&'static KernelVTable> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") {
+            return &x86::AVX2;
+        }
+        #[cfg(target_arch = "aarch64")]
+        return &neon::NEON;
+        #[allow(unreachable_code)]
+        &PORTABLE
+    })
+}
+
+/// Offsets with `|offset| ≤ 128` (guaranteed by model validation: an i8
+/// tensor's zero point must fit i8, and the kernels use `-zp`) can be
+/// folded into an i16 widening without overflow: `a + offset` stays in
+/// `[-256, 255]`. Anything wider falls back to the portable i32 loop so
+/// the vtable stays exact for arbitrary caller-supplied offsets.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+fn offset_fits_i16_fold(offset: i32) -> bool {
+    (-128..=128).contains(&offset)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::KernelVTable;
+    use std::arch::x86_64::*;
+
+    /// AVX2 tier. The function pointers below are only installed after
+    /// `is_x86_feature_detected!("avx2")` succeeds in [`super::detect`],
+    /// which is what makes the internal `unsafe` target-feature calls
+    /// sound.
+    pub static AVX2: KernelVTable = KernelVTable {
+        name: "avx2",
+        dot_i8,
+        dot_i8_offset,
+        dot_i8_offset_x4,
+    };
+
+    fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        // SAFETY: AVX2 presence was verified before this vtable was
+        // published (see `AVX2` above); slices are equal-length and the
+        // kernel reads only in-bounds 32-byte chunks plus a scalar tail.
+        unsafe { dot_i8_avx2(a, b) }
+    }
+
+    fn dot_i8_offset(a: &[i8], b: &[i8], offset: i32) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        if !super::offset_fits_i16_fold(offset) {
+            return crate::gemm::dot_i8_offset(a, b, offset);
+        }
+        // SAFETY: as in `dot_i8`; additionally `offset` fits the i16 fold.
+        unsafe { dot_i8_offset_avx2(a, b, offset) }
+    }
+
+    fn dot_i8_offset_x4(a: &[i8], rows: [&[i8]; 4], offset: i32) -> [i32; 4] {
+        if !super::offset_fits_i16_fold(offset) {
+            return super::dot_i8_offset_x4_portable(a, rows, offset);
+        }
+        for r in &rows {
+            debug_assert_eq!(r.len(), a.len());
+        }
+        // SAFETY: as in `dot_i8`, for all five equal-length slices.
+        unsafe { dot_i8_offset_x4_avx2(a, rows, offset) }
+    }
+
+    /// Widens both 16-byte halves of an i8 vector pair to i16 and folds
+    /// them into the i32 accumulator via `vpmaddwd`. Exact: i8×i8
+    /// products fit i16 ranges well inside what `madd` pairs into i32.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn madd_i8(acc: __m256i, av: __m256i, bv: __m256i) -> __m256i {
+        let alo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(av));
+        let ahi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(av, 1));
+        let blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bv));
+        let bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(bv, 1));
+        let p = _mm256_add_epi32(_mm256_madd_epi16(alo, blo), _mm256_madd_epi16(ahi, bhi));
+        _mm256_add_epi32(acc, p)
+    }
+
+    /// Horizontal sum of the eight i32 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_i32(acc: __m256i) -> i32 {
+        let s = _mm_add_epi32(
+            _mm256_castsi256_si128(acc),
+            _mm256_extracti128_si256(acc, 1),
+        );
+        let s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01));
+        _mm_cvtsi128_si32(s)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+        let mut acc = _mm256_setzero_si256();
+        let chunks = a.len() / 32;
+        for i in 0..chunks {
+            let av = _mm256_loadu_si256(a.as_ptr().add(i * 32).cast());
+            let bv = _mm256_loadu_si256(b.as_ptr().add(i * 32).cast());
+            acc = madd_i8(acc, av, bv);
+        }
+        let mut sum = hsum_i32(acc);
+        for i in chunks * 32..a.len() {
+            sum += i32::from(a[i]) * i32::from(b[i]);
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i8_offset_avx2(a: &[i8], b: &[i8], offset: i32) -> i32 {
+        let off = _mm256_set1_epi16(offset as i16);
+        let mut acc = _mm256_setzero_si256();
+        let chunks = a.len() / 32;
+        for i in 0..chunks {
+            let av = _mm256_loadu_si256(a.as_ptr().add(i * 32).cast());
+            let bv = _mm256_loadu_si256(b.as_ptr().add(i * 32).cast());
+            // (a + offset) stays in [-256, 255]: exact in i16.
+            let alo = _mm256_add_epi16(_mm256_cvtepi8_epi16(_mm256_castsi256_si128(av)), off);
+            let ahi = _mm256_add_epi16(_mm256_cvtepi8_epi16(_mm256_extracti128_si256(av, 1)), off);
+            let blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bv));
+            let bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(bv, 1));
+            let p = _mm256_add_epi32(_mm256_madd_epi16(alo, blo), _mm256_madd_epi16(ahi, bhi));
+            acc = _mm256_add_epi32(acc, p);
+        }
+        let mut sum = hsum_i32(acc);
+        for i in chunks * 32..a.len() {
+            sum += (i32::from(a[i]) + offset) * i32::from(b[i]);
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_i8_offset_x4_avx2(a: &[i8], rows: [&[i8]; 4], offset: i32) -> [i32; 4] {
+        let off = _mm256_set1_epi16(offset as i16);
+        let mut acc = [_mm256_setzero_si256(); 4];
+        let chunks = a.len() / 32;
+        for i in 0..chunks {
+            let av = _mm256_loadu_si256(a.as_ptr().add(i * 32).cast());
+            let alo = _mm256_add_epi16(_mm256_cvtepi8_epi16(_mm256_castsi256_si128(av)), off);
+            let ahi = _mm256_add_epi16(_mm256_cvtepi8_epi16(_mm256_extracti128_si256(av, 1)), off);
+            for (r, row) in rows.iter().enumerate() {
+                let bv = _mm256_loadu_si256(row.as_ptr().add(i * 32).cast());
+                let blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(bv));
+                let bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(bv, 1));
+                let p = _mm256_add_epi32(_mm256_madd_epi16(alo, blo), _mm256_madd_epi16(ahi, bhi));
+                acc[r] = _mm256_add_epi32(acc[r], p);
+            }
+        }
+        let mut out = [0i32; 4];
+        for (o, (acc, row)) in out.iter_mut().zip(acc.iter().zip(&rows)) {
+            let mut sum = hsum_i32(*acc);
+            for i in chunks * 32..a.len() {
+                sum += (i32::from(a[i]) + offset) * i32::from(row[i]);
+            }
+            *o = sum;
+        }
+        out
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::KernelVTable;
+    use std::arch::aarch64::*;
+
+    /// NEON tier. NEON (asimd) is part of the aarch64 baseline, so these
+    /// entry points are sound on every aarch64 target std supports.
+    pub static NEON: KernelVTable = KernelVTable {
+        name: "neon",
+        dot_i8: dot_i8,
+        dot_i8_offset: dot_i8_offset,
+        dot_i8_offset_x4: dot_i8_offset_x4,
+    };
+
+    fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        // SAFETY: NEON is baseline on aarch64; only in-bounds 16-byte
+        // chunks are read, plus a scalar tail.
+        unsafe { dot_i8_neon(a, b) }
+    }
+
+    fn dot_i8_offset(a: &[i8], b: &[i8], offset: i32) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        if !super::offset_fits_i16_fold(offset) {
+            return crate::gemm::dot_i8_offset(a, b, offset);
+        }
+        // SAFETY: as in `dot_i8`; `offset` fits the i16 fold.
+        unsafe { dot_i8_offset_neon(a, b, offset) }
+    }
+
+    fn dot_i8_offset_x4(a: &[i8], rows: [&[i8]; 4], offset: i32) -> [i32; 4] {
+        if !super::offset_fits_i16_fold(offset) {
+            return super::dot_i8_offset_x4_portable(a, rows, offset);
+        }
+        for r in &rows {
+            debug_assert_eq!(r.len(), a.len());
+        }
+        let mut out = [0i32; 4];
+        for (o, row) in out.iter_mut().zip(&rows) {
+            // SAFETY: as in `dot_i8_offset`.
+            *o = unsafe { dot_i8_offset_neon(a, row, offset) };
+        }
+        out
+    }
+
+    /// `sdot`-shaped core: i8×i8 → i16 via `vmull_s8` (exact — products
+    /// fit i16), then pairwise-accumulate into i32 via `vpadalq_s16`.
+    #[target_feature(enable = "neon")]
+    unsafe fn dot_i8_neon(a: &[i8], b: &[i8]) -> i32 {
+        let mut acc = vdupq_n_s32(0);
+        let chunks = a.len() / 16;
+        for i in 0..chunks {
+            let av = vld1q_s8(a.as_ptr().add(i * 16));
+            let bv = vld1q_s8(b.as_ptr().add(i * 16));
+            acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(av), vget_low_s8(bv)));
+            acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(av), vget_high_s8(bv)));
+        }
+        let mut sum = vaddvq_s32(acc);
+        for i in chunks * 16..a.len() {
+            sum += i32::from(a[i]) * i32::from(b[i]);
+        }
+        sum
+    }
+
+    /// Offset path: widen `a` to i16, fold the offset (exact — the sum
+    /// stays in [-256, 255]), then widening multiply-accumulate into i32
+    /// with `vmlal_s16`.
+    #[target_feature(enable = "neon")]
+    unsafe fn dot_i8_offset_neon(a: &[i8], b: &[i8], offset: i32) -> i32 {
+        let off = vdupq_n_s16(offset as i16);
+        let mut acc = vdupq_n_s32(0);
+        let chunks = a.len() / 16;
+        for i in 0..chunks {
+            let av = vld1q_s8(a.as_ptr().add(i * 16));
+            let bv = vld1q_s8(b.as_ptr().add(i * 16));
+            let alo = vaddq_s16(vmovl_s8(vget_low_s8(av)), off);
+            let ahi = vaddq_s16(vmovl_s8(vget_high_s8(av)), off);
+            let blo = vmovl_s8(vget_low_s8(bv));
+            let bhi = vmovl_s8(vget_high_s8(bv));
+            acc = vmlal_s16(acc, vget_low_s16(alo), vget_low_s16(blo));
+            acc = vmlal_s16(acc, vget_high_s16(alo), vget_high_s16(blo));
+            acc = vmlal_s16(acc, vget_low_s16(ahi), vget_low_s16(bhi));
+            acc = vmlal_s16(acc, vget_high_s16(ahi), vget_high_s16(bhi));
+        }
+        let mut sum = vaddvq_s32(acc);
+        for i in chunks * 16..a.len() {
+            sum += (i32::from(a[i]) + offset) * i32::from(b[i]);
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize, mul: usize, sub: i32) -> Vec<i8> {
+        (0..len)
+            .map(|i| ((i * mul) as i32 % 256 - sub) as i8)
+            .collect()
+    }
+
+    fn scalar_dot(a: &[i8], b: &[i8], offset: i32) -> i32 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (i32::from(x) + offset) * i32::from(y))
+            .sum()
+    }
+
+    /// Every vtable (detected and portable) must agree with the scalar
+    /// sum on awkward lengths (remainder tails) and extreme offsets.
+    #[test]
+    fn all_tiers_match_scalar_dots() {
+        let tiers: Vec<&'static KernelVTable> = vec![&PORTABLE, detect()];
+        for vt in tiers {
+            for len in [0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 100, 257] {
+                let a = pattern(len, 37, 128);
+                let b = pattern(len, 91, 127);
+                assert_eq!(
+                    (vt.dot_i8)(&a, &b),
+                    scalar_dot(&a, &b, 0),
+                    "{} len {len}",
+                    vt.name
+                );
+                for offset in [-128, -1, 0, 7, 128] {
+                    assert_eq!(
+                        (vt.dot_i8_offset)(&a, &b, offset),
+                        scalar_dot(&a, &b, offset),
+                        "{} len {len} offset {offset}",
+                        vt.name
+                    );
+                }
+                let rows = [
+                    pattern(len, 3, 120),
+                    pattern(len, 5, 10),
+                    pattern(len, 7, 200),
+                    pattern(len, 11, 64),
+                ];
+                let row_refs = [&rows[0][..], &rows[1][..], &rows[2][..], &rows[3][..]];
+                for offset in [-128, 0, 53, 128] {
+                    let got = (vt.dot_i8_offset_x4)(&a, row_refs, offset);
+                    for (r, row) in row_refs.iter().enumerate() {
+                        assert_eq!(
+                            got[r],
+                            scalar_dot(&a, row, offset),
+                            "{} len {len} offset {offset} row {r}",
+                            vt.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// An offset outside the i16-foldable range must still be exact
+    /// (the SIMD tiers fall back to the portable i32 loop for it).
+    #[test]
+    fn oversized_offsets_stay_exact() {
+        let vt = detect();
+        let a = pattern(70, 13, 100);
+        let b = pattern(70, 29, 150);
+        for offset in [-100_000, -129, 129, 3_000] {
+            assert_eq!(
+                (vt.dot_i8_offset)(&a, &b, offset),
+                scalar_dot(&a, &b, offset)
+            );
+            let rows = [&b[..], &b[..], &a[..], &b[..]];
+            let got = (vt.dot_i8_offset_x4)(&a, rows, offset);
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(got[r], scalar_dot(&a, row, offset), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn detect_is_stable_and_named() {
+        let first = detect();
+        assert!(std::ptr::eq(first, detect()), "detection must be cached");
+        assert!(["portable", "avx2", "neon"].contains(&first.name));
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") {
+            assert_eq!(first.name, "avx2");
+        }
+    }
+}

@@ -30,16 +30,23 @@
 //! [4..6)    version u16 = 2
 //! [6..10)   total blob length u32 (must equal the input length)
 //! [10..H)   header: description, labels, tensor table, op table,
-//!           input/output ids, buffer table (u32 offset + u32 len each)
+//!           input/output ids, buffer table (u32 offset + u32 len each),
+//!           layout-hint table (u32 align + u32 row_stride per buffer,
+//!           count implied by the buffer table)
 //! [H..)     zero padding + buffer sections, each at its recorded
 //!           64-byte-aligned offset, ascending and non-overlapping
 //! ```
+//!
+//! The layout hints are the promises SIMD kernels build on (base
+//! alignment, dense row pitch); [`Model::validate`] cross-checks them
+//! against the actual section placement and tensor shapes, so a hostile
+//! blob cannot smuggle in hints the layout does not honor.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::buffer::{ByteView, ModelBuf, BUFFER_ALIGN};
 use crate::error::{NnError, Result};
-use crate::model::{Activation, Model, Op, Padding};
+use crate::model::{canonical_layout_hints, Activation, BufferLayout, Model, Op, Padding};
 use crate::quantize::QuantParams;
 use crate::tensor::{DType, TensorId, TensorInfo};
 
@@ -100,8 +107,8 @@ pub fn serialize(model: &Model) -> Vec<u8> {
     meta.put_u32_le(model.input.index() as u32);
     meta.put_u32_le(model.output.index() as u32);
 
-    // magic + version + total_len + meta + buffer table.
-    let header_len = 4 + 2 + 4 + meta.len() + 4 + 8 * model.buffers.len();
+    // magic + version + total_len + meta + buffer table + hint table.
+    let header_len = 4 + 2 + 4 + meta.len() + 4 + 8 * model.buffers.len() + 8 * model.buffers.len();
     let mut offsets = Vec::with_capacity(model.buffers.len());
     let mut cursor = header_len;
     for b in &model.buffers {
@@ -120,6 +127,10 @@ pub fn serialize(model: &Model) -> Vec<u8> {
     for (b, &off) in model.buffers.iter().zip(&offsets) {
         buf.put_u32_le(off as u32);
         buf.put_u32_le(b.len() as u32);
+    }
+    for hint in &model.layout_hints {
+        buf.put_u32_le(hint.align);
+        buf.put_u32_le(hint.row_stride);
     }
     debug_assert_eq!(buf.len(), header_len);
     const ZEROS: [u8; BUFFER_ALIGN] = [0; BUFFER_ALIGN];
@@ -677,6 +688,15 @@ pub fn deserialize_shared(buf: ModelBuf) -> Result<Model> {
         let len = r.u32()? as usize;
         entries.push((off, len));
     }
+    // Layout-hint table, index-parallel with the buffer table. The values
+    // are untrusted claims here; Model::validate cross-checks each one
+    // against the real section layout before the model is handed out.
+    let mut layout_hints = Vec::with_capacity(buffer_count);
+    for _ in 0..buffer_count {
+        let align = r.u32()?;
+        let row_stride = r.u32()?;
+        layout_hints.push(BufferLayout { align, row_stride });
+    }
     // Section discipline: every buffer lies past the header, at its
     // guaranteed alignment, inside the blob, ascending and non-overlapping.
     // A hostile blob violating any of these is rejected before a single
@@ -707,6 +727,7 @@ pub fn deserialize_shared(buf: ModelBuf) -> Result<Model> {
     let model = Model {
         tensors,
         buffers,
+        layout_hints,
         ops,
         input,
         output,
@@ -714,7 +735,8 @@ pub fn deserialize_shared(buf: ModelBuf) -> Result<Model> {
         description,
     };
     // Full validation in place, so a tampered blob cannot produce a model
-    // violating kernel preconditions.
+    // violating kernel preconditions (including layout hints that
+    // contradict the actual section layout).
     model.validate()?;
     Ok(model)
 }
@@ -754,9 +776,13 @@ fn deserialize_v1(data: &[u8]) -> Result<Model> {
     let input = r.tensor_id(tensors.len())?;
     let output = r.tensor_id(tensors.len())?;
 
+    // v1 predates layout hints; the copying decoder lands every buffer in
+    // aligned storage, so the canonical hints hold by construction.
+    let layout_hints = canonical_layout_hints(&tensors, &buffers);
     let model = Model {
         tensors,
         buffers,
+        layout_hints,
         ops,
         input,
         output,
@@ -959,33 +985,35 @@ mod tests {
         }
     }
 
+    /// Locates the v2 buffer table: scan for the count value `n` followed
+    /// by n entries whose offsets are all 64-aligned and in-bounds. (The
+    /// layout-hint table follows immediately after the located table.)
+    fn locate_buffer_table(bytes: &[u8], n: usize) -> usize {
+        let mut found = None;
+        for pos in 10..bytes.len().saturating_sub(4 + 8 * n) {
+            let count = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            if count != n {
+                continue;
+            }
+            let ok = (0..n).all(|i| {
+                let p = pos + 4 + 8 * i;
+                let off = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()) as usize;
+                off.is_multiple_of(BUFFER_ALIGN) && off >= pos && off < bytes.len()
+            });
+            if ok {
+                found = Some(pos);
+                break;
+            }
+        }
+        found.expect("buffer table located")
+    }
+
     #[test]
     fn misaligned_or_overlapping_v2_sections_rejected() {
         let bytes = serialize(&sample_model());
         let model = sample_model();
         let n = model.buffers.len();
-        // Locate the buffer table: it is the last `4 + 8n` bytes of the
-        // header — scan for the count value `n` followed by n entries whose
-        // offsets are all 64-aligned and in-bounds.
-        let first_section = {
-            let mut found = None;
-            for pos in 10..bytes.len().saturating_sub(4 + 8 * n) {
-                let count = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-                if count != n {
-                    continue;
-                }
-                let ok = (0..n).all(|i| {
-                    let p = pos + 4 + 8 * i;
-                    let off = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()) as usize;
-                    off.is_multiple_of(BUFFER_ALIGN) && off >= pos && off < bytes.len()
-                });
-                if ok {
-                    found = Some(pos);
-                    break;
-                }
-            }
-            found.expect("buffer table located")
-        };
+        let first_section = locate_buffer_table(&bytes, n);
         // Misaligned offset.
         let mut bad = bytes.clone();
         let p = first_section + 4;
@@ -1005,6 +1033,49 @@ mod tests {
             let p2 = first_section + 4 + 8;
             bad[p2..p2 + 4].copy_from_slice(&off.to_le_bytes());
             assert!(deserialize(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn hostile_layout_hints_rejected() {
+        let bytes = serialize(&sample_model());
+        let model = sample_model();
+        let n = model.buffers.len();
+        let hints = locate_buffer_table(&bytes, n) + 4 + 8 * n;
+
+        // The untampered blob loads, and carries the canonical hints.
+        let loaded = deserialize(&bytes).unwrap();
+        assert_eq!(loaded.layout_hints().len(), n);
+        assert!(loaded
+            .layout_hints()
+            .iter()
+            .all(|h| h.align as usize == BUFFER_ALIGN));
+
+        // Alignment claims the layout cannot honor: zero, non-power-of-two,
+        // and stronger than the format's 64-byte section guarantee.
+        for align in [0u32, 3, 48, 128] {
+            let mut bad = bytes.clone();
+            bad[hints..hints + 4].copy_from_slice(&align.to_le_bytes());
+            assert!(
+                matches!(deserialize(&bad), Err(NnError::MalformedModel(_))),
+                "alignment hint {align} accepted"
+            );
+        }
+
+        // A row stride contradicting the owning tensor's shape (off by one
+        // byte, and wildly out of range) must be rejected, for every
+        // buffer's hint entry.
+        for i in 0..n {
+            let p = hints + 8 * i + 4;
+            let stride = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap());
+            for bad_stride in [stride + 1, stride.wrapping_sub(1), u32::MAX] {
+                let mut bad = bytes.clone();
+                bad[p..p + 4].copy_from_slice(&bad_stride.to_le_bytes());
+                assert!(
+                    matches!(deserialize(&bad), Err(NnError::MalformedModel(_))),
+                    "row stride {bad_stride} for buffer {i} accepted (real: {stride})"
+                );
+            }
         }
     }
 

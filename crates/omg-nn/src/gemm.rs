@@ -22,8 +22,78 @@
 //! The only per-invoke scratch — the im2col panel — is planned into the
 //! interpreter's activation arena (see [`conv_im2col_len`]), so `invoke`
 //! performs no heap allocation.
+//!
+//! Two orthogonal accelerators sit on top of the portable core:
+//!
+//! * **SIMD dispatch** — [`gemm_with`] takes a [`KernelVTable`]
+//!   (see [`crate::arch`]) and routes every inner dot product through it,
+//!   so the AVX2/NEON tiers slot under `conv2d` and the im2col path
+//!   without changing a single loop here. [`gemm`] uses the best detected
+//!   tier.
+//! * **Row-panel threading** — when the process-wide [`thread_budget`] is
+//!   raised above one, [`gemm_with`] splits the `m` output rows into
+//!   contiguous panels and runs them on scoped threads. Rows are
+//!   independent (each output cell is one dot product plus requantize),
+//!   so the split is bit-exact by construction; scoped threads join
+//!   before the call returns, so a panicking panel can never leave a
+//!   dangling borrow of the arena. The budget defaults to **1** (no
+//!   threads spawned, preserving the interpreter's zero-allocation
+//!   invoke) and composes with `omg-serve`'s thread-per-device workers:
+//!   raise it only when devices are scarcer than cores (see
+//!   `ServeConfig::kernel_threads`).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::arch::{self, KernelVTable};
 use crate::quantize::FixedMultiplier;
+
+/// Hard cap on [`thread_budget`]: a misconfigured env var cannot fork
+/// bomb a worker fleet.
+pub const MAX_GEMM_THREADS: usize = 64;
+
+/// Below this many multiply-accumulates a GEMM never splits: spawning
+/// threads costs tens of microseconds, which tiny proptest shapes and
+/// single-row fully-connected layers would pay without recouping.
+const PAR_MIN_MACS: usize = 1 << 18;
+
+/// Minimum output rows per panel worth a thread of its own.
+const PAR_MIN_ROWS: usize = 32;
+
+/// 0 = not yet initialized (first read resolves `OMG_GEMM_THREADS`).
+static THREAD_BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide GEMM thread budget: the maximum number of scoped
+/// threads one [`gemm`] call may use. Defaults to `OMG_GEMM_THREADS` if
+/// set (clamped to `1..=`[`MAX_GEMM_THREADS`]), else 1.
+pub fn thread_budget() -> usize {
+    match THREAD_BUDGET.load(Ordering::Relaxed) {
+        0 => {
+            let initial = std::env::var("OMG_GEMM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map_or(1, |n| n.clamp(1, MAX_GEMM_THREADS));
+            // Racing initializers compute the same value; keep whichever
+            // landed first so a concurrent `set_thread_budget` wins.
+            let _ =
+                THREAD_BUDGET.compare_exchange(0, initial, Ordering::Relaxed, Ordering::Relaxed);
+            THREAD_BUDGET.load(Ordering::Relaxed)
+        }
+        n => n,
+    }
+}
+
+/// Sets the process-wide GEMM thread budget (clamped to
+/// `1..=`[`MAX_GEMM_THREADS`]), returning the previous value. An explicit
+/// call overrides `OMG_GEMM_THREADS`; serving runtimes set this from
+/// `ServeConfig::kernel_threads` so kernel threads and device workers
+/// share one knob instead of oversubscribing each other.
+pub fn set_thread_budget(threads: usize) -> usize {
+    let clamped = threads.clamp(1, MAX_GEMM_THREADS);
+    match THREAD_BUDGET.swap(clamped, Ordering::Relaxed) {
+        0 => 1,
+        prev => prev,
+    }
+}
 
 /// Accumulator width of the vectorizable inner loops. 16 × i32 covers a
 /// 512-bit vector unit and folds cleanly onto 128/256-bit ones.
@@ -127,12 +197,24 @@ pub struct GemmArgs<'a> {
     pub act_max: i8,
 }
 
-/// Blocked int8×int8→i32 matrix multiply with fused requantization.
+/// Blocked int8×int8→i32 matrix multiply with fused requantization,
+/// using the best dot-product tier the CPU supports
+/// ([`crate::arch::detect`]). Equivalent to
+/// `gemm_with(arch::detect(), args)`.
+pub fn gemm(args: GemmArgs<'_>) {
+    gemm_with(arch::detect(), args);
+}
+
+/// [`gemm`] with an explicit dispatch tier.
 ///
 /// B is walked in column panels so a panel's rows stay cache-hot across
-/// every row of A; each `(i, j)` cell is a contiguous [`dot_i8`] plus the
+/// every row of A; each `(i, j)` cell is a contiguous `dot_i8` plus the
 /// hoisted offset and bias, requantized straight into the i8 output.
-pub fn gemm(args: GemmArgs<'_>) {
+/// When [`thread_budget`] exceeds one and the problem clears the
+/// minimum-work thresholds, the `m` rows are split into contiguous
+/// panels executed on scoped threads — bit-exact, since every output row
+/// is computed by exactly the same code either way.
+pub fn gemm_with(vt: &'static KernelVTable, args: GemmArgs<'_>) {
     let GemmArgs {
         a,
         b,
@@ -152,21 +234,87 @@ pub fn gemm(args: GemmArgs<'_>) {
     debug_assert!(b.len() >= n * k);
     debug_assert!(bias.len() >= n && b_row_sums.len() >= n);
     debug_assert!(out.len() >= m * n);
-    let (lo, hi) = (i32::from(act_min), i32::from(act_max));
+    let cell = CellParams {
+        input_offset,
+        output_offset,
+        multiplier,
+        clamp: (i32::from(act_min), i32::from(act_max)),
+    };
+    let budget = thread_budget();
+    let threads = if budget > 1 && m * n * k >= PAR_MIN_MACS {
+        budget.min(m / PAR_MIN_ROWS).max(1)
+    } else {
+        1
+    };
+    if threads <= 1 {
+        gemm_rows(
+            vt,
+            &a[..m * k],
+            b,
+            bias,
+            b_row_sums,
+            &mut out[..m * n],
+            n,
+            k,
+            cell,
+        );
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut a_rest: &[i8] = &a[..m * k];
+        let mut out_rest: &mut [i8] = &mut out[..m * n];
+        for t in 0..threads {
+            let rows = m / threads + usize::from(t < m % threads);
+            let (a_panel, a_tail) = a_rest.split_at(rows * k);
+            a_rest = a_tail;
+            let (out_panel, out_tail) = std::mem::take(&mut out_rest).split_at_mut(rows * n);
+            out_rest = out_tail;
+            scope.spawn(move || gemm_rows(vt, a_panel, b, bias, b_row_sums, out_panel, n, k, cell));
+        }
+    });
+}
+
+/// Requantization parameters shared by every output cell.
+#[derive(Clone, Copy)]
+struct CellParams {
+    input_offset: i32,
+    output_offset: i32,
+    multiplier: FixedMultiplier,
+    clamp: (i32, i32),
+}
+
+/// One contiguous panel of output rows: `a_panel` is `rows × k`,
+/// `out_panel` is `rows × n`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    vt: &KernelVTable,
+    a_panel: &[i8],
+    b: &[i8],
+    bias: &[i32],
+    b_row_sums: &[i32],
+    out_panel: &mut [i8],
+    n: usize,
+    k: usize,
+    cell: CellParams,
+) {
+    let rows = out_panel.len() / n.max(1);
+    let (lo, hi) = cell.clamp;
     // Column-panel width: enough rows of B to amortize streaming A, small
     // enough that a panel of realistic k stays in L1.
     const NB: usize = 8;
     let mut jb = 0;
     while jb < n {
         let jn = NB.min(n - jb);
-        for i in 0..m {
-            let a_row = &a[i * k..][..k];
-            let out_cells = &mut out[i * n + jb..][..jn];
-            for (jj, cell) in out_cells.iter_mut().enumerate() {
+        for i in 0..rows {
+            let a_row = &a_panel[i * k..][..k];
+            let out_cells = &mut out_panel[i * n + jb..][..jn];
+            for (jj, out_cell) in out_cells.iter_mut().enumerate() {
                 let j = jb + jj;
-                let acc = dot_i8(a_row, &b[j * k..][..k]) + input_offset * b_row_sums[j] + bias[j];
-                let scaled = multiplier.apply(acc) + output_offset;
-                *cell = scaled.clamp(lo, hi) as i8;
+                let acc = (vt.dot_i8)(a_row, &b[j * k..][..k])
+                    + cell.input_offset * b_row_sums[j]
+                    + bias[j];
+                let scaled = cell.multiplier.apply(acc) + cell.output_offset;
+                *out_cell = scaled.clamp(lo, hi) as i8;
             }
         }
         jb += NB;
@@ -313,6 +461,55 @@ mod tests {
             act_max: 127,
         });
         assert_eq!(out, a);
+    }
+
+    /// Budget accounting and row-panel threading in one test: the global
+    /// budget is process-wide state, so probing it from two concurrent
+    /// `#[test]`s would race.
+    ///
+    /// Threading must be invisible in the output: same GEMM, budgets
+    /// 1/2/3/4, bit-identical results on a shape large enough to split.
+    #[test]
+    fn threaded_gemm_is_bit_exact_and_budget_is_clamped() {
+        let prev = set_thread_budget(4);
+        assert_eq!(thread_budget(), 4);
+        assert_eq!(set_thread_budget(0), 4); // clamped up to 1
+        assert_eq!(thread_budget(), 1);
+        assert_eq!(set_thread_budget(10_000), 1); // clamped to the cap
+        assert_eq!(thread_budget(), MAX_GEMM_THREADS);
+        set_thread_budget(prev);
+        let (m, n, k) = (256, 16, 64); // 262144 MACs: clears PAR_MIN_MACS
+        let a: Vec<i8> = (0..m * k).map(|i| ((i * 13) % 256) as u8 as i8).collect();
+        let b: Vec<i8> = (0..n * k).map(|i| ((i * 29) % 256) as u8 as i8).collect();
+        let bias: Vec<i32> = (0..n as i32).map(|i| i * 11 - 60).collect();
+        let mut sums = vec![0i32; n];
+        row_sums(&b, n, k, &mut sums);
+        let run = |budget: usize| -> Vec<i8> {
+            let prev = set_thread_budget(budget);
+            let mut out = vec![0i8; m * n];
+            gemm(GemmArgs {
+                a: &a,
+                b: &b,
+                bias: &bias,
+                b_row_sums: &sums,
+                out: &mut out,
+                m,
+                n,
+                k,
+                input_offset: 7,
+                output_offset: -3,
+                multiplier: FixedMultiplier::from_real(0.0017).unwrap(),
+                act_min: -128,
+                act_max: 127,
+            });
+            set_thread_budget(prev);
+            out
+        };
+        let single = run(1);
+        assert_eq!(run(2), single);
+        assert_eq!(run(4), single);
+        // Odd splits too: m % threads != 0 exercises the uneven panels.
+        assert_eq!(run(3), single);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! list; executing a step only does split borrows into the arena and the
 //! model's buffers.
 
+use crate::arch;
 use crate::buffer::ByteView;
 use crate::error::{NnError, Result};
 use crate::model::{same_padding, Activation, Model, Op, Padding};
@@ -17,34 +18,70 @@ use crate::quantize::FixedMultiplier;
 use crate::tensor::{DType, TensorId};
 use crate::{gemm, kernels, kernels_fast};
 
-/// Which kernel implementation set an [`Interpreter`] executes with.
+/// Which kernel dispatch tier an [`Interpreter`] executes with.
 ///
-/// The fast set (im2col + blocked GEMM, restructured window kernels; see
-/// [`crate::kernels_fast`]) is the default. The scalar TFLM reference set
-/// ([`crate::kernels`]) is kept verbatim as the correctness oracle:
-/// differential tests assert the two produce bit-identical outputs, and
-/// `OMG_KERNELS=reference` forces the oracle at run time for triage.
+/// Three tiers, selectable per interpreter ([`Interpreter::with_kernels`])
+/// or process-wide via `OMG_KERNELS=simd|portable|reference`:
+///
+/// * [`Simd`](KernelSet::Simd) (default) — the fast kernels
+///   ([`crate::kernels_fast`]: im2col + blocked GEMM, restructured window
+///   loops) with their dot products routed through the best
+///   [`crate::arch::KernelVTable`] the CPU supports (AVX2 on x86_64, NEON
+///   on aarch64), detected once at [`Interpreter::new`] and cached in a
+///   `OnceLock`. On CPUs without a SIMD tier this degrades to exactly the
+///   portable tier.
+/// * [`Portable`](KernelSet::Portable) — the same fast kernels pinned to
+///   the autovectorized portable lane loops. This is what the SIMD tier
+///   falls back to, kept independently selectable so the fallback stays
+///   covered on SIMD-capable hardware.
+/// * [`Reference`](KernelSet::Reference) — scalar TFLM reference kernels
+///   ([`crate::kernels`]), kept verbatim as the correctness oracle.
+///
+/// Differential tests assert all tiers produce bit-identical outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelSet {
-    /// im2col + blocked-GEMM fast kernels (the default).
+    /// Fast kernels on the best runtime-detected SIMD vtable (the
+    /// default; falls back to portable lanes when no SIMD tier exists).
     #[default]
-    Fast,
+    Simd,
+    /// Fast kernels pinned to the portable autovectorized lane loops.
+    Portable,
     /// Scalar TFLM reference kernels (the differential-test oracle).
     Reference,
 }
 
 impl KernelSet {
     /// Parses an `OMG_KERNELS` value; anything unrecognized (or absent)
-    /// selects the fast set.
+    /// selects the default SIMD tier. `"fast"` is accepted as a legacy
+    /// alias for it.
     pub fn parse(value: Option<&str>) -> Self {
         match value {
             Some("reference") | Some("ref") => KernelSet::Reference,
-            _ => KernelSet::Fast,
+            Some("portable") => KernelSet::Portable,
+            _ => KernelSet::Simd,
         }
     }
 
     fn from_env() -> Self {
         Self::parse(std::env::var("OMG_KERNELS").ok().as_deref())
+    }
+
+    /// The dot-product vtable this tier executes with. [`Reference`]
+    /// reports the portable vtable, but the reference kernels never
+    /// consult it.
+    ///
+    /// [`Reference`]: KernelSet::Reference
+    pub fn vtable(self) -> &'static arch::KernelVTable {
+        match self {
+            KernelSet::Simd => arch::detect(),
+            KernelSet::Portable | KernelSet::Reference => &arch::PORTABLE,
+        }
+    }
+
+    /// Whether this tier runs the restructured fast kernels (as opposed
+    /// to the scalar reference oracle).
+    fn is_fast(self) -> bool {
+        self != KernelSet::Reference
     }
 }
 
@@ -190,8 +227,11 @@ pub struct Interpreter {
     pending_taps: Vec<TensorId>,
     /// Snapshots collected for the pending taps.
     tap_results: Vec<(TensorId, Vec<i8>)>,
-    /// Which kernel implementation set `invoke` executes with.
+    /// Which kernel dispatch tier `invoke` executes with.
     kernels: KernelSet,
+    /// The tier's dot-product vtable, resolved once at construction
+    /// (CPU-feature detection happens here, never on the hot path).
+    vtable: &'static arch::KernelVTable,
 }
 
 fn shape4(shape: &[usize], context: &'static str) -> Result<[usize; 4]> {
@@ -306,8 +346,9 @@ fn conv_scratch_layout(model: &Model, op: &Op) -> Result<usize> {
 
 impl Interpreter {
     /// Plans the arena, decodes biases, and compiles every op into a fully
-    /// resolved step. Executes with the fast kernel set unless the
-    /// `OMG_KERNELS=reference` environment toggle selects the oracle (see
+    /// resolved step. Executes with the SIMD-dispatched kernel set (CPU
+    /// features detected once, here) unless the `OMG_KERNELS` environment
+    /// toggle (`reference`, `portable`, `simd`) selects another tier (see
     /// [`KernelSet`] and [`Self::with_kernels`]).
     ///
     /// # Errors
@@ -398,7 +439,7 @@ impl Interpreter {
         // overlaps scratch with whatever is dead at that step and
         // `invoke` stays allocation-free.
         let mut scratch_lens: Vec<usize> = vec![0; model.ops.len()];
-        if kernels == KernelSet::Fast {
+        if kernels.is_fast() {
             for (op_idx, op) in model.ops.iter().enumerate() {
                 let size = conv_scratch_layout(&model, op)?;
                 if size > 0 {
@@ -424,6 +465,7 @@ impl Interpreter {
             pending_taps: Vec::new(),
             tap_results: Vec::new(),
             kernels,
+            vtable: kernels.vtable(),
         };
         let mut steps = Vec::with_capacity(interp.model.ops.len());
         for (op_idx, op) in interp.model.ops.iter().enumerate() {
@@ -584,7 +626,7 @@ impl Interpreter {
                 // The fast GEMM hoists the input zero point via per-row
                 // filter sums; the filter is constant, so compute them
                 // once here instead of on every invoke.
-                let row_sums = if depthwise.is_none() && self.kernels == KernelSet::Fast {
+                let row_sums = if depthwise.is_none() && self.kernels.is_fast() {
                     let k = filter_shape[1] * filter_shape[2] * filter_shape[3];
                     let mut sums = vec![0i32; filter_shape[0]];
                     gemm::row_sums(
@@ -834,9 +876,17 @@ impl Interpreter {
                     model,
                     bias_pool,
                     kernels,
+                    vtable,
                     ..
                 } = self;
-                exec_step(&steps[step_idx], arena, &model.buffers, bias_pool, *kernels);
+                exec_step(
+                    &steps[step_idx],
+                    arena,
+                    &model.buffers,
+                    bias_pool,
+                    *kernels,
+                    vtable,
+                );
             }
             if taps_active {
                 let step = &self.steps[step_idx];
@@ -976,6 +1026,7 @@ fn exec_step(
     buffers: &[ByteView],
     bias_pool: &[i32],
     kernel_set: KernelSet,
+    vt: &'static arch::KernelVTable,
 ) {
     // Obtain the input, output, and scratch slices via split borrows. A
     // constant input borrows the model buffer instead, leaving the whole
@@ -995,7 +1046,7 @@ fn exec_step(
             (as_i8(&buffers[buffer]), out, scr)
         }
     };
-    let fast = kernel_set == KernelSet::Fast;
+    let fast = kernel_set.is_fast();
     match step.kind {
         StepKind::Conv2D {
             filter_buf,
@@ -1032,7 +1083,7 @@ fn exec_step(
                 act_max,
             };
             match (depthwise, fast) {
-                (None, true) => kernels_fast::conv2d(args, row_sums, scratch),
+                (None, true) => kernels_fast::conv2d_with(vt, args, row_sums, scratch),
                 (None, false) => kernels::conv2d(args),
                 (Some(mult), _) => {
                     let args = kernels::DepthwiseConv2DArgs {
@@ -1087,7 +1138,7 @@ fn exec_step(
                 act_max,
             };
             if fast {
-                kernels_fast::fully_connected(args);
+                kernels_fast::fully_connected_with(vt, args);
             } else {
                 kernels::fully_connected(args);
             }
@@ -1239,29 +1290,35 @@ mod tests {
         assert!(reference.arena_size() <= 10);
         assert!(reference.arena_size() >= 8); // conv co-lives with in and fc
 
-        let fast = Interpreter::with_kernels(tiny_model(), KernelSet::Fast).unwrap();
+        let fast = Interpreter::with_kernels(tiny_model(), KernelSet::Simd).unwrap();
         assert_eq!(fast.arena_size(), reference.arena_size());
     }
 
     #[test]
     fn kernel_set_env_parsing_and_default() {
-        assert_eq!(KernelSet::parse(None), KernelSet::Fast);
-        assert_eq!(KernelSet::parse(Some("fast")), KernelSet::Fast);
+        assert_eq!(KernelSet::parse(None), KernelSet::Simd);
+        assert_eq!(KernelSet::parse(Some("simd")), KernelSet::Simd);
+        assert_eq!(KernelSet::parse(Some("fast")), KernelSet::Simd); // legacy alias
+        assert_eq!(KernelSet::parse(Some("portable")), KernelSet::Portable);
         assert_eq!(KernelSet::parse(Some("reference")), KernelSet::Reference);
         assert_eq!(KernelSet::parse(Some("ref")), KernelSet::Reference);
-        assert_eq!(KernelSet::parse(Some("garbage")), KernelSet::Fast);
+        assert_eq!(KernelSet::parse(Some("garbage")), KernelSet::Simd);
+        // Every tier resolves to a concrete vtable; only Simd may differ
+        // from the portable lanes code, and only when the CPU supports it.
+        assert_eq!(KernelSet::Portable.vtable().name, "portable");
+        assert_eq!(KernelSet::Reference.vtable().name, "portable");
         // The constructor seam records the selection.
         let interp = Interpreter::with_kernels(tiny_model(), KernelSet::Reference).unwrap();
         assert_eq!(interp.kernels(), KernelSet::Reference);
-        assert_eq!(
-            Interpreter::new(tiny_model()).unwrap().kernels(),
-            KernelSet::Fast
-        );
+        // `new` honors the real OMG_KERNELS toggle, so assert against it
+        // (CI runs this suite once more with OMG_KERNELS=portable pinned).
+        let expect = KernelSet::parse(std::env::var("OMG_KERNELS").ok().as_deref());
+        assert_eq!(Interpreter::new(tiny_model()).unwrap().kernels(), expect);
     }
 
     #[test]
     fn fast_and_reference_kernels_agree_end_to_end() {
-        let mut fast = Interpreter::with_kernels(tiny_model(), KernelSet::Fast).unwrap();
+        let mut fast = Interpreter::with_kernels(tiny_model(), KernelSet::Simd).unwrap();
         let mut reference = Interpreter::with_kernels(tiny_model(), KernelSet::Reference).unwrap();
         for input in [[1i8, 2, 3, 4], [-5, 0, 127, -128], [9, 9, 9, 9]] {
             fast.invoke(&input).unwrap();

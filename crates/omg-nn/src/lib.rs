@@ -8,11 +8,15 @@
 //!   requantization pipeline, bit-matching the TFLite reference kernels;
 //! * [`kernels`] — reference int8 Conv2D / DepthwiseConv2D / FullyConnected
 //!   / pooling / softmax, kept verbatim as the correctness oracle;
-//! * [`gemm`] — portable blocked int8 GEMM core + im2col packing;
+//! * [`gemm`] — blocked int8 GEMM core + im2col packing, with an optional
+//!   row-panel threaded path (`OMG_GEMM_THREADS`);
+//! * [`arch`] — runtime CPU-feature dispatch: AVX2 (x86_64) / NEON
+//!   (aarch64) `i8×i8→i32` dot microkernels behind a vtable, with the
+//!   portable lanes code as the always-available fallback;
 //! * [`kernels_fast`] — the default execution kernels: conv lowered onto
 //!   the GEMM, window kernels restructured into vectorizable lanes,
-//!   bit-exact with [`kernels`] (select with [`interpreter::KernelSet`]
-//!   or `OMG_KERNELS=reference`);
+//!   bit-exact with [`kernels`] (select a tier with
+//!   [`interpreter::KernelSet`] or `OMG_KERNELS=reference|portable|simd`);
 //! * [`model`] — the operator graph and its builder;
 //! * [`planner`] — TFLM-style greedy arena planning (no heap at inference);
 //! * [`interpreter`] — the arena-based executor;
@@ -52,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arch;
 pub mod buffer;
 mod error;
 pub mod format;

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use crate::buffer::{AlignedBytes, ByteView};
+use crate::buffer::{AlignedBytes, ByteView, BUFFER_ALIGN};
 use crate::error::{NnError, Result};
 use crate::quantize::QuantParams;
 use crate::tensor::{DType, TensorId, TensorInfo};
@@ -244,6 +244,48 @@ pub fn same_padding(input: usize, kernel: usize, stride: usize) -> (usize, usize
     (total / 2, total - total / 2)
 }
 
+/// Per-buffer layout promises carried in the OMGM v2 header, so vector
+/// kernels can assume alignment and row pitch without re-deriving them
+/// from tensor shapes at dispatch time.
+///
+/// Hints are *claims the blob makes about its own layout*;
+/// [`Model::validate`] rejects any hint the actual section placement and
+/// tensor shapes do not back up, so a hint in a validated model is a fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferLayout {
+    /// Guaranteed alignment (power of two, ≤ [`BUFFER_ALIGN`]) of the
+    /// buffer's first byte.
+    pub align: u32,
+    /// Bytes between consecutive leading-dimension rows. Rows are packed
+    /// dense (stride == row byte width); rank-1 buffers report their full
+    /// byte length as a single row.
+    pub row_stride: u32,
+}
+
+/// The canonical hints for a tensor/buffer set: every buffer starts at a
+/// [`BUFFER_ALIGN`]ed address (both `AlignedBytes` allocations and v2
+/// image windows guarantee this), and rows are packed dense.
+pub(crate) fn canonical_layout_hints(
+    tensors: &[TensorInfo],
+    buffers: &[ByteView],
+) -> Vec<BufferLayout> {
+    let mut hints: Vec<BufferLayout> = buffers
+        .iter()
+        .map(|b| BufferLayout {
+            align: BUFFER_ALIGN as u32,
+            row_stride: b.len() as u32,
+        })
+        .collect();
+    for t in tensors {
+        let Some(b) = t.buffer() else { continue };
+        let rows = t.shape().first().copied().unwrap_or(0);
+        if t.shape().len() >= 2 && rows > 0 {
+            hints[b].row_stride = (t.byte_size() / rows) as u32;
+        }
+    }
+    hints
+}
+
 /// A complete, validated model.
 ///
 /// Constant buffers are [`ByteView`]s into 64-byte-aligned storage: models
@@ -254,6 +296,7 @@ pub fn same_padding(input: usize, kernel: usize, stride: usize) -> (usize, usize
 pub struct Model {
     pub(crate) tensors: Vec<TensorInfo>,
     pub(crate) buffers: Vec<ByteView>,
+    pub(crate) layout_hints: Vec<BufferLayout>,
     pub(crate) ops: Vec<Op>,
     pub(crate) input: TensorId,
     pub(crate) output: TensorId,
@@ -308,6 +351,13 @@ impl Model {
     /// Free-text description.
     pub fn description(&self) -> &str {
         &self.description
+    }
+
+    /// Per-buffer layout hints (alignment + row stride), index-parallel
+    /// with the constant buffers. Validated against the actual layout, so
+    /// SIMD kernels may rely on them.
+    pub fn layout_hints(&self) -> &[BufferLayout] {
+        &self.layout_hints
     }
 
     /// Raw constant buffer by index.
@@ -394,6 +444,33 @@ impl Model {
                         got: buf.len(),
                     });
                 }
+            }
+        }
+        // Layout hints are *promises* SIMD kernels are allowed to build on;
+        // a v2 header whose hints contradict the actual section layout is
+        // hostile (or corrupt) and must be rejected, not trusted.
+        if self.layout_hints.len() != self.buffers.len() {
+            return Err(NnError::MalformedModel(
+                "layout hint count must match buffer count",
+            ));
+        }
+        let canonical = canonical_layout_hints(&self.tensors, &self.buffers);
+        for ((hint, want), buf) in self.layout_hints.iter().zip(&canonical).zip(&self.buffers) {
+            if !hint.align.is_power_of_two() || hint.align as usize > BUFFER_ALIGN {
+                return Err(NnError::MalformedModel(
+                    "layout hint alignment must be a power of two no larger than 64",
+                ));
+            }
+            let data = buf.as_slice();
+            if !data.is_empty() && !(data.as_ptr() as usize).is_multiple_of(hint.align as usize) {
+                return Err(NnError::MalformedModel(
+                    "buffer address does not satisfy its alignment hint",
+                ));
+            }
+            if hint.row_stride != want.row_stride {
+                return Err(NnError::MalformedModel(
+                    "layout hint row stride contradicts the tensor layout",
+                ));
             }
         }
         for op in &self.ops {
@@ -754,9 +831,11 @@ impl ModelBuilder {
         let output = self
             .output
             .ok_or(NnError::MalformedModel("output tensor not set"))?;
+        let layout_hints = canonical_layout_hints(&self.tensors, &self.buffers);
         let model = Model {
             tensors: self.tensors,
             buffers: self.buffers,
+            layout_hints,
             ops: self.ops,
             input,
             output,

@@ -4,18 +4,38 @@
 //! (`omg_nn::kernels`) for every kernel, across randomized shapes,
 //! strides, paddings, zero points, and activation clamps.
 //!
+//! The dot-product kernels (conv via GEMM, fully connected) dispatch
+//! through a CPU-feature vtable ([`omg_nn::arch`]); every proptest runs
+//! the fast path once per *available* tier — the portable lanes fallback
+//! always, plus the detected SIMD vtable (AVX2/NEON) when it differs —
+//! so the oracle proves each dispatched path exact, not just whichever
+//! tier the host happens to pick.
+//!
 //! Generators are shrinking-friendly: every dimension comes from a range
 //! strategy (which the vendored proptest halves toward its start), and
 //! tensor data is cycled out of an independently shrinkable byte vector,
 //! so a failing case minimizes toward the smallest shape and blandest
 //! data that still disagrees.
 
+use omg_nn::arch::{self, KernelVTable};
 use omg_nn::gemm::{conv_im2col_len, row_sums};
 use omg_nn::kernels::{self, Conv2DArgs, DepthwiseConv2DArgs, FullyConnectedArgs, Pool2DArgs};
 use omg_nn::kernels_fast;
 use omg_nn::model::{conv_output_size, same_padding, Padding};
 use omg_nn::quantize::FixedMultiplier;
 use proptest::prelude::*;
+
+/// Every dispatch tier the host can actually execute: the portable
+/// fallback, plus the detected SIMD vtable when it is a distinct
+/// implementation.
+fn tiers() -> Vec<&'static KernelVTable> {
+    let mut tiers = vec![&arch::PORTABLE];
+    let detected = arch::detect();
+    if !std::ptr::eq(detected, &arch::PORTABLE) {
+        tiers.push(detected);
+    }
+    tiers
+}
 
 /// Cycles `data` into a tensor of `len` elements, so shrinking the data
 /// vector (even below `len`) can never index out of bounds.
@@ -76,7 +96,7 @@ proptest! {
         let multiplier = FixedMultiplier::from_real(f64::from(mult_ppm) * 1e-4).unwrap();
         let (act_min, act_max) = clamp(act_a, act_b);
 
-        let run = |fast: bool| -> Vec<i8> {
+        let run = |vt: Option<&'static KernelVTable>| -> Vec<i8> {
             let mut output = vec![0i8; out_h * out_w * out_c];
             let args = Conv2DArgs {
                 input: &input,
@@ -94,7 +114,7 @@ proptest! {
                 act_min,
                 act_max,
             };
-            if fast {
+            if let Some(vt) = vt {
                 let im2col_len = conv_im2col_len(
                     filter_shape,
                     output_shape,
@@ -104,13 +124,16 @@ proptest! {
                 let mut sums = vec![0i32; out_c];
                 row_sums(&filter, out_c, k_h * k_w * in_c, &mut sums);
                 let mut scratch = vec![0i8; im2col_len];
-                kernels_fast::conv2d(args, &sums, &mut scratch);
+                kernels_fast::conv2d_with(vt, args, &sums, &mut scratch);
             } else {
                 kernels::conv2d(args);
             }
             output
         };
-        prop_assert_eq!(run(true), run(false));
+        let want = run(None);
+        for vt in tiers() {
+            prop_assert_eq!(&run(Some(vt)), &want, "conv2d diverged under tier {}", vt.name);
+        }
     }
 
     /// depthwise_conv2d: lane-blocked fast path (and its multiplier > 1
@@ -191,7 +214,7 @@ proptest! {
         let multiplier = FixedMultiplier::from_real(f64::from(mult_ppm) * 1e-4).unwrap();
         let (act_min, act_max) = clamp(act_a, act_b);
 
-        let run = |fast: bool| -> Vec<i8> {
+        let run = |vt: Option<&'static KernelVTable>| -> Vec<i8> {
             let mut output = vec![0i8; batches * out_features];
             let args = FullyConnectedArgs {
                 input: &input,
@@ -206,14 +229,22 @@ proptest! {
                 act_min,
                 act_max,
             };
-            if fast {
-                kernels_fast::fully_connected(args);
+            if let Some(vt) = vt {
+                kernels_fast::fully_connected_with(vt, args);
             } else {
                 kernels::fully_connected(args);
             }
             output
         };
-        prop_assert_eq!(run(true), run(false));
+        let want = run(None);
+        for vt in tiers() {
+            prop_assert_eq!(
+                &run(Some(vt)),
+                &want,
+                "fully_connected diverged under tier {}",
+                vt.name
+            );
+        }
     }
 
     /// average_pool2d and max_pool2d: interior/border split == reference.
@@ -384,21 +415,28 @@ mod interpreter_seam {
     proptest! {
         /// The full interpreter path — arena-planned scratch, split
         /// borrows, every fast kernel — is bit-identical to the reference
-        /// interpreter on the same model and inputs.
+        /// interpreter on the same model and inputs, under every dispatch
+        /// tier (`Simd` resolves to the detected vtable, `Portable` pins
+        /// the lanes fallback).
         #[test]
         fn prop_interpreters_agree_on_every_step_kind(
             data in proptest::collection::vec(-128i8..=127i8, 1..64),
         ) {
             let input: Vec<i8> = (0..64).map(|i| data[i % data.len()]).collect();
-            let mut fast = Interpreter::with_kernels(all_ops_model(), KernelSet::Fast).unwrap();
             let mut reference =
                 Interpreter::with_kernels(all_ops_model(), KernelSet::Reference).unwrap();
-            fast.invoke(&input).unwrap();
             reference.invoke(&input).unwrap();
-            prop_assert_eq!(
-                fast.output_quantized().unwrap(),
-                reference.output_quantized().unwrap()
-            );
+            let want = reference.output_quantized().unwrap().to_vec();
+            for tier in [KernelSet::Simd, KernelSet::Portable] {
+                let mut fast = Interpreter::with_kernels(all_ops_model(), tier).unwrap();
+                fast.invoke(&input).unwrap();
+                prop_assert_eq!(
+                    fast.output_quantized().unwrap(),
+                    &want[..],
+                    "interpreter diverged under {:?}",
+                    tier
+                );
+            }
         }
     }
 
@@ -406,8 +444,10 @@ mod interpreter_seam {
     /// reference one does not pay for it.
     #[test]
     fn fast_interpreter_plans_scratch_reference_does_not() {
-        let fast = Interpreter::with_kernels(all_ops_model(), KernelSet::Fast).unwrap();
+        let fast = Interpreter::with_kernels(all_ops_model(), KernelSet::Simd).unwrap();
+        let portable = Interpreter::with_kernels(all_ops_model(), KernelSet::Portable).unwrap();
         let reference = Interpreter::with_kernels(all_ops_model(), KernelSet::Reference).unwrap();
         assert!(fast.arena_size() > reference.arena_size());
+        assert_eq!(fast.arena_size(), portable.arena_size());
     }
 }

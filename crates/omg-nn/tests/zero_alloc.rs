@@ -159,11 +159,12 @@ fn conv_fc_model() -> Model {
 
 #[test]
 fn hot_path_performs_zero_heap_allocations() {
-    let mut interp = Interpreter::new(conv_fc_model()).unwrap();
-    // The default interpreter runs the *fast* kernels: this test proves
-    // the im2col panel really lives in the planned arena, not in
-    // per-invoke heap allocations.
-    assert_eq!(interp.kernels(), KernelSet::Fast);
+    // Pin the SIMD tier (rather than trusting `new`, which honors
+    // OMG_KERNELS): this test proves the im2col panel really lives in
+    // the planned arena, not in per-invoke heap allocations, and the
+    // dispatched dot kernels must not allocate either.
+    let mut interp = Interpreter::with_kernels(conv_fc_model(), KernelSet::Simd).unwrap();
+    assert_eq!(interp.kernels(), KernelSet::Simd);
     let input: Vec<i8> = (0..64).map(|i| (i * 3 % 256) as u8 as i8).collect();
     let inputs: Vec<&[i8]> = vec![&input; 8];
 

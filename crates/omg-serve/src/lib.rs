@@ -156,6 +156,15 @@ pub struct ServeConfig {
     /// [`fault::FaultPlan`]). `None` in production: workers then pay a
     /// single branch per query for the hook.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Optional per-GEMM kernel thread budget, applied process-wide via
+    /// [`omg_nn::gemm::set_thread_budget`] when the runtime starts.
+    ///
+    /// `None` (the default) leaves the current budget alone — which, unset,
+    /// is 1: inference inside each worker stays single-threaded, so the
+    /// thread-per-device workers never oversubscribe the machine. Set
+    /// `Some(n)` only when the fleet is small relative to the core count
+    /// and per-query latency matters more than aggregate throughput.
+    pub kernel_threads: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -164,6 +173,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             slo: None,
             faults: None,
+            kernel_threads: None,
         }
     }
 }
@@ -551,6 +561,12 @@ impl ServeHandle {
         }
         if config.queue_capacity == 0 {
             return Err(ServeError::Config("queue capacity must be nonzero"));
+        }
+        if let Some(threads) = config.kernel_threads {
+            if threads == 0 {
+                return Err(ServeError::Config("kernel thread budget must be nonzero"));
+            }
+            omg_nn::gemm::set_thread_budget(threads);
         }
         let worker_count = devices.len();
         let shared = Arc::new(Shared {
@@ -946,6 +962,7 @@ mod tests {
                 queue_capacity: 32,
                 slo: None,
                 faults: None,
+                kernel_threads: None,
             },
             "kws",
             test_model(),
@@ -998,6 +1015,7 @@ mod tests {
                 queue_capacity: 2,
                 slo: None,
                 faults: None,
+                kernel_threads: None,
             },
             "kws",
             test_model(),
@@ -1040,6 +1058,7 @@ mod tests {
                 // counter deterministic.
                 slo: Some(Duration::from_nanos(1)),
                 faults: None,
+                kernel_threads: None,
             },
             "kws",
             test_model(),
@@ -1078,6 +1097,7 @@ mod tests {
                     queue_capacity: 0,
                     slo: None,
                     faults: None,
+                    kernel_threads: None,
                 }
             ),
             Err(ServeError::Config(_))
@@ -1097,6 +1117,7 @@ mod tests {
                 queue_capacity: 8,
                 slo: None,
                 faults: None,
+                kernel_threads: None,
             },
         )
         .unwrap();
@@ -1133,6 +1154,7 @@ mod tests {
                 queue_capacity: 8,
                 slo: None,
                 faults: Some(Arc::clone(&plan)),
+                kernel_threads: None,
             },
             "kws",
             test_model(),
@@ -1173,6 +1195,7 @@ mod tests {
                 queue_capacity: 8,
                 slo: None,
                 faults: Some(Arc::clone(&plan)),
+                kernel_threads: None,
             },
             "kws",
             test_model(),
@@ -1216,6 +1239,7 @@ mod tests {
                 queue_capacity: 8,
                 slo: None,
                 faults: None,
+                kernel_threads: None,
             },
         )
         .unwrap();

@@ -114,6 +114,7 @@ fn concurrent_seeded_mix_has_no_cross_worker_leakage() {
                 queue_capacity: 32,
                 slo: Some(Duration::from_secs(5)),
                 faults: None,
+                kernel_threads: None,
             },
             "kws",
             test_model(),

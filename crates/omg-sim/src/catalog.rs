@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use omg_serve::fault::QueryFault;
 
-use crate::{Provisioning, Scenario};
+use crate::{Provisioning, Scenario, SimModel};
 
 /// A worker panics mid-query in a two-worker fleet. The victim's waiter
 /// must resolve with `WorkerPanicked` (the liveness fix under test: before
@@ -129,6 +129,28 @@ pub fn expired_deadline_shed() -> Scenario {
         .resume()
 }
 
+/// A worker panics mid-query while serving the conv-heavy model under a
+/// GEMM thread budget of 4: every query runs scoped row-panel threads
+/// *inside* the panicking worker. `std::thread::scope` joins the panel
+/// threads before the panic propagates, so the teardown must leave no
+/// hung waiters, the survivor keeps serving threaded queries, and the
+/// surviving device's arena still scrubs on drain.
+///
+/// Expected accounting: submitted=5, completed=4, discarded=1 (the
+/// worker-panic shape, now with multithreaded kernels underneath).
+pub fn threaded_gemm_panic() -> Scenario {
+    Scenario::new("threaded-gemm-panic", 2)
+        .queue_capacity(8)
+        .model(SimModel::ConvHeavy)
+        .kernel_threads(4)
+        .pause()
+        .submit(2) // primers: one held per parked worker
+        .await_parked(2)
+        .fault(0, QueryFault::WorkerPanic)
+        .submit(3)
+        .resume()
+}
+
 /// A tampered enclave runtime image is offered during provisioning: the
 /// vendor's attestation must reject it and leave the device fresh. The
 /// fleet then serves genuinely so the full invariant suite still runs.
@@ -160,6 +182,7 @@ pub fn all() -> Vec<Scenario> {
         saturation_burst(),
         slow_device(),
         expired_deadline_shed(),
+        threaded_gemm_panic(),
         tampered_runtime_image(),
         tampered_sealed_model(),
     ]

@@ -59,7 +59,7 @@ use std::time::Duration;
 
 use omg_core::session::provision_devices;
 use omg_core::{OmgDevice, OmgError, User, Vendor};
-use omg_nn::model::{Activation, Model, Op};
+use omg_nn::model::{Activation, Model, Op, Padding};
 use omg_nn::quantize::QuantParams;
 use omg_nn::tensor::DType;
 use omg_serve::fault::{FaultPlan, QueryFault};
@@ -141,6 +141,20 @@ impl fmt::Display for Step {
     }
 }
 
+/// Which model the scenario's fleet serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimModel {
+    /// The frequency-band-selective FC model (cheap; one dot product per
+    /// class).
+    BandSelective,
+    /// A conv-heavy model: the paper's `tiny_conv` geometry (8 filters of
+    /// 10×8, stride 2, SAME) over the 49×43 fingerprint, feeding an FC to
+    /// the 12 labels. Its im2col GEMM (550×8 over k=80) clears the
+    /// row-panel threading thresholds, so with a kernel thread budget > 1
+    /// every query runs scoped worker threads inside the serving worker.
+    ConvHeavy,
+}
+
 /// A scripted chaos scenario: fleet shape + provisioning mode + a list of
 /// timed fault-injection steps. Build with the fluent methods, execute
 /// with [`Scenario::run`].
@@ -154,6 +168,11 @@ pub struct Scenario {
     pub queue_capacity: usize,
     /// How devices are provisioned (see [`Provisioning`]).
     pub provisioning: Provisioning,
+    /// The model the fleet serves (see [`SimModel`]).
+    pub model: SimModel,
+    /// GEMM kernel thread budget installed for the run (1 = inference
+    /// stays single-threaded inside each serving worker).
+    pub kernel_threads: usize,
     /// The script.
     pub steps: Vec<Step>,
 }
@@ -167,6 +186,8 @@ impl Scenario {
             workers,
             queue_capacity: 16,
             provisioning: Provisioning::Genuine,
+            model: SimModel::BandSelective,
+            kernel_threads: 1,
             steps: Vec::new(),
         }
     }
@@ -175,6 +196,21 @@ impl Scenario {
     #[must_use]
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the model the fleet serves.
+    #[must_use]
+    pub fn model(mut self, model: SimModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the GEMM kernel thread budget for the run (restored to its
+    /// previous value afterwards).
+    #[must_use]
+    pub fn kernel_threads(mut self, threads: usize) -> Self {
+        self.kernel_threads = threads;
         self
     }
 
@@ -234,8 +270,13 @@ impl Scenario {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "scenario {:?}: workers={} queue_capacity={} provisioning={:?}",
-            self.name, self.workers, self.queue_capacity, self.provisioning
+            "scenario {:?}: workers={} queue_capacity={} provisioning={:?} model={:?} kernel_threads={}",
+            self.name,
+            self.workers,
+            self.queue_capacity,
+            self.provisioning,
+            self.model,
+            self.kernel_threads
         );
         for (i, step) in self.steps.iter().enumerate() {
             let _ = writeln!(out, "  {i:>2}. {step}");
@@ -354,6 +395,104 @@ fn band_selective_model() -> Model {
     b.build().expect("band-selective model builds")
 }
 
+/// A conv-heavy keyword model with the paper's `tiny_conv` geometry: 8
+/// filters of 10×8 (stride 2×2, SAME, ReLU) over the 49×43 fingerprint,
+/// then an FC onto the 12 labels. Still band-selective end to end: each
+/// conv channel samples a distinct tap phase with positive weights (so
+/// channel energy is monotone in window energy), and FC row `r` sums the
+/// conv columns that fold back onto frequency band `r` — distinct formant
+/// tracks still map to distinct classes.
+///
+/// The point of the geometry is the im2col GEMM it lowers to: m=550
+/// output cells × n=8 channels × k=80 taps clears both row-panel
+/// threading thresholds, so a kernel thread budget > 1 makes every query
+/// spawn scoped GEMM threads *inside* the serving worker.
+fn conv_heavy_model() -> Model {
+    let mut b = Model::builder();
+    let input = b.add_activation(
+        "in",
+        vec![1, 49, 43, 1],
+        DType::I8,
+        Some(QuantParams {
+            scale: 1.0 / 255.0,
+            zero_point: -128,
+        }),
+    );
+    let mut cw = vec![0i8; 8 * 10 * 8];
+    for ch in 0..8 {
+        for kh in 0..10 {
+            for kw in 0..8 {
+                if (kh + kw) % 8 == ch {
+                    cw[ch * 80 + kh * 8 + kw] = 3;
+                }
+            }
+        }
+    }
+    let cwt = b.add_weight_i8(
+        "conv/w",
+        vec![8, 10, 8, 1],
+        cw,
+        QuantParams::symmetric(0.02),
+    );
+    let cb = b.add_weight_i32("conv/b", vec![8], vec![0; 8]);
+    let conv = b.add_activation(
+        "conv",
+        vec![1, 25, 22, 8],
+        DType::I8,
+        Some(QuantParams {
+            scale: 0.01,
+            zero_point: -128,
+        }),
+    );
+    b.add_op(Op::Conv2D {
+        input,
+        filter: cwt,
+        bias: cb,
+        output: conv,
+        stride_h: 2,
+        stride_w: 2,
+        padding: Padding::Same,
+        activation: Activation::Relu,
+    });
+    let conv_len = 25 * 22 * 8;
+    let mut w = vec![0i8; 12 * conv_len];
+    for r in 0..12 {
+        for oh in 0..25 {
+            for ow in 0..22 {
+                // Conv column `ow` covers input columns starting near
+                // `2*ow`; fold it back onto its frequency band.
+                if (ow * 2).min(42) * 12 / 43 == r {
+                    for ch in 0..8 {
+                        w[r * conv_len + (oh * 22 + ow) * 8 + ch] = 2;
+                    }
+                }
+            }
+        }
+    }
+    let wt = b.add_weight_i8("fc/w", vec![12, conv_len], w, QuantParams::symmetric(0.01));
+    let bias = b.add_weight_i32("fc/b", vec![12], vec![0; 12]);
+    let out = b.add_activation(
+        "logits",
+        vec![1, 12],
+        DType::I8,
+        Some(QuantParams {
+            scale: 0.1,
+            zero_point: 0,
+        }),
+    );
+    b.add_op(Op::FullyConnected {
+        input: conv,
+        filter: wt,
+        bias,
+        output: out,
+        activation: Activation::None,
+    });
+    b.set_input(input);
+    b.set_output(out);
+    b.set_labels(omg_speech::dataset::LABELS);
+    b.build().expect("conv-heavy model builds")
+}
+
 /// One submission's bookkeeping: which utterance was sent and how to
 /// redeem the answer.
 struct Ticket {
@@ -453,7 +592,14 @@ impl<'s> Engine<'s> {
     }
 
     fn run(mut self) -> SimReport {
-        let model = band_selective_model();
+        let model = match self.scenario.model {
+            SimModel::BandSelective => band_selective_model(),
+            SimModel::ConvHeavy => conv_heavy_model(),
+        };
+        // Install the scenario's GEMM thread budget for the whole run
+        // (ground truth included — the threaded path is bit-exact, so this
+        // cannot skew the comparison) and restore it afterwards.
+        let prev_budget = omg_nn::gemm::set_thread_budget(self.scenario.kernel_threads);
 
         self.run_provisioning_attack(&model);
 
@@ -485,6 +631,7 @@ impl<'s> Engine<'s> {
                 queue_capacity: self.scenario.queue_capacity,
                 slo: None,
                 faults: Some(Arc::clone(&plan)),
+                kernel_threads: Some(self.scenario.kernel_threads),
             },
             "kws",
             model.clone(),
@@ -672,6 +819,8 @@ impl<'s> Engine<'s> {
                 plan.pending_faults()
             ));
         }
+
+        omg_nn::gemm::set_thread_budget(prev_budget);
 
         SimReport {
             name: self.scenario.name,

@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             queue_capacity: 32,
             slo: Some(Duration::from_millis(250)),
             faults: None,
+            kernel_threads: None,
         },
         "kws",
         model,
