@@ -30,13 +30,35 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use omg_bench::{cached_tiny_conv, paper_test_subset, ModelKind};
 use omg_core::session::provision_devices;
+use omg_obs::FlightRecorder;
 use omg_serve::{ServeConfig, ServeError, ServeHandle};
 
 const QUEUE_CAPACITY: usize = 32;
+
+/// The flight recorder of whichever fleet is currently being measured, so
+/// the panic hook can dump a post-mortem trace when an assertion trips
+/// mid-bench.
+static CURRENT_RECORDER: Mutex<Option<Arc<FlightRecorder>>> = Mutex::new(None);
+
+/// Installs a panic hook that prints the current fleet's trace tail and
+/// the global metrics snapshot before the normal panic output — the same
+/// dump-on-failure contract the chaos harness has.
+fn install_trace_dump_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(recorder) = CURRENT_RECORDER.lock().unwrap().as_ref() {
+            eprintln!("=== serving bench post-mortem ===");
+            eprintln!("{}", recorder.snapshot().render_tail(40));
+            eprintln!("global metrics: {}", omg_obs::global().render_json());
+        }
+        default(info);
+    }));
+}
 
 struct ConfigResult {
     workers: usize,
@@ -48,7 +70,13 @@ struct ConfigResult {
     completed: u64,
 }
 
-fn run_config(workers: usize, workload: &[&[i16]], seed: u64, slo: Duration) -> ConfigResult {
+fn run_config(
+    workers: usize,
+    workload: &[&[i16]],
+    seed: u64,
+    slo: Duration,
+    recorder_capacity: usize,
+) -> ConfigResult {
     let model = cached_tiny_conv(ModelKind::Fast);
     let devices = provision_devices(workers, "kws", model, seed).expect("provision devices");
     // Snapshot each device's virtual clock before serving; the clocks are
@@ -61,11 +89,12 @@ fn run_config(workers: usize, workload: &[&[i16]], seed: u64, slo: Duration) -> 
         ServeConfig {
             queue_capacity: QUEUE_CAPACITY,
             slo: Some(slo),
-            faults: None,
-            kernel_threads: None,
+            recorder_capacity: Some(recorder_capacity),
+            ..ServeConfig::default()
         },
     )
     .expect("start serving fleet");
+    *CURRENT_RECORDER.lock().unwrap() = handle.recorder();
 
     let start = Instant::now();
     let mut pending = Vec::with_capacity(workload.len());
@@ -135,6 +164,7 @@ fn single_query_baseline(workload: &[&[i16]]) -> Duration {
 }
 
 fn main() {
+    install_trace_dump_hook();
     let quick = std::env::args().any(|a| a == "--quick");
     let worker_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
     let queries = if quick { 96 } else { 240 };
@@ -162,7 +192,8 @@ fn main() {
 
     let mut results = Vec::new();
     for (i, &workers) in worker_counts.iter().enumerate() {
-        let r = run_config(workers, &workload, 6000 + i as u64 * 100, p99_bound);
+        // Recorder on: the measured configuration is the observable one.
+        let r = run_config(workers, &workload, 6000 + i as u64 * 100, p99_bound, 1024);
         println!(
             "{} worker{}: {:>8.1} q/s virtual ({:>7.1} q/s host)  \
              p50 {:>7.2} ms  p95 {:>7.2} ms  p99 {:>7.2} ms",
@@ -184,15 +215,14 @@ fn main() {
         1,
         ServeConfig {
             queue_capacity: 4,
-            slo: None,
-            faults: None,
-            kernel_threads: None,
+            ..ServeConfig::default()
         },
         "kws",
         model,
         7000,
     )
     .expect("provision saturation fleet");
+    *CURRENT_RECORDER.lock().unwrap() = handle.recorder();
     let burst = 200;
     let mut accepted = Vec::new();
     let mut rejected = 0u64;
@@ -211,6 +241,32 @@ fn main() {
     println!(
         "backpressure: {rejected} of {burst} burst submits rejected by the 4-slot queue, {} served",
         sat.stats.completed
+    );
+
+    // --- flight-recorder overhead guard ------------------------------------
+    //
+    // The recorder's whole design brief is "cheap enough to leave on":
+    // measure host throughput with the recorder enabled vs disabled on the
+    // same workload and demand the ratio stays within 5%. Host-clock noise
+    // can dominate a single pair on a busy machine, so take the best of a
+    // few bounded attempts before failing.
+    let mut recorder_overhead = 0.0f64;
+    for attempt in 0..3u64 {
+        let on = run_config(2, &workload, 8000 + attempt * 10, p99_bound, 1024);
+        let off = run_config(2, &workload, 8500 + attempt * 10, p99_bound, 0);
+        recorder_overhead = recorder_overhead.max(on.host_qps / off.host_qps);
+        if recorder_overhead >= 0.95 {
+            break;
+        }
+    }
+    println!(
+        "recorder overhead: enabled/disabled host throughput ratio {recorder_overhead:.3} \
+         (>= 0.95 required)"
+    );
+    assert!(
+        recorder_overhead >= 0.95,
+        "flight recorder costs more than 5% of throughput: \
+         enabled/disabled ratio {recorder_overhead:.3}"
     );
 
     // --- regression-checked claims ----------------------------------------
@@ -251,6 +307,7 @@ fn main() {
         json,
         "{{\"bench\":\"serving\",\"quick\":{quick},\"queries\":{queries},\
          \"baseline_ms\":{:.3},\"speedup_4v1\":{speedup:.3},\
+         \"recorder_overhead\":{recorder_overhead:.3},\
          \"backpressure_rejected\":{rejected},\"configs\":[",
         baseline.as_secs_f64() * 1e3
     );

@@ -47,7 +47,10 @@ pub struct WatchedMetric {
 
 /// The throughput metrics CI gates on. For `serving`, the first
 /// `virtual_qps` occurrence is the 1-worker configuration; `speedup_4v1`
-/// guards the scaling claim. For `provisioning`, `v2_loads_per_s` is the
+/// guards the scaling claim; `recorder_overhead` guards the
+/// leave-it-on cost of the flight recorder (enabled/disabled host
+/// throughput ratio — the bench itself asserts >= 0.95, the committed
+/// baseline floor is looser to absorb shared-runner noise). For `provisioning`, `v2_loads_per_s` is the
 /// zero-copy cold-load throughput and `v2_v1_load_ratio` guards the
 /// fast-path advantage itself (machine-independent). For `kernels`,
 /// `conv_speedup` is the machine-independent fast-vs-reference advantage
@@ -64,6 +67,10 @@ pub const WATCHED_METRICS: &[WatchedMetric] = &[
     WatchedMetric {
         bench: "serving",
         key: "speedup_4v1",
+    },
+    WatchedMetric {
+        bench: "serving",
+        key: "recorder_overhead",
     },
     WatchedMetric {
         bench: "provisioning",

@@ -19,6 +19,49 @@ use crate::error::Result;
 use crate::user::User;
 use crate::vendor::Vendor;
 
+/// Global-registry counters for provisioning-path effectiveness, cached in
+/// `OnceLock`s so the registry mutex is never taken on repeat hits.
+mod counters {
+    use std::sync::OnceLock;
+
+    use omg_obs::Counter;
+
+    fn cached(
+        cell: &'static OnceLock<Counter>,
+        name: &'static str,
+        help: &'static str,
+    ) -> &'static Counter {
+        cell.get_or_init(|| omg_obs::global().counter(name, help))
+    }
+
+    pub(super) fn cache_hits() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        cached(
+            &C,
+            "omg_core_model_cache_hits_total",
+            "ModelCache lookups served from an already-decoded image",
+        )
+    }
+
+    pub(super) fn cache_misses() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        cached(
+            &C,
+            "omg_core_model_cache_misses_total",
+            "ModelCache fills (model decoded from a fresh image)",
+        )
+    }
+
+    pub(super) fn devices_provisioned() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        cached(
+            &C,
+            "omg_core_devices_provisioned_total",
+            "Devices taken through the full prepare + initialize flow",
+        )
+    }
+}
+
 /// A warm, exclusive serving session on one device.
 ///
 /// Opening the session resumes the enclave once; every query then runs on
@@ -276,6 +319,7 @@ impl ModelCache {
         let model = entry.model.clone();
         self.entries.insert(0, entry);
         self.hits += 1;
+        counters::cache_hits().inc();
         Some(model)
     }
 
@@ -283,6 +327,8 @@ impl ModelCache {
     /// the least-recently-used entry once the capacity is exceeded (and
     /// superseding any stale entry under the same key).
     pub(crate) fn store(&mut self, model_id: &str, version: u32, image: ModelBuf, model: Model) {
+        // A store means a lookup just failed and the image was re-decoded.
+        counters::cache_misses().inc();
         self.entries
             .retain(|e| !(e.model_id == model_id && e.version == version));
         self.entries.insert(
@@ -358,6 +404,7 @@ pub fn provision_devices_with_cache(
         let mut device = OmgDevice::new(seed.wrapping_add(1000 + i as u64))?;
         device.prepare(&mut user, &mut vendor)?;
         device.initialize_with_cache(&mut vendor, cache)?;
+        counters::devices_provisioned().inc();
         devices.push(device);
     }
     Ok(devices)

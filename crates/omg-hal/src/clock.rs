@@ -27,6 +27,13 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+/// Process-wide monotonic timestamp in nanoseconds — the clock seam the
+/// observability layer stamps flight-recorder events with. Re-exported
+/// here so enclave and serving code keep a single clock module even
+/// though the implementation lives at the bottom of the dependency
+/// order in `omg-obs`.
+pub use omg_obs::monotonic_ns;
+
 /// A hardware event with a modelled (not measured) cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]

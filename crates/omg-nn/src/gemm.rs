@@ -62,6 +62,18 @@ const PAR_MIN_ROWS: usize = 32;
 /// 0 = not yet initialized (first read resolves `OMG_GEMM_THREADS`).
 static THREAD_BUDGET: AtomicUsize = AtomicUsize::new(0);
 
+/// Global-registry gauge mirroring the resolved budget, so metrics
+/// snapshots show the knob kernels are actually running with.
+fn budget_gauge() -> &'static omg_obs::Gauge {
+    static GAUGE: std::sync::OnceLock<omg_obs::Gauge> = std::sync::OnceLock::new();
+    GAUGE.get_or_init(|| {
+        omg_obs::global().gauge(
+            "omg_nn_gemm_thread_budget",
+            "Process-wide GEMM kernel thread budget",
+        )
+    })
+}
+
 /// The process-wide GEMM thread budget: the maximum number of scoped
 /// threads one [`gemm`] call may use. Defaults to `OMG_GEMM_THREADS` if
 /// set (clamped to `1..=`[`MAX_GEMM_THREADS`]), else 1.
@@ -76,7 +88,9 @@ pub fn thread_budget() -> usize {
             // landed first so a concurrent `set_thread_budget` wins.
             let _ =
                 THREAD_BUDGET.compare_exchange(0, initial, Ordering::Relaxed, Ordering::Relaxed);
-            THREAD_BUDGET.load(Ordering::Relaxed)
+            let resolved = THREAD_BUDGET.load(Ordering::Relaxed);
+            budget_gauge().set(resolved as i64);
+            resolved
         }
         n => n,
     }
@@ -89,6 +103,7 @@ pub fn thread_budget() -> usize {
 /// share one knob instead of oversubscribing each other.
 pub fn set_thread_budget(threads: usize) -> usize {
     let clamped = threads.clamp(1, MAX_GEMM_THREADS);
+    budget_gauge().set(clamped as i64);
     match THREAD_BUDGET.swap(clamped, Ordering::Relaxed) {
         0 => 1,
         prev => prev,

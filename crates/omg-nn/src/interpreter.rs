@@ -18,6 +18,18 @@ use crate::quantize::FixedMultiplier;
 use crate::tensor::{DType, TensorId};
 use crate::{gemm, kernels, kernels_fast};
 
+/// Global-registry counter of interpreters built, cached so the registry
+/// mutex is taken once per process, not once per construction.
+fn built_counter() -> &'static omg_obs::Counter {
+    static BUILT: std::sync::OnceLock<omg_obs::Counter> = std::sync::OnceLock::new();
+    BUILT.get_or_init(|| {
+        omg_obs::global().counter(
+            "omg_nn_interpreters_built_total",
+            "Interpreters compiled (model validated, arena planned)",
+        )
+    })
+}
+
 /// Which kernel dispatch tier an [`Interpreter`] executes with.
 ///
 /// Three tiers, selectable per interpreter ([`Interpreter::with_kernels`])
@@ -184,6 +196,23 @@ enum StepKind {
     Copy,
 }
 
+impl StepKind {
+    /// Stable kernel name for profiles and traces.
+    fn kernel_name(&self) -> &'static str {
+        match self {
+            StepKind::Conv2D {
+                depthwise: Some(_), ..
+            } => "depthwise_conv2d",
+            StepKind::Conv2D { .. } => "conv2d",
+            StepKind::FullyConnected { .. } => "fully_connected",
+            StepKind::Pool2D { is_max: true, .. } => "max_pool2d",
+            StepKind::Pool2D { .. } => "avg_pool2d",
+            StepKind::Softmax { .. } => "softmax",
+            StepKind::Copy => "reshape",
+        }
+    }
+}
+
 /// Arena range holding a fast conv2d's im2col panel.
 #[derive(Debug, Clone, Copy)]
 struct ScratchRange {
@@ -232,6 +261,9 @@ pub struct Interpreter {
     /// The tier's dot-product vtable, resolved once at construction
     /// (CPU-feature detection happens here, never on the hot path).
     vtable: &'static arch::KernelVTable,
+    /// Optional per-op timing (see [`crate::profiler`]). `None` — the
+    /// default — costs one branch per step on the invoke path.
+    profiler: Option<crate::profiler::Profiler>,
 }
 
 fn shape4(shape: &[usize], context: &'static str) -> Result<[usize; 4]> {
@@ -466,6 +498,7 @@ impl Interpreter {
             tap_results: Vec::new(),
             kernels,
             vtable: kernels.vtable(),
+            profiler: None,
         };
         let mut steps = Vec::with_capacity(interp.model.ops.len());
         for (op_idx, op) in interp.model.ops.iter().enumerate() {
@@ -479,7 +512,29 @@ impl Interpreter {
             steps.push(interp.compile(op, &bias_srcs, scratch)?);
         }
         interp.steps = steps;
+        built_counter().inc();
         Ok(interp)
+    }
+
+    /// Turns on per-op profiling (resetting any previous profile). The
+    /// accumulator table is allocated here, once — subsequent invokes
+    /// record timings without allocating, so the zero-allocation hot-path
+    /// guarantee holds with profiling enabled.
+    pub fn enable_profiling(&mut self) {
+        let kernels = self.steps.iter().map(|s| s.kind.kernel_name()).collect();
+        self.profiler = Some(crate::profiler::Profiler::new(kernels));
+    }
+
+    /// Turns profiling back off, dropping the accumulated timings.
+    pub fn disable_profiling(&mut self) {
+        self.profiler = None;
+    }
+
+    /// Snapshot of per-op timings since [`Self::enable_profiling`], or
+    /// `None` when profiling is disabled. `profile().dominant()` names
+    /// the hot kernel of an invoke.
+    pub fn profile(&self) -> Option<crate::profiler::Profile> {
+        self.profiler.as_ref().map(|p| p.snapshot())
     }
 
     /// Resolves the arena range of an activation tensor.
@@ -866,7 +921,13 @@ impl Interpreter {
         }
 
         let taps_active = !self.pending_taps.is_empty();
+        let profiling = self.profiler.is_some();
         for step_idx in 0..self.steps.len() {
+            let step_start = if profiling {
+                omg_obs::monotonic_ns()
+            } else {
+                0
+            };
             {
                 // Split borrows: the step list, bias pool, and model buffers
                 // are read-only; only the arena is written.
@@ -888,6 +949,9 @@ impl Interpreter {
                     vtable,
                 );
             }
+            if let Some(p) = self.profiler.as_mut() {
+                p.record_step(step_idx, omg_obs::monotonic_ns().saturating_sub(step_start));
+            }
             if taps_active {
                 let step = &self.steps[step_idx];
                 let produced = step.output;
@@ -900,6 +964,9 @@ impl Interpreter {
                     produced,
                 );
             }
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            p.invokes += 1;
         }
         Ok(())
     }

@@ -66,6 +66,7 @@ pub mod kernels;
 pub mod kernels_fast;
 pub mod model;
 pub mod planner;
+pub mod profiler;
 pub mod quantize;
 pub mod tensor;
 

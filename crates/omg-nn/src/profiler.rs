@@ -1,0 +1,186 @@
+//! Optional per-op profiling for the [`Interpreter`](crate::interpreter::Interpreter).
+//!
+//! Profiling is **off by default** and costs one branch per step when
+//! disabled. When enabled, each compiled step's wall time is accumulated
+//! into a fixed-size table (allocated once at
+//! [`enable_profiling`](crate::interpreter::Interpreter::enable_profiling)
+//! time, never on the invoke path — the zero-allocation guarantee holds
+//! with the profiler on). A [`Profile`] snapshot then names the dominant
+//! kernel per invoke, e.g. `conv2d` for the paper's `tiny_conv` model.
+//!
+//! Timestamps come from [`omg_obs::monotonic_ns`] — the same process-wide
+//! monotonic clock the serving flight recorder uses, so per-op times can
+//! be correlated with a merged serve trace.
+
+/// Per-step accumulator table. Lives inside the interpreter while
+/// profiling is enabled; indexed by compiled-step position, so recording
+/// is two integer adds with no lookup.
+#[derive(Debug)]
+pub(crate) struct Profiler {
+    pub(crate) steps: Vec<StepStat>,
+    pub(crate) invokes: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct StepStat {
+    pub(crate) kernel: &'static str,
+    pub(crate) calls: u64,
+    pub(crate) total_ns: u64,
+}
+
+impl Profiler {
+    pub(crate) fn new(kernels: Vec<&'static str>) -> Self {
+        Profiler {
+            steps: kernels
+                .into_iter()
+                .map(|kernel| StepStat {
+                    kernel,
+                    calls: 0,
+                    total_ns: 0,
+                })
+                .collect(),
+            invokes: 0,
+        }
+    }
+
+    /// Hot-path record: no allocation, no branching beyond the caller's
+    /// `is_some` check.
+    #[inline]
+    pub(crate) fn record_step(&mut self, step: usize, elapsed_ns: u64) {
+        let stat = &mut self.steps[step];
+        stat.calls += 1;
+        stat.total_ns += elapsed_ns;
+    }
+
+    pub(crate) fn snapshot(&self) -> Profile {
+        Profile {
+            entries: self
+                .steps
+                .iter()
+                .enumerate()
+                .map(|(step, s)| ProfileEntry {
+                    step,
+                    kernel: s.kernel,
+                    calls: s.calls,
+                    total_ns: s.total_ns,
+                })
+                .collect(),
+            invokes: self.invokes,
+        }
+    }
+}
+
+/// Timing for one compiled interpreter step, accumulated across invokes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Position in the compiled execution plan.
+    pub step: usize,
+    /// Kernel executed at this step: `conv2d`, `depthwise_conv2d`,
+    /// `fully_connected`, `max_pool2d`, `avg_pool2d`, `softmax`, or
+    /// `reshape`.
+    pub kernel: &'static str,
+    /// How many times the step ran (= invokes since profiling enabled).
+    pub calls: u64,
+    /// Total wall time spent in the step across all calls.
+    pub total_ns: u64,
+}
+
+impl ProfileEntry {
+    /// Mean wall time per call, or zero when the step never ran.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.calls).unwrap_or(0)
+    }
+}
+
+/// A snapshot of per-op timing taken by
+/// [`Interpreter::profile`](crate::interpreter::Interpreter::profile).
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// One entry per compiled step, in execution order.
+    pub entries: Vec<ProfileEntry>,
+    /// Completed invokes since profiling was (re-)enabled.
+    pub invokes: u64,
+}
+
+impl Profile {
+    /// Total profiled time across all steps.
+    pub fn total_ns(&self) -> u64 {
+        self.entries.iter().map(|e| e.total_ns).sum()
+    }
+
+    /// The step that dominates the invoke cost — the answer to "which
+    /// kernel is hot". `None` for an empty model or before any invoke.
+    pub fn dominant(&self) -> Option<&ProfileEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.calls > 0)
+            .max_by_key(|e| e.total_ns)
+    }
+
+    /// Human-readable table: one line per step, slowest first, with the
+    /// share of total profiled time.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let total = self.total_ns().max(1);
+        let mut rows: Vec<&ProfileEntry> = self.entries.iter().collect();
+        rows.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+        let mut out = format!("per-op profile ({} invokes):\n", self.invokes);
+        for e in rows {
+            let _ = writeln!(
+                out,
+                "  step {:>2} {:<18} {:>4} calls {:>12} ns total {:>10} ns/call {:>5.1}%",
+                e.step,
+                e.kernel,
+                e.calls,
+                e.total_ns,
+                e.mean_ns(),
+                e.total_ns as f64 * 100.0 / total as f64,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Profile {
+        let mut p = Profiler::new(vec!["conv2d", "fully_connected", "softmax"]);
+        p.record_step(0, 900);
+        p.record_step(1, 80);
+        p.record_step(2, 20);
+        p.record_step(0, 1100);
+        p.record_step(1, 120);
+        p.record_step(2, 30);
+        p.invokes = 2;
+        p.snapshot()
+    }
+
+    #[test]
+    fn dominant_names_the_hot_kernel() {
+        let profile = sample();
+        let hot = profile.dominant().unwrap();
+        assert_eq!(hot.kernel, "conv2d");
+        assert_eq!(hot.calls, 2);
+        assert_eq!(hot.total_ns, 2000);
+        assert_eq!(hot.mean_ns(), 1000);
+        assert_eq!(profile.total_ns(), 2250);
+    }
+
+    #[test]
+    fn empty_profile_has_no_dominant() {
+        let p = Profiler::new(vec!["conv2d"]);
+        assert!(p.snapshot().dominant().is_none());
+    }
+
+    #[test]
+    fn report_sorts_slowest_first() {
+        let report = sample().report();
+        let conv = report.find("conv2d").unwrap();
+        let fc = report.find("fully_connected").unwrap();
+        let sm = report.find("softmax").unwrap();
+        assert!(conv < fc && fc < sm, "{report}");
+        assert!(report.contains("2 invokes"), "{report}");
+    }
+}

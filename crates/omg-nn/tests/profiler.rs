@@ -1,0 +1,125 @@
+//! Per-op profiler integration: on a `tiny_conv`-shaped model the profile
+//! must name the convolution as the dominant kernel, the seam must be a
+//! no-op while disabled, and re-enabling must reset the counts.
+
+use omg_nn::model::{Activation, Model, Op, Padding};
+use omg_nn::quantize::QuantParams;
+use omg_nn::tensor::DType;
+use omg_nn::Interpreter;
+
+/// The paper's keyword-spotting architecture in miniature: one Conv2D over
+/// the 49×10 audio fingerprint (8 filters of 10×8, stride 2) carrying
+/// essentially all the arithmetic, then a fully-connected classifier and
+/// softmax.
+fn tiny_conv_like() -> Model {
+    let qp = |scale: f32, zp: i32| QuantParams {
+        scale,
+        zero_point: zp,
+    };
+    let mut b = Model::builder();
+    let input = b.add_activation(
+        "fingerprint",
+        vec![1, 49, 10, 1],
+        DType::I8,
+        Some(qp(1.0 / 255.0, -128)),
+    );
+    let cw = b.add_weight_i8(
+        "conv/w",
+        vec![8, 10, 8, 1],
+        (0..8 * 10 * 8).map(|i| (i % 9) as i8 - 4).collect(),
+        QuantParams::symmetric(0.03),
+    );
+    let cb = b.add_weight_i32("conv/b", vec![8], (0..8).collect());
+    let conv = b.add_activation("conv", vec![1, 25, 5, 8], DType::I8, Some(qp(0.1, 0)));
+    b.add_op(Op::Conv2D {
+        input,
+        filter: cw,
+        bias: cb,
+        output: conv,
+        stride_h: 2,
+        stride_w: 2,
+        padding: Padding::Same,
+        activation: Activation::Relu,
+    });
+    let fw = b.add_weight_i8(
+        "fc/w",
+        vec![4, 25 * 5 * 8],
+        (0..4 * 25 * 5 * 8).map(|i| (i % 7) as i8 - 3).collect(),
+        QuantParams::symmetric(0.02),
+    );
+    let fb = b.add_weight_i32("fc/b", vec![4], vec![0, 1, -1, 2]);
+    let logits = b.add_activation("logits", vec![1, 4], DType::I8, Some(qp(0.5, 0)));
+    b.add_op(Op::FullyConnected {
+        input: conv,
+        filter: fw,
+        bias: fb,
+        output: logits,
+        activation: Activation::None,
+    });
+    let probs = b.add_activation("probs", vec![1, 4], DType::I8, Some(qp(1.0 / 256.0, -128)));
+    b.add_op(Op::Softmax {
+        input: logits,
+        output: probs,
+    });
+    b.set_input(input);
+    b.set_output(probs);
+    b.set_labels(["yes", "no", "up", "down"]);
+    b.build().unwrap()
+}
+
+fn fingerprint() -> Vec<i8> {
+    (0..490).map(|i| (i * 7 % 256) as u8 as i8).collect()
+}
+
+#[test]
+fn profile_names_the_dominant_kernel() {
+    let mut interp = Interpreter::new(tiny_conv_like()).unwrap();
+    assert!(
+        interp.profile().is_none(),
+        "profiling must be off by default"
+    );
+
+    interp.enable_profiling();
+    let input = fingerprint();
+    for _ in 0..10 {
+        interp.invoke(&input).unwrap();
+    }
+
+    let profile = interp.profile().unwrap();
+    assert_eq!(profile.invokes, 10);
+    assert_eq!(profile.entries.len(), 3);
+    let kernels: Vec<&str> = profile.entries.iter().map(|e| e.kernel).collect();
+    assert_eq!(kernels, ["conv2d", "fully_connected", "softmax"]);
+    assert!(profile.entries.iter().all(|e| e.calls == 10));
+
+    // The convolution does ~40x the FC's multiply-accumulates; the
+    // profile must point at it.
+    let hot = profile.dominant().expect("profiled invokes present");
+    assert_eq!(hot.kernel, "conv2d", "\n{}", profile.report());
+    assert_eq!(hot.step, 0);
+
+    let report = profile.report();
+    assert!(report.contains("10 invokes"), "{report}");
+    assert!(report.contains("conv2d"), "{report}");
+
+    // Disabling drops the profile; re-enabling starts from zero.
+    interp.disable_profiling();
+    assert!(interp.profile().is_none());
+    interp.enable_profiling();
+    let fresh = interp.profile().unwrap();
+    assert_eq!(fresh.invokes, 0);
+    assert!(fresh.dominant().is_none());
+    interp.invoke(&input).unwrap();
+    assert_eq!(interp.profile().unwrap().invokes, 1);
+}
+
+#[test]
+fn profiled_output_is_bit_identical_to_unprofiled() {
+    let input = fingerprint();
+    let mut plain = Interpreter::new(tiny_conv_like()).unwrap();
+    let baseline = plain.classify(&input).unwrap();
+
+    let mut profiled = Interpreter::new(tiny_conv_like()).unwrap();
+    profiled.enable_profiling();
+    assert_eq!(profiled.classify(&input).unwrap(), baseline);
+}

@@ -219,6 +219,36 @@ fn hot_path_performs_zero_heap_allocations() {
     let after_scrub = allocations();
     assert_eq!(after_scrub - after_batch, 0, "scrub allocated");
 
+    // ---- Observability on: the hot path still allocates nothing --------
+    //
+    // Enable the per-op profiler (its accumulator table is allocated here,
+    // once) and record flight-recorder events alongside each invoke — the
+    // same instrumentation the serving workers run with. The profiled,
+    // trace-stamped hot path must stay allocation-free.
+    interp.enable_profiling();
+    let recorder = omg_obs::FlightRecorder::new(1, 64);
+    // Warm the monotonic clock's lazily initialized epoch.
+    let _ = omg_obs::monotonic_ns();
+    interp.invoke(&input).unwrap();
+
+    let before_obs = allocations();
+    for seq in 0..16u64 {
+        recorder.record(0, omg_obs::Stage::ComputeStart, seq, 0);
+        interp.invoke(&input).unwrap();
+        recorder.record(0, omg_obs::Stage::ComputeEnd, seq, 0);
+    }
+    let after_obs = allocations();
+    assert_eq!(
+        after_obs - before_obs,
+        0,
+        "profiled invoke + flight-recorder stamping allocated on the hot path"
+    );
+    let profile = interp.profile().expect("profiling enabled");
+    assert_eq!(profile.invokes, 17);
+    assert!(profile.dominant().is_some());
+    assert_eq!(recorder.total_recorded(), 32);
+    interp.disable_profiling();
+
     // ---- Interpreter::new on a v2 image copies no tensor data ----------
     //
     // Build a model whose weights dwarf its activations (a 64×4096 FC is

@@ -1,0 +1,163 @@
+//! Zero-dependency observability layer for the OMG serving stack.
+//!
+//! The paper's pitch is privacy-preserving keyword recognition at
+//! interactive latency; scaling that to a fleet needs to answer *where*
+//! a slow query spent its time and *which* op dominated an invoke —
+//! without perturbing the measurement. This crate provides the three
+//! substrates the rest of the workspace threads through its hot paths:
+//!
+//! * [`FlightRecorder`] — fixed-capacity, lock-free ring buffers of
+//!   structured [`TraceEvent`]s (timestamp, worker, query seq, stage,
+//!   payload). Writers touch only relaxed/release atomics and never
+//!   allocate; readers take coherent seqlock-validated snapshots at any
+//!   time and merge per-worker rings into one time-ordered trace.
+//! * [`Registry`] — named [`Counter`]s / [`Gauge`]s / [`Histogram`]s,
+//!   rendered as Prometheus-style text ([`Registry::render_prometheus`])
+//!   or a flat JSON snapshot ([`Registry::render_json`]).
+//! * [`monotonic_ns`] — the process-wide monotonic timestamp source used
+//!   for every event stamp (re-exported by `omg-hal`'s clock module so
+//!   enclave code keeps a single clock seam).
+//!
+//! The crate is deliberately std-only: it sits at the very bottom of the
+//! workspace dependency order (below `omg-hal`) so every layer can record
+//! into it without cycles.
+//!
+//! # Env toggles
+//!
+//! * `OMG_OBS=off|0` disables the flight recorder for components that
+//!   defer to [`ObsConfig::from_env`] (the serving layer does when its
+//!   config leaves the capacity unset).
+//! * `OMG_OBS_CAPACITY=<n>` overrides the per-ring event capacity
+//!   (rounded up to a power of two; default 1024).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod recorder;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use recorder::{FlightRecorder, Stage, TraceEvent, TraceSnapshot};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Nanoseconds elapsed on the process-wide monotonic clock.
+///
+/// The epoch is the first call in the process, so values are small,
+/// strictly comparable across threads, and never go backwards. This is
+/// the timestamp source for every [`TraceEvent`]; `omg-hal` re-exports
+/// it from its clock module so enclave code keeps one clock seam.
+pub fn monotonic_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// The process-global metrics registry.
+///
+/// Components without a natural owner for a registry (model-cache
+/// counters in `omg-core`, interpreter-construction counters in
+/// `omg-nn`) register here; `ServeHandle::metrics_text()` /
+/// `metrics_json()` render it alongside the per-handle registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Flight-recorder configuration resolved from the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Per-ring event capacity; `0` disables recording entirely.
+    pub recorder_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Default per-ring capacity when `OMG_OBS_CAPACITY` is unset.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Resolve from `OMG_OBS` / `OMG_OBS_CAPACITY`.
+    pub fn from_env() -> Self {
+        let toggle = std::env::var("OMG_OBS").ok();
+        let capacity = std::env::var("OMG_OBS_CAPACITY").ok();
+        Self::parse(toggle.as_deref(), capacity.as_deref())
+    }
+
+    /// Pure parsing core of [`ObsConfig::from_env`], separated for tests.
+    ///
+    /// `toggle`: `off` / `0` / `false` disable; anything else (including
+    /// unset) enables. `capacity`: decimal event count per ring; unparsable
+    /// values fall back to [`Self::DEFAULT_CAPACITY`].
+    pub fn parse(toggle: Option<&str>, capacity: Option<&str>) -> Self {
+        let enabled = !matches!(
+            toggle
+                .map(str::trim)
+                .map(str::to_ascii_lowercase)
+                .as_deref(),
+            Some("off") | Some("0") | Some("false")
+        );
+        let recorder_capacity = if enabled {
+            capacity
+                .and_then(|c| c.trim().parse::<usize>().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(Self::DEFAULT_CAPACITY)
+        } else {
+            0
+        };
+        ObsConfig { recorder_capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_ns_is_monotone_across_calls() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        let c = monotonic_ns();
+        assert!(a <= b && b <= c);
+        // The clock actually advances (ns resolution; spin briefly).
+        let start = monotonic_ns();
+        while monotonic_ns() == start {}
+    }
+
+    #[test]
+    fn monotonic_ns_is_comparable_across_threads() {
+        let before = monotonic_ns();
+        let mid = std::thread::spawn(monotonic_ns).join().unwrap();
+        let after = monotonic_ns();
+        assert!(before <= mid && mid <= after);
+    }
+
+    #[test]
+    fn obs_config_parsing() {
+        assert_eq!(
+            ObsConfig::parse(None, None).recorder_capacity,
+            ObsConfig::DEFAULT_CAPACITY
+        );
+        assert_eq!(ObsConfig::parse(Some("off"), None).recorder_capacity, 0);
+        assert_eq!(ObsConfig::parse(Some("0"), Some("64")).recorder_capacity, 0);
+        assert_eq!(ObsConfig::parse(Some("FALSE"), None).recorder_capacity, 0);
+        assert_eq!(
+            ObsConfig::parse(Some("on"), Some("256")).recorder_capacity,
+            256
+        );
+        assert_eq!(
+            ObsConfig::parse(None, Some("not-a-number")).recorder_capacity,
+            ObsConfig::DEFAULT_CAPACITY
+        );
+        assert_eq!(
+            ObsConfig::parse(None, Some("0")).recorder_capacity,
+            ObsConfig::DEFAULT_CAPACITY
+        );
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global().counter("omg_obs_test_global_total", "test counter");
+        let b = global().counter("omg_obs_test_global_total", "test counter");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+}

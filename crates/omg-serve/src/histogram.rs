@@ -1,31 +1,23 @@
-//! A fixed-bucket, log-scale latency histogram with lock-free recording.
+//! Duration-typed latency histogram over the lock-free log-scale core in
+//! [`omg_obs::metrics::Histogram`].
 //!
-//! Workers record per-query latency concurrently with relaxed atomic
-//! increments; readers compute quantiles from a racy-but-monotone snapshot.
-//! Bucket boundaries grow geometrically (~25 % per bucket) from 1 µs, so 96
-//! buckets span 1 µs to ≈30 min with bounded relative error — the classic
-//! serving-systems trade: fixed memory, no allocation on the record path,
-//! quantiles accurate to one bucket width.
+//! The bucket math (96 geometric buckets, ~25 % per bucket from 1 µs) and
+//! the relaxed-atomic record path live in `omg-obs`, shared with the
+//! metrics registry — so one underlying histogram can simultaneously feed
+//! [`ServeStats`](crate::ServeStats) percentiles and the Prometheus/JSON
+//! exporters. This wrapper keeps `omg-serve`'s `Duration`-based API.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of buckets (plus one implicit overflow bucket at the end).
-const BUCKETS: usize = 96;
-
-/// Lowest bucket boundary: 1 µs in nanoseconds.
-const FIRST_BOUNDARY_NS: u64 = 1_000;
+pub use omg_obs::Histogram;
 
 /// A concurrent latency histogram with geometric buckets.
-#[derive(Debug)]
+///
+/// Cheap to clone: clones share the same underlying counters.
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
-    /// `counts[i]` holds samples with `value <= boundaries_ns[i]`; the last
-    /// slot is the overflow bucket.
-    counts: [AtomicU64; BUCKETS + 1],
-    boundaries_ns: [u64; BUCKETS],
-    total: AtomicU64,
-    sum_ns: AtomicU64,
-    max_ns: AtomicU64,
+    inner: Arc<Histogram>,
 }
 
 impl Default for LatencyHistogram {
@@ -37,61 +29,48 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        let mut boundaries_ns = [0u64; BUCKETS];
-        let mut b = FIRST_BOUNDARY_NS;
-        for slot in &mut boundaries_ns {
-            *slot = b;
-            // ~25 % geometric growth, with a floor so early buckets advance.
-            b += (b / 4).max(250);
-        }
         LatencyHistogram {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            boundaries_ns,
-            total: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            max_ns: AtomicU64::new(0),
+            inner: Arc::new(Histogram::new()),
         }
     }
 
-    fn bucket_index(&self, ns: u64) -> usize {
-        // partition_point: first boundary >= ns, i.e. the covering bucket.
-        self.boundaries_ns.partition_point(|&b| b < ns)
+    /// Wraps a histogram that already lives elsewhere — typically one
+    /// registered in an [`omg_obs::Registry`], so recordings show up in
+    /// both [`Self::percentiles`] and the rendered metrics.
+    pub fn from_shared(inner: Arc<Histogram>) -> Self {
+        LatencyHistogram { inner }
+    }
+
+    /// The shared nanosecond-valued core.
+    pub fn shared(&self) -> &Arc<Histogram> {
+        &self.inner
     }
 
     /// Records one latency sample. Lock- and allocation-free.
     pub fn record(&self, latency: Duration) {
-        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.counts[self.bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.inner
+            .record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
+        self.inner.count()
     }
 
     /// Mean latency, or zero when empty.
     pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
+        Duration::from_nanos(self.inner.mean_ns())
     }
 
     /// Largest recorded latency (exact, not bucketed).
     pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+        Duration::from_nanos(self.inner.max_ns())
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`), reported as the upper boundary of
     /// the bucket containing that rank — conservative by at most one bucket
-    /// width (~25 %) — clamped to the observed [`Self::max`] (a bucket's
-    /// boundary can exceed every sample actually recorded into it, so
-    /// without the clamp a sparse histogram reports a p99 *above* its own
-    /// maximum). Returns zero when empty.
+    /// width (~25 %) — clamped to the observed [`Self::max`]. Returns zero
+    /// when empty.
     ///
     /// Each call takes its own racy snapshot; for quantiles that must be
     /// mutually consistent (e.g. monotone in `q`) under concurrent
@@ -108,42 +87,17 @@ impl LatencyHistogram {
     /// calls each re-read the live counters and can violate monotonicity
     /// between each other mid-traffic).
     pub fn quantiles(&self, qs: &[f64]) -> Vec<Duration> {
-        let counts: Vec<u64> = self
-            .counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
-        // Rank against the snapshot's own total (not the live `total`
-        // counter, which may already include samples the snapshot missed).
-        let n: u64 = counts.iter().sum();
-        let max = self.max();
-        qs.iter()
-            .map(|&q| {
-                if n == 0 {
-                    return Duration::ZERO;
-                }
-                let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-                let mut cumulative = 0u64;
-                for (i, &count) in counts.iter().enumerate() {
-                    cumulative += count;
-                    if cumulative >= rank {
-                        return if i < BUCKETS {
-                            // Clamp: no recorded sample exceeds `max`, so a
-                            // bucket boundary above it is pure rounding.
-                            Duration::from_nanos(self.boundaries_ns[i]).min(max)
-                        } else {
-                            // Overflow bucket: report the observed maximum.
-                            max
-                        };
-                    }
-                }
-                max
-            })
+        self.inner
+            .quantiles_ns(qs)
+            .into_iter()
+            .map(Duration::from_nanos)
             .collect()
     }
 
     /// Convenience accessor for the standard serving percentiles
-    /// `(p50, p95, p99)`, computed from one consistent snapshot.
+    /// `(p50, p95, p99)`, computed from one consistent snapshot — never
+    /// from independent per-quantile calls, so the reported ladder is
+    /// always monotone even mid-traffic.
     pub fn percentiles(&self) -> (Duration, Duration, Duration) {
         let qs = self.quantiles(&[0.50, 0.95, 0.99]);
         (qs[0], qs[1], qs[2])
@@ -153,6 +107,7 @@ impl LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn empty_histogram_reports_zero() {
@@ -163,13 +118,17 @@ mod tests {
     }
 
     #[test]
-    fn boundaries_are_strictly_increasing() {
+    fn clones_and_shared_cores_see_the_same_samples() {
         let h = LatencyHistogram::new();
-        for w in h.boundaries_ns.windows(2) {
-            assert!(w[1] > w[0]);
-        }
-        // 96 geometric buckets reach far beyond any plausible query time.
-        assert!(h.boundaries_ns[BUCKETS - 1] > 60_000_000_000); // > 1 min
+        let clone = h.clone();
+        let registered = LatencyHistogram::from_shared(Arc::clone(h.shared()));
+        h.record(Duration::from_millis(5));
+        clone.record(Duration::from_millis(7));
+        assert_eq!(registered.count(), 2);
+        assert_eq!(registered.max(), Duration::from_millis(7));
+        // The ns-valued core reports the same data to the exporters.
+        assert_eq!(h.shared().count(), 2);
+        assert_eq!(h.shared().max_ns(), 7_000_000);
     }
 
     #[test]
@@ -215,6 +174,20 @@ mod tests {
         }
     }
 
+    #[test]
+    fn percentiles_come_from_one_snapshot() {
+        // The standard ladder is a single `quantiles` call, so even a
+        // pathological recording pattern can't produce a non-monotone
+        // (p50, p95, p99) triple.
+        let h = LatencyHistogram::new();
+        for i in 0..50u64 {
+            h.record(Duration::from_micros(10 + i * 97));
+        }
+        let (p50, p95, p99) = h.percentiles();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max());
+    }
+
     proptest::proptest! {
         /// For any sample set and any quantile ladder, quantiles are
         /// monotone in q and never exceed the observed maximum.
@@ -251,11 +224,11 @@ mod tests {
         // quantile ladders; every snapshot must be internally monotone and
         // bounded by a max() read *after* it (max only grows, and the
         // snapshot clamps against the max at snapshot time).
-        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let h = LatencyHistogram::new();
         let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
         let writers: Vec<_> = (0..3)
             .map(|t| {
-                let h = std::sync::Arc::clone(&h);
+                let h = h.clone();
                 let stop = std::sync::Arc::clone(&stop);
                 std::thread::spawn(move || {
                     let mut i = 0u64;
@@ -288,10 +261,10 @@ mod tests {
 
     #[test]
     fn concurrent_recording_loses_nothing() {
-        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let h = LatencyHistogram::new();
         let threads: Vec<_> = (0..4)
             .map(|t| {
-                let h = std::sync::Arc::clone(&h);
+                let h = h.clone();
                 std::thread::spawn(move || {
                     for i in 0..10_000u64 {
                         h.record(Duration::from_micros(t * 1000 + i % 997));

@@ -88,6 +88,7 @@ use parking_lot::{Condvar, Mutex};
 use omg_core::session::provision_devices;
 use omg_core::{OmgDevice, OmgError, Transcription};
 use omg_nn::Model;
+use omg_obs::{Counter, FlightRecorder, Gauge, ObsConfig, Registry, Stage, TraceSnapshot};
 
 use fault::{FaultPlan, QueryFault};
 use histogram::LatencyHistogram;
@@ -165,6 +166,15 @@ pub struct ServeConfig {
     /// `Some(n)` only when the fleet is small relative to the core count
     /// and per-query latency matters more than aggregate throughput.
     pub kernel_threads: Option<usize>,
+    /// Flight-recorder ring capacity, in events per ring (one ring per
+    /// worker plus one shared ring for submitter-side events).
+    ///
+    /// `None` (the default) defers to the environment: enabled with
+    /// [`omg_obs::ObsConfig::DEFAULT_CAPACITY`] events unless
+    /// `OMG_OBS=off`, capacity overridable via `OMG_OBS_CAPACITY`.
+    /// `Some(0)` disables the recorder outright; `Some(n)` forces
+    /// capacity `n` regardless of the environment.
+    pub recorder_capacity: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -174,6 +184,7 @@ impl Default for ServeConfig {
             slo: None,
             faults: None,
             kernel_threads: None,
+            recorder_capacity: None,
         }
     }
 }
@@ -311,7 +322,10 @@ struct Job {
     /// The runtime's discard counter, bumped when an unresolved job is
     /// dropped (worker panic, fleet teardown) — what keeps the accounting
     /// identity exact through crashes.
-    discarded: Arc<AtomicU64>,
+    discarded: Counter,
+    /// The runtime's flight recorder, so the drop path can stamp the
+    /// job's stage of death onto the shared submitter ring.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Job {
@@ -337,8 +351,19 @@ impl Drop for Job {
         if self.resolved {
             return;
         }
-        self.discarded.fetch_add(1, Ordering::Relaxed);
-        let verdict = if std::thread::panicking() {
+        self.discarded.inc();
+        let panicking = std::thread::panicking();
+        // Stage of death: payload 1 = died in a panicking worker's hands,
+        // 0 = still queued at teardown.
+        if let Some(rec) = &self.recorder {
+            rec.record(
+                rec.rings() - 1,
+                Stage::Discard,
+                self.seq,
+                u64::from(panicking),
+            );
+        }
+        let verdict = if panicking {
             ServeError::WorkerPanicked
         } else {
             ServeError::ShuttingDown
@@ -354,24 +379,71 @@ struct WorkerExit {
 }
 
 /// Shared runtime state visible to workers and submitters.
+///
+/// The counters and histograms are registry-backed ([`omg_obs`] handles):
+/// every recording lands simultaneously in [`ServeStats`] and in the
+/// rendered [`ServeHandle::metrics_text`] / [`ServeHandle::metrics_json`]
+/// exports, without a second bookkeeping path.
 struct Shared {
     queue: ShardedQueue<Job>,
+    /// End-to-end submit-to-completion latency of *successful* queries.
     latency: LatencyHistogram,
+    /// Admission-to-dequeue wait of every job a worker picked up.
+    queue_wait: LatencyHistogram,
+    /// Enclave compute time (classify + scrub) of every served query.
+    compute: LatencyHistogram,
     /// Every submission attempt, accepted or not; doubles as the sequence
     /// allocator, so seq numbers reflect admission order deterministically.
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    failed: AtomicU64,
-    shed: AtomicU64,
+    submitted: Counter,
+    rejected: Counter,
+    failed: Counter,
+    shed: Counter,
     /// Admitted jobs dropped unresolved (worker panic, fleet teardown).
-    discarded: Arc<AtomicU64>,
-    slo_violations: AtomicU64,
+    discarded: Counter,
+    slo_violations: Counter,
     slo: Option<Duration>,
     faults: Option<Arc<FaultPlan>>,
     /// Workers still running their serve loop. The last worker to exit —
     /// cleanly or by panic — fails over any jobs still queued, so a waiter
     /// can never deadlock on a fleet with no one left to serve it.
     live_workers: AtomicU64,
+    /// Flight recorder: one ring per worker (single-writer) plus a final
+    /// shared ring for submitter-side events. `None` when disabled.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// This fleet's metric registry, rendered by the metrics endpoints.
+    registry: Registry,
+    queued_gauge: Gauge,
+    workers_gauge: Gauge,
+    recorder_dropped: Gauge,
+}
+
+impl Shared {
+    /// Ring index for submitter-side events (submit/reject/discard): the
+    /// extra multi-producer ring after the per-worker rings.
+    fn submit_ring(rec: &FlightRecorder) -> usize {
+        rec.rings() - 1
+    }
+
+    /// Bring point-in-time gauges up to date before rendering metrics.
+    fn refresh_gauges(&self) {
+        self.queued_gauge.set(self.queue.len() as i64);
+        self.workers_gauge
+            .set(self.live_workers.load(Ordering::Relaxed) as i64);
+        if let Some(rec) = &self.recorder {
+            self.recorder_dropped.set(rec.dropped_events() as i64);
+        }
+    }
+
+    /// One JSON document combining this fleet's registry with the
+    /// process-global one.
+    fn render_metrics_json(&self) -> String {
+        self.refresh_gauges();
+        format!(
+            "{{\"serve\":{},\"global\":{}}}",
+            self.registry.render_json(),
+            omg_obs::global().render_json()
+        )
+    }
 }
 
 /// Decrements the live-worker count on scope exit (including unwinding)
@@ -445,6 +517,19 @@ pub struct ServeStats {
     pub mean: Duration,
     /// Worst observed latency.
     pub max: Duration,
+    /// Median admission-to-dequeue queue wait (every dequeued job, not
+    /// just successful ones).
+    pub queue_p50: Duration,
+    /// 95th-percentile queue wait.
+    pub queue_p95: Duration,
+    /// 99th-percentile queue wait.
+    pub queue_p99: Duration,
+    /// Median enclave compute time (classify + scrub) per served query.
+    pub compute_p50: Duration,
+    /// 95th-percentile compute time.
+    pub compute_p95: Duration,
+    /// 99th-percentile compute time.
+    pub compute_p99: Duration,
     /// The configured SLO target, if any.
     pub slo: Option<Duration>,
     /// Completed queries that exceeded the SLO target.
@@ -478,7 +563,41 @@ impl fmt::Display for ServeStats {
                 self.slo_violations
             )?;
         }
-        Ok(())
+        // Per-stage decomposition: where completed queries spent their time.
+        write!(
+            f,
+            "\n  stages: queue-wait p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms, \
+             compute p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms",
+            ms(self.queue_p50),
+            ms(self.queue_p95),
+            ms(self.queue_p99),
+            ms(self.compute_p50),
+            ms(self.compute_p95),
+            ms(self.compute_p99),
+        )?;
+        // The accounting identity, with a verdict a human can grep for.
+        // A live snapshot legitimately has work still in flight (sum <
+        // submitted); a sum *exceeding* submitted is double-counting and
+        // always a bug.
+        let settled = self.completed + self.rejected + self.failed + self.shed + self.discarded;
+        let verdict = if settled == self.submitted {
+            "[OK]".to_owned()
+        } else if settled < self.submitted {
+            format!("[IN-FLIGHT {}]", self.submitted - settled)
+        } else {
+            "[VIOLATED]".to_owned()
+        };
+        write!(
+            f,
+            "\n  accounting: {}+{}+{}+{}+{} == {} {}",
+            self.completed,
+            self.rejected,
+            self.failed,
+            self.shed,
+            self.discarded,
+            self.submitted,
+            verdict
+        )
     }
 }
 
@@ -496,6 +615,11 @@ pub struct DrainedServe {
     /// Errors from workers that did not exit cleanly (their devices are
     /// lost). Empty on a fully healthy drain.
     pub worker_errors: Vec<ServeError>,
+    /// Final metrics snapshot (same JSON document as
+    /// [`ServeHandle::metrics_json`]), taken after every worker joined.
+    pub metrics_json: String,
+    /// Final merged flight-recorder trace, if the recorder was enabled.
+    pub flight_trace: Option<TraceSnapshot>,
 }
 
 impl DrainedServe {
@@ -569,18 +693,76 @@ impl ServeHandle {
             omg_nn::gemm::set_thread_budget(threads);
         }
         let worker_count = devices.len();
+        let recorder_capacity = config
+            .recorder_capacity
+            .unwrap_or_else(|| ObsConfig::from_env().recorder_capacity);
+        let recorder = (recorder_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(worker_count + 1, recorder_capacity)));
+        let registry = Registry::new();
+        let latency = LatencyHistogram::from_shared(registry.histogram(
+            "omg_serve_latency_seconds",
+            "end-to-end submit-to-completion latency of successful queries",
+        ));
+        let queue_wait = LatencyHistogram::from_shared(registry.histogram(
+            "omg_serve_queue_wait_seconds",
+            "admission-to-dequeue wait of every job a worker picked up",
+        ));
+        let compute = LatencyHistogram::from_shared(registry.histogram(
+            "omg_serve_compute_seconds",
+            "enclave compute time (classify + scrub) per served query",
+        ));
+        let submitted = registry.counter(
+            "omg_serve_submitted_total",
+            "every submission attempt, admitted or bounced",
+        );
+        let rejected = registry.counter(
+            "omg_serve_rejected_total",
+            "queries bounced at admission (overload or shutdown)",
+        );
+        let failed = registry.counter(
+            "omg_serve_failed_total",
+            "admitted queries that failed on the device",
+        );
+        let shed = registry.counter(
+            "omg_serve_shed_total",
+            "queries shed at dequeue for a blown deadline",
+        );
+        let discarded = registry.counter(
+            "omg_serve_discarded_total",
+            "admitted queries dropped unresolved (worker panic, teardown)",
+        );
+        let slo_violations = registry.counter(
+            "omg_serve_slo_violations_total",
+            "completed queries that exceeded the SLO target",
+        );
+        let queued_gauge =
+            registry.gauge("omg_serve_queued", "queries waiting in the admission queue");
+        let workers_gauge =
+            registry.gauge("omg_serve_workers_live", "worker threads still serving");
+        let recorder_dropped = registry.gauge(
+            "omg_serve_recorder_dropped_events",
+            "flight-recorder events evicted by ring wraparound",
+        );
+        workers_gauge.set(worker_count as i64);
         let shared = Arc::new(Shared {
             queue: ShardedQueue::new(worker_count, config.queue_capacity),
-            latency: LatencyHistogram::new(),
-            submitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            discarded: Arc::new(AtomicU64::new(0)),
-            slo_violations: AtomicU64::new(0),
+            latency,
+            queue_wait,
+            compute,
+            submitted,
+            rejected,
+            failed,
+            shed,
+            discarded,
+            slo_violations,
             slo: config.slo,
             faults: config.faults,
             live_workers: AtomicU64::new(worker_count as u64),
+            recorder,
+            registry,
+            queued_gauge,
+            workers_gauge,
+            recorder_dropped,
         });
         let workers = devices
             .into_iter()
@@ -643,7 +825,11 @@ impl ServeHandle {
         // Counting *every* attempt (and allocating the seq from the same
         // counter) keeps the accounting identity total: a bounced
         // submission is still a submission.
-        let seq = self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let seq = self.shared.submitted.fetch_inc();
+        // Stamp admission time *before* the push: a worker can dequeue
+        // (and record) the job before this thread records the Submit
+        // event, and the merged trace must still order Submit first.
+        let submit_ns = omg_obs::monotonic_ns();
         let job = Job {
             seq,
             samples: samples.to_vec(),
@@ -651,18 +837,37 @@ impl ServeHandle {
             deadline,
             slot: Arc::clone(&slot),
             resolved: false,
-            discarded: Arc::clone(&self.shared.discarded),
+            discarded: self.shared.discarded.clone(),
+            recorder: self.shared.recorder.clone(),
         };
+        let recorder = self.shared.recorder.as_deref();
         match self.shared.queue.push(job) {
-            Ok(()) => Ok(Pending { slot }),
+            Ok(()) => {
+                if let Some(rec) = recorder {
+                    rec.record_at(
+                        Shared::submit_ring(rec),
+                        Stage::Submit,
+                        seq,
+                        samples.len() as u64,
+                        submit_ns,
+                    );
+                }
+                Ok(Pending { slot })
+            }
             Err(PushError::Full(job)) => {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected.inc();
+                if let Some(rec) = recorder {
+                    rec.record_at(Shared::submit_ring(rec), Stage::Reject, seq, 0, submit_ns);
+                }
                 // The error return is the waiter's answer.
                 job.into_rejected();
                 Err(ServeError::Overloaded)
             }
             Err(PushError::Closed(job)) => {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected.inc();
+                if let Some(rec) = recorder {
+                    rec.record_at(Shared::submit_ring(rec), Stage::Reject, seq, 1, submit_ns);
+                }
                 job.into_rejected();
                 Err(ServeError::ShuttingDown)
             }
@@ -677,6 +882,39 @@ impl ServeHandle {
             self.workers.len(),
             self.shared.queue.len(),
         )
+    }
+
+    /// The fleet's flight recorder, if enabled: one event ring per worker
+    /// plus one shared ring for submitter-side events. Clone the `Arc`
+    /// before [`Self::drain`] to keep trace access after the handle is
+    /// consumed.
+    pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.shared.recorder.clone()
+    }
+
+    /// A merged, time-ordered flight-recorder trace, or `None` when the
+    /// recorder is disabled. Safe to call at any time — readers never
+    /// block writers.
+    pub fn flight_trace(&self) -> Option<TraceSnapshot> {
+        self.shared.recorder.as_ref().map(|r| r.snapshot())
+    }
+
+    /// Render this fleet's metrics — and the process-global registry
+    /// (model-cache, interpreter-construction counters) — in Prometheus
+    /// text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.shared.refresh_gauges();
+        let mut out = self.shared.registry.render_prometheus();
+        out.push_str(&omg_obs::global().render_prometheus());
+        out
+    }
+
+    /// Render the same metrics as one flat JSON document:
+    /// `{"serve":{…},"global":{…}}`. Histogram entries carry
+    /// `count`/`sum_ns`/`max_ns` and a coherent `p50_ns`/`p95_ns`/`p99_ns`
+    /// ladder.
+    pub fn metrics_json(&self) -> String {
+        self.shared.render_metrics_json()
     }
 
     /// Gracefully shuts the runtime down: closes admission, lets every
@@ -719,11 +957,15 @@ impl ServeHandle {
         while self.shared.queue.pop(0).is_some() {}
         let queued = self.shared.queue.len();
         let stats = snapshot_stats(&self.shared, self.started, devices.len(), queued);
+        let metrics_json = self.shared.render_metrics_json();
+        let flight_trace = self.shared.recorder.as_ref().map(|r| r.snapshot());
         DrainedServe {
             stats,
             devices,
             served_per_worker,
             worker_errors,
+            metrics_json,
+            flight_trace,
         }
     }
 }
@@ -734,15 +976,20 @@ impl ServeHandle {
 fn snapshot_stats(shared: &Shared, started: Instant, workers: usize, queued: usize) -> ServeStats {
     let completed = shared.latency.count();
     let elapsed = started.elapsed();
+    // Each ladder comes from one coherent `quantiles` snapshot of its
+    // histogram, so every reported (p50, p95, p99) triple is monotone
+    // even while workers record concurrently.
     let (p50, p95, p99) = shared.latency.percentiles();
+    let (queue_p50, queue_p95, queue_p99) = shared.queue_wait.percentiles();
+    let (compute_p50, compute_p95, compute_p99) = shared.compute.percentiles();
     ServeStats {
         workers,
-        submitted: shared.submitted.load(Ordering::Relaxed),
+        submitted: shared.submitted.get(),
         completed,
-        rejected: shared.rejected.load(Ordering::Relaxed),
-        failed: shared.failed.load(Ordering::Relaxed),
-        shed: shared.shed.load(Ordering::Relaxed),
-        discarded: shared.discarded.load(Ordering::Relaxed),
+        rejected: shared.rejected.get(),
+        failed: shared.failed.get(),
+        shed: shared.shed.get(),
+        discarded: shared.discarded.get(),
         queued,
         elapsed,
         throughput_qps: completed as f64 / elapsed.as_secs_f64().max(1e-12),
@@ -751,8 +998,14 @@ fn snapshot_stats(shared: &Shared, started: Instant, workers: usize, queued: usi
         p99,
         mean: shared.latency.mean(),
         max: shared.latency.max(),
+        queue_p50,
+        queue_p95,
+        queue_p99,
+        compute_p50,
+        compute_p95,
+        compute_p99,
         slo: shared.slo,
-        slo_violations: shared.slo_violations.load(Ordering::Relaxed),
+        slo_violations: shared.slo_violations.get(),
     }
 }
 
@@ -773,9 +1026,18 @@ fn worker_loop(
     let _presence = WorkerPresence { shared, index };
     let mut served = 0u64;
     let clock = device.clock();
+    // This worker's single-writer ring is its own index; recording is a
+    // handful of relaxed stores, so the hot path pays one branch when the
+    // recorder is disabled and no locks or allocation either way.
+    let recorder = shared.recorder.as_deref();
     {
         let mut session = device.session()?;
         while let Some(job) = shared.queue.pop(index) {
+            let wait = job.submitted.elapsed();
+            shared.queue_wait.record(wait);
+            if let Some(rec) = recorder {
+                rec.record(index, Stage::Dequeue, job.seq, wait.as_nanos() as u64);
+            }
             // Fault hook. The pause gate is checked *after* popping, so a
             // parked worker holds exactly one job — scenarios prime the
             // queue with one job per worker before awaiting the gate,
@@ -801,7 +1063,10 @@ fn worker_loop(
                     // path; the query in hand fails over to its waiter and
                     // the worker exits as errored (its device is lost).
                     session.crash_device()?;
-                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    shared.failed.inc();
+                    if let Some(rec) = recorder {
+                        rec.record(index, Stage::Reply, job.seq, u64::MAX);
+                    }
                     job.complete(Err(ServeError::Query(OmgError::DeviceCrashed)));
                     return Err(ServeError::Query(OmgError::DeviceCrashed));
                 }
@@ -819,26 +1084,51 @@ fn worker_loop(
             // so shed it instead of burning warm-enclave time on it.
             if let Some(deadline) = job.deadline {
                 if Instant::now() >= deadline {
-                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.shed.inc();
+                    // Stage of death: shed at dequeue, payload = how long
+                    // it sat queued before the deadline buried it.
+                    if let Some(rec) = recorder {
+                        rec.record(index, Stage::Shed, job.seq, wait.as_nanos() as u64);
+                    }
                     job.complete(Err(ServeError::Expired));
                     continue;
                 }
             }
+            if let Some(rec) = recorder {
+                rec.record(index, Stage::ComputeStart, job.seq, 0);
+            }
+            let compute_start = Instant::now();
             let result = session.classify(&job.samples).map_err(ServeError::from);
             session.scrub();
+            let compute = compute_start.elapsed();
+            shared.compute.record(compute);
+            if let Some(rec) = recorder {
+                rec.record(index, Stage::ComputeEnd, job.seq, compute.as_nanos() as u64);
+            }
             let latency = job.submitted.elapsed();
             match &result {
                 Ok(_) => {
                     shared.latency.record(latency);
                     if let Some(slo) = shared.slo {
                         if latency > slo {
-                            shared.slo_violations.fetch_add(1, Ordering::Relaxed);
+                            shared.slo_violations.inc();
                         }
                     }
                 }
                 Err(_) => {
-                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    shared.failed.inc();
                 }
+            }
+            let reply_payload = if result.is_ok() {
+                latency.as_nanos() as u64
+            } else {
+                u64::MAX
+            };
+            // Stamp Reply *before* handing the slot to the waiter: once
+            // `wait()` returns, the query's full life cycle is guaranteed
+            // to be in the trace.
+            if let Some(rec) = recorder {
+                rec.record(index, Stage::Reply, job.seq, reply_payload);
             }
             job.complete(result);
             served += 1;
@@ -960,9 +1250,7 @@ mod tests {
             1,
             ServeConfig {
                 queue_capacity: 32,
-                slo: None,
-                faults: None,
-                kernel_threads: None,
+                ..ServeConfig::default()
             },
             "kws",
             test_model(),
@@ -997,7 +1285,8 @@ mod tests {
             deadline: None,
             slot: Arc::clone(&slot),
             resolved: false,
-            discarded: Arc::new(AtomicU64::new(0)),
+            discarded: Counter::new(),
+            recorder: None,
         };
         match shared.queue.push(job) {
             Err(PushError::Closed(job)) => job.into_rejected(),
@@ -1013,9 +1302,7 @@ mod tests {
             1,
             ServeConfig {
                 queue_capacity: 2,
-                slo: None,
-                faults: None,
-                kernel_threads: None,
+                ..ServeConfig::default()
             },
             "kws",
             test_model(),
@@ -1057,8 +1344,7 @@ mod tests {
                 // Impossible SLO: every query violates it, making the
                 // counter deterministic.
                 slo: Some(Duration::from_nanos(1)),
-                faults: None,
-                kernel_threads: None,
+                ..ServeConfig::default()
             },
             "kws",
             test_model(),
@@ -1095,9 +1381,7 @@ mod tests {
                 devices,
                 ServeConfig {
                     queue_capacity: 0,
-                    slo: None,
-                    faults: None,
-                    kernel_threads: None,
+                    ..ServeConfig::default()
                 }
             ),
             Err(ServeError::Config(_))
@@ -1115,9 +1399,7 @@ mod tests {
             vec![uninitialized],
             ServeConfig {
                 queue_capacity: 8,
-                slo: None,
-                faults: None,
-                kernel_threads: None,
+                ..ServeConfig::default()
             },
         )
         .unwrap();
@@ -1152,9 +1434,8 @@ mod tests {
             1,
             ServeConfig {
                 queue_capacity: 8,
-                slo: None,
                 faults: Some(Arc::clone(&plan)),
-                kernel_threads: None,
+                ..ServeConfig::default()
             },
             "kws",
             test_model(),
@@ -1193,9 +1474,8 @@ mod tests {
             2,
             ServeConfig {
                 queue_capacity: 8,
-                slo: None,
                 faults: Some(Arc::clone(&plan)),
-                kernel_threads: None,
+                ..ServeConfig::default()
             },
             "kws",
             test_model(),
@@ -1237,9 +1517,7 @@ mod tests {
             vec![uninitialized],
             ServeConfig {
                 queue_capacity: 8,
-                slo: None,
-                faults: None,
-                kernel_threads: None,
+                ..ServeConfig::default()
             },
         )
         .unwrap();
@@ -1403,6 +1681,241 @@ mod tests {
             .expect("query succeeds");
         assert!(result.class_index < 12);
         assert!(handle.drain().is_healthy());
+    }
+
+    #[test]
+    fn metrics_endpoints_and_per_stage_percentiles() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(72);
+        let samples = data.utterance(2, 0).unwrap();
+        let handle = ServeHandle::provision(
+            2,
+            ServeConfig {
+                recorder_capacity: Some(256),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            720,
+        )
+        .unwrap();
+        let pending: Vec<_> = (0..8).map(|_| handle.submit(&samples).unwrap()).collect();
+        for p in pending {
+            p.wait().unwrap();
+        }
+
+        let stats = handle.stats();
+        // Per-stage ladders are monotone and the compute stage did real work.
+        assert!(stats.queue_p50 <= stats.queue_p95 && stats.queue_p95 <= stats.queue_p99);
+        assert!(stats.compute_p50 <= stats.compute_p95 && stats.compute_p95 <= stats.compute_p99);
+        assert!(stats.compute_p50 > Duration::ZERO);
+        // Compute can't exceed the end-to-end tail it is part of.
+        assert!(stats.compute_p99 <= stats.p99.max(stats.max));
+
+        let text = handle.metrics_text();
+        for needle in [
+            "# TYPE omg_serve_submitted_total counter",
+            "omg_serve_submitted_total 8",
+            "omg_serve_latency_seconds_bucket",
+            "omg_serve_queue_wait_seconds_count 8",
+            "omg_serve_compute_seconds_count 8",
+            "omg_serve_workers_live 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let json = handle.metrics_json();
+        assert!(json.starts_with("{\"serve\":{"), "{json}");
+        assert!(json.contains("\"omg_serve_submitted_total\":8"), "{json}");
+        assert!(
+            json.contains("\"omg_serve_compute_seconds\":{\"count\":8"),
+            "{json}"
+        );
+        assert!(json.contains("\"global\":{"), "{json}");
+
+        let drained = handle.drain();
+        assert!(drained
+            .metrics_json
+            .contains("\"omg_serve_submitted_total\":8"));
+        let trace = drained.flight_trace.as_ref().expect("recorder enabled");
+        assert!(!trace.events.is_empty());
+        assert!(drained.stats.to_string().contains("[OK]"));
+    }
+
+    #[test]
+    fn flight_trace_orders_stages_per_query() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(73);
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                recorder_capacity: Some(64),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            730,
+        )
+        .unwrap();
+        handle
+            .submit(&data.utterance(3, 0).unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let trace = handle.flight_trace().expect("recorder enabled");
+        // The merged trace replays seq 0's full life cycle in stage order.
+        let stages: Vec<Stage> = trace
+            .events
+            .iter()
+            .filter(|e| e.seq == 0)
+            .map(|e| e.stage)
+            .collect();
+        assert_eq!(
+            stages,
+            [
+                Stage::Submit,
+                Stage::Dequeue,
+                Stage::ComputeStart,
+                Stage::ComputeEnd,
+                Stage::Reply
+            ],
+            "full trace:\n{}",
+            trace.render()
+        );
+        // Timestamps are monotone through the merge.
+        let ts: Vec<u64> = trace.events.iter().map(|e| e.ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        // The reply event carries the end-to-end latency.
+        let reply = trace
+            .events
+            .iter()
+            .find(|e| e.stage == Stage::Reply)
+            .unwrap();
+        assert!(reply.payload > 0 && reply.payload < u64::MAX);
+        assert!(handle.drain().is_healthy());
+    }
+
+    #[test]
+    fn recorder_can_be_disabled() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(74);
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                recorder_capacity: Some(0),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            740,
+        )
+        .unwrap();
+        handle
+            .submit(&data.utterance(4, 0).unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(handle.recorder().is_none());
+        assert!(handle.flight_trace().is_none());
+        // Metrics still work without the recorder.
+        assert!(handle
+            .metrics_text()
+            .contains("omg_serve_submitted_total 1"));
+        let drained = handle.drain();
+        assert!(drained.flight_trace.is_none());
+        assert_eq!(drained.stats.completed, 1);
+    }
+
+    #[test]
+    fn shed_and_discarded_events_carry_their_stage_of_death() {
+        // Sheds: a busy single worker with zero-budget jobs queued behind
+        // the in-flight one.
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(75);
+        let samples = data.utterance(5, 0).unwrap();
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                recorder_capacity: Some(128),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            750,
+        )
+        .unwrap();
+        let busy = handle.submit(&samples).unwrap();
+        let doomed = handle
+            .submit_with_deadline(&samples, Duration::ZERO)
+            .unwrap();
+        assert!(busy.wait().is_ok());
+        assert_eq!(doomed.wait(), Err(ServeError::Expired));
+        let trace = handle.flight_trace().unwrap();
+        let shed = trace
+            .events
+            .iter()
+            .find(|e| e.stage == Stage::Shed)
+            .expect("shed event recorded");
+        assert_eq!(shed.seq, 1);
+        assert!(handle.drain().is_healthy());
+
+        // Discards: a worker that panics with a job in hand drops it during
+        // unwind; the Drop impl stamps Discard with payload 1 ("died in a
+        // panicking worker's hands").
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_query(0, QueryFault::WorkerPanic);
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                queue_capacity: 8,
+                faults: Some(Arc::clone(&plan)),
+                recorder_capacity: Some(128),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            751,
+        )
+        .unwrap();
+        let recorder = handle.recorder().unwrap();
+        let doomed = handle.submit(&samples).unwrap();
+        assert_eq!(doomed.wait(), Err(ServeError::WorkerPanicked));
+        let drained = handle.drain();
+        let discards: Vec<_> = recorder
+            .snapshot()
+            .events
+            .into_iter()
+            .filter(|e| e.stage == Stage::Discard)
+            .collect();
+        assert_eq!(discards.len() as u64, drained.stats.discarded);
+        assert_eq!(discards.len(), 1);
+        assert_eq!(
+            discards[0].payload, 1,
+            "discard must name a panicking worker as its stage of death"
+        );
+    }
+
+    #[test]
+    fn display_prints_accounting_identity_marker() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(76);
+        let handle =
+            ServeHandle::provision(1, ServeConfig::default(), "kws", test_model(), 760).unwrap();
+        handle
+            .submit(&data.utterance(2, 0).unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let drained = handle.drain();
+        let rendered = drained.stats.to_string();
+        assert!(rendered.contains("stages: queue-wait"), "{rendered}");
+        assert!(
+            rendered.contains("accounting: 1+0+0+0+0 == 1 [OK]"),
+            "{rendered}"
+        );
+
+        // A corrupted snapshot (sum exceeding submitted) must scream.
+        let mut broken = drained.stats.clone();
+        broken.completed += 1;
+        assert!(broken.to_string().contains("[VIOLATED]"));
+        // A live snapshot with work still in flight reports the gap.
+        let mut live = drained.stats.clone();
+        live.submitted += 3;
+        assert!(live.to_string().contains("[IN-FLIGHT 3]"));
     }
 
     #[test]

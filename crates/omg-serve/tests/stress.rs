@@ -113,8 +113,10 @@ fn concurrent_seeded_mix_has_no_cross_worker_leakage() {
             ServeConfig {
                 queue_capacity: 32,
                 slo: Some(Duration::from_secs(5)),
-                faults: None,
-                kernel_threads: None,
+                // Flight recorder on under full contention: the stress run
+                // doubles as a torn-read hunt for the lock-free rings.
+                recorder_capacity: Some(512),
+                ..ServeConfig::default()
             },
             "kws",
             test_model(),

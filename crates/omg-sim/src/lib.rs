@@ -62,6 +62,7 @@ use omg_core::{OmgDevice, OmgError, User, Vendor};
 use omg_nn::model::{Activation, Model, Op, Padding};
 use omg_nn::quantize::QuantParams;
 use omg_nn::tensor::DType;
+use omg_obs::TraceSnapshot;
 use omg_serve::fault::{FaultPlan, QueryFault};
 use omg_serve::{DrainedServe, Pending, ServeConfig, ServeError, ServeHandle};
 use omg_speech::dataset::SyntheticSpeechCommands;
@@ -309,6 +310,14 @@ pub struct SimReport {
     pub script: String,
     /// What drain returned, when it terminated in time.
     pub drained: Option<DrainedServe>,
+    /// Merged time-ordered flight-recorder snapshot, taken from a recorder
+    /// handle cloned **before** drain — so it survives even a drain that
+    /// hangs or a fleet that died. Timestamps make it non-deterministic;
+    /// the replay-equality guarantee covers [`Self::trace`] only.
+    pub flight_trace: Option<TraceSnapshot>,
+    /// Final metrics snapshot (the serve registry + global registry as
+    /// JSON), when drain terminated in time.
+    pub metrics_json: Option<String>,
 }
 
 impl SimReport {
@@ -322,19 +331,26 @@ impl SimReport {
         format!("OMG_SIM_SEEDS={} cargo test -p omg-sim", self.seed)
     }
 
-    /// Panics with the scenario script, seed, and reproducer if any
-    /// invariant was violated — the failure mode CI prints.
+    /// Panics with the scenario script, seed, reproducer, and the tail of
+    /// the flight-recorder trace if any invariant was violated — the
+    /// failure mode CI prints, so a chaos failure ships with the last
+    /// thing every worker was doing.
     pub fn assert_clean(&self) {
         if self.is_clean() {
             return;
         }
+        let trace_tail = match &self.flight_trace {
+            Some(snapshot) => snapshot.render_tail(40),
+            None => "flight recorder: disabled".to_string(),
+        };
         panic!(
-            "scenario {:?} (seed {}) violated {} invariant(s):\n  - {}\n\nscript:\n{}\nreproduce with: {}\n",
+            "scenario {:?} (seed {}) violated {} invariant(s):\n  - {}\n\nscript:\n{}\n{}\nreproduce with: {}\n",
             self.name,
             self.seed,
             self.violations.len(),
             self.violations.join("\n  - "),
             self.script,
+            trace_tail,
             self.reproducer(),
         );
     }
@@ -632,6 +648,9 @@ impl<'s> Engine<'s> {
                 slo: None,
                 faults: Some(Arc::clone(&plan)),
                 kernel_threads: Some(self.scenario.kernel_threads),
+                // Forced on (not env-dependent): every chaos failure must
+                // be able to dump a merged trace of what the fleet did.
+                recorder_capacity: Some(1024),
             },
             "kws",
             model.clone(),
@@ -686,6 +705,11 @@ impl<'s> Engine<'s> {
             }
         }
 
+        // Clone the recorder handle *before* the serve handle moves into
+        // the drainer thread: if drain hangs, the post-mortem trace is
+        // still reachable.
+        let recorder = handle.recorder();
+
         // Invariant 2: drain terminates (watchdog-bounded). The drain runs
         // on a helper thread so a hang is a report line, not a hung suite.
         let (tx, rx) = mpsc::channel();
@@ -702,6 +726,8 @@ impl<'s> Engine<'s> {
                 None
             }
         };
+        let flight_trace = recorder.as_ref().map(|r| r.snapshot());
+        let metrics_json = drained.as_ref().map(|d| d.metrics_json.clone());
 
         // Invariant 1 + 5: every ticket resolves, and successful answers
         // match the reference. Outcomes are traced in submission order, so
@@ -822,14 +848,38 @@ impl<'s> Engine<'s> {
 
         omg_nn::gemm::set_thread_budget(prev_budget);
 
-        SimReport {
+        let report = SimReport {
             name: self.scenario.name,
             seed: self.seed,
             trace: self.trace,
             violations: self.violations,
             script: self.scenario.script(),
             drained,
-        }
+            flight_trace,
+            metrics_json,
+        };
+        dump_artifacts(&report);
+        report
+    }
+}
+
+/// When `OMG_SIM_TRACE_DIR` is set, writes the run's merged flight trace
+/// and metrics snapshot as `<name>-<seed>.trace.txt` / `.metrics.json`
+/// under that directory (created if needed) — the files CI uploads as
+/// workflow artifacts. Best-effort: IO failures never fail a scenario.
+fn dump_artifacts(report: &SimReport) {
+    let Ok(dir) = std::env::var("OMG_SIM_TRACE_DIR") else {
+        return;
+    };
+    if dir.is_empty() || std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let base = format!("{dir}/{}-{}", report.name, report.seed);
+    if let Some(snapshot) = &report.flight_trace {
+        let _ = std::fs::write(format!("{base}.trace.txt"), snapshot.render());
+    }
+    if let Some(json) = &report.metrics_json {
+        let _ = std::fs::write(format!("{base}.metrics.json"), json);
     }
 }
 
@@ -892,6 +942,8 @@ mod tests {
             violations: vec![],
             script: String::new(),
             drained: None,
+            flight_trace: None,
+            metrics_json: None,
         };
         assert!(report.reproducer().contains("OMG_SIM_SEEDS=1337"));
         report.assert_clean();
@@ -907,7 +959,44 @@ mod tests {
             violations: vec!["boom".into()],
             script: "scenario".into(),
             drained: None,
+            flight_trace: None,
+            metrics_json: None,
         };
         report.assert_clean();
+    }
+
+    #[test]
+    #[should_panic(expected = "flight recorder:")]
+    fn assert_clean_dumps_the_trace_tail() {
+        // A violated report with a captured trace prints its tail.
+        let recorder = omg_obs::FlightRecorder::new(1, 8);
+        recorder.record(0, omg_obs::Stage::Submit, 0, 16_000);
+        let report = SimReport {
+            name: "x",
+            seed: 7,
+            trace: vec![],
+            violations: vec!["boom".into()],
+            script: "scenario".into(),
+            drained: None,
+            flight_trace: Some(recorder.snapshot()),
+            metrics_json: None,
+        };
+        report.assert_clean();
+    }
+
+    #[test]
+    fn run_captures_flight_trace_and_metrics() {
+        let report = Scenario::new("obs-capture", 2).submit(6).run(11);
+        report.assert_clean();
+        let trace = report.flight_trace.as_ref().expect("recorder forced on");
+        // 6 queries × (submit, dequeue, compute-start, compute-end, reply).
+        assert_eq!(trace.events.len(), 30, "{}", trace.render());
+        assert_eq!(trace.dropped, 0);
+        let json = report.metrics_json.as_ref().expect("drain terminated");
+        assert!(json.contains("\"omg_serve_submitted_total\":6"), "{json}");
+        assert!(
+            json.contains("omg_core_devices_provisioned_total"),
+            "{json}"
+        );
     }
 }

@@ -24,8 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServeConfig {
             queue_capacity: 32,
             slo: Some(Duration::from_millis(250)),
-            faults: None,
-            kernel_threads: None,
+            ..ServeConfig::default()
         },
         "kws",
         model,
@@ -66,6 +65,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nstats: {}", handle.stats());
+
+    // The same numbers, through the metrics export layer.
+    println!("\nmetrics excerpt (Prometheus text):");
+    for line in handle
+        .metrics_text()
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.contains("_bucket"))
+        .take(8)
+    {
+        println!("  {line}");
+    }
 
     // Graceful drain: in-flight queries finish, arenas are scrubbed, the
     // devices come back for inspection.

@@ -147,6 +147,7 @@ pub use omg_core as core;
 pub use omg_crypto as crypto;
 pub use omg_hal as hal;
 pub use omg_nn as nn;
+pub use omg_obs as obs;
 pub use omg_sanctuary as sanctuary;
 pub use omg_serve as serve;
 pub use omg_sim as sim;
