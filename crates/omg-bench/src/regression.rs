@@ -59,6 +59,10 @@ pub struct WatchedMetric {
 /// advantage, and `gemm_threads_speedup` the best row-panel-threaded GEMM
 /// speedup over a 1/2/4-thread sweep (>= 1.0 by construction since the
 /// sweep includes one thread, so the floor stays honest on small hosts).
+/// For `recovery`, `availability` is the fraction of queries served under
+/// sustained worker kills (retry layer + supervisor together) and
+/// `recoveries_per_s` the rate at which the supervisor returns a killed
+/// fleet to full capacity.
 pub const WATCHED_METRICS: &[WatchedMetric] = &[
     WatchedMetric {
         bench: "serving",
@@ -95,6 +99,14 @@ pub const WATCHED_METRICS: &[WatchedMetric] = &[
     WatchedMetric {
         bench: "kernels",
         key: "gemm_threads_speedup",
+    },
+    WatchedMetric {
+        bench: "recovery",
+        key: "availability",
+    },
+    WatchedMetric {
+        bench: "recovery",
+        key: "recoveries_per_s",
     },
 ];
 
@@ -211,6 +223,16 @@ mod tests {
         let baseline = r#"{"v2_loads_per_s":100000,"v2_v1_load_ratio":2.5}"#;
         let bad = r#"{"v2_loads_per_s":10000,"v2_v1_load_ratio":1.0}"#;
         let failures = compare_bench("provisioning", bad, baseline, 0.25);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+    }
+
+    #[test]
+    fn recovery_metrics_are_watched() {
+        let baseline = r#"{"availability":0.9,"recoveries_per_s":2.0}"#;
+        let ok = r#"{"availability":0.97,"recoveries_per_s":5.0}"#;
+        assert!(compare_bench("recovery", ok, baseline, 0.25).is_empty());
+        let bad = r#"{"availability":0.5,"recoveries_per_s":1.0}"#;
+        let failures = compare_bench("recovery", bad, baseline, 0.25);
         assert_eq!(failures.len(), 2, "{failures:?}");
     }
 

@@ -49,11 +49,21 @@ pub enum Stage {
     /// Query died unserved (payload: 1 = in a panicking worker's hands,
     /// 0 = still queued at teardown).
     Discard = 7,
+    /// A serving worker died — panic unwind or device error (seq: worker
+    /// index, payload: 1 = panic, 0 = device error).
+    WorkerDown = 8,
+    /// The supervisor re-provisioned a device and restarted the worker
+    /// (seq: worker index, payload: time-to-recover ns).
+    WorkerRestart = 9,
+    /// The supervisor quarantined a crash-looping or budget-exhausted
+    /// worker instead of restarting it (seq: worker index, payload:
+    /// consecutive rapid-death strikes at quarantine time).
+    WorkerQuarantine = 10,
 }
 
 impl Stage {
     /// All stages, in discriminant order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Submit,
         Stage::Dequeue,
         Stage::ComputeStart,
@@ -62,6 +72,9 @@ impl Stage {
         Stage::Reject,
         Stage::Shed,
         Stage::Discard,
+        Stage::WorkerDown,
+        Stage::WorkerRestart,
+        Stage::WorkerQuarantine,
     ];
 
     /// Stable lower-case name, used in rendered traces.
@@ -75,11 +88,20 @@ impl Stage {
             Stage::Reject => "reject",
             Stage::Shed => "shed",
             Stage::Discard => "discard",
+            Stage::WorkerDown => "worker-down",
+            Stage::WorkerRestart => "worker-restart",
+            Stage::WorkerQuarantine => "worker-quarantine",
         }
     }
 
     fn from_bits(bits: u64) -> Stage {
-        Stage::ALL[(bits & 0x7) as usize]
+        // Only writer-authored stamps survive the seqlock validity check,
+        // so the nibble is always a real discriminant; fall back to Submit
+        // rather than panicking if that ever stops holding.
+        Stage::ALL
+            .get((bits & 0xF) as usize)
+            .copied()
+            .unwrap_or(Stage::Submit)
     }
 }
 
@@ -114,19 +136,19 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// Stamp-word layout: `valid = idx << 3 | stage`, `writing = TOP | idx << 3`.
+/// Stamp-word layout: `valid = idx << 4 | stage`, `writing = TOP | idx << 4`.
 /// `EMPTY` (all ones) matches neither form, so unwritten slots never
 /// validate and never satisfy a writer's publish compare-exchange.
 const WRITING_BIT: u64 = 1 << 63;
 const EMPTY: u64 = u64::MAX;
 
 fn valid_stamp(idx: u64, stage: Stage) -> u64 {
-    debug_assert_eq!(idx & (0x7 << 60), 0, "ring index overflow");
-    (idx << 3) | stage as u64
+    debug_assert_eq!(idx & (0x1F << 59), 0, "ring index overflow");
+    (idx << 4) | stage as u64
 }
 
 fn writing_stamp(idx: u64) -> u64 {
-    WRITING_BIT | (idx << 3)
+    WRITING_BIT | (idx << 4)
 }
 
 struct Slot {
@@ -202,7 +224,7 @@ impl Ring {
             let payload = slot.payload.load(Ordering::Relaxed);
             fence(Ordering::Acquire);
             let reread = slot.stamp.load(Ordering::Relaxed);
-            if stamp == reread && stamp & WRITING_BIT == 0 && stamp >> 3 == idx {
+            if stamp == reread && stamp & WRITING_BIT == 0 && stamp >> 4 == idx {
                 out.push(TraceEvent {
                     ts_ns,
                     worker,

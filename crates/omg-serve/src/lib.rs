@@ -24,7 +24,14 @@
 //! * **Graceful drain** — [`ServeHandle::drain`] stops admission, finishes
 //!   every in-flight query, scrubs each worker's enclave arena (no user's
 //!   activations survive the runtime), parks the enclaves, and returns the
-//!   devices for inspection.
+//!   devices for inspection;
+//! * **Self-healing** — with [`ServeConfig::restart`] set, a supervisor
+//!   thread re-provisions a replacement device for every dead worker
+//!   through the fleet's warm model cache, governed by a
+//!   [`RestartPolicy`] (exponential backoff, restart budget, crash-loop
+//!   quarantine); [`ServeHandle::health`] exposes the fleet state machine
+//!   and [`ServeHandle::submit_with_retry`] lets callers ride restarts
+//!   out (see [`supervisor`]).
 //!
 //! # Quickstart
 //!
@@ -76,16 +83,17 @@
 pub mod fault;
 pub mod histogram;
 pub mod queue;
+pub mod supervisor;
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use omg_core::session::provision_devices;
+use omg_core::session::{provision_devices, provision_devices_with_cache, ModelCache};
 use omg_core::{OmgDevice, OmgError, Transcription};
 use omg_nn::Model;
 use omg_obs::{Counter, FlightRecorder, Gauge, ObsConfig, Registry, Stage, TraceSnapshot};
@@ -93,6 +101,8 @@ use omg_obs::{Counter, FlightRecorder, Gauge, ObsConfig, Registry, Stage, TraceS
 use fault::{FaultPlan, QueryFault};
 use histogram::LatencyHistogram;
 use queue::{PushError, ShardedQueue};
+pub use supervisor::{FleetHealth, RestartPolicy, RetryPolicy, WorkerHealth};
+use supervisor::{ReprovisionContext, SlotReport, SlotState, Supervisor, SUPERVISOR_WAKE};
 
 /// Longest *real* sleep a scripted [`QueryFault::Delay`] performs; the full
 /// delay is charged to virtual time (`SimClock::stall`), so scenarios can
@@ -143,6 +153,28 @@ impl From<OmgError> for ServeError {
     }
 }
 
+impl ServeError {
+    /// Whether re-submitting the same query may succeed — the
+    /// classification [`ServeHandle::submit_with_retry`] consults.
+    ///
+    /// Retryable: [`ServeError::Overloaded`] (backpressure is transient),
+    /// [`ServeError::WorkerPanicked`] and device-crash query failures
+    /// (under supervision the fleet recovers, and a sibling worker may
+    /// serve the retry even without it). Everything else is terminal for
+    /// this caller: [`ServeError::Expired`] means the deadline budget is
+    /// already gone, [`ServeError::ShuttingDown`] and
+    /// [`ServeError::Config`] will not change on a retry, and the
+    /// remaining query errors are deterministic device verdicts.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded
+                | ServeError::WorkerPanicked
+                | ServeError::Query(OmgError::DeviceCrashed)
+        )
+    }
+}
+
 /// Runtime configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -175,6 +207,12 @@ pub struct ServeConfig {
     /// `Some(0)` disables the recorder outright; `Some(n)` forces
     /// capacity `n` regardless of the environment.
     pub recorder_capacity: Option<usize>,
+    /// Optional self-healing supervision (see [`supervisor`]): when set,
+    /// a supervisor thread restarts dead workers on re-provisioned
+    /// devices under this policy. Only honored through
+    /// [`ServeHandle::provision`] — re-provisioning needs the model and
+    /// seed, so [`ServeHandle::start`] rejects the knob.
+    pub restart: Option<RestartPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -185,6 +223,7 @@ impl Default for ServeConfig {
             faults: None,
             kernel_threads: None,
             recorder_capacity: None,
+            restart: None,
         }
     }
 }
@@ -372,10 +411,11 @@ impl Drop for Job {
     }
 }
 
-/// What a worker thread hands back when it exits.
-struct WorkerExit {
-    device: OmgDevice,
-    served: u64,
+/// What a worker thread hands back when it exits cleanly. (Served-query
+/// counts live in [`Shared::served`], per slot, so they survive worker
+/// deaths and restarts.)
+pub(crate) struct WorkerExit {
+    pub(crate) device: OmgDevice,
 }
 
 /// Shared runtime state visible to workers and submitters.
@@ -384,7 +424,7 @@ struct WorkerExit {
 /// every recording lands simultaneously in [`ServeStats`] and in the
 /// rendered [`ServeHandle::metrics_text`] / [`ServeHandle::metrics_json`]
 /// exports, without a second bookkeeping path.
-struct Shared {
+pub(crate) struct Shared {
     queue: ShardedQueue<Job>,
     /// End-to-end submit-to-completion latency of *successful* queries.
     latency: LatencyHistogram,
@@ -405,8 +445,30 @@ struct Shared {
     faults: Option<Arc<FaultPlan>>,
     /// Workers still running their serve loop. The last worker to exit —
     /// cleanly or by panic — fails over any jobs still queued, so a waiter
-    /// can never deadlock on a fleet with no one left to serve it.
+    /// can never deadlock on a fleet with no one left to serve it (on a
+    /// supervised fleet that terminal sweep belongs to the supervisor,
+    /// which may still be bringing workers back).
     live_workers: AtomicU64,
+    /// Whether a supervisor owns this fleet's worker lifecycle.
+    supervised: bool,
+    /// Set once drain begins (or the supervisor terminally closes the
+    /// fleet): from here on worker exits are final and never restarted.
+    shutting_down: AtomicBool,
+    /// Per-slot health, written by worker presence guards and the
+    /// supervisor; [`ServeHandle::health`] derives [`FleetHealth`] from it.
+    slot_health: Mutex<Vec<WorkerHealth>>,
+    /// Per-slot served-query counters. Kept here (not in worker locals)
+    /// so counts survive worker deaths and span restarted incarnations:
+    /// their sum always equals `completed`.
+    served: Box<[AtomicU64]>,
+    /// Dead workers brought back by the supervisor.
+    restarts: Counter,
+    /// Workers the supervisor permanently quarantined.
+    quarantined: Counter,
+    /// Caller-side re-submissions via [`ServeHandle::submit_with_retry`].
+    retried: Counter,
+    /// Death-to-restart recovery time per supervised restart.
+    time_to_recover: LatencyHistogram,
     /// Flight recorder: one ring per worker (single-writer) plus a final
     /// shared ring for submitter-side events. `None` when disabled.
     recorder: Option<Arc<FlightRecorder>>,
@@ -446,20 +508,100 @@ impl Shared {
     }
 }
 
-/// Decrements the live-worker count on scope exit (including unwinding)
-/// and, when the last worker leaves, closes the queue and completes every
-/// stranded job with [`ServeError::ShuttingDown`].
+/// Decrements the live-worker count on scope exit (including unwinding),
+/// marks the slot's health, notifies the supervisor (if any), and — when
+/// the last worker of a fleet with no supervisor to revive it leaves —
+/// closes the queue and completes every stranded job with
+/// [`ServeError::ShuttingDown`].
 struct WorkerPresence<'a> {
     shared: &'a Shared,
     index: usize,
+    /// Supervised fleets only: the worker-exit notification channel. Held
+    /// by the guard so even a panic unwind reports the death.
+    exit_tx: Option<mpsc::Sender<usize>>,
 }
 
 impl Drop for WorkerPresence<'_> {
     fn drop(&mut self) {
-        if self.shared.live_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let last_out = self.shared.live_workers.fetch_sub(1, Ordering::AcqRel) == 1;
+        let terminal = !self.shared.supervised || self.shared.shutting_down.load(Ordering::Acquire);
+        self.shared.slot_health.lock()[self.index] = if terminal {
+            WorkerHealth::Dead
+        } else {
+            // The supervisor will restart or quarantine the slot.
+            WorkerHealth::Down
+        };
+        // The terminal fail-over sweep must not run on a supervised fleet
+        // mid-run: the queue cannot reopen, and the supervisor is about to
+        // bring a worker back to serve what is queued. If the whole fleet
+        // stays down (quarantine), the supervisor performs this sweep.
+        if last_out && terminal {
             self.shared.queue.close();
             // Dropping a job fills its response slot with ShuttingDown.
             while self.shared.queue.pop(self.index).is_some() {}
+        }
+        if let Some(tx) = &self.exit_tx {
+            let _ = tx.send(self.index);
+        }
+    }
+}
+
+/// The job a worker currently holds, parked one declaration *above* the
+/// worker's [`WorkerPresence`] guard.
+///
+/// Ordering is the whole point: locals drop in reverse declaration order,
+/// so when a worker dies with a query in hand — injected panic, genuine
+/// kernel panic, or device crash — the presence guard (which marks the
+/// slot `Down` and notifies the supervisor) runs *before* this holder
+/// delivers the job's verdict. An observer that sees the ledger balance
+/// is therefore guaranteed the death itself is already registered; the
+/// chaos harness's await-settled step and [`ServeHandle::health`] rely on
+/// never finding a balanced ledger with an unregistered death behind it.
+#[derive(Default)]
+struct InFlightJob {
+    job: Option<Job>,
+    /// Set on an orderly error exit (device crash): the deferred drop
+    /// counts the job failed and delivers the real failure instead of a
+    /// generic teardown verdict.
+    verdict: Option<(ServeError, Counter)>,
+}
+
+impl InFlightJob {
+    fn park(&mut self, job: Job) {
+        self.job = Some(job);
+    }
+
+    /// Takes the job back into the worker's hands for normal completion.
+    fn unpark(&mut self) -> Job {
+        self.job.take().expect("a parked in-flight job")
+    }
+
+    fn samples(&self) -> &[i16] {
+        &self.job.as_ref().expect("a parked in-flight job").samples
+    }
+
+    /// Marks the parked job failed: when the holder drops — after the
+    /// presence guard has registered the worker's death — `failed` is
+    /// incremented and the waiter receives `error`. Deferring the counter
+    /// along with the verdict keeps the ledger from balancing while the
+    /// death is still unregistered.
+    fn fail(&mut self, error: ServeError, failed: &Counter) {
+        self.verdict = Some((error, failed.clone()));
+    }
+}
+
+impl Drop for InFlightJob {
+    fn drop(&mut self) {
+        if let Some(job) = self.job.take() {
+            match self.verdict.take() {
+                Some((error, failed)) => {
+                    failed.inc();
+                    job.complete(Err(error));
+                }
+                // Panic unwind (or teardown with a job in hand): `Job`'s
+                // own drop classifies the death and counts the discard.
+                None => drop(job),
+            }
         }
     }
 }
@@ -534,6 +676,18 @@ pub struct ServeStats {
     pub slo: Option<Duration>,
     /// Completed queries that exceeded the SLO target.
     pub slo_violations: u64,
+    /// Dead workers the supervisor brought back on re-provisioned devices
+    /// (zero on unsupervised fleets). Not part of the accounting identity:
+    /// restarts concern workers, not queries.
+    pub restarts: u64,
+    /// Workers the supervisor permanently quarantined (crash loop or
+    /// exhausted restart budget) instead of restarting.
+    pub quarantined: u64,
+    /// Caller-side re-submissions performed by
+    /// [`ServeHandle::submit_with_retry`]. Each re-submission is also a
+    /// fresh submission (own sequence number, own `submitted` count), so
+    /// the accounting identity is untouched.
+    pub retried: u64,
 }
 
 impl fmt::Display for ServeStats {
@@ -575,6 +729,15 @@ impl fmt::Display for ServeStats {
             ms(self.compute_p95),
             ms(self.compute_p99),
         )?;
+        // Recovery line only when something recovered (or failed to): the
+        // common unsupervised rendering is unchanged.
+        if self.restarts + self.quarantined + self.retried > 0 {
+            write!(
+                f,
+                "\n  recovery: {} restarts, {} quarantined, {} retried",
+                self.restarts, self.quarantined, self.retried
+            )?;
+        }
         // The accounting identity, with a verdict a human can grep for.
         // A live snapshot legitimately has work still in flight (sum <
         // submitted); a sum *exceeding* submitted is double-counting and
@@ -608,12 +771,18 @@ pub struct DrainedServe {
     /// Final statistics snapshot.
     pub stats: ServeStats,
     /// The devices of workers that exited cleanly, arenas scrubbed, in
-    /// worker order.
+    /// worker order. On a supervised fleet a slot's device may be a
+    /// re-provisioned replacement rather than the original.
     pub devices: Vec<OmgDevice>,
-    /// Queries served by each cleanly exited worker, in worker order.
+    /// Queries served per worker *slot*, in slot order (one entry per
+    /// slot, even for slots whose worker died). Under supervision a
+    /// slot's count spans every incarnation that served on it; the sum
+    /// always equals [`ServeStats::completed`].
     pub served_per_worker: Vec<u64>,
-    /// Errors from workers that did not exit cleanly (their devices are
-    /// lost). Empty on a fully healthy drain.
+    /// Terminal errors from worker slots that did not end with a live
+    /// device (their devices are lost). A death the supervisor restarted
+    /// over is *not* terminal and is not reported here — only in
+    /// [`ServeStats::restarts`]. Empty on a fully healthy drain.
     pub worker_errors: Vec<ServeError>,
     /// Final metrics snapshot (same JSON document as
     /// [`ServeHandle::metrics_json`]), taken after every worker joined.
@@ -623,9 +792,15 @@ pub struct DrainedServe {
 }
 
 impl DrainedServe {
-    /// Whether every worker exited cleanly.
+    /// Whether every worker slot ended with a live device *and* the books
+    /// balance: the accounting identity `completed + rejected + failed +
+    /// shed + discarded == submitted` must hold exactly on the final
+    /// snapshot. A drain with imbalanced books is unhealthy even when no
+    /// worker errored — some submission was double-counted or vanished.
     pub fn is_healthy(&self) -> bool {
+        let s = &self.stats;
         self.worker_errors.is_empty()
+            && s.completed + s.rejected + s.failed + s.shed + s.discarded == s.submitted
     }
 }
 
@@ -635,14 +810,27 @@ impl DrainedServe {
 /// behind an `Arc` or via scoped threads).
 pub struct ServeHandle {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<Result<WorkerExit, ServeError>>>,
+    runtime: Runtime,
     started: Instant,
+}
+
+/// How the fleet's worker threads are owned: directly by the handle, or
+/// by a supervisor thread that joins, restarts, and finally reports them.
+enum Runtime {
+    Direct(Vec<JoinHandle<Result<WorkerExit, ServeError>>>),
+    Supervised {
+        thread: JoinHandle<Vec<SlotReport>>,
+        /// Drain-side sender for the [`SUPERVISOR_WAKE`] sentinel.
+        wake: mpsc::Sender<usize>,
+        worker_count: usize,
+    },
 }
 
 impl fmt::Debug for ServeHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ServeHandle")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.workers())
+            .field("supervised", &self.shared.supervised)
             .field("queued", &self.shared.queue.len())
             .finish_non_exhaustive()
     }
@@ -652,6 +840,11 @@ impl ServeHandle {
     /// Provisions `workers` fresh devices (full preparation + initialization
     /// against one vendor, like [`omg_core::session::Fleet::provision`])
     /// and starts a worker thread per device.
+    ///
+    /// With [`ServeConfig::restart`] set, the fleet is **supervised**: the
+    /// provisioning arguments (and the warm model cache they built) are
+    /// retained by a supervisor thread that re-provisions replacement
+    /// devices for dead workers (see [`supervisor`]).
     ///
     /// # Errors
     ///
@@ -667,8 +860,33 @@ impl ServeHandle {
         if workers == 0 {
             return Err(ServeError::Config("need at least one worker"));
         }
-        let devices = provision_devices(workers, model_id, model, seed)?;
-        Self::start(devices, config)
+        match config.restart.clone() {
+            None => {
+                let devices = provision_devices(workers, model_id, model, seed)?;
+                Self::start(devices, config)
+            }
+            Some(policy) => {
+                // Keep the cache the initial provisioning warmed:
+                // replacement devices reuse the same sealed-model image,
+                // making re-provisioning nearly free.
+                let mut cache = ModelCache::new();
+                let devices = provision_devices_with_cache(
+                    workers,
+                    model_id,
+                    model.clone(),
+                    seed,
+                    &mut cache,
+                )?;
+                let ctx = ReprovisionContext {
+                    model_id: model_id.to_owned(),
+                    model,
+                    seed,
+                    cache,
+                    replacements: 0,
+                };
+                Self::start_supervised(devices, config, policy, ctx)
+            }
+        }
     }
 
     /// Starts the runtime over already provisioned devices (one worker
@@ -677,114 +895,92 @@ impl ServeHandle {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Config`] if `devices` is empty or the queue capacity
-    /// is zero.
+    /// [`ServeError::Config`] if `devices` is empty, the queue capacity
+    /// is zero, or [`ServeConfig::restart`] is set (supervision needs the
+    /// model and seed to re-provision — use [`Self::provision`]).
     pub fn start(devices: Vec<OmgDevice>, config: ServeConfig) -> Result<ServeHandle, ServeError> {
-        if devices.is_empty() {
-            return Err(ServeError::Config("need at least one device"));
+        if config.restart.is_some() {
+            return Err(ServeError::Config(
+                "restart supervision needs the model to re-provision; use ServeHandle::provision",
+            ));
         }
-        if config.queue_capacity == 0 {
-            return Err(ServeError::Config("queue capacity must be nonzero"));
-        }
-        if let Some(threads) = config.kernel_threads {
-            if threads == 0 {
-                return Err(ServeError::Config("kernel thread budget must be nonzero"));
-            }
-            omg_nn::gemm::set_thread_budget(threads);
-        }
-        let worker_count = devices.len();
-        let recorder_capacity = config
-            .recorder_capacity
-            .unwrap_or_else(|| ObsConfig::from_env().recorder_capacity);
-        let recorder = (recorder_capacity > 0)
-            .then(|| Arc::new(FlightRecorder::new(worker_count + 1, recorder_capacity)));
-        let registry = Registry::new();
-        let latency = LatencyHistogram::from_shared(registry.histogram(
-            "omg_serve_latency_seconds",
-            "end-to-end submit-to-completion latency of successful queries",
-        ));
-        let queue_wait = LatencyHistogram::from_shared(registry.histogram(
-            "omg_serve_queue_wait_seconds",
-            "admission-to-dequeue wait of every job a worker picked up",
-        ));
-        let compute = LatencyHistogram::from_shared(registry.histogram(
-            "omg_serve_compute_seconds",
-            "enclave compute time (classify + scrub) per served query",
-        ));
-        let submitted = registry.counter(
-            "omg_serve_submitted_total",
-            "every submission attempt, admitted or bounced",
-        );
-        let rejected = registry.counter(
-            "omg_serve_rejected_total",
-            "queries bounced at admission (overload or shutdown)",
-        );
-        let failed = registry.counter(
-            "omg_serve_failed_total",
-            "admitted queries that failed on the device",
-        );
-        let shed = registry.counter(
-            "omg_serve_shed_total",
-            "queries shed at dequeue for a blown deadline",
-        );
-        let discarded = registry.counter(
-            "omg_serve_discarded_total",
-            "admitted queries dropped unresolved (worker panic, teardown)",
-        );
-        let slo_violations = registry.counter(
-            "omg_serve_slo_violations_total",
-            "completed queries that exceeded the SLO target",
-        );
-        let queued_gauge =
-            registry.gauge("omg_serve_queued", "queries waiting in the admission queue");
-        let workers_gauge =
-            registry.gauge("omg_serve_workers_live", "worker threads still serving");
-        let recorder_dropped = registry.gauge(
-            "omg_serve_recorder_dropped_events",
-            "flight-recorder events evicted by ring wraparound",
-        );
-        workers_gauge.set(worker_count as i64);
-        let shared = Arc::new(Shared {
-            queue: ShardedQueue::new(worker_count, config.queue_capacity),
-            latency,
-            queue_wait,
-            compute,
-            submitted,
-            rejected,
-            failed,
-            shed,
-            discarded,
-            slo_violations,
-            slo: config.slo,
-            faults: config.faults,
-            live_workers: AtomicU64::new(worker_count as u64),
-            recorder,
-            registry,
-            queued_gauge,
-            workers_gauge,
-            recorder_dropped,
-        });
+        let shared = build_shared(devices.len(), &config, false)?;
         let workers = devices
             .into_iter()
             .enumerate()
-            .map(|(index, device)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("omg-serve-{index}"))
-                    .spawn(move || worker_loop(index, device, &shared))
-                    .expect("spawn serving worker")
-            })
+            .map(|(index, device)| spawn_worker(index, device, &shared, None))
             .collect();
         Ok(ServeHandle {
             shared,
-            workers,
+            runtime: Runtime::Direct(workers),
             started: Instant::now(),
         })
     }
 
-    /// Number of worker threads.
+    /// Starts a supervised fleet: workers report their deaths to a
+    /// supervisor thread, which owns their join handles and the
+    /// re-provisioning context.
+    fn start_supervised(
+        devices: Vec<OmgDevice>,
+        config: ServeConfig,
+        policy: RestartPolicy,
+        ctx: ReprovisionContext,
+    ) -> Result<ServeHandle, ServeError> {
+        let worker_count = devices.len();
+        let shared = build_shared(worker_count, &config, true)?;
+        let (exit_tx, exit_rx) = mpsc::channel();
+        let slots: Vec<SlotState> = devices
+            .into_iter()
+            .enumerate()
+            .map(|(index, device)| {
+                SlotState::running(spawn_worker(index, device, &shared, Some(exit_tx.clone())))
+            })
+            .collect();
+        let sup = Supervisor {
+            shared: Arc::clone(&shared),
+            policy,
+            ctx,
+            slots,
+            exit_tx: exit_tx.clone(),
+        };
+        let thread = std::thread::Builder::new()
+            .name("omg-serve-supervisor".to_owned())
+            .spawn(move || sup.run(exit_rx))
+            .expect("spawn supervisor thread");
+        Ok(ServeHandle {
+            shared,
+            runtime: Runtime::Supervised {
+                thread,
+                wake: exit_tx,
+                worker_count,
+            },
+            started: Instant::now(),
+        })
+    }
+
+    /// Number of worker slots (the fleet's target capacity — under
+    /// supervision a slot's worker may be down or restarting right now).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        match &self.runtime {
+            Runtime::Direct(workers) => workers.len(),
+            Runtime::Supervised { worker_count, .. } => *worker_count,
+        }
+    }
+
+    /// The fleet health state machine: `Healthy` (every slot live),
+    /// `Degraded` (deaths pending recovery), `Quarantined` (at least one
+    /// slot permanently retired), `Dead` (no slot live or returning).
+    /// Point-in-time and racy by nature, like [`Self::stats`].
+    pub fn health(&self) -> FleetHealth {
+        supervisor::fleet_health(&self.shared.slot_health.lock())
+    }
+
+    /// Per-slot worker health, in slot order — the raw states
+    /// [`Self::health`] is derived from. Useful for awaiting quiescence:
+    /// a supervised fleet has settled once no slot is `Down` or
+    /// `Restarting`.
+    pub fn worker_health(&self) -> Vec<WorkerHealth> {
+        self.shared.slot_health.lock().clone()
     }
 
     /// Submits one utterance for classification. Non-blocking: the samples
@@ -818,6 +1014,69 @@ impl ServeHandle {
         // An unrepresentable deadline (e.g. a Duration::MAX "no budget"
         // sentinel) degrades to no deadline rather than panicking.
         self.enqueue(samples, Instant::now().checked_add(budget))
+    }
+
+    /// Submits with caller-side retries: transient failures
+    /// ([`ServeError::is_retryable`]) are re-submitted with exponential
+    /// backoff until [`RetryPolicy::max_attempts`] or the wall-clock
+    /// [`RetryPolicy::budget`] runs out. Pair it with a supervised fleet
+    /// ([`ServeConfig::restart`]) to ride worker deaths out invisibly.
+    ///
+    /// Blocking, unlike [`Self::submit`]: each attempt is waited on. Each
+    /// re-submission is a *fresh* submission — own sequence number,
+    /// counted in both [`ServeStats::submitted`] and
+    /// [`ServeStats::retried`] — so the accounting identity stays exact.
+    ///
+    /// # Errors
+    ///
+    /// The first non-retryable error, as-is; [`ServeError::Expired`] if
+    /// the budget lapses with the query unresolved (including timing out
+    /// while an attempt is still in flight — the runtime still resolves
+    /// that ticket internally, the caller just stops waiting); otherwise
+    /// the last retryable error once attempts are exhausted.
+    pub fn submit_with_retry(
+        &self,
+        samples: &[i16],
+        policy: &RetryPolicy,
+    ) -> Result<Transcription, ServeError> {
+        // An unrepresentable budget (Duration::MAX) means no deadline.
+        let deadline = Instant::now().checked_add(policy.budget);
+        let remaining = |deadline: Option<Instant>| match deadline {
+            None => Duration::MAX,
+            Some(d) => d.saturating_duration_since(Instant::now()),
+        };
+        let mut backoff = policy.backoff_initial;
+        let mut last = ServeError::Expired;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                let pause = backoff.min(remaining(deadline));
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                backoff = backoff.saturating_mul(2).min(policy.backoff_max);
+            }
+            let budget = remaining(deadline);
+            if budget.is_zero() {
+                return Err(ServeError::Expired);
+            }
+            if attempt > 0 {
+                self.shared.retried.inc();
+            }
+            let error = match self.submit(samples) {
+                Ok(pending) => match pending.wait_deadline(budget) {
+                    Ok(Ok(t)) => return Ok(t),
+                    Ok(Err(e)) => e,
+                    // Budget gone with the attempt still in flight.
+                    Err(_in_flight) => return Err(ServeError::Expired),
+                },
+                Err(e) => e,
+            };
+            if !error.is_retryable() {
+                return Err(error);
+            }
+            last = error;
+        }
+        Err(last)
     }
 
     fn enqueue(&self, samples: &[i16], deadline: Option<Instant>) -> Result<Pending, ServeError> {
@@ -879,7 +1138,7 @@ impl ServeHandle {
         snapshot_stats(
             &self.shared,
             self.started,
-            self.workers.len(),
+            self.workers(),
             self.shared.queue.len(),
         )
     }
@@ -935,20 +1194,44 @@ impl ServeHandle {
     /// so the identity `completed + rejected + failed + shed + discarded
     /// == submitted` holds exactly on the final snapshot.
     pub fn drain(self) -> DrainedServe {
+        // Order matters: mark shutdown *before* closing the queue, so a
+        // supervised worker whose exit races the drain treats it as final
+        // and the supervisor restarts nothing from here on.
+        self.shared.shutting_down.store(true, Ordering::Release);
         self.shared.queue.close();
-        let mut devices = Vec::with_capacity(self.workers.len());
-        let mut served_per_worker = Vec::with_capacity(self.workers.len());
-        let mut worker_errors = Vec::new();
-        for handle in self.workers {
-            match handle.join() {
-                Ok(Ok(exit)) => {
-                    devices.push(exit.device);
-                    served_per_worker.push(exit.served);
+        let (devices, worker_errors) = match self.runtime {
+            Runtime::Direct(handles) => {
+                let mut devices = Vec::with_capacity(handles.len());
+                let mut worker_errors = Vec::new();
+                for handle in handles {
+                    match handle.join() {
+                        Ok(Ok(exit)) => devices.push(exit.device),
+                        Ok(Err(e)) => worker_errors.push(e),
+                        Err(_) => worker_errors.push(ServeError::WorkerPanicked),
+                    }
                 }
-                Ok(Err(e)) => worker_errors.push(e),
-                Err(_) => worker_errors.push(ServeError::WorkerPanicked),
+                (devices, worker_errors)
             }
-        }
+            Runtime::Supervised { thread, wake, .. } => {
+                // Wake the supervisor out of its blocking receive; it
+                // joins every worker incarnation and settles each slot
+                // into exactly one of device-or-error.
+                let _ = wake.send(SUPERVISOR_WAKE);
+                let reports = thread.join().unwrap_or_default();
+                let mut devices = Vec::new();
+                let mut worker_errors = Vec::new();
+                for report in reports {
+                    match (report.device, report.error) {
+                        (Some(device), _) => devices.push(device),
+                        (None, Some(error)) => worker_errors.push(error),
+                        // Unreachable by construction; never silently
+                        // shrink the conservation count if it regresses.
+                        (None, None) => worker_errors.push(ServeError::WorkerPanicked),
+                    }
+                }
+                (devices, worker_errors)
+            }
+        };
         // Straggler sweep: with every worker joined, anything still queued
         // (e.g. pushes that raced the close) would otherwise be dropped
         // silently with the queue. Popping resolves each stranded job's
@@ -956,6 +1239,12 @@ impl ServeHandle {
         // block because the queue is closed.
         while self.shared.queue.pop(0).is_some() {}
         let queued = self.shared.queue.len();
+        let served_per_worker: Vec<u64> = self
+            .shared
+            .served
+            .iter()
+            .map(|count| count.load(Ordering::Relaxed))
+            .collect();
         let stats = snapshot_stats(&self.shared, self.started, devices.len(), queued);
         let metrics_json = self.shared.render_metrics_json();
         let flight_trace = self.shared.recorder.as_ref().map(|r| r.snapshot());
@@ -1006,7 +1295,141 @@ fn snapshot_stats(shared: &Shared, started: Instant, workers: usize, queued: usi
         compute_p99,
         slo: shared.slo,
         slo_violations: shared.slo_violations.get(),
+        restarts: shared.restarts.get(),
+        quarantined: shared.quarantined.get(),
+        retried: shared.retried.get(),
     }
+}
+
+/// Builds the shared runtime state — queue, metrics registry, recorder,
+/// health slots — for a fleet of `worker_count` workers. The single
+/// construction path behind both [`ServeHandle::start`] and the
+/// supervised starter.
+fn build_shared(
+    worker_count: usize,
+    config: &ServeConfig,
+    supervised: bool,
+) -> Result<Arc<Shared>, ServeError> {
+    if worker_count == 0 {
+        return Err(ServeError::Config("need at least one device"));
+    }
+    if config.queue_capacity == 0 {
+        return Err(ServeError::Config("queue capacity must be nonzero"));
+    }
+    if let Some(threads) = config.kernel_threads {
+        if threads == 0 {
+            return Err(ServeError::Config("kernel thread budget must be nonzero"));
+        }
+        omg_nn::gemm::set_thread_budget(threads);
+    }
+    let recorder_capacity = config
+        .recorder_capacity
+        .unwrap_or_else(|| ObsConfig::from_env().recorder_capacity);
+    let recorder = (recorder_capacity > 0)
+        .then(|| Arc::new(FlightRecorder::new(worker_count + 1, recorder_capacity)));
+    let registry = Registry::new();
+    let latency = LatencyHistogram::from_shared(registry.histogram(
+        "omg_serve_latency_seconds",
+        "end-to-end submit-to-completion latency of successful queries",
+    ));
+    let queue_wait = LatencyHistogram::from_shared(registry.histogram(
+        "omg_serve_queue_wait_seconds",
+        "admission-to-dequeue wait of every job a worker picked up",
+    ));
+    let compute = LatencyHistogram::from_shared(registry.histogram(
+        "omg_serve_compute_seconds",
+        "enclave compute time (classify + scrub) per served query",
+    ));
+    let submitted = registry.counter(
+        "omg_serve_submitted_total",
+        "every submission attempt, admitted or bounced",
+    );
+    let rejected = registry.counter(
+        "omg_serve_rejected_total",
+        "queries bounced at admission (overload or shutdown)",
+    );
+    let failed = registry.counter(
+        "omg_serve_failed_total",
+        "admitted queries that failed on the device",
+    );
+    let shed = registry.counter(
+        "omg_serve_shed_total",
+        "queries shed at dequeue for a blown deadline",
+    );
+    let discarded = registry.counter(
+        "omg_serve_discarded_total",
+        "admitted queries dropped unresolved (worker panic, teardown)",
+    );
+    let slo_violations = registry.counter(
+        "omg_serve_slo_violations_total",
+        "completed queries that exceeded the SLO target",
+    );
+    let restarts = registry.counter(
+        "omg_serve_restarts_total",
+        "dead workers restarted on re-provisioned devices",
+    );
+    let quarantined = registry.counter(
+        "omg_serve_quarantined_total",
+        "workers quarantined for crash-looping or an exhausted restart budget",
+    );
+    let retried = registry.counter(
+        "omg_serve_retried_total",
+        "caller-side re-submissions via submit_with_retry",
+    );
+    let time_to_recover = LatencyHistogram::from_shared(registry.histogram(
+        "omg_serve_time_to_recover_seconds",
+        "death-to-restart recovery time per supervised worker restart",
+    ));
+    let queued_gauge = registry.gauge("omg_serve_queued", "queries waiting in the admission queue");
+    let workers_gauge = registry.gauge("omg_serve_workers_live", "worker threads still serving");
+    let recorder_dropped = registry.gauge(
+        "omg_serve_recorder_dropped_events",
+        "flight-recorder events evicted by ring wraparound",
+    );
+    workers_gauge.set(worker_count as i64);
+    Ok(Arc::new(Shared {
+        queue: ShardedQueue::new(worker_count, config.queue_capacity),
+        latency,
+        queue_wait,
+        compute,
+        submitted,
+        rejected,
+        failed,
+        shed,
+        discarded,
+        slo_violations,
+        slo: config.slo,
+        faults: config.faults.clone(),
+        live_workers: AtomicU64::new(worker_count as u64),
+        supervised,
+        shutting_down: AtomicBool::new(false),
+        slot_health: Mutex::new(vec![WorkerHealth::Live; worker_count]),
+        served: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
+        restarts,
+        quarantined,
+        retried,
+        time_to_recover,
+        recorder,
+        registry,
+        queued_gauge,
+        workers_gauge,
+        recorder_dropped,
+    }))
+}
+
+/// Spawns one worker thread serving `device` on queue shard `index`.
+/// `exit_tx` is the supervised fleets' death-notification channel.
+pub(crate) fn spawn_worker(
+    index: usize,
+    device: OmgDevice,
+    shared: &Arc<Shared>,
+    exit_tx: Option<mpsc::Sender<usize>>,
+) -> JoinHandle<Result<WorkerExit, ServeError>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("omg-serve-{index}"))
+        .spawn(move || worker_loop(index, device, &shared, exit_tx))
+        .expect("spawn serving worker")
 }
 
 /// The per-worker serve loop: open a warm session once, classify queue
@@ -1020,11 +1443,21 @@ fn worker_loop(
     index: usize,
     mut device: OmgDevice,
     shared: &Shared,
+    exit_tx: Option<mpsc::Sender<usize>>,
 ) -> Result<WorkerExit, ServeError> {
-    // Runs on every exit path (error returns and panics alike): the last
-    // worker out fails over stranded jobs so waiters never deadlock.
-    let _presence = WorkerPresence { shared, index };
-    let mut served = 0u64;
+    // Declared *before* the presence guard so it drops *after* it: a
+    // worker dying with a query in hand registers its death (slot marked,
+    // supervisor notified) before the held job's verdict — and its
+    // accounting — land. See `InFlightJob`.
+    let mut in_flight = InFlightJob::default();
+    // Runs on every exit path (error returns and panics alike): marks the
+    // slot's health, notifies the supervisor, and — without one — the
+    // last worker out fails over stranded jobs so waiters never deadlock.
+    let _presence = WorkerPresence {
+        shared,
+        index,
+        exit_tx,
+    };
     let clock = device.clock();
     // This worker's single-writer ring is its own index; recording is a
     // handful of relaxed stores, so the hot path pays one branch when the
@@ -1035,9 +1468,13 @@ fn worker_loop(
         while let Some(job) = shared.queue.pop(index) {
             let wait = job.submitted.elapsed();
             shared.queue_wait.record(wait);
+            let (seq, deadline, submitted) = (job.seq, job.deadline, job.submitted);
             if let Some(rec) = recorder {
-                rec.record(index, Stage::Dequeue, job.seq, wait.as_nanos() as u64);
+                rec.record(index, Stage::Dequeue, seq, wait.as_nanos() as u64);
             }
+            // Parked for the rest of the iteration: any death from here on
+            // (injected or genuine) registers before the verdict lands.
+            in_flight.park(job);
             // Fault hook. The pause gate is checked *after* popping, so a
             // parked worker holds exactly one job — scenarios prime the
             // queue with one job per worker before awaiting the gate,
@@ -1045,29 +1482,26 @@ fn worker_loop(
             let fault = match shared.faults.as_deref() {
                 Some(plan) => {
                     plan.checkpoint();
-                    plan.take(job.seq)
+                    plan.take(seq)
                 }
                 None => None,
             };
             match fault {
                 Some(QueryFault::WorkerPanic) => {
-                    // The job in hand is dropped by the unwind; its waiter
-                    // receives WorkerPanicked (see `Job::drop`).
-                    panic!(
-                        "injected fault: worker {index} panics mid-query (seq {})",
-                        job.seq
-                    );
+                    // The held job rides the unwind inside `in_flight`; its
+                    // waiter receives WorkerPanicked only after the presence
+                    // guard has registered the death (see `Job::drop`).
+                    panic!("injected fault: worker {index} panics mid-query (seq {seq})");
                 }
                 Some(QueryFault::DeviceCrash) => {
                     // The enclave is torn down through the scrub-on-release
                     // path; the query in hand fails over to its waiter and
                     // the worker exits as errored (its device is lost).
                     session.crash_device()?;
-                    shared.failed.inc();
                     if let Some(rec) = recorder {
-                        rec.record(index, Stage::Reply, job.seq, u64::MAX);
+                        rec.record(index, Stage::Reply, seq, u64::MAX);
                     }
-                    job.complete(Err(ServeError::Query(OmgError::DeviceCrashed)));
+                    in_flight.fail(ServeError::Query(OmgError::DeviceCrashed), &shared.failed);
                     return Err(ServeError::Query(OmgError::DeviceCrashed));
                 }
                 Some(QueryFault::Delay(d)) => {
@@ -1082,33 +1516,39 @@ fn worker_loop(
             // Deadline-aware pop: a job whose deadline already passed is
             // doomed — its submitter has (or should have) walked away —
             // so shed it instead of burning warm-enclave time on it.
-            if let Some(deadline) = job.deadline {
+            if let Some(deadline) = deadline {
                 if Instant::now() >= deadline {
                     shared.shed.inc();
                     // Stage of death: shed at dequeue, payload = how long
                     // it sat queued before the deadline buried it.
                     if let Some(rec) = recorder {
-                        rec.record(index, Stage::Shed, job.seq, wait.as_nanos() as u64);
+                        rec.record(index, Stage::Shed, seq, wait.as_nanos() as u64);
                     }
-                    job.complete(Err(ServeError::Expired));
+                    in_flight.unpark().complete(Err(ServeError::Expired));
                     continue;
                 }
             }
             if let Some(rec) = recorder {
-                rec.record(index, Stage::ComputeStart, job.seq, 0);
+                rec.record(index, Stage::ComputeStart, seq, 0);
             }
             let compute_start = Instant::now();
-            let result = session.classify(&job.samples).map_err(ServeError::from);
+            let result = session
+                .classify(in_flight.samples())
+                .map_err(ServeError::from);
             session.scrub();
             let compute = compute_start.elapsed();
             shared.compute.record(compute);
             if let Some(rec) = recorder {
-                rec.record(index, Stage::ComputeEnd, job.seq, compute.as_nanos() as u64);
+                rec.record(index, Stage::ComputeEnd, seq, compute.as_nanos() as u64);
             }
-            let latency = job.submitted.elapsed();
+            let latency = submitted.elapsed();
             match &result {
                 Ok(_) => {
                     shared.latency.record(latency);
+                    // The slot's served counter, not a local: counts
+                    // survive this incarnation's death and accumulate
+                    // across restarts, so they always sum to `completed`.
+                    shared.served[index].fetch_add(1, Ordering::Relaxed);
                     if let Some(slo) = shared.slo {
                         if latency > slo {
                             shared.slo_violations.inc();
@@ -1128,16 +1568,15 @@ fn worker_loop(
             // `wait()` returns, the query's full life cycle is guaranteed
             // to be in the trace.
             if let Some(rec) = recorder {
-                rec.record(index, Stage::Reply, job.seq, reply_payload);
+                rec.record(index, Stage::Reply, seq, reply_payload);
             }
-            job.complete(result);
-            served += 1;
+            in_flight.unpark().complete(result);
         }
         // Park the enclave (final scrub included) before the device leaves
         // the thread: no activation residue outlives the runtime.
         session.finish()?;
     }
-    Ok(WorkerExit { device, served })
+    Ok(WorkerExit { device })
 }
 
 #[cfg(test)]
@@ -1935,5 +2374,287 @@ mod tests {
         };
         assert!(result.unwrap().class_index < 12);
         assert!(handle.drain().is_healthy());
+    }
+
+    /// A restart policy tuned for tests: millisecond backoffs, and
+    /// `stable_after: ZERO` so spaced kills never read as a crash loop.
+    fn quick_restart_policy() -> RestartPolicy {
+        RestartPolicy {
+            backoff_initial: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(4),
+            max_restarts: 8,
+            crash_loop_threshold: 3,
+            stable_after: Duration::ZERO,
+        }
+    }
+
+    fn await_health(handle: &ServeHandle, want: FleetHealth) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while handle.health() != want {
+            assert!(
+                Instant::now() < deadline,
+                "fleet never reached {want:?}; stuck at {:?}",
+                handle.worker_health()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn error_retryability_covers_every_variant() {
+        // Retryable: transient conditions a fresh submission can outlive.
+        assert!(ServeError::Overloaded.is_retryable());
+        assert!(ServeError::WorkerPanicked.is_retryable());
+        assert!(ServeError::Query(OmgError::DeviceCrashed).is_retryable());
+        // Terminal: the retry layer must never re-submit on these.
+        assert!(!ServeError::Expired.is_retryable());
+        assert!(!ServeError::ShuttingDown.is_retryable());
+        assert!(!ServeError::Config("bad knob").is_retryable());
+        // Non-crash query verdicts are deterministic: same answer again.
+        assert!(!ServeError::Query(OmgError::RollbackDetected).is_retryable());
+    }
+
+    #[test]
+    fn start_rejects_restart_policy_without_a_model() {
+        // Supervision needs the model and seed to re-provision, which only
+        // `provision` has — `start` must refuse rather than silently not
+        // supervise.
+        let devices = provision_devices(1, "kws", test_model(), 830).unwrap();
+        assert!(matches!(
+            ServeHandle::start(
+                devices,
+                ServeConfig {
+                    restart: Some(RestartPolicy::default()),
+                    ..ServeConfig::default()
+                }
+            ),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn is_healthy_requires_balanced_books() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(84);
+        let handle =
+            ServeHandle::provision(1, ServeConfig::default(), "kws", test_model(), 840).unwrap();
+        handle
+            .submit(&data.utterance(2, 0).unwrap())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut drained = handle.drain();
+        assert!(drained.is_healthy());
+        // No worker errors, but imbalanced books: a submission vanished —
+        // that drain must not report healthy.
+        drained.stats.submitted += 1;
+        assert!(!drained.is_healthy());
+    }
+
+    #[test]
+    fn supervised_fleet_restarts_a_panicked_worker() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(80);
+        let samples = data.utterance(3, 0).unwrap();
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_query(0, QueryFault::WorkerPanic);
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                queue_capacity: 8,
+                faults: Some(Arc::clone(&plan)),
+                restart: Some(quick_restart_policy()),
+                recorder_capacity: Some(256),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            800,
+        )
+        .unwrap();
+        assert_eq!(handle.health(), FleetHealth::Healthy);
+        let doomed = handle.submit(&samples).unwrap();
+        assert_eq!(doomed.wait(), Err(ServeError::WorkerPanicked));
+        // The supervisor re-provisions a device and restarts the slot.
+        await_health(&handle, FleetHealth::Healthy);
+        // The replacement answers exactly like an untouched reference.
+        let mut reference = provision_devices(1, "kws", test_model(), 801)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let served = handle.submit(&samples).unwrap().wait().unwrap();
+        let expected = reference.classify_utterance(&samples).unwrap();
+        assert_eq!(served.class_index, expected.class_index);
+        assert_eq!(served.label, expected.label);
+        let drained = handle.drain();
+        assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+        assert_eq!(drained.stats.restarts, 1);
+        assert_eq!(drained.stats.quarantined, 0);
+        assert_eq!(drained.devices.len(), 1, "capacity restored");
+        assert_eq!(drained.served_per_worker, vec![1]);
+        assert!(drained.stats.to_string().contains("recovery: 1 restarts"));
+        // The death and the recovery are both in the flight trace.
+        let trace = drained.flight_trace.expect("recorder enabled");
+        assert!(trace.events.iter().any(|e| e.stage == Stage::WorkerDown));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.stage == Stage::WorkerRestart && e.payload > 0));
+        let s = &drained.stats;
+        assert_eq!(
+            s.completed + s.rejected + s.failed + s.shed + s.discarded,
+            s.submitted
+        );
+    }
+
+    #[test]
+    fn crash_looping_worker_is_quarantined_not_restarted_forever() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(81);
+        let samples = data.utterance(4, 0).unwrap();
+        let plan = Arc::new(FaultPlan::new());
+        for seq in 0..3 {
+            plan.fault_query(seq, QueryFault::WorkerPanic);
+        }
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                queue_capacity: 16,
+                faults: Some(Arc::clone(&plan)),
+                restart: Some(RestartPolicy {
+                    backoff_initial: Duration::from_millis(1),
+                    backoff_max: Duration::from_millis(2),
+                    max_restarts: 10,
+                    crash_loop_threshold: 3,
+                    // Every death is "rapid": strikes accumulate.
+                    stable_after: Duration::from_secs(3600),
+                }),
+                recorder_capacity: Some(256),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            810,
+        )
+        .unwrap();
+        // Admit all three kills deterministically before any fires.
+        plan.pause();
+        let doomed: Vec<_> = (0..3).map(|_| handle.submit(&samples).unwrap()).collect();
+        plan.await_parked(1);
+        plan.resume();
+        for d in doomed {
+            assert_eq!(d.wait(), Err(ServeError::WorkerPanicked));
+        }
+        // Third rapid death hits the threshold: quarantine, not restart #3.
+        await_health(&handle, FleetHealth::Quarantined);
+        // The fleet is terminally down: admission is closed.
+        assert!(matches!(
+            handle.submit(&samples),
+            Err(ServeError::ShuttingDown)
+        ));
+        let drained = handle.drain();
+        assert!(!drained.is_healthy());
+        assert_eq!(drained.stats.restarts, 2, "two restarts, then quarantine");
+        assert_eq!(drained.stats.quarantined, 1);
+        assert_eq!(drained.devices.len(), 0);
+        assert!(matches!(
+            drained.worker_errors[0],
+            ServeError::WorkerPanicked
+        ));
+        let trace = drained.flight_trace.expect("recorder enabled");
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.stage == Stage::WorkerQuarantine && e.payload == 3));
+        let s = &drained.stats;
+        assert_eq!(
+            s.completed + s.rejected + s.failed + s.shed + s.discarded,
+            s.submitted
+        );
+    }
+
+    #[test]
+    fn submit_with_retry_rides_out_a_worker_death() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(82);
+        let samples = data.utterance(5, 0).unwrap();
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_query(0, QueryFault::WorkerPanic);
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                queue_capacity: 8,
+                faults: Some(Arc::clone(&plan)),
+                restart: Some(quick_restart_policy()),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            820,
+        )
+        .unwrap();
+        // Attempt 1 dies with the worker; the retry lands on (or queues
+        // for) the supervisor's replacement and succeeds.
+        let t = handle
+            .submit_with_retry(
+                &samples,
+                &RetryPolicy {
+                    max_attempts: 5,
+                    backoff_initial: Duration::from_millis(2),
+                    backoff_max: Duration::from_millis(20),
+                    budget: Duration::from_secs(30),
+                },
+            )
+            .unwrap();
+        assert!(t.class_index < 12);
+        let drained = handle.drain();
+        assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+        assert_eq!(drained.stats.restarts, 1);
+        assert!(drained.stats.retried >= 1);
+        assert_eq!(drained.stats.completed, 1);
+        let s = &drained.stats;
+        assert_eq!(
+            s.completed + s.rejected + s.failed + s.shed + s.discarded,
+            s.submitted
+        );
+    }
+
+    #[test]
+    fn submit_with_retry_returns_nonretryable_errors_immediately() {
+        let handle =
+            ServeHandle::provision(1, ServeConfig::default(), "kws", test_model(), 825).unwrap();
+        let shared = Arc::clone(&handle.shared);
+        handle.drain();
+        // Submitting against the drained runtime's shared state: the
+        // closed queue yields ShuttingDown, which must not be retried.
+        let probe = ServeHandle {
+            shared: Arc::clone(&shared),
+            runtime: Runtime::Direct(Vec::new()),
+            started: Instant::now(),
+        };
+        let before = shared.submitted.get();
+        assert_eq!(
+            probe.submit_with_retry(&[0i16; 16_000], &RetryPolicy::default()),
+            Err(ServeError::ShuttingDown)
+        );
+        assert_eq!(
+            shared.submitted.get(),
+            before + 1,
+            "a non-retryable error must consume exactly one attempt"
+        );
+        assert_eq!(shared.retried.get(), 0);
+    }
+
+    #[test]
+    fn unsupervised_dead_fleet_reports_dead_health() {
+        // An uninitialized device: the worker dies instantly and no
+        // supervisor exists to bring it back.
+        let uninitialized = OmgDevice::new(992).unwrap();
+        let handle = ServeHandle::start(
+            vec![uninitialized],
+            ServeConfig {
+                queue_capacity: 8,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        await_health(&handle, FleetHealth::Dead);
+        assert!(!handle.drain().is_healthy());
     }
 }

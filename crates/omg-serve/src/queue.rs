@@ -339,6 +339,94 @@ mod tests {
     }
 
     #[test]
+    fn dead_home_shard_is_drained_by_survivors() {
+        // Four shards, but the worker homed on shard 0 is permanently
+        // dead: nobody ever calls `pop(0)`. Round-robin push lands two of
+        // the eight items on shard 0 — the survivors' steal scan must
+        // still retrieve every item exactly once.
+        let q = Arc::new(ShardedQueue::new(4, 8));
+        for item in 0..8 {
+            q.push(item).unwrap();
+        }
+        assert!(
+            q.shards.iter().all(|shard| !shard.lock().is_empty()),
+            "round-robin should seed every shard, including the dead one"
+        );
+        q.close();
+        let survivors: Vec<_> = [1usize, 2, 3]
+            .into_iter()
+            .map(|home| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(item) = q.pop(home) {
+                        seen.push(item);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = survivors
+            .into_iter()
+            .flat_map(|s| s.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..8).collect::<Vec<_>>(),
+            "items stranded on the dead home shard"
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn survivors_steal_from_a_dead_shard_while_live() {
+        // Same dead-shard setup, but with the queue still open: a producer
+        // keeps pushing while only survivors (homes 1..4) consume. No item
+        // may be lost to shard 0 even transiently blocking its waiter.
+        const ITEMS: usize = 200;
+        let q = Arc::new(ShardedQueue::new(4, 8));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for mut item in 0..ITEMS {
+                    loop {
+                        match q.push(item) {
+                            Ok(()) => break,
+                            Err(PushError::Full(back)) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                            Err(PushError::Closed(_)) => panic!("closed early"),
+                        }
+                    }
+                }
+            })
+        };
+        let survivors: Vec<_> = [1usize, 2, 3]
+            .into_iter()
+            .map(|home| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Some(item) = q.pop(home) {
+                        seen.push(item);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        producer.join().unwrap();
+        q.close();
+        let mut all: Vec<usize> = survivors
+            .into_iter()
+            .flat_map(|s| s.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..ITEMS).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn mpmc_stress_no_loss_no_duplication() {
         const PRODUCERS: usize = 4;
         const CONSUMERS: usize = 4;

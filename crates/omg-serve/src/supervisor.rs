@@ -1,0 +1,502 @@
+//! Self-healing supervision: restart policy, fleet health, caller retries.
+//!
+//! The serving runtime fails *cleanly* — a worker panic or device crash
+//! resolves every affected ticket and keeps the accounting identity exact —
+//! but without this module nothing ever *recovers*: a dead worker
+//! permanently shrinks the fleet. Supervision turns those terminal
+//! failures into transient ones:
+//!
+//! * a **supervisor thread** (one per supervised fleet) joins each dead
+//!   worker, re-provisions a replacement device through the fleet's warm
+//!   [`omg_core::session::ModelCache`] image (the expensive preparation
+//!   work is shared, so a replacement is nearly free), and restarts the
+//!   worker on the same queue shard;
+//! * a [`RestartPolicy`] governs the loop: exponential backoff between
+//!   restarts, a per-worker restart budget, and **crash-loop detection**
+//!   that [quarantines](WorkerHealth::Quarantined) a flapping worker
+//!   instead of burning CPU on a restart storm;
+//! * [`FleetHealth`] summarizes the fleet as a state machine
+//!   (`Healthy → Degraded → Quarantined → Dead`), derived from the
+//!   per-slot [`WorkerHealth`] states and read via
+//!   [`ServeHandle::health`](crate::ServeHandle::health);
+//! * a caller-side [`RetryPolicy`] drives
+//!   [`ServeHandle::submit_with_retry`](crate::ServeHandle::submit_with_retry),
+//!   re-submitting retryable errors within a wall-clock budget so callers
+//!   ride out a restart without seeing it.
+//!
+//! Supervision is enabled by setting `ServeConfig::restart` and starting
+//! the fleet through [`ServeHandle::provision`](crate::ServeHandle::provision)
+//! — re-provisioning needs the model and seed, so
+//! [`ServeHandle::start`](crate::ServeHandle::start) rejects the knob.
+//!
+//! Every lifecycle transition is stamped into the flight recorder
+//! ([`Stage::WorkerDown`], [`Stage::WorkerRestart`],
+//! [`Stage::WorkerQuarantine`]) and mirrored in the metrics registry
+//! (`omg_serve_restarts_total`, `omg_serve_quarantined_total`,
+//! `omg_serve_time_to_recover_seconds`).
+
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use omg_core::session::{provision_devices_with_cache, ModelCache};
+use omg_core::OmgDevice;
+use omg_nn::Model;
+use omg_obs::Stage;
+
+use crate::{spawn_worker, ServeError, Shared, WorkerExit};
+
+/// How the supervisor treats a dead worker: restart it (with backoff) or
+/// quarantine it once it looks like a crash loop.
+///
+/// The policy is per-slot: each worker carries its own restart budget and
+/// crash-loop strike count, so one flapping device cannot exhaust the
+/// fleet's patience for its siblings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Backoff before the first restart of a crash streak; doubles per
+    /// consecutive rapid death, capped at [`RestartPolicy::backoff_max`].
+    pub backoff_initial: Duration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_max: Duration,
+    /// Lifetime restart budget per worker slot: once a slot has been
+    /// restarted this many times, its next death quarantines it.
+    pub max_restarts: u32,
+    /// Consecutive *rapid* deaths (lifetime shorter than
+    /// [`RestartPolicy::stable_after`]) that mark a slot as crash-looping:
+    /// reaching this many strikes quarantines the slot instead of
+    /// restarting it again.
+    pub crash_loop_threshold: u32,
+    /// A worker that serves at least this long is considered stable again:
+    /// its death resets the crash-loop strike count (but still spends one
+    /// unit of the restart budget).
+    pub stable_after: Duration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            backoff_initial: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            max_restarts: 16,
+            crash_loop_threshold: 3,
+            stable_after: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Backoff before restarting a slot with `strikes` consecutive rapid
+    /// deaths: `backoff_initial * 2^(strikes-1)`, capped at `backoff_max`.
+    pub(crate) fn backoff(&self, strikes: u32) -> Duration {
+        let doublings = strikes.saturating_sub(1).min(20);
+        self.backoff_initial
+            .saturating_mul(1u32 << doublings)
+            .min(self.backoff_max)
+    }
+}
+
+/// Caller-side retry governance for
+/// [`ServeHandle::submit_with_retry`](crate::ServeHandle::submit_with_retry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first submission (minimum 1).
+    pub max_attempts: u32,
+    /// Pause before the first re-submission; doubles per retry, capped at
+    /// [`RetryPolicy::backoff_max`].
+    pub backoff_initial: Duration,
+    /// Ceiling on the retry backoff.
+    pub backoff_max: Duration,
+    /// Total wall-clock budget across all attempts (waits and backoffs
+    /// included). `Duration::MAX` means no deadline.
+    pub budget: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_initial: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(50),
+            budget: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One worker slot's health, as tracked by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// The slot's worker thread is serving.
+    Live,
+    /// The worker died; on a supervised fleet the supervisor has not yet
+    /// picked the death up (it will restart or quarantine the slot).
+    Down,
+    /// The supervisor is between death and replacement: backing off or
+    /// re-provisioning a device for this slot.
+    Restarting,
+    /// The supervisor gave up on the slot — crash loop or exhausted
+    /// restart budget. Quarantined slots never restart.
+    Quarantined,
+    /// The slot is terminally gone (unsupervised death, or exit during
+    /// drain).
+    Dead,
+}
+
+/// Fleet-wide health, derived from the per-slot [`WorkerHealth`] states.
+///
+/// The state machine callers see: `Healthy → Degraded → Quarantined →
+/// Dead`. `Degraded` and `Quarantined` fleets may still serve (surviving
+/// workers steal the dead slot's queued work); a `Dead` fleet never will.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetHealth {
+    /// Every slot is live.
+    Healthy,
+    /// At least one slot is down or restarting, but nothing is
+    /// quarantined and service continues (or will resume).
+    Degraded,
+    /// At least one slot is permanently quarantined; the rest of the
+    /// fleet (if any) keeps serving.
+    Quarantined,
+    /// No slot is live or coming back, and none was quarantined: the
+    /// fleet died outright (e.g. an unsupervised fleet losing every
+    /// worker).
+    Dead,
+}
+
+/// Derives the fleet state from per-slot health.
+pub(crate) fn fleet_health(slots: &[WorkerHealth]) -> FleetHealth {
+    let live = slots
+        .iter()
+        .filter(|h| matches!(h, WorkerHealth::Live))
+        .count();
+    let recovering = slots
+        .iter()
+        .filter(|h| matches!(h, WorkerHealth::Down | WorkerHealth::Restarting))
+        .count();
+    let quarantined = slots
+        .iter()
+        .filter(|h| matches!(h, WorkerHealth::Quarantined))
+        .count();
+    if live == slots.len() {
+        FleetHealth::Healthy
+    } else if quarantined > 0 {
+        FleetHealth::Quarantined
+    } else if live + recovering > 0 {
+        FleetHealth::Degraded
+    } else {
+        FleetHealth::Dead
+    }
+}
+
+/// Everything the supervisor needs to provision a replacement device:
+/// the original provisioning arguments plus the fleet's warm model cache.
+pub(crate) struct ReprovisionContext {
+    pub(crate) model_id: String,
+    pub(crate) model: Model,
+    pub(crate) seed: u64,
+    pub(crate) cache: ModelCache,
+    /// Replacements provisioned so far, fleet-wide: salts the replacement
+    /// seed so every replacement device is distinct yet deterministic.
+    pub(crate) replacements: u64,
+}
+
+/// The supervisor's book-keeping for one worker slot.
+pub(crate) struct SlotState {
+    pub(crate) handle: Option<JoinHandle<Result<WorkerExit, ServeError>>>,
+    /// Device captured from a clean exit, returned at drain.
+    pub(crate) device: Option<OmgDevice>,
+    /// The slot's most recent terminal error. Cleared when a later
+    /// incarnation exits cleanly — restarted-over deaths are recovered,
+    /// not reported.
+    pub(crate) error: Option<ServeError>,
+    pub(crate) restarts: u32,
+    pub(crate) strikes: u32,
+    pub(crate) spawned_at: Instant,
+}
+
+impl SlotState {
+    pub(crate) fn running(handle: JoinHandle<Result<WorkerExit, ServeError>>) -> Self {
+        SlotState {
+            handle: Some(handle),
+            device: None,
+            error: None,
+            restarts: 0,
+            strikes: 0,
+            spawned_at: Instant::now(),
+        }
+    }
+}
+
+/// One slot's final outcome, reported to [`crate::ServeHandle::drain`]:
+/// exactly one of `device` (clean exit) or `error` (terminal failure).
+pub(crate) struct SlotReport {
+    pub(crate) device: Option<OmgDevice>,
+    pub(crate) error: Option<ServeError>,
+}
+
+/// Sentinel worker index drain sends to wake the supervisor out of its
+/// blocking receive. Real worker indices are bounded by the fleet size.
+pub(crate) const SUPERVISOR_WAKE: usize = usize::MAX;
+
+/// Slice length for interruptible backoff sleeps: drain never waits more
+/// than this behind a supervisor mid-backoff.
+const BACKOFF_SLICE: Duration = Duration::from_millis(5);
+
+/// The supervisor thread's state: owns every worker's join handle and the
+/// re-provisioning context.
+pub(crate) struct Supervisor {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) policy: RestartPolicy,
+    pub(crate) ctx: ReprovisionContext,
+    pub(crate) slots: Vec<SlotState>,
+    pub(crate) exit_tx: mpsc::Sender<usize>,
+}
+
+impl Supervisor {
+    /// The supervisor loop: block on worker-exit notifications, join the
+    /// dead worker, and restart or quarantine its slot per policy. On
+    /// shutdown (drain's wake sentinel, or every sender gone) joins every
+    /// remaining incarnation and reports one device-or-error per slot.
+    pub(crate) fn run(mut self, exit_rx: mpsc::Receiver<usize>) -> Vec<SlotReport> {
+        while !self.shared.shutting_down.load(Ordering::Acquire) {
+            let index = match exit_rx.recv() {
+                Ok(index) => index,
+                Err(_) => break,
+            };
+            if index == SUPERVISOR_WAKE || self.shared.shutting_down.load(Ordering::Acquire) {
+                break;
+            }
+            self.handle_death(index);
+        }
+        // Shutdown: the queue is closed (by drain or by a terminal
+        // quarantine), so every still-running incarnation exits once it
+        // drains; join them all and settle each slot's outcome.
+        self.slots
+            .into_iter()
+            .map(|mut slot| {
+                if let Some(handle) = slot.handle.take() {
+                    match handle.join() {
+                        Ok(Ok(exit)) => {
+                            slot.device = Some(exit.device);
+                            slot.error = None;
+                        }
+                        Ok(Err(e)) => {
+                            slot.device = None;
+                            slot.error = Some(e);
+                        }
+                        Err(_) => {
+                            slot.device = None;
+                            slot.error = Some(ServeError::WorkerPanicked);
+                        }
+                    }
+                }
+                SlotReport {
+                    device: slot.device,
+                    error: slot.error,
+                }
+            })
+            .collect()
+    }
+
+    /// Handles one worker death end to end: join, classify, strike
+    /// accounting, then restart (after backoff, on a freshly provisioned
+    /// device) or quarantine.
+    fn handle_death(&mut self, index: usize) {
+        let Some(handle) = self.slots[index].handle.take() else {
+            return; // already settled (e.g. duplicate wake)
+        };
+        let error = match handle.join() {
+            Ok(Ok(exit)) => {
+                // A clean exit mid-run only follows a terminal queue
+                // close; keep the device for drain.
+                self.slots[index].device = Some(exit.device);
+                self.slots[index].error = None;
+                self.shared.slot_health.lock()[index] = WorkerHealth::Dead;
+                return;
+            }
+            Ok(Err(e)) => e,
+            Err(_) => ServeError::WorkerPanicked,
+        };
+        let down_at = Instant::now();
+        // Strike accounting: a death after a stable run starts a fresh
+        // streak; a rapid death extends the current one.
+        if down_at.duration_since(self.slots[index].spawned_at) >= self.policy.stable_after {
+            self.slots[index].strikes = 0;
+        }
+        self.slots[index].strikes += 1;
+        let strikes = self.slots[index].strikes;
+        if let Some(rec) = &self.shared.recorder {
+            rec.record(
+                Shared::submit_ring(rec),
+                Stage::WorkerDown,
+                index as u64,
+                u64::from(matches!(error, ServeError::WorkerPanicked)),
+            );
+        }
+        self.slots[index].error = Some(error);
+        if self.slots[index].restarts >= self.policy.max_restarts
+            || strikes >= self.policy.crash_loop_threshold
+        {
+            self.quarantine(index, strikes);
+            return;
+        }
+        self.shared.slot_health.lock()[index] = WorkerHealth::Restarting;
+        // Exponential backoff, slept in short slices so a drain that
+        // begins mid-backoff is never stuck behind the full sleep.
+        let mut remaining = self.policy.backoff(strikes);
+        while !remaining.is_zero() && !self.shared.shutting_down.load(Ordering::Acquire) {
+            let slice = remaining.min(BACKOFF_SLICE);
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return; // the slot's error stands; drain reports it
+        }
+        self.ctx.replacements += 1;
+        // Deterministic and distinct per replacement: a seeded scenario
+        // re-run provisions bit-identical replacement devices.
+        let replacement_seed = self
+            .ctx
+            .seed
+            .wrapping_add(0x5245_5052_4f56u64.wrapping_mul(self.ctx.replacements));
+        match provision_devices_with_cache(
+            1,
+            &self.ctx.model_id,
+            self.ctx.model.clone(),
+            replacement_seed,
+            &mut self.ctx.cache,
+        ) {
+            Ok(mut devices) => {
+                let device = devices.pop().expect("asked for one device");
+                self.slots[index].restarts += 1;
+                self.slots[index].spawned_at = Instant::now();
+                // Count the restart while the slot still reads Restarting:
+                // an observer that no longer sees the slot recovering must
+                // already see the restart in the stats (the chaos
+                // harness's await-settled step reads them right after).
+                self.shared.restarts.inc();
+                let recovered_in = down_at.elapsed();
+                self.shared.time_to_recover.record(recovered_in);
+                if let Some(rec) = &self.shared.recorder {
+                    rec.record(
+                        Shared::submit_ring(rec),
+                        Stage::WorkerRestart,
+                        index as u64,
+                        recovered_in.as_nanos() as u64,
+                    );
+                }
+                // Mark live and bump the live count *before* the spawn:
+                // if the replacement dies instantly, its presence guard
+                // must observe a count that already includes it.
+                self.shared.slot_health.lock()[index] = WorkerHealth::Live;
+                self.shared.live_workers.fetch_add(1, Ordering::AcqRel);
+                self.slots[index].handle = Some(spawn_worker(
+                    index,
+                    device,
+                    &self.shared,
+                    Some(self.exit_tx.clone()),
+                ));
+            }
+            Err(e) => {
+                // No replacement device to be had: the slot is done.
+                self.slots[index].error = Some(ServeError::from(e));
+                self.quarantine(index, strikes);
+            }
+        }
+    }
+
+    /// Permanently retires a slot. If that leaves nobody serving and
+    /// nobody coming back, the fleet is terminally down: close the queue
+    /// and fail over whatever is still queued — the last-man-out guard
+    /// deliberately leaves this to the supervisor on supervised fleets,
+    /// because a `Down` worker there may yet return.
+    fn quarantine(&mut self, index: usize, strikes: u32) {
+        // Counter before slot state, for the same reason the restart path
+        // counts before marking Live: once the slot stops reading as
+        // recovering, its terminal outcome must already be in the stats.
+        self.shared.quarantined.inc();
+        self.shared.slot_health.lock()[index] = WorkerHealth::Quarantined;
+        if let Some(rec) = &self.shared.recorder {
+            rec.record(
+                Shared::submit_ring(rec),
+                Stage::WorkerQuarantine,
+                index as u64,
+                u64::from(strikes),
+            );
+        }
+        let nobody_left = self
+            .shared
+            .slot_health
+            .lock()
+            .iter()
+            .all(|h| matches!(h, WorkerHealth::Quarantined | WorkerHealth::Dead));
+        if nobody_left {
+            self.shared.queue.close();
+            // Dropping a job fills its response slot with ShuttingDown.
+            while self.shared.queue.pop(index).is_some() {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_strike_and_caps() {
+        let policy = RestartPolicy {
+            backoff_initial: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(70),
+            ..RestartPolicy::default()
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3), Duration::from_millis(40));
+        // Capped from here on — no unbounded sleep however long the streak.
+        assert_eq!(policy.backoff(4), Duration::from_millis(70));
+        assert_eq!(policy.backoff(u32::MAX), Duration::from_millis(70));
+        // Strike counts start at 1; 0 degrades to the initial backoff.
+        assert_eq!(policy.backoff(0), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn fleet_health_state_machine() {
+        use FleetHealth as F;
+        use WorkerHealth as W;
+        let cases: &[(&[W], F)] = &[
+            (&[W::Live, W::Live], F::Healthy),
+            (&[W::Live, W::Down], F::Degraded),
+            (&[W::Live, W::Restarting], F::Degraded),
+            // Every worker gone but recovery pending: degraded, not dead.
+            (&[W::Down, W::Restarting], F::Degraded),
+            // Any quarantined slot dominates while the fleet lives on...
+            (&[W::Live, W::Quarantined], F::Quarantined),
+            // ...and when the whole fleet is gone, quarantine still names
+            // the terminal cause over a generic death.
+            (&[W::Quarantined], F::Quarantined),
+            (&[W::Quarantined, W::Dead], F::Quarantined),
+            // No one serving, no one returning, nothing quarantined.
+            (&[W::Dead, W::Dead], F::Dead),
+            (&[W::Live, W::Dead], F::Degraded),
+        ];
+        for (slots, expected) in cases {
+            assert_eq!(fleet_health(slots), *expected, "slots {slots:?}");
+        }
+    }
+
+    #[test]
+    fn default_policies_are_sane() {
+        let restart = RestartPolicy::default();
+        assert!(restart.backoff_initial <= restart.backoff_max);
+        assert!(restart.max_restarts >= 1);
+        assert!(
+            restart.crash_loop_threshold >= 2,
+            "one crash must not quarantine"
+        );
+        let retry = RetryPolicy::default();
+        assert!(retry.max_attempts >= 2, "a retry policy that never retries");
+        assert!(retry.backoff_initial <= retry.backoff_max);
+        assert!(!retry.budget.is_zero());
+    }
+}

@@ -13,8 +13,23 @@
 use std::time::Duration;
 
 use omg_serve::fault::QueryFault;
+use omg_serve::RestartPolicy;
 
 use crate::{Provisioning, Scenario, SimModel};
+
+/// The restart policy the recovery scenarios run under: millisecond
+/// backoffs (CI-friendly), and `stable_after: ZERO` so every death counts
+/// as an isolated incident — spaced kills never accumulate crash-loop
+/// strikes.
+fn recovery_policy() -> RestartPolicy {
+    RestartPolicy {
+        backoff_initial: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(8),
+        max_restarts: 16,
+        crash_loop_threshold: 3,
+        stable_after: Duration::ZERO,
+    }
+}
 
 /// A worker panics mid-query in a two-worker fleet. The victim's waiter
 /// must resolve with `WorkerPanicked` (the liveness fix under test: before
@@ -171,6 +186,95 @@ pub fn tampered_sealed_model() -> Scenario {
         .submit(3)
 }
 
+/// A supervised two-worker fleet is kill-looped: three spaced worker
+/// panics across a ten-query stream. Each victim's waiter resolves
+/// `WorkerPanicked`, the supervisor re-provisions a replacement device
+/// through the shared model cache after every kill, and the fleet settles
+/// back at full capacity — replacement answers bit-identical to the
+/// reference device (invariant 5 covers every completed query).
+///
+/// Expected accounting: submitted=10, completed=7, discarded=3;
+/// restarts=3, quarantined=0, health=Healthy, 2 devices back.
+pub fn kill_loop() -> Scenario {
+    Scenario::new("kill-loop", 2)
+        .queue_capacity(16)
+        .restart(recovery_policy())
+        .fault(0, QueryFault::WorkerPanic)
+        .fault(3, QueryFault::WorkerPanic)
+        .fault(6, QueryFault::WorkerPanic)
+        .submit(10)
+        .await_settled()
+}
+
+/// Every worker in the fleet dies at once (both parked workers hold a
+/// faulted job when the gate opens). A supervised fleet must not close
+/// the queue at zero live workers — the submissions that arrive while
+/// both slots are down wait for the replacements and complete.
+///
+/// Expected accounting: submitted=6, completed=4, discarded=2;
+/// restarts=2, health=Healthy, 2 devices back.
+pub fn all_workers_die_then_recover() -> Scenario {
+    Scenario::new("all-workers-die-then-recover", 2)
+        .queue_capacity(8)
+        .restart(recovery_policy())
+        .pause()
+        .fault(0, QueryFault::WorkerPanic)
+        .fault(1, QueryFault::WorkerPanic)
+        .submit(2) // one doomed primer held per parked worker
+        .await_parked(2)
+        .resume()
+        .submit(4) // admitted while zero workers are live
+        .await_settled()
+}
+
+/// A crash-looping device: the sole worker dies on three consecutive
+/// queries under a policy that treats every death as rapid
+/// (`stable_after` far beyond the run). Strike three quarantines the slot
+/// instead of restarting it — no restart storm — and the queue closes
+/// terminally, discarding the stranded jobs.
+///
+/// Expected accounting: submitted=6, completed=0, discarded=6;
+/// restarts=2, quarantined=1, health=Quarantined, 0 devices back.
+pub fn crash_loop_quarantine() -> Scenario {
+    Scenario::new("crash-loop-quarantine", 1)
+        .queue_capacity(16)
+        .restart(RestartPolicy {
+            backoff_initial: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(2),
+            max_restarts: 16,
+            crash_loop_threshold: 3,
+            // Longer than any run: every death reads as rapid, so the
+            // three kills are strikes 1, 2, 3 of one crash loop.
+            stable_after: Duration::from_secs(3600),
+        })
+        .pause()
+        .fault(0, QueryFault::WorkerPanic)
+        .fault(1, QueryFault::WorkerPanic)
+        .fault(2, QueryFault::WorkerPanic)
+        .submit(6) // all admitted before the first kill: gate is shut
+        .await_parked(1)
+        .resume()
+        .await_settled()
+}
+
+/// Capacity restoration under sustained load: a three-worker fleet loses
+/// one worker inside the first burst, settles (supervisor restores the
+/// third device), then serves a second full burst — which the restored
+/// capacity must absorb completely.
+///
+/// Expected accounting: submitted=16, completed=15, discarded=1;
+/// restarts=1, health=Healthy, 3 devices back.
+pub fn capacity_restored_under_load() -> Scenario {
+    Scenario::new("capacity-restored-under-load", 3)
+        .queue_capacity(24)
+        .restart(recovery_policy())
+        .fault(2, QueryFault::WorkerPanic)
+        .submit(8)
+        .await_settled()
+        .submit(8)
+        .await_settled()
+}
+
 /// Every catalog scenario, in a stable order (CI runs all of them across
 /// the seed matrix).
 pub fn all() -> Vec<Scenario> {
@@ -185,6 +289,10 @@ pub fn all() -> Vec<Scenario> {
         threaded_gemm_panic(),
         tampered_runtime_image(),
         tampered_sealed_model(),
+        kill_loop(),
+        all_workers_die_then_recover(),
+        crash_loop_quarantine(),
+        capacity_restored_under_load(),
     ]
 }
 

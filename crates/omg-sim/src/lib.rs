@@ -31,14 +31,22 @@
 //! 2. **Drain terminates** (watchdog-bounded).
 //! 3. **Accounting identity**: `completed + rejected + failed + shed +
 //!    discarded == submitted`, exactly.
-//! 4. **Per-worker counts** sum to `completed`.
+//! 4. **Per-worker counts** sum to `completed`, exactly — the per-slot
+//!    counters live in shared state, so even a worker that panicked (or
+//!    was restarted by the supervisor) leaves its completions behind.
 //! 5. **Correct answers**: every successful response matches the ground
-//!    truth computed on an isolated reference device.
+//!    truth computed on an isolated reference device — including answers
+//!    from supervisor-re-provisioned replacement devices, which must be
+//!    bit-identical to the reference.
 //! 6. **Arenas scrubbed** on every surviving device.
 //! 7. **No plaintext model bytes** in any device's untrusted storage
 //!    (16-byte-window scan, as in the omg-serve stress suite).
 //! 8. **Worker conservation**: surviving devices + worker errors == the
 //!    fleet size.
+//! 9. **Capacity convergence** (supervised scenarios only): when a
+//!    [`RestartPolicy`] is installed and no slot ended quarantined, the
+//!    fleet must converge back to its target capacity — every death
+//!    restarted, no terminal worker errors, all devices back at drain.
 //!
 //! # Replaying a failure
 //!
@@ -64,7 +72,9 @@ use omg_nn::quantize::QuantParams;
 use omg_nn::tensor::DType;
 use omg_obs::TraceSnapshot;
 use omg_serve::fault::{FaultPlan, QueryFault};
-use omg_serve::{DrainedServe, Pending, ServeConfig, ServeError, ServeHandle};
+use omg_serve::{
+    DrainedServe, Pending, RestartPolicy, ServeConfig, ServeError, ServeHandle, WorkerHealth,
+};
 use omg_speech::dataset::SyntheticSpeechCommands;
 use omg_speech::frontend::FINGERPRINT_LEN;
 
@@ -125,6 +135,13 @@ pub enum Step {
         /// queue outlasts it).
         budget: Duration,
     },
+    /// Block until the fleet has settled: every submission so far has
+    /// reached a terminal outcome (the accounting identity balances), the
+    /// queue is empty, and no worker slot is mid-recovery (`Down` /
+    /// `Restarting`). This is what makes supervised scenarios
+    /// deterministic: after it, restart counts and fleet health are fixed
+    /// facts, not races against the supervisor thread.
+    AwaitSettled,
 }
 
 impl fmt::Display for Step {
@@ -138,6 +155,7 @@ impl fmt::Display for Step {
             Step::SubmitWithBudget { count, budget } => {
                 write!(f, "submit {count} budget={budget:?}")
             }
+            Step::AwaitSettled => write!(f, "await-settled"),
         }
     }
 }
@@ -174,6 +192,10 @@ pub struct Scenario {
     /// GEMM kernel thread budget installed for the run (1 = inference
     /// stays single-threaded inside each serving worker).
     pub kernel_threads: usize,
+    /// When set, the fleet runs supervised: dead workers are re-provisioned
+    /// and restarted under this policy, and the engine checks the capacity
+    /// convergence invariant after drain.
+    pub restart: Option<RestartPolicy>,
     /// The script.
     pub steps: Vec<Step>,
 }
@@ -189,6 +211,7 @@ impl Scenario {
             provisioning: Provisioning::Genuine,
             model: SimModel::BandSelective,
             kernel_threads: 1,
+            restart: None,
             steps: Vec::new(),
         }
     }
@@ -219,6 +242,14 @@ impl Scenario {
     #[must_use]
     pub fn provisioning(mut self, provisioning: Provisioning) -> Self {
         self.provisioning = provisioning;
+        self
+    }
+
+    /// Enables worker supervision under `policy` (see
+    /// [`omg_serve::RestartPolicy`]).
+    #[must_use]
+    pub fn restart(mut self, policy: RestartPolicy) -> Self {
+        self.restart = Some(policy);
         self
     }
 
@@ -264,6 +295,13 @@ impl Scenario {
         self
     }
 
+    /// Appends a [`Step::AwaitSettled`].
+    #[must_use]
+    pub fn await_settled(mut self) -> Self {
+        self.steps.push(Step::AwaitSettled);
+        self
+    }
+
     /// Renders the script, one step per line — what a failure report
     /// prints as the reproducer.
     pub fn script(&self) -> String {
@@ -279,6 +317,11 @@ impl Scenario {
             self.model,
             self.kernel_threads
         );
+        // Only rendered for supervised scenarios, so every pre-supervision
+        // script (and its recorded trace) stays byte-identical.
+        if let Some(policy) = &self.restart {
+            let _ = writeln!(out, "  restart: {policy:?}");
+        }
         for (i, step) in self.steps.iter().enumerate() {
             let _ = writeln!(out, "  {i:>2}. {step}");
         }
@@ -648,6 +691,7 @@ impl<'s> Engine<'s> {
                 slo: None,
                 faults: Some(Arc::clone(&plan)),
                 kernel_threads: Some(self.scenario.kernel_threads),
+                restart: self.scenario.restart.clone(),
                 // Forced on (not env-dependent): every chaos failure must
                 // be able to dump a merged trace of what the fleet did.
                 recorder_capacity: Some(1024),
@@ -702,7 +746,48 @@ impl<'s> Engine<'s> {
                         });
                     }
                 }
+                Step::AwaitSettled => {
+                    let deadline = std::time::Instant::now() + TICKET_TIMEOUT;
+                    loop {
+                        let s = handle.stats();
+                        let books_balance =
+                            s.completed + s.rejected + s.failed + s.shed + s.discarded
+                                == s.submitted;
+                        let recovering = handle
+                            .worker_health()
+                            .iter()
+                            .any(|h| matches!(h, WorkerHealth::Down | WorkerHealth::Restarting));
+                        if books_balance && s.queued == 0 && !recovering {
+                            break;
+                        }
+                        if std::time::Instant::now() >= deadline {
+                            self.violations.push(format!(
+                                "await-settled: fleet did not settle within {TICKET_TIMEOUT:?} \
+                                 (queued={}, identity gap={}, recovering={recovering})",
+                                s.queued,
+                                s.submitted
+                                    - (s.completed + s.rejected + s.failed + s.shed + s.discarded),
+                            ));
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
             }
+        }
+
+        // Supervised scenarios record the recovery tally in the
+        // deterministic trace (they settle first via `await_settled`, so
+        // these are fixed facts, not races against the supervisor).
+        if self.scenario.restart.is_some() {
+            let s = handle.stats();
+            self.trace.push(format!(
+                "recovery: restarts={} quarantined={} retried={} health={:?}",
+                s.restarts,
+                s.quarantined,
+                s.retried,
+                handle.health()
+            ));
         }
 
         // Clone the recorder handle *before* the serve handle moves into
@@ -794,20 +879,13 @@ impl<'s> Engine<'s> {
                 self.violations
                     .push(format!("{} jobs still queued after drain", s.queued));
             }
-            // A worker that dies mid-run takes its served count with it
-            // (only clean exits report one), so equality is required only
-            // of a healthy drain; a dirty drain must still never report
-            // *more* per-worker completions than the global counter.
+            // Per-slot served counters live in shared state and survive
+            // panics and supervisor restarts, so the sum is *exactly* the
+            // completed count — for dirty drains too.
             let per_worker: u64 = drained.served_per_worker.iter().sum();
-            if drained.is_healthy() && per_worker != s.completed {
+            if per_worker != s.completed {
                 self.violations.push(format!(
                     "per-worker counts sum to {per_worker}, completed is {}",
-                    s.completed
-                ));
-            }
-            if per_worker > s.completed {
-                self.violations.push(format!(
-                    "per-worker counts sum to {per_worker}, exceeding completed {}",
                     s.completed
                 ));
             }
@@ -818,6 +896,27 @@ impl<'s> Engine<'s> {
                     drained.worker_errors.len(),
                     self.scenario.workers
                 ));
+            }
+            // Invariant 9 (capacity convergence): a supervised fleet with
+            // no quarantined slot must have restarted every death — full
+            // capacity back, no terminal worker errors.
+            if self.scenario.restart.is_some() && s.quarantined == 0 {
+                if !drained.worker_errors.is_empty() {
+                    let mut errors: Vec<&'static str> =
+                        drained.worker_errors.iter().map(error_tag).collect();
+                    errors.sort_unstable();
+                    self.violations.push(format!(
+                        "supervised fleet left terminal worker errors without quarantine: \
+                         {errors:?}"
+                    ));
+                }
+                if drained.devices.len() != self.scenario.workers {
+                    self.violations.push(format!(
+                        "capacity did not converge: {} devices back, fleet size {}",
+                        drained.devices.len(),
+                        self.scenario.workers
+                    ));
+                }
             }
 
             // Invariant 6 + 7: scrubbed arenas, ciphertext-only storage.

@@ -191,6 +191,85 @@ fn tampered_sealed_model_is_rejected_then_fleet_serves() {
 }
 
 #[test]
+fn recovery_kill_loop_restores_full_capacity() {
+    run_matrix(&catalog::kill_loop(), |report| {
+        let s = stats(report);
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.completed, 7);
+        assert_eq!(s.discarded, 3, "each kill discards exactly its victim");
+        assert_eq!(s.restarts, 3, "every death restarted");
+        assert_eq!(s.quarantined, 0);
+        for seq in [0, 3, 6] {
+            assert!(report
+                .trace
+                .contains(&format!("outcome seq={seq}: WorkerPanicked")));
+        }
+        assert!(report
+            .trace
+            .contains(&"recovery: restarts=3 quarantined=0 retried=0 health=Healthy".to_string()));
+        let drained = report.drained.as_ref().unwrap();
+        // Full capacity back, and no terminal worker errors: the engine's
+        // invariant 5 already proved every completed answer — including
+        // those served by re-provisioned replacements — matches the
+        // reference device bit-for-bit.
+        assert_eq!(drained.devices.len(), 2);
+        assert!(drained.worker_errors.is_empty());
+    });
+}
+
+#[test]
+fn recovery_survives_every_worker_dying_at_once() {
+    run_matrix(&catalog::all_workers_die_then_recover(), |report| {
+        let s = stats(report);
+        assert_eq!(s.submitted, 6);
+        assert_eq!(s.completed, 4, "jobs admitted at zero live workers served");
+        assert_eq!(s.discarded, 2);
+        assert_eq!(s.restarts, 2);
+        assert!(report
+            .trace
+            .contains(&"recovery: restarts=2 quarantined=0 retried=0 health=Healthy".to_string()));
+        assert_eq!(report.drained.as_ref().unwrap().devices.len(), 2);
+    });
+}
+
+#[test]
+fn recovery_crash_loop_ends_quarantined_not_storming() {
+    run_matrix(&catalog::crash_loop_quarantine(), |report| {
+        let s = stats(report);
+        assert_eq!(s.submitted, 6);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.discarded, 6);
+        assert_eq!(s.restarts, 2, "strike three quarantines instead");
+        assert_eq!(s.quarantined, 1);
+        assert!(report.trace.contains(
+            &"recovery: restarts=2 quarantined=1 retried=0 health=Quarantined".to_string()
+        ));
+        let drained = report.drained.as_ref().unwrap();
+        assert!(!drained.is_healthy());
+        assert_eq!(drained.devices.len(), 0);
+        assert!(matches!(
+            drained.worker_errors[0],
+            ServeError::WorkerPanicked
+        ));
+    });
+}
+
+#[test]
+fn recovery_restored_capacity_absorbs_the_next_burst() {
+    run_matrix(&catalog::capacity_restored_under_load(), |report| {
+        let s = stats(report);
+        assert_eq!(s.submitted, 16);
+        assert_eq!(s.completed, 15);
+        assert_eq!(s.discarded, 1);
+        assert_eq!(s.restarts, 1);
+        assert!(report
+            .trace
+            .contains(&"recovery: restarts=1 quarantined=0 retried=0 health=Healthy".to_string()));
+        assert_eq!(report.drained.as_ref().unwrap().devices.len(), 3);
+    });
+}
+
+#[test]
 fn accounting_identity_holds_in_every_catalog_run() {
     // Redundant with the engine's own invariant (every run_matrix call
     // above checks it via assert_clean), but stated once as the suite's

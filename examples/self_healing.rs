@@ -1,0 +1,105 @@
+//! Self-healing serving: a supervised fleet rides out a worker death.
+//!
+//! Provisions a two-worker fleet with a [`RestartPolicy`] installed, kills
+//! one worker mid-run with an injected panic, and watches the supervisor
+//! re-provision a replacement device through the shared model cache and
+//! restart the slot. Meanwhile the caller rides out the death with
+//! `submit_with_retry`, so the kill never becomes a caller-visible
+//! failure. Prints the fleet health transitions and the recovery tally.
+//!
+//! Run with: `cargo run --release --example self_healing`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omg::bench::{cached_tiny_conv, paper_test_subset, ModelKind};
+use omg::serve::fault::{FaultPlan, QueryFault};
+use omg::serve::{FleetHealth, RestartPolicy, RetryPolicy, ServeConfig, ServeHandle, WorkerHealth};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let eval = paper_test_subset(1);
+
+    // The chaos seam: the 8th admitted query panics its worker mid-flight
+    // — the same injection the chaos harness and recovery bench use.
+    let plan = Arc::new(FaultPlan::new());
+    plan.fault_query(7, QueryFault::WorkerPanic);
+
+    let handle = ServeHandle::provision(
+        2,
+        ServeConfig {
+            queue_capacity: 16,
+            faults: Some(Arc::clone(&plan)),
+            restart: Some(RestartPolicy {
+                backoff_initial: Duration::from_millis(5),
+                backoff_max: Duration::from_millis(100),
+                max_restarts: 16,
+                crash_loop_threshold: 3,
+                stable_after: Duration::from_secs(1),
+            }),
+            ..ServeConfig::default()
+        },
+        "kws",
+        model,
+        42,
+    )?;
+    println!(
+        "fleet up: {} workers, supervised, health {:?}",
+        handle.workers(),
+        handle.health()
+    );
+
+    // Serve a stream through the kill. `submit_with_retry` re-submits the
+    // victim query after its `WorkerPanicked` verdict, so every query in
+    // the stream ultimately succeeds.
+    let retry = RetryPolicy::default();
+    let mut served = 0usize;
+    let mut dipped = false;
+    for (i, utterance) in eval.utterances.iter().cycle().take(24).enumerate() {
+        let t = handle.submit_with_retry(utterance, &retry)?;
+        assert!(!t.label.is_empty());
+        served += 1;
+        let health = handle.health();
+        if health != FleetHealth::Healthy && !dipped {
+            dipped = true;
+            println!(
+                "query {i}: worker died — health {health:?}, slots {:?}",
+                handle.worker_health()
+            );
+        }
+    }
+
+    // Wait (briefly) for the supervisor to finish restoring capacity.
+    let start = Instant::now();
+    while handle
+        .worker_health()
+        .iter()
+        .any(|h| *h != WorkerHealth::Live)
+    {
+        assert!(start.elapsed() < Duration::from_secs(10), "no recovery");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    println!(
+        "recovered: health {:?}, slots {:?}",
+        handle.health(),
+        handle.worker_health()
+    );
+
+    println!("\nstats: {}", handle.stats());
+
+    let drained = handle.drain();
+    assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+    println!(
+        "drained: {served} queries served, {} restarts, {} retried, \
+         {} devices back (full capacity), per-worker {:?}",
+        drained.stats.restarts,
+        drained.stats.retried,
+        drained.devices.len(),
+        drained.served_per_worker,
+    );
+    for (i, device) in drained.devices.iter().enumerate() {
+        assert_eq!(device.interpreter_arena_scrubbed(), Some(true));
+        println!("worker {i}: arena scrubbed = true");
+    }
+    Ok(())
+}
