@@ -186,6 +186,7 @@ fn run_chaos_stream(workload: &[&[i16]], seed: u64) -> ChaosResult {
         backoff_initial: Duration::from_millis(1),
         backoff_max: Duration::from_millis(20),
         budget: Duration::from_secs(10),
+        jitter_seed: seed,
     };
 
     let start = Instant::now();

@@ -62,7 +62,11 @@ pub struct WatchedMetric {
 /// For `recovery`, `availability` is the fraction of queries served under
 /// sustained worker kills (retry layer + supervisor together) and
 /// `recoveries_per_s` the rate at which the supervisor returns a killed
-/// fleet to full capacity.
+/// fleet to full capacity. For `hang_recovery`, `availability` is the
+/// served fraction under sustained random *hangs* (watchdog preemption +
+/// retry together) and `preemptions_per_s` the rate at which the watchdog
+/// detects a wedge and re-provisions the slot (its detection latency is
+/// asserted against `lease_ttl + grace` inside the bench itself).
 pub const WATCHED_METRICS: &[WatchedMetric] = &[
     WatchedMetric {
         bench: "serving",
@@ -107,6 +111,14 @@ pub const WATCHED_METRICS: &[WatchedMetric] = &[
     WatchedMetric {
         bench: "recovery",
         key: "recoveries_per_s",
+    },
+    WatchedMetric {
+        bench: "hang_recovery",
+        key: "availability",
+    },
+    WatchedMetric {
+        bench: "hang_recovery",
+        key: "preemptions_per_s",
     },
 ];
 
@@ -233,6 +245,16 @@ mod tests {
         assert!(compare_bench("recovery", ok, baseline, 0.25).is_empty());
         let bad = r#"{"availability":0.5,"recoveries_per_s":1.0}"#;
         let failures = compare_bench("recovery", bad, baseline, 0.25);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+    }
+
+    #[test]
+    fn hang_recovery_metrics_are_watched() {
+        let baseline = r#"{"availability":0.9,"preemptions_per_s":2.0}"#;
+        let ok = r#"{"availability":0.99,"preemptions_per_s":6.0}"#;
+        assert!(compare_bench("hang_recovery", ok, baseline, 0.25).is_empty());
+        let bad = r#"{"availability":0.4,"preemptions_per_s":0.5}"#;
+        let failures = compare_bench("hang_recovery", bad, baseline, 0.25);
         assert_eq!(failures.len(), 2, "{failures:?}");
     }
 

@@ -59,11 +59,15 @@ pub enum Stage {
     /// worker instead of restarting it (seq: worker index, payload:
     /// consecutive rapid-death strikes at quarantine time).
     WorkerQuarantine = 10,
+    /// The liveness watchdog declared a slot hung: its heartbeat lease
+    /// expired past TTL + grace (seq: worker index, payload: lease age
+    /// in ns at declaration).
+    WorkerHang = 11,
 }
 
 impl Stage {
     /// All stages, in discriminant order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Submit,
         Stage::Dequeue,
         Stage::ComputeStart,
@@ -75,6 +79,7 @@ impl Stage {
         Stage::WorkerDown,
         Stage::WorkerRestart,
         Stage::WorkerQuarantine,
+        Stage::WorkerHang,
     ];
 
     /// Stable lower-case name, used in rendered traces.
@@ -91,6 +96,7 @@ impl Stage {
             Stage::WorkerDown => "worker-down",
             Stage::WorkerRestart => "worker-restart",
             Stage::WorkerQuarantine => "worker-quarantine",
+            Stage::WorkerHang => "worker-hang",
         }
     }
 

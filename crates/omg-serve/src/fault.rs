@@ -32,6 +32,14 @@ pub enum QueryFault {
     /// virtual time via `SimClock::stall`, plus a small capped real sleep
     /// so wall-clock-dependent paths (deadlines) see it.
     Delay(Duration),
+    /// The worker wedges mid-query: it parks on the plan's *hang gate*
+    /// and stops renewing its heartbeat lease, without exiting or
+    /// panicking — exactly what a livelocked kernel or a stuck enclave
+    /// call looks like from outside. The liveness watchdog must detect
+    /// and preempt it. [`FaultPlan::wake_hung`] releases the gate
+    /// (one-way) so the wedged thread — by then a detached zombie — can
+    /// exit and hand its device back.
+    Hang,
 }
 
 #[derive(Debug, Default)]
@@ -42,6 +50,14 @@ struct Gate {
     parked: usize,
 }
 
+#[derive(Debug, Default)]
+struct HangGate {
+    /// One-way latch: once released, hang faults become no-ops.
+    released: bool,
+    /// Workers currently wedged on the hang gate.
+    parked: usize,
+}
+
 /// A deterministic fault schedule shared between a scenario driver and the
 /// serving workers (install via [`crate::ServeConfig::faults`]).
 #[derive(Debug, Default)]
@@ -49,6 +65,8 @@ pub struct FaultPlan {
     by_query: Mutex<HashMap<u64, QueryFault>>,
     gate: Mutex<Gate>,
     gate_changed: Condvar,
+    hang_gate: Mutex<HangGate>,
+    hang_changed: Condvar,
 }
 
 impl FaultPlan {
@@ -111,6 +129,39 @@ impl FaultPlan {
     pub(crate) fn take(&self, seq: u64) -> Option<QueryFault> {
         self.by_query.lock().remove(&seq)
     }
+
+    /// Releases the hang gate — one way, permanently. Every wedged worker
+    /// wakes, and any [`QueryFault::Hang`] consumed afterwards is a no-op.
+    /// Scenario drivers call this after the watchdog has preempted the
+    /// wedged slots, so the detached zombie threads can exit and release
+    /// their devices.
+    pub fn wake_hung(&self) {
+        let mut gate = self.hang_gate.lock();
+        gate.released = true;
+        drop(gate);
+        self.hang_changed.notify_all();
+    }
+
+    /// Number of workers currently wedged on the hang gate.
+    pub fn hung_parked(&self) -> usize {
+        self.hang_gate.lock().parked
+    }
+
+    /// Worker-side hang: parks until [`wake_hung`](Self::wake_hung). The
+    /// caller stops renewing its lease for the duration, so from the
+    /// watchdog's perspective this is indistinguishable from a real wedge.
+    pub(crate) fn hang_until_released(&self) {
+        let mut gate = self.hang_gate.lock();
+        if gate.released {
+            return;
+        }
+        gate.parked += 1;
+        self.hang_changed.notify_all();
+        while !gate.released {
+            self.hang_changed.wait(&mut gate);
+        }
+        gate.parked -= 1;
+    }
 }
 
 #[cfg(test)]
@@ -156,5 +207,26 @@ mod tests {
         }
         // Gate open: checkpoint is a no-op now.
         plan.checkpoint();
+    }
+
+    #[test]
+    fn hang_gate_wedges_until_released_then_stays_open() {
+        let plan = Arc::new(FaultPlan::new());
+        let wedged: Vec<_> = (0..2)
+            .map(|_| {
+                let plan = Arc::clone(&plan);
+                std::thread::spawn(move || plan.hang_until_released())
+            })
+            .collect();
+        while plan.hung_parked() < 2 {
+            std::thread::yield_now();
+        }
+        plan.wake_hung();
+        for w in wedged {
+            w.join().unwrap();
+        }
+        assert_eq!(plan.hung_parked(), 0);
+        // Released is one-way: a later hang fault no longer wedges.
+        plan.hang_until_released();
     }
 }

@@ -31,7 +31,13 @@
 //!   [`RestartPolicy`] (exponential backoff, restart budget, crash-loop
 //!   quarantine); [`ServeHandle::health`] exposes the fleet state machine
 //!   and [`ServeHandle::submit_with_retry`] lets callers ride restarts
-//!   out (see [`supervisor`]).
+//!   out (see [`supervisor`]);
+//! * **Hang detection** — with [`ServeConfig::hang`] set, the supervisor
+//!   doubles as a liveness watchdog: workers renew per-slot heartbeat
+//!   leases, a wedged worker is *preempted* behind a per-slot generation
+//!   fence (its ticket resolves with the retryable [`ServeError::Hung`],
+//!   its late publishes are discarded), and the slot is re-provisioned —
+//!   a silent stall recovers exactly like a crash.
 //!
 //! # Quickstart
 //!
@@ -101,13 +107,18 @@ use omg_obs::{Counter, FlightRecorder, Gauge, ObsConfig, Registry, Stage, TraceS
 use fault::{FaultPlan, QueryFault};
 use histogram::LatencyHistogram;
 use queue::{PushError, ShardedQueue};
-pub use supervisor::{FleetHealth, RestartPolicy, RetryPolicy, WorkerHealth};
+pub use supervisor::{FleetHealth, HangPolicy, RestartPolicy, RetryPolicy, WorkerHealth};
 use supervisor::{ReprovisionContext, SlotReport, SlotState, Supervisor, SUPERVISOR_WAKE};
 
 /// Longest *real* sleep a scripted [`QueryFault::Delay`] performs; the full
 /// delay is charged to virtual time (`SimClock::stall`), so scenarios can
 /// model multi-second stalls without slowing the suite.
 const MAX_REAL_DELAY: Duration = Duration::from_millis(25);
+
+/// Slice length for a scripted stall's real sleep: the worker renews its
+/// heartbeat lease between slices (the profiler-style tick seam), so a
+/// *scripted* delay — unlike a genuine wedge — never expires the lease.
+const DELAY_TICK_SLICE: Duration = Duration::from_millis(5);
 
 /// Errors surfaced by the serving runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +139,12 @@ pub enum ServeError {
     Query(OmgError),
     /// A worker thread panicked (its device is lost).
     WorkerPanicked,
+    /// The liveness watchdog declared the serving worker hung (its
+    /// heartbeat lease expired past TTL + grace) and preempted it: the
+    /// wedged thread is detached and the slot is being re-provisioned.
+    /// Retryable — a sibling or the replacement can serve a fresh
+    /// submission.
+    Hung,
 }
 
 impl fmt::Display for ServeError {
@@ -141,6 +158,10 @@ impl fmt::Display for ServeError {
             ServeError::Config(reason) => write!(f, "invalid serve config: {reason}"),
             ServeError::Query(e) => write!(f, "query failed: {e}"),
             ServeError::WorkerPanicked => write!(f, "a serving worker panicked"),
+            ServeError::Hung => write!(
+                f,
+                "a serving worker hung mid-query and was preempted; its slot is being re-provisioned"
+            ),
         }
     }
 }
@@ -158,18 +179,20 @@ impl ServeError {
     /// classification [`ServeHandle::submit_with_retry`] consults.
     ///
     /// Retryable: [`ServeError::Overloaded`] (backpressure is transient),
-    /// [`ServeError::WorkerPanicked`] and device-crash query failures
-    /// (under supervision the fleet recovers, and a sibling worker may
-    /// serve the retry even without it). Everything else is terminal for
-    /// this caller: [`ServeError::Expired`] means the deadline budget is
-    /// already gone, [`ServeError::ShuttingDown`] and
-    /// [`ServeError::Config`] will not change on a retry, and the
+    /// [`ServeError::WorkerPanicked`], [`ServeError::Hung`] (the watchdog
+    /// preempted the worker; the fleet is recovering) and device-crash
+    /// query failures (under supervision the fleet recovers, and a
+    /// sibling worker may serve the retry even without it). Everything
+    /// else is terminal for this caller: [`ServeError::Expired`] means
+    /// the deadline budget is already gone, [`ServeError::ShuttingDown`]
+    /// and [`ServeError::Config`] will not change on a retry, and the
     /// remaining query errors are deterministic device verdicts.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             ServeError::Overloaded
                 | ServeError::WorkerPanicked
+                | ServeError::Hung
                 | ServeError::Query(OmgError::DeviceCrashed)
         )
     }
@@ -213,6 +236,13 @@ pub struct ServeConfig {
     /// [`ServeHandle::provision`] — re-provisioning needs the model and
     /// seed, so [`ServeHandle::start`] rejects the knob.
     pub restart: Option<RestartPolicy>,
+    /// Optional liveness watchdog (see [`HangPolicy`]): when set, the
+    /// supervisor thread scans every slot's heartbeat lease and preempts
+    /// workers that stop renewing — resolving their in-flight ticket with
+    /// the retryable [`ServeError::Hung`] and re-provisioning the slot.
+    /// Requires [`ServeConfig::restart`] (preemption re-provisions
+    /// through the supervisor), so [`ServeHandle::start`] rejects it too.
+    pub hang: Option<HangPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -224,6 +254,7 @@ impl Default for ServeConfig {
             kernel_threads: None,
             recorder_capacity: None,
             restart: None,
+            hang: None,
         }
     }
 }
@@ -232,25 +263,56 @@ impl Default for ServeConfig {
 /// the worker that serves it.
 #[derive(Debug)]
 struct ResponseSlot {
-    result: Mutex<Option<Result<Transcription, ServeError>>>,
+    state: Mutex<ResponseState>,
     ready: Condvar,
+}
+
+/// The slot's settle latch is separate from the result itself: the waiter
+/// *takes* the result out, but `settled` stays `true` forever, so a
+/// preempted zombie whose completion arrives after the waiter has already
+/// consumed the watchdog's verdict still loses the fill race instead of
+/// "winning" an emptied slot and double-publishing stats.
+#[derive(Debug, Default)]
+struct ResponseState {
+    result: Option<Result<Transcription, ServeError>>,
+    settled: bool,
 }
 
 impl ResponseSlot {
     fn new() -> Arc<Self> {
         Arc::new(ResponseSlot {
-            result: Mutex::new(None),
+            state: Mutex::new(ResponseState::default()),
             ready: Condvar::new(),
         })
     }
 
-    fn fill(&self, result: Result<Transcription, ServeError>) {
-        let mut slot = self.result.lock();
-        if slot.is_none() {
-            *slot = Some(result);
+    /// First-writer-wins: returns whether *this* call set the result.
+    /// The slot is the atomic arbiter between a worker's completion and a
+    /// watchdog preemption racing it — exactly one side's verdict (and
+    /// accounting) lands. (Non-test code always has accounting to attach,
+    /// so it goes through [`Self::fill_with`].)
+    #[cfg(test)]
+    fn fill(&self, result: Result<Transcription, ServeError>) -> bool {
+        self.fill_with(result, || {})
+    }
+
+    /// [`Self::fill`] with an accounting hook: `publish` runs *inside* the
+    /// winning critical section, before the result becomes visible. A
+    /// waiter that observes the result is therefore guaranteed to observe
+    /// the winner's counters too — and a losing filler publishes nothing,
+    /// which is what keeps the accounting identity exact when a watchdog
+    /// preemption races the worker's own completion.
+    fn fill_with(&self, result: Result<Transcription, ServeError>, publish: impl FnOnce()) -> bool {
+        let mut state = self.state.lock();
+        let won = !state.settled;
+        if won {
+            publish();
+            state.settled = true;
+            state.result = Some(result);
         }
-        drop(slot);
+        drop(state);
         self.ready.notify_all();
+        won
     }
 }
 
@@ -279,21 +341,21 @@ impl Pending {
     /// the query in hand, [`ServeError::ShuttingDown`] if the runtime
     /// abandoned the query at teardown.
     pub fn wait(self) -> Result<Transcription, ServeError> {
-        let mut result = self.slot.result.lock();
-        while result.is_none() {
-            self.slot.ready.wait(&mut result);
+        let mut state = self.slot.state.lock();
+        while state.result.is_none() {
+            self.slot.ready.wait(&mut state);
         }
-        result.take().expect("checked some")
+        state.result.take().expect("checked some")
     }
 
     /// Non-blocking completion check: returns the result if the query has
     /// finished, `None` (and the ticket back) otherwise.
     pub fn try_wait(self) -> Result<Result<Transcription, ServeError>, Pending> {
-        let mut result = self.slot.result.lock();
-        match result.take() {
+        let mut state = self.slot.state.lock();
+        match state.result.take() {
             Some(r) => Ok(r),
             None => {
-                drop(result);
+                drop(state);
                 Err(self)
             }
         }
@@ -320,22 +382,22 @@ impl Pending {
         // `Duration::MAX` "no deadline" sentinel) means wait unboundedly —
         // never panic on the addition.
         let deadline = Instant::now().checked_add(timeout);
-        let mut result = self.slot.result.lock();
+        let mut state = self.slot.state.lock();
         loop {
-            if let Some(r) = result.take() {
+            if let Some(r) = state.result.take() {
                 return Ok(r);
             }
             match deadline {
-                None => self.slot.ready.wait(&mut result),
+                None => self.slot.ready.wait(&mut state),
                 Some(deadline) => {
                     let now = Instant::now();
                     if now >= deadline {
-                        drop(result);
+                        drop(state);
                         return Err(self);
                     }
                     // Spurious wakeups and early notifies just re-loop;
                     // the deadline check above bounds total waiting.
-                    let _ = self.slot.ready.wait_for(&mut result, deadline - now);
+                    let _ = self.slot.ready.wait_for(&mut state, deadline - now);
                 }
             }
         }
@@ -368,9 +430,16 @@ struct Job {
 }
 
 impl Job {
-    fn complete(mut self, result: Result<Transcription, ServeError>) {
+    /// Delivers `result` to the waiter with the winner's accounting hook
+    /// (see [`ResponseSlot::fill_with`]); returns whether this completion
+    /// won the slot (false if a watchdog preemption already resolved it).
+    fn complete_with(
+        mut self,
+        result: Result<Transcription, ServeError>,
+        publish: impl FnOnce(),
+    ) -> bool {
         self.resolved = true;
-        self.slot.fill(result);
+        self.slot.fill_with(result, publish)
     }
 
     /// Defuses a job bounced at admission: the submit call's error return
@@ -390,24 +459,26 @@ impl Drop for Job {
         if self.resolved {
             return;
         }
-        self.discarded.inc();
         let panicking = std::thread::panicking();
-        // Stage of death: payload 1 = died in a panicking worker's hands,
-        // 0 = still queued at teardown.
-        if let Some(rec) = &self.recorder {
-            rec.record(
-                rec.rings() - 1,
-                Stage::Discard,
-                self.seq,
-                u64::from(panicking),
-            );
-        }
         let verdict = if panicking {
             ServeError::WorkerPanicked
         } else {
             ServeError::ShuttingDown
         };
-        self.slot.fill(Err(verdict));
+        let seq = self.seq;
+        let discarded = &self.discarded;
+        let recorder = &self.recorder;
+        // First-writer-wins: if a watchdog preemption already resolved
+        // this job, it also counted it — counting here too would break
+        // the accounting identity.
+        self.slot.fill_with(Err(verdict), || {
+            discarded.inc();
+            // Stage of death: payload 1 = died in a panicking worker's
+            // hands, 0 = still queued at teardown.
+            if let Some(rec) = recorder {
+                rec.record(rec.rings() - 1, Stage::Discard, seq, u64::from(panicking));
+            }
+        });
     }
 }
 
@@ -416,6 +487,75 @@ impl Drop for Job {
 /// deaths and restarts.)
 pub(crate) struct WorkerExit {
     pub(crate) device: OmgDevice,
+}
+
+/// One slot's heartbeat lease: the liveness contract between a worker
+/// incarnation and the supervisor's watchdog.
+///
+/// The worker renews the lease (a `monotonic_ns` stamp) at dequeue, at
+/// compute start, and periodically through the stall tick seam; zero
+/// means idle (no query in hand — an idle worker is *never* hung, it is
+/// just parked on an empty queue). The `generation` is the preemption
+/// fence: a worker captures it at loop entry and every renewal is gated
+/// on it still matching, so once the watchdog bumps the generation the
+/// wedged incarnation can no longer stamp, publish stats, or perform
+/// exit bookkeeping — it is a zombie whose effects are all discarded.
+pub(crate) struct HeartbeatLease {
+    /// Preemption fence, bumped by the watchdog when it declares the slot
+    /// hung. Compared (not CAS-raced) by the worker on every publish.
+    pub(crate) generation: AtomicU64,
+    /// Last renewal, `omg_obs::monotonic_ns()`; 0 = idle.
+    pub(crate) stamp_ns: AtomicU64,
+    /// Relaxed renewal count — observability only (how many heartbeats
+    /// this slot has stamped across incarnations).
+    pub(crate) epoch: AtomicU64,
+    /// The in-flight query's (seq, response slot), parked here at dequeue
+    /// so the watchdog can resolve the wedged ticket without touching the
+    /// queue. Cleared at completion.
+    pub(crate) current: Mutex<Option<(u64, Arc<ResponseSlot>)>>,
+}
+
+impl HeartbeatLease {
+    fn new() -> Self {
+        HeartbeatLease {
+            generation: AtomicU64::new(0),
+            stamp_ns: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            current: Mutex::new(None),
+        }
+    }
+
+    /// Dequeue-time renewal: parks the query's ticket with the lease and
+    /// stamps it fresh. Gated on the caller's generation still owning the
+    /// slot.
+    fn begin(&self, generation: u64, seq: u64, slot: &Arc<ResponseSlot>) {
+        if self.generation.load(Ordering::Acquire) != generation {
+            return;
+        }
+        *self.current.lock() = Some((seq, Arc::clone(slot)));
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.stamp_ns
+            .store(omg_obs::monotonic_ns(), Ordering::Release);
+    }
+
+    /// Mid-query renewal (compute start, stall ticks).
+    fn tick(&self, generation: u64) {
+        if self.generation.load(Ordering::Acquire) != generation {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.stamp_ns
+            .store(omg_obs::monotonic_ns(), Ordering::Release);
+    }
+
+    /// Completion: back to idle (stamp 0), ticket unparked.
+    fn end(&self, generation: u64) {
+        if self.generation.load(Ordering::Acquire) != generation {
+            return;
+        }
+        *self.current.lock() = None;
+        self.stamp_ns.store(0, Ordering::Release);
+    }
 }
 
 /// Shared runtime state visible to workers and submitters.
@@ -469,6 +609,17 @@ pub(crate) struct Shared {
     retried: Counter,
     /// Death-to-restart recovery time per supervised restart.
     time_to_recover: LatencyHistogram,
+    /// Per-slot heartbeat leases (always allocated; only scanned when a
+    /// [`HangPolicy`] is installed — stamping is a couple of relaxed
+    /// atomics either way).
+    leases: Box<[HeartbeatLease]>,
+    /// Workers the liveness watchdog declared hung and preempted.
+    hung: Counter,
+    /// Publishes by preempted (zombie) worker incarnations that lost the
+    /// completion race and were discarded by generation check.
+    zombie_discards: Counter,
+    /// Lease age at hang declaration — the watchdog's detection latency.
+    hang_detect: LatencyHistogram,
     /// Flight recorder: one ring per worker (single-writer) plus a final
     /// shared ring for submitter-side events. `None` when disabled.
     recorder: Option<Arc<FlightRecorder>>,
@@ -516,6 +667,13 @@ impl Shared {
 struct WorkerPresence<'a> {
     shared: &'a Shared,
     index: usize,
+    /// The slot generation this incarnation was spawned under. A watchdog
+    /// preemption bumps the slot's generation (and performs this guard's
+    /// bookkeeping itself), so a stale guard — the detached zombie finally
+    /// exiting — must do *nothing*: no live-count decrement, no health
+    /// write (a replacement may be serving), no exit notification (the
+    /// supervisor would try to join the replacement's handle and wedge).
+    generation: u64,
     /// Supervised fleets only: the worker-exit notification channel. Held
     /// by the guard so even a panic unwind reports the death.
     exit_tx: Option<mpsc::Sender<usize>>,
@@ -523,6 +681,17 @@ struct WorkerPresence<'a> {
 
 impl Drop for WorkerPresence<'_> {
     fn drop(&mut self) {
+        let lease = &self.shared.leases[self.index];
+        if lease.generation.load(Ordering::Acquire) != self.generation {
+            // Preempted incarnation: the watchdog already did all of this
+            // bookkeeping when it declared the hang. Vanish quietly.
+            return;
+        }
+        // Clear the lease so the watchdog never reads this incarnation's
+        // last stamp against a freshly restarted replacement (the job the
+        // ticket belonged to delivers its own verdict during unwind).
+        lease.stamp_ns.store(0, Ordering::Release);
+        *lease.current.lock() = None;
         let last_out = self.shared.live_workers.fetch_sub(1, Ordering::AcqRel) == 1;
         let terminal = !self.shared.supervised || self.shared.shutting_down.load(Ordering::Acquire);
         self.shared.slot_health.lock()[self.index] = if terminal {
@@ -595,8 +764,10 @@ impl Drop for InFlightJob {
         if let Some(job) = self.job.take() {
             match self.verdict.take() {
                 Some((error, failed)) => {
-                    failed.inc();
-                    job.complete(Err(error));
+                    // Count the failure only if this verdict actually
+                    // reached the waiter (a watchdog preemption may have
+                    // beaten it and counted the job already).
+                    job.complete_with(Err(error), || failed.inc());
                 }
                 // Panic unwind (or teardown with a job in hand): `Job`'s
                 // own drop classifies the death and counts the discard.
@@ -688,6 +859,22 @@ pub struct ServeStats {
     /// fresh submission (own sequence number, own `submitted` count), so
     /// the accounting identity is untouched.
     pub retried: u64,
+    /// Workers the liveness watchdog declared hung and preempted (their
+    /// in-flight query counts as `discarded`; see [`ServeConfig::hang`]).
+    pub hung: u64,
+    /// Publishes by preempted (zombie) worker incarnations discarded by
+    /// the generation check: verdicts that lost the first-writer-wins
+    /// completion race. The **zombie-discard rule** extending the
+    /// accounting identity: a preempted query lands in exactly one bucket
+    /// (`discarded`, counted by the watchdog's winning fill — or a normal
+    /// bucket if the zombie's own completion won the race instead), and
+    /// every publish on the losing side is counted here and nowhere else.
+    pub zombie_discards: u64,
+    /// Per-slot worker health at snapshot time, in slot order.
+    pub worker_health: Vec<WorkerHealth>,
+    /// Whether a supervisor owns this fleet (the Display health summary
+    /// is printed only for supervised fleets).
+    pub supervised: bool,
 }
 
 impl fmt::Display for ServeStats {
@@ -731,11 +918,32 @@ impl fmt::Display for ServeStats {
         )?;
         // Recovery line only when something recovered (or failed to): the
         // common unsupervised rendering is unchanged.
-        if self.restarts + self.quarantined + self.retried > 0 {
+        if self.restarts + self.quarantined + self.retried + self.hung > 0 {
             write!(
                 f,
                 "\n  recovery: {} restarts, {} quarantined, {} retried",
                 self.restarts, self.quarantined, self.retried
+            )?;
+            if self.hung > 0 {
+                write!(
+                    f,
+                    ", {} hung ({} zombie publishes discarded)",
+                    self.hung, self.zombie_discards
+                )?;
+            }
+        }
+        // Supervised fleets: the fleet state at a glance, so bench and
+        // chaos failure dumps show who was serving when things went wrong.
+        if self.supervised {
+            let count =
+                |want: WorkerHealth| self.worker_health.iter().filter(|h| **h == want).count();
+            write!(
+                f,
+                "\n  health: {:?} ({} live, {} hung, {} quarantined)",
+                supervisor::fleet_health(&self.worker_health),
+                count(WorkerHealth::Live),
+                count(WorkerHealth::Hung),
+                count(WorkerHealth::Quarantined),
             )?;
         }
         // The accounting identity, with a verdict a human can grep for.
@@ -939,6 +1147,7 @@ impl ServeHandle {
         let sup = Supervisor {
             shared: Arc::clone(&shared),
             policy,
+            hang: config.hang.clone(),
             ctx,
             slots,
             exit_tx: exit_tx.clone(),
@@ -977,8 +1186,8 @@ impl ServeHandle {
 
     /// Per-slot worker health, in slot order — the raw states
     /// [`Self::health`] is derived from. Useful for awaiting quiescence:
-    /// a supervised fleet has settled once no slot is `Down` or
-    /// `Restarting`.
+    /// a supervised fleet has settled once no slot is `Down`,
+    /// `Restarting`, or `Hung`.
     pub fn worker_health(&self) -> Vec<WorkerHealth> {
         self.shared.slot_health.lock().clone()
     }
@@ -1045,15 +1254,20 @@ impl ServeHandle {
             None => Duration::MAX,
             Some(d) => d.saturating_duration_since(Instant::now()),
         };
-        let mut backoff = policy.backoff_initial;
+        // Decorrelated-jitter backoff between attempts: a pure function of
+        // (jitter_seed, attempt), so a seeded chaos run replays the exact
+        // schedule while differently seeded callers desynchronize instead
+        // of re-storming a recovering fleet together.
+        let mut prev_backoff = Duration::ZERO;
         let mut last = ServeError::Expired;
         for attempt in 0..policy.max_attempts.max(1) {
             if attempt > 0 {
+                let backoff = policy.jittered_backoff(attempt, prev_backoff);
+                prev_backoff = backoff;
                 let pause = backoff.min(remaining(deadline));
                 if !pause.is_zero() {
                     std::thread::sleep(pause);
                 }
-                backoff = backoff.saturating_mul(2).min(policy.backoff_max);
             }
             let budget = remaining(deadline);
             if budget.is_zero() {
@@ -1298,6 +1512,10 @@ fn snapshot_stats(shared: &Shared, started: Instant, workers: usize, queued: usi
         restarts: shared.restarts.get(),
         quarantined: shared.quarantined.get(),
         retried: shared.retried.get(),
+        hung: shared.hung.get(),
+        zombie_discards: shared.zombie_discards.get(),
+        worker_health: shared.slot_health.lock().clone(),
+        supervised: shared.supervised,
     }
 }
 
@@ -1315,6 +1533,12 @@ fn build_shared(
     }
     if config.queue_capacity == 0 {
         return Err(ServeError::Config("queue capacity must be nonzero"));
+    }
+    if config.hang.is_some() && !supervised {
+        return Err(ServeError::Config(
+            "hang detection needs supervision to re-provision preempted slots; \
+             set ServeConfig::restart and use ServeHandle::provision",
+        ));
     }
     if let Some(threads) = config.kernel_threads {
         if threads == 0 {
@@ -1380,6 +1604,18 @@ fn build_shared(
         "omg_serve_time_to_recover_seconds",
         "death-to-restart recovery time per supervised worker restart",
     ));
+    let hung = registry.counter(
+        "omg_serve_hangs_total",
+        "workers the liveness watchdog declared hung and preempted",
+    );
+    let zombie_discards = registry.counter(
+        "omg_serve_zombie_discards_total",
+        "late publishes by preempted worker incarnations, discarded by generation check",
+    );
+    let hang_detect = LatencyHistogram::from_shared(registry.histogram(
+        "omg_serve_hang_detect_seconds",
+        "heartbeat-lease age at hang declaration (watchdog detection latency)",
+    ));
     let queued_gauge = registry.gauge("omg_serve_queued", "queries waiting in the admission queue");
     let workers_gauge = registry.gauge("omg_serve_workers_live", "worker threads still serving");
     let recorder_dropped = registry.gauge(
@@ -1409,6 +1645,10 @@ fn build_shared(
         quarantined,
         retried,
         time_to_recover,
+        leases: (0..worker_count).map(|_| HeartbeatLease::new()).collect(),
+        hung,
+        zombie_discards,
+        hang_detect,
         recorder,
         registry,
         queued_gauge,
@@ -1450,12 +1690,20 @@ fn worker_loop(
     // supervisor notified) before the held job's verdict — and its
     // accounting — land. See `InFlightJob`.
     let mut in_flight = InFlightJob::default();
+    // The slot generation this incarnation serves under. If the liveness
+    // watchdog preempts this worker, it bumps the slot's generation:
+    // every lease renewal, stat publish, and exit-bookkeeping path below
+    // is gated on the captured value still matching, so a preempted
+    // (zombie) incarnation publishes nothing.
+    let lease = &shared.leases[index];
+    let generation = lease.generation.load(Ordering::Acquire);
     // Runs on every exit path (error returns and panics alike): marks the
     // slot's health, notifies the supervisor, and — without one — the
     // last worker out fails over stranded jobs so waiters never deadlock.
     let _presence = WorkerPresence {
         shared,
         index,
+        generation,
         exit_tx,
     };
     let clock = device.clock();
@@ -1472,6 +1720,11 @@ fn worker_loop(
             if let Some(rec) = recorder {
                 rec.record(index, Stage::Dequeue, seq, wait.as_nanos() as u64);
             }
+            // Heartbeat: the lease now carries this query's ticket, so a
+            // watchdog preemption can resolve it without touching the
+            // queue. Stamped unconditionally (two atomics); only the
+            // watchdog scan is gated on a HangPolicy being installed.
+            lease.begin(generation, seq, &job.slot);
             // Parked for the rest of the iteration: any death from here on
             // (injected or genuine) registers before the verdict lands.
             in_flight.park(job);
@@ -1508,8 +1761,30 @@ fn worker_loop(
                     // Charge the full stall to virtual time; sleep only a
                     // capped real amount so deadline paths observe it
                     // without slowing the suite by the modelled duration.
+                    // The real sleep is sliced so the lease is renewed
+                    // between slices: a scripted stall is *slow*, not
+                    // wedged, and must never be preempted as a hang.
                     clock.stall(d);
-                    std::thread::sleep(d.min(MAX_REAL_DELAY));
+                    let mut remaining = d.min(MAX_REAL_DELAY);
+                    while !remaining.is_zero() {
+                        let slice = remaining.min(DELAY_TICK_SLICE);
+                        std::thread::sleep(slice);
+                        lease.tick(generation);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+                Some(QueryFault::Hang) => {
+                    // The worker wedges: it parks on the plan's hang gate
+                    // and stops renewing its lease — from outside this is
+                    // exactly a livelocked kernel or stuck enclave call.
+                    // If (when) the gate is later released, the thread
+                    // falls through and serves the query normally; by
+                    // then the watchdog has usually preempted it, so its
+                    // completion loses the fill race and publishes
+                    // nothing.
+                    if let Some(plan) = shared.faults.as_deref() {
+                        plan.hang_until_released();
+                    }
                 }
                 None => {}
             }
@@ -1518,16 +1793,27 @@ fn worker_loop(
             // so shed it instead of burning warm-enclave time on it.
             if let Some(deadline) = deadline {
                 if Instant::now() >= deadline {
-                    shared.shed.inc();
-                    // Stage of death: shed at dequeue, payload = how long
-                    // it sat queued before the deadline buried it.
-                    if let Some(rec) = recorder {
-                        rec.record(index, Stage::Shed, seq, wait.as_nanos() as u64);
+                    let won = in_flight
+                        .unpark()
+                        .complete_with(Err(ServeError::Expired), || {
+                            shared.shed.inc();
+                            // Stage of death: shed at dequeue, payload = how
+                            // long it sat queued before the deadline buried it.
+                            if let Some(rec) = recorder {
+                                rec.record(index, Stage::Shed, seq, wait.as_nanos() as u64);
+                            }
+                        });
+                    if !won {
+                        shared.zombie_discards.inc();
                     }
-                    in_flight.unpark().complete(Err(ServeError::Expired));
+                    lease.end(generation);
+                    if lease.generation.load(Ordering::Acquire) != generation {
+                        break;
+                    }
                     continue;
                 }
             }
+            lease.tick(generation);
             if let Some(rec) = recorder {
                 rec.record(index, Stage::ComputeStart, seq, 0);
             }
@@ -1537,13 +1823,32 @@ fn worker_loop(
                 .map_err(ServeError::from);
             session.scrub();
             let compute = compute_start.elapsed();
-            shared.compute.record(compute);
-            if let Some(rec) = recorder {
-                rec.record(index, Stage::ComputeEnd, seq, compute.as_nanos() as u64);
-            }
             let latency = submitted.elapsed();
-            match &result {
-                Ok(_) => {
+            let ok = result.is_ok();
+            let reply_payload = if ok {
+                latency.as_nanos() as u64
+            } else {
+                u64::MAX
+            };
+            // Stamp ComputeEnd and Reply *before* handing the slot to the
+            // waiter: once `wait()` returns, the query's full life cycle
+            // is guaranteed to be in the trace. Gated on the generation —
+            // the per-worker ring is single-writer, and a preempted
+            // incarnation must not write beside its replacement.
+            if lease.generation.load(Ordering::Acquire) == generation {
+                if let Some(rec) = recorder {
+                    rec.record(index, Stage::ComputeEnd, seq, compute.as_nanos() as u64);
+                    rec.record(index, Stage::Reply, seq, reply_payload);
+                }
+            }
+            // First-writer-wins completion: the stats publish rides the
+            // winning critical section, so a waiter that sees the result
+            // also sees the counters — and a preempted incarnation whose
+            // verdict lost the race to the watchdog publishes *nothing*
+            // (its only trace is `zombie_discards`).
+            let won = in_flight.unpark().complete_with(result, || {
+                shared.compute.record(compute);
+                if ok {
                     shared.latency.record(latency);
                     // The slot's served counter, not a local: counts
                     // survive this incarnation's death and accumulate
@@ -1554,23 +1859,20 @@ fn worker_loop(
                             shared.slo_violations.inc();
                         }
                     }
-                }
-                Err(_) => {
+                } else {
                     shared.failed.inc();
                 }
+            });
+            if !won {
+                shared.zombie_discards.inc();
             }
-            let reply_payload = if result.is_ok() {
-                latency.as_nanos() as u64
-            } else {
-                u64::MAX
-            };
-            // Stamp Reply *before* handing the slot to the waiter: once
-            // `wait()` returns, the query's full life cycle is guaranteed
-            // to be in the trace.
-            if let Some(rec) = recorder {
-                rec.record(index, Stage::Reply, seq, reply_payload);
+            lease.end(generation);
+            if lease.generation.load(Ordering::Acquire) != generation {
+                // Preempted mid-query: a replacement owns this shard (and
+                // this ring) now. Exit quietly — scrub and park the
+                // enclave on the way out, publish nothing.
+                break;
             }
-            in_flight.unpark().complete(result);
         }
         // Park the enclave (final scrub included) before the device leaves
         // the thread: no activation residue outlives the runtime.
@@ -2405,6 +2707,7 @@ mod tests {
         // Retryable: transient conditions a fresh submission can outlive.
         assert!(ServeError::Overloaded.is_retryable());
         assert!(ServeError::WorkerPanicked.is_retryable());
+        assert!(ServeError::Hung.is_retryable());
         assert!(ServeError::Query(OmgError::DeviceCrashed).is_retryable());
         // Terminal: the retry layer must never re-submit on these.
         assert!(!ServeError::Expired.is_retryable());
@@ -2599,6 +2902,7 @@ mod tests {
                     backoff_initial: Duration::from_millis(2),
                     backoff_max: Duration::from_millis(20),
                     budget: Duration::from_secs(30),
+                    jitter_seed: 82,
                 },
             )
             .unwrap();
@@ -2639,6 +2943,194 @@ mod tests {
             "a non-retryable error must consume exactly one attempt"
         );
         assert_eq!(shared.retried.get(), 0);
+    }
+
+    /// A hang policy tuned for tests: tens-of-milliseconds detection so
+    /// suites stay fast, with a scan interval well under the expiry.
+    fn quick_hang_policy() -> HangPolicy {
+        HangPolicy {
+            lease_ttl: Duration::from_millis(40),
+            grace: Duration::from_millis(40),
+            max_hangs: 8,
+            scan_interval: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn hang_detection_requires_supervision() {
+        // Preemption re-provisions the slot, so a hang policy without a
+        // restart policy (or through `start`, which cannot re-provision
+        // at all) must be refused loudly.
+        assert!(matches!(
+            ServeHandle::provision(
+                1,
+                ServeConfig {
+                    hang: Some(HangPolicy::default()),
+                    ..ServeConfig::default()
+                },
+                "kws",
+                test_model(),
+                850,
+            ),
+            Err(ServeError::Config(_))
+        ));
+        let devices = provision_devices(1, "kws", test_model(), 851).unwrap();
+        assert!(matches!(
+            ServeHandle::start(
+                devices,
+                ServeConfig {
+                    hang: Some(HangPolicy::default()),
+                    ..ServeConfig::default()
+                }
+            ),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn watchdog_preempts_a_hung_worker_and_restarts_the_slot() {
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(85);
+        let samples = data.utterance(3, 0).unwrap();
+        let plan = Arc::new(FaultPlan::new());
+        // The single worker wedges mid-query on its first dequeue.
+        plan.fault_query(0, QueryFault::Hang);
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                queue_capacity: 8,
+                faults: Some(Arc::clone(&plan)),
+                restart: Some(quick_restart_policy()),
+                hang: Some(quick_hang_policy()),
+                recorder_capacity: Some(256),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            860,
+        )
+        .unwrap();
+        let doomed = handle.submit(&samples).unwrap();
+        let submitted_at = Instant::now();
+        // The watchdog must detect the wedge and resolve the ticket with
+        // the retryable Hung verdict — the waiter never hangs.
+        assert_eq!(doomed.wait(), Err(ServeError::Hung));
+        // Detection latency is bounded by ttl + grace + scan (plus real
+        // scheduling slack; keep the bound generous but meaningful).
+        assert!(
+            submitted_at.elapsed() < Duration::from_secs(5),
+            "hang detection took {:?}",
+            submitted_at.elapsed()
+        );
+        // The slot is re-provisioned back to Healthy and serves again.
+        await_health(&handle, FleetHealth::Healthy);
+        let served = handle.submit(&samples).unwrap().wait().unwrap();
+        assert!(served.class_index < 12);
+        let stats = handle.stats();
+        assert_eq!(stats.hung, 1);
+        assert!(stats.supervised);
+        assert!(
+            stats
+                .to_string()
+                .contains("health: Healthy (1 live, 0 hung, 0 quarantined)"),
+            "{stats}"
+        );
+        assert!(handle.metrics_text().contains("omg_serve_hangs_total 1"));
+        // Release the wedged zombie: it wakes, serves its long-preempted
+        // query, loses the fill race, and publishes nothing but the
+        // zombie-discard count.
+        plan.wake_hung();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while handle.stats().zombie_discards < 1 {
+            assert!(Instant::now() < deadline, "zombie never discarded");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let drained = handle.drain();
+        assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+        let s = &drained.stats;
+        assert_eq!(s.hung, 1);
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.quarantined, 0);
+        assert_eq!(s.discarded, 1, "the preempted query is discarded");
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.zombie_discards, 1);
+        assert_eq!(
+            s.completed + s.rejected + s.failed + s.shed + s.discarded,
+            s.submitted,
+            "identity violated: {s}"
+        );
+        assert_eq!(drained.devices.len(), 1, "capacity restored");
+        let trace = drained.flight_trace.expect("recorder enabled");
+        assert!(trace.events.iter().any(|e| e.stage == Stage::WorkerHang));
+        let rendered = s.to_string();
+        assert!(rendered.contains("1 hung"), "{rendered}");
+    }
+
+    #[test]
+    fn submit_with_retry_budget_expires_mid_wait() {
+        // Satellite: the wall-clock budget runs out while the caller is
+        // blocked in wait_deadline — not between attempts. The returned
+        // error must be Expired, and `retried` must count exactly the
+        // re-submissions actually made.
+        let data = omg_speech::dataset::SyntheticSpeechCommands::new(86);
+        let samples = data.utterance(4, 0).unwrap();
+        let plan = Arc::new(FaultPlan::new());
+        plan.fault_query(0, QueryFault::WorkerPanic);
+        let handle = ServeHandle::provision(
+            1,
+            ServeConfig {
+                queue_capacity: 8,
+                faults: Some(Arc::clone(&plan)),
+                // A glacial restart: the slot stays Restarting for far
+                // longer than the retry budget, so the re-submission can
+                // only sit in the queue until the caller's budget dies.
+                restart: Some(RestartPolicy {
+                    backoff_initial: Duration::from_secs(30),
+                    backoff_max: Duration::from_secs(30),
+                    max_restarts: 8,
+                    crash_loop_threshold: 5,
+                    stable_after: Duration::ZERO,
+                }),
+                ..ServeConfig::default()
+            },
+            "kws",
+            test_model(),
+            870,
+        )
+        .unwrap();
+        let before = Instant::now();
+        let result = handle.submit_with_retry(
+            &samples,
+            &RetryPolicy {
+                max_attempts: 3,
+                backoff_initial: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(2),
+                budget: Duration::from_millis(300),
+                jitter_seed: 86,
+            },
+        );
+        let elapsed = before.elapsed();
+        assert_eq!(result, Err(ServeError::Expired));
+        // The budget died mid-wait: the call consumed (roughly) all of
+        // it, rather than returning early between attempts.
+        assert!(
+            elapsed >= Duration::from_millis(250),
+            "returned after {elapsed:?}; never blocked in wait_deadline"
+        );
+        let stats = handle.stats();
+        assert_eq!(
+            stats.retried, 1,
+            "attempt 1 panicked, attempt 2 timed out mid-wait: exactly one re-submission"
+        );
+        assert_eq!(stats.submitted, 2);
+        let drained = handle.drain();
+        let s = &drained.stats;
+        // Attempt 1 died in the panicking worker's hands; attempt 2 was
+        // swept out of the queue at teardown. Both are discards.
+        assert_eq!(
+            s.completed + s.rejected + s.failed + s.shed + s.discarded,
+            s.submitted,
+            "identity violated: {s}"
+        );
     }
 
     #[test]

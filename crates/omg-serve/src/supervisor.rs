@@ -22,7 +22,16 @@
 //! * a caller-side [`RetryPolicy`] drives
 //!   [`ServeHandle::submit_with_retry`](crate::ServeHandle::submit_with_retry),
 //!   re-submitting retryable errors within a wall-clock budget so callers
-//!   ride out a restart without seeing it.
+//!   ride out a restart without seeing it;
+//! * with a [`HangPolicy`] installed, the supervisor thread doubles as a
+//!   **liveness watchdog**: it periodically scans every slot's heartbeat
+//!   lease and *preempts* a worker that stopped renewing — the wedged
+//!   thread is detached behind a per-slot generation token (its
+//!   late-waking publishes are discarded), its in-flight ticket resolves
+//!   with the retryable [`ServeError::Hung`], and the slot is
+//!   re-provisioned under the same [`RestartPolicy`] (hangs count as
+//!   strikes; repeat hangers quarantine). A hang thereby becomes just
+//!   another transient fault.
 //!
 //! Supervision is enabled by setting `ServeConfig::restart` and starting
 //! the fleet through [`ServeHandle::provision`](crate::ServeHandle::provision)
@@ -31,9 +40,10 @@
 //!
 //! Every lifecycle transition is stamped into the flight recorder
 //! ([`Stage::WorkerDown`], [`Stage::WorkerRestart`],
-//! [`Stage::WorkerQuarantine`]) and mirrored in the metrics registry
-//! (`omg_serve_restarts_total`, `omg_serve_quarantined_total`,
-//! `omg_serve_time_to_recover_seconds`).
+//! [`Stage::WorkerQuarantine`], [`Stage::WorkerHang`]) and mirrored in
+//! the metrics registry (`omg_serve_restarts_total`,
+//! `omg_serve_quarantined_total`, `omg_serve_time_to_recover_seconds`,
+//! `omg_serve_hangs_total`, `omg_serve_hang_detect_seconds`).
 
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
@@ -89,11 +99,97 @@ impl Default for RestartPolicy {
 impl RestartPolicy {
     /// Backoff before restarting a slot with `strikes` consecutive rapid
     /// deaths: `backoff_initial * 2^(strikes-1)`, capped at `backoff_max`.
+    /// This is the deterministic *ceiling*; the supervisor sleeps the
+    /// jittered value from [`RestartPolicy::jittered_backoff`].
     pub(crate) fn backoff(&self, strikes: u32) -> Duration {
         let doublings = strikes.saturating_sub(1).min(20);
         self.backoff_initial
             .saturating_mul(1u32 << doublings)
             .min(self.backoff_max)
+    }
+
+    /// Decorrelated-jitter backoff (AWS style): uniform in
+    /// `[backoff_initial, min(prev * 3, backoff(strikes))]`, with the
+    /// uniform pick taken from `word` — a value derived deterministically
+    /// from the fleet seed and the slot's event count, so seeded chaos
+    /// runs replay bit-identically while concurrent slot deaths still
+    /// spread their restarts instead of thundering in lockstep.
+    ///
+    /// `prev == ZERO` (start of a streak) yields exactly
+    /// `backoff_initial`. The result is always within
+    /// `[backoff_initial, backoff(strikes)] ⊆ [backoff_initial, backoff_max]`.
+    pub(crate) fn jittered_backoff(&self, strikes: u32, prev: Duration, word: u64) -> Duration {
+        decorrelated_jitter(self.backoff_initial, self.backoff(strikes), prev, word)
+    }
+}
+
+/// Stateless splitmix64 mix: the jitter words for both restart and retry
+/// backoff flow through this, keyed on seeds the caller controls, so the
+/// "randomness" is a pure function of (seed, slot, event count).
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform pick in `[min(initial, ceiling), min(prev * 3, ceiling)]`
+/// driven by `word`; `prev == ZERO` pins the result to the lower bound.
+fn decorrelated_jitter(
+    initial: Duration,
+    ceiling: Duration,
+    prev: Duration,
+    word: u64,
+) -> Duration {
+    let lo = initial.min(ceiling);
+    if prev.is_zero() {
+        return lo;
+    }
+    let hi = prev.saturating_mul(3).min(ceiling).max(lo);
+    let lo_ns = lo.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let hi_ns = hi.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let span = hi_ns - lo_ns;
+    let pick = if span == 0 {
+        lo_ns
+    } else {
+        lo_ns + word % (span + 1)
+    };
+    Duration::from_nanos(pick)
+}
+
+/// When (and whether) the supervisor's liveness watchdog declares a
+/// worker hung. Install via `ServeConfig::hang` (requires supervision —
+/// preemption re-provisions the slot, so `restart` must be set too).
+///
+/// A worker renews its per-slot heartbeat lease at dequeue, at compute
+/// start, and periodically through the stall tick seam, so a *legitimate*
+/// long query keeps its lease fresh. A slot whose lease age exceeds
+/// `lease_ttl + grace` is declared [`WorkerHealth::Hung`] on the next
+/// watchdog scan: detection latency is bounded by
+/// `lease_ttl + grace + scan_interval`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangPolicy {
+    /// How long a lease stays fresh after its last renewal.
+    pub lease_ttl: Duration,
+    /// Extra slack past the TTL before the watchdog declares the hang —
+    /// absorbs scheduler noise between a worker's renewals.
+    pub grace: Duration,
+    /// Hang budget per slot: a slot preempted this many times is
+    /// quarantined instead of re-provisioned (hangs also count as
+    /// crash-loop strikes under the [`RestartPolicy`]).
+    pub max_hangs: u32,
+    /// How often the watchdog scans the leases.
+    pub scan_interval: Duration,
+}
+
+impl Default for HangPolicy {
+    fn default() -> Self {
+        HangPolicy {
+            lease_ttl: Duration::from_millis(500),
+            grace: Duration::from_millis(500),
+            max_hangs: 4,
+            scan_interval: Duration::from_millis(50),
+        }
     }
 }
 
@@ -111,6 +207,11 @@ pub struct RetryPolicy {
     /// Total wall-clock budget across all attempts (waits and backoffs
     /// included). `Duration::MAX` means no deadline.
     pub budget: Duration,
+    /// Seed for the decorrelated retry jitter: the same seed replays the
+    /// identical backoff schedule (omg-sim traces stay bit-identical),
+    /// while callers seeded differently spread their retries instead of
+    /// re-storming a recovering fleet in lockstep.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -120,7 +221,28 @@ impl Default for RetryPolicy {
             backoff_initial: Duration::from_millis(2),
             backoff_max: Duration::from_millis(50),
             budget: Duration::from_secs(5),
+            jitter_seed: 0,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// Decorrelated-jitter pause before re-submission number `attempt`
+    /// (1-based): uniform in `[backoff_initial, min(prev * 3, ceiling)]`
+    /// where the ceiling is the classic exponential
+    /// `backoff_initial * 2^(attempt-1)` capped at `backoff_max`, and the
+    /// pick is a pure function of `(jitter_seed, attempt)`.
+    pub(crate) fn jittered_backoff(&self, attempt: u32, prev: Duration) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(20);
+        let ceiling = self
+            .backoff_initial
+            .saturating_mul(1u32 << doublings)
+            .min(self.backoff_max);
+        let word = splitmix64(
+            self.jitter_seed
+                .wrapping_add(0x0052_4554_5259_u64.wrapping_mul(u64::from(attempt))),
+        );
+        decorrelated_jitter(self.backoff_initial, ceiling, prev, word)
     }
 }
 
@@ -135,6 +257,11 @@ pub enum WorkerHealth {
     /// The supervisor is between death and replacement: backing off or
     /// re-provisioning a device for this slot.
     Restarting,
+    /// The liveness watchdog declared the slot's worker hung (heartbeat
+    /// lease expired past TTL + grace): the wedged thread is detached,
+    /// its ticket resolved with [`ServeError::Hung`], and the slot is
+    /// about to restart or quarantine per policy.
+    Hung,
     /// The supervisor gave up on the slot — crash loop or exhausted
     /// restart budget. Quarantined slots never restart.
     Quarantined,
@@ -172,7 +299,12 @@ pub(crate) fn fleet_health(slots: &[WorkerHealth]) -> FleetHealth {
         .count();
     let recovering = slots
         .iter()
-        .filter(|h| matches!(h, WorkerHealth::Down | WorkerHealth::Restarting))
+        .filter(|h| {
+            matches!(
+                h,
+                WorkerHealth::Down | WorkerHealth::Restarting | WorkerHealth::Hung
+            )
+        })
         .count();
     let quarantined = slots
         .iter()
@@ -212,6 +344,12 @@ pub(crate) struct SlotState {
     pub(crate) error: Option<ServeError>,
     pub(crate) restarts: u32,
     pub(crate) strikes: u32,
+    /// Watchdog preemptions of this slot (the [`HangPolicy::max_hangs`]
+    /// budget).
+    pub(crate) hangs: u32,
+    /// Previous jittered backoff actually slept for this slot — the
+    /// `prev` term of the decorrelated jitter.
+    pub(crate) prev_backoff: Duration,
     pub(crate) spawned_at: Instant,
 }
 
@@ -223,6 +361,8 @@ impl SlotState {
             error: None,
             restarts: 0,
             strikes: 0,
+            hangs: 0,
+            prev_backoff: Duration::ZERO,
             spawned_at: Instant::now(),
         }
     }
@@ -248,6 +388,7 @@ const BACKOFF_SLICE: Duration = Duration::from_millis(5);
 pub(crate) struct Supervisor {
     pub(crate) shared: Arc<Shared>,
     pub(crate) policy: RestartPolicy,
+    pub(crate) hang: Option<HangPolicy>,
     pub(crate) ctx: ReprovisionContext,
     pub(crate) slots: Vec<SlotState>,
     pub(crate) exit_tx: mpsc::Sender<usize>,
@@ -255,14 +396,29 @@ pub(crate) struct Supervisor {
 
 impl Supervisor {
     /// The supervisor loop: block on worker-exit notifications, join the
-    /// dead worker, and restart or quarantine its slot per policy. On
-    /// shutdown (drain's wake sentinel, or every sender gone) joins every
-    /// remaining incarnation and reports one device-or-error per slot.
+    /// dead worker, and restart or quarantine its slot per policy. With a
+    /// [`HangPolicy`] installed the blocking receive becomes a timed one,
+    /// and every timeout runs a watchdog scan over the heartbeat leases —
+    /// a wedged worker never sends an exit event, so hang detection is
+    /// purely scan-driven. On shutdown (drain's wake sentinel, or every
+    /// sender gone) joins every remaining incarnation and reports one
+    /// device-or-error per slot.
     pub(crate) fn run(mut self, exit_rx: mpsc::Receiver<usize>) -> Vec<SlotReport> {
+        let scan_every = self.hang.as_ref().map(|h| h.scan_interval);
         while !self.shared.shutting_down.load(Ordering::Acquire) {
-            let index = match exit_rx.recv() {
-                Ok(index) => index,
-                Err(_) => break,
+            let index = match scan_every {
+                Some(interval) => match exit_rx.recv_timeout(interval) {
+                    Ok(index) => index,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        self.scan_leases();
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                },
+                None => match exit_rx.recv() {
+                    Ok(index) => index,
+                    Err(_) => break,
+                },
             };
             if index == SUPERVISOR_WAKE || self.shared.shutting_down.load(Ordering::Acquire) {
                 break;
@@ -341,10 +497,121 @@ impl Supervisor {
             self.quarantine(index, strikes);
             return;
         }
+        self.restart_slot(index, down_at, strikes);
+    }
+
+    /// Scans every live slot's heartbeat lease against the hang policy
+    /// and preempts the expired ones. No-op without a policy.
+    fn scan_leases(&mut self) {
+        let Some(policy) = self.hang.clone() else {
+            return;
+        };
+        let expiry_ns = (policy.lease_ttl + policy.grace)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let now = omg_obs::monotonic_ns();
+        for index in 0..self.slots.len() {
+            // Only Live slots carry a lease a worker should be renewing;
+            // Hung/Restarting slots were already preempted this incarnation.
+            if !matches!(self.shared.slot_health.lock()[index], WorkerHealth::Live) {
+                continue;
+            }
+            let stamp = self.shared.leases[index].stamp_ns.load(Ordering::Acquire);
+            if stamp == 0 {
+                continue; // idle: no query in hand, nothing to preempt
+            }
+            let age = now.saturating_sub(stamp);
+            if age > expiry_ns {
+                self.declare_hang(index, age);
+            }
+        }
+    }
+
+    /// Declares one slot hung: fences out the wedged incarnation behind a
+    /// fresh generation, resolves its in-flight ticket with the retryable
+    /// [`ServeError::Hung`], detaches (never joins) the wedged thread,
+    /// and hands the slot to strike accounting.
+    fn declare_hang(&mut self, index: usize, age_ns: u64) {
+        let lease = &self.shared.leases[index];
+        // Generation bump FIRST: from here on, everything the zombie
+        // publishes — verdict, stats, its presence guard's exit
+        // bookkeeping — is discarded by generation check.
+        lease.generation.fetch_add(1, Ordering::AcqRel);
+        lease.stamp_ns.store(0, Ordering::Release);
+        // Resolve the wedged ticket. The response slot is first-writer-
+        // wins, so exactly one of {watchdog, late-waking zombie} counts
+        // the query: if our fill wins, the query is `discarded` (it died
+        // unserved); if the zombie somehow completed in the race window,
+        // its own publish won and we count nothing.
+        if let Some((_seq, slot)) = lease.current.lock().take() {
+            let discarded = &self.shared.discarded;
+            slot.fill_with(Err(ServeError::Hung), || discarded.inc());
+        }
+        self.shared.hung.inc();
+        self.shared.hang_detect.record(Duration::from_nanos(age_ns));
+        if let Some(rec) = &self.shared.recorder {
+            rec.record(
+                Shared::submit_ring(rec),
+                Stage::WorkerHang,
+                index as u64,
+                age_ns,
+            );
+        }
+        // The wedged thread no longer counts as serving. Its eventual
+        // exit is generation-gated and will NOT decrement again (nor
+        // send an exit event — joining the live replacement by mistake
+        // would wedge this very supervisor).
+        self.shared.live_workers.fetch_sub(1, Ordering::AcqRel);
+        // Detach, never join: joining a wedged thread hangs the watchdog.
+        drop(self.slots[index].handle.take());
+        self.shared.slot_health.lock()[index] = WorkerHealth::Hung;
+        self.slots[index].error = Some(ServeError::Hung);
+        self.handle_hang(index);
+    }
+
+    /// Strike accounting for a preempted hang, then restart or
+    /// quarantine — the same policy arithmetic as a death, plus the
+    /// per-slot hang budget.
+    fn handle_hang(&mut self, index: usize) {
+        let down_at = Instant::now();
+        if down_at.duration_since(self.slots[index].spawned_at) >= self.policy.stable_after {
+            self.slots[index].strikes = 0;
+        }
+        self.slots[index].strikes += 1;
+        self.slots[index].hangs += 1;
+        let strikes = self.slots[index].strikes;
+        let max_hangs = self.hang.as_ref().map_or(u32::MAX, |h| h.max_hangs);
+        if self.slots[index].hangs >= max_hangs
+            || self.slots[index].restarts >= self.policy.max_restarts
+            || strikes >= self.policy.crash_loop_threshold
+        {
+            self.quarantine(index, strikes);
+            return;
+        }
+        self.restart_slot(index, down_at, strikes);
+    }
+
+    /// Backs off (jittered, interruptibly), provisions a replacement
+    /// device through the warm cache, and restarts the slot on it.
+    fn restart_slot(&mut self, index: usize, down_at: Instant, strikes: u32) {
         self.shared.slot_health.lock()[index] = WorkerHealth::Restarting;
-        // Exponential backoff, slept in short slices so a drain that
-        // begins mid-backoff is never stuck behind the full sleep.
-        let mut remaining = self.policy.backoff(strikes);
+        // Decorrelated-jitter backoff: the word is a pure function of
+        // (fleet seed, slot, slot event count), so seeded runs replay
+        // identically while simultaneous deaths de-synchronize. Slept in
+        // short slices so a drain that begins mid-backoff is never stuck
+        // behind the full sleep.
+        let events = u64::from(self.slots[index].restarts) + u64::from(self.slots[index].hangs) + 1;
+        let word = splitmix64(
+            self.ctx
+                .seed
+                .wrapping_add(0x0042_4143_4b4f_4646_u64.wrapping_mul(index as u64 + 1))
+                .wrapping_add(events.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let backoff = self
+            .policy
+            .jittered_backoff(strikes, self.slots[index].prev_backoff, word);
+        self.slots[index].prev_backoff = backoff;
+        let mut remaining = backoff;
         while !remaining.is_zero() && !self.shared.shutting_down.load(Ordering::Acquire) {
             let slice = remaining.min(BACKOFF_SLICE);
             std::thread::sleep(slice);
@@ -470,6 +737,11 @@ mod tests {
             (&[W::Live, W::Restarting], F::Degraded),
             // Every worker gone but recovery pending: degraded, not dead.
             (&[W::Down, W::Restarting], F::Degraded),
+            // A hung slot is recovering (the watchdog preempts and
+            // restarts it), not terminal.
+            (&[W::Live, W::Hung], F::Degraded),
+            (&[W::Hung, W::Hung], F::Degraded),
+            (&[W::Hung, W::Quarantined], F::Quarantined),
             // Any quarantined slot dominates while the fleet lives on...
             (&[W::Live, W::Quarantined], F::Quarantined),
             // ...and when the whole fleet is gone, quarantine still names
@@ -498,5 +770,96 @@ mod tests {
         assert!(retry.max_attempts >= 2, "a retry policy that never retries");
         assert!(retry.backoff_initial <= retry.backoff_max);
         assert!(!retry.budget.is_zero());
+        let hang = HangPolicy::default();
+        assert!(!hang.lease_ttl.is_zero());
+        assert!(hang.max_hangs >= 1);
+        assert!(
+            hang.scan_interval < hang.lease_ttl + hang.grace,
+            "a scan slower than the expiry budget adds a full period of \
+             detection latency"
+        );
+    }
+
+    #[test]
+    fn restart_jitter_stays_within_bounds_and_is_deterministic() {
+        let policy = RestartPolicy {
+            backoff_initial: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            ..RestartPolicy::default()
+        };
+        // Start of a streak (prev == ZERO): exactly the initial backoff,
+        // regardless of the jitter word.
+        for word in [0u64, 1, u64::MAX, splitmix64(42)] {
+            assert_eq!(
+                policy.jittered_backoff(1, Duration::ZERO, word),
+                policy.backoff_initial
+            );
+        }
+        // Every later pick lands in [initial, backoff(strikes)] and never
+        // exceeds 3x the previous pick.
+        let mut prev = policy.jittered_backoff(1, Duration::ZERO, splitmix64(0));
+        for (i, strikes) in (1..=6u32).cycle().take(500).enumerate() {
+            let word = splitmix64(i as u64);
+            let picked = policy.jittered_backoff(strikes, prev, word);
+            assert!(picked >= policy.backoff_initial, "{picked:?} below floor");
+            assert!(
+                picked <= policy.backoff(strikes),
+                "{picked:?} above the strike-{strikes} ceiling {:?}",
+                policy.backoff(strikes)
+            );
+            assert!(picked <= prev.saturating_mul(3).max(policy.backoff_initial));
+            // Same inputs, same pick: bit-identical replays.
+            assert_eq!(picked, policy.jittered_backoff(strikes, prev, word));
+            prev = picked;
+        }
+    }
+
+    #[test]
+    fn retry_jitter_bounded_by_exponential_ceiling_and_seeded() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            backoff_initial: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(50),
+            budget: Duration::from_secs(5),
+            jitter_seed: 7,
+        };
+        let mut prev = Duration::ZERO;
+        let mut schedule = Vec::new();
+        for attempt in 1..=8u32 {
+            let picked = policy.jittered_backoff(attempt, prev);
+            let ceiling = policy
+                .backoff_initial
+                .saturating_mul(1u32 << (attempt - 1).min(20))
+                .min(policy.backoff_max);
+            assert!(picked >= policy.backoff_initial);
+            assert!(picked <= ceiling, "{picked:?} > {ceiling:?} at {attempt}");
+            schedule.push(picked);
+            prev = picked;
+        }
+        assert_eq!(schedule[0], policy.backoff_initial, "first retry is exact");
+        // Same seed replays the identical schedule; a different seed
+        // diverges somewhere.
+        let mut prev = Duration::ZERO;
+        let replay: Vec<_> = (1..=8u32)
+            .map(|a| {
+                let p = policy.jittered_backoff(a, prev);
+                prev = p;
+                p
+            })
+            .collect();
+        assert_eq!(schedule, replay);
+        let reseeded = RetryPolicy {
+            jitter_seed: 8,
+            ..policy
+        };
+        let mut prev = Duration::ZERO;
+        let other: Vec<_> = (1..=8u32)
+            .map(|a| {
+                let p = reseeded.jittered_backoff(a, prev);
+                prev = p;
+                p
+            })
+            .collect();
+        assert_ne!(schedule, other, "jitter_seed must actually decorrelate");
     }
 }

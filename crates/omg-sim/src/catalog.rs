@@ -13,7 +13,7 @@
 use std::time::Duration;
 
 use omg_serve::fault::QueryFault;
-use omg_serve::RestartPolicy;
+use omg_serve::{HangPolicy, RestartPolicy};
 
 use crate::{Provisioning, Scenario, SimModel};
 
@@ -28,6 +28,19 @@ fn recovery_policy() -> RestartPolicy {
         max_restarts: 16,
         crash_loop_threshold: 3,
         stable_after: Duration::ZERO,
+    }
+}
+
+/// The hang policy the liveness scenarios run under: a lease TTL + grace
+/// small enough for CI (a wedge is declared within ~80 ms plus one scan
+/// tick) and a hang budget high enough that no scripted scenario
+/// quarantines by accident.
+fn liveness_policy() -> HangPolicy {
+    HangPolicy {
+        lease_ttl: Duration::from_millis(40),
+        grace: Duration::from_millis(40),
+        max_hangs: 8,
+        scan_interval: Duration::from_millis(5),
     }
 }
 
@@ -275,6 +288,71 @@ pub fn capacity_restored_under_load() -> Scenario {
         .await_settled()
 }
 
+/// A worker wedges mid-query (permanent stall) in a supervised two-worker
+/// fleet with the liveness watchdog on. The watchdog must preempt the
+/// wedged slot within `lease_ttl + grace` (+ one scan tick): the victim's
+/// waiter resolves with retryable `Hung`, the survivor keeps serving, and
+/// the slot is re-provisioned back to `Healthy`. The zombie stays wedged
+/// until the engine's pre-drain release and publishes nothing.
+///
+/// Expected accounting: submitted=5, completed=4, discarded=1;
+/// restarts=1, hung=1, health=Healthy, 2 devices back.
+pub fn hang_preempted() -> Scenario {
+    Scenario::new("hang-preempted", 2)
+        .queue_capacity(8)
+        .restart(recovery_policy())
+        .hang(liveness_policy())
+        .pause()
+        .fault(0, QueryFault::Hang)
+        .submit(2) // primers: one held per parked worker, seq 0 doomed
+        .await_parked(2)
+        .resume()
+        .submit(3)
+        .await_settled()
+}
+
+/// The stall-then-wake case: the sole worker wedges, is preempted and
+/// replaced, and *then* the zombie wakes. Its long-preempted completion
+/// must lose the fill race and publish nothing — observable as exactly one
+/// zombie discard, with the identity buckets untouched.
+///
+/// Expected accounting: submitted=3, completed=2, discarded=1;
+/// restarts=1, hung=1, zombie_discards=1, health=Healthy.
+pub fn hang_zombie_publishes_nothing() -> Scenario {
+    Scenario::new("hang-zombie-discarded", 1)
+        .queue_capacity(8)
+        .restart(recovery_policy())
+        .hang(liveness_policy())
+        .fault(0, QueryFault::Hang)
+        .submit(3)
+        .await_settled()
+        .wake_hung()
+        .await_zombies(1)
+}
+
+/// Every worker wedges at once: both parked primers carry a hang fault, so
+/// for a window the fleet has zero live workers *and* zero dead ones —
+/// only leases going stale. The watchdog must preempt both slots and the
+/// supervisor must restore full capacity; the submissions that arrived
+/// while everything was wedged complete on the replacements.
+///
+/// Expected accounting: submitted=6, completed=4, discarded=2;
+/// restarts=2, hung=2, health=Healthy, 2 devices back.
+pub fn all_workers_hang() -> Scenario {
+    Scenario::new("all-workers-hang", 2)
+        .queue_capacity(8)
+        .restart(recovery_policy())
+        .hang(liveness_policy())
+        .pause()
+        .fault(0, QueryFault::Hang)
+        .fault(1, QueryFault::Hang)
+        .submit(2) // one doomed primer held per parked worker
+        .await_parked(2)
+        .resume()
+        .submit(4) // admitted while every slot is wedged
+        .await_settled()
+}
+
 /// Every catalog scenario, in a stable order (CI runs all of them across
 /// the seed matrix).
 pub fn all() -> Vec<Scenario> {
@@ -293,6 +371,9 @@ pub fn all() -> Vec<Scenario> {
         all_workers_die_then_recover(),
         crash_loop_quarantine(),
         capacity_restored_under_load(),
+        hang_preempted(),
+        hang_zombie_publishes_nothing(),
+        all_workers_hang(),
     ]
 }
 
@@ -330,6 +411,32 @@ mod tests {
                 "scenario {:?} leaves the gate shut",
                 s.name
             );
+        }
+    }
+
+    #[test]
+    fn every_hang_scenario_is_supervised() {
+        // The runtime rejects a HangPolicy without a RestartPolicy (the
+        // watchdog needs the supervisor to re-provision preempted slots);
+        // catch a mis-built catalog entry statically.
+        for s in all() {
+            let hangs_scripted = s.steps.iter().any(
+                |x| matches!(x, crate::Step::Fault { fault, .. } if *fault == QueryFault::Hang),
+            );
+            if hangs_scripted {
+                assert!(
+                    s.hang.is_some() && s.restart.is_some(),
+                    "scenario {:?} scripts a hang without watchdog + supervision",
+                    s.name
+                );
+            }
+            if s.hang.is_some() {
+                assert!(
+                    s.restart.is_some(),
+                    "scenario {:?} installs a HangPolicy without a RestartPolicy",
+                    s.name
+                );
+            }
         }
     }
 }

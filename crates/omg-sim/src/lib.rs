@@ -73,7 +73,8 @@ use omg_nn::tensor::DType;
 use omg_obs::TraceSnapshot;
 use omg_serve::fault::{FaultPlan, QueryFault};
 use omg_serve::{
-    DrainedServe, Pending, RestartPolicy, ServeConfig, ServeError, ServeHandle, WorkerHealth,
+    DrainedServe, HangPolicy, Pending, RestartPolicy, ServeConfig, ServeError, ServeHandle,
+    WorkerHealth,
 };
 use omg_speech::dataset::SyntheticSpeechCommands;
 use omg_speech::frontend::FINGERPRINT_LEN;
@@ -138,10 +139,19 @@ pub enum Step {
     /// Block until the fleet has settled: every submission so far has
     /// reached a terminal outcome (the accounting identity balances), the
     /// queue is empty, and no worker slot is mid-recovery (`Down` /
-    /// `Restarting`). This is what makes supervised scenarios
+    /// `Restarting` / `Hung`). This is what makes supervised scenarios
     /// deterministic: after it, restart counts and fleet health are fixed
     /// facts, not races against the supervisor thread.
     AwaitSettled,
+    /// Release the fault plan's hang gate (one-way): every wedged zombie
+    /// thread wakes, serves its long-preempted query, loses the fill race,
+    /// and exits. Scenarios that scripted a [`QueryFault::Hang`] use this
+    /// to prove the zombie publishes nothing.
+    WakeHung,
+    /// Block until at least `n` preempted zombie completions have been
+    /// discarded ([`omg_serve::ServeStats::zombie_discards`] ≥ `n`) —
+    /// the observable proof that a woken zombie lost the fill race.
+    AwaitZombies(u64),
 }
 
 impl fmt::Display for Step {
@@ -156,6 +166,8 @@ impl fmt::Display for Step {
                 write!(f, "submit {count} budget={budget:?}")
             }
             Step::AwaitSettled => write!(f, "await-settled"),
+            Step::WakeHung => write!(f, "wake-hung"),
+            Step::AwaitZombies(n) => write!(f, "await-zombies {n}"),
         }
     }
 }
@@ -196,6 +208,10 @@ pub struct Scenario {
     /// and restarted under this policy, and the engine checks the capacity
     /// convergence invariant after drain.
     pub restart: Option<RestartPolicy>,
+    /// When set, the supervisor's liveness watchdog runs under this policy:
+    /// wedged workers are preempted ([`ServeError::Hung`] to the waiter)
+    /// and their slots re-provisioned. Requires [`Scenario::restart`].
+    pub hang: Option<HangPolicy>,
     /// The script.
     pub steps: Vec<Step>,
 }
@@ -212,6 +228,7 @@ impl Scenario {
             model: SimModel::BandSelective,
             kernel_threads: 1,
             restart: None,
+            hang: None,
             steps: Vec::new(),
         }
     }
@@ -250,6 +267,14 @@ impl Scenario {
     #[must_use]
     pub fn restart(mut self, policy: RestartPolicy) -> Self {
         self.restart = Some(policy);
+        self
+    }
+
+    /// Enables the liveness watchdog under `policy` (see
+    /// [`omg_serve::HangPolicy`]); requires [`Scenario::restart`].
+    #[must_use]
+    pub fn hang(mut self, policy: HangPolicy) -> Self {
+        self.hang = Some(policy);
         self
     }
 
@@ -302,6 +327,20 @@ impl Scenario {
         self
     }
 
+    /// Appends a [`Step::WakeHung`].
+    #[must_use]
+    pub fn wake_hung(mut self) -> Self {
+        self.steps.push(Step::WakeHung);
+        self
+    }
+
+    /// Appends a [`Step::AwaitZombies`].
+    #[must_use]
+    pub fn await_zombies(mut self, n: u64) -> Self {
+        self.steps.push(Step::AwaitZombies(n));
+        self
+    }
+
     /// Renders the script, one step per line — what a failure report
     /// prints as the reproducer.
     pub fn script(&self) -> String {
@@ -321,6 +360,9 @@ impl Scenario {
         // script (and its recorded trace) stays byte-identical.
         if let Some(policy) = &self.restart {
             let _ = writeln!(out, "  restart: {policy:?}");
+        }
+        if let Some(policy) = &self.hang {
+            let _ = writeln!(out, "  hang: {policy:?}");
         }
         for (i, step) in self.steps.iter().enumerate() {
             let _ = writeln!(out, "  {i:>2}. {step}");
@@ -692,6 +734,7 @@ impl<'s> Engine<'s> {
                 faults: Some(Arc::clone(&plan)),
                 kernel_threads: Some(self.scenario.kernel_threads),
                 restart: self.scenario.restart.clone(),
+                hang: self.scenario.hang.clone(),
                 // Forced on (not env-dependent): every chaos failure must
                 // be able to dump a merged trace of what the fleet did.
                 recorder_capacity: Some(1024),
@@ -753,10 +796,12 @@ impl<'s> Engine<'s> {
                         let books_balance =
                             s.completed + s.rejected + s.failed + s.shed + s.discarded
                                 == s.submitted;
-                        let recovering = handle
-                            .worker_health()
-                            .iter()
-                            .any(|h| matches!(h, WorkerHealth::Down | WorkerHealth::Restarting));
+                        let recovering = handle.worker_health().iter().any(|h| {
+                            matches!(
+                                h,
+                                WorkerHealth::Down | WorkerHealth::Restarting | WorkerHealth::Hung
+                            )
+                        });
                         if books_balance && s.queued == 0 && !recovering {
                             break;
                         }
@@ -773,6 +818,24 @@ impl<'s> Engine<'s> {
                         std::thread::sleep(Duration::from_millis(1));
                     }
                 }
+                Step::WakeHung => plan.wake_hung(),
+                Step::AwaitZombies(n) => {
+                    let deadline = std::time::Instant::now() + TICKET_TIMEOUT;
+                    loop {
+                        let discards = handle.stats().zombie_discards;
+                        if discards >= *n {
+                            break;
+                        }
+                        if std::time::Instant::now() >= deadline {
+                            self.violations.push(format!(
+                                "await-zombies: {discards} zombie discard(s) after \
+                                 {TICKET_TIMEOUT:?}, wanted {n}"
+                            ));
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
             }
         }
 
@@ -782,13 +845,21 @@ impl<'s> Engine<'s> {
         if self.scenario.restart.is_some() {
             let s = handle.stats();
             self.trace.push(format!(
-                "recovery: restarts={} quarantined={} retried={} health={:?}",
+                "recovery: restarts={} quarantined={} retried={} hung={} health={:?}",
                 s.restarts,
                 s.quarantined,
                 s.retried,
+                s.hung,
                 handle.health()
             ));
         }
+
+        // Hygiene before drain: release any still-wedged zombies (one-way,
+        // a no-op when the script already did or nothing ever hung) so the
+        // detached threads can exit instead of leaking a parked wait. Their
+        // late completions lose the fill race and publish nothing, so the
+        // deterministic trace is unaffected.
+        plan.wake_hung();
 
         // Clone the recorder handle *before* the serve handle moves into
         // the drainer thread: if drain hangs, the post-mortem trace is
@@ -982,6 +1053,33 @@ fn dump_artifacts(report: &SimReport) {
     }
 }
 
+/// Parses an `OMG_SIM_SEEDS`-style seed matrix: comma-separated u64
+/// seeds, surrounding whitespace tolerated, empty tokens skipped (so a
+/// trailing comma is fine). A malformed token fails with an error that
+/// names the bad token and the expected format — not a bare `ParseIntError`
+/// panic deep inside a test helper.
+///
+/// # Errors
+///
+/// A message naming the offending token and the expected format.
+pub fn parse_seed_matrix(raw: &str) -> Result<Vec<u64>, String> {
+    let mut seeds = Vec::new();
+    for token in raw.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let seed = token.parse::<u64>().map_err(|_| {
+            format!(
+                "OMG_SIM_SEEDS: bad token {token:?} in {raw:?}; expected comma-separated \
+                 unsigned 64-bit seeds, e.g. \"7,42,1337\""
+            )
+        })?;
+        seeds.push(seed);
+    }
+    Ok(seeds)
+}
+
 fn admission_line(seq: u64, pick: usize, admission: &Option<ServeError>) -> String {
     match admission {
         None => format!("submit seq={seq} pick={pick} -> admitted"),
@@ -998,6 +1096,7 @@ fn error_tag(e: &ServeError) -> &'static str {
         ServeError::ShuttingDown => "ShuttingDown",
         ServeError::Config(_) => "Config",
         ServeError::WorkerPanicked => "WorkerPanicked",
+        ServeError::Hung => "Hung",
         ServeError::Query(OmgError::DeviceCrashed) => "Query(DeviceCrashed)",
         ServeError::Query(_) => "Query",
     }
@@ -1081,6 +1180,21 @@ mod tests {
             metrics_json: None,
         };
         report.assert_clean();
+    }
+
+    #[test]
+    fn seed_matrix_parses_and_names_bad_tokens() {
+        assert_eq!(parse_seed_matrix("7,42,1337").unwrap(), vec![7, 42, 1337]);
+        assert_eq!(
+            parse_seed_matrix(" 8675309 , 1 ,").unwrap(),
+            vec![8675309, 1]
+        );
+        assert_eq!(parse_seed_matrix("").unwrap(), Vec::<u64>::new());
+        let err = parse_seed_matrix("7,fortytwo,9").unwrap_err();
+        assert!(err.contains("\"fortytwo\""), "{err}");
+        assert!(err.contains("comma-separated"), "{err}");
+        let err = parse_seed_matrix("-3").unwrap_err();
+        assert!(err.contains("\"-3\""), "{err}");
     }
 
     #[test]

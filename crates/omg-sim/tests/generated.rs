@@ -1,0 +1,208 @@
+//! The randomized chaos suite: a proptest strategy over the scenario DSL
+//! turns the deterministic engine into a chaos fuzzer.
+//!
+//! One `u64` case seed fully determines a generated scenario — a bounded
+//! random interleaving of kills, device crashes, stalls, hangs, submits,
+//! and settles — *and* the engine RNG that runs it, so every failure
+//! ships with the same one-line reproducer the fixed catalog uses:
+//! `OMG_SIM_SEEDS=<seed> cargo test -p omg-sim --test generated`.
+//!
+//! Two layers:
+//!
+//! 1. [`prop_generated_scripts_are_well_formed`] drives the strategy
+//!    through the vendored proptest runner (64 cases by default) and
+//!    checks the *generator's* own contract statically — supervised +
+//!    watchdog installed, no admission bounce can strand a scheduled
+//!    fault, every hang is woken before drain — without paying for a
+//!    fleet run per case.
+//! 2. [`generated_interleavings_hold_every_invariant`] runs a bounded
+//!    number of generated scenarios per matrix seed against a real fleet
+//!    and the engine's full invariant suite (accounting identity, no hung
+//!    waiters, answer correctness, scrubbed arenas, capacity
+//!    convergence). Case count per seed comes from `PROPTEST_CASES`
+//!    (default 6) so CI can dial the fuzz budget.
+
+use std::time::Duration;
+
+use omg_serve::fault::QueryFault;
+use omg_serve::{HangPolicy, RestartPolicy};
+use omg_sim::{Scenario, Step};
+use proptest::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The seed matrix, shared with the fixed catalog suite: `OMG_SIM_SEEDS`
+/// when set, else a fixed default trio.
+fn seeds() -> Vec<u64> {
+    match std::env::var("OMG_SIM_SEEDS") {
+        Ok(raw) => omg_sim::parse_seed_matrix(&raw).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => vec![7, 42, 1337],
+    }
+}
+
+/// Builds the scenario a case seed denotes: a bounded random interleaving
+/// over the DSL that is *well-formed by construction* —
+///
+/// - always supervised with the liveness watchdog on (the policies every
+///   fault mode needs to be a transient, recoverable event);
+/// - total submissions never exceed the queue capacity, so no admission
+///   ever bounces and every seq-keyed fault is guaranteed to be reached;
+/// - few enough deaths/hangs that neither the restart budget nor the hang
+///   budget can quarantine a slot, so the engine's capacity-convergence
+///   invariant applies to every run;
+/// - scripted stalls stay far under `lease_ttl + grace` (and the runtime
+///   renews the lease mid-stall anyway): a slow query must never be
+///   preempted as a hang;
+/// - if any hang was scheduled, the script ends by settling, waking the
+///   zombies, and awaiting exactly one discarded publish per hang.
+fn generated_scenario(case_seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let workers = rng.gen_range(1..=3);
+    let mut scenario = Scenario::new("generated", workers)
+        .queue_capacity(32)
+        .restart(RestartPolicy {
+            backoff_initial: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(8),
+            max_restarts: 32,
+            crash_loop_threshold: 8,
+            stable_after: Duration::ZERO,
+        })
+        .hang(HangPolicy {
+            lease_ttl: Duration::from_millis(40),
+            grace: Duration::from_millis(40),
+            max_hangs: 8,
+            scan_interval: Duration::from_millis(5),
+        });
+    let mut submitted = 0u64;
+    let mut hangs = 0u64;
+    for _ in 0..rng.gen_range(2..=4usize) {
+        let count = rng.gen_range(1..=4usize);
+        if rng.gen_bool(0.7) {
+            // Target one of this segment's upcoming seqs — scheduled
+            // before the submit, so the fault always precedes admission.
+            let target = submitted + rng.gen_range(0..count as u64);
+            let fault = match rng.gen_range(0..4u8) {
+                0 => QueryFault::WorkerPanic,
+                1 => QueryFault::DeviceCrash,
+                2 => QueryFault::Delay(Duration::from_millis(rng.gen_range(1..40))),
+                _ => {
+                    hangs += 1;
+                    QueryFault::Hang
+                }
+            };
+            scenario = scenario.fault(target, fault);
+        }
+        scenario = scenario.submit(count);
+        submitted += count as u64;
+        if rng.gen_bool(0.5) {
+            scenario = scenario.await_settled();
+        }
+    }
+    scenario = scenario.await_settled();
+    if hangs > 0 {
+        scenario = scenario.wake_hung().await_zombies(hangs);
+    }
+    scenario
+}
+
+/// The proptest strategy over the DSL: draws a case seed, which denotes a
+/// whole generated scenario (see [`generated_scenario`]). Shrinking walks
+/// toward smaller seeds — every candidate is itself a complete, valid
+/// scenario with the same one-line reproducer shape.
+struct GeneratedDsl;
+
+impl Strategy for GeneratedDsl {
+    type Value = u64;
+
+    fn generate(&self, runner: &mut proptest::test_runner::TestRunner) -> u64 {
+        runner.rng().gen()
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        if *value == 0 {
+            return Vec::new();
+        }
+        vec![0, *value / 2, *value - 1]
+    }
+}
+
+proptest::proptest! {
+    /// The generator's own contract, checked across the runner's default
+    /// case budget without running a fleet.
+    #[test]
+    fn prop_generated_scripts_are_well_formed(case_seed in GeneratedDsl) {
+        let s = generated_scenario(case_seed);
+        proptest::prop_assert!(
+            s.restart.is_some() && s.hang.is_some(),
+            "seed {case_seed}: generated scenario must be supervised with the watchdog on"
+        );
+        let total: usize = s
+            .steps
+            .iter()
+            .map(|step| match step {
+                Step::Submit { count } => *count,
+                Step::SubmitWithBudget { count, .. } => *count,
+                _ => 0,
+            })
+            .sum();
+        proptest::prop_assert!(
+            total > 0 && total <= s.queue_capacity,
+            "seed {case_seed}: {total} submits cannot overrun capacity {} \
+             (a bounced admission would strand its seq-keyed fault)",
+            s.queue_capacity
+        );
+        let mut hangs = 0u64;
+        for step in &s.steps {
+            if let Step::Fault { query, fault } = step {
+                proptest::prop_assert!(
+                    *query < total as u64,
+                    "seed {case_seed}: fault targets seq {query}, only {total} submitted"
+                );
+                if *fault == QueryFault::Hang {
+                    hangs += 1;
+                }
+            }
+        }
+        let woken = s.steps.iter().any(|x| matches!(x, Step::WakeHung));
+        let awaited = s
+            .steps
+            .iter()
+            .any(|x| matches!(x, Step::AwaitZombies(n) if *n == hangs));
+        proptest::prop_assert!(
+            hangs == 0 || (woken && awaited),
+            "seed {case_seed}: {hangs} hang(s) scheduled without wake-hung + await-zombies"
+        );
+        proptest::prop_assert!(matches!(s.steps.last(), Some(
+            Step::AwaitSettled | Step::AwaitZombies(_)
+        )));
+        // Same seed, same script — the reproducer contract.
+        proptest::prop_assert_eq!(s.script(), generated_scenario(case_seed).script());
+    }
+}
+
+#[test]
+fn generated_interleavings_hold_every_invariant() {
+    // Case seeds derive as `base + i`, with case 0 being the base itself:
+    // replaying a failure with `OMG_SIM_SEEDS=<printed seed>` makes the
+    // failing scenario the first case run.
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(6);
+    for base in seeds() {
+        for i in 0..cases {
+            let case = base.wrapping_add(i);
+            let scenario = generated_scenario(case);
+            let report = scenario.run(case);
+            report.assert_clean();
+            let s = &report.drained.as_ref().expect("drain terminated").stats;
+            assert_eq!(
+                s.completed + s.rejected + s.failed + s.shed + s.discarded,
+                s.submitted,
+                "identity broken by generated case {case}: {s}"
+            );
+            assert_eq!(s.rejected, 0, "generated scripts never overrun the queue");
+        }
+    }
+}

@@ -12,17 +12,11 @@ use omg_serve::ServeError;
 use omg_sim::{catalog, Scenario, SimReport};
 
 /// The seed matrix: `OMG_SIM_SEEDS` when set, else a fixed default trio.
+/// A malformed matrix fails with the bad token and the expected format
+/// (see [`omg_sim::parse_seed_matrix`]), not a bare parse panic.
 fn seeds() -> Vec<u64> {
     match std::env::var("OMG_SIM_SEEDS") {
-        Ok(raw) => raw
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(|s| {
-                s.parse()
-                    .unwrap_or_else(|_| panic!("OMG_SIM_SEEDS: {s:?} is not a u64"))
-            })
-            .collect(),
+        Ok(raw) => omg_sim::parse_seed_matrix(&raw).unwrap_or_else(|e| panic!("{e}")),
         Err(_) => vec![7, 42, 1337],
     }
 }
@@ -204,9 +198,9 @@ fn recovery_kill_loop_restores_full_capacity() {
                 .trace
                 .contains(&format!("outcome seq={seq}: WorkerPanicked")));
         }
-        assert!(report
-            .trace
-            .contains(&"recovery: restarts=3 quarantined=0 retried=0 health=Healthy".to_string()));
+        assert!(report.trace.contains(
+            &"recovery: restarts=3 quarantined=0 retried=0 hung=0 health=Healthy".to_string()
+        ));
         let drained = report.drained.as_ref().unwrap();
         // Full capacity back, and no terminal worker errors: the engine's
         // invariant 5 already proved every completed answer — including
@@ -225,9 +219,9 @@ fn recovery_survives_every_worker_dying_at_once() {
         assert_eq!(s.completed, 4, "jobs admitted at zero live workers served");
         assert_eq!(s.discarded, 2);
         assert_eq!(s.restarts, 2);
-        assert!(report
-            .trace
-            .contains(&"recovery: restarts=2 quarantined=0 retried=0 health=Healthy".to_string()));
+        assert!(report.trace.contains(
+            &"recovery: restarts=2 quarantined=0 retried=0 hung=0 health=Healthy".to_string()
+        ));
         assert_eq!(report.drained.as_ref().unwrap().devices.len(), 2);
     });
 }
@@ -242,7 +236,7 @@ fn recovery_crash_loop_ends_quarantined_not_storming() {
         assert_eq!(s.restarts, 2, "strike three quarantines instead");
         assert_eq!(s.quarantined, 1);
         assert!(report.trace.contains(
-            &"recovery: restarts=2 quarantined=1 retried=0 health=Quarantined".to_string()
+            &"recovery: restarts=2 quarantined=1 retried=0 hung=0 health=Quarantined".to_string()
         ));
         let drained = report.drained.as_ref().unwrap();
         assert!(!drained.is_healthy());
@@ -262,10 +256,70 @@ fn recovery_restored_capacity_absorbs_the_next_burst() {
         assert_eq!(s.completed, 15);
         assert_eq!(s.discarded, 1);
         assert_eq!(s.restarts, 1);
-        assert!(report
-            .trace
-            .contains(&"recovery: restarts=1 quarantined=0 retried=0 health=Healthy".to_string()));
+        assert!(report.trace.contains(
+            &"recovery: restarts=1 quarantined=0 retried=0 hung=0 health=Healthy".to_string()
+        ));
         assert_eq!(report.drained.as_ref().unwrap().devices.len(), 3);
+    });
+}
+
+#[test]
+fn recovery_hang_is_detected_and_preempted() {
+    run_matrix(&catalog::hang_preempted(), |report| {
+        let s = stats(report);
+        assert_eq!(s.submitted, 5);
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.discarded, 1, "the preempted query is discarded");
+        assert_eq!(s.restarts, 1, "the wedged slot was re-provisioned");
+        assert_eq!(s.hung, 1);
+        assert_eq!(s.quarantined, 0);
+        assert!(
+            report.trace.contains(&"outcome seq=0: Hung".to_string()),
+            "the victim's waiter must get the retryable Hung verdict: {:#?}",
+            report.trace
+        );
+        assert!(report.trace.contains(
+            &"recovery: restarts=1 quarantined=0 retried=0 hung=1 health=Healthy".to_string()
+        ));
+        let drained = report.drained.as_ref().unwrap();
+        assert_eq!(drained.devices.len(), 2, "full capacity back");
+        assert!(drained.worker_errors.is_empty());
+    });
+}
+
+#[test]
+fn recovery_hang_zombie_publishes_nothing() {
+    run_matrix(&catalog::hang_zombie_publishes_nothing(), |report| {
+        let s = stats(report);
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.discarded, 1);
+        assert_eq!(s.hung, 1);
+        assert_eq!(s.restarts, 1);
+        // The scripted wake-hung + await-zombies proved the woken zombie's
+        // completion lost the fill race: one discard, identity untouched.
+        assert_eq!(s.zombie_discards, 1);
+        assert!(report.trace.contains(&"outcome seq=0: Hung".to_string()));
+        assert_eq!(report.drained.as_ref().unwrap().devices.len(), 1);
+    });
+}
+
+#[test]
+fn recovery_all_workers_hang_then_recover() {
+    run_matrix(&catalog::all_workers_hang(), |report| {
+        let s = stats(report);
+        assert_eq!(s.submitted, 6);
+        assert_eq!(s.completed, 4, "jobs admitted at zero live workers served");
+        assert_eq!(s.discarded, 2);
+        assert_eq!(s.restarts, 2);
+        assert_eq!(s.hung, 2);
+        assert!(report.trace.contains(
+            &"recovery: restarts=2 quarantined=0 retried=0 hung=2 health=Healthy".to_string()
+        ));
+        for seq in [0, 1] {
+            assert!(report.trace.contains(&format!("outcome seq={seq}: Hung")));
+        }
+        assert_eq!(report.drained.as_ref().unwrap().devices.len(), 2);
     });
 }
 

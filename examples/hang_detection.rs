@@ -1,0 +1,146 @@
+//! Hang detection & preemption: the liveness watchdog turns a wedged
+//! worker into a retryable error instead of a stuck caller.
+//!
+//! Provisions a two-worker fleet with a [`RestartPolicy`] *and* a
+//! [`HangPolicy`] installed, wedges one worker mid-compute with an
+//! injected stall that never returns, and watches the watchdog declare
+//! the hang (bounded by `lease_ttl + grace + scan_interval`), resolve the
+//! victim's ticket with the retryable `ServeError::Hung`, and
+//! re-provision the slot. The wedged thread is then woken as a zombie and
+//! publishes nothing but a discard tick — the accounting identity holds
+//! to the end. Prints the health transitions and the recovery tally.
+//!
+//! Run with: `cargo run --release --example hang_detection`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omg::bench::{cached_tiny_conv, paper_test_subset, ModelKind};
+use omg::serve::fault::{FaultPlan, QueryFault};
+use omg::serve::{
+    FleetHealth, HangPolicy, RestartPolicy, RetryPolicy, ServeConfig, ServeError, ServeHandle,
+    WorkerHealth,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = cached_tiny_conv(ModelKind::Fast);
+    let eval = paper_test_subset(1);
+
+    // The chaos seam: the first admitted query wedges its worker forever
+    // (until this example wakes the zombie at the end) — the same
+    // injection the chaos harness and hang_recovery bench use.
+    let plan = Arc::new(FaultPlan::new());
+    plan.fault_query(0, QueryFault::Hang);
+
+    let hang = HangPolicy {
+        lease_ttl: Duration::from_millis(100),
+        grace: Duration::from_millis(100),
+        max_hangs: 4,
+        scan_interval: Duration::from_millis(10),
+    };
+    let bound = hang.lease_ttl + hang.grace + hang.scan_interval;
+    let handle = ServeHandle::provision(
+        2,
+        ServeConfig {
+            queue_capacity: 16,
+            faults: Some(Arc::clone(&plan)),
+            restart: Some(RestartPolicy {
+                backoff_initial: Duration::from_millis(5),
+                backoff_max: Duration::from_millis(100),
+                max_restarts: 16,
+                crash_loop_threshold: 3,
+                stable_after: Duration::from_secs(1),
+            }),
+            hang: Some(hang),
+            ..ServeConfig::default()
+        },
+        "kws",
+        model,
+        42,
+    )?;
+    println!(
+        "fleet up: {} workers, watchdog on (detection bound {:.0} ms), health {:?}",
+        handle.workers(),
+        bound.as_secs_f64() * 1e3,
+        handle.health()
+    );
+
+    // The doomed query: its worker stops renewing the heartbeat lease, so
+    // the waiter gets the watchdog's verdict instead of hanging forever.
+    let submitted_at = Instant::now();
+    let doomed = handle.submit(&eval.utterances[0])?;
+    let verdict = doomed.wait();
+    println!(
+        "wedged query preempted in {:.1} ms: {verdict:?} (retryable: {})",
+        submitted_at.elapsed().as_secs_f64() * 1e3,
+        matches!(&verdict, Err(e) if e.is_retryable()),
+    );
+    assert_eq!(verdict, Err(ServeError::Hung));
+
+    // Ride out the preemption with the caller-side retry layer — the same
+    // query, resubmitted, lands on a live worker.
+    let retry = RetryPolicy::default();
+    let t = handle.submit_with_retry(&eval.utterances[0], &retry)?;
+    println!("retried query served: label {:?}", t.label);
+
+    // Wait for the supervisor to finish re-provisioning the slot. The
+    // restart count is checked first: it is incremented while the slot
+    // still reads Restarting, so all-Live alone could race ahead of the
+    // preemption it is waiting out.
+    let start = Instant::now();
+    while handle.stats().restarts < 1
+        || handle
+            .worker_health()
+            .iter()
+            .any(|h| *h != WorkerHealth::Live)
+    {
+        assert!(start.elapsed() < Duration::from_secs(10), "no recovery");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    println!(
+        "re-provisioned: health {:?}, slots {:?}",
+        handle.health(),
+        handle.worker_health()
+    );
+    assert_eq!(handle.health(), FleetHealth::Healthy);
+
+    // Serve a stream on the restored fleet.
+    for utterance in eval.utterances.iter().cycle().take(16) {
+        let t = handle.submit_with_retry(utterance, &retry)?;
+        assert!(!t.label.is_empty());
+    }
+
+    // Release the wedged zombie: it wakes, serves its long-preempted
+    // query, loses the fill race against the verdict the waiter already
+    // consumed, and publishes nothing but the zombie-discard count.
+    plan.wake_hung();
+    let start = Instant::now();
+    while handle.stats().zombie_discards < 1 {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "zombie never woke"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    println!("zombie woke and published nothing but a discard tick");
+
+    println!("\nstats: {}", handle.stats());
+
+    let drained = handle.drain();
+    assert!(drained.is_healthy(), "{:?}", drained.worker_errors);
+    let s = &drained.stats;
+    assert_eq!(
+        s.completed + s.rejected + s.failed + s.shed + s.discarded,
+        s.submitted,
+        "identity violated: {s}"
+    );
+    println!(
+        "drained: {} hung / {} restarts / {} zombie discards, {} devices back \
+         (full capacity), accounting identity holds",
+        s.hung,
+        s.restarts,
+        s.zombie_discards,
+        drained.devices.len(),
+    );
+    Ok(())
+}
